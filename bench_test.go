@@ -1,0 +1,419 @@
+package grouptravel
+
+// Benchmarks regenerating every table and figure of the paper, plus
+// substrate and ablation benches for the design choices DESIGN.md calls
+// out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Table/figure benches run at reduced scale so the full suite stays in
+// seconds; cmd/experiments regenerates the paper-scale numbers.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/experiments"
+	"grouptravel/internal/fuzzy"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/lda"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/route"
+	"grouptravel/internal/sim"
+	"grouptravel/internal/store"
+	"grouptravel/internal/tags"
+)
+
+var (
+	benchOnce   sync.Once
+	benchCity   *dataset.City
+	benchSecond *dataset.City
+	benchEngine *core.Engine
+	benchGroup  *profile.Group
+	benchGP     *profile.Profile
+)
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		var err error
+		if benchCity, err = dataset.Generate(dataset.TestSpec("BenchParis", 1)); err != nil {
+			panic(err)
+		}
+		spec := dataset.TestSpec("BenchBarcelona", 2)
+		spec.Center = geo.Point{Lat: 41.3874, Lon: 2.1686}
+		if benchSecond, err = dataset.Generate(spec); err != nil {
+			panic(err)
+		}
+		if benchEngine, err = core.NewEngine(benchCity); err != nil {
+			panic(err)
+		}
+		if benchGroup, err = profile.GenerateUniformGroup(benchCity.Schema, 5, rng.New(3)); err != nil {
+			panic(err)
+		}
+		if benchGP, err = consensus.GroupProfile(benchGroup, consensus.PairwiseDis); err != nil {
+			panic(err)
+		}
+	})
+}
+
+func benchConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.City = benchCity
+	cfg.SecondCity = benchSecond
+	cfg.GroupsPerCell = 2
+	cfg.StudyGroupsPerCell = 1
+	return cfg
+}
+
+// --- §3.2 distance claim (haversine vs equirectangular) ---
+
+var distSink float64
+
+func distancePoints() (a, b []geo.Point) {
+	src := rng.New(7)
+	n := 1024
+	a = make([]geo.Point, n)
+	b = make([]geo.Point, n)
+	for i := 0; i < n; i++ {
+		a[i] = geo.Point{Lat: src.Range(48.80, 48.92), Lon: src.Range(2.25, 2.42)}
+		b[i] = geo.Point{Lat: src.Range(48.80, 48.92), Lon: src.Range(2.25, 2.42)}
+	}
+	return a, b
+}
+
+func BenchmarkHaversine(b *testing.B) {
+	pa, pb := distancePoints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distSink += geo.Haversine(pa[i%len(pa)], pb[i%len(pb)])
+	}
+}
+
+func BenchmarkEquirectangular(b *testing.B) {
+	pa, pb := distancePoints()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distSink += geo.Equirectangular(pa[i%len(pa)], pb[i%len(pb)])
+	}
+}
+
+// --- Figure 1 / core operation: building one travel package ---
+
+func BenchmarkBuildPackage(b *testing.B) {
+	benchSetup(b)
+	params := core.DefaultParams(5)
+	for i := 0; i < b.N; i++ {
+		// Vary the seed so the clustering memo does not trivialize the
+		// bench, matching how experiments use the engine.
+		params.Seed = int64(i % 16)
+		if _, err := benchEngine.Build(benchGP, query.Default(), params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildPackageNonPersonalized(b *testing.B) {
+	benchSetup(b)
+	params := core.DefaultParams(5)
+	for i := 0; i < b.N; i++ {
+		params.Seed = int64(i % 16)
+		if _, err := benchEngine.Build(nil, query.Default(), params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: refinement rounds (the cluster↔CI alternation of KFC).
+func BenchmarkBuildRefineRounds0(b *testing.B) { benchRefine(b, 0) }
+func BenchmarkBuildRefineRounds2(b *testing.B) { benchRefine(b, 2) }
+func BenchmarkBuildRefineRounds5(b *testing.B) { benchRefine(b, 5) }
+
+func benchRefine(b *testing.B, rounds int) {
+	benchSetup(b)
+	params := core.DefaultParams(5)
+	params.RefineRounds = rounds
+	for i := 0; i < b.N; i++ {
+		params.Seed = int64(i % 16)
+		if _, err := benchEngine.Build(benchGP, query.Default(), params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2: synthetic experiment ---
+
+func BenchmarkTable2(b *testing.B) {
+	benchSetup(b)
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 3: median-user agreement ---
+
+func BenchmarkTable3(b *testing.B) {
+	benchSetup(b)
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Tables 4 & 5: simulated personalization study ---
+
+func BenchmarkTable4And5(b *testing.B) {
+	benchSetup(b)
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.RunTables4And5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Tables 6 & 7: customization study (Paris → Barcelona) ---
+
+func BenchmarkTable6And7(b *testing.B) {
+	benchSetup(b)
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.RunTables6And7(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate benches ---
+
+func BenchmarkFuzzyCluster(b *testing.B) {
+	benchSetup(b)
+	pts := make([]geo.Point, 0, benchCity.POIs.Len())
+	for _, p := range benchCity.POIs.All() {
+		pts = append(pts, p.Coord)
+	}
+	norm := benchCity.POIs.Normalizer()
+	cfg := fuzzy.DefaultConfig(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i % 16)
+		if _, err := fuzzy.Cluster(pts, norm, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLDATrain(b *testing.B) {
+	corpus := tags.NewCorpus()
+	src := rng.New(11)
+	for d := 0; d < 200; d++ {
+		th := tags.RestaurantThemes[src.Intn(len(tags.RestaurantThemes))]
+		text := ""
+		for w := 0; w < 10; w++ {
+			text += th.Words[src.Intn(len(th.Words))] + " "
+		}
+		corpus.AddText(text)
+	}
+	cfg := lda.DefaultConfig(6)
+	cfg.Iterations = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lda.Train(corpus, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConsensus(b *testing.B) {
+	benchSetup(b)
+	large, err := profile.GenerateUniformGroup(benchCity.Schema, 100, rng.New(13))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range consensus.Methods {
+		b.Run(m.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := consensus.GroupProfile(large, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: grid index vs brute force for the REPLACE operator's
+// nearest-neighbor query.
+func BenchmarkNearestGrid(b *testing.B) {
+	benchSetup(b)
+	q := geo.Point{Lat: 48.8566, Lon: 2.3522}
+	for i := 0; i < b.N; i++ {
+		benchCity.POIs.Nearest(q, 5, nil, nil)
+	}
+}
+
+func BenchmarkNearestBruteForce(b *testing.B) {
+	benchSetup(b)
+	q := geo.Point{Lat: 48.8566, Lon: 2.3522}
+	all := benchCity.POIs.All()
+	for i := 0; i < b.N; i++ {
+		best, bestD := -1, 1e18
+		for j, p := range all {
+			if d := geo.Equirectangular(q, p.Coord); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		_ = best
+	}
+}
+
+// --- Customization session (Figure 3 operators + refinement) ---
+
+func BenchmarkCustomizationSession(b *testing.B) {
+	benchSetup(b)
+	tp, err := benchEngine.Build(benchGP, query.Default(), core.DefaultParams(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := sim.DefaultCustomizeOptions()
+	for i := 0; i < b.N; i++ {
+		sess, err := interact.NewSession(benchCity, tp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.SimulateCustomization(sess, benchGroup, opts, rng.New(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := interact.RefineBatch(benchGP, sess.Log()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Eq. 5 sample size (closed form; here for completeness) ---
+
+func BenchmarkSampleSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSampleSizeReport(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: item repetition across CIs (§3.2 fuzzy-clustering choice) ---
+
+func BenchmarkBuildRepeatable(b *testing.B) { benchDistinct(b, false) }
+func BenchmarkBuildDistinct(b *testing.B)   { benchDistinct(b, true) }
+
+func benchDistinct(b *testing.B, distinct bool) {
+	benchSetup(b)
+	params := core.DefaultParams(4)
+	params.DistinctItems = distinct
+	for i := 0; i < b.N; i++ {
+		params.Seed = int64(i % 16)
+		if _, err := benchEngine.Build(benchGP, query.Default(), params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: tension sweep and extended consensus methods ---
+
+func BenchmarkTensionSweep(b *testing.B) {
+	benchSetup(b)
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTensionSweep(cfg, []float64{0, 1, 5}, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConsensusAblation(b *testing.B) {
+	benchSetup(b)
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunConsensusAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Parallel synthetic experiment scaling ---
+
+func BenchmarkTable2Parallel1(b *testing.B) { benchTable2Parallel(b, 1) }
+func BenchmarkTable2Parallel4(b *testing.B) { benchTable2Parallel(b, 4) }
+
+func benchTable2Parallel(b *testing.B, workers int) {
+	benchSetup(b)
+	cfg := benchConfig()
+	cfg.GroupsPerCell = 4
+	cfg.Parallelism = workers
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Route ordering (day-plan extension) ---
+
+func BenchmarkPlanDay(b *testing.B) {
+	benchSetup(b)
+	tp, err := benchEngine.Build(benchGP, query.Default(), core.DefaultParams(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.PlanDay(tp.CIs[i%len(tp.CIs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Persistence round trip ---
+
+func BenchmarkPackageSaveLoad(b *testing.B) {
+	benchSetup(b)
+	tp, err := benchEngine.Build(benchGP, query.Default(), core.DefaultParams(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := store.SavePackage(&buf, tp); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.LoadPackage(&buf, benchCity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Weighted consensus ---
+
+func BenchmarkConsensusWeighted(b *testing.B) {
+	benchSetup(b)
+	weights := make([]float64, benchGroup.Size())
+	for i := range weights {
+		weights[i] = 1 + float64(i)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := consensus.GroupProfileWeighted(benchGroup, consensus.PairwiseDis, weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§4).
+//
+// Usage:
+//
+//	experiments -table all            # everything, paper scale (slow)
+//	experiments -table 2 -quick       # one table at test scale
+//	experiments -table pcc            # §4.3.3 Pearson correlations
+//	experiments -table anova          # §4.3.1 ANOVA validation
+//	experiments -table dist           # §3.2 distance-approximation claim
+//	experiments -table samplesize     # Eq. 5
+//	experiments -table 1              # Table 1: sample POIs
+//
+// Output is a terminal rendering of each table in the paper's layout;
+// EXPERIMENTS.md records paper-vs-measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/experiments"
+	"grouptravel/internal/poi"
+)
+
+func main() {
+	table := flag.String("table", "all", "1|2|3|4|5|6|7|dist|pcc|anova|samplesize|tension|ext|all")
+	quick := flag.Bool("quick", false, "run at reduced scale (small city, fewer groups)")
+	seed := flag.Int64("seed", 2019, "experiment seed")
+	groups := flag.Int("groups", 0, "override groups per cell (0 = config default)")
+	workers := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the synthetic experiment")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Parallelism = *workers
+	if *groups > 0 {
+		cfg.GroupsPerCell = *groups
+	}
+	if *quick {
+		// Small synthetic cities keep the quick path fast.
+		var err error
+		if cfg.City, err = dataset.Generate(dataset.TestSpec("Paris", 100)); err != nil {
+			fail(err)
+		}
+		spec := dataset.TestSpec("Barcelona", 200)
+		spec.Center = dataset.BuiltinCenters["Barcelona"]
+		if cfg.SecondCity, err = dataset.Generate(spec); err != nil {
+			fail(err)
+		}
+	}
+
+	want := strings.Split(*table, ",")
+	run := func(name string) bool {
+		for _, w := range want {
+			if w == "all" || w == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	if run("1") {
+		if err := printTable1(&cfg); err != nil {
+			fail(err)
+		}
+	}
+	var t2 *experiments.Table2Result
+	if run("2") || run("pcc") || run("anova") {
+		var err error
+		if t2, err = experiments.RunTable2(cfg); err != nil {
+			fail(err)
+		}
+	}
+	if run("2") {
+		fmt.Println(t2.Render())
+	}
+	if run("3") {
+		t3, err := experiments.RunTable3(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t3.Render())
+	}
+	if run("4") || run("5") {
+		t4, t5, err := experiments.RunTables4And5(cfg)
+		if err != nil {
+			fail(err)
+		}
+		if run("4") {
+			fmt.Println(t4.Render())
+		}
+		if run("5") {
+			fmt.Println(t5.Render())
+		}
+	}
+	if run("6") || run("7") {
+		t6, t7, err := experiments.RunTables6And7(cfg)
+		if err != nil {
+			fail(err)
+		}
+		if run("6") {
+			fmt.Println(t6.Render())
+		}
+		if run("7") {
+			fmt.Println(t7.Render())
+		}
+	}
+	if run("pcc") {
+		pcc, err := t2.PCC()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(pcc.Render())
+	}
+	if run("anova") {
+		rep, err := t2.ANOVA()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Render())
+	}
+	if run("dist") {
+		rep, err := experiments.RunDistanceReport(2_000_000, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Render())
+	}
+	if run("samplesize") {
+		rep, err := experiments.RunSampleSizeReport()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Render())
+	}
+	if run("tension") {
+		rep, err := experiments.RunTensionSweep(cfg, []float64{0, 0.5, 1, 2, 5, 10, 25}, cfg.GroupsPerCell)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Render())
+	}
+	if run("ext") {
+		rep, err := experiments.RunConsensusAblation(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Render())
+	}
+}
+
+// printTable1 prints a few sample POIs in the layout of the paper's
+// Table 1.
+func printTable1(cfg *experiments.Config) error {
+	if cfg.City == nil {
+		city, err := dataset.BuiltinCity("Paris")
+		if err != nil {
+			return err
+		}
+		cfg.City = city
+	}
+	fmt.Println("Table 1: sample Points Of Interest in", cfg.City.Name)
+	fmt.Printf("%-4s %-28s %-6s %-22s %-14s %-40s %s\n", "id", "name", "cat", "coordinates", "type", "tags", "cost")
+	shown := 0
+	for _, cat := range poi.Categories {
+		pois := cfg.City.POIs.ByCategory(cat)
+		if len(pois) == 0 {
+			continue
+		}
+		p := pois[0]
+		tags := p.Tags
+		if len(tags) > 38 {
+			tags = tags[:38] + ".."
+		}
+		fmt.Printf("%-4d %-28s %-6s %-22s %-14s %-40s %.2f\n",
+			p.ID, p.Name, p.Cat, p.Coord, p.Type, tags, p.Cost)
+		shown++
+	}
+	fmt.Println()
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command grouptravel-server serves the GroupTravel HTTP API over one
+// city — the backend a Figure 3 style map GUI would talk to.
+//
+// Usage:
+//
+//	grouptravel-server -city builtin:Paris -addr :8080
+//	grouptravel-server -city paris.json
+//
+// Endpoints (JSON):
+//
+//	GET  /api/healthz                      liveness + city name
+//	GET  /api/city                         schema, POI counts, bounds
+//	GET  /api/pois?cat=rest&near=48.85,2.35&k=10
+//	POST /api/groups                       {"members":[{"acco":[0-5...],...}]}
+//	GET  /api/groups/{id}
+//	POST /api/packages                     {"group":1,"consensus":"pairwise","k":5,
+//	                                        "query":{"Acco":1,...,"Budget":0},
+//	                                        "weights":[2,1,1]}
+//	GET  /api/packages/{id}?routes=1
+//	POST /api/packages/{id}/ops            {"member":0,"op":"remove|add|replace|generate",
+//	                                        "ci":0,"poi":42,"rect":{...}}
+//	POST /api/packages/{id}/refine         {"strategy":"batch|individual","rebuild":true}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/server"
+)
+
+func main() {
+	citySpec := flag.String("city", "builtin:Paris", `city: "builtin:<Name>" or a JSON path`)
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	city, err := loadCity(*citySpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(city)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grouptravel-server: %s (%d POIs) on %s\n", city.Name, city.POIs.Len(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+func loadCity(spec string) (*dataset.City, error) {
+	if name, ok := strings.CutPrefix(spec, "builtin:"); ok {
+		return dataset.BuiltinCity(name)
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.LoadJSON(f)
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/repl"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/tourpedia"
+)
+
+// runConvert turns a real TourPedia places dump into a city JSON usable by
+// every other subcommand.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "TourPedia places JSON (required)")
+	out := fs.String("out", "city.json", "output city JSON path")
+	name := fs.String("name", "Converted", "city name")
+	topics := fs.Int("topics", 6, "LDA topics for restaurants/attractions")
+	seed := fs.Int64("seed", 1, "seed for synthesized attributes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("convert: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	city, report, err := tourpedia.Convert(f, tourpedia.Options{
+		CityName: *name, Topics: *topics, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	if err := city.SaveJSON(of); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d POIs)\n", *out, city.POIs.Len())
+	return nil
+}
+
+// runCustomize builds a package for a synthetic group and hands it to the
+// interactive REPL (the terminal version of the paper's Figure 3 GUI).
+func runCustomize(args []string) error {
+	fs := flag.NewFlagSet("customize", flag.ExitOnError)
+	citySpec := fs.String("city", "builtin:Paris", `city: "builtin:<Name>" or a JSON path`)
+	k := fs.Int("k", 3, "number of composite items (days)")
+	size := fs.Int("size", 4, "group size")
+	member := fs.Int("member", 0, "acting group member index")
+	method := fs.String("consensus", "pairwise", "avg | leastmisery | pairwise | variance")
+	seed := fs.Int64("seed", 1, "random seed for the group")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	city, err := loadCity(*citySpec, *seed)
+	if err != nil {
+		return err
+	}
+	engine, err := core.NewEngine(city)
+	if err != nil {
+		return err
+	}
+	g, err := profile.GenerateUniformGroup(city.Schema, *size, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	m, err := methodByName(*method)
+	if err != nil {
+		return err
+	}
+	gp, err := consensus.GroupProfile(g, m)
+	if err != nil {
+		return err
+	}
+	tp, err := engine.Build(gp, query.Default(), core.DefaultParams(*k))
+	if err != nil {
+		return err
+	}
+	r, err := repl.New(city, engine, g, m, *member, tp)
+	if err != nil {
+		return err
+	}
+	return r.Run(os.Stdin, os.Stdout)
+}

@@ -1,0 +1,214 @@
+// Command grouptravel generates cities and builds customized travel
+// packages for groups from the terminal.
+//
+// Usage:
+//
+//	grouptravel gen   -name Paris -out paris.json [-scale test]
+//	grouptravel build -city builtin:Paris [-k 5] [-acco 1 -trans 1 -rest 1 -attr 3]
+//	                  [-budget 0] [-consensus pairwise] [-size 5] [-nonuniform]
+//	                  [-seed 1] [-map]
+//
+// `build` synthesizes a random group of the requested size/uniformity,
+// aggregates it with the chosen consensus method, builds a package and
+// prints the Figure 1 style day plan (plus an ASCII map with -map).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/render"
+	"grouptravel/internal/rng"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "build":
+		err = runBuild(os.Args[2:])
+	case "convert":
+		err = runConvert(os.Args[2:])
+	case "customize":
+		err = runCustomize(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `grouptravel — customized travel packages for groups (EDBT 2019 reproduction)
+
+subcommands:
+  gen        generate a synthetic city dataset and write it as JSON
+  build      build a travel package for a synthetic group and print it
+  convert    convert a real TourPedia places dump into a city JSON
+  customize  build a package and customize it interactively (REPL)
+
+run "grouptravel <subcommand> -h" for flags`)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("name", "Paris", "city name (one of the eight TourPedia cities for builtin centers)")
+	out := fs.String("out", "", "output JSON path (default <name>.json)")
+	scale := fs.String("scale", "paper", `"paper" (~1000 POIs) or "test" (small)`)
+	seed := fs.Int64("seed", 1, "generation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var city *dataset.City
+	var err error
+	switch *scale {
+	case "paper":
+		center, ok := dataset.BuiltinCenters[*name]
+		if !ok {
+			return fmt.Errorf("unknown builtin city %q; known: Amsterdam Barcelona Berlin Dubai London Paris Rome Tuscany", *name)
+		}
+		city, err = dataset.Generate(dataset.DefaultSpec(*name, center, *seed))
+	case "test":
+		city, err = dataset.Generate(dataset.TestSpec(*name, *seed))
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = strings.ToLower(*name) + ".json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := city.SaveJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d POIs across %v\n", path, city.POIs.Len(), city.POIs.CategoryCounts())
+	return nil
+}
+
+func loadCity(spec string, seed int64) (*dataset.City, error) {
+	if name, ok := strings.CutPrefix(spec, "builtin:"); ok {
+		return dataset.BuiltinCity(name)
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.LoadJSON(f)
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	citySpec := fs.String("city", "builtin:Paris", `city: "builtin:<Name>" or a JSON path from "gen"`)
+	k := fs.Int("k", 5, "number of composite items (days)")
+	acco := fs.Int("acco", 1, "accommodations per CI")
+	trans := fs.Int("trans", 1, "transportation POIs per CI")
+	rest := fs.Int("rest", 1, "restaurants per CI")
+	attr := fs.Int("attr", 3, "attractions per CI")
+	budget := fs.Float64("budget", 0, "per-CI budget (0 = unlimited)")
+	method := fs.String("consensus", "pairwise", "avg | leastmisery | pairwise | variance")
+	size := fs.Int("size", 5, "group size")
+	nonUniform := fs.Bool("nonuniform", false, "generate a non-uniform group (diverse tastes)")
+	seed := fs.Int64("seed", 1, "random seed for the group")
+	showMap := fs.Bool("map", false, "print an ASCII map of the package")
+	routed := fs.Bool("route", false, "order each day's POIs into a walking route")
+	distinct := fs.Bool("distinct", false, "forbid POI repetition across days")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	city, err := loadCity(*citySpec, *seed)
+	if err != nil {
+		return err
+	}
+	engine, err := core.NewEngine(city)
+	if err != nil {
+		return err
+	}
+	b := *budget
+	if b == 0 {
+		b = math.Inf(1)
+	}
+	q, err := query.New(*acco, *trans, *rest, *attr, b)
+	if err != nil {
+		return err
+	}
+
+	src := rng.New(*seed)
+	var g *profile.Group
+	if *nonUniform {
+		g, err = profile.GenerateNonUniformGroup(city.Schema, *size, src)
+	} else {
+		g, err = profile.GenerateUniformGroup(city.Schema, *size, src)
+	}
+	if err != nil {
+		return err
+	}
+	m, err := methodByName(*method)
+	if err != nil {
+		return err
+	}
+	gp, err := consensus.GroupProfile(g, m)
+	if err != nil {
+		return err
+	}
+
+	params := core.DefaultParams(*k)
+	params.DistinctItems = *distinct
+	tp, err := engine.Build(gp, q, params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("group: %d members, uniformity %.2f, consensus %q\n\n", g.Size(), g.Uniformity(), m.Name)
+	if *routed {
+		fmt.Print(render.PackageWithRoutes(tp))
+	} else {
+		fmt.Print(render.Package(tp))
+	}
+	if *showMap {
+		fmt.Println()
+		fmt.Print(render.Map(tp, city.POIs.Bounds(), city.POIs.All(), 78))
+	}
+	return nil
+}
+
+func methodByName(name string) (consensus.Method, error) {
+	switch strings.ToLower(name) {
+	case "avg", "average":
+		return consensus.AveragePref, nil
+	case "leastmisery", "lm":
+		return consensus.LeastMisery, nil
+	case "pairwise", "ad":
+		return consensus.PairwiseDis, nil
+	case "variance", "dv":
+		return consensus.VarianceDis, nil
+	default:
+		return consensus.Method{}, fmt.Errorf("unknown consensus %q (avg|leastmisery|pairwise|variance)", name)
+	}
+}

@@ -1,0 +1,115 @@
+// Collaboration demonstrates the §6 future-work collaboration models
+// implemented in internal/collab: the same set of member requests routed
+// through the star (moderated), sequential (pipeline) and hybrid
+// (parallel, majority-vote) models, showing how each model disposes of
+// conflicting customization requests.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grouptravel"
+	"grouptravel/internal/collab"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/rng"
+)
+
+func main() {
+	city, err := grouptravel.GenerateCity(dataset.TestSpec("Paris", 21))
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := grouptravel.NewEngine(city)
+	if err != nil {
+		log.Fatal(err)
+	}
+	group, err := profile.GenerateUniformGroup(city.Schema, 4, rng.New(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gp, err := grouptravel.GroupProfile(group, grouptravel.PairwiseDis)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fresh identical sessions for each collaboration model.
+	newSession := func() *grouptravel.Session {
+		tp, err := engine.Build(gp, grouptravel.DefaultQuery(), grouptravel.DefaultParams(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := grouptravel.NewSession(city, tp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+
+	// The contested request set: members 1 and 3 want the day-1 restaurant
+	// gone, member 2 wants it replaced, and member 0 wants an extra
+	// attraction.
+	proto := newSession()
+	var restID int
+	for _, it := range proto.Package().CIs[0].Items {
+		if it.Cat == grouptravel.Rest {
+			restID = it.ID
+			break
+		}
+	}
+	cands, err := proto.AddCandidates(0, grouptravel.Attr, "", 1)
+	if err != nil || len(cands) == 0 {
+		log.Fatal("no add candidate")
+	}
+	requests := []collab.Request{
+		{Member: 1, Kind: interact.OpRemove, CIIndex: 0, POIID: restID},
+		{Member: 2, Kind: interact.OpReplace, CIIndex: 0, POIID: restID},
+		{Member: 3, Kind: interact.OpRemove, CIIndex: 0, POIID: restID},
+		{Member: 0, Kind: interact.OpAdd, CIIndex: 0, POIID: cands[0].ID},
+	}
+	fmt.Println("requests:")
+	for _, r := range requests {
+		fmt.Println("  ", r)
+	}
+
+	report := func(name string, outcomes []collab.Outcome) {
+		fmt.Printf("\n=== %s ===\n", name)
+		for _, o := range outcomes {
+			if o.Reason != "" {
+				fmt.Printf("  %-9s %s (%s)\n", o.Decision, o.Request, o.Reason)
+			} else {
+				fmt.Printf("  %-9s %s\n", o.Decision, o.Request)
+			}
+		}
+	}
+
+	// Star: member 0 moderates with their own taste (vetoes removals of
+	// POIs they love, additions they dislike).
+	star := newSession()
+	policy := collab.ModeratorTaste(group.Members[0], 0.15, 0.85)
+	outcomes, err := collab.RunStar(star, policy, requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("star model (member 0 moderates)", outcomes)
+
+	// Sequential: turns in order 3 → 2 → 1 → 0; later members see earlier
+	// members' changes (member 2's REPLACE fails if 3's REMOVE ran first).
+	seq := newSession()
+	outcomes, err = collab.RunSequential(seq, []int{3, 2, 1, 0}, requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("sequential model (3 -> 2 -> 1 -> 0)", outcomes)
+
+	// Hybrid: all requests in parallel; REMOVE wins the 2-vs-1 vote over
+	// REPLACE on the contested restaurant.
+	hyb := newSession()
+	outcomes, err = collab.RunHybrid(hyb, requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("hybrid model (parallel, majority vote)", outcomes)
+}

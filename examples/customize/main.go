@@ -1,0 +1,144 @@
+// Customize reproduces the Figure 3 scenario: a group receives a package
+// and refines it with the four §3.3 operators —
+//
+//	REMOVE(T, CI)                     drop a transportation stop
+//	ADD("Tour Montparnasse", CI)      add a chosen attraction
+//	REPLACE(H, CI)                    the system recommends the closest swap
+//	GENERATE(RECTANGLE(x, y, w, h))   build a new CI inside a map area
+//
+// and shows how the interactions refine the group profile (batch
+// strategy) so the next build fits better.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grouptravel"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/render"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/sim"
+)
+
+func main() {
+	city, err := grouptravel.GenerateCity(dataset.TestSpec("Paris", 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := grouptravel.NewEngine(city)
+	if err != nil {
+		log.Fatal(err)
+	}
+	group, err := profile.GenerateUniformGroup(city.Schema, 4, rng.New(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gp, err := grouptravel.GroupProfile(group, grouptravel.PairwiseDis)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tp, err := engine.Build(gp, grouptravel.DefaultQuery(), grouptravel.DefaultParams(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== generated package ===")
+	fmt.Print(render.Package(tp))
+
+	sess, err := grouptravel.NewSession(city, tp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// REMOVE: member 0 drops the transportation stop of day 1.
+	var transID int
+	for _, it := range sess.Package().CIs[0].Items {
+		if it.Cat == grouptravel.Trans {
+			transID = it.ID
+			break
+		}
+	}
+	if err := sess.Remove(0, 0, transID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nREMOVE: member 0 removed transportation POI %d from CI 1\n", transID)
+
+	// ADD: member 1 browses the closest attractions and adds the top one.
+	cands, err := sess.AddCandidates(0, grouptravel.Attr, "", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nADD: closest attraction candidates near CI 1:")
+	for _, c := range cands {
+		fmt.Printf("  %-28s %-10s %s\n", c.Name, c.Type, c.Coord)
+	}
+	if err := sess.Add(1, 0, cands[0].ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("member 1 added %q\n", cands[0].Name)
+
+	// REPLACE: member 2 swaps the day-2 restaurant; the system recommends
+	// the geographically closest same-category POI.
+	var restID int
+	var restName string
+	for _, it := range sess.Package().CIs[1].Items {
+		if it.Cat == grouptravel.Rest {
+			restID, restName = it.ID, it.Name
+			break
+		}
+	}
+	repl, err := sess.Replace(2, 1, restID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nREPLACE: member 2 replaced %q — the system suggests %q (%.0f m away)\n",
+		restName, repl.Name, 1000*distKm(city, restID, repl.ID))
+
+	// GENERATE: member 3 draws a rectangle over the city center and gets a
+	// brand-new valid, cohesive CI there.
+	b := city.POIs.Bounds()
+	rect := grouptravel.Rect{
+		Lat: b.Lat - b.Height*0.3, Lon: b.Lon + b.Width*0.3,
+		Width: b.Width * 0.4, Height: b.Height * 0.4,
+	}
+	newCI, err := sess.Generate(3, rect)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGENERATE: member 3 drew a rectangle; new CI with %d POIs centered at %s\n",
+		len(newCI.Items), newCI.Centroid)
+
+	// Refine the group profile from the session log (batch strategy) and
+	// rebuild: the next package reflects the implicit feedback.
+	refined, err := grouptravel.RefineBatch(gp, sess.Log())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rebuilt, err := engine.Build(refined, grouptravel.DefaultQuery(), grouptravel.DefaultParams(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== after %d interactions, profile refined (batch) — fit before/after ===\n", len(sess.Log()))
+	before, after := meanUtility(group, tp), meanUtility(group, rebuilt)
+	fmt.Printf("mean member utility: %.3f -> %.3f\n", before, after)
+	fmt.Println("\n=== rebuilt package ===")
+	fmt.Print(render.Package(rebuilt))
+}
+
+func distKm(city *grouptravel.City, a, b int) float64 {
+	pa, pb := city.POIs.ByID(a), city.POIs.ByID(b)
+	if pa == nil || pb == nil {
+		return 0
+	}
+	return geo.Equirectangular(pa.Coord, pb.Coord)
+}
+
+func meanUtility(g *profile.Group, tp *grouptravel.TravelPackage) float64 {
+	s := 0.0
+	for _, m := range g.Members {
+		s += sim.Utility(m, tp)
+	}
+	return s / float64(g.Size())
+}

@@ -1,0 +1,80 @@
+// Quickstart walks the Figure 2 flow of the paper end to end:
+//
+//	individual profiles ──consensus──▶ group profile ─┐
+//	city POIs + group query ──────────────────────────┴─▶ travel package
+//
+// Two travelers rate POI types on the 0–5 scale of §2.2, their profiles
+// are aggregated with a consensus function, and the engine builds a
+// personalized 3-day package.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grouptravel"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/render"
+)
+
+func main() {
+	// A small synthetic Paris (deterministic). Use grouptravel.NewCity for
+	// the paper-scale eight TourPedia cities.
+	city, err := grouptravel.GenerateCity(dataset.TestSpec("Paris", 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := grouptravel.NewEngine(city)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rate what the schema offers: accommodation/transportation types are
+	// fixed; restaurant/attraction dimensions are LDA topics labeled by
+	// their representative tags.
+	fmt.Println("attraction topics to rate:")
+	for i, label := range city.Schema.Labels(grouptravel.Attr) {
+		fmt.Printf("  %d: %s\n", i, label)
+	}
+
+	ratings := func(vals map[grouptravel.Category][]float64) *grouptravel.Profile {
+		p, err := grouptravel.ProfileFromRatings(city.Schema, vals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	// Alice: museums and fine dining; hates hostels.
+	alice := ratings(map[grouptravel.Category][]float64{
+		grouptravel.Acco:  {5, 0, 0, 3, 2, 1, 0, 0},
+		grouptravel.Trans: {3, 4, 5, 1, 0, 2, 1, 0},
+		grouptravel.Rest:  {2, 3, 5, 2, 0, 1},
+		grouptravel.Attr:  {5, 2, 4, 1, 2, 3},
+	})
+	// Bob: parks, street food, bikes.
+	bob := ratings(map[grouptravel.Category][]float64{
+		grouptravel.Acco:  {2, 4, 1, 0, 3, 2, 1, 1},
+		grouptravel.Trans: {1, 2, 3, 2, 0, 5, 0, 1},
+		grouptravel.Rest:  {1, 2, 0, 3, 5, 2},
+		grouptravel.Attr:  {1, 5, 2, 2, 1, 4},
+	})
+
+	group, err := grouptravel.NewGroup(city.Schema, []*grouptravel.Profile{alice, bob})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngroup uniformity: %.2f\n", group.Uniformity())
+
+	// Aggregate with average preference + pair-wise disagreement (§2.3).
+	gp, err := grouptravel.GroupProfile(group, grouptravel.PairwiseDis)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tp, err := engine.Build(gp, grouptravel.DefaultQuery(), grouptravel.DefaultParams(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(render.Package(tp))
+}

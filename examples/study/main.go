@@ -1,0 +1,126 @@
+// Study walks the §4.4.1 user-study pipeline end to end, at a reduced
+// scale: recruit a participant pool, prune invalid registrations, form
+// groups of target size and uniformity *from the pool* (not synthesized
+// directly — exactly as the paper assembled groups from its 3000 crowd
+// workers), build the six package variants, filter careless raters with
+// the invalid-CI honeypot, and report a Table 4-style evaluation row.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grouptravel"
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/sim"
+	"grouptravel/internal/stats"
+)
+
+func main() {
+	city, err := grouptravel.GenerateCity(dataset.TestSpec("Paris", 77))
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := grouptravel.NewEngine(city)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := rng.New(2019)
+
+	// Eq. 5 justified the paper's sample: with N = 200000 crowd workers,
+	// 3% margin, 95% confidence, they needed at least 1062 participants.
+	n, err := stats.SampleSize(200000, 0.03, stats.Z95, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Eq. 5 sample size for the real study: %d participants\n", n)
+
+	// Recruit (scaled down 10x here) and prune invalid registrations —
+	// the paper retained 90.1% and 96.6% on its two platforms. Real crowd
+	// pools contain taste *segments* (museum people, foodies, families),
+	// so the simulated pool mixes like-minded personas with independents;
+	// without segments no subset of independent raters reaches the
+	// uniform band.
+	poolSrc := src.Split("pool")
+	var pool []*profile.Profile
+	for persona := 0; persona < 20; persona++ {
+		seg, err := profile.GenerateUniformGroup(city.Schema, 12, poolSrc.Split("persona"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool = append(pool, seg.Members...)
+	}
+	pool = append(pool, profile.GeneratePool(city.Schema, 60, poolSrc)...)
+	recruited := len(pool)
+	pruned := pool[:0]
+	for i, p := range pool {
+		if i%12 == 11 { // ~8% invalid emails/identifiers
+			continue
+		}
+		pruned = append(pruned, p)
+	}
+	fmt.Printf("recruited %d simulated participants, retained %d after pruning\n",
+		recruited, len(pruned))
+
+	// Form a uniform group of 10 from the pool. Random dense profiles are
+	// already fairly similar; the greedy pool search finds a like-minded
+	// subset inside the band.
+	group, err := profile.FormGroup(city.Schema, pruned, 10, profile.UniformBand, src.Split("form"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("formed a group of %d with uniformity %.2f\n\n", group.Size(), group.Uniformity())
+
+	// The six §4.4.3 package variants.
+	params := grouptravel.DefaultParams(5)
+	variants := map[string]*grouptravel.TravelPackage{}
+	var legit []*grouptravel.TravelPackage
+	for _, m := range consensus.Methods {
+		gp, err := grouptravel.GroupProfile(group, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tp, err := engine.Build(gp, grouptravel.DefaultQuery(), params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		variants[m.Name] = tp
+		legit = append(legit, tp)
+	}
+	nptp, err := engine.Build(nil, grouptravel.DefaultQuery(), params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	variants["non-personalized"] = nptp
+	legit = append(legit, nptp)
+	random, err := engine.BuildRandom(grouptravel.DefaultQuery(), 5, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	variants["random"] = random
+	legit = append(legit, random)
+
+	// Honeypot filter, then the independent evaluation.
+	honeypot, err := engine.BuildHoneypot(grouptravel.DefaultQuery(), 5, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	panel, err := sim.NewPanel(group, 0.066, src.Split("panel"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	keep := panel.FilterByHoneypot(honeypot, legit)
+	fmt.Printf("honeypot filter: retained %d of %d raters\n\n", len(keep), len(panel.Raters))
+
+	scores := panel.IndependentEval(variants, keep)
+	fmt.Println("independent evaluation (mean interest, 1-5):")
+	order := []string{"random", "non-personalized",
+		consensus.AveragePref.Name, consensus.LeastMisery.Name,
+		consensus.PairwiseDis.Name, consensus.VarianceDis.Name}
+	for _, name := range order {
+		fmt.Printf("  %-24s %.2f\n", name, scores[name])
+	}
+}

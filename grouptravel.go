@@ -1,0 +1,218 @@
+// Package grouptravel is the public API of the GroupTravel reproduction —
+// a framework that generates customized travel packages (TPs) for groups
+// of travelers, after "GroupTravel: Customizing Travel Packages for
+// Groups" (Amer-Yahia, Elbassuoni, Omidvar-Tehrani, Borromeo, Farokhnejad;
+// EDBT 2019).
+//
+// A travel package is a set of k Composite Items (CIs); each CI bundles
+// POIs of requested categories (accommodation, transportation, restaurant,
+// attraction) under a budget. Packages are simultaneously valid
+// (satisfying the group query), representative (covering the city),
+// cohesive (each CI geographically compact) and personalized (matching a
+// group profile aggregated from member preferences by a consensus
+// function). Groups can then customize a package interactively — REMOVE,
+// ADD, REPLACE, GENERATE — and the interactions refine the group profile
+// for future trips.
+//
+// # Quick start
+//
+//	city, _ := grouptravel.NewCity("Paris")
+//	engine, _ := grouptravel.NewEngine(city)
+//
+//	alice, _ := grouptravel.ProfileFromRatings(city.Schema, ratings)
+//	group, _ := grouptravel.NewGroup(city.Schema, []*grouptravel.Profile{alice, bob})
+//	gp, _ := grouptravel.GroupProfile(group, grouptravel.PairwiseDis)
+//
+//	tp, _ := engine.Build(gp, grouptravel.DefaultQuery(), grouptravel.DefaultParams(5))
+//
+// See examples/ for complete programs, and internal packages for the
+// substrates (fuzzy clustering, LDA, synthetic city generation, the
+// simulated user study and the experiment harness reproducing the paper's
+// tables).
+package grouptravel
+
+import (
+	"io"
+
+	"grouptravel/internal/ci"
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/route"
+	"grouptravel/internal/store"
+)
+
+// Re-exported core types. Each alias carries the full documentation of its
+// defining package.
+type (
+	// Point is a geographic coordinate (latitude, longitude in degrees).
+	Point = geo.Point
+	// Rect is the rectangle of the GENERATE customization operator.
+	Rect = geo.Rect
+	// POI is a point of interest (Table 1 of the paper).
+	POI = poi.POI
+	// Category is one of acco, trans, rest, attr.
+	Category = poi.Category
+	// Schema maps categories to vector dimensions shared by items and profiles.
+	Schema = poi.Schema
+	// City is a POI dataset with its schema and topic models.
+	City = dataset.City
+	// Spec configures synthetic city generation.
+	Spec = dataset.Spec
+	// Profile is a user's (or group's aggregated) travel profile.
+	Profile = profile.Profile
+	// Group is a set of member profiles.
+	Group = profile.Group
+	// ConsensusMethod aggregates member profiles into a group profile.
+	ConsensusMethod = consensus.Method
+	// Query is the group query ⟨#acco, #trans, #rest, #attr, B⟩.
+	Query = query.Query
+	// CI is a Composite Item.
+	CI = ci.CI
+	// TravelPackage is a set of k CIs built for a group.
+	TravelPackage = core.TravelPackage
+	// Params are the Eq. 1 weights and algorithm controls.
+	Params = core.Params
+	// Engine builds travel packages for one city.
+	Engine = core.Engine
+	// Session is an interactive customization session.
+	Session = interact.Session
+	// Op is one logged customization operation.
+	Op = interact.Op
+)
+
+// POI categories.
+const (
+	Acco  = poi.Acco
+	Trans = poi.Trans
+	Rest  = poi.Rest
+	Attr  = poi.Attr
+)
+
+// The paper's four consensus methods (§4.1).
+var (
+	AveragePref = consensus.AveragePref
+	LeastMisery = consensus.LeastMisery
+	PairwiseDis = consensus.PairwiseDis
+	VarianceDis = consensus.VarianceDis
+	// ConsensusMethods lists all four in the paper's order.
+	ConsensusMethods = consensus.Methods
+)
+
+// NewCity generates one of the eight built-in TourPedia cities at paper
+// scale (deterministic per city name).
+func NewCity(name string) (*City, error) { return dataset.BuiltinCity(name) }
+
+// GenerateCity builds a synthetic city from a custom Spec.
+func GenerateCity(spec Spec) (*City, error) { return dataset.Generate(spec) }
+
+// LoadCity reads a city saved with (*City).SaveJSON.
+func LoadCity(r io.Reader) (*City, error) { return dataset.LoadJSON(r) }
+
+// NewEngine prepares a travel-package engine over a city.
+func NewEngine(city *City) (*Engine, error) { return core.NewEngine(city) }
+
+// DefaultQuery returns the paper's default ⟨1 acco, 1 trans, 1 rest,
+// 3 attr⟩ query with unlimited budget.
+func DefaultQuery() Query { return query.Default() }
+
+// NewQuery builds a query with explicit category counts and budget.
+func NewQuery(acco, trans, rest, attr int, budget float64) (Query, error) {
+	return query.New(acco, trans, rest, attr, budget)
+}
+
+// DefaultParams returns the default Eq. 1 parameters for k CIs.
+func DefaultParams(k int) Params { return core.DefaultParams(k) }
+
+// NewProfile returns an all-zero profile for the schema.
+func NewProfile(schema *Schema) *Profile { return profile.New(schema) }
+
+// ProfileFromRatings builds a profile from 0–5 ratings per category,
+// normalized as in §2.2.
+func ProfileFromRatings(schema *Schema, ratings map[Category][]float64) (*Profile, error) {
+	return profile.FromRatings(schema, ratings)
+}
+
+// NewGroup assembles member profiles into a travel group.
+func NewGroup(schema *Schema, members []*Profile) (*Group, error) {
+	return profile.NewGroup(schema, members)
+}
+
+// GroupProfile aggregates a group into a single profile with the given
+// consensus method (§2.3).
+func GroupProfile(g *Group, method ConsensusMethod) (*Profile, error) {
+	return consensus.GroupProfile(g, method)
+}
+
+// NewSession starts an interactive customization session over a package
+// (§3.3). The original package is not mutated.
+func NewSession(city *City, tp *TravelPackage) (*Session, error) {
+	return interact.NewSession(city, tp)
+}
+
+// RefineBatch applies the batch profile-refinement strategy to a group
+// profile from a session's operation log.
+func RefineBatch(groupProfile *Profile, ops []Op) (*Profile, error) {
+	return interact.RefineBatch(groupProfile, ops)
+}
+
+// RefineIndividual applies the individual strategy: refine each member's
+// profile from their own operations, then re-aggregate.
+func RefineIndividual(g *Group, method ConsensusMethod, ops []Op) (*Group, *Profile, error) {
+	return interact.RefineIndividual(g, method, ops)
+}
+
+// GroupProfileWeighted aggregates member profiles under per-member weights
+// (e.g. the trip organizer counts double). Weight-0 members are excluded.
+func GroupProfileWeighted(g *Group, method ConsensusMethod, weights []float64) (*Profile, error) {
+	return consensus.GroupProfileWeighted(g, method, weights)
+}
+
+// Extension consensus methods beyond the paper's four (see
+// internal/consensus): the optimistic most-pleasure aggregation and
+// average-without-misery with a veto threshold of 0.1.
+var (
+	MostPleasure = consensus.MostPleasure
+	AvgNoMisery  = consensus.AvgNoMisery
+)
+
+// DayPlan is an ordered walking route through one CI's items.
+type DayPlan = route.Plan
+
+// PlanDay orders a CI's POIs into a walking route starting at its
+// accommodation (nearest-neighbor construction + 2-opt improvement).
+func PlanDay(c *CI) (DayPlan, error) { return route.PlanDay(c) }
+
+// PlanPackage orders every CI of a package.
+func PlanPackage(tp *TravelPackage) ([]DayPlan, error) { return route.PlanPackage(tp.CIs) }
+
+// SaveProfile / LoadProfile persist a travel profile as versioned JSON.
+func SaveProfile(w io.Writer, p *Profile) error { return store.SaveProfile(w, p) }
+
+// LoadProfile reads a profile saved with SaveProfile, validated against
+// the schema.
+func LoadProfile(r io.Reader, schema *Schema) (*Profile, error) {
+	return store.LoadProfile(r, schema)
+}
+
+// SaveGroup / LoadGroup persist a whole group.
+func SaveGroup(w io.Writer, g *Group) error { return store.SaveGroup(w, g) }
+
+// LoadGroup reads a group saved with SaveGroup.
+func LoadGroup(r io.Reader, schema *Schema) (*Group, error) {
+	return store.LoadGroup(r, schema)
+}
+
+// SavePackage / LoadPackage persist a travel package (POIs by id,
+// re-resolved against the same city on load).
+func SavePackage(w io.Writer, tp *TravelPackage) error { return store.SavePackage(w, tp) }
+
+// LoadPackage reads a package saved with SavePackage.
+func LoadPackage(r io.Reader, city *City) (*TravelPackage, error) {
+	return store.LoadPackage(r, city)
+}

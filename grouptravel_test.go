@@ -1,0 +1,200 @@
+package grouptravel
+
+import (
+	"bytes"
+	"testing"
+
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/metrics"
+)
+
+// TestFacadeEndToEnd walks the full public API surface exactly as the
+// quickstart documents it: city → profiles → group → consensus → package →
+// customization → refinement → rebuild.
+func TestFacadeEndToEnd(t *testing.T) {
+	city, err := GenerateCity(dataset.TestSpec("FacadeCity", 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(city)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkRatings := func(shift int) map[Category][]float64 {
+		r := map[Category][]float64{}
+		for _, c := range []Category{Acco, Trans, Rest, Attr} {
+			dim := city.Schema.Dim(c)
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = float64((j + shift) % 6)
+			}
+			r[c] = v
+		}
+		return r
+	}
+	alice, err := ProfileFromRatings(city.Schema, mkRatings(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := ProfileFromRatings(city.Schema, mkRatings(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := NewGroup(city.Schema, []*Profile{alice, bob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := GroupProfile(group, PairwiseDis)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tp, err := engine.Build(gp, DefaultQuery(), DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.CIs) != 4 || !tp.Valid() {
+		t.Fatal("facade build produced a bad package")
+	}
+
+	sess, err := NewSession(city, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Remove(0, 0, tp.CIs[0].Items[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	refined, err := RefineBatch(gp, sess.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RefineIndividual(group, PairwiseDis, sess.Log()); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := engine.Build(refined, DefaultQuery(), DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rebuilt.Valid() {
+		t.Fatal("rebuilt package invalid")
+	}
+}
+
+func TestFacadeCityIO(t *testing.T) {
+	city, err := GenerateCity(dataset.TestSpec("IOCity", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := city.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCity(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.POIs.Len() != city.POIs.Len() {
+		t.Fatal("round trip changed the city")
+	}
+}
+
+func TestFacadeQueryAndMethods(t *testing.T) {
+	q, err := NewQuery(1, 1, 2, 1, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() != 5 {
+		t.Fatalf("query size = %d", q.Size())
+	}
+	if len(ConsensusMethods) != 4 {
+		t.Fatal("expected the paper's four consensus methods")
+	}
+	if DefaultQuery().Size() != 6 {
+		t.Fatal("default query wrong")
+	}
+}
+
+func TestFacadeRoutesAndPersistence(t *testing.T) {
+	city, err := GenerateCity(dataset.TestSpec("RPCity", 34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, _ := NewEngine(city)
+	tp, err := engine.Build(nil, DefaultQuery(), DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := PlanPackage(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 3 {
+		t.Fatalf("got %d plans", len(plans))
+	}
+	one, err := PlanDay(tp.CIs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.LengthKm != plans[0].LengthKm {
+		t.Fatal("PlanDay and PlanPackage disagree")
+	}
+	var buf bytes.Buffer
+	if err := SavePackage(&buf, tp); err != nil {
+		t.Fatal(err)
+	}
+	tp2, err := LoadPackage(&buf, city)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp2.CIs) != len(tp.CIs) {
+		t.Fatal("package round trip lost CIs")
+	}
+}
+
+func TestFacadeWeightedConsensus(t *testing.T) {
+	city, err := GenerateCity(dataset.TestSpec("WCity", 35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewProfile(city.Schema)
+	b := NewProfile(city.Schema)
+	va := make([]float64, city.Schema.Dim(Attr))
+	vb := make([]float64, city.Schema.Dim(Attr))
+	va[0], vb[1] = 0.9, 0.9
+	_ = a.SetVector(Attr, va)
+	_ = b.SetVector(Attr, vb)
+	g, err := NewGroup(city.Schema, []*Profile{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := GroupProfileWeighted(g, AveragePref, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Vector(Attr)[0] <= gp.Vector(Attr)[1] {
+		t.Fatal("weighting ignored")
+	}
+	// The extension methods are valid and usable.
+	if _, err := GroupProfile(g, MostPleasure); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GroupProfile(g, AvgNoMisery); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMetricsInterop(t *testing.T) {
+	city, err := GenerateCity(dataset.TestSpec("MCity", 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, _ := NewEngine(city)
+	tp, err := engine.Build(nil, DefaultQuery(), DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Representativity(tp.CIs) <= 0 {
+		t.Fatal("facade package not measurable")
+	}
+}

@@ -1,0 +1,211 @@
+package grouptravel
+
+// Integration test: one end-to-end journey across every major subsystem —
+// generate a city, form a group from a recruited pool, build a budgeted
+// package with distinct days, order the days into walking routes,
+// customize through a session and through every collaboration model,
+// refine with both strategies, persist and reload everything, and rebuild
+// in a second city.
+
+import (
+	"bytes"
+	"testing"
+
+	"grouptravel/internal/collab"
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/metrics"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/sim"
+)
+
+func TestEndToEndJourney(t *testing.T) {
+	// --- city + engine ---
+	paris, err := GenerateCity(dataset.TestSpec("Paris", 777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(paris)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- recruit a pool and form the travel group from it ---
+	src := rng.New(42)
+	var pool []*Profile
+	for s := 0; s < 6; s++ {
+		seg, err := profile.GenerateUniformGroup(paris.Schema, 10, src.Split("seg"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, seg.Members...)
+	}
+	group, err := profile.FormGroup(paris.Schema, pool, 6, profile.UniformBand, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- weighted consensus: the organizer (member 0) counts double ---
+	weights := []float64{2, 1, 1, 1, 1, 1}
+	gp, err := GroupProfileWeighted(group, PairwiseDis, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- budgeted, distinct-day build ---
+	q, err := NewQuery(1, 1, 1, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams(4)
+	params.DistinctItems = true
+	tp, err := engine.Build(gp, q, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Valid() {
+		t.Fatal("package invalid")
+	}
+	seen := map[int]bool{}
+	for _, c := range tp.CIs {
+		if c.Cost() > q.Budget {
+			t.Fatalf("day over budget: %v", c.Cost())
+		}
+		for _, it := range c.Items {
+			if seen[it.ID] {
+				t.Fatal("distinct mode repeated a POI")
+			}
+			seen[it.ID] = true
+		}
+	}
+
+	// --- walking routes ---
+	plans, err := PlanPackage(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plans {
+		if len(p.Order) != len(tp.CIs[i].Items) || p.LengthKm <= 0 {
+			t.Fatalf("bad plan %d: %+v", i, p)
+		}
+	}
+
+	// --- customization: direct session ops + a collaboration round ---
+	sess, err := NewSession(paris, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := sess.Package().CIs[0].Items[2]
+	reqs := []collab.Request{
+		{Member: 1, Kind: interact.OpRemove, CIIndex: 0, POIID: victim.ID},
+		{Member: 2, Kind: interact.OpReplace, CIIndex: 0, POIID: victim.ID},
+		{Member: 3, Kind: interact.OpRemove, CIIndex: 0, POIID: victim.ID},
+	}
+	outcomes, err := collab.RunHybrid(sess, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if collab.AppliedCount(outcomes) != 1 {
+		t.Fatalf("hybrid outcomes: %+v", outcomes)
+	}
+	if err := sim.SimulateCustomization(sess, group, sim.DefaultCustomizeOptions(), src.Split("ops")); err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Log()) < 2 {
+		t.Fatalf("too few interactions: %d", len(sess.Log()))
+	}
+
+	// --- refinement, both strategies ---
+	batchGP, err := RefineBatch(gp, sess.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, indivGP, err := RefineIndividual(group, PairwiseDis, sess.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- persistence round trips ---
+	var buf bytes.Buffer
+	if err := SaveGroup(&buf, group); err != nil {
+		t.Fatal(err)
+	}
+	group2, err := LoadGroup(&buf, paris.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if group2.Size() != group.Size() {
+		t.Fatal("group round trip lost members")
+	}
+	buf.Reset()
+	if err := SaveProfile(&buf, batchGP); err != nil {
+		t.Fatal(err)
+	}
+	batchGP2, err := LoadProfile(&buf, paris.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := SavePackage(&buf, tp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPackage(&buf, paris); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- cross-city rebuild with the reloaded refined profile ---
+	spec := dataset.TestSpec("Barcelona", 778)
+	spec.Center = Point{Lat: 41.3874, Lon: 2.1686}
+	barcelona, err := GenerateCity(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	barcaEngine, err := NewEngine(barcelona)
+	if err != nil {
+		t.Fatal(err)
+	}
+	barcaTP, err := barcaEngine.Build(batchGP2, DefaultQuery(), DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !barcaTP.Valid() {
+		t.Fatal("Barcelona package invalid")
+	}
+	// The refined profile must fit the group at least as well as a
+	// non-personalized build.
+	plain, err := barcaEngine.Build(nil, DefaultQuery(), DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanU := func(tp *TravelPackage) float64 {
+		s := 0.0
+		for _, m := range group.Members {
+			s += sim.Utility(m, tp)
+		}
+		return s / float64(group.Size())
+	}
+	if meanU(barcaTP) < meanU(plain) {
+		t.Fatalf("refined cross-city package (%v) fits worse than non-personalized (%v)",
+			meanU(barcaTP), meanU(plain))
+	}
+
+	// --- metrics consistency on the final artifact ---
+	d := barcaTP.Measure()
+	if d.Representativity <= 0 || metrics.Personalization(barcaTP.CIs, batchGP2) <= 0 {
+		t.Fatalf("degenerate final metrics: %+v", d)
+	}
+
+	// The individual strategy also yields a buildable profile.
+	indivTP, err := barcaEngine.Build(indivGP, DefaultQuery(), DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !indivTP.Valid() {
+		t.Fatal("individual-refined package invalid")
+	}
+	if len(consensus.Methods) != 4 {
+		t.Fatal("the paper's four methods must stay available")
+	}
+}

@@ -1,0 +1,269 @@
+// Package ci implements Composite Items (§3.1–3.2): sets of POIs of
+// prescribed categories under a budget, and the construction of the best
+// valid CI in the vicinity of a fuzzy-clustering centroid — the inner
+//
+//	max_{CI_j ∈ V} ( β Σ_{i∈CI_j} (1 − d(i, μ_j)) + γ Σ_{i∈CI_j} cos(®i, ®g) )
+//
+// term of the paper's objective (Eq. 1).
+package ci
+
+import (
+	"fmt"
+	"sort"
+
+	"grouptravel/internal/geo"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/vec"
+)
+
+// CI is a Composite Item: a set of POIs plus the centroid it was built
+// around. Items are ordered by category then descending score, which is
+// also a stable presentation order for UIs (Fig. 1 shows CIs as day plans).
+type CI struct {
+	Items    []*poi.POI
+	Centroid geo.Point
+}
+
+// Cost returns the total cost of the CI's items (the budget side of the
+// §3.1 validity predicate).
+func (c *CI) Cost() float64 {
+	total := 0.0
+	for _, it := range c.Items {
+		total += it.Cost
+	}
+	return total
+}
+
+// Center returns the mean coordinate of the CI's items, or the stored
+// centroid for an empty CI. Core uses this to re-anchor centroids between
+// refinement rounds.
+func (c *CI) Center() geo.Point {
+	if len(c.Items) == 0 {
+		return c.Centroid
+	}
+	pts := make([]geo.Point, len(c.Items))
+	for i, it := range c.Items {
+		pts[i] = it.Coord
+	}
+	return geo.Centroid(pts, nil)
+}
+
+// PairwiseDistanceSum returns Σ_{i,j∈CI} d(i,j) over unordered pairs in km
+// — the inner sum of the cohesiveness measure (Eq. 3).
+func (c *CI) PairwiseDistanceSum() float64 {
+	sum := 0.0
+	for i := 0; i < len(c.Items); i++ {
+		for j := i + 1; j < len(c.Items); j++ {
+			sum += geo.Equirectangular(c.Items[i].Coord, c.Items[j].Coord)
+		}
+	}
+	return sum
+}
+
+// Contains reports whether the CI holds the POI with the given id.
+func (c *CI) Contains(id int) bool {
+	for _, it := range c.Items {
+		if it.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a shallow copy of the CI (POIs are shared, immutable data).
+func (c *CI) Clone() *CI {
+	items := make([]*poi.POI, len(c.Items))
+	copy(items, c.Items)
+	return &CI{Items: items, Centroid: c.Centroid}
+}
+
+// Builder constructs the best valid CI near a centroid. One Builder is
+// reusable across centroids and refinement rounds.
+type Builder struct {
+	Coll  *poi.Collection
+	Query query.Query
+	// Group is the group profile ®g; nil builds non-personalized CIs
+	// (equivalent to γ = 0).
+	Group *profile.Profile
+	// Beta and Gamma weigh centroid proximity and personalization in the
+	// per-item score β(1−d(i,μ)) + γ·cos(®i, ®g) (Eq. 1).
+	Beta  float64
+	Gamma float64
+	// Norm converts km distances to the normalized [0,1] distances of
+	// Eq. 1; use Coll.Normalizer() unless experimenting.
+	Norm geo.Normalizer
+}
+
+// Validate checks the builder configuration.
+func (b *Builder) Validate() error {
+	if b.Coll == nil {
+		return fmt.Errorf("ci: nil collection")
+	}
+	if err := b.Query.Validate(); err != nil {
+		return err
+	}
+	if b.Beta < 0 || b.Gamma < 0 {
+		return fmt.Errorf("ci: negative objective weights (beta=%v gamma=%v)", b.Beta, b.Gamma)
+	}
+	return b.Query.Feasible(b.Coll)
+}
+
+// Score returns the per-item objective contribution for an item relative
+// to centroid mu: β(1−d(i,μ)) + γ·cos(®i, ®g_cat).
+func (b *Builder) Score(it *poi.POI, mu geo.Point) float64 {
+	s := b.Beta * (1 - b.Norm.Distance(it.Coord, mu))
+	if b.Group != nil && b.Gamma > 0 {
+		s += b.Gamma * vec.Cosine(it.Vector, b.Group.Vector(it.Cat))
+	}
+	return s
+}
+
+// scored pairs a candidate with its score for one centroid.
+type scored struct {
+	item  *poi.POI
+	score float64
+}
+
+// Build constructs the best valid CI around mu. exclude (may be nil) lists
+// POI ids that must not be used — the REMOVE customization operator and
+// "generate a new CI avoiding current items" both need it.
+//
+// Algorithm: per category, rank candidates by score and take the top
+// #c_j; if the budget is exceeded, run a swap-repair local search that
+// replaces expensive picks with cheaper candidates at minimal score loss.
+// Returns an error if no valid CI exists (infeasible counts or budget).
+func (b *Builder) Build(mu geo.Point, exclude map[int]bool) (*CI, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	// Rank candidates per category.
+	var perCat [poi.NumCategories][]scored
+	for _, cat := range poi.Categories {
+		want := b.Query.Counts[cat]
+		if want == 0 {
+			continue
+		}
+		cands := b.Coll.ByCategory(cat)
+		list := make([]scored, 0, len(cands))
+		for _, it := range cands {
+			if exclude != nil && exclude[it.ID] {
+				continue
+			}
+			list = append(list, scored{it, b.Score(it, mu)})
+		}
+		if len(list) < want {
+			return nil, fmt.Errorf("ci: only %d available %s POIs, query wants %d",
+				len(list), cat, want)
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].score != list[j].score {
+				return list[i].score > list[j].score
+			}
+			return list[i].item.ID < list[j].item.ID
+		})
+		perCat[cat] = list
+	}
+
+	// Greedy top-k per category.
+	selected := make([]scored, 0, b.Query.Size())
+	selIdx := make(map[int]int) // POI id -> index in its category ranking
+	for _, cat := range poi.Categories {
+		for i := 0; i < b.Query.Counts[cat]; i++ {
+			s := perCat[cat][i]
+			selected = append(selected, s)
+			selIdx[s.item.ID] = i
+		}
+	}
+
+	if !b.Query.Unbounded() {
+		var err error
+		selected, err = b.repairBudget(selected, perCat, selIdx)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	items := make([]*poi.POI, len(selected))
+	for i, s := range selected {
+		items[i] = s.item
+	}
+	out := &CI{Items: items, Centroid: mu}
+	if err := b.Query.CheckCI(out.Items); err != nil {
+		return nil, fmt.Errorf("ci: construction produced invalid CI: %w", err)
+	}
+	return out, nil
+}
+
+// repairBudget swaps selected items for cheaper same-category candidates
+// until the budget holds, minimizing score loss per unit of cost saved.
+func (b *Builder) repairBudget(selected []scored, perCat [poi.NumCategories][]scored, selIdx map[int]int) ([]scored, error) {
+	cost := 0.0
+	for _, s := range selected {
+		cost += s.item.Cost
+	}
+	for cost > b.Query.Budget {
+		bestSel, bestCand := -1, -1
+		bestRatio := 0.0
+		for si, s := range selected {
+			cat := s.item.Cat
+			for ci, cand := range perCat[cat] {
+				if _, taken := selIdx[cand.item.ID]; taken {
+					continue
+				}
+				saving := s.item.Cost - cand.item.Cost
+				if saving <= 0 {
+					continue
+				}
+				loss := s.score - cand.score // >= 0: candidates rank below
+				ratio := loss / saving
+				if bestSel == -1 || ratio < bestRatio {
+					bestSel, bestCand, bestRatio = si, ci, ratio
+				}
+			}
+		}
+		if bestSel == -1 {
+			return nil, fmt.Errorf("ci: no valid CI within budget %.3f (cheapest selection costs %.3f)",
+				b.Query.Budget, b.cheapestCost(perCat))
+		}
+		old := selected[bestSel]
+		neu := perCat[old.item.Cat][bestCand]
+		delete(selIdx, old.item.ID)
+		selIdx[neu.item.ID] = bestCand
+		cost += neu.item.Cost - old.item.Cost
+		selected[bestSel] = neu
+	}
+	return selected, nil
+}
+
+// cheapestCost returns the minimum achievable CI cost — used only for the
+// infeasibility error message.
+func (b *Builder) cheapestCost(perCat [poi.NumCategories][]scored) float64 {
+	total := 0.0
+	for _, cat := range poi.Categories {
+		want := b.Query.Counts[cat]
+		if want == 0 {
+			continue
+		}
+		costs := make([]float64, len(perCat[cat]))
+		for i, s := range perCat[cat] {
+			costs[i] = s.item.Cost
+		}
+		sort.Float64s(costs)
+		for i := 0; i < want && i < len(costs); i++ {
+			total += costs[i]
+		}
+	}
+	return total
+}
+
+// ObjectiveValue returns the CI's contribution to the second line of Eq. 1:
+// β Σ (1−d(i,μ)) + γ Σ cos(®i, ®g), using the builder's weights.
+func (b *Builder) ObjectiveValue(c *CI) float64 {
+	total := 0.0
+	for _, it := range c.Items {
+		total += b.Score(it, c.Centroid)
+	}
+	return total
+}

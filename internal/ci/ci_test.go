@@ -1,0 +1,291 @@
+package ci
+
+import (
+	"math"
+	"testing"
+
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/vec"
+)
+
+func testCity(t *testing.T) *dataset.City {
+	t.Helper()
+	c, err := dataset.Generate(dataset.TestSpec("CITest", 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func builderFor(t *testing.T, city *dataset.City, q query.Query, grp *profile.Profile, beta, gamma float64) *Builder {
+	t.Helper()
+	return &Builder{
+		Coll:  city.POIs,
+		Query: q,
+		Group: grp,
+		Beta:  beta,
+		Gamma: gamma,
+		Norm:  city.POIs.Normalizer(),
+	}
+}
+
+func TestBuildValidCI(t *testing.T) {
+	city := testCity(t)
+	b := builderFor(t, city, query.Default(), nil, 1, 0)
+	mu := dataset.BuiltinCenters["Paris"]
+	c, err := b.Build(mu, nil)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := b.Query.CheckCI(c.Items); err != nil {
+		t.Fatalf("built CI invalid: %v", err)
+	}
+	if len(c.Items) != b.Query.Size() {
+		t.Fatalf("CI has %d items, want %d", len(c.Items), b.Query.Size())
+	}
+}
+
+func TestBuildPicksNearbyWhenGeographic(t *testing.T) {
+	// With β=1, γ=0, the built CI must be (weakly) closer to the centroid
+	// than a random valid CI.
+	city := testCity(t)
+	b := builderFor(t, city, query.Default(), nil, 1, 0)
+	mu := city.POIs.All()[0].Coord
+	c, err := b.Build(mu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanDist := func(items []*poi.POI) float64 {
+		s := 0.0
+		for _, it := range items {
+			s += geo.Equirectangular(it.Coord, mu)
+		}
+		return s / float64(len(items))
+	}
+	// Reference: centroid-agnostic pick (first #c per category).
+	var ref []*poi.POI
+	for _, cat := range poi.Categories {
+		ref = append(ref, city.POIs.ByCategory(cat)[:b.Query.Counts[cat]]...)
+	}
+	if meanDist(c.Items) > meanDist(ref) {
+		t.Fatalf("geographic build (%v km) no closer than arbitrary pick (%v km)",
+			meanDist(c.Items), meanDist(ref))
+	}
+}
+
+func TestBuildPersonalizationChangesSelection(t *testing.T) {
+	city := testCity(t)
+	src := rng.New(5)
+	grp := profile.GenerateRandomProfile(city.Schema, src)
+	mu := dataset.BuiltinCenters["Paris"]
+
+	plain := builderFor(t, city, query.Default(), nil, 1, 0)
+	pers := builderFor(t, city, query.Default(), grp, 0.1, 1)
+	c1, err := plain.Build(mu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := pers.Build(mu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The personalized CI must score higher under the group profile.
+	cosSum := func(c *CI) float64 {
+		s := 0.0
+		for _, it := range c.Items {
+			s += vec.Cosine(it.Vector, grp.Vector(it.Cat))
+		}
+		return s
+	}
+	if cosSum(c2) < cosSum(c1) {
+		t.Fatalf("personalized CI cosine %v below plain %v", cosSum(c2), cosSum(c1))
+	}
+}
+
+func TestBuildRespectsExclude(t *testing.T) {
+	city := testCity(t)
+	b := builderFor(t, city, query.Default(), nil, 1, 0)
+	mu := dataset.BuiltinCenters["Paris"]
+	first, err := b.Build(mu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exclude := map[int]bool{}
+	for _, it := range first.Items {
+		exclude[it.ID] = true
+	}
+	second, err := b.Build(mu, exclude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range second.Items {
+		if exclude[it.ID] {
+			t.Fatalf("excluded POI %d reused", it.ID)
+		}
+	}
+}
+
+func TestBuildBudgetRepair(t *testing.T) {
+	city := testCity(t)
+	// Find a budget between the cheapest possible CI and the unconstrained
+	// greedy's cost, forcing repair to run and succeed.
+	unconstrained := builderFor(t, city, query.Default(), nil, 1, 0)
+	mu := dataset.BuiltinCenters["Paris"]
+	c, err := unconstrained.Build(mu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedyCost := c.Cost()
+
+	q := query.MustNew(1, 1, 1, 3, greedyCost*0.75)
+	b := builderFor(t, city, q, nil, 1, 0)
+	repaired, err := b.Build(mu, nil)
+	if err != nil {
+		t.Fatalf("budget repair failed: %v", err)
+	}
+	if repaired.Cost() > q.Budget {
+		t.Fatalf("repaired CI costs %v over budget %v", repaired.Cost(), q.Budget)
+	}
+	if err := q.CheckCI(repaired.Items); err != nil {
+		t.Fatalf("repaired CI invalid: %v", err)
+	}
+}
+
+func TestBuildImpossibleBudget(t *testing.T) {
+	city := testCity(t)
+	q := query.MustNew(1, 1, 1, 3, 1e-9)
+	b := builderFor(t, city, q, nil, 1, 0)
+	if _, err := b.Build(dataset.BuiltinCenters["Paris"], nil); err == nil {
+		t.Fatal("impossible budget accepted")
+	}
+}
+
+func TestBuildInfeasibleCounts(t *testing.T) {
+	city := testCity(t)
+	q := query.MustNew(1, 1, 1, 10000, math.Inf(1))
+	b := builderFor(t, city, q, nil, 1, 0)
+	if _, err := b.Build(dataset.BuiltinCenters["Paris"], nil); err == nil {
+		t.Fatal("infeasible counts accepted")
+	}
+}
+
+func TestBuildExcludeCanMakeInfeasible(t *testing.T) {
+	city := testCity(t)
+	b := builderFor(t, city, query.Default(), nil, 1, 0)
+	exclude := map[int]bool{}
+	for _, it := range city.POIs.ByCategory(poi.Acco) {
+		exclude[it.ID] = true
+	}
+	if _, err := b.Build(dataset.BuiltinCenters["Paris"], exclude); err == nil {
+		t.Fatal("build succeeded with every accommodation excluded")
+	}
+}
+
+func TestBuilderValidate(t *testing.T) {
+	city := testCity(t)
+	bad := []*Builder{
+		{Coll: nil, Query: query.Default()},
+		{Coll: city.POIs, Query: query.Query{}},
+		{Coll: city.POIs, Query: query.Default(), Beta: -1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad builder %d accepted", i)
+		}
+	}
+}
+
+func TestCIHelpers(t *testing.T) {
+	city := testCity(t)
+	b := builderFor(t, city, query.Default(), nil, 1, 0)
+	c, err := b.Build(dataset.BuiltinCenters["Paris"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cost() <= 0 {
+		t.Fatalf("Cost = %v", c.Cost())
+	}
+	if c.PairwiseDistanceSum() < 0 {
+		t.Fatal("negative pairwise distance sum")
+	}
+	if !c.Contains(c.Items[0].ID) || c.Contains(-12345) {
+		t.Fatal("Contains wrong")
+	}
+	center := c.Center()
+	if !city.POIs.Bounds().Contains(center) {
+		t.Fatalf("CI center %v outside city bounds", center)
+	}
+	// Clone is independent at the slice level.
+	cl := c.Clone()
+	cl.Items[0] = nil
+	if c.Items[0] == nil {
+		t.Fatal("Clone shares item slice")
+	}
+	// Empty CI center falls back to the stored centroid.
+	empty := &CI{Centroid: geo.Point{Lat: 1, Lon: 2}}
+	if empty.Center() != (geo.Point{Lat: 1, Lon: 2}) {
+		t.Fatal("empty CI center wrong")
+	}
+}
+
+func TestObjectiveValueMatchesScoreSum(t *testing.T) {
+	city := testCity(t)
+	src := rng.New(7)
+	grp := profile.GenerateRandomProfile(city.Schema, src)
+	b := builderFor(t, city, query.Default(), grp, 0.7, 0.9)
+	c, err := b.Build(dataset.BuiltinCenters["Paris"], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, it := range c.Items {
+		want += b.Score(it, c.Centroid)
+	}
+	if got := b.ObjectiveValue(c); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ObjectiveValue = %v, want %v", got, want)
+	}
+}
+
+func TestBuildIsGreedyOptimalPerCategoryUnbounded(t *testing.T) {
+	// With an unlimited budget the construction must pick, per category,
+	// exactly the top-scoring #c items — verify against brute force.
+	city := testCity(t)
+	b := builderFor(t, city, query.Default(), nil, 1, 0)
+	mu := city.POIs.All()[10].Coord
+	c, err := b.Build(mu, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range poi.Categories {
+		want := b.Query.Counts[cat]
+		if want == 0 {
+			continue
+		}
+		// Best score among unpicked items must not beat the worst picked.
+		worstPicked := math.Inf(1)
+		picked := map[int]bool{}
+		for _, it := range c.Items {
+			if it.Cat != cat {
+				continue
+			}
+			picked[it.ID] = true
+			if s := b.Score(it, mu); s < worstPicked {
+				worstPicked = s
+			}
+		}
+		for _, it := range city.POIs.ByCategory(cat) {
+			if picked[it.ID] {
+				continue
+			}
+			if s := b.Score(it, mu); s > worstPicked+1e-12 {
+				t.Fatalf("%s: unpicked item %d scores %v above worst picked %v",
+					cat, it.ID, s, worstPicked)
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package collab implements the collaboration models the paper sketches
+// as future work (§6): structured ways for several travelers to customize
+// one travel package together.
+//
+//   - Star model: "a designated traveler moderates all requests from
+//     others in the same group" — members submit operation requests, a
+//     moderator policy approves or rejects each, approved requests are
+//     applied in submission order.
+//   - Sequential model: "a TP is customized in a pipeline fashion" — each
+//     member takes a turn and sees the package as the previous member left
+//     it.
+//   - Hybrid model: "different primitives are requested in parallel by
+//     different travelers" — requests arrive concurrently; conflicting
+//     requests on the same POI are resolved by majority vote before
+//     anything is applied.
+//
+// All models execute through an interact.Session, so every applied
+// operation lands in the session log and feeds profile refinement exactly
+// like directly-performed operations.
+package collab
+
+import (
+	"fmt"
+	"sort"
+
+	"grouptravel/internal/geo"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/vec"
+)
+
+// Request is one member's proposed customization operation.
+type Request struct {
+	Member  int
+	Kind    interact.OpKind
+	CIIndex int
+	POIID   int      // target POI for REMOVE / ADD / REPLACE
+	Rect    geo.Rect // area for GENERATE
+}
+
+// String renders the request compactly.
+func (r Request) String() string {
+	if r.Kind == interact.OpGenerate {
+		return fmt.Sprintf("member %d: GENERATE(%.4f,%.4f,%.4f,%.4f)", r.Member, r.Rect.Lat, r.Rect.Lon, r.Rect.Width, r.Rect.Height)
+	}
+	return fmt.Sprintf("member %d: %s(poi %d, CI %d)", r.Member, r.Kind, r.POIID, r.CIIndex)
+}
+
+// Decision is the fate of a request.
+type Decision int
+
+const (
+	// Applied: the request was approved and executed.
+	Applied Decision = iota
+	// Rejected: a moderator policy or conflict resolution refused it.
+	Rejected
+	// Failed: approved but the operation errored (e.g. the target POI was
+	// already gone by the time the request ran).
+	Failed
+)
+
+// String returns the decision label.
+func (d Decision) String() string {
+	switch d {
+	case Applied:
+		return "applied"
+	case Rejected:
+		return "rejected"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("decision(%d)", int(d))
+	}
+}
+
+// Outcome records what happened to one request.
+type Outcome struct {
+	Request  Request
+	Decision Decision
+	Reason   string // why it was rejected / failed; empty when applied
+}
+
+// apply executes one approved request against the session.
+func apply(sess *interact.Session, r Request) error {
+	switch r.Kind {
+	case interact.OpRemove:
+		return sess.Remove(r.Member, r.CIIndex, r.POIID)
+	case interact.OpAdd:
+		return sess.Add(r.Member, r.CIIndex, r.POIID)
+	case interact.OpReplace:
+		_, err := sess.Replace(r.Member, r.CIIndex, r.POIID)
+		return err
+	case interact.OpGenerate:
+		_, err := sess.Generate(r.Member, r.Rect)
+		return err
+	default:
+		return fmt.Errorf("collab: unknown operation kind %v", r.Kind)
+	}
+}
+
+// Policy decides whether the moderator approves a request in the star
+// model. Returning false rejects with the given reason.
+type Policy func(sess *interact.Session, r Request) (ok bool, reason string)
+
+// ApproveAll is the permissive policy: every structurally possible request
+// goes through.
+func ApproveAll(*interact.Session, Request) (bool, string) { return true, "" }
+
+// ModeratorTaste builds a policy reflecting a moderator's own profile:
+// ADDs of items the moderator dislikes (cosine below dislike) are vetoed,
+// REMOVEs/REPLACEs of items the moderator loves (cosine above protect) are
+// vetoed, GENERATE is always allowed.
+func ModeratorTaste(moderator *profile.Profile, dislike, protect float64) Policy {
+	return func(sess *interact.Session, r Request) (bool, string) {
+		tp := sess.Package()
+		switch r.Kind {
+		case interact.OpAdd:
+			// Look the POI up through any CI's collection-backed candidates:
+			// the session's city owns the POI; we locate it by scanning the
+			// current package plus the add target id via session helpers is
+			// not exposed, so consult the package query level: the cosine
+			// check needs the item vector, fetched below.
+			p := sess.LookupPOI(r.POIID)
+			if p == nil {
+				return false, fmt.Sprintf("unknown POI %d", r.POIID)
+			}
+			if vec.Cosine(p.Vector, moderator.Vector(p.Cat)) < dislike {
+				return false, "moderator dislikes the added POI"
+			}
+		case interact.OpRemove, interact.OpReplace:
+			if r.CIIndex < 0 || r.CIIndex >= len(tp.CIs) {
+				return false, "no such CI"
+			}
+			for _, it := range tp.CIs[r.CIIndex].Items {
+				if it.ID == r.POIID && vec.Cosine(it.Vector, moderator.Vector(it.Cat)) > protect {
+					return false, "moderator protects this POI"
+				}
+			}
+		}
+		return true, ""
+	}
+}
+
+// RunStar executes the star model: the moderator policy screens every
+// request; approved requests apply in submission order.
+func RunStar(sess *interact.Session, policy Policy, reqs []Request) ([]Outcome, error) {
+	if sess == nil || policy == nil {
+		return nil, fmt.Errorf("collab: nil session or policy")
+	}
+	out := make([]Outcome, 0, len(reqs))
+	for _, r := range reqs {
+		ok, reason := policy(sess, r)
+		if !ok {
+			out = append(out, Outcome{Request: r, Decision: Rejected, Reason: reason})
+			continue
+		}
+		if err := apply(sess, r); err != nil {
+			out = append(out, Outcome{Request: r, Decision: Failed, Reason: err.Error()})
+			continue
+		}
+		out = append(out, Outcome{Request: r, Decision: Applied})
+	}
+	return out, nil
+}
+
+// RunSequential executes the pipeline model: members take turns in the
+// given order, each applying their own requests against the package as the
+// previous member left it. Requests from members not in the order are
+// rejected.
+func RunSequential(sess *interact.Session, order []int, reqs []Request) ([]Outcome, error) {
+	if sess == nil {
+		return nil, fmt.Errorf("collab: nil session")
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("collab: empty turn order")
+	}
+	inOrder := make(map[int]int, len(order)) // member -> turn position
+	for pos, m := range order {
+		if _, dup := inOrder[m]; dup {
+			return nil, fmt.Errorf("collab: member %d appears twice in the turn order", m)
+		}
+		inOrder[m] = pos
+	}
+	byMember := make(map[int][]Request)
+	var out []Outcome
+	for _, r := range reqs {
+		if _, ok := inOrder[r.Member]; !ok {
+			out = append(out, Outcome{Request: r, Decision: Rejected, Reason: "member has no turn"})
+			continue
+		}
+		byMember[r.Member] = append(byMember[r.Member], r)
+	}
+	for _, m := range order {
+		for _, r := range byMember[m] {
+			if err := apply(sess, r); err != nil {
+				out = append(out, Outcome{Request: r, Decision: Failed, Reason: err.Error()})
+				continue
+			}
+			out = append(out, Outcome{Request: r, Decision: Applied})
+		}
+	}
+	return out, nil
+}
+
+// RunHybrid executes the parallel model: all requests are screened for
+// conflicts first — two requests conflict when they target the same POI in
+// the same CI with different effects (e.g. one member REMOVEs what another
+// REPLACEs, or an ADD races a REMOVE of the same POI). Each conflict group
+// is resolved by majority vote over the requested kinds (ties reject the
+// whole group); survivors apply in submission order.
+func RunHybrid(sess *interact.Session, reqs []Request) ([]Outcome, error) {
+	if sess == nil {
+		return nil, fmt.Errorf("collab: nil session")
+	}
+	type key struct{ ci, poi int }
+	groups := make(map[key][]int) // indices into reqs
+	for i, r := range reqs {
+		if r.Kind == interact.OpGenerate {
+			continue // GENERATE never conflicts: it only appends
+		}
+		groups[key{r.CIIndex, r.POIID}] = append(groups[key{r.CIIndex, r.POIID}], i)
+	}
+	rejected := make(map[int]string)
+	for _, idxs := range groups {
+		kinds := make(map[interact.OpKind]int)
+		for _, i := range idxs {
+			kinds[reqs[i].Kind]++
+		}
+		if len(kinds) <= 1 {
+			// Same intent from several members: apply the first, reject
+			// duplicates (applying twice would fail anyway).
+			for _, i := range idxs[1:] {
+				rejected[i] = "duplicate of an earlier identical request"
+			}
+			continue
+		}
+		// Conflicting intents: majority kind wins; ties reject everything.
+		type kc struct {
+			kind  interact.OpKind
+			count int
+		}
+		var tally []kc
+		for k, n := range kinds {
+			tally = append(tally, kc{k, n})
+		}
+		sort.Slice(tally, func(a, b int) bool {
+			if tally[a].count != tally[b].count {
+				return tally[a].count > tally[b].count
+			}
+			return tally[a].kind < tally[b].kind
+		})
+		if tally[0].count == tally[1].count {
+			for _, i := range idxs {
+				rejected[i] = "conflicting requests tied"
+			}
+			continue
+		}
+		winner := tally[0].kind
+		kept := false
+		for _, i := range idxs {
+			if reqs[i].Kind != winner {
+				rejected[i] = fmt.Sprintf("lost majority vote to %v", winner)
+			} else if kept {
+				rejected[i] = "duplicate of an earlier identical request"
+			} else {
+				kept = true
+			}
+		}
+	}
+	out := make([]Outcome, 0, len(reqs))
+	for i, r := range reqs {
+		if reason, bad := rejected[i]; bad {
+			out = append(out, Outcome{Request: r, Decision: Rejected, Reason: reason})
+			continue
+		}
+		if err := apply(sess, r); err != nil {
+			out = append(out, Outcome{Request: r, Decision: Failed, Reason: err.Error()})
+			continue
+		}
+		out = append(out, Outcome{Request: r, Decision: Applied})
+	}
+	return out, nil
+}
+
+// AppliedCount tallies applied outcomes.
+func AppliedCount(outcomes []Outcome) int {
+	n := 0
+	for _, o := range outcomes {
+		if o.Decision == Applied {
+			n++
+		}
+	}
+	return n
+}

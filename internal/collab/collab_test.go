@@ -1,0 +1,350 @@
+package collab
+
+import (
+	"strings"
+	"testing"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/vec"
+)
+
+var (
+	collabCity   *dataset.City
+	collabEngine *core.Engine
+)
+
+func setup(t *testing.T) (*dataset.City, *core.Engine) {
+	t.Helper()
+	if collabCity == nil {
+		c, err := dataset.Generate(dataset.TestSpec("CollabCity", 41))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.NewEngine(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collabCity, collabEngine = c, e
+	}
+	return collabCity, collabEngine
+}
+
+func newSession(t *testing.T, seed int64) (*interact.Session, *profile.Group) {
+	t.Helper()
+	city, e := setup(t)
+	g, err := profile.GenerateUniformGroup(city.Schema, 4, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := consensus.GroupProfile(g, consensus.PairwiseDis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := e.Build(gp, query.Default(), core.DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := interact.NewSession(city, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, g
+}
+
+func TestStarApproveAll(t *testing.T) {
+	sess, _ := newSession(t, 1)
+	target := sess.Package().CIs[0].Items[0]
+	reqs := []Request{
+		{Member: 1, Kind: interact.OpRemove, CIIndex: 0, POIID: target.ID},
+	}
+	out, err := RunStar(sess, ApproveAll, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Decision != Applied {
+		t.Fatalf("outcome = %+v", out[0])
+	}
+	if sess.Package().CIs[0].Contains(target.ID) {
+		t.Fatal("approved removal not applied")
+	}
+	if len(sess.Log()) != 1 {
+		t.Fatal("applied op missing from session log")
+	}
+}
+
+func TestStarModeratorVetoesProtectedRemove(t *testing.T) {
+	sess, _ := newSession(t, 2)
+	// Build a moderator who loves exactly the first item of CI 0.
+	city, _ := setup(t)
+	target := sess.Package().CIs[0].Items[0]
+	mod := profile.New(city.Schema)
+	v := vec.New(city.Schema.Dim(target.Cat))
+	for j, x := range target.Vector {
+		if x > 0.99 {
+			x = 0.99
+		}
+		v[j] = x
+	}
+	if err := mod.SetVector(target.Cat, v); err != nil {
+		t.Fatal(err)
+	}
+	policy := ModeratorTaste(mod, 0.1, 0.8)
+	out, err := RunStar(sess, policy, []Request{
+		{Member: 1, Kind: interact.OpRemove, CIIndex: 0, POIID: target.ID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Decision != Rejected {
+		t.Fatalf("moderator did not protect the loved POI: %+v", out[0])
+	}
+	if !sess.Package().CIs[0].Contains(target.ID) {
+		t.Fatal("rejected removal was applied anyway")
+	}
+}
+
+func TestStarModeratorVetoesDislikedAdd(t *testing.T) {
+	sess, _ := newSession(t, 3)
+	city, _ := setup(t)
+	// A moderator with zero interest in everything dislikes every ADD.
+	mod := profile.New(city.Schema)
+	policy := ModeratorTaste(mod, 0.1, 0.9)
+	cand := city.POIs.ByCategory(poi.Rest)[0]
+	out, err := RunStar(sess, policy, []Request{
+		{Member: 2, Kind: interact.OpAdd, CIIndex: 0, POIID: cand.ID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Decision != Rejected {
+		t.Fatalf("disliked ADD not vetoed: %+v", out[0])
+	}
+	// Unknown POI is also rejected, not failed.
+	out, _ = RunStar(sess, policy, []Request{
+		{Member: 2, Kind: interact.OpAdd, CIIndex: 0, POIID: -99},
+	})
+	if out[0].Decision != Rejected {
+		t.Fatalf("unknown POI outcome: %+v", out[0])
+	}
+}
+
+func TestStarFailedOperation(t *testing.T) {
+	sess, _ := newSession(t, 4)
+	target := sess.Package().CIs[0].Items[0]
+	// Two identical removals: the second must fail (already gone).
+	out, err := RunStar(sess, ApproveAll, []Request{
+		{Member: 0, Kind: interact.OpRemove, CIIndex: 0, POIID: target.ID},
+		{Member: 1, Kind: interact.OpRemove, CIIndex: 0, POIID: target.ID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Decision != Applied || out[1].Decision != Failed {
+		t.Fatalf("outcomes = %+v", out)
+	}
+}
+
+func TestSequentialOrderRespected(t *testing.T) {
+	sess, _ := newSession(t, 5)
+	c0 := sess.Package().CIs[0]
+	a, b := c0.Items[0], c0.Items[1]
+	// Member 2 goes first (removes a), member 0 second (removes b);
+	// requests arrive interleaved.
+	reqs := []Request{
+		{Member: 0, Kind: interact.OpRemove, CIIndex: 0, POIID: b.ID},
+		{Member: 2, Kind: interact.OpRemove, CIIndex: 0, POIID: a.ID},
+	}
+	out, err := RunSequential(sess, []int{2, 0}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AppliedCount(out) != 2 {
+		t.Fatalf("outcomes = %+v", out)
+	}
+	// The session log must show member 2's op first.
+	log := sess.Log()
+	if log[0].Member != 2 || log[1].Member != 0 {
+		t.Fatalf("pipeline order violated: %+v", log)
+	}
+}
+
+func TestSequentialRejectsOutsiders(t *testing.T) {
+	sess, _ := newSession(t, 6)
+	target := sess.Package().CIs[0].Items[0]
+	out, err := RunSequential(sess, []int{0}, []Request{
+		{Member: 3, Kind: interact.OpRemove, CIIndex: 0, POIID: target.ID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Decision != Rejected || !strings.Contains(out[0].Reason, "turn") {
+		t.Fatalf("outsider not rejected: %+v", out[0])
+	}
+}
+
+func TestSequentialValidation(t *testing.T) {
+	sess, _ := newSession(t, 7)
+	if _, err := RunSequential(sess, nil, nil); err == nil {
+		t.Fatal("empty order accepted")
+	}
+	if _, err := RunSequential(sess, []int{1, 1}, nil); err == nil {
+		t.Fatal("duplicate turn accepted")
+	}
+	if _, err := RunSequential(nil, []int{0}, nil); err == nil {
+		t.Fatal("nil session accepted")
+	}
+}
+
+func TestHybridMajorityWins(t *testing.T) {
+	sess, _ := newSession(t, 8)
+	target := sess.Package().CIs[0].Items[0]
+	// Two members want the POI removed, one wants it replaced: REMOVE wins.
+	reqs := []Request{
+		{Member: 0, Kind: interact.OpRemove, CIIndex: 0, POIID: target.ID},
+		{Member: 1, Kind: interact.OpReplace, CIIndex: 0, POIID: target.ID},
+		{Member: 2, Kind: interact.OpRemove, CIIndex: 0, POIID: target.ID},
+	}
+	out, err := RunHybrid(sess, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, rejected := 0, 0
+	for _, o := range out {
+		switch o.Decision {
+		case Applied:
+			applied++
+			if o.Request.Kind != interact.OpRemove {
+				t.Fatalf("wrong winner applied: %+v", o)
+			}
+		case Rejected:
+			rejected++
+		}
+	}
+	if applied != 1 || rejected != 2 {
+		t.Fatalf("applied=%d rejected=%d, want 1/2: %+v", applied, rejected, out)
+	}
+	if sess.Package().CIs[0].Contains(target.ID) {
+		t.Fatal("majority REMOVE not executed")
+	}
+}
+
+func TestHybridTieRejectsAll(t *testing.T) {
+	sess, _ := newSession(t, 9)
+	target := sess.Package().CIs[0].Items[0]
+	reqs := []Request{
+		{Member: 0, Kind: interact.OpRemove, CIIndex: 0, POIID: target.ID},
+		{Member: 1, Kind: interact.OpReplace, CIIndex: 0, POIID: target.ID},
+	}
+	out, err := RunHybrid(sess, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range out {
+		if o.Decision != Rejected {
+			t.Fatalf("tie not rejected: %+v", o)
+		}
+	}
+	if !sess.Package().CIs[0].Contains(target.ID) {
+		t.Fatal("tied conflict mutated the package")
+	}
+}
+
+func TestHybridDuplicatesCollapse(t *testing.T) {
+	sess, _ := newSession(t, 10)
+	target := sess.Package().CIs[0].Items[0]
+	reqs := []Request{
+		{Member: 0, Kind: interact.OpRemove, CIIndex: 0, POIID: target.ID},
+		{Member: 1, Kind: interact.OpRemove, CIIndex: 0, POIID: target.ID},
+	}
+	out, err := RunHybrid(sess, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AppliedCount(out) != 1 {
+		t.Fatalf("duplicates not collapsed: %+v", out)
+	}
+}
+
+func TestHybridGenerateNeverConflicts(t *testing.T) {
+	sess, _ := newSession(t, 11)
+	city, _ := setup(t)
+	bounds := city.POIs.Bounds()
+	rect := geo.Rect{
+		Lat: bounds.Lat - bounds.Height*0.2, Lon: bounds.Lon + bounds.Width*0.2,
+		Width: bounds.Width * 0.6, Height: bounds.Height * 0.6,
+	}
+	before := len(sess.Package().CIs)
+	reqs := []Request{
+		{Member: 0, Kind: interact.OpGenerate, Rect: rect},
+		{Member: 1, Kind: interact.OpGenerate, Rect: rect},
+	}
+	out, err := RunHybrid(sess, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AppliedCount(out) != 2 {
+		t.Fatalf("parallel GENERATEs did not both apply: %+v", out)
+	}
+	if len(sess.Package().CIs) != before+2 {
+		t.Fatal("generated CIs missing")
+	}
+}
+
+func TestCollabFeedsRefinement(t *testing.T) {
+	// Operations applied through any collaboration model must flow into
+	// profile refinement like direct ones.
+	sess, g := newSession(t, 12)
+	target := sess.Package().CIs[0].Items[0]
+	_, err := RunStar(sess, ApproveAll, []Request{
+		{Member: 1, Kind: interact.OpRemove, CIIndex: 0, POIID: target.ID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := consensus.GroupProfile(g, consensus.PairwiseDis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := interact.RefineBatch(gp, sess.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.Equal(refined.Vector(target.Cat), gp.Vector(target.Cat), 0) {
+		t.Fatal("collab operation did not refine the profile")
+	}
+}
+
+func TestDecisionAndRequestStrings(t *testing.T) {
+	if Applied.String() != "applied" || Rejected.String() != "rejected" || Failed.String() != "failed" {
+		t.Fatal("decision labels wrong")
+	}
+	r := Request{Member: 3, Kind: interact.OpRemove, CIIndex: 1, POIID: 42}
+	if !strings.Contains(r.String(), "REMOVE") {
+		t.Fatalf("request string = %q", r.String())
+	}
+	gen := Request{Member: 0, Kind: interact.OpGenerate, Rect: geo.Rect{Lat: 1, Lon: 2, Width: 3, Height: 4}}
+	if !strings.Contains(gen.String(), "GENERATE") {
+		t.Fatalf("generate string = %q", gen.String())
+	}
+}
+
+func TestRunStarValidation(t *testing.T) {
+	sess, _ := newSession(t, 13)
+	if _, err := RunStar(nil, ApproveAll, nil); err == nil {
+		t.Fatal("nil session accepted")
+	}
+	if _, err := RunStar(sess, nil, nil); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	if _, err := RunHybrid(nil, nil); err == nil {
+		t.Fatal("nil session accepted by hybrid")
+	}
+}

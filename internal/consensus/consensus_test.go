@@ -1,0 +1,245 @@
+package consensus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/vec"
+)
+
+// paperFamily reproduces the §2.3 worked example: preferences for museums
+// are 0.8, 1.0, 0.6, 0.2 (father, mother, teenager, kid).
+var paperFamily = []float64{0.8, 1.0, 0.6, 0.2}
+
+func TestPaperExampleAveragePreference(t *testing.T) {
+	if p := AveragePreference(paperFamily); math.Abs(p-0.65) > 1e-12 {
+		t.Fatalf("average preference = %v, want 0.65", p)
+	}
+}
+
+func TestPaperExampleLeastMisery(t *testing.T) {
+	if p := LeastMiseryPreference(paperFamily); p != 0.2 {
+		t.Fatalf("least misery = %v, want 0.2 (the kid dominates)", p)
+	}
+}
+
+func TestPaperExamplePairwiseDisagreement(t *testing.T) {
+	// |0.8−1.0|+|0.8−0.6|+|0.8−0.2|+|1.0−0.6|+|1.0−0.2|+|0.6−0.2| = 2.6
+	// d = 2·2.6 / (4·3) = 0.4333; the paper rounds to 0.43.
+	d := PairwiseDisagreement(paperFamily)
+	if math.Abs(d-2.6/6) > 1e-12 {
+		t.Fatalf("pairwise disagreement = %v, want %v", d, 2.6/6)
+	}
+}
+
+func TestPaperExampleVarianceDisagreement(t *testing.T) {
+	// μ = 0.65; variance = (0.0225+0.1225+0.0025+0.2025)/4 = 0.0875;
+	// the paper reports 0.088.
+	d := VarianceDisagreement(paperFamily)
+	if math.Abs(d-0.0875) > 1e-12 {
+		t.Fatalf("variance disagreement = %v, want 0.0875", d)
+	}
+}
+
+func TestPaperExampleConsensus(t *testing.T) {
+	// w1 = w2 = 0.5 with average preference + pairwise disagreement:
+	// g = 0.5·0.65 + 0.5·(1−0.4333) = 0.6083; the paper rounds to 0.61.
+	g := PairwiseDis.Score(paperFamily)
+	want := 0.5*0.65 + 0.5*(1-2.6/6)
+	if math.Abs(g-want) > 1e-12 {
+		t.Fatalf("consensus = %v, want %v", g, want)
+	}
+	if math.Abs(g-0.61) > 0.005 {
+		t.Fatalf("consensus %v does not round to the paper's 0.61", g)
+	}
+}
+
+func TestLeastMiseryIgnoresDisagreementWeight(t *testing.T) {
+	// The paper's least-misery method has w1 = 1: disagreement must not
+	// contribute.
+	if LeastMisery.W1 != 1 || AveragePref.W1 != 1 {
+		t.Fatal("preference-only methods must have w1 = 1")
+	}
+	if got := LeastMisery.Score(paperFamily); got != 0.2 {
+		t.Fatalf("least misery score = %v", got)
+	}
+}
+
+func TestSingleMemberGroup(t *testing.T) {
+	one := []float64{0.7}
+	if PairwiseDisagreement(one) != 0 {
+		t.Fatal("single member has pairwise disagreement")
+	}
+	if VarianceDisagreement(one) != 0 {
+		t.Fatal("single member has variance disagreement")
+	}
+	for _, m := range Methods {
+		if got := m.Score(one); math.Abs(got-scoreAlone(m, 0.7)) > 1e-12 {
+			t.Fatalf("%s: single-member score = %v", m.Name, got)
+		}
+	}
+}
+
+// scoreAlone is the closed form for a single member: d = 0, so
+// g = w1·u + (1−w1).
+func scoreAlone(m Method, u float64) float64 {
+	return m.W1*u + (1 - m.W1)
+}
+
+func TestIdenticalMembersNoDisagreement(t *testing.T) {
+	same := []float64{0.4, 0.4, 0.4, 0.4, 0.4}
+	if PairwiseDisagreement(same) != 0 || VarianceDisagreement(same) != 0 {
+		t.Fatal("identical members disagree")
+	}
+	// Disagreement-based consensus of unanimous members: 0.5u + 0.5.
+	if g := VarianceDis.Score(same); math.Abs(g-0.7) > 1e-12 {
+		t.Fatalf("unanimous variance consensus = %v, want 0.7", g)
+	}
+}
+
+func TestScoreBoundsQuick(t *testing.T) {
+	src := rng.New(1)
+	f := func(_ uint8) bool {
+		n := 2 + src.Intn(10)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = src.Float64()
+		}
+		for _, m := range Methods {
+			g := m.Score(values)
+			if g < 0 || g > 1 || math.IsNaN(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgreementRaisesScore(t *testing.T) {
+	// "All other conditions being equal, a POI that draws high agreement
+	// should have a higher score than a POI with a lower overall group
+	// agreement" (§1). Same average, different spreads.
+	agreeing := []float64{0.5, 0.5, 0.5, 0.5}
+	disagreeing := []float64{1.0, 0.0, 1.0, 0.0}
+	for _, m := range []Method{PairwiseDis, VarianceDis} {
+		if m.Score(agreeing) <= m.Score(disagreeing) {
+			t.Fatalf("%s: agreement did not raise the score", m.Name)
+		}
+	}
+}
+
+func TestDisagreementSymmetry(t *testing.T) {
+	// Permuting members must not change any aggregate.
+	a := []float64{0.1, 0.9, 0.4, 0.6}
+	b := []float64{0.6, 0.1, 0.9, 0.4}
+	for _, m := range Methods {
+		if math.Abs(m.Score(a)-m.Score(b)) > 1e-12 {
+			t.Fatalf("%s not permutation invariant", m.Name)
+		}
+	}
+}
+
+func TestMethodValidate(t *testing.T) {
+	bad := []Method{
+		{Name: "no pref", W1: 1},
+		{Name: "bad w1", Pref: AveragePreference, W1: 1.5},
+		{Name: "needs dis", Pref: AveragePreference, W1: 0.5},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s accepted", m.Name)
+		}
+	}
+	for _, m := range Methods {
+		if err := m.Validate(); err != nil {
+			t.Errorf("paper method %s rejected: %v", m.Name, err)
+		}
+	}
+}
+
+func testSchema() *poi.Schema {
+	return poi.NewSchema(
+		[]string{"hotel", "hostel"},
+		[]string{"tram", "bike"},
+		[]string{"t0", "t1", "t2"},
+		[]string{"t0", "t1", "t2"},
+	)
+}
+
+func TestGroupProfileShape(t *testing.T) {
+	s := testSchema()
+	src := rng.New(2)
+	members := make([]*profile.Profile, 4)
+	for i := range members {
+		members[i] = profile.GenerateRandomProfile(s, src)
+	}
+	g, err := profile.NewGroup(s, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Methods {
+		gp, err := GroupProfile(g, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		for _, c := range poi.Categories {
+			v := gp.Vector(c)
+			if len(v) != s.Dim(c) {
+				t.Fatalf("%s: wrong dim for %s", m.Name, c)
+			}
+			if !v.InUnitRange() {
+				t.Fatalf("%s: out-of-range group profile %v", m.Name, v)
+			}
+		}
+	}
+}
+
+func TestGroupProfileComponentwise(t *testing.T) {
+	// The group profile must equal the per-component Score, category by
+	// category.
+	s := testSchema()
+	a, b := profile.New(s), profile.New(s)
+	_ = a.SetVector(poi.Rest, vec.Vector{0.8, 0.2, 0.0})
+	_ = b.SetVector(poi.Rest, vec.Vector{0.4, 0.6, 0.0})
+	g, _ := profile.NewGroup(s, []*profile.Profile{a, b})
+	gp, err := GroupProfile(g, VarianceDis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := VarianceDis.Score([]float64{0.8, 0.4})
+	if math.Abs(gp.Vector(poi.Rest)[0]-want0) > 1e-12 {
+		t.Fatalf("component 0 = %v, want %v", gp.Vector(poi.Rest)[0], want0)
+	}
+}
+
+func TestLeastMiseryZeroForDisjointGroups(t *testing.T) {
+	// Fully disjoint supports: least misery is all-zero — the mechanism
+	// behind the ≈0% personalization of non-uniform groups in Table 2.
+	s := testSchema()
+	a, b := profile.New(s), profile.New(s)
+	_ = a.SetVector(poi.Rest, vec.Vector{1, 0, 0})
+	_ = b.SetVector(poi.Rest, vec.Vector{0, 1, 0})
+	g, _ := profile.NewGroup(s, []*profile.Profile{a, b})
+	gp, err := GroupProfile(g, LeastMisery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Vector(poi.Rest).Sum() != 0 {
+		t.Fatalf("least misery of disjoint profiles = %v, want zeros", gp.Vector(poi.Rest))
+	}
+}
+
+func TestGroupProfileInvalidMethod(t *testing.T) {
+	s := testSchema()
+	g, _ := profile.NewGroup(s, []*profile.Profile{profile.New(s)})
+	if _, err := GroupProfile(g, Method{Name: "broken"}); err == nil {
+		t.Fatal("invalid method accepted")
+	}
+}

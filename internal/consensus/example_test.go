@@ -1,0 +1,63 @@
+package consensus_test
+
+import (
+	"fmt"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/vec"
+)
+
+// The §2.3 worked example: a family of four rates museums 0.8, 1.0, 0.6
+// and 0.2 (father, mother, teenager, kid). The four consensus methods
+// aggregate those preferences very differently.
+func Example() {
+	family := []float64{0.8, 1.0, 0.6, 0.2}
+	fmt.Printf("average preference:   %.2f\n", consensus.AveragePref.Score(family))
+	fmt.Printf("least misery:         %.2f\n", consensus.LeastMisery.Score(family))
+	fmt.Printf("pairwise consensus:   %.2f\n", consensus.PairwiseDis.Score(family))
+	fmt.Printf("variance consensus:   %.2f\n", consensus.VarianceDis.Score(family))
+	// Output:
+	// average preference:   0.65
+	// least misery:         0.20
+	// pairwise consensus:   0.61
+	// variance consensus:   0.78
+}
+
+// GroupProfile aggregates whole profiles, category by category.
+func ExampleGroupProfile() {
+	schema := poi.NewSchema(
+		[]string{"hotel", "hostel"},
+		[]string{"metro", "bike"},
+		[]string{"japanese", "french"},
+		[]string{"museum", "park"},
+	)
+	alice := profile.New(schema)
+	_ = alice.SetVector(poi.Attr, vec.Vector{0.9, 0.1}) // museums
+	bob := profile.New(schema)
+	_ = bob.SetVector(poi.Attr, vec.Vector{0.2, 0.8}) // parks
+
+	g, _ := profile.NewGroup(schema, []*profile.Profile{alice, bob})
+	gp, _ := consensus.GroupProfile(g, consensus.AveragePref)
+	fmt.Printf("museum %.2f, park %.2f\n", gp.Vector(poi.Attr)[0], gp.Vector(poi.Attr)[1])
+	// Output:
+	// museum 0.55, park 0.45
+}
+
+// Weighted aggregation lets the trip organizer count double.
+func ExampleGroupProfileWeighted() {
+	schema := poi.NewSchema(
+		[]string{"hotel"}, []string{"metro"}, []string{"t0"}, []string{"museum", "park"},
+	)
+	organizer := profile.New(schema)
+	_ = organizer.SetVector(poi.Attr, vec.Vector{1, 0})
+	friend := profile.New(schema)
+	_ = friend.SetVector(poi.Attr, vec.Vector{0, 1})
+
+	g, _ := profile.NewGroup(schema, []*profile.Profile{organizer, friend})
+	gp, _ := consensus.GroupProfileWeighted(g, consensus.AveragePref, []float64{3, 1})
+	fmt.Printf("museum %.2f, park %.2f\n", gp.Vector(poi.Attr)[0], gp.Vector(poi.Attr)[1])
+	// Output:
+	// museum 0.75, park 0.25
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"grouptravel/internal/query"
+)
+
+// TestClusterCacheReuse verifies the memoization contract: identical
+// clustering parameters reuse the fitted centroids (same package for the
+// same inputs), while different seeds or category masks cluster afresh.
+func TestClusterCacheReuse(t *testing.T) {
+	e := engine(t)
+	gp := randomGroupProfile(t, e, 31)
+	params := DefaultParams(4)
+
+	a, err := e.Build(gp, query.Default(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Build(gp, query.Default(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.CIs {
+		if a.CIs[j].Centroid != b.CIs[j].Centroid {
+			t.Fatal("cache miss: same parameters produced different centroids")
+		}
+	}
+
+	// A different seed is a distinct cache entry; it must still build a
+	// valid package (FCM may or may not converge to the same optimum).
+	params2 := params
+	params2.Seed = params.Seed + 7
+	c, err := e.Build(gp, query.Default(), params2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Valid() {
+		t.Fatal("differently seeded package invalid")
+	}
+
+	// A different category mask clusters over different points.
+	restOnlyQ := query.MustNew(0, 0, 3, 0, query.Default().Budget)
+	d, err := e.Build(gp, restOnlyQ, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Valid() {
+		t.Fatal("rest-only package invalid")
+	}
+	for _, ci := range d.CIs {
+		for _, it := range ci.Items {
+			if it.Cat.String() != "rest" {
+				t.Fatalf("rest-only query returned %v", it.Cat)
+			}
+		}
+	}
+}
+
+// TestPartialCategoryQuery checks queries that skip categories entirely.
+func TestPartialCategoryQuery(t *testing.T) {
+	e := engine(t)
+	gp := randomGroupProfile(t, e, 32)
+	q := query.MustNew(0, 0, 1, 2, query.Default().Budget)
+	tp, err := e.Build(gp, q, DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Valid() {
+		t.Fatal("partial-category package invalid")
+	}
+	if d := tp.Measure(); d.Personalization <= 0 {
+		t.Fatalf("dimensions: %+v", d)
+	}
+}

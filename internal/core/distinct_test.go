@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"grouptravel/internal/metrics"
+	"grouptravel/internal/query"
+)
+
+func TestDistinctItemsNoRepetition(t *testing.T) {
+	e := engine(t)
+	gp := randomGroupProfile(t, e, 21)
+	params := DefaultParams(4)
+	params.DistinctItems = true
+	params.Gamma = 25 // the regime where repetition would otherwise occur
+	tp, err := e.Build(gp, query.Default(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range tp.CIs {
+		for _, it := range c.Items {
+			if seen[it.ID] {
+				t.Fatalf("POI %d appears in two CIs despite DistinctItems", it.ID)
+			}
+			seen[it.ID] = true
+		}
+	}
+	if !tp.Valid() {
+		t.Fatal("distinct package invalid")
+	}
+}
+
+func TestDistinctItemsCostsObjective(t *testing.T) {
+	// Forbidding repetition can only reduce (or keep) the per-CI scores:
+	// the repeated-best-item option is gone. Compare personalization.
+	e := engine(t)
+	gp := randomGroupProfile(t, e, 22)
+	params := DefaultParams(4)
+	params.Gamma = 25
+	free, err := e.Build(gp, query.Default(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.DistinctItems = true
+	distinct, err := e.Build(gp, query.Default(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFree := metrics.Personalization(free.CIs, gp)
+	pDistinct := metrics.Personalization(distinct.CIs, gp)
+	if pDistinct > pFree+1e-9 {
+		t.Fatalf("distinct mode increased personalization: %v vs %v", pDistinct, pFree)
+	}
+}
+
+func TestDistinctItemsInfeasibleWhenCityTooSmall(t *testing.T) {
+	// 4 CIs × 3 attractions need 12 distinct attractions; ask for far more
+	// than the test city's inventory via a bigger K.
+	e := engine(t)
+	params := DefaultParams(30) // 30 CIs × 1 acco = 30 accommodations > 24 in TestSpec
+	params.DistinctItems = true
+	if _, err := e.Build(nil, query.Default(), params); err == nil {
+		t.Fatal("infeasible distinct build succeeded")
+	}
+}

@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"fmt"
+
+	"grouptravel/internal/geo"
+	"grouptravel/internal/lda"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/tags"
+)
+
+// NewPOI describes a POI to add to an existing city — e.g. a venue that
+// opened after the dataset snapshot, or a user-contributed entry. The
+// paper's pipeline handles this case implicitly (re-run the Foursquare
+// augmentation); here the retained LDA models embed the new POI's tags
+// into the city's existing topic space without retraining.
+type NewPOI struct {
+	Name  string
+	Cat   poi.Category
+	Coord geo.Point
+	Type  string  // required for acco/trans (a schema type label)
+	Tags  string  // free-text tags; required for rest/attr
+	Cost  float64 // log-checkin cost; must be non-negative
+}
+
+// AddPOI embeds and validates a new POI and returns a rebuilt City that
+// includes it. The original City is unchanged (collections are immutable);
+// rebuilding the index over n POIs is O(n) and keeps every invariant
+// checked in one place.
+//
+// Restaurant/attraction vectors are inferred with a short Gibbs chain
+// against the frozen topic-word counts (lda.Model.Infer) and then mapped
+// through the same topic alignment as the training items, so the new item
+// is directly comparable with profiles refined anywhere.
+func (c *City) AddPOI(n NewPOI) (*City, error) {
+	if c.POIs == nil || c.Schema == nil {
+		return nil, fmt.Errorf("dataset: AddPOI on an unindexed city")
+	}
+	p := &poi.POI{
+		Name:  n.Name,
+		Cat:   n.Cat,
+		Coord: n.Coord,
+		Type:  n.Type,
+		Tags:  n.Tags,
+		Cost:  n.Cost,
+	}
+	// Allocate the next free id.
+	maxID := -1
+	for _, q := range c.POIs.All() {
+		if q.ID > maxID {
+			maxID = q.ID
+		}
+	}
+	p.ID = maxID + 1
+
+	switch n.Cat {
+	case poi.Acco, poi.Trans:
+		if c.Schema.TypeIndex(n.Cat, n.Type) < 0 {
+			return nil, fmt.Errorf("dataset: unknown %s type %q", n.Cat, n.Type)
+		}
+		p.Vector = c.Schema.OneHot(n.Cat, n.Type)
+	case poi.Rest, poi.Attr:
+		model := c.RestLDA
+		themes := tags.RestaurantThemes
+		if n.Cat == poi.Attr {
+			model = c.AttrLDA
+			themes = tags.AttractionThemes
+		}
+		if model == nil {
+			return nil, fmt.Errorf("dataset: city %q has no %s topic model (loaded from JSON?); regenerate the city to add tagged POIs", c.Name, n.Cat)
+		}
+		vec, typ, err := embedNewTags(model, themes, n.Tags, int64(p.ID))
+		if err != nil {
+			return nil, err
+		}
+		p.Vector = vec
+		if p.Type == "" {
+			p.Type = typ
+		}
+	default:
+		return nil, fmt.Errorf("dataset: invalid category %d", n.Cat)
+	}
+
+	if err := c.Schema.Validate(p); err != nil {
+		return nil, err
+	}
+	all := append(append([]*poi.POI(nil), c.POIs.All()...), p)
+	coll, err := poi.NewCollection(c.Schema, all)
+	if err != nil {
+		return nil, err
+	}
+	return &City{
+		Name: c.Name, POIs: coll, Schema: c.Schema,
+		RestLDA: c.RestLDA, AttrLDA: c.AttrLDA,
+	}, nil
+}
+
+// embedNewTags infers the aligned topic distribution for a new tag string
+// and derives a display type from the dominant theme.
+func embedNewTags(model *lda.Model, themes []tags.Theme, text string, seed int64) ([]float64, string, error) {
+	toks := tags.Tokenize(text)
+	var doc tags.Document
+	for _, tok := range toks {
+		if id, ok := model.VocabLookup(tok); ok {
+			doc = append(doc, id)
+		}
+	}
+	if len(doc) == 0 {
+		return nil, "", fmt.Errorf("dataset: no known tag words in %q", text)
+	}
+	theta := model.Infer(doc, 60, seed)
+	perm := topicThemeAlignment(model, themes)
+	aligned := permute(theta, perm)
+	// Dominant aligned topic indexes the theme list when K ≥ themes were
+	// assigned in theme order; fall back to token matching otherwise.
+	best := 0
+	for k, v := range aligned {
+		if v > aligned[best] {
+			best = k
+		}
+	}
+	typ := ""
+	if best < len(themes) {
+		typ = themes[best].Name
+	} else if ti, _ := tags.ThemeIndex(themes, toks); ti >= 0 {
+		typ = themes[ti].Name
+	}
+	return aligned, typ, nil
+}

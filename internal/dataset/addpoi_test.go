@@ -1,0 +1,183 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"grouptravel/internal/geo"
+	"grouptravel/internal/poi"
+)
+
+func addCity(t *testing.T) *City {
+	t.Helper()
+	c, err := Generate(TestSpec("AddCity", 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAddPOIAccommodation(t *testing.T) {
+	c := addCity(t)
+	before := c.POIs.Len()
+	c2, err := c.AddPOI(NewPOI{
+		Name: "Le Nouveau Palace", Cat: poi.Acco,
+		Coord: geo.Point{Lat: 48.8566, Lon: 2.3522},
+		Type:  "hotel", Cost: 2.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.POIs.Len() != before+1 {
+		t.Fatalf("len = %d, want %d", c2.POIs.Len(), before+1)
+	}
+	// Original untouched.
+	if c.POIs.Len() != before {
+		t.Fatal("AddPOI mutated the original city")
+	}
+	// The new POI has a fresh id and a one-hot vector at "hotel".
+	var added *poi.POI
+	for _, p := range c2.POIs.All() {
+		if p.Name == "Le Nouveau Palace" {
+			added = p
+		}
+	}
+	if added == nil {
+		t.Fatal("added POI not found")
+	}
+	if c.POIs.ByID(added.ID) != nil {
+		t.Fatal("added POI reused an existing id")
+	}
+	if added.Vector[c2.Schema.TypeIndex(poi.Acco, "hotel")] != 1 {
+		t.Fatalf("one-hot wrong: %v", added.Vector)
+	}
+}
+
+func TestAddPOIRestaurantInferred(t *testing.T) {
+	c := addCity(t)
+	c2, err := c.AddPOI(NewPOI{
+		Name: "Sushi Nouveau", Cat: poi.Rest,
+		Coord: geo.Point{Lat: 48.8566, Lon: 2.3522},
+		Tags:  "sushi ramen sake japanese tempura sushi", Cost: 1.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var added *poi.POI
+	for _, p := range c2.POIs.All() {
+		if p.Name == "Sushi Nouveau" {
+			added = p
+		}
+	}
+	if added == nil {
+		t.Fatal("added POI not found")
+	}
+	// The inferred vector must be a distribution strongly resembling
+	// existing japanese-theme restaurants.
+	sum := 0.0
+	for _, v := range added.Vector {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("inferred vector sums to %v", sum)
+	}
+	best := 0.0
+	for _, p := range c2.POIs.ByCategory(poi.Rest) {
+		if p.Type != "japanese" || p.ID == added.ID {
+			continue
+		}
+		cos := cosine(p.Vector, added.Vector)
+		if cos > best {
+			best = cos
+		}
+	}
+	if best < 0.8 {
+		t.Fatalf("inferred japanese restaurant does not resemble existing ones (best cos %v)", best)
+	}
+	if added.Type == "" {
+		t.Fatal("no type derived from the dominant theme")
+	}
+}
+
+func cosine(a, b []float64) float64 {
+	var num, na, nb float64
+	for i := range a {
+		num += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return num / (sqrt(na) * sqrt(nb))
+}
+
+func sqrt(x float64) float64 {
+	// Newton iterations suffice for a test helper.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestAddPOIErrors(t *testing.T) {
+	c := addCity(t)
+	cases := []NewPOI{
+		{Name: "bad type", Cat: poi.Acco, Coord: geo.Point{Lat: 48.85, Lon: 2.35}, Type: "igloo"},
+		{Name: "bad cat", Cat: poi.Category(9), Coord: geo.Point{Lat: 48.85, Lon: 2.35}},
+		{Name: "unknown tags", Cat: poi.Rest, Coord: geo.Point{Lat: 48.85, Lon: 2.35}, Tags: "zzz qqq xxx"},
+		{Name: "bad coord", Cat: poi.Acco, Coord: geo.Point{Lat: 95, Lon: 0}, Type: "hotel"},
+		{Name: "bad cost", Cat: poi.Acco, Coord: geo.Point{Lat: 48.85, Lon: 2.35}, Type: "hotel", Cost: -1},
+	}
+	for _, n := range cases {
+		if _, err := c.AddPOI(n); err == nil {
+			t.Errorf("%s: accepted", n.Name)
+		}
+	}
+}
+
+func TestAddPOIAfterJSONLoadRejectsTagged(t *testing.T) {
+	// A city loaded from JSON has no LDA models; tagged categories must be
+	// rejected with a helpful error, but acco/trans still work.
+	c := addCity(t)
+	var buf bytes.Buffer
+	if err := c.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.AddPOI(NewPOI{
+		Name: "x", Cat: poi.Rest, Coord: geo.Point{Lat: 48.85, Lon: 2.35}, Tags: "sushi",
+	}); err == nil {
+		t.Fatal("tagged AddPOI succeeded without topic models")
+	}
+	if _, err := loaded.AddPOI(NewPOI{
+		Name: "y", Cat: poi.Trans, Coord: geo.Point{Lat: 48.85, Lon: 2.35}, Type: "tramstation",
+	}); err != nil {
+		t.Fatalf("untagged AddPOI failed on loaded city: %v", err)
+	}
+}
+
+func TestAddPOIUsableByEngineQueries(t *testing.T) {
+	c := addCity(t)
+	c2, err := c.AddPOI(NewPOI{
+		Name: "Central Added Museum", Cat: poi.Attr,
+		Coord: geo.Point{Lat: 48.8566, Lon: 2.3522},
+		Tags:  "museum art gallery exhibition painting museum art", Cost: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The new POI must be reachable through the spatial index.
+	cat := poi.Attr
+	got := c2.POIs.Nearest(geo.Point{Lat: 48.8566, Lon: 2.3522}, 1, &cat, nil)
+	if len(got) != 1 || got[0].Name != "Central Added Museum" {
+		t.Fatalf("nearest attraction = %v", got)
+	}
+}

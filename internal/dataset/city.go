@@ -1,0 +1,181 @@
+// Package dataset builds the POI datasets GroupTravel runs on.
+//
+// The paper uses the TourPedia dump (POIs of eight cities) augmented with
+// Foursquare types, tags and check-in counts; neither source is available
+// offline, so this package synthesizes datasets with the same schema and —
+// more importantly — the same statistical structure the algorithms depend
+// on:
+//
+//   - geography is clustered into neighborhoods (cities are not uniform
+//     point clouds), so cohesiveness and representativity behave like they
+//     do on real cities;
+//   - restaurant/attraction tags are drawn from latent themes (the paper's
+//     "Japanese, sushi" / "art gallery, museum, library" examples), and the
+//     item vectors are produced by actually running LDA on those tags —
+//     the full §2.2 pipeline, not a shortcut;
+//   - check-in counts are Zipf-distributed (a few famous POIs absorb most
+//     visits) and cost = log(#checkins), the paper's §2.1 cost model.
+//
+// A TourPedia-style JSON loader/saver is included so a real dump can be
+// substituted without touching any other package.
+package dataset
+
+import (
+	"fmt"
+
+	"grouptravel/internal/geo"
+	"grouptravel/internal/lda"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/tags"
+)
+
+// City is a fully built dataset: indexed POIs plus the vector schema shared
+// by item vectors and profiles, and the trained LDA models (kept so that
+// POIs added later can be embedded consistently).
+type City struct {
+	Name   string
+	POIs   *poi.Collection
+	Schema *poi.Schema
+
+	RestLDA *lda.Model
+	AttrLDA *lda.Model
+}
+
+// Spec describes a synthetic city to generate.
+type Spec struct {
+	Name          string
+	Center        geo.Point
+	ExtentKm      float64 // approximate city diameter
+	Neighborhoods int     // number of POI clusters
+
+	NumAcco  int
+	NumTrans int
+	NumRest  int
+	NumAttr  int
+
+	Topics     int   // LDA topics for rest and attr vectors
+	LDAIters   int   // Gibbs sweeps when embedding tags
+	Seed       int64 // generation is deterministic per (Spec, Seed)
+	MaxCheckin int   // upper bound for Zipf check-in counts
+}
+
+// DefaultSpec returns a paper-scale city: roughly a thousand POIs with the
+// category mix of a TourPedia city (attractions dominate, then restaurants).
+func DefaultSpec(name string, center geo.Point, seed int64) Spec {
+	return Spec{
+		Name:          name,
+		Center:        center,
+		ExtentKm:      12,
+		Neighborhoods: 9,
+		NumAcco:       150,
+		NumTrans:      100,
+		NumRest:       300,
+		NumAttr:       450,
+		Topics:        6,
+		LDAIters:      120,
+		Seed:          seed,
+		MaxCheckin:    20000,
+	}
+}
+
+// TestSpec returns a small, fast city for unit tests.
+func TestSpec(name string, seed int64) Spec {
+	return Spec{
+		Name:          name,
+		Center:        geo.Point{Lat: 48.8566, Lon: 2.3522},
+		ExtentKm:      8,
+		Neighborhoods: 4,
+		NumAcco:       24,
+		NumTrans:      16,
+		NumRest:       40,
+		NumAttr:       60,
+		Topics:        6,
+		LDAIters:      40,
+		Seed:          seed,
+		MaxCheckin:    5000,
+	}
+}
+
+func (s Spec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("dataset: city name required")
+	}
+	if !s.Center.Valid() {
+		return fmt.Errorf("dataset: invalid center %v", s.Center)
+	}
+	if s.ExtentKm <= 0 || s.Neighborhoods < 1 {
+		return fmt.Errorf("dataset: extent and neighborhoods must be positive")
+	}
+	if s.NumAcco < 1 || s.NumTrans < 1 || s.NumRest < 1 || s.NumAttr < 1 {
+		return fmt.Errorf("dataset: every category needs at least one POI")
+	}
+	if s.Topics < 2 {
+		return fmt.Errorf("dataset: need at least 2 topics, got %d", s.Topics)
+	}
+	if s.LDAIters < 1 {
+		return fmt.Errorf("dataset: need at least 1 LDA iteration")
+	}
+	if s.MaxCheckin < 2 {
+		return fmt.Errorf("dataset: MaxCheckin must be at least 2")
+	}
+	return nil
+}
+
+// BuiltinCenters are the eight TourPedia cities with their true centers;
+// Generate with one of these reproduces the paper's eight-city setting.
+var BuiltinCenters = map[string]geo.Point{
+	"Amsterdam": {Lat: 52.3676, Lon: 4.9041},
+	"Barcelona": {Lat: 41.3874, Lon: 2.1686},
+	"Berlin":    {Lat: 52.5200, Lon: 13.4050},
+	"Dubai":     {Lat: 25.2048, Lon: 55.2708},
+	"London":    {Lat: 51.5072, Lon: -0.1276},
+	"Paris":     {Lat: 48.8566, Lon: 2.3522},
+	"Rome":      {Lat: 41.9028, Lon: 12.4964},
+	"Tuscany":   {Lat: 43.7711, Lon: 11.2486},
+}
+
+// BuiltinCity generates one of the eight TourPedia cities at paper scale.
+// The seed is derived from the name so distinct cities differ but each is
+// reproducible.
+func BuiltinCity(name string) (*City, error) {
+	center, ok := BuiltinCenters[name]
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown builtin city %q (have the eight TourPedia cities)", name)
+	}
+	seed := int64(0)
+	for _, r := range name {
+		seed = seed*131 + int64(r)
+	}
+	return Generate(DefaultSpec(name, center, seed))
+}
+
+// SchemaLabels builds the vector-schema labels: acco/trans use the fixed
+// type registries (§2.2: "the types are well-defined"), rest/attr use the
+// LDA topics, each labeled by its representative top words (the paper shows
+// topics to users through representative tags).
+func schemaLabels(restModel, attrModel *lda.Model) (rest, attr []string) {
+	label := func(m *lda.Model, k int) string {
+		top := m.TopWords(k, 3)
+		return fmt.Sprintf("topic%d(%s)", k, joinWords(top))
+	}
+	for k := 0; k < restModel.Topics(); k++ {
+		rest = append(rest, label(restModel, k))
+	}
+	for k := 0; k < attrModel.Topics(); k++ {
+		attr = append(attr, label(attrModel, k))
+	}
+	return rest, attr
+}
+
+func joinWords(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}
+
+var _ = tags.RestaurantThemes // documented dependency: themes drive tag generation (generate.go)

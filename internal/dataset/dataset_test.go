@@ -1,0 +1,357 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"grouptravel/internal/geo"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/tags"
+)
+
+func testCity(t *testing.T) *City {
+	t.Helper()
+	c, err := Generate(TestSpec("TestParis", 42))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return c
+}
+
+func TestGenerateCounts(t *testing.T) {
+	spec := TestSpec("TestParis", 1)
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := c.POIs.CategoryCounts()
+	want := [poi.NumCategories]int{spec.NumAcco, spec.NumTrans, spec.NumRest, spec.NumAttr}
+	if counts != want {
+		t.Fatalf("category counts = %v, want %v", counts, want)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(TestSpec("X", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(TestSpec("X", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.POIs.All(), b.POIs.All()
+	if len(pa) != len(pb) {
+		t.Fatal("sizes differ across identical runs")
+	}
+	for i := range pa {
+		if pa[i].Name != pb[i].Name || pa[i].Coord != pb[i].Coord || pa[i].Cost != pb[i].Cost {
+			t.Fatalf("POI %d differs across identical runs", i)
+		}
+		for k := range pa[i].Vector {
+			if pa[i].Vector[k] != pb[i].Vector[k] {
+				t.Fatalf("POI %d vector differs across identical runs", i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(TestSpec("X", 1))
+	b, _ := Generate(TestSpec("X", 2))
+	same := 0
+	for i, p := range a.POIs.All() {
+		if p.Coord == b.POIs.All()[i].Coord {
+			same++
+		}
+	}
+	if same > a.POIs.Len()/10 {
+		t.Fatalf("different seeds produced %d/%d identical coordinates", same, a.POIs.Len())
+	}
+}
+
+func TestGeographyWithinExtent(t *testing.T) {
+	spec := TestSpec("TestParis", 3)
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// POIs are Gaussian around neighborhood centers inside the extent disc;
+	// virtually all should fall within ~2 extents of the center.
+	limit := spec.ExtentKm * 2
+	for _, p := range c.POIs.All() {
+		if d := geo.Haversine(spec.Center, p.Coord); d > limit {
+			t.Fatalf("POI %d at %v km from center (limit %v)", p.ID, d, limit)
+		}
+	}
+}
+
+func TestGeographyIsClustered(t *testing.T) {
+	// Average nearest-neighbor distance in a clustered city must be well
+	// below that of a uniform scatter over the same bounding box.
+	c := testCity(t)
+	all := c.POIs.All()
+	nnd := func(points []geo.Point) float64 {
+		tot := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for j, q := range points {
+				if i == j {
+					continue
+				}
+				if d := geo.Equirectangular(p, q); d < best {
+					best = d
+				}
+			}
+			tot += best
+		}
+		return tot / float64(len(points))
+	}
+	pts := make([]geo.Point, len(all))
+	for i, p := range all {
+		pts[i] = p.Coord
+	}
+	r := geo.BoundingRect(pts)
+	// Uniform reference with the same n over the same rect (deterministic
+	// lattice is fine for a coarse comparison).
+	side := int(math.Ceil(math.Sqrt(float64(len(pts)))))
+	var uniform []geo.Point
+	for i := 0; i < side && len(uniform) < len(pts); i++ {
+		for j := 0; j < side && len(uniform) < len(pts); j++ {
+			uniform = append(uniform, geo.Point{
+				Lat: r.Lat - r.Height*float64(i)/float64(side-1),
+				Lon: r.Lon + r.Width*float64(j)/float64(side-1),
+			})
+		}
+	}
+	if nnd(pts) > nnd(uniform) {
+		t.Fatalf("generated city is less clustered than a uniform lattice: %v vs %v", nnd(pts), nnd(uniform))
+	}
+}
+
+func TestCostsFollowLogCheckinModel(t *testing.T) {
+	spec := TestSpec("TestParis", 5)
+	c, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCost := math.Log10(1 + float64(spec.MaxCheckin+1))
+	costs := make([]float64, 0, c.POIs.Len())
+	for _, p := range c.POIs.All() {
+		if p.Cost < 0 || p.Cost > maxCost {
+			t.Fatalf("cost %v outside [0, %v]", p.Cost, maxCost)
+		}
+		costs = append(costs, p.Cost)
+	}
+	// Zipf check-ins → the cost distribution must be right-skewed:
+	// median well below max.
+	sort.Float64s(costs)
+	median := costs[len(costs)/2]
+	if median > 0.7*costs[len(costs)-1] {
+		t.Fatalf("cost distribution not skewed: median %v vs max %v", median, costs[len(costs)-1])
+	}
+}
+
+func TestItemVectorsMatchSchema(t *testing.T) {
+	c := testCity(t)
+	for _, p := range c.POIs.All() {
+		if err := c.Schema.Validate(p); err != nil {
+			t.Fatalf("generated POI invalid: %v", err)
+		}
+		switch p.Cat {
+		case poi.Acco, poi.Trans:
+			// One-hot with the 1 at the POI's type index.
+			if p.Vector.Sum() != 1 {
+				t.Fatalf("POI %d: acco/trans vector not one-hot: %v", p.ID, p.Vector)
+			}
+			if idx := c.Schema.TypeIndex(p.Cat, p.Type); p.Vector[idx] != 1 {
+				t.Fatalf("POI %d: one-hot not at type index", p.ID)
+			}
+		case poi.Rest, poi.Attr:
+			if math.Abs(p.Vector.Sum()-1) > 1e-9 {
+				t.Fatalf("POI %d: topic vector sums to %v", p.ID, p.Vector.Sum())
+			}
+		}
+	}
+}
+
+func TestTopicVectorsAlignWithThemes(t *testing.T) {
+	// Two restaurants planted from the same theme should, on average, have
+	// more similar topic vectors than two from different themes.
+	c := testCity(t)
+	rests := c.POIs.ByCategory(poi.Rest)
+	cos := func(a, b *poi.POI) float64 {
+		num, na, nb := 0.0, 0.0, 0.0
+		for k := range a.Vector {
+			num += a.Vector[k] * b.Vector[k]
+			na += a.Vector[k] * a.Vector[k]
+			nb += b.Vector[k] * b.Vector[k]
+		}
+		return num / math.Sqrt(na*nb)
+	}
+	sameSum, sameN, diffSum, diffN := 0.0, 0, 0.0, 0
+	for i := 0; i < len(rests); i++ {
+		for j := i + 1; j < len(rests); j++ {
+			s := cos(rests[i], rests[j])
+			if rests[i].Type == rests[j].Type {
+				sameSum += s
+				sameN++
+			} else {
+				diffSum += s
+				diffN++
+			}
+		}
+	}
+	if sameN == 0 || diffN == 0 {
+		t.Skip("test city too small for both pair kinds")
+	}
+	same, diff := sameSum/float64(sameN), diffSum/float64(diffN)
+	if same <= diff {
+		t.Fatalf("same-theme similarity %v not above cross-theme %v", same, diff)
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	c := testCity(t)
+	seen := map[string]bool{}
+	for _, p := range c.POIs.All() {
+		if seen[p.Name] {
+			t.Fatalf("duplicate POI name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestTagsDrawnFromThemes(t *testing.T) {
+	c := testCity(t)
+	restWords := map[string]bool{}
+	for _, w := range tags.ThemeWords(tags.RestaurantThemes) {
+		restWords[w] = true
+	}
+	for _, p := range c.POIs.ByCategory(poi.Rest) {
+		for _, tok := range tags.Tokenize(p.Tags) {
+			if !restWords[tok] {
+				t.Fatalf("restaurant %d tag %q not from any theme", p.ID, tok)
+			}
+		}
+	}
+}
+
+func TestBuiltinCity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale city generation in -short mode")
+	}
+	c, err := BuiltinCity("Paris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.POIs.Len() != 1000 {
+		t.Fatalf("builtin Paris has %d POIs, want 1000", c.POIs.Len())
+	}
+	center := BuiltinCenters["Paris"]
+	r := c.POIs.Bounds()
+	if !r.Contains(center) {
+		t.Fatalf("Paris center %v outside POI bounds %v", center, r)
+	}
+	if _, err := BuiltinCity("Atlantis"); err == nil {
+		t.Fatal("unknown builtin city accepted")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{},
+		func() Spec { s := TestSpec("x", 1); s.Name = ""; return s }(),
+		func() Spec { s := TestSpec("x", 1); s.NumRest = 0; return s }(),
+		func() Spec { s := TestSpec("x", 1); s.Topics = 1; return s }(),
+		func() Spec { s := TestSpec("x", 1); s.ExtentKm = -1; return s }(),
+		func() Spec { s := TestSpec("x", 1); s.Center = geo.Point{Lat: 99}; return s }(),
+		func() Spec { s := TestSpec("x", 1); s.MaxCheckin = 1; return s }(),
+	}
+	for i, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := testCity(t)
+	var buf bytes.Buffer
+	if err := c.SaveJSON(&buf); err != nil {
+		t.Fatalf("SaveJSON: %v", err)
+	}
+	c2, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+	if c2.Name != c.Name || c2.POIs.Len() != c.POIs.Len() {
+		t.Fatal("round trip lost identity")
+	}
+	for i, p := range c.POIs.All() {
+		q := c2.POIs.All()[i]
+		if p.ID != q.ID || p.Name != q.Name || p.Cat != q.Cat || p.Coord != q.Coord ||
+			p.Type != q.Type || p.Tags != q.Tags || p.Cost != q.Cost {
+			t.Fatalf("POI %d changed in round trip", i)
+		}
+		for k := range p.Vector {
+			if p.Vector[k] != q.Vector[k] {
+				t.Fatalf("POI %d vector changed in round trip", i)
+			}
+		}
+	}
+	// Schema labels preserved.
+	for _, cat := range poi.Categories {
+		a, b := c.Schema.Labels(cat), c2.Schema.Labels(cat)
+		if len(a) != len(b) {
+			t.Fatalf("schema labels lost for %v", cat)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("schema label changed for %v[%d]", cat, i)
+			}
+		}
+	}
+}
+
+func TestLoadJSONRejectsGarbage(t *testing.T) {
+	if _, err := LoadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage JSON accepted")
+	}
+	// Unknown category inside an otherwise valid document.
+	bad := `{"name":"x","schema":{"acco":["hotel"],"trans":["tram"],"rest":["t0"],"attr":["t0"]},
+	         "pois":[{"id":1,"name":"p","category":"volcano","lat":0,"lon":0,"vector":[1]}]}`
+	if _, err := LoadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	c := testCity(t)
+	var buf bytes.Buffer
+	if err := c.SaveCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != c.POIs.Len()+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), c.POIs.Len()+1)
+	}
+	if !strings.HasPrefix(lines[0], "id,name,cat") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestRoman(t *testing.T) {
+	cases := map[int]string{1: "I", 2: "II", 4: "IV", 9: "IX", 14: "XIV", 40: "XL", 90: "XC", 2024: "MMXXIV"}
+	for n, want := range cases {
+		if got := roman(n); got != want {
+			t.Errorf("roman(%d) = %q, want %q", n, got, want)
+		}
+	}
+	if roman(0) != "" || roman(-3) != "" {
+		t.Error("roman of non-positive not empty")
+	}
+}

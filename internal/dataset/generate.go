@@ -1,0 +1,401 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"grouptravel/internal/geo"
+	"grouptravel/internal/lda"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/tags"
+)
+
+// kmPerDegLat is the latitude degree length; longitude is corrected by
+// cos(latitude) during generation.
+const kmPerDegLat = 110.574
+
+// Generate builds a complete synthetic City from a Spec. The pipeline is:
+//
+//  1. place Gaussian neighborhood clusters inside the city extent;
+//  2. scatter POIs of each category across neighborhoods;
+//  3. assign acco/trans types from the registries, and draw rest/attr tags
+//     from planted latent themes;
+//  4. draw Zipf check-in counts and set cost = log10(1+#checkins) (§2.1);
+//  5. train LDA per category on the generated tags and set the item
+//     vectors: one-hot types for acco/trans, LDA θ for rest/attr (§3.2).
+func Generate(spec Spec) (*City, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(spec.Seed)
+
+	hoods := placeNeighborhoods(spec, src.Split("hoods"))
+	total := spec.NumAcco + spec.NumTrans + spec.NumRest + spec.NumAttr
+	pois := make([]*poi.POI, 0, total)
+
+	counts := map[poi.Category]int{
+		poi.Acco:  spec.NumAcco,
+		poi.Trans: spec.NumTrans,
+		poi.Rest:  spec.NumRest,
+		poi.Attr:  spec.NumAttr,
+	}
+	id := 0
+	namer := newNamer(src.Split("names"))
+	catSrc := src.Split("placement")
+	tagSrc := src.Split("tags")
+	for _, cat := range poi.Categories {
+		for n := 0; n < counts[cat]; n++ {
+			p := &poi.POI{ID: id, Cat: cat}
+			hood := hoods.sampleHood(catSrc)
+			p.Coord = hoods.sample(cat, hood, catSrc)
+			switch cat {
+			case poi.Acco:
+				p.Type = tags.AccommodationTypes[catSrc.WeightedIndex(accoTypeWeights)]
+				p.Tags = accoTags(p.Type, tagSrc)
+			case poi.Trans:
+				p.Type = tags.TransportationTypes[catSrc.WeightedIndex(transTypeWeights)]
+				p.Tags = transTags(p.Type, tagSrc)
+			case poi.Rest:
+				theme := hoods.themeFor(cat, hood, tagSrc)
+				p.Type = tags.RestaurantThemes[theme].Name
+				p.Tags = themedTags(tags.RestaurantThemes, theme, tagSrc)
+			case poi.Attr:
+				theme := hoods.themeFor(cat, hood, tagSrc)
+				p.Type = tags.AttractionThemes[theme].Name
+				p.Tags = themedTags(tags.AttractionThemes, theme, tagSrc)
+			}
+			p.Name = namer.name(cat, p.Type)
+			pois = append(pois, p)
+			id++
+		}
+	}
+
+	assignCosts(pois, spec, src.Split("checkins"))
+
+	restModel, attrModel, err := embedItems(pois, spec.Topics, spec.LDAIters, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Align topic order to the planted themes so that topic j means the
+	// same thing in every generated city: profiles refined in one city
+	// transfer to another (the §4.4.4 Paris→Barcelona study depends on
+	// this; with real TourPedia data the paper trains one LDA over all
+	// cities, which aligns topics implicitly).
+	restPerm := topicThemeAlignment(restModel, tags.RestaurantThemes)
+	attrPerm := topicThemeAlignment(attrModel, tags.AttractionThemes)
+	for _, p := range pois {
+		switch p.Cat {
+		case poi.Rest:
+			p.Vector = permute(p.Vector, restPerm)
+		case poi.Attr:
+			p.Vector = permute(p.Vector, attrPerm)
+		}
+	}
+	restLabels, attrLabels := schemaLabels(restModel, attrModel)
+	restLabels = permuteStrings(restLabels, restPerm)
+	attrLabels = permuteStrings(attrLabels, attrPerm)
+	schema := poi.NewSchema(tags.AccommodationTypes, tags.TransportationTypes, restLabels, attrLabels)
+
+	// acco/trans one-hot vectors need the schema, so fill them now.
+	for _, p := range pois {
+		if p.Cat == poi.Acco || p.Cat == poi.Trans {
+			p.Vector = schema.OneHot(p.Cat, p.Type)
+		}
+	}
+
+	coll, err := poi.NewCollection(schema, pois)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: generated invalid collection: %w", err)
+	}
+	return &City{Name: spec.Name, POIs: coll, Schema: schema, RestLDA: restModel, AttrLDA: attrModel}, nil
+}
+
+// neighborhoods holds cluster centers, per-category placement noise, and
+// per-neighborhood theme biases: real cities concentrate museums in a
+// museum quarter and nightlife in a nightlife district, so each
+// neighborhood draws restaurant/attraction themes from its own skewed
+// distribution. This theme–geography correlation is what makes
+// personalization geographically *expensive* (matching a narrow taste
+// means traveling to particular districts), reproducing the paper's
+// personalization-vs-cohesiveness tension at city scale.
+type neighborhoods struct {
+	centers []geo.Point
+	sigmaKm float64
+	center  geo.Point
+	latCos  float64
+
+	restThemeWeights [][]float64 // [hood][theme]
+	attrThemeWeights [][]float64
+}
+
+func placeNeighborhoods(spec Spec, src *rng.Source) *neighborhoods {
+	h := &neighborhoods{
+		sigmaKm: spec.ExtentKm / (2.5 * math.Sqrt(float64(spec.Neighborhoods))),
+		center:  spec.Center,
+		latCos:  math.Cos(spec.Center.Lat * math.Pi / 180),
+	}
+	radius := spec.ExtentKm / 2
+	for i := 0; i < spec.Neighborhoods; i++ {
+		// Uniform in a disc around the center (rejection-free polar draw).
+		r := radius * math.Sqrt(src.Float64())
+		theta := src.Range(0, 2*math.Pi)
+		h.centers = append(h.centers, h.offset(spec.Center, r*math.Cos(theta), r*math.Sin(theta)))
+		// Skewed per-hood theme mixes (Dirichlet 0.15: one or two themes
+		// dominate each district).
+		h.restThemeWeights = append(h.restThemeWeights, src.Dirichlet(0.15, len(tags.RestaurantThemes)))
+		h.attrThemeWeights = append(h.attrThemeWeights, src.Dirichlet(0.15, len(tags.AttractionThemes)))
+	}
+	return h
+}
+
+// sampleHood picks a neighborhood index.
+func (h *neighborhoods) sampleHood(src *rng.Source) int {
+	return src.Intn(len(h.centers))
+}
+
+// themeFor draws a theme for a rest/attr POI in the given neighborhood.
+func (h *neighborhoods) themeFor(cat poi.Category, hood int, src *rng.Source) int {
+	switch cat {
+	case poi.Rest:
+		return src.WeightedIndex(h.restThemeWeights[hood])
+	case poi.Attr:
+		return src.WeightedIndex(h.attrThemeWeights[hood])
+	default:
+		panic("dataset: themeFor on untagged category")
+	}
+}
+
+// offset shifts a point by east/north kilometers.
+func (h *neighborhoods) offset(p geo.Point, eastKm, northKm float64) geo.Point {
+	return geo.Point{
+		Lat: p.Lat + northKm/kmPerDegLat,
+		Lon: p.Lon + eastKm/(kmPerDegLat*h.latCos),
+	}
+}
+
+// sample draws a POI location inside the given neighborhood: its center
+// plus Gaussian scatter. Transportation is slightly more dispersed
+// (stations line corridors rather than cluster in squares).
+func (h *neighborhoods) sample(cat poi.Category, hood int, src *rng.Source) geo.Point {
+	c := h.centers[hood]
+	sigma := h.sigmaKm
+	if cat == poi.Trans {
+		sigma *= 1.6
+	}
+	return h.offset(c, sigma*src.NormFloat64(), sigma*src.NormFloat64())
+}
+
+// Type frequency weights: common types dominate (hotels over campsites,
+// metro stations over ferry docks), mirroring real city inventories.
+var (
+	accoTypeWeights  = []float64{10, 4, 2, 1, 5, 3, 1, 0.5}
+	transTypeWeights = []float64{4, 2, 8, 5, 2, 4, 3, 0.5}
+)
+
+// themedTags draws 6–14 tag words, ~85% from the POI's own theme and the
+// rest from random other themes — enough signal for LDA to recover the
+// themes, with realistic cross-theme noise.
+func themedTags(themes []tags.Theme, theme int, src *rng.Source) string {
+	n := 6 + src.Intn(9)
+	words := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		pool := themes[theme].Words
+		if src.Bool(0.15) {
+			pool = themes[src.Intn(len(themes))].Words
+		}
+		words = append(words, pool[src.Intn(len(pool))])
+	}
+	return strings.Join(words, " ")
+}
+
+var accoTagPool = []string{"luxury", "suites", "bar", "spa", "breakfast", "wifi", "budget", "central", "quiet", "terrace", "view", "family", "boutique", "historic"}
+
+func accoTags(typ string, src *rng.Source) string {
+	n := 3 + src.Intn(4)
+	words := []string{typ}
+	for i := 0; i < n; i++ {
+		words = append(words, accoTagPool[src.Intn(len(accoTagPool))])
+	}
+	return strings.Join(words, " ")
+}
+
+var transTagPool = []string{"transport", "station", "line", "connection", "rental", "accessible", "night", "express", "terminal", "hub"}
+
+func transTags(typ string, src *rng.Source) string {
+	n := 2 + src.Intn(4)
+	words := []string{typ}
+	for i := 0; i < n; i++ {
+		words = append(words, transTagPool[src.Intn(len(transTagPool))])
+	}
+	return strings.Join(words, " ")
+}
+
+// assignCosts draws Zipf check-in counts over the city's POIs and sets
+// cost = log10(1 + #checkins) — the paper's §2.1 estimator ("the more
+// people check in POI i, the more crowded ... hence the more expensive").
+func assignCosts(pois []*poi.POI, spec Spec, src *rng.Source) {
+	z := src.Zipf(1.4, uint64(spec.MaxCheckin))
+	for _, p := range pois {
+		checkins := z() + 1
+		p.Cost = math.Log10(1 + float64(checkins))
+	}
+}
+
+// topicThemeAlignment computes a canonical topic order: perm[newIdx] is
+// the model's topic whose word distribution puts the most mass on theme
+// newIdx's vocabulary. Themes claim topics greedily in theme order;
+// leftover topics (when K > number of themes) keep their relative order at
+// the end.
+func topicThemeAlignment(m *lda.Model, themes []tags.Theme) []int {
+	k := m.Topics()
+	// affinity[t][topic] = phi mass of the topic on theme t's words.
+	taken := make([]bool, k)
+	var perm []int
+	for _, th := range themes {
+		if len(perm) == k {
+			break
+		}
+		bestTopic, bestMass := -1, -1.0
+		for topic := 0; topic < k; topic++ {
+			if taken[topic] {
+				continue
+			}
+			mass := 0.0
+			phi := m.Phi(topic)
+			for _, w := range th.Words {
+				if id, ok := vocabLookup(m, w); ok {
+					mass += phi[id]
+				}
+			}
+			if mass > bestMass {
+				bestTopic, bestMass = topic, mass
+			}
+		}
+		perm = append(perm, bestTopic)
+		taken[bestTopic] = true
+	}
+	for topic := 0; topic < k; topic++ {
+		if !taken[topic] {
+			perm = append(perm, topic)
+		}
+	}
+	return perm
+}
+
+// vocabLookup resolves a word in the model's training vocabulary.
+func vocabLookup(m *lda.Model, w string) (int, bool) {
+	return m.VocabLookup(w)
+}
+
+// permute returns v reordered so out[j] = v[perm[j]].
+func permute(v []float64, perm []int) []float64 {
+	out := make([]float64, len(v))
+	for j, src := range perm {
+		out[j] = v[src]
+	}
+	return out
+}
+
+// permuteStrings is permute for label slices.
+func permuteStrings(v []string, perm []int) []string {
+	out := make([]string, len(v))
+	for j, src := range perm {
+		out[j] = v[src]
+	}
+	return out
+}
+
+// embedItems trains one LDA model per tagged category and stores the topic
+// distribution θ as each restaurant/attraction item vector.
+func embedItems(pois []*poi.POI, topics, iters int, seed int64) (restModel, attrModel *lda.Model, err error) {
+	build := func(cat poi.Category, seed int64) (*lda.Model, error) {
+		corpus := tags.NewCorpus()
+		var members []*poi.POI
+		for _, p := range pois {
+			if p.Cat != cat {
+				continue
+			}
+			corpus.AddText(p.Tags)
+			members = append(members, p)
+		}
+		cfg := lda.DefaultConfig(topics)
+		cfg.Iterations = iters
+		cfg.Seed = seed
+		m, err := lda.Train(corpus, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: LDA for %s: %w", cat, err)
+		}
+		for d, p := range members {
+			p.Vector = m.Theta(d)
+		}
+		return m, nil
+	}
+	if restModel, err = build(poi.Rest, seed^0x5eed); err != nil {
+		return nil, nil, err
+	}
+	if attrModel, err = build(poi.Attr, seed^0xa77a); err != nil {
+		return nil, nil, err
+	}
+	return restModel, attrModel, nil
+}
+
+// EmbedOptions controls FromPOIs embedding.
+type EmbedOptions struct {
+	Topics   int
+	LDAIters int
+	Seed     int64
+}
+
+// FromPOIs builds a City from externally-sourced POIs (e.g. a converted
+// real TourPedia dump): it trains LDA on the restaurant/attraction tags,
+// aligns topics with the canonical themes, assigns one-hot type vectors to
+// accommodations/transportation, and indexes everything under the
+// resulting schema. Restaurants and attractions must carry tags; acco and
+// trans must carry a known type label.
+func FromPOIs(name string, pois []*poi.POI, opts EmbedOptions) (*City, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dataset: city name required")
+	}
+	if len(pois) == 0 {
+		return nil, fmt.Errorf("dataset: no POIs")
+	}
+	if opts.Topics < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 topics, got %d", opts.Topics)
+	}
+	if opts.LDAIters < 1 {
+		return nil, fmt.Errorf("dataset: need at least 1 LDA iteration")
+	}
+	restModel, attrModel, err := embedItems(pois, opts.Topics, opts.LDAIters, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	restPerm := topicThemeAlignment(restModel, tags.RestaurantThemes)
+	attrPerm := topicThemeAlignment(attrModel, tags.AttractionThemes)
+	for _, p := range pois {
+		switch p.Cat {
+		case poi.Rest:
+			p.Vector = permute(p.Vector, restPerm)
+		case poi.Attr:
+			p.Vector = permute(p.Vector, attrPerm)
+		}
+	}
+	restLabels, attrLabels := schemaLabels(restModel, attrModel)
+	restLabels = permuteStrings(restLabels, restPerm)
+	attrLabels = permuteStrings(attrLabels, attrPerm)
+	schema := poi.NewSchema(tags.AccommodationTypes, tags.TransportationTypes, restLabels, attrLabels)
+	for _, p := range pois {
+		if p.Cat == poi.Acco || p.Cat == poi.Trans {
+			p.Vector = schema.OneHot(p.Cat, p.Type)
+			if p.Vector.Sum() == 0 {
+				return nil, fmt.Errorf("dataset: POI %d (%s) has unknown %s type %q", p.ID, p.Name, p.Cat, p.Type)
+			}
+		}
+	}
+	coll, err := poi.NewCollection(schema, pois)
+	if err != nil {
+		return nil, err
+	}
+	return &City{Name: name, POIs: coll, Schema: schema, RestLDA: restModel, AttrLDA: attrModel}, nil
+}

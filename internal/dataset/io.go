@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"grouptravel/internal/geo"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/vec"
+)
+
+// cityJSON is the on-disk format: a TourPedia-style record per POI plus the
+// schema so that item vectors stay interpretable across save/load.
+type cityJSON struct {
+	Name   string     `json:"name"`
+	Schema schemaJSON `json:"schema"`
+	POIs   []poiJSON  `json:"pois"`
+}
+
+type schemaJSON struct {
+	Acco  []string `json:"acco"`
+	Trans []string `json:"trans"`
+	Rest  []string `json:"rest"`
+	Attr  []string `json:"attr"`
+}
+
+type poiJSON struct {
+	ID     int       `json:"id"`
+	Name   string    `json:"name"`
+	Cat    string    `json:"category"`
+	Lat    float64   `json:"lat"`
+	Lon    float64   `json:"lon"`
+	Type   string    `json:"type"`
+	Tags   string    `json:"tags"`
+	Cost   float64   `json:"cost"`
+	Vector []float64 `json:"vector"`
+}
+
+// SaveJSON writes the city in the TourPedia-style JSON format.
+// LDA models are not serialized; a loaded city can score existing POIs but
+// needs regeneration to embed brand-new tag documents.
+func (c *City) SaveJSON(w io.Writer) error {
+	out := cityJSON{
+		Name: c.Name,
+		Schema: schemaJSON{
+			Acco:  c.Schema.Labels(poi.Acco),
+			Trans: c.Schema.Labels(poi.Trans),
+			Rest:  c.Schema.Labels(poi.Rest),
+			Attr:  c.Schema.Labels(poi.Attr),
+		},
+	}
+	for _, p := range c.POIs.All() {
+		out.POIs = append(out.POIs, poiJSON{
+			ID: p.ID, Name: p.Name, Cat: p.Cat.String(),
+			Lat: p.Coord.Lat, Lon: p.Coord.Lon,
+			Type: p.Type, Tags: p.Tags, Cost: p.Cost, Vector: p.Vector,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadJSON reads a city saved with SaveJSON (or a converted real TourPedia
+// dump). All POIs are re-validated against the embedded schema.
+func LoadJSON(r io.Reader) (*City, error) {
+	var in cityJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decode city: %w", err)
+	}
+	schema := poi.NewSchema(in.Schema.Acco, in.Schema.Trans, in.Schema.Rest, in.Schema.Attr)
+	pois := make([]*poi.POI, 0, len(in.POIs))
+	for _, pj := range in.POIs {
+		cat, err := poi.ParseCategory(pj.Cat)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: poi %d: %w", pj.ID, err)
+		}
+		pois = append(pois, &poi.POI{
+			ID: pj.ID, Name: pj.Name, Cat: cat,
+			Coord: geo.Point{Lat: pj.Lat, Lon: pj.Lon},
+			Type:  pj.Type, Tags: pj.Tags, Cost: pj.Cost,
+			Vector: vec.Vector(pj.Vector),
+		})
+	}
+	coll, err := poi.NewCollection(schema, pois)
+	if err != nil {
+		return nil, err
+	}
+	return &City{Name: in.Name, POIs: coll, Schema: schema}, nil
+}
+
+// csvHeader is the column layout of the CSV export (Table 1 columns).
+var csvHeader = []string{"id", "name", "cat", "lat", "lon", "type", "tags", "cost"}
+
+// SaveCSV writes the POIs as a flat CSV resembling the paper's Table 1.
+// Item vectors are omitted (CSV is for inspection, JSON for round-trips).
+func (c *City) SaveCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, p := range c.POIs.All() {
+		rec := []string{
+			strconv.Itoa(p.ID), p.Name, p.Cat.String(),
+			strconv.FormatFloat(p.Coord.Lat, 'f', 5, 64),
+			strconv.FormatFloat(p.Coord.Lon, 'f', 5, 64),
+			p.Type, p.Tags,
+			strconv.FormatFloat(p.Cost, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

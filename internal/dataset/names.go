@@ -1,0 +1,70 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"grouptravel/internal/poi"
+	"grouptravel/internal/rng"
+)
+
+// namer produces human-readable, unique POI names in the style of the
+// paper's Table 1 ("Le Burgundy", "The Bicycle Store", "Un Zèbre à
+// Montmartre", "Les Arts Décoratifs").
+type namer struct {
+	src  *rng.Source
+	seen map[string]int
+}
+
+func newNamer(src *rng.Source) *namer {
+	return &namer{src: src, seen: make(map[string]int)}
+}
+
+var (
+	nameArticles = []string{"Le", "La", "Les", "Chez", "Un", "The", "Grand", "Petit", "Café", "Maison"}
+	nameStems    = []string{
+		"Burgundy", "Zèbre", "Montmartre", "Marais", "Bastille", "Opéra", "Louvre",
+		"Jardin", "Colline", "Rivage", "Lumière", "Horizon", "Étoile", "Canal",
+		"Belleville", "Rocher", "Verger", "Aurore", "Mirabeau", "Sablon",
+	}
+	catSuffix = map[poi.Category][]string{
+		poi.Acco:  {"Hôtel", "Suites", "Residence", "Lodge", "Inn"},
+		poi.Trans: {"Station", "Stop", "Terminal", "Dock", "Point"},
+		poi.Rest:  {"Bistro", "Table", "Kitchen", "Brasserie", "Cantine"},
+		poi.Attr:  {"Gallery", "Museum", "Garden", "Palace", "Theatre"},
+	}
+)
+
+// name returns a unique display name for a POI of the given category/type.
+func (n *namer) name(cat poi.Category, typ string) string {
+	art := nameArticles[n.src.Intn(len(nameArticles))]
+	stem := nameStems[n.src.Intn(len(nameStems))]
+	suf := catSuffix[cat][n.src.Intn(len(catSuffix[cat]))]
+	base := fmt.Sprintf("%s %s %s", art, stem, suf)
+	n.seen[base]++
+	if c := n.seen[base]; c > 1 {
+		return fmt.Sprintf("%s %s", base, roman(c))
+	}
+	return base
+}
+
+// roman renders small positive integers as Roman numerals — hotels really
+// are named like that ("Hôtel Lumière II").
+func roman(v int) string {
+	if v <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	pairs := []struct {
+		n int
+		s string
+	}{{1000, "M"}, {900, "CM"}, {500, "D"}, {400, "CD"}, {100, "C"}, {90, "XC"},
+		{50, "L"}, {40, "XL"}, {10, "X"}, {9, "IX"}, {5, "V"}, {4, "IV"}, {1, "I"}}
+	for _, p := range pairs {
+		for v >= p.n {
+			b.WriteString(p.s)
+			v -= p.n
+		}
+	}
+	return b.String()
+}

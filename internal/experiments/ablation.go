@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/metrics"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/render"
+	"grouptravel/internal/rng"
+)
+
+// This file holds the ablation studies DESIGN.md calls out: experiments
+// the paper motivates but does not tabulate. They dissect the design
+// choices — the personalization weight γ (the source of the paper's
+// tension), the KFC refinement rounds, repetition across CIs, and the
+// extended consensus methods.
+
+// TensionPoint is one γ setting of the personalization sweep.
+type TensionPoint struct {
+	Gamma            float64
+	Representativity float64 // km, mean over groups
+	WithinCIKm       float64 // mean Σ pairwise within-CI distance (lower = more cohesive)
+	Personalization  float64 // mean Eq. 4 value
+}
+
+// TensionReport is the personalization-vs-cohesiveness tension curve
+// (§4.3.3 observes the tension; this sweep quantifies it).
+type TensionReport struct {
+	Points []TensionPoint
+	Groups int
+}
+
+// RunTensionSweep builds packages for uniform groups across a γ grid with
+// α = β = 1 fixed, reporting how geography degrades as personalization
+// strengthens.
+func RunTensionSweep(cfg Config, gammas []float64, groups int) (*TensionReport, error) {
+	if err := cfg.ensureCities(false); err != nil {
+		return nil, err
+	}
+	if len(gammas) < 2 {
+		return nil, fmt.Errorf("experiments: tension sweep needs at least 2 gamma values")
+	}
+	if groups < 1 {
+		return nil, fmt.Errorf("experiments: groups = %d", groups)
+	}
+	engine, err := core.NewEngine(cfg.City)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	rep := &TensionReport{Groups: groups}
+	// One fixed set of groups across all γ so the curve isolates γ.
+	type handle struct {
+		gp   *profile.Profile
+		seed int64
+	}
+	gps := make([]handle, groups)
+	for gi := 0; gi < groups; gi++ {
+		g, err := makeGroup(&cfg, GroupClass{Uniform: true, Size: profile.Small}, root.Split(fmt.Sprintf("tension-%d", gi)))
+		if err != nil {
+			return nil, err
+		}
+		gp, err := consensus.GroupProfile(g, consensus.AveragePref)
+		if err != nil {
+			return nil, err
+		}
+		gps[gi] = handle{gp: gp, seed: int64(gi % 16)}
+	}
+	for _, gamma := range gammas {
+		var pt TensionPoint
+		pt.Gamma = gamma
+		for _, h := range gps {
+			params := core.DefaultParams(cfg.K)
+			params.Gamma = gamma
+			params.Seed = h.seed
+			tp, err := engine.Build(h.gp, defaultQuery, params)
+			if err != nil {
+				return nil, err
+			}
+			d := tp.Measure()
+			pt.Representativity += d.Representativity
+			pt.WithinCIKm += d.RawDistance
+			pt.Personalization += d.Personalization
+		}
+		n := float64(groups)
+		pt.Representativity /= n
+		pt.WithinCIKm /= n
+		pt.Personalization /= n
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// Render formats the tension curve as a table plus an ASCII chart.
+func (r *TensionReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: personalization-vs-geography tension (uniform groups, %d per point)\n", r.Groups)
+	fmt.Fprintf(&b, "%8s %20s %18s %18s\n", "gamma", "representativity km", "within-CI km", "personalization")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8.2f %20.2f %18.2f %18.2f\n", p.Gamma, p.Representativity, p.WithinCIKm, p.Personalization)
+	}
+	b.WriteString("(the paper's §4.3.3 tension: personalization up => within-CI distance up)\n")
+	if len(r.Points) >= 2 {
+		labels := make([]string, len(r.Points))
+		within := make([]float64, len(r.Points))
+		pers := make([]float64, len(r.Points))
+		for i, p := range r.Points {
+			labels[i] = fmt.Sprintf("%g", p.Gamma)
+			within[i] = p.WithinCIKm
+			pers[i] = p.Personalization
+		}
+		chart, err := render.Chart("gamma sweep", labels, []render.Series{
+			{Name: "within-CI km", Marker: 'o', Ys: within},
+			{Name: "personalization", Marker: 'x', Ys: pers},
+		}, 60, 12)
+		if err == nil {
+			b.WriteString("\n")
+			b.WriteString(chart)
+		}
+	}
+	return b.String()
+}
+
+// ConsensusAblation compares the paper's four methods plus the extension
+// methods (most pleasure, average without misery) on the Table 2 setup.
+type ConsensusAblation struct {
+	// Rows follow consensus.ExtendedMethods; Cells[row] holds normalized
+	// R/C/P averaged over uniform and non-uniform groups respectively.
+	Names   []string
+	Uniform []Cell
+	NonUni  []Cell
+}
+
+// RunConsensusAblation runs a reduced Table 2 over the six extended
+// methods (small groups only — the method comparison, not the size sweep).
+func RunConsensusAblation(cfg Config) (*ConsensusAblation, error) {
+	if err := cfg.ensureCities(false); err != nil {
+		return nil, err
+	}
+	engine, err := core.NewEngine(cfg.City)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	type obs struct {
+		method  int
+		uniform bool
+		dims    metrics.Dimensions
+	}
+	var all []obs
+	for _, uniform := range []bool{true, false} {
+		src := root.Split(fmt.Sprintf("consensus-ablation/%v", uniform))
+		for gi := 0; gi < cfg.GroupsPerCell; gi++ {
+			class := GroupClass{Uniform: uniform, Size: profile.Small}
+			g, err := makeGroup(&cfg, class, src.Split(fmt.Sprintf("g%d", gi)))
+			if err != nil {
+				return nil, err
+			}
+			params := buildParams(&cfg, src, int64(gi%16))
+			for mi, m := range consensus.ExtendedMethods {
+				gp, err := consensus.GroupProfile(g, m)
+				if err != nil {
+					return nil, err
+				}
+				tp, err := engine.Build(gp, defaultQuery, params)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, obs{method: mi, uniform: uniform, dims: tp.Measure()})
+			}
+		}
+	}
+	// Shared normalization.
+	var rv, dv, pv []float64
+	for _, o := range all {
+		rv = append(rv, o.dims.Representativity)
+		dv = append(dv, o.dims.RawDistance)
+		pv = append(pv, o.dims.Personalization)
+	}
+	rmm, dmm, pmm := metrics.MinMaxOf(rv), metrics.MinMaxOf(dv), metrics.MinMaxOf(pv)
+	s := dmm.Max
+	cmm := metrics.MinMax{Min: s - dmm.Max, Max: s - dmm.Min}
+
+	out := &ConsensusAblation{
+		Uniform: make([]Cell, len(consensus.ExtendedMethods)),
+		NonUni:  make([]Cell, len(consensus.ExtendedMethods)),
+	}
+	for _, m := range consensus.ExtendedMethods {
+		out.Names = append(out.Names, m.Name)
+	}
+	countU := make([]int, len(out.Uniform))
+	countN := make([]int, len(out.NonUni))
+	for _, o := range all {
+		cell := &out.NonUni[o.method]
+		if o.uniform {
+			cell = &out.Uniform[o.method]
+			countU[o.method]++
+		} else {
+			countN[o.method]++
+		}
+		cell.R += rmm.Normalize(o.dims.Representativity)
+		cell.C += cmm.Normalize(s - o.dims.RawDistance)
+		cell.P += pmm.Normalize(o.dims.Personalization)
+	}
+	for mi := range out.Uniform {
+		if countU[mi] > 0 {
+			out.Uniform[mi].R /= float64(countU[mi])
+			out.Uniform[mi].C /= float64(countU[mi])
+			out.Uniform[mi].P /= float64(countU[mi])
+		}
+		if countN[mi] > 0 {
+			out.NonUni[mi].R /= float64(countN[mi])
+			out.NonUni[mi].C /= float64(countN[mi])
+			out.NonUni[mi].P /= float64(countN[mi])
+		}
+	}
+	return out, nil
+}
+
+// Render formats the consensus ablation.
+func (a *ConsensusAblation) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation: extended consensus methods (small groups, normalized %)\n")
+	fmt.Fprintf(&b, "%-26s | %-20s | %-20s\n", "method", "uniform R/C/P", "non-uniform R/C/P")
+	for i, name := range a.Names {
+		u, n := a.Uniform[i], a.NonUni[i]
+		fmt.Fprintf(&b, "%-26s | %4.0f%% %4.0f%% %4.0f%%     | %4.0f%% %4.0f%% %4.0f%%\n",
+			name, 100*u.R, 100*u.C, 100*u.P, 100*n.R, 100*n.C, 100*n.P)
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTensionSweepMonotoneDirection(t *testing.T) {
+	cfg := quickCfg(t)
+	rep, err := RunTensionSweep(cfg, []float64{0, 1, 5, 25}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 4 {
+		t.Fatalf("got %d points", len(rep.Points))
+	}
+	first, last := rep.Points[0], rep.Points[len(rep.Points)-1]
+	// Personalization must rise with γ.
+	if last.Personalization <= first.Personalization {
+		t.Fatalf("personalization did not rise with gamma: %v -> %v",
+			first.Personalization, last.Personalization)
+	}
+	// Geography must pay: within-CI distance rises (the paper's tension).
+	if last.WithinCIKm <= first.WithinCIKm {
+		t.Fatalf("within-CI distance did not rise with gamma: %v -> %v",
+			first.WithinCIKm, last.WithinCIKm)
+	}
+	if !strings.Contains(rep.Render(), "gamma") {
+		t.Fatal("render missing content")
+	}
+}
+
+func TestTensionSweepValidation(t *testing.T) {
+	cfg := quickCfg(t)
+	if _, err := RunTensionSweep(cfg, []float64{1}, 3); err == nil {
+		t.Fatal("single gamma accepted")
+	}
+	if _, err := RunTensionSweep(cfg, []float64{0, 1}, 0); err == nil {
+		t.Fatal("zero groups accepted")
+	}
+}
+
+func TestConsensusAblation(t *testing.T) {
+	cfg := quickCfg(t)
+	a, err := RunConsensusAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Names) != 6 {
+		t.Fatalf("expected 6 methods, got %d", len(a.Names))
+	}
+	for i := range a.Names {
+		for _, c := range []Cell{a.Uniform[i], a.NonUni[i]} {
+			for _, v := range []float64{c.R, c.C, c.P} {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s: cell outside [0,1]: %+v", a.Names[i], c)
+				}
+			}
+		}
+	}
+	// Most pleasure must personalize at least as well as least misery for
+	// non-uniform groups (max of disjoint supports is non-zero; min is 0).
+	var lm, mp Cell
+	for i, name := range a.Names {
+		switch name {
+		case "least misery":
+			lm = a.NonUni[i]
+		case "most pleasure":
+			mp = a.NonUni[i]
+		}
+	}
+	if mp.P < lm.P {
+		t.Fatalf("most pleasure P %.2f below least misery %.2f for non-uniform groups", mp.P, lm.P)
+	}
+	if !strings.Contains(a.Render(), "most pleasure") {
+		t.Fatal("render missing extension methods")
+	}
+}

@@ -1,0 +1,236 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4):
+//
+//	Table 2 — synthetic experiment: normalized representativity /
+//	          cohesiveness / personalization per consensus × group class
+//	Table 3 — agreement between median users and their groups
+//	Table 4 — user study, independent evaluation (mean 1–5 ratings)
+//	Table 5 — user study, comparative evaluation (pairwise preference %)
+//	Table 6 — customization study, independent evaluation
+//	Table 7 — customization study, comparative evaluation
+//
+// plus the §3.2 Haversine-vs-equirectangular claim, the §4.3.3 Pearson
+// correlations, the §4.3.1 ANOVA validation and the Eq. 5 sample size.
+// Each Run* function is deterministic for a given Config.
+package experiments
+
+import (
+	"fmt"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/rng"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// City is the main experiment city ("Paris" in the paper).
+	City *dataset.City
+	// SecondCity hosts the cross-city customization study ("Barcelona").
+	// Only Tables 6 and 7 need it.
+	SecondCity *dataset.City
+	// GroupsPerCell is the number of random groups per (uniformity, size)
+	// cell in the synthetic experiment — 100 in the paper.
+	GroupsPerCell int
+	// StudyGroupsPerCell is the number of groups per cell in the simulated
+	// user study (the paper used 5 uniform / 3 non-uniform groups per size).
+	StudyGroupsPerCell int
+	// K is the number of CIs per travel package (5 everywhere in §4).
+	K int
+	// Seed makes the whole run reproducible.
+	Seed int64
+	// Parallelism is the number of worker goroutines building packages in
+	// the synthetic experiment (0 or 1 = sequential). Results are
+	// bit-identical at any parallelism: all randomness is drawn in a fixed
+	// sequential pass before the builds fan out, and each worker gets its
+	// own Engine (package builds are deterministic functions of their
+	// inputs).
+	Parallelism int
+	// PoolStudy switches the user study (Tables 4-7 group construction) to
+	// the paper's actual §4.4.1 pipeline: a simulated participant pool is
+	// recruited once, and study groups are *formed from the pool* by
+	// greedy uniformity search (profile.FormGroup) instead of being
+	// synthesized directly. Default off (direct synthesis reaches the
+	// uniformity bands deterministically, which the quick tests rely on).
+	PoolStudy bool
+	// PoolSize is the simulated pool size when PoolStudy is on (default
+	// 600 — segments of like-minded personas plus independents).
+	PoolSize int
+}
+
+// DefaultConfig returns the paper-scale configuration. Cities are
+// generated on first use; pass prebuilt ones to share across runs.
+func DefaultConfig() Config {
+	return Config{
+		GroupsPerCell:      100,
+		StudyGroupsPerCell: 3,
+		K:                  5,
+		Seed:               2019, // EDBT 2019
+	}
+}
+
+// QuickConfig returns a configuration small enough for unit tests while
+// exercising every code path.
+func QuickConfig() Config {
+	return Config{
+		GroupsPerCell:      6,
+		StudyGroupsPerCell: 2,
+		K:                  4,
+		Seed:               7,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.GroupsPerCell < 1 || c.StudyGroupsPerCell < 1 {
+		return fmt.Errorf("experiments: group counts must be positive")
+	}
+	if c.K < 2 {
+		return fmt.Errorf("experiments: K = %d (need at least 2 for representativity)", c.K)
+	}
+	return nil
+}
+
+// ensureCities generates the default Paris/Barcelona analogues when the
+// config does not supply cities.
+func (c *Config) ensureCities(needSecond bool) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	if c.City == nil {
+		city, err := dataset.BuiltinCity("Paris")
+		if err != nil {
+			return err
+		}
+		c.City = city
+	}
+	if needSecond && c.SecondCity == nil {
+		city, err := dataset.BuiltinCity("Barcelona")
+		if err != nil {
+			return err
+		}
+		c.SecondCity = city
+	}
+	return nil
+}
+
+// GroupClass is one row block of Tables 2–5: a uniformity band and a size
+// class.
+type GroupClass struct {
+	Uniform bool
+	Size    profile.SizeClass
+}
+
+// GroupClasses enumerates the paper's six group classes in table order:
+// uniform small/medium/large, then non-uniform small/medium/large.
+var GroupClasses = []GroupClass{
+	{true, profile.Small}, {true, profile.Medium}, {true, profile.Large},
+	{false, profile.Small}, {false, profile.Medium}, {false, profile.Large},
+}
+
+// String returns e.g. "uniform/small".
+func (gc GroupClass) String() string {
+	u := "non-uniform"
+	if gc.Uniform {
+		u = "uniform"
+	}
+	return u + "/" + gc.Size.String()
+}
+
+// makeGroup builds one random group of the given class over the city's
+// schema.
+func makeGroup(cfg *Config, gc GroupClass, src *rng.Source) (*profile.Group, error) {
+	if gc.Uniform {
+		return profile.GenerateUniformGroup(cfg.City.Schema, gc.Size.Size(), src)
+	}
+	return profile.GenerateNonUniformGroup(cfg.City.Schema, gc.Size.Size(), src)
+}
+
+// studyPool lazily recruits the simulated participant pool for PoolStudy
+// runs: segments of like-minded personas (so uniform bands are reachable)
+// plus sparse diverse users (so non-uniform bands are too) plus
+// independents.
+func studyPool(cfg *Config, src *rng.Source) ([]*profile.Profile, error) {
+	size := cfg.PoolSize
+	if size == 0 {
+		size = 600
+	}
+	var pool []*profile.Profile
+	// Two jumbo persona segments (a large uniform group must be formable:
+	// the study's "large" class has 100 members).
+	jumbo := size / 5
+	if jumbo < profile.Large.Size()+10 {
+		jumbo = profile.Large.Size() + 10
+	}
+	for s := 0; s < 2; s++ {
+		g, err := profile.GenerateUniformGroup(cfg.City.Schema, jumbo, src.Split("jumbo"))
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, g.Members...)
+	}
+	// Sparse diverse users — enough that a 100-member non-uniform group
+	// exists (drawn as one big non-uniform group, flattened).
+	sparse := size / 5
+	if sparse < profile.Large.Size()+10 {
+		sparse = profile.Large.Size() + 10
+	}
+	g, err := profile.GenerateNonUniformGroup(cfg.City.Schema, sparse, src.Split("sparse"))
+	if err != nil {
+		return nil, err
+	}
+	pool = append(pool, g.Members...)
+	// Small persona segments of 12.
+	for len(pool) < size*85/100 {
+		seg, err := profile.GenerateUniformGroup(cfg.City.Schema, 12, src.Split("segment"))
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, seg.Members...)
+	}
+	// Rest: independents.
+	for len(pool) < size {
+		pool = append(pool, profile.GenerateRandomProfile(cfg.City.Schema, src))
+	}
+	return pool, nil
+}
+
+// makeStudyGroup builds one study group: from the pool when PoolStudy is
+// on (the §4.4.1 pipeline), otherwise by direct synthesis.
+func makeStudyGroup(cfg *Config, pool []*profile.Profile, gc GroupClass, src *rng.Source) (*profile.Group, error) {
+	if !cfg.PoolStudy {
+		return makeGroup(cfg, gc, src)
+	}
+	band := profile.UniformBand
+	if !gc.Uniform {
+		band = profile.NonUniformBand
+	}
+	return profile.FormGroup(cfg.City.Schema, pool, gc.Size.Size(), band, src)
+}
+
+// buildParams returns the §4.3.1 objective weights: γ = 1 fixed, α and β
+// uniform random in [0,1] "to prevent bias towards an optimization
+// objective".
+func buildParams(cfg *Config, src *rng.Source, clusterSeed int64) core.Params {
+	p := core.DefaultParams(cfg.K)
+	p.Alpha = src.Float64()
+	p.Beta = src.Float64()
+	p.Gamma = 1.0
+	p.Seed = clusterSeed
+	return p
+}
+
+// MethodNames are the display names of the four consensus methods in
+// table column order.
+var MethodNames = []string{
+	"average preference", "least misery", "pair-wise disagreement", "disagreement variance",
+}
+
+// methods in column order.
+var methods = consensus.Methods
+
+// defaultQuery is the paper's ⟨1 acco, 1 trans, 1 rest, 3 attr⟩ with
+// unlimited budget.
+var defaultQuery = query.Default()

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"grouptravel/internal/geo"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/stats"
+)
+
+// PCCReport holds the §4.3.3 Pearson correlations for uniform groups: how
+// cohesiveness and personalization move with group size under each
+// consensus method. The paper reports cohesiveness PCCs of +0.98, +0.73,
+// +0.73, +0.99 and personalization PCCs of −0.99, −0.99, −0.89, −0.89.
+type PCCReport struct {
+	// CohesivenessPCC[methodIdx] and PersonalizationPCC[methodIdx] in
+	// consensus.Methods order.
+	CohesivenessPCC    []float64
+	PersonalizationPCC []float64
+}
+
+// PCC computes the size-trend correlations from a Table 2 result. The
+// series correlates the three uniform size classes (5, 10, 100 members)
+// with the per-cell mean normalized dimension, per method — exactly the
+// three-point series behind the paper's PCC numbers.
+func (t *Table2Result) PCC() (*PCCReport, error) {
+	sizes := []float64{5, 10, 100}
+	rep := &PCCReport{
+		CohesivenessPCC:    make([]float64, len(methods)),
+		PersonalizationPCC: make([]float64, len(methods)),
+	}
+	for mi := range methods {
+		var coh, pers []float64
+		for _, class := range GroupClasses[:3] { // uniform small/medium/large
+			cell := t.CellFor(class, mi)
+			coh = append(coh, cell.C)
+			pers = append(pers, cell.P)
+		}
+		var err error
+		if rep.CohesivenessPCC[mi], err = stats.Pearson(sizes, coh); err != nil {
+			return nil, err
+		}
+		if rep.PersonalizationPCC[mi], err = stats.Pearson(sizes, pers); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// Render formats the PCC report.
+func (r *PCCReport) Render() string {
+	var b strings.Builder
+	b.WriteString("PCC of group size vs dimensions, uniform groups (paper: C +0.98/+0.73/+0.73/+0.99, P -0.99/-0.99/-0.89/-0.89)\n")
+	fmt.Fprintf(&b, "%-24s%14s%18s\n", "method", "cohesiveness", "personalization")
+	for mi, name := range MethodNames {
+		fmt.Fprintf(&b, "%-24s%+14.2f%+18.2f\n", name, r.CohesivenessPCC[mi], r.PersonalizationPCC[mi])
+	}
+	return b.String()
+}
+
+// ANOVAReport validates the Table 2 observations with one-way ANOVA across
+// consensus methods, per optimization dimension, as §4.3.1 prescribes
+// ("the One-way ANOVA procedure, with the F-measure of MSB/MSE and the
+// significance level of p = 0.05").
+type ANOVAReport struct {
+	Representativity stats.ANOVAResult
+	Cohesiveness     stats.ANOVAResult
+	Personalization  stats.ANOVAResult
+}
+
+// ANOVA groups the raw Table 2 runs by consensus method and tests whether
+// the method influences each dimension.
+func (t *Table2Result) ANOVA() (*ANOVAReport, error) {
+	byMethodR := make([][]float64, len(methods))
+	byMethodC := make([][]float64, len(methods))
+	byMethodP := make([][]float64, len(methods))
+	for _, r := range t.runs {
+		byMethodR[r.method] = append(byMethodR[r.method], t.RangeR.Normalize(r.dims.Representativity))
+		byMethodC[r.method] = append(byMethodC[r.method], t.RangeC.Normalize(t.S-r.dims.RawDistance))
+		byMethodP[r.method] = append(byMethodP[r.method], t.RangeP.Normalize(r.dims.Personalization))
+	}
+	rep := &ANOVAReport{}
+	var err error
+	if rep.Representativity, err = stats.ANOVA(byMethodR); err != nil {
+		return nil, err
+	}
+	if rep.Cohesiveness, err = stats.ANOVA(byMethodC); err != nil {
+		return nil, err
+	}
+	if rep.Personalization, err = stats.ANOVA(byMethodP); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Render formats the ANOVA report in the paper's notation.
+func (r *ANOVAReport) Render() string {
+	var b strings.Builder
+	b.WriteString("One-way ANOVA across consensus methods (significance level p = 0.05)\n")
+	fmt.Fprintf(&b, "representativity: %v (significant: %v)\n", r.Representativity, r.Representativity.Significant(0.05))
+	fmt.Fprintf(&b, "cohesiveness:     %v (significant: %v)\n", r.Cohesiveness, r.Cohesiveness.Significant(0.05))
+	fmt.Fprintf(&b, "personalization:  %v (significant: %v)\n", r.Personalization, r.Personalization.Significant(0.05))
+	return b.String()
+}
+
+// DistanceReport measures the §3.2 claim: "our performance gain is 30x
+// with only 0.1% of precision loss" for replacing Haversine with
+// equirectangular distances inside a city.
+type DistanceReport struct {
+	Pairs            int
+	HaversineNs      float64 // mean ns per call
+	EquirectNs       float64
+	Speedup          float64
+	MaxRelativeError float64 // worst in-city relative error
+}
+
+// RunDistanceReport times both distance functions over random intra-city
+// pairs and records the worst relative error.
+func RunDistanceReport(pairs int, seed int64) (*DistanceReport, error) {
+	if pairs < 100 {
+		return nil, fmt.Errorf("experiments: need at least 100 pairs, got %d", pairs)
+	}
+	src := rng.New(seed)
+	as := make([]geo.Point, pairs)
+	bs := make([]geo.Point, pairs)
+	for i := range as {
+		as[i] = geo.Point{Lat: src.Range(48.80, 48.92), Lon: src.Range(2.25, 2.42)}
+		bs[i] = geo.Point{Lat: src.Range(48.80, 48.92), Lon: src.Range(2.25, 2.42)}
+	}
+	rep := &DistanceReport{Pairs: pairs}
+
+	var sinkH, sinkE float64
+	start := time.Now()
+	for i := range as {
+		sinkH += geo.Haversine(as[i], bs[i])
+	}
+	rep.HaversineNs = float64(time.Since(start).Nanoseconds()) / float64(pairs)
+	start = time.Now()
+	for i := range as {
+		sinkE += geo.Equirectangular(as[i], bs[i])
+	}
+	rep.EquirectNs = float64(time.Since(start).Nanoseconds()) / float64(pairs)
+	if sinkE == 0 && sinkH == 0 {
+		return nil, fmt.Errorf("experiments: degenerate distance benchmark")
+	}
+	if rep.EquirectNs > 0 {
+		rep.Speedup = rep.HaversineNs / rep.EquirectNs
+	}
+	for i := range as {
+		h := geo.Haversine(as[i], bs[i])
+		if h < 0.05 {
+			continue
+		}
+		e := geo.Equirectangular(as[i], bs[i])
+		relErr := (e - h) / h
+		if relErr < 0 {
+			relErr = -relErr
+		}
+		if relErr > rep.MaxRelativeError {
+			rep.MaxRelativeError = relErr
+		}
+	}
+	return rep, nil
+}
+
+// Render formats the distance report against the paper's claim.
+func (r *DistanceReport) Render() string {
+	var b strings.Builder
+	b.WriteString("Distance approximation (§3.2 claim: 30x speedup, 0.1% precision loss)\n")
+	fmt.Fprintf(&b, "pairs: %d\n", r.Pairs)
+	fmt.Fprintf(&b, "haversine:       %.1f ns/op\n", r.HaversineNs)
+	fmt.Fprintf(&b, "equirectangular: %.1f ns/op\n", r.EquirectNs)
+	fmt.Fprintf(&b, "measured speedup: %.1fx (paper: 30x)\n", r.Speedup)
+	fmt.Fprintf(&b, "max in-city relative error: %.4f%% (paper: 0.1%%)\n", 100*r.MaxRelativeError)
+	return b.String()
+}
+
+// SampleSizeReport reproduces the §4.4.1 sample-size computation (Eq. 5).
+type SampleSizeReport struct {
+	Population int
+	Margin     float64
+	Confidence float64
+	Proportion float64
+	SampleSize int
+}
+
+// RunSampleSizeReport evaluates Eq. 5 with the paper's parameters:
+// N = 200000, e = 3%, z = 95% confidence, p = 50% → 1062.
+func RunSampleSizeReport() (*SampleSizeReport, error) {
+	n, err := stats.SampleSize(200000, 0.03, stats.Z95, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	return &SampleSizeReport{
+		Population: 200000, Margin: 0.03, Confidence: 0.95, Proportion: 0.5,
+		SampleSize: n,
+	}, nil
+}
+
+// Render formats the sample-size report.
+func (r *SampleSizeReport) Render() string {
+	return fmt.Sprintf(
+		"Sample size (Eq. 5): N=%d, e=%.0f%%, confidence=%.0f%%, p=%.0f%% -> n=%d (paper: at least 1062)\n",
+		r.Population, 100*r.Margin, 100*r.Confidence, 100*r.Proportion, r.SampleSize)
+}

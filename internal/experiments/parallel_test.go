@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestTable2ParallelMatchesSequential verifies the determinism contract:
+// any parallelism produces bit-identical cells.
+func TestTable2ParallelMatchesSequential(t *testing.T) {
+	cfg := quickCfg(t)
+	cfg.GroupsPerCell = 4
+
+	cfg.Parallelism = 1
+	seq, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		cfg.Parallelism = workers
+		par, err := RunTable2(cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", workers, err)
+		}
+		for ci := range seq.Cells {
+			for mi := range seq.Cells[ci] {
+				if seq.Cells[ci][mi] != par.Cells[ci][mi] {
+					t.Fatalf("parallelism %d: cell [%d][%d] differs: %+v vs %+v",
+						workers, ci, mi, seq.Cells[ci][mi], par.Cells[ci][mi])
+				}
+			}
+		}
+		if seq.S != par.S || seq.RangeR != par.RangeR || seq.RangeP != par.RangeP {
+			t.Fatalf("parallelism %d: normalization constants differ", workers)
+		}
+	}
+}
+
+// TestTable2ParallelismBeyondTasks exercises the workers > tasks clamp.
+func TestTable2ParallelismBeyondTasks(t *testing.T) {
+	cfg := quickCfg(t)
+	cfg.GroupsPerCell = 1
+	cfg.Parallelism = 1000
+	if _, err := RunTable2(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

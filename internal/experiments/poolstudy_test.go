@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+
+	"grouptravel/internal/rng"
+)
+
+// TestPoolStudyMode runs Tables 4/5 with groups formed from a simulated
+// participant pool (the §4.4.1 pipeline) and checks the study's headline
+// finding still holds.
+func TestPoolStudyMode(t *testing.T) {
+	cfg := quickCfg(t)
+	cfg.PoolStudy = true
+	cfg.PoolSize = 400
+	cfg.StudyGroupsPerCell = 1
+	t4, t5, err := RunTables4And5(cfg)
+	if err != nil {
+		t.Fatalf("pool study: %v", err)
+	}
+	// Ratings stay in scale and the personalized variants still win for
+	// most classes.
+	wins := 0
+	for ci := range GroupClasses {
+		for vi, s := range t4.Scores[ci] {
+			if s < 1 || s > 5 {
+				t.Fatalf("score [%d][%d] = %v", ci, vi, s)
+			}
+		}
+		best := t4.bestVariant(ci)
+		if best != VarRandom && best != VarNonPersonalized {
+			wins++
+		}
+	}
+	if wins < 4 {
+		t.Errorf("personalized variants win only %d/6 classes under pool study", wins)
+	}
+	for ci := range t5.Supremacy {
+		for pi, f := range t5.Supremacy[ci] {
+			if f < 0 || f > 1 {
+				t.Fatalf("supremacy [%d][%d] = %v", ci, pi, f)
+			}
+		}
+	}
+}
+
+// TestStudyPoolComposition checks the recruited pool can form every group
+// class the study needs.
+func TestStudyPoolComposition(t *testing.T) {
+	cfg := quickCfg(t)
+	cfg.PoolSize = 400
+	pool, err := studyPool(&cfg, rng.New(cfg.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 400 {
+		t.Fatalf("pool size %d", len(pool))
+	}
+	poolCfg := cfg
+	poolCfg.PoolStudy = true
+	for _, gc := range GroupClasses {
+		if _, err := makeStudyGroup(&poolCfg, pool, gc, rng.New(cfg.Seed+int64(gc.Size)+boolSeed(gc.Uniform))); err != nil {
+			t.Errorf("%s: %v", gc, err)
+		}
+	}
+}
+
+func boolSeed(b bool) int64 {
+	if b {
+		return 1000
+	}
+	return 2000
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/metrics"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/rng"
+)
+
+// Cell holds the three normalized optimization dimensions of one table
+// cell, in [0,1] (the paper prints them as percentages).
+type Cell struct {
+	R float64 // representativity
+	C float64 // cohesiveness
+	P float64 // personalization
+}
+
+// run is one raw measurement: a travel package built for one (group,
+// method) pair.
+type run struct {
+	class  GroupClass
+	method int // index into consensus.Methods
+	group  int // group index within the cell
+	dims   metrics.Dimensions
+}
+
+// Table2Result is the synthetic experiment of §4.3: for every consensus
+// method and group class, the normalized optimization dimensions averaged
+// over GroupsPerCell random groups.
+type Table2Result struct {
+	// Cells[classIdx][methodIdx], classes in GroupClasses order, methods
+	// in consensus.Methods order.
+	Cells [][]Cell
+	// Ranges are the observed raw ranges used for normalization — the
+	// paper reports its own as R [0.03, 41.39], C [19.29, 221.79],
+	// P [0.01, 0.16].
+	RangeR, RangeC, RangeP metrics.MinMax
+	// S is the Eq. 3 constant: the largest observed aggregate within-CI
+	// distance (the paper's 221.79).
+	S float64
+
+	runs []run // retained for Table 3, PCC and ANOVA reuse
+}
+
+// task is one pre-generated package build of the synthetic experiment.
+type task struct {
+	class  GroupClass
+	method int
+	group  int
+	gp     *profile.Profile
+	params core.Params
+}
+
+// RunTable2 executes the synthetic experiment. For every group class it
+// generates cfg.GroupsPerCell random groups, computes a group profile with
+// each of the four consensus methods, builds a k-CI travel package per
+// profile (γ=1, α,β ~ U[0,1]), and reports min-max-normalized dimensions
+// averaged per cell. With cfg.Parallelism > 1 the (deterministic) package
+// builds run on a worker pool.
+func RunTable2(cfg Config) (*Table2Result, error) {
+	if err := cfg.ensureCities(false); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+
+	// Phase 1 — sequential generation: all randomness (groups, α, β,
+	// clustering seeds, consensus profiles) is consumed here in a fixed
+	// order, so parallelism cannot perturb it.
+	var tasks []task
+	for _, class := range GroupClasses {
+		classSrc := root.Split("table2/" + class.String())
+		for gi := 0; gi < cfg.GroupsPerCell; gi++ {
+			g, err := makeGroup(&cfg, class, classSrc.Split(fmt.Sprintf("group-%d", gi)))
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s group %d: %w", class, gi, err)
+			}
+			// One α,β draw and one clustering seed per group: the four
+			// methods are compared under identical conditions, differing
+			// only in the group profile they aggregate.
+			params := buildParams(&cfg, classSrc, int64(gi%16))
+			for mi, method := range methods {
+				gp, err := consensus.GroupProfile(g, method)
+				if err != nil {
+					return nil, err
+				}
+				tasks = append(tasks, task{class: class, method: mi, group: gi, gp: gp, params: params})
+			}
+		}
+	}
+
+	// Phase 2 — deterministic builds, optionally parallel.
+	runs, err := executeTasks(&cfg, tasks)
+	if err != nil {
+		return nil, err
+	}
+	return summarizeTable2(runs), nil
+}
+
+// executeTasks builds every task's package and measures it, preserving
+// task order in the result.
+func executeTasks(cfg *Config, tasks []task) ([]run, error) {
+	workers := cfg.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	runs := make([]run, len(tasks))
+	if workers == 1 {
+		engine, err := core.NewEngine(cfg.City)
+		if err != nil {
+			return nil, err
+		}
+		for i, tk := range tasks {
+			if err := executeOne(engine, tk, &runs[i]); err != nil {
+				return nil, err
+			}
+		}
+		return runs, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			engine, err := core.NewEngine(cfg.City)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := w; i < len(tasks); i += workers {
+				if err := executeOne(engine, tasks[i], &runs[i]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+func executeOne(engine *core.Engine, tk task, out *run) error {
+	tp, err := engine.Build(tk.gp, defaultQuery, tk.params)
+	if err != nil {
+		return fmt.Errorf("table2 %s group %d method %d: %w", tk.class, tk.group, tk.method, err)
+	}
+	*out = run{class: tk.class, method: tk.method, group: tk.group, dims: tp.Measure()}
+	return nil
+}
+
+// summarizeTable2 normalizes the raw runs and averages them per cell.
+func summarizeTable2(runs []run) *Table2Result {
+	rVals := make([]float64, len(runs))
+	dVals := make([]float64, len(runs))
+	pVals := make([]float64, len(runs))
+	for i, r := range runs {
+		rVals[i] = r.dims.Representativity
+		dVals[i] = r.dims.RawDistance
+		pVals[i] = r.dims.Personalization
+	}
+	res := &Table2Result{
+		RangeR: metrics.MinMaxOf(rVals),
+		RangeP: metrics.MinMaxOf(pVals),
+		runs:   runs,
+	}
+	// Eq. 3: S is the largest observed aggregate distance; cohesiveness
+	// is S − raw, normalized over its own observed range.
+	res.S = metrics.MinMaxOf(dVals).Max
+	cVals := make([]float64, len(runs))
+	for i, d := range dVals {
+		cVals[i] = res.S - d
+	}
+	res.RangeC = metrics.MinMaxOf(cVals)
+
+	sums := make([][]Cell, len(GroupClasses))
+	counts := make([][]int, len(GroupClasses))
+	for i := range sums {
+		sums[i] = make([]Cell, len(methods))
+		counts[i] = make([]int, len(methods))
+	}
+	classIdx := func(gc GroupClass) int {
+		for i, c := range GroupClasses {
+			if c == gc {
+				return i
+			}
+		}
+		panic("experiments: unknown group class")
+	}
+	for i, r := range runs {
+		ci := classIdx(r.class)
+		cell := &sums[ci][r.method]
+		cell.R += res.RangeR.Normalize(rVals[i])
+		cell.C += res.RangeC.Normalize(cVals[i])
+		cell.P += res.RangeP.Normalize(pVals[i])
+		counts[ci][r.method]++
+	}
+	res.Cells = sums
+	for ci := range sums {
+		for mi := range sums[ci] {
+			if n := counts[ci][mi]; n > 0 {
+				sums[ci][mi].R /= float64(n)
+				sums[ci][mi].C /= float64(n)
+				sums[ci][mi].P /= float64(n)
+			}
+		}
+	}
+	return res
+}
+
+// CellFor returns the cell for a group class and method index.
+func (t *Table2Result) CellFor(gc GroupClass, method int) Cell {
+	for i, c := range GroupClasses {
+		if c == gc {
+			return t.Cells[i][method]
+		}
+	}
+	panic("experiments: unknown group class")
+}
+
+// Render formats the result like the paper's Table 2 layout.
+func (t *Table2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: synthetic experiment (normalized %%, avg over groups)\n")
+	fmt.Fprintf(&b, "%-22s", "")
+	for _, name := range MethodNames {
+		fmt.Fprintf(&b, "| %-23s", name)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-22s", "group class")
+	for range MethodNames {
+		fmt.Fprintf(&b, "| %5s %5s %5s      ", "R", "C", "P")
+	}
+	b.WriteString("\n")
+	for ci, class := range GroupClasses {
+		fmt.Fprintf(&b, "%-22s", class.String())
+		for mi := range methods {
+			c := t.Cells[ci][mi]
+			fmt.Fprintf(&b, "| %4.0f%% %4.0f%% %4.0f%%      ", 100*c.R, 100*c.C, 100*c.P)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "raw ranges: R %s km, C %s km (S=%.2f), P %s\n",
+		t.RangeR, t.RangeC, t.S, t.RangeP)
+	return b.String()
+}

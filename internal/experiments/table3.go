@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/metrics"
+	"grouptravel/internal/rng"
+)
+
+// Table3Result reports the agreement between median users and their groups
+// (§4.3.3): how close the optimization dimensions of the group's travel
+// package are to those of a package built for the group's median user
+// alone. 100% is perfect agreement.
+type Table3Result struct {
+	// Cells[classIdx][methodIdx] — same layout as Table 2.
+	Cells [][]Cell
+}
+
+// RunTable3 executes the median-user experiment. For every group it finds
+// the median user (the member with the highest summed cosine similarity to
+// the others), builds one package for the group profile and one for the
+// median user's own profile, and reports per-dimension agreement
+// 1 − |normalized(group) − normalized(median)| averaged per cell.
+func RunTable3(cfg Config) (*Table3Result, error) {
+	if err := cfg.ensureCities(false); err != nil {
+		return nil, err
+	}
+	engine, err := core.NewEngine(cfg.City)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+
+	type pairRun struct {
+		class      GroupClass
+		method     int
+		groupDims  metrics.Dimensions
+		medianDims metrics.Dimensions
+	}
+	var runs []pairRun
+	for _, class := range GroupClasses {
+		classSrc := root.Split("table3/" + class.String())
+		for gi := 0; gi < cfg.GroupsPerCell; gi++ {
+			g, err := makeGroup(&cfg, class, classSrc.Split(fmt.Sprintf("group-%d", gi)))
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s group %d: %w", class, gi, err)
+			}
+			median := g.Members[g.MedianUser()]
+			params := buildParams(&cfg, classSrc, int64(gi%16))
+			medianTP, err := engine.Build(median, defaultQuery, params)
+			if err != nil {
+				return nil, err
+			}
+			medianDims := medianTP.Measure()
+			for mi, method := range methods {
+				gp, err := consensus.GroupProfile(g, method)
+				if err != nil {
+					return nil, err
+				}
+				tp, err := engine.Build(gp, defaultQuery, params)
+				if err != nil {
+					return nil, err
+				}
+				// Personalization must be comparable: evaluate both
+				// packages against the median user's own profile.
+				gd := tp.Measure()
+				gd.Personalization = metrics.Personalization(tp.CIs, median)
+				runs = append(runs, pairRun{class: class, method: mi, groupDims: gd, medianDims: medianDims})
+			}
+		}
+	}
+
+	// Pool both package kinds for one shared normalization per dimension.
+	var rv, dv, pv []float64
+	for _, r := range runs {
+		rv = append(rv, r.groupDims.Representativity, r.medianDims.Representativity)
+		dv = append(dv, r.groupDims.RawDistance, r.medianDims.RawDistance)
+		pv = append(pv, r.groupDims.Personalization, r.medianDims.Personalization)
+	}
+	rmm, dmm, pmm := metrics.MinMaxOf(rv), metrics.MinMaxOf(dv), metrics.MinMaxOf(pv)
+	s := dmm.Max
+	cohN := func(raw float64) float64 {
+		// Normalize cohesiveness (S − raw) over its induced range.
+		return metrics.MinMax{Min: s - dmm.Max, Max: s - dmm.Min}.Normalize(s - raw)
+	}
+
+	res := &Table3Result{Cells: make([][]Cell, len(GroupClasses))}
+	counts := make([][]int, len(GroupClasses))
+	for i := range res.Cells {
+		res.Cells[i] = make([]Cell, len(methods))
+		counts[i] = make([]int, len(methods))
+	}
+	classIdx := func(gc GroupClass) int {
+		for i, c := range GroupClasses {
+			if c == gc {
+				return i
+			}
+		}
+		panic("experiments: unknown group class")
+	}
+	agree := func(a, b float64) float64 { return 1 - math.Abs(a-b) }
+	for _, r := range runs {
+		ci := classIdx(r.class)
+		cell := &res.Cells[ci][r.method]
+		cell.R += agree(rmm.Normalize(r.groupDims.Representativity), rmm.Normalize(r.medianDims.Representativity))
+		cell.C += agree(cohN(r.groupDims.RawDistance), cohN(r.medianDims.RawDistance))
+		cell.P += agree(pmm.Normalize(r.groupDims.Personalization), pmm.Normalize(r.medianDims.Personalization))
+		counts[ci][r.method]++
+	}
+	for ci := range res.Cells {
+		for mi := range res.Cells[ci] {
+			if n := counts[ci][mi]; n > 0 {
+				res.Cells[ci][mi].R /= float64(n)
+				res.Cells[ci][mi].C /= float64(n)
+				res.Cells[ci][mi].P /= float64(n)
+			}
+		}
+	}
+	return res, nil
+}
+
+// CellFor returns the cell for a group class and method index.
+func (t *Table3Result) CellFor(gc GroupClass, method int) Cell {
+	for i, c := range GroupClasses {
+		if c == gc {
+			return t.Cells[i][method]
+		}
+	}
+	panic("experiments: unknown group class")
+}
+
+// Render formats the result like the paper's Table 3 layout.
+func (t *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 3: agreement between median users and groups (100% = highest)\n")
+	fmt.Fprintf(&b, "%-22s", "group class")
+	for _, name := range MethodNames {
+		fmt.Fprintf(&b, "| %-23s", name)
+	}
+	b.WriteString("\n")
+	for ci, class := range GroupClasses {
+		fmt.Fprintf(&b, "%-22s", class.String())
+		for mi := range methods {
+			c := t.Cells[ci][mi]
+			fmt.Fprintf(&b, "| %4.0f%% %4.0f%% %4.0f%%      ", 100*c.R, 100*c.C, 100*c.P)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

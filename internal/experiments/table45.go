@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/sim"
+)
+
+// TPVariant names the six packages each study group evaluates (§4.4.3).
+type TPVariant int
+
+const (
+	VarRandom TPVariant = iota
+	VarNonPersonalized
+	VarAverage  // AVTP
+	VarLeastMis // LMTP
+	VarPairwise // ADTP
+	VarVariance // DVTP
+
+	numVariants
+)
+
+// String returns the paper's label.
+func (v TPVariant) String() string {
+	switch v {
+	case VarRandom:
+		return "random"
+	case VarNonPersonalized:
+		return "NPTP"
+	case VarAverage:
+		return "AVTP"
+	case VarLeastMis:
+		return "LMTP"
+	case VarPairwise:
+		return "ADTP"
+	case VarVariance:
+		return "DVTP"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Variants lists the six variants in Table 4's column order.
+var Variants = []TPVariant{VarRandom, VarNonPersonalized, VarAverage, VarLeastMis, VarPairwise, VarVariance}
+
+// Pair is one pairwise comparison of Table 5.
+type Pair struct{ A, B TPVariant }
+
+// Table5Pairs are the ten comparisons the paper reports, in column order:
+// AVTP vs {LMTP, ADTP, DVTP, NPTP}, LMTP vs {ADTP, DVTP, NPTP},
+// ADTP vs {DVTP, NPTP}, DVTP vs NPTP.
+var Table5Pairs = []Pair{
+	{VarAverage, VarLeastMis}, {VarAverage, VarPairwise}, {VarAverage, VarVariance}, {VarAverage, VarNonPersonalized},
+	{VarLeastMis, VarPairwise}, {VarLeastMis, VarVariance}, {VarLeastMis, VarNonPersonalized},
+	{VarPairwise, VarVariance}, {VarPairwise, VarNonPersonalized},
+	{VarVariance, VarNonPersonalized},
+}
+
+// Table4Result is the independent user-study evaluation: mean 1–5 interest
+// per variant per group class.
+type Table4Result struct {
+	// Scores[classIdx][variant] in GroupClasses × Variants order.
+	Scores [][]float64
+	// Discarded counts raters removed by the honeypot filter (the paper
+	// discarded 23 of 349).
+	Discarded int
+	Retained  int
+}
+
+// Table5Result is the comparative evaluation: for each pair (A,B), the
+// fraction of raters preferring A.
+type Table5Result struct {
+	// Supremacy[classIdx][pairIdx] = fraction preferring Table5Pairs[pairIdx].A.
+	Supremacy [][]float64
+}
+
+// studyPackages builds the six variant packages for one group.
+func studyPackages(engine *core.Engine, cfg *Config, g *profile.Group, src *rng.Source) (map[TPVariant]*core.TravelPackage, error) {
+	out := make(map[TPVariant]*core.TravelPackage, numVariants)
+	params := core.DefaultParams(cfg.K)
+	params.Seed = src.Int63() % 16
+
+	var err error
+	if out[VarRandom], err = engine.BuildRandom(defaultQuery, cfg.K, src.Int63()); err != nil {
+		return nil, err
+	}
+	if out[VarNonPersonalized], err = engine.Build(nil, defaultQuery, params); err != nil {
+		return nil, err
+	}
+	byVariant := map[TPVariant]consensus.Method{
+		VarAverage:  consensus.AveragePref,
+		VarLeastMis: consensus.LeastMisery,
+		VarPairwise: consensus.PairwiseDis,
+		VarVariance: consensus.VarianceDis,
+	}
+	for v, m := range byVariant {
+		gp, err := consensus.GroupProfile(g, m)
+		if err != nil {
+			return nil, err
+		}
+		if out[v], err = engine.Build(gp, defaultQuery, params); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunTables4And5 runs the simulated personalization study: for each group
+// class it recruits StudyGroupsPerCell groups, builds the six packages,
+// filters raters with the invalid-CI honeypot, and gathers independent
+// (Table 4) and comparative (Table 5) evaluations.
+func RunTables4And5(cfg Config) (*Table4Result, *Table5Result, error) {
+	if err := cfg.ensureCities(false); err != nil {
+		return nil, nil, err
+	}
+	engine, err := core.NewEngine(cfg.City)
+	if err != nil {
+		return nil, nil, err
+	}
+	root := rng.New(cfg.Seed)
+
+	t4 := &Table4Result{Scores: make([][]float64, len(GroupClasses))}
+	t5 := &Table5Result{Supremacy: make([][]float64, len(GroupClasses))}
+	for ci := range GroupClasses {
+		t4.Scores[ci] = make([]float64, numVariants)
+		t5.Supremacy[ci] = make([]float64, len(Table5Pairs))
+	}
+
+	// The paper's careless-rater rate: 23 discarded of 349 ≈ 6.6%.
+	const carelessFrac = 0.066
+
+	// PoolStudy: recruit the participant pool once for the whole study.
+	var pool []*profile.Profile
+	if cfg.PoolStudy {
+		var err error
+		if pool, err = studyPool(&cfg, root.Split("pool")); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	for ci, class := range GroupClasses {
+		classSrc := root.Split("study/" + class.String())
+		t4Counts := make([]int, numVariants)
+		t5Counts := make([]int, len(Table5Pairs))
+		for gi := 0; gi < cfg.StudyGroupsPerCell; gi++ {
+			gSrc := classSrc.Split(fmt.Sprintf("group-%d", gi))
+			g, err := makeStudyGroup(&cfg, pool, class, gSrc)
+			if err != nil {
+				return nil, nil, fmt.Errorf("study %s group %d: %w", class, gi, err)
+			}
+			tps, err := studyPackages(engine, &cfg, g, gSrc)
+			if err != nil {
+				return nil, nil, err
+			}
+			honeypot, err := engine.BuildHoneypot(defaultQuery, cfg.K, gSrc.Int63())
+			if err != nil {
+				return nil, nil, err
+			}
+			panel, err := sim.NewPanel(g, carelessFrac, gSrc.Split("panel"))
+			if err != nil {
+				return nil, nil, err
+			}
+			legit := make([]*core.TravelPackage, 0, numVariants)
+			named := make(map[string]*core.TravelPackage, numVariants)
+			for _, v := range Variants {
+				legit = append(legit, tps[v])
+				named[v.String()] = tps[v]
+			}
+			keep := panel.FilterByHoneypot(honeypot, legit)
+			t4.Discarded += len(panel.Raters) - len(keep)
+			t4.Retained += len(keep)
+
+			// Independent evaluation (Table 4).
+			scores := panel.IndependentEval(named, keep)
+			for vi, v := range Variants {
+				t4.Scores[ci][vi] += scores[v.String()] * float64(len(keep))
+				t4Counts[vi] += len(keep)
+			}
+			// Comparative evaluation (Table 5).
+			for pi, pair := range Table5Pairs {
+				frac := panel.ComparativeEval(tps[pair.A], tps[pair.B], keep)
+				t5.Supremacy[ci][pi] += frac * float64(len(keep))
+				t5Counts[pi] += len(keep)
+			}
+		}
+		for vi := range Variants {
+			if t4Counts[vi] > 0 {
+				t4.Scores[ci][vi] /= float64(t4Counts[vi])
+			}
+		}
+		for pi := range Table5Pairs {
+			if t5Counts[pi] > 0 {
+				t5.Supremacy[ci][pi] /= float64(t5Counts[pi])
+			}
+		}
+	}
+	return t4, t5, nil
+}
+
+// Render formats Table 4 like the paper.
+func (t *Table4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 4: independent evaluation of user study (mean interest, 1-5)\n")
+	fmt.Fprintf(&b, "%-22s", "group class")
+	for _, v := range Variants {
+		fmt.Fprintf(&b, "%8s", v)
+	}
+	b.WriteString("\n")
+	for ci, class := range GroupClasses {
+		fmt.Fprintf(&b, "%-22s", class.String())
+		for vi := range Variants {
+			fmt.Fprintf(&b, "%8.2f", t.Scores[ci][vi])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "honeypot filter: discarded %d raters, retained %d\n", t.Discarded, t.Retained)
+	return b.String()
+}
+
+// Render formats Table 5 like the paper.
+func (t *Table5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 5: comparative evaluation (% preferring the first of each pair)\n")
+	fmt.Fprintf(&b, "%-22s", "group class")
+	for _, p := range Table5Pairs {
+		fmt.Fprintf(&b, "%14s", fmt.Sprintf("%s>%s", p.A, p.B))
+	}
+	b.WriteString("\n")
+	for ci, class := range GroupClasses {
+		fmt.Fprintf(&b, "%-22s", class.String())
+		for pi := range Table5Pairs {
+			fmt.Fprintf(&b, "%13.0f%%", 100*t.Supremacy[ci][pi])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// bestVariant returns the variant with the highest Table 4 score for a
+// class (used by experiment self-checks and EXPERIMENTS.md reporting).
+func (t *Table4Result) bestVariant(classIdx int) TPVariant {
+	idx := make([]int, numVariants)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return t.Scores[classIdx][idx[a]] > t.Scores[classIdx][idx[b]]
+	})
+	return Variants[idx[0]]
+}

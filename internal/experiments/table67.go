@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/sim"
+)
+
+// Strategy names the three packages of the customization study (§4.4.4).
+type Strategy int
+
+const (
+	StratIndividual Strategy = iota
+	StratBatch
+	StratNonPersonalized
+)
+
+// String returns the paper's label.
+func (s Strategy) String() string {
+	switch s {
+	case StratIndividual:
+		return "individual"
+	case StratBatch:
+		return "batch"
+	case StratNonPersonalized:
+		return "non-personalized"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists the three strategies in Table 6 row order.
+var Strategies = []Strategy{StratIndividual, StratBatch, StratNonPersonalized}
+
+// Table6Result is the independent evaluation of customized packages: mean
+// 1–5 ratings of the Barcelona packages per strategy, for the uniform and
+// non-uniform study groups.
+type Table6Result struct {
+	// Scores[strategy][0] = uniform group, [1] = non-uniform group.
+	Scores map[Strategy][2]float64
+	// Sizes of the two groups (11 and 7 in the paper).
+	UniformSize, NonUniformSize int
+}
+
+// Table7Result is the comparative evaluation: supremacy percentages for
+// batch vs individual, batch vs non-personalized, individual vs
+// non-personalized.
+type Table7Result struct {
+	// Supremacy[pair][0] = uniform group, [1] = non-uniform group.
+	BatchVsIndividual [2]float64
+	BatchVsNonPers    [2]float64
+	IndividualVsNP    [2]float64
+}
+
+// RunTables6And7 runs the customization study end to end:
+//
+//  1. build a personalized package in the first city (Paris);
+//  2. let every group member interact with it (simulated §3.3 operations);
+//  3. refine the group profile with the individual and batch strategies;
+//  4. build packages in the second city (Barcelona) from each refined
+//     profile plus a non-personalized control;
+//  5. gather independent ratings (Table 6) and pairwise preferences
+//     (Table 7) from the group's raters, after honeypot filtering.
+//
+// Group sizes follow the paper: one uniform group of 11 and one
+// non-uniform group of 7.
+func RunTables6And7(cfg Config) (*Table6Result, *Table7Result, error) {
+	if err := cfg.ensureCities(true); err != nil {
+		return nil, nil, err
+	}
+	parisEngine, err := core.NewEngine(cfg.City)
+	if err != nil {
+		return nil, nil, err
+	}
+	barcaEngine, err := core.NewEngine(cfg.SecondCity)
+	if err != nil {
+		return nil, nil, err
+	}
+	root := rng.New(cfg.Seed)
+
+	t6 := &Table6Result{Scores: make(map[Strategy][2]float64), UniformSize: 11, NonUniformSize: 7}
+	t7 := &Table7Result{}
+
+	for col, uniform := range []bool{true, false} {
+		src := root.Split(fmt.Sprintf("customize/uniform=%v", uniform))
+		var g *profile.Group
+		if uniform {
+			g, err = profile.GenerateUniformGroup(cfg.City.Schema, t6.UniformSize, src)
+		} else {
+			g, err = profile.GenerateNonUniformGroup(cfg.City.Schema, t6.NonUniformSize, src)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		// Aggregate with pairwise disagreement — the method Table 2 found
+		// strongest across group variants.
+		method := consensus.PairwiseDis
+		gp, err := consensus.GroupProfile(g, method)
+		if err != nil {
+			return nil, nil, err
+		}
+		params := core.DefaultParams(cfg.K)
+		parisTP, err := parisEngine.Build(gp, defaultQuery, params)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// Interactive customization in Paris.
+		sess, err := interact.NewSession(cfg.City, parisTP)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := sim.SimulateCustomization(sess, g, sim.DefaultCustomizeOptions(), src.Split("ops")); err != nil {
+			return nil, nil, err
+		}
+		ops := sess.Log()
+
+		// Profile refinement, both strategies.
+		batchGP, err := interact.RefineBatch(gp, ops)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, indivGP, err := interact.RefineIndividual(g, method, ops)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// Cross-city packages in Barcelona. The schemas of the two cities
+		// share acco/trans types; rest/attr topics are aligned by the
+		// shared theme generator (same dimensionality and semantics).
+		tps := map[Strategy]*core.TravelPackage{}
+		if tps[StratBatch], err = barcaEngine.Build(batchGP, defaultQuery, params); err != nil {
+			return nil, nil, err
+		}
+		if tps[StratIndividual], err = barcaEngine.Build(indivGP, defaultQuery, params); err != nil {
+			return nil, nil, err
+		}
+		if tps[StratNonPersonalized], err = barcaEngine.Build(nil, defaultQuery, params); err != nil {
+			return nil, nil, err
+		}
+
+		// Evaluation with honeypot filtering, as in §4.4.4.
+		honeypot, err := barcaEngine.BuildHoneypot(defaultQuery, cfg.K, src.Int63())
+		if err != nil {
+			return nil, nil, err
+		}
+		panel, err := sim.NewPanel(g, 0.066, src.Split("panel"))
+		if err != nil {
+			return nil, nil, err
+		}
+		legit := []*core.TravelPackage{tps[StratBatch], tps[StratIndividual], tps[StratNonPersonalized]}
+		keep := panel.FilterByHoneypot(honeypot, legit)
+
+		named := map[string]*core.TravelPackage{}
+		for _, s := range Strategies {
+			named[s.String()] = tps[s]
+		}
+		scores := panel.IndependentEval(named, keep)
+		for _, s := range Strategies {
+			cell := t6.Scores[s]
+			cell[col] = scores[s.String()]
+			t6.Scores[s] = cell
+		}
+		t7.BatchVsIndividual[col] = panel.ComparativeEval(tps[StratBatch], tps[StratIndividual], keep)
+		t7.BatchVsNonPers[col] = panel.ComparativeEval(tps[StratBatch], tps[StratNonPersonalized], keep)
+		t7.IndividualVsNP[col] = panel.ComparativeEval(tps[StratIndividual], tps[StratNonPersonalized], keep)
+	}
+	return t6, t7, nil
+}
+
+// Render formats Table 6 like the paper.
+func (t *Table6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 6: independent evaluation of customized travel packages\n")
+	fmt.Fprintf(&b, "%-18s%22s%26s\n", "TP type",
+		fmt.Sprintf("uniform (%d members)", t.UniformSize),
+		fmt.Sprintf("non-uniform (%d members)", t.NonUniformSize))
+	for _, s := range Strategies {
+		fmt.Fprintf(&b, "%-18s%22.2f%26.2f\n", s, t.Scores[s][0], t.Scores[s][1])
+	}
+	return b.String()
+}
+
+// Render formats Table 7 like the paper.
+func (t *Table7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 7: comparative evaluation of customized travel packages\n")
+	fmt.Fprintf(&b, "%-14s%20s%22s%24s\n", "", "batch>individual", "batch>non-pers", "individual>non-pers")
+	fmt.Fprintf(&b, "%-14s%19.0f%%%21.0f%%%23.0f%%\n", "uniform",
+		100*t.BatchVsIndividual[0], 100*t.BatchVsNonPers[0], 100*t.IndividualVsNP[0])
+	fmt.Fprintf(&b, "%-14s%19.0f%%%21.0f%%%23.0f%%\n", "non-uniform",
+		100*t.BatchVsIndividual[1], 100*t.BatchVsNonPers[1], 100*t.IndividualVsNP[1])
+	return b.String()
+}

@@ -1,0 +1,277 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grouptravel/internal/geo"
+	"grouptravel/internal/rng"
+)
+
+// twoBlobs generates two well-separated Gaussian clusters around Paris.
+func twoBlobs(nPer int, seed int64) []geo.Point {
+	src := rng.New(seed)
+	centers := []geo.Point{{Lat: 48.83, Lon: 2.28}, {Lat: 48.89, Lon: 2.40}}
+	var pts []geo.Point
+	for _, c := range centers {
+		for i := 0; i < nPer; i++ {
+			pts = append(pts, geo.Point{
+				Lat: c.Lat + 0.004*src.NormFloat64(),
+				Lon: c.Lon + 0.004*src.NormFloat64(),
+			})
+		}
+	}
+	return pts
+}
+
+func TestClusterRecoverTwoBlobs(t *testing.T) {
+	pts := twoBlobs(60, 1)
+	norm := geo.NormalizerFor(pts)
+	res, err := Cluster(pts, norm, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each centroid must sit near a distinct blob center.
+	blobs := []geo.Point{{Lat: 48.83, Lon: 2.28}, {Lat: 48.89, Lon: 2.40}}
+	assigned := map[int]bool{}
+	for _, c := range res.Centroids {
+		best, bestD := -1, math.Inf(1)
+		for bi, b := range blobs {
+			if d := geo.Equirectangular(c, b); d < bestD {
+				best, bestD = bi, d
+			}
+		}
+		if bestD > 2.0 {
+			t.Fatalf("centroid %v is %v km from nearest blob center", c, bestD)
+		}
+		if assigned[best] {
+			t.Fatalf("both centroids converged on blob %d", best)
+		}
+		assigned[best] = true
+	}
+}
+
+func TestMembershipRowsSumToOne(t *testing.T) {
+	pts := twoBlobs(40, 2)
+	norm := geo.NormalizerFor(pts)
+	res, err := Cluster(pts, norm, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res.Weights {
+		sum := 0.0
+		for _, w := range row {
+			if w < 0 || w > 1 {
+				t.Fatalf("point %d: membership %v outside [0,1]", i, w)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("point %d: memberships sum to %v (Eq. 1 constraint)", i, sum)
+		}
+	}
+}
+
+func TestMembershipsAreFuzzy(t *testing.T) {
+	// The reason the paper uses fuzzy clustering: points between clusters
+	// belong to several. A point midway must have non-trivial weight on
+	// both centroids.
+	pts := twoBlobs(50, 3)
+	mid := geo.Point{Lat: 48.86, Lon: 2.34}
+	pts = append(pts, mid)
+	norm := geo.NormalizerFor(pts)
+	res, err := Cluster(pts, norm, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Weights[len(pts)-1]
+	if row[0] < 0.15 || row[1] < 0.15 {
+		t.Fatalf("midpoint memberships %v not fuzzy", row)
+	}
+}
+
+func TestNearPointsGetHigherMembership(t *testing.T) {
+	pts := twoBlobs(50, 4)
+	norm := geo.NormalizerFor(pts)
+	res, err := Cluster(pts, norm, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		// The closest centroid must carry the largest membership.
+		bestJ, bestD := -1, math.Inf(1)
+		for j, c := range res.Centroids {
+			if d := geo.Equirectangular(p, c); d < bestD {
+				bestJ, bestD = j, d
+			}
+		}
+		maxJ := 0
+		for j, w := range res.Weights[i] {
+			if w > res.Weights[i][maxJ] {
+				maxJ = j
+			}
+		}
+		if maxJ != bestJ {
+			t.Fatalf("point %d: max membership on cluster %d, nearest is %d", i, maxJ, bestJ)
+		}
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	pts := twoBlobs(40, 5)
+	norm := geo.NormalizerFor(pts)
+	r1, err := Cluster(pts, norm, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Cluster(pts, norm, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range r1.Centroids {
+		if r1.Centroids[j] != r2.Centroids[j] {
+			t.Fatal("same seed produced different centroids")
+		}
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	pts := twoBlobs(5, 6)
+	norm := geo.NormalizerFor(pts)
+	bad := []Config{
+		{K: 0, M: 2, MaxIters: 10, Tol: 1e-4},
+		{K: 1000, M: 2, MaxIters: 10, Tol: 1e-4},
+		{K: 2, M: 1.0, MaxIters: 10, Tol: 1e-4}, // fuzzifier must be > 1
+		{K: 2, M: 0, MaxIters: 10, Tol: 1e-4},
+		{K: 2, M: 2, MaxIters: 0, Tol: 1e-4},
+		{K: 2, M: 2, MaxIters: 10, Tol: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Cluster(pts, norm, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestObjectiveImprovesOverInit(t *testing.T) {
+	pts := twoBlobs(60, 7)
+	norm := geo.NormalizerFor(pts)
+	cfg := DefaultConfig(3)
+	cfg.MaxIters = 1
+	early, err := Cluster(pts, norm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxIters = 60
+	late, err := Cluster(pts, norm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oe := Objective(pts, early, norm, cfg.M)
+	ol := Objective(pts, late, norm, cfg.M)
+	if ol > oe+1e-9 {
+		t.Fatalf("FCM objective increased with more iterations: %v -> %v", oe, ol)
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	pts := twoBlobs(2, 8) // 4 points
+	norm := geo.NormalizerFor(pts)
+	res, err := Cluster(pts, norm, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centroids) != 4 {
+		t.Fatalf("got %d centroids", len(res.Centroids))
+	}
+}
+
+func TestKEqualsOne(t *testing.T) {
+	pts := twoBlobs(30, 9)
+	norm := geo.NormalizerFor(pts)
+	res, err := Cluster(pts, norm, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All memberships must be 1 for the single cluster.
+	for i, row := range res.Weights {
+		if math.Abs(row[0]-1) > 1e-9 {
+			t.Fatalf("point %d membership = %v", i, row[0])
+		}
+	}
+	// The centroid must be central.
+	r := geo.BoundingRect(pts)
+	if !r.Contains(res.Centroids[0]) {
+		t.Fatalf("single centroid %v outside bounds", res.Centroids[0])
+	}
+}
+
+func TestSeedSpreadsCentroids(t *testing.T) {
+	// With k-means++-style seeding on two far blobs, k=2 must rarely start
+	// both centroids in one blob. Run several seeds and require spread.
+	pts := twoBlobs(50, 10)
+	norm := geo.NormalizerFor(pts)
+	good := 0
+	for seed := int64(0); seed < 10; seed++ {
+		cfg := DefaultConfig(2)
+		cfg.Seed = seed
+		cfg.MaxIters = 1
+		res, err := Cluster(pts, norm, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if geo.Equirectangular(res.Centroids[0], res.Centroids[1]) > 3 {
+			good++
+		}
+	}
+	if good < 8 {
+		t.Fatalf("seeding spread centroids in only %d/10 runs", good)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	res := &Result{Centroids: []geo.Point{
+		{Lat: 48.80, Lon: 2.30},
+		{Lat: 48.90, Lon: 2.30},
+	}}
+	s := Spread(res)
+	want := geo.Equirectangular(res.Centroids[0], res.Centroids[1])
+	if math.Abs(s-want) > 1e-12 {
+		t.Fatalf("Spread = %v, want %v", s, want)
+	}
+}
+
+func TestMembershipSimplexQuick(t *testing.T) {
+	src := rng.New(11)
+	f := func(_ uint8) bool {
+		n := 10 + src.Intn(30)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{Lat: src.Range(48.8, 48.92), Lon: src.Range(2.25, 2.42)}
+		}
+		norm := geo.NormalizerFor(pts)
+		cfg := DefaultConfig(2 + src.Intn(3))
+		cfg.MaxIters = 15
+		res, err := Cluster(pts, norm, cfg)
+		if err != nil {
+			return false
+		}
+		for _, row := range res.Weights {
+			sum := 0.0
+			for _, w := range row {
+				if w < -1e-12 {
+					return false
+				}
+				sum += w
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+package geo_test
+
+import (
+	"fmt"
+
+	"grouptravel/internal/geo"
+)
+
+// The §3.2 approximation: equirectangular distances agree with Haversine
+// to well under 0.1% inside a city.
+func ExampleEquirectangular() {
+	louvre := geo.Point{Lat: 48.8606, Lon: 2.3376}
+	eiffel := geo.Point{Lat: 48.8584, Lon: 2.2945}
+	h := geo.Haversine(louvre, eiffel)
+	e := geo.Equirectangular(louvre, eiffel)
+	fmt.Printf("haversine %.3f km, equirectangular %.3f km, error %.5f%%\n",
+		h, e, 100*(e-h)/h)
+	// Output:
+	// haversine 3.163 km, equirectangular 3.163 km, error 0.00000%
+}
+
+// Rectangles back the GENERATE(RECTANGLE(x, y, w, h)) operator (§3.3).
+func ExampleRect_Contains() {
+	rect, _ := geo.NewRect(geo.Point{Lat: 48.90, Lon: 2.30}, 0.10, 0.05)
+	inside := geo.Point{Lat: 48.87, Lon: 2.35}
+	outside := geo.Point{Lat: 48.80, Lon: 2.35}
+	fmt.Println(rect.Contains(inside), rect.Contains(outside))
+	// Output:
+	// true false
+}

@@ -1,0 +1,209 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// GridIndex is a uniform spatial grid over a bounding rectangle, providing
+// approximate nearest-neighbor and range queries over point IDs. GroupTravel
+// uses it for the ADD and REPLACE customization operators (§3.3), which must
+// surface "the closest items to CI satisfying the user filter", and for
+// candidate pruning during CI construction.
+type GridIndex struct {
+	rect   Rect
+	cols   int
+	rows   int
+	cellW  float64   // degrees lon per cell
+	cellH  float64   // degrees lat per cell
+	cells  [][]int32 // cells[row*cols+col] = ids
+	points []Point   // id -> point
+}
+
+// NewGridIndex builds an index over the points with roughly cellsPerSide
+// cells along the longer rectangle side. IDs are the slice indices.
+func NewGridIndex(points []Point, cellsPerSide int) *GridIndex {
+	if cellsPerSide < 1 {
+		cellsPerSide = 1
+	}
+	g := &GridIndex{points: points}
+	if len(points) == 0 {
+		g.rect = Rect{}
+		g.cols, g.rows = 1, 1
+		g.cells = make([][]int32, 1)
+		return g
+	}
+	g.rect = BoundingRect(points)
+	// Degenerate extents (all points on a line) still need positive cells.
+	w := math.Max(g.rect.Width, 1e-9)
+	h := math.Max(g.rect.Height, 1e-9)
+	if w >= h {
+		g.cols = cellsPerSide
+		g.rows = maxInt(1, int(float64(cellsPerSide)*h/w))
+	} else {
+		g.rows = cellsPerSide
+		g.cols = maxInt(1, int(float64(cellsPerSide)*w/h))
+	}
+	g.cellW = w / float64(g.cols)
+	g.cellH = h / float64(g.rows)
+	g.cells = make([][]int32, g.cols*g.rows)
+	for id, p := range points {
+		c := g.cellOf(p)
+		g.cells[c] = append(g.cells[c], int32(id))
+	}
+	return g
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (g *GridIndex) cellOf(p Point) int {
+	col := int((p.Lon - g.rect.Lon) / g.cellW)
+	row := int((g.rect.Lat - p.Lat) / g.cellH)
+	col = clampInt(col, 0, g.cols-1)
+	row = clampInt(row, 0, g.rows-1)
+	return row*g.cols + col
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// InRect returns the IDs of all points inside r, in ascending ID order.
+func (g *GridIndex) InRect(r Rect) []int32 {
+	var out []int32
+	for _, cell := range g.candidateCells(r) {
+		for _, id := range g.cells[cell] {
+			if r.Contains(g.points[id]) {
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (g *GridIndex) candidateCells(r Rect) []int {
+	if len(g.points) == 0 {
+		return nil
+	}
+	minCol := clampInt(int((r.Lon-g.rect.Lon)/g.cellW), 0, g.cols-1)
+	maxCol := clampInt(int((r.Lon+r.Width-g.rect.Lon)/g.cellW), 0, g.cols-1)
+	minRow := clampInt(int((g.rect.Lat-r.Lat)/g.cellH), 0, g.rows-1)
+	maxRow := clampInt(int((g.rect.Lat-(r.Lat-r.Height))/g.cellH), 0, g.rows-1)
+	var cells []int
+	for row := minRow; row <= maxRow; row++ {
+		for col := minCol; col <= maxCol; col++ {
+			cells = append(cells, row*g.cols+col)
+		}
+	}
+	return cells
+}
+
+// Nearest returns up to k point IDs nearest to q (equirectangular),
+// optionally filtered by accept (nil accepts everything). Results are
+// ordered by increasing distance and are exact: the ring-by-ring search
+// stops only once no unvisited cell can contain a closer point. The
+// paper's REPLACE operator relies on exactness ("the system recommends ...
+// the closest POI j in terms of geographic distance", §3.3).
+func (g *GridIndex) Nearest(q Point, k int, accept func(id int32) bool) []int32 {
+	if k <= 0 || len(g.points) == 0 {
+		return nil
+	}
+	type cand struct {
+		id int32
+		d  float64
+	}
+	var cands []cand
+	qCol := clampInt(int((q.Lon-g.rect.Lon)/g.cellW), 0, g.cols-1)
+	qRow := clampInt(int((g.rect.Lat-q.Lat)/g.cellH), 0, g.rows-1)
+	maxRing := maxInt(g.cols, g.rows)
+
+	// Conservative lower bound for the distance (km) from q to any cell in
+	// ring s: q sits somewhere in its own cell, so a ring-s cell is at
+	// least (s−1) cell-widths away along the tighter axis.
+	midLat := g.rect.Lat - g.rect.Height/2
+	cellWkm := g.cellW * kmPerDegLon(midLat)
+	cellHkm := g.cellH * kmPerDegLatGrid
+	minCellKm := math.Min(cellWkm, cellHkm)
+
+	kthDist := func() float64 {
+		if len(cands) < k {
+			return math.Inf(1)
+		}
+		// Small k: a selection pass is cheaper than keeping a heap.
+		ds := make([]float64, len(cands))
+		for i, c := range cands {
+			ds[i] = c.d
+		}
+		sort.Float64s(ds)
+		return ds[k-1]
+	}
+
+	for ring := 0; ring <= maxRing; ring++ {
+		for row := qRow - ring; row <= qRow+ring; row++ {
+			if row < 0 || row >= g.rows {
+				continue
+			}
+			for col := qCol - ring; col <= qCol+ring; col++ {
+				if col < 0 || col >= g.cols {
+					continue
+				}
+				// Only the ring boundary: interior was visited earlier.
+				if ring > 0 && row != qRow-ring && row != qRow+ring &&
+					col != qCol-ring && col != qCol+ring {
+					continue
+				}
+				for _, id := range g.cells[row*g.cols+col] {
+					if accept != nil && !accept(id) {
+						continue
+					}
+					cands = append(cands, cand{id, Equirectangular(q, g.points[id])})
+				}
+			}
+		}
+		// Stop once the next ring provably cannot improve the kth best.
+		if len(cands) >= k && kthDist() <= float64(ring)*minCellKm {
+			break
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]int32, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}
+
+// kmPerDegLatGrid is the km length of one degree of latitude.
+const kmPerDegLatGrid = 110.574
+
+// kmPerDegLon returns the km length of one degree of longitude at the
+// given latitude.
+func kmPerDegLon(lat float64) float64 {
+	return 111.320 * math.Cos(lat*math.Pi/180)
+}
+
+// Len returns the number of indexed points.
+func (g *GridIndex) Len() int { return len(g.points) }
+
+// Bounds returns the index bounding rectangle.
+func (g *GridIndex) Bounds() Rect { return g.rect }

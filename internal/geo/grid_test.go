@@ -1,0 +1,187 @@
+package geo
+
+import (
+	"sort"
+	"testing"
+
+	"grouptravel/internal/rng"
+)
+
+func parisCloud(n int, seed int64) []Point {
+	src := rng.New(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Lat: src.Range(48.80, 48.92), Lon: src.Range(2.25, 2.42)}
+	}
+	return pts
+}
+
+func TestGridInRectMatchesBruteForce(t *testing.T) {
+	pts := parisCloud(500, 10)
+	g := NewGridIndex(pts, 16)
+	r := Rect{Lat: 48.89, Lon: 2.30, Width: 0.06, Height: 0.05}
+	got := g.InRect(r)
+	var want []int32
+	for id, p := range pts {
+		if r.Contains(p) {
+			want = append(want, int32(id))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("InRect returned %d ids, brute force %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("InRect mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGridNearestMatchesBruteForce(t *testing.T) {
+	pts := parisCloud(400, 11)
+	g := NewGridIndex(pts, 12)
+	q := Point{Lat: 48.86, Lon: 2.34}
+	const k = 10
+	got := g.Nearest(q, k, nil)
+	if len(got) != k {
+		t.Fatalf("Nearest returned %d ids, want %d", len(got), k)
+	}
+	// Brute force.
+	type cand struct {
+		id int32
+		d  float64
+	}
+	all := make([]cand, len(pts))
+	for i, p := range pts {
+		all[i] = cand{int32(i), Equirectangular(q, p)}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	// The search is exact: every returned id must be within the true kth
+	// distance (ties may swap ids at identical distances).
+	for _, id := range got {
+		if d := Equirectangular(q, pts[id]); d > all[k-1].d+1e-12 {
+			t.Fatalf("Nearest returned id %d at %v km, kth true distance %v", id, d, all[k-1].d)
+		}
+	}
+	// Ordering must be non-decreasing.
+	for i := 1; i < len(got); i++ {
+		if Equirectangular(q, pts[got[i-1]]) > Equirectangular(q, pts[got[i]])+1e-12 {
+			t.Fatal("Nearest results not sorted by distance")
+		}
+	}
+}
+
+func TestGridNearestFilter(t *testing.T) {
+	pts := parisCloud(300, 12)
+	g := NewGridIndex(pts, 10)
+	q := Point{Lat: 48.86, Lon: 2.34}
+	got := g.Nearest(q, 5, func(id int32) bool { return id%2 == 0 })
+	if len(got) == 0 {
+		t.Fatal("filtered Nearest returned nothing")
+	}
+	for _, id := range got {
+		if id%2 != 0 {
+			t.Fatalf("filter violated: id %d", id)
+		}
+	}
+}
+
+func TestGridEmpty(t *testing.T) {
+	g := NewGridIndex(nil, 8)
+	if got := g.Nearest(Point{}, 3, nil); got != nil {
+		t.Fatalf("Nearest on empty index = %v", got)
+	}
+	if got := g.InRect(Rect{Lat: 1, Lon: 0, Width: 1, Height: 1}); got != nil {
+		t.Fatalf("InRect on empty index = %v", got)
+	}
+	if g.Len() != 0 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestGridSinglePoint(t *testing.T) {
+	pts := []Point{{Lat: 48.86, Lon: 2.34}}
+	g := NewGridIndex(pts, 8)
+	got := g.Nearest(Point{Lat: 48.87, Lon: 2.35}, 3, nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single-point Nearest = %v", got)
+	}
+}
+
+func TestGridDegenerateLine(t *testing.T) {
+	// All points share a latitude; grid must still build and answer queries.
+	pts := make([]Point, 50)
+	for i := range pts {
+		pts[i] = Point{Lat: 48.86, Lon: 2.25 + float64(i)*0.003}
+	}
+	g := NewGridIndex(pts, 10)
+	got := g.Nearest(Point{Lat: 48.86, Lon: 2.25}, 1, nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("degenerate-line Nearest = %v", got)
+	}
+}
+
+// TestGridNearestExactnessProperty fuzzes grid resolutions, point clouds
+// and queries, checking the exactness guarantee (REPLACE depends on it)
+// against brute force every time.
+func TestGridNearestExactnessProperty(t *testing.T) {
+	src := rng.New(99)
+	for trial := 0; trial < 120; trial++ {
+		n := 5 + src.Intn(200)
+		cells := 1 + src.Intn(40)
+		k := 1 + src.Intn(8)
+		pts := make([]Point, n)
+		// Mix of clustered and uniform clouds, sometimes degenerate.
+		mode := src.Intn(3)
+		for i := range pts {
+			switch mode {
+			case 0: // uniform
+				pts[i] = Point{Lat: src.Range(48.8, 48.92), Lon: src.Range(2.25, 2.42)}
+			case 1: // tight cluster
+				pts[i] = Point{Lat: 48.86 + 0.001*src.NormFloat64(), Lon: 2.34 + 0.001*src.NormFloat64()}
+			default: // line
+				pts[i] = Point{Lat: 48.86, Lon: 2.25 + 0.17*src.Float64()}
+			}
+		}
+		g := NewGridIndex(pts, cells)
+		q := Point{Lat: src.Range(48.79, 48.93), Lon: src.Range(2.24, 2.43)}
+		got := g.Nearest(q, k, nil)
+
+		// Brute-force kth distance.
+		ds := make([]float64, n)
+		for i, p := range pts {
+			ds[i] = Equirectangular(q, p)
+		}
+		sortFloats(ds)
+		kth := ds[minInt(k, n)-1]
+		if len(got) != minInt(k, n) {
+			t.Fatalf("trial %d: returned %d of %d", trial, len(got), minInt(k, n))
+		}
+		for _, id := range got {
+			if d := Equirectangular(q, pts[id]); d > kth+1e-12 {
+				t.Fatalf("trial %d (n=%d cells=%d k=%d mode=%d): returned %v km, kth true %v",
+					trial, n, cells, k, mode, d, kth)
+			}
+		}
+	}
+}
+
+func sortFloats(xs []float64) {
+	sort.Float64s(xs)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestGridNearestKLargerThanN(t *testing.T) {
+	pts := parisCloud(7, 13)
+	g := NewGridIndex(pts, 4)
+	got := g.Nearest(Point{Lat: 48.86, Lon: 2.3}, 100, nil)
+	if len(got) != 7 {
+		t.Fatalf("Nearest with k>n returned %d ids, want 7", len(got))
+	}
+}

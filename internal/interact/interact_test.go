@@ -1,0 +1,434 @@
+package interact
+
+import (
+	"math"
+	"testing"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/vec"
+)
+
+var (
+	cachedCity   *dataset.City
+	cachedEngine *core.Engine
+)
+
+func setup(t *testing.T) (*dataset.City, *core.Engine) {
+	t.Helper()
+	if cachedCity == nil {
+		c, err := dataset.Generate(dataset.TestSpec("InteractCity", 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.NewEngine(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedCity, cachedEngine = c, e
+	}
+	return cachedCity, cachedEngine
+}
+
+func buildGroup(t *testing.T, city *dataset.City, seed int64) (*profile.Group, *profile.Profile) {
+	t.Helper()
+	src := rng.New(seed)
+	members := make([]*profile.Profile, 4)
+	for i := range members {
+		members[i] = profile.GenerateRandomProfile(city.Schema, src)
+	}
+	g, err := profile.NewGroup(city.Schema, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := consensus.GroupProfile(g, consensus.PairwiseDis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, gp
+}
+
+func session(t *testing.T, seed int64) (*Session, *profile.Group, *profile.Profile) {
+	t.Helper()
+	city, e := setup(t)
+	g, gp := buildGroup(t, city, seed)
+	tp, err := e.Build(gp, query.Default(), core.DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(city, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g, gp
+}
+
+func TestSessionDoesNotMutateOriginal(t *testing.T) {
+	city, e := setup(t)
+	_, gp := buildGroup(t, city, 1)
+	tp, err := e.Build(gp, query.Default(), core.DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(tp.CIs[0].Items)
+	s, err := NewSession(city, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(0, 0, tp.CIs[0].Items[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.CIs[0].Items) != before {
+		t.Fatal("session mutated the caller's package")
+	}
+	if len(s.Package().CIs[0].Items) != before-1 {
+		t.Fatal("session did not apply the removal to its own copy")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s, _, _ := session(t, 2)
+	target := s.Package().CIs[1].Items[2]
+	if err := s.Remove(0, 1, target.ID); err != nil {
+		t.Fatal(err)
+	}
+	if s.Package().CIs[1].Contains(target.ID) {
+		t.Fatal("POI still present after REMOVE")
+	}
+	log := s.Log()
+	if len(log) != 1 || log[0].Kind != OpRemove || log[0].Removed[0].ID != target.ID {
+		t.Fatalf("log = %+v", log)
+	}
+	// Removing again must fail.
+	if err := s.Remove(0, 1, target.ID); err == nil {
+		t.Fatal("double removal accepted")
+	}
+}
+
+func TestAddAndCandidates(t *testing.T) {
+	s, _, _ := session(t, 3)
+	cands, err := s.AddCandidates(0, poi.Attr, "", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no ADD candidates")
+	}
+	// Candidates must not already be in the CI and must match the category.
+	for _, c := range cands {
+		if c.Cat != poi.Attr {
+			t.Fatalf("candidate %d has category %v", c.ID, c.Cat)
+		}
+		if s.Package().CIs[0].Contains(c.ID) {
+			t.Fatalf("candidate %d already in CI", c.ID)
+		}
+	}
+	if err := s.Add(1, 0, cands[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Package().CIs[0].Contains(cands[0].ID) {
+		t.Fatal("ADD did not insert the POI")
+	}
+	// Adding a duplicate must fail.
+	if err := s.Add(1, 0, cands[0].ID); err == nil {
+		t.Fatal("duplicate ADD accepted")
+	}
+	// Unknown POI.
+	if err := s.Add(1, 0, 987654); err == nil {
+		t.Fatal("unknown POI accepted")
+	}
+}
+
+func TestAddCandidatesTypeFilter(t *testing.T) {
+	s, _, _ := session(t, 4)
+	city, _ := setup(t)
+	// Use an accommodation type that exists in the city.
+	typ := city.POIs.ByCategory(poi.Acco)[0].Type
+	cands, err := s.AddCandidates(0, poi.Acco, typ, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Type != typ {
+			t.Fatalf("filter violated: got type %q want %q", c.Type, typ)
+		}
+	}
+}
+
+func TestReplaceRecommendsClosestSameCategory(t *testing.T) {
+	s, _, _ := session(t, 5)
+	city, _ := setup(t)
+	c := s.Package().CIs[0]
+	old := c.Items[0]
+	neu, err := s.Replace(2, 0, old.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neu.Cat != old.Cat {
+		t.Fatalf("replacement category %v, want %v", neu.Cat, old.Cat)
+	}
+	if c.Contains(old.ID) || !c.Contains(neu.ID) {
+		t.Fatal("REPLACE did not swap items")
+	}
+	// The recommendation must be the geographically closest same-category
+	// POI not already in the CI.
+	for _, p := range city.POIs.ByCategory(old.Cat) {
+		if p.ID == old.ID || p.ID == neu.ID || c.Contains(p.ID) {
+			continue
+		}
+		if geo.Equirectangular(old.Coord, p.Coord) < geo.Equirectangular(old.Coord, neu.Coord)-1e-12 {
+			t.Fatalf("POI %d is closer to the removed item than the recommendation", p.ID)
+		}
+	}
+	// Log records one add and one remove.
+	last := s.Log()[len(s.Log())-1]
+	if last.Kind != OpReplace || len(last.Added) != 1 || len(last.Removed) != 1 {
+		t.Fatalf("replace log = %+v", last)
+	}
+}
+
+func TestGenerateInRectangle(t *testing.T) {
+	s, _, _ := session(t, 6)
+	city, _ := setup(t)
+	// A rectangle around the densest area: the city center.
+	bounds := city.POIs.Bounds()
+	rect := geo.Rect{
+		Lat:    bounds.Lat - bounds.Height*0.25,
+		Lon:    bounds.Lon + bounds.Width*0.25,
+		Width:  bounds.Width * 0.5,
+		Height: bounds.Height * 0.5,
+	}
+	before := len(s.Package().CIs)
+	newCI, err := s.Generate(0, rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Package().CIs) != before+1 {
+		t.Fatal("GENERATE did not append a CI")
+	}
+	if err := s.Package().Query.CheckCI(newCI.Items); err != nil {
+		t.Fatalf("generated CI invalid: %v", err)
+	}
+	// The CI must be anchored in the rectangle.
+	if !rect.Contains(newCI.Centroid) {
+		t.Fatalf("generated centroid %v outside rectangle", newCI.Centroid)
+	}
+	last := s.Log()[len(s.Log())-1]
+	if last.Kind != OpGenerate || len(last.Added) != len(newCI.Items) {
+		t.Fatalf("generate log = %+v", last)
+	}
+}
+
+func TestGenerateTinyRectangleFallsBack(t *testing.T) {
+	s, _, _ := session(t, 7)
+	// A rectangle so small it contains no POIs: the build must fall back
+	// to the area around the center rather than failing.
+	rect := geo.Rect{Lat: 48.8566, Lon: 2.3522, Width: 1e-7, Height: 1e-7}
+	newCI, err := s.Generate(0, rect)
+	if err != nil {
+		t.Fatalf("tiny-rectangle GENERATE failed: %v", err)
+	}
+	if err := s.Package().Query.CheckCI(newCI.Items); err != nil {
+		t.Fatalf("fallback CI invalid: %v", err)
+	}
+}
+
+func TestDeleteCI(t *testing.T) {
+	s, _, _ := session(t, 8)
+	before := len(s.Package().CIs)
+	items := len(s.Package().CIs[0].Items)
+	if err := s.DeleteCI(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Package().CIs) != before-1 {
+		t.Fatal("CI not deleted")
+	}
+	// Deletion is modeled as iterative REMOVE: one log entry per item.
+	if len(s.Log()) != items {
+		t.Fatalf("expected %d removal ops, got %d", items, len(s.Log()))
+	}
+}
+
+func TestBadIndices(t *testing.T) {
+	s, _, _ := session(t, 9)
+	if err := s.Remove(0, 99, 1); err == nil {
+		t.Fatal("bad CI index accepted by Remove")
+	}
+	if _, err := s.AddCandidates(-1, poi.Attr, "", 3); err == nil {
+		t.Fatal("bad CI index accepted by AddCandidates")
+	}
+	if _, err := s.Replace(0, 0, -42); err == nil {
+		t.Fatal("unknown POI accepted by Replace")
+	}
+}
+
+func TestNewSessionErrors(t *testing.T) {
+	city, _ := setup(t)
+	if _, err := NewSession(nil, nil); err == nil {
+		t.Fatal("nil args accepted")
+	}
+	if _, err := NewSession(city, nil); err == nil {
+		t.Fatal("nil package accepted")
+	}
+}
+
+func TestRefineProfileDirection(t *testing.T) {
+	city, _ := setup(t)
+	_, gp := buildGroup(t, city, 10)
+	// Adding attractions of one kind must raise the profile along that
+	// item's vector; removing must lower it.
+	attr := city.POIs.ByCategory(poi.Attr)[0]
+	strongestDim := 0
+	for j, v := range attr.Vector {
+		if v > attr.Vector[strongestDim] {
+			strongestDim = j
+		}
+	}
+	plus, err := RefineProfile(gp, []*poi.POI{attr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plus.Vector(poi.Attr)[strongestDim] < gp.Vector(poi.Attr)[strongestDim] {
+		t.Fatal("ADD did not raise the preference for the added item's type")
+	}
+	minus, err := RefineProfile(gp, nil, []*poi.POI{attr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minus.Vector(poi.Attr)[strongestDim] > gp.Vector(poi.Attr)[strongestDim] {
+		t.Fatal("REMOVE did not lower the preference for the removed item's type")
+	}
+	// Other categories are untouched.
+	if !vec.Equal(plus.Vector(poi.Rest), gp.Vector(poi.Rest), 0) {
+		t.Fatal("refinement leaked into another category")
+	}
+}
+
+func TestRefineClampsToUnitRange(t *testing.T) {
+	city, _ := setup(t)
+	schema := city.Schema
+	p := profile.New(schema)
+	// Near-zero profile: removals must clamp at 0.
+	attr := city.POIs.ByCategory(poi.Attr)[0]
+	out, err := RefineProfile(p, nil, []*poi.POI{attr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Vector(poi.Attr).InUnitRange() {
+		t.Fatalf("clamped profile out of range: %v", out.Vector(poi.Attr))
+	}
+	for _, x := range out.Vector(poi.Attr) {
+		if x != 0 {
+			t.Fatalf("negative component not clamped to 0: %v", out.Vector(poi.Attr))
+		}
+	}
+	// Near-one profile: additions must cap at 1.
+	full := profile.New(schema)
+	ones := vec.New(schema.Dim(poi.Attr))
+	for i := range ones {
+		ones[i] = 1
+	}
+	_ = full.SetVector(poi.Attr, ones)
+	out, err = RefineProfile(full, []*poi.POI{attr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Vector(poi.Attr).InUnitRange() {
+		t.Fatalf(">1 component not capped: %v", out.Vector(poi.Attr))
+	}
+}
+
+func TestRefineBatchPoolsAllMembers(t *testing.T) {
+	s, _, gp := session(t, 11)
+	// Two different members interact.
+	c0 := s.Package().CIs[0]
+	if err := s.Remove(0, 0, c0.Items[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	cands, err := s.AddCandidates(1, poi.Rest, "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(3, 1, cands[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	refined, err := RefineBatch(gp, s.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refined profile must differ from the original.
+	changed := false
+	for _, c := range poi.Categories {
+		if !vec.Equal(refined.Vector(c), gp.Vector(c), 1e-12) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("batch refinement changed nothing")
+	}
+}
+
+func TestRefineIndividualOnlyTouchesActors(t *testing.T) {
+	s, g, _ := session(t, 12)
+	c0 := s.Package().CIs[0]
+	if err := s.Remove(2, 0, c0.Items[0].ID); err != nil { // member 2 acts
+		t.Fatal(err)
+	}
+	ng, gp2, err := RefineIndividual(g, consensus.PairwiseDis, s.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp2 == nil {
+		t.Fatal("no refined group profile")
+	}
+	// Members 0, 1, 3 kept their profiles; member 2's changed.
+	for i := range g.Members {
+		same := vec.Equal(ng.Members[i].Concat(), g.Members[i].Concat(), 1e-12)
+		if i == 2 && same {
+			t.Fatal("acting member's profile unchanged")
+		}
+		if i != 2 && !same {
+			t.Fatalf("non-acting member %d's profile changed", i)
+		}
+	}
+}
+
+func TestRefineIndividualUnknownMember(t *testing.T) {
+	_, g, _ := session(t, 13)
+	ops := []Op{{Kind: OpRemove, Member: 99}}
+	if _, _, err := RefineIndividual(g, consensus.PairwiseDis, ops); err == nil {
+		t.Fatal("op by unknown member accepted")
+	}
+}
+
+func TestOpsByMemberAndAddedRemoved(t *testing.T) {
+	p1 := &poi.POI{ID: 1, Cat: poi.Rest, Vector: vec.Vector{1}}
+	p2 := &poi.POI{ID: 2, Cat: poi.Rest, Vector: vec.Vector{1}}
+	ops := []Op{
+		{Kind: OpAdd, Member: 0, Added: []*poi.POI{p1}},
+		{Kind: OpRemove, Member: 1, Removed: []*poi.POI{p2}},
+		{Kind: OpAdd, Member: 0, Added: []*poi.POI{p2}},
+	}
+	by := OpsByMember(ops)
+	if len(by[0]) != 2 || len(by[1]) != 1 {
+		t.Fatalf("OpsByMember = %v", by)
+	}
+	a, r := AddedRemoved(ops)
+	if len(a) != 2 || len(r) != 1 {
+		t.Fatalf("AddedRemoved = %d added, %d removed", len(a), len(r))
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpRemove.String() != "REMOVE" || OpGenerate.String() != "GENERATE" {
+		t.Fatal("operator names do not match the paper")
+	}
+}
+
+var _ = math.Abs

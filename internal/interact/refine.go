@@ -1,0 +1,113 @@
+package interact
+
+import (
+	"fmt"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/vec"
+)
+
+// refineVector applies the §3.3 update to one category vector:
+//
+//	g ← g + g⁺ − g⁻,  g⁺ = (1/|I⁺|) Σ_{i∈I⁺} ®i,  g⁻ likewise,
+//
+// then clamps: components below 0 are set to 0 (the paper's rule) and
+// components above 1 are capped at 1 (profiles are [0,1] vectors by
+// definition in §2.2; the paper leaves the upper end implicit).
+func refineVector(g vec.Vector, added, removed []*poi.POI) vec.Vector {
+	out := g.Clone()
+	if len(added) > 0 {
+		plus := vec.New(len(g))
+		for _, p := range added {
+			plus = vec.Add(plus, p.Vector)
+		}
+		out = vec.Add(out, plus.Scale(1/float64(len(added))))
+	}
+	if len(removed) > 0 {
+		minus := vec.New(len(g))
+		for _, p := range removed {
+			minus = vec.Add(minus, p.Vector)
+		}
+		out = vec.Sub(out, minus.Scale(1/float64(len(removed))))
+	}
+	out.ClampNonNegative()
+	for i, x := range out {
+		if x > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// RefineProfile returns a copy of p updated from the added/removed POIs,
+// category by category (POIs only influence the vector of their own
+// category). This is the core update both strategies share.
+func RefineProfile(p *profile.Profile, added, removed []*poi.POI) (*profile.Profile, error) {
+	out := p.Clone()
+	for _, c := range poi.Categories {
+		var a, r []*poi.POI
+		for _, it := range added {
+			if it.Cat == c {
+				a = append(a, it)
+			}
+		}
+		for _, it := range removed {
+			if it.Cat == c {
+				r = append(r, it)
+			}
+		}
+		if len(a) == 0 && len(r) == 0 {
+			continue
+		}
+		if err := out.SetVector(c, refineVector(p.Vector(c), a, r)); err != nil {
+			return nil, fmt.Errorf("interact: refine %s: %w", c, err)
+		}
+	}
+	return out, nil
+}
+
+// RefineBatch implements the batch strategy (§3.3): all members'
+// interactions are pooled and the group profile is updated directly.
+func RefineBatch(groupProfile *profile.Profile, ops []Op) (*profile.Profile, error) {
+	added, removed := AddedRemoved(ops)
+	return RefineProfile(groupProfile, added, removed)
+}
+
+// RefineIndividual implements the individual strategy (§3.3): each
+// member's own profile is refined from that member's interactions (members
+// who did not interact keep their profile), and the refined member
+// profiles are re-aggregated into a new group profile with the consensus
+// method. It returns the refined group and the new group profile.
+func RefineIndividual(g *profile.Group, method consensus.Method, ops []Op) (*profile.Group, *profile.Profile, error) {
+	byMember := OpsByMember(ops)
+	refined := make([]*profile.Profile, g.Size())
+	for i, m := range g.Members {
+		memberOps, interacted := byMember[i]
+		if !interacted {
+			refined[i] = m.Clone()
+			continue
+		}
+		added, removed := AddedRemoved(memberOps)
+		r, err := RefineProfile(m, added, removed)
+		if err != nil {
+			return nil, nil, err
+		}
+		refined[i] = r
+	}
+	for member := range byMember {
+		if member < 0 || member >= g.Size() {
+			return nil, nil, fmt.Errorf("interact: op by unknown member %d (group size %d)", member, g.Size())
+		}
+	}
+	ng, err := profile.NewGroup(g.Schema(), refined)
+	if err != nil {
+		return nil, nil, err
+	}
+	gp, err := consensus.GroupProfile(ng, method)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ng, gp, nil
+}

@@ -1,0 +1,286 @@
+package lda
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"grouptravel/internal/rng"
+	"grouptravel/internal/tags"
+)
+
+// syntheticCorpus plants documents drawn from the restaurant themes so the
+// tests can check topic recovery against known ground truth — the same way
+// the dataset generator produces POI tags.
+func syntheticCorpus(nDocs int, seed int64) (*tags.Corpus, []int) {
+	src := rng.New(seed)
+	c := tags.NewCorpus()
+	truth := make([]int, nDocs)
+	themes := tags.RestaurantThemes
+	for d := 0; d < nDocs; d++ {
+		th := src.Intn(len(themes))
+		truth[d] = th
+		words := make([]string, 0, 12)
+		for i := 0; i < 12; i++ {
+			// 85% in-theme words, 15% noise from a random other theme.
+			pool := themes[th].Words
+			if src.Bool(0.15) {
+				pool = themes[src.Intn(len(themes))].Words
+			}
+			words = append(words, pool[src.Intn(len(pool))])
+		}
+		c.AddText(strings.Join(words, " "))
+	}
+	return c, truth
+}
+
+func trainSmall(t *testing.T) (*Model, *tags.Corpus, []int) {
+	t.Helper()
+	corpus, truth := syntheticCorpus(150, 42)
+	cfg := DefaultConfig(len(tags.RestaurantThemes))
+	cfg.Iterations = 150
+	m, err := Train(corpus, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return m, corpus, truth
+}
+
+func TestThetaIsDistribution(t *testing.T) {
+	m, corpus, _ := trainSmall(t)
+	for d := 0; d < corpus.Len(); d++ {
+		theta := m.Theta(d)
+		sum := 0.0
+		for _, p := range theta {
+			if p < 0 || p > 1 {
+				t.Fatalf("doc %d: theta component %v outside [0,1]", d, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("doc %d: theta sums to %v", d, sum)
+		}
+	}
+}
+
+func TestPhiIsDistribution(t *testing.T) {
+	m, _, _ := trainSmall(t)
+	for k := 0; k < m.Topics(); k++ {
+		phi := m.Phi(k)
+		sum := 0.0
+		for _, p := range phi {
+			if p < 0 {
+				t.Fatalf("topic %d: negative phi %v", k, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("topic %d: phi sums to %v", k, sum)
+		}
+	}
+}
+
+// TestTopicRecovery checks that documents planted from the same theme end
+// up with similar dominant topics — the property GroupTravel's
+// personalization depends on.
+func TestTopicRecovery(t *testing.T) {
+	m, corpus, truth := trainSmall(t)
+	// Map each ground-truth theme to the dominant LDA topic of its docs.
+	votes := make(map[int]map[int]int)
+	for d := 0; d < corpus.Len(); d++ {
+		theta := m.Theta(d)
+		best := 0
+		for k, p := range theta {
+			if p > theta[best] {
+				best = k
+			}
+		}
+		if votes[truth[d]] == nil {
+			votes[truth[d]] = make(map[int]int)
+		}
+		votes[truth[d]][best]++
+	}
+	// Purity: the majority topic of each theme should cover most of its docs.
+	agree, total := 0, 0
+	for _, v := range votes {
+		bestCount, sum := 0, 0
+		for _, n := range v {
+			sum += n
+			if n > bestCount {
+				bestCount = n
+			}
+		}
+		agree += bestCount
+		total += sum
+	}
+	purity := float64(agree) / float64(total)
+	if purity < 0.7 {
+		t.Fatalf("topic purity %v too low — LDA failed to recover planted themes", purity)
+	}
+}
+
+func TestPerplexityImproves(t *testing.T) {
+	corpus, _ := syntheticCorpus(150, 7)
+	cfg := DefaultConfig(6)
+	cfg.Iterations = 1
+	early, err := Train(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Iterations = 150
+	late, err := Train(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, pl := early.Perplexity(), late.Perplexity()
+	if pl >= pe {
+		t.Fatalf("perplexity did not improve: 1 iter = %v, 150 iters = %v", pe, pl)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	corpus, _ := syntheticCorpus(60, 9)
+	cfg := DefaultConfig(4)
+	cfg.Iterations = 40
+	m1, err := Train(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus2, _ := syntheticCorpus(60, 9)
+	m2, err := Train(corpus2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < corpus.Len(); d++ {
+		t1, t2 := m1.Theta(d), m2.Theta(d)
+		for k := range t1 {
+			if t1[k] != t2[k] {
+				t.Fatalf("same seed produced different theta at doc %d topic %d", d, k)
+			}
+		}
+	}
+}
+
+func TestTopWords(t *testing.T) {
+	m, _, _ := trainSmall(t)
+	allTheme := map[string]bool{}
+	for _, w := range tags.ThemeWords(tags.RestaurantThemes) {
+		allTheme[w] = true
+	}
+	for k := 0; k < m.Topics(); k++ {
+		top := m.TopWords(k, 5)
+		if len(top) != 5 {
+			t.Fatalf("topic %d: got %d top words", k, len(top))
+		}
+		for _, w := range top {
+			if !allTheme[w] {
+				t.Fatalf("topic %d: top word %q not in any planted theme", k, w)
+			}
+		}
+	}
+}
+
+func TestTopWordsClampsN(t *testing.T) {
+	m, _, _ := trainSmall(t)
+	top := m.TopWords(0, 1<<20)
+	if len(top) == 0 {
+		t.Fatal("TopWords with huge n returned nothing")
+	}
+}
+
+func TestInferMatchesTrainedTheme(t *testing.T) {
+	m, corpus, _ := trainSmall(t)
+	// A pure-japanese held-out doc should infer the same dominant topic as
+	// a pure-japanese training construction.
+	var doc tags.Document
+	for _, w := range []string{"sushi", "ramen", "sake", "japanese", "tempura", "sushi", "wasabi", "bento"} {
+		if id, ok := corpus.Vocab.Lookup(w); ok {
+			doc = append(doc, id)
+		}
+	}
+	if len(doc) < 4 {
+		t.Fatal("test setup: japanese words missing from vocabulary")
+	}
+	theta := m.Infer(doc, 50, 3)
+	sum := 0.0
+	best := 0
+	for k, p := range theta {
+		sum += p
+		if p > theta[best] {
+			best = k
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("inferred theta sums to %v", sum)
+	}
+	// The dominant inferred topic's top words should include japanese terms.
+	top := strings.Join(m.TopWords(best, 10), " ")
+	if !strings.Contains(top, "sushi") && !strings.Contains(top, "japanese") && !strings.Contains(top, "ramen") {
+		t.Fatalf("inferred topic %d top words %q do not look japanese", best, top)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	corpus, _ := syntheticCorpus(10, 1)
+	cases := []Config{
+		{Topics: 0, Alpha: 1, Beta: 1, Iterations: 10},
+		{Topics: 3, Alpha: 0, Beta: 1, Iterations: 10},
+		{Topics: 3, Alpha: 1, Beta: -1, Iterations: 10},
+		{Topics: 3, Alpha: 1, Beta: 1, Iterations: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := Train(corpus, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := Train(nil, DefaultConfig(3)); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := Train(tags.NewCorpus(), DefaultConfig(3)); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestCoherenceFavorsTrainedTopics(t *testing.T) {
+	// The coherence of trained topics must beat a deliberately broken
+	// model (1 Gibbs sweep from random init) on the same corpus.
+	corpus, _ := syntheticCorpus(150, 17)
+	good, err := Train(corpus, Config{Topics: 6, Alpha: 2, Beta: 0.01, Iterations: 150, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus2, _ := syntheticCorpus(150, 17)
+	bad, err := Train(corpus2, Config{Topics: 6, Alpha: 2, Beta: 0.01, Iterations: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanCoherence := func(m *Model) float64 {
+		s := 0.0
+		for k := 0; k < m.Topics(); k++ {
+			s += m.Coherence(k, 6)
+		}
+		return s / float64(m.Topics())
+	}
+	g, b := meanCoherence(good), meanCoherence(bad)
+	if g <= b {
+		t.Fatalf("trained coherence %v not above 1-sweep coherence %v", g, b)
+	}
+}
+
+func TestEmptyDocumentGetsUniformPrior(t *testing.T) {
+	c := tags.NewCorpus()
+	c.AddText("sushi ramen sake")
+	c.AddText("") // POI with no tags
+	cfg := DefaultConfig(3)
+	cfg.Iterations = 20
+	m, err := Train(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := m.Theta(1)
+	for k := 1; k < len(theta); k++ {
+		if math.Abs(theta[k]-theta[0]) > 1e-12 {
+			t.Fatalf("empty doc theta not uniform: %v", theta)
+		}
+	}
+}

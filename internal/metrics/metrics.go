@@ -1,0 +1,125 @@
+// Package metrics implements the three optimization dimensions GroupTravel
+// reports for every travel package (§4.2):
+//
+//	representativity (Eq. 2) — how far apart the CIs' centroids are;
+//	cohesiveness     (Eq. 3) — how geographically compact each CI is;
+//	personalization  (Eq. 4) — how well CI items match the group profile;
+//
+// plus the min-max normalization used to bring all dimensions into [0,1]
+// before they are tabulated (§4.3.1).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"grouptravel/internal/ci"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/vec"
+)
+
+// Representativity is Eq. 2: the summed pairwise Euclidean distance
+// between CI centroids, in km. The farther the CIs are from each other,
+// the better the package covers the city.
+func Representativity(cis []*ci.CI) float64 {
+	sum := 0.0
+	for i := 0; i < len(cis); i++ {
+		for j := i + 1; j < len(cis); j++ {
+			sum += geo.Equirectangular(cis[i].Centroid, cis[j].Centroid)
+		}
+	}
+	return sum
+}
+
+// RawDistanceSum is the inner term of Eq. 3: Σ_{CI∈TP} Σ_{i,j∈CI} d(i,j)
+// in km. Lower means more compact CIs.
+func RawDistanceSum(cis []*ci.CI) float64 {
+	sum := 0.0
+	for _, c := range cis {
+		sum += c.PairwiseDistanceSum()
+	}
+	return sum
+}
+
+// Cohesiveness is Eq. 3: S − Σ_{CI∈TP} Σ_{i,j∈CI} d(i,j), where the
+// constant S is the maximum possible (in practice: largest observed)
+// aggregate distance — the paper uses S = 221.79 for its synthetic runs.
+// Choose S as the max RawDistanceSum over the experiment's packages.
+func Cohesiveness(cis []*ci.CI, s float64) float64 {
+	return s - RawDistanceSum(cis)
+}
+
+// Personalization is Eq. 4: Σ_{CI∈TP} Σ_{i∈CI} cos(®i, ®g), matching each
+// item against the group-profile vector of the item's own category.
+func Personalization(cis []*ci.CI, g *profile.Profile) float64 {
+	if g == nil {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range cis {
+		for _, it := range c.Items {
+			sum += vec.Cosine(it.Vector, g.Vector(it.Cat))
+		}
+	}
+	return sum
+}
+
+// MinMax holds the observed range of one optimization dimension across an
+// experiment, for the §4.3.1 normalization
+// normalized(o) = (value(o) − min(o)) / (max(o) − min(o)).
+type MinMax struct {
+	Min float64
+	Max float64
+}
+
+// MinMaxOf scans values for their range. It panics on an empty slice.
+func MinMaxOf(values []float64) MinMax {
+	if len(values) == 0 {
+		panic("metrics: MinMaxOf of empty slice")
+	}
+	mm := MinMax{Min: values[0], Max: values[0]}
+	for _, v := range values[1:] {
+		mm.Min = math.Min(mm.Min, v)
+		mm.Max = math.Max(mm.Max, v)
+	}
+	return mm
+}
+
+// Normalize maps v into [0,1] within the observed range; a degenerate
+// range (max == min) maps everything to 0.
+func (mm MinMax) Normalize(v float64) float64 {
+	if mm.Max <= mm.Min {
+		return 0
+	}
+	n := (v - mm.Min) / (mm.Max - mm.Min)
+	if n < 0 {
+		return 0
+	}
+	if n > 1 {
+		return 1
+	}
+	return n
+}
+
+// String renders the range like the paper's §4.3.1 report
+// ("[0.03, 41.39]").
+func (mm MinMax) String() string {
+	return fmt.Sprintf("[%.2f, %.2f]", mm.Min, mm.Max)
+}
+
+// Dimensions bundles the three raw measurements of one travel package.
+type Dimensions struct {
+	Representativity float64
+	RawDistance      float64 // inner Eq. 3 sum; Cohesiveness = S − this
+	Personalization  float64
+}
+
+// Measure computes all three raw dimensions for a package.
+func Measure(cis []*ci.CI, g *profile.Profile) Dimensions {
+	return Dimensions{
+		Representativity: Representativity(cis),
+		RawDistance:      RawDistanceSum(cis),
+		Personalization:  Personalization(cis, g),
+	}
+}

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grouptravel/internal/ci"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/vec"
+)
+
+func mkCI(centroid geo.Point, coords []geo.Point) *ci.CI {
+	items := make([]*poi.POI, len(coords))
+	for i, c := range coords {
+		items[i] = &poi.POI{ID: i, Cat: poi.Attr, Coord: c, Vector: vec.Vector{1, 0}}
+	}
+	return &ci.CI{Items: items, Centroid: centroid}
+}
+
+func TestRepresentativityPairs(t *testing.T) {
+	a := mkCI(geo.Point{Lat: 48.80, Lon: 2.30}, nil)
+	b := mkCI(geo.Point{Lat: 48.90, Lon: 2.30}, nil)
+	c := mkCI(geo.Point{Lat: 48.85, Lon: 2.40}, nil)
+	got := Representativity([]*ci.CI{a, b, c})
+	want := geo.Equirectangular(a.Centroid, b.Centroid) +
+		geo.Equirectangular(a.Centroid, c.Centroid) +
+		geo.Equirectangular(b.Centroid, c.Centroid)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("representativity = %v, want %v", got, want)
+	}
+}
+
+func TestRepresentativitySpreadBeatsCollapse(t *testing.T) {
+	spread := []*ci.CI{
+		mkCI(geo.Point{Lat: 48.80, Lon: 2.25}, nil),
+		mkCI(geo.Point{Lat: 48.92, Lon: 2.42}, nil),
+	}
+	collapsed := []*ci.CI{
+		mkCI(geo.Point{Lat: 48.86, Lon: 2.34}, nil),
+		mkCI(geo.Point{Lat: 48.861, Lon: 2.341}, nil),
+	}
+	if Representativity(spread) <= Representativity(collapsed) {
+		t.Fatal("spread centroids not more representative than collapsed ones")
+	}
+}
+
+func TestCohesivenessCompactBeatsScattered(t *testing.T) {
+	compact := []*ci.CI{mkCI(geo.Point{}, []geo.Point{
+		{Lat: 48.860, Lon: 2.340}, {Lat: 48.861, Lon: 2.341}, {Lat: 48.862, Lon: 2.342},
+	})}
+	scattered := []*ci.CI{mkCI(geo.Point{}, []geo.Point{
+		{Lat: 48.80, Lon: 2.25}, {Lat: 48.92, Lon: 2.42}, {Lat: 48.86, Lon: 2.30},
+	})}
+	s := math.Max(RawDistanceSum(compact), RawDistanceSum(scattered))
+	if Cohesiveness(compact, s) <= Cohesiveness(scattered, s) {
+		t.Fatal("compact CI not more cohesive than scattered CI")
+	}
+}
+
+func TestCohesivenessIsSMinusRaw(t *testing.T) {
+	cis := []*ci.CI{mkCI(geo.Point{}, []geo.Point{
+		{Lat: 48.86, Lon: 2.34}, {Lat: 48.87, Lon: 2.35},
+	})}
+	raw := RawDistanceSum(cis)
+	if got := Cohesiveness(cis, 100); math.Abs(got-(100-raw)) > 1e-12 {
+		t.Fatalf("cohesiveness = %v, want %v", got, 100-raw)
+	}
+}
+
+func testProfile() *profile.Profile {
+	s := poi.NewSchema([]string{"h"}, []string{"t"}, []string{"a", "b"}, []string{"a", "b"})
+	p := profile.New(s)
+	_ = p.SetVector(poi.Attr, vec.Vector{1, 0})
+	return p
+}
+
+func TestPersonalizationMatchesCosineSum(t *testing.T) {
+	g := testProfile()
+	// Two attraction items: one perfectly aligned, one orthogonal.
+	aligned := &poi.POI{ID: 1, Cat: poi.Attr, Vector: vec.Vector{1, 0}}
+	orthogonal := &poi.POI{ID: 2, Cat: poi.Attr, Vector: vec.Vector{0, 1}}
+	cis := []*ci.CI{{Items: []*poi.POI{aligned, orthogonal}}}
+	if got := Personalization(cis, g); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("personalization = %v, want 1 (1 + 0)", got)
+	}
+}
+
+func TestPersonalizationNilProfile(t *testing.T) {
+	cis := []*ci.CI{mkCI(geo.Point{}, []geo.Point{{Lat: 48.86, Lon: 2.34}})}
+	if got := Personalization(cis, nil); got != 0 {
+		t.Fatalf("nil-profile personalization = %v", got)
+	}
+}
+
+func TestMinMaxOf(t *testing.T) {
+	mm := MinMaxOf([]float64{3, 1, 4, 1, 5})
+	if mm.Min != 1 || mm.Max != 5 {
+		t.Fatalf("MinMax = %+v", mm)
+	}
+}
+
+func TestMinMaxOfPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty input")
+		}
+	}()
+	MinMaxOf(nil)
+}
+
+func TestNormalizeBoundsQuick(t *testing.T) {
+	src := rng.New(1)
+	f := func(_ uint8) bool {
+		n := 2 + src.Intn(20)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = src.Range(-100, 100)
+		}
+		mm := MinMaxOf(vals)
+		for _, v := range vals {
+			nv := mm.Normalize(v)
+			if nv < 0 || nv > 1 {
+				return false
+			}
+		}
+		// Extremes map to 0 and 1 when the range is non-degenerate.
+		if mm.Max > mm.Min {
+			if mm.Normalize(mm.Min) != 0 || mm.Normalize(mm.Max) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeDegenerateRange(t *testing.T) {
+	mm := MinMax{Min: 5, Max: 5}
+	if mm.Normalize(5) != 0 {
+		t.Fatalf("degenerate normalize = %v", mm.Normalize(5))
+	}
+}
+
+func TestNormalizeClampsOutside(t *testing.T) {
+	mm := MinMax{Min: 0, Max: 10}
+	if mm.Normalize(-5) != 0 || mm.Normalize(15) != 1 {
+		t.Fatal("out-of-range values not clamped")
+	}
+}
+
+func TestMeasureBundles(t *testing.T) {
+	g := testProfile()
+	cis := []*ci.CI{
+		mkCI(geo.Point{Lat: 48.80, Lon: 2.30}, []geo.Point{{Lat: 48.80, Lon: 2.30}, {Lat: 48.81, Lon: 2.31}}),
+		mkCI(geo.Point{Lat: 48.90, Lon: 2.40}, []geo.Point{{Lat: 48.90, Lon: 2.40}}),
+	}
+	d := Measure(cis, g)
+	if math.Abs(d.Representativity-Representativity(cis)) > 1e-12 ||
+		math.Abs(d.RawDistance-RawDistanceSum(cis)) > 1e-12 ||
+		math.Abs(d.Personalization-Personalization(cis, g)) > 1e-12 {
+		t.Fatalf("Measure disagrees with individual metrics: %+v", d)
+	}
+}
+
+func TestMinMaxString(t *testing.T) {
+	mm := MinMax{Min: 19.29, Max: 221.79}
+	if mm.String() != "[19.29, 221.79]" {
+		t.Fatalf("String = %q", mm.String())
+	}
+}

@@ -1,0 +1,153 @@
+// Package poi defines Points Of Interest — the items of GroupTravel — and
+// the indexed collections the rest of the system queries.
+//
+// The schema follows Table 1 of the paper exactly: every POI has a unique
+// id, a name, a category (acco / trans / rest / attr), coordinates, a type
+// (e.g. "hotel", "bike rental"), free-text tags, and a cost. On top of the
+// raw record, each POI carries its item vector ®i (§3.2): a one-hot type
+// indicator for accommodations and transportation, and the LDA topic
+// distribution of its tags for restaurants and attractions.
+package poi
+
+import (
+	"fmt"
+	"strings"
+
+	"grouptravel/internal/geo"
+	"grouptravel/internal/vec"
+)
+
+// Category is one of the four POI categories of the TourPedia dataset.
+type Category uint8
+
+const (
+	Acco  Category = iota // accommodation
+	Trans                 // transportation
+	Rest                  // restaurant
+	Attr                  // attraction
+
+	NumCategories = 4
+)
+
+// Categories lists all categories in canonical order.
+var Categories = [NumCategories]Category{Acco, Trans, Rest, Attr}
+
+// String returns the paper's short category name.
+func (c Category) String() string {
+	switch c {
+	case Acco:
+		return "acco"
+	case Trans:
+		return "trans"
+	case Rest:
+		return "rest"
+	case Attr:
+		return "attr"
+	default:
+		return fmt.Sprintf("category(%d)", uint8(c))
+	}
+}
+
+// ParseCategory parses the paper's short names (and a few common aliases).
+func ParseCategory(s string) (Category, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "acco", "accommodation":
+		return Acco, nil
+	case "trans", "transportation", "transport":
+		return Trans, nil
+	case "rest", "restaurant":
+		return Rest, nil
+	case "attr", "attraction":
+		return Attr, nil
+	default:
+		return 0, fmt.Errorf("poi: unknown category %q", s)
+	}
+}
+
+// Valid reports whether c is one of the four defined categories.
+func (c Category) Valid() bool { return c < NumCategories }
+
+// POI is a single point of interest (Table 1 row).
+type POI struct {
+	ID    int
+	Name  string
+	Cat   Category
+	Coord geo.Point
+	Type  string  // e.g. "hotel", "bike rental", or dominant topic label
+	Tags  string  // space-separated Foursquare-style tags
+	Cost  float64 // log(#checkins) in the paper's cost model
+
+	// Vector is the item vector ®i of §3.2: one-hot over types for
+	// acco/trans, LDA topic distribution for rest/attr. Its dimension is
+	// Schema.Dim(Cat).
+	Vector vec.Vector
+}
+
+// Schema describes, per category, the dimensions of item and profile
+// vectors and human-readable labels for each dimension (type names for
+// acco/trans; "topic k: top words" labels for rest/attr). A city's POIs,
+// every user profile, and every group profile must share one Schema.
+type Schema struct {
+	labels [NumCategories][]string
+}
+
+// NewSchema builds a Schema from per-category dimension labels.
+func NewSchema(acco, trans, rest, attr []string) *Schema {
+	s := &Schema{}
+	s.labels[Acco] = append([]string(nil), acco...)
+	s.labels[Trans] = append([]string(nil), trans...)
+	s.labels[Rest] = append([]string(nil), rest...)
+	s.labels[Attr] = append([]string(nil), attr...)
+	return s
+}
+
+// Dim returns the vector dimension for category c.
+func (s *Schema) Dim(c Category) int { return len(s.labels[c]) }
+
+// Labels returns the dimension labels for category c (shared slice; do not
+// mutate).
+func (s *Schema) Labels(c Category) []string { return s.labels[c] }
+
+// TypeIndex returns the dimension index of a type label within category c,
+// or -1 if unknown.
+func (s *Schema) TypeIndex(c Category, label string) int {
+	for i, l := range s.labels[c] {
+		if l == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// OneHot returns a one-hot vector for the given type label in category c.
+// Unknown labels yield a zero vector (the POI matches no preference).
+func (s *Schema) OneHot(c Category, label string) vec.Vector {
+	v := vec.New(s.Dim(c))
+	if i := s.TypeIndex(c, label); i >= 0 {
+		v[i] = 1
+	}
+	return v
+}
+
+// Validate checks a POI against the schema: legal category, valid
+// coordinates, non-negative cost, and an item vector of the right
+// dimension with components in [0,1].
+func (s *Schema) Validate(p *POI) error {
+	if !p.Cat.Valid() {
+		return fmt.Errorf("poi %d (%s): invalid category %d", p.ID, p.Name, p.Cat)
+	}
+	if !p.Coord.Valid() {
+		return fmt.Errorf("poi %d (%s): invalid coordinates %v", p.ID, p.Name, p.Coord)
+	}
+	if p.Cost < 0 {
+		return fmt.Errorf("poi %d (%s): negative cost %v", p.ID, p.Name, p.Cost)
+	}
+	if len(p.Vector) != s.Dim(p.Cat) {
+		return fmt.Errorf("poi %d (%s): item vector dim %d, schema wants %d for %s",
+			p.ID, p.Name, len(p.Vector), s.Dim(p.Cat), p.Cat)
+	}
+	if !p.Vector.InUnitRange() {
+		return fmt.Errorf("poi %d (%s): item vector outside [0,1]: %v", p.ID, p.Name, p.Vector)
+	}
+	return nil
+}

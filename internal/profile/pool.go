@@ -1,0 +1,137 @@
+package profile
+
+import (
+	"fmt"
+
+	"grouptravel/internal/poi"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/vec"
+)
+
+// This file implements group formation from a participant pool — the step
+// the paper performs between recruiting crowd workers and running the
+// study ("We then used the generated user profiles to build groups with
+// varying characteristics, i.e., size and uniformity", §4.4.1). Given a
+// pool of profiles, FormGroup assembles a group of the requested size
+// whose uniformity falls in the requested band, by greedy similarity
+// search: uniform groups grow around a seed by repeatedly admitting the
+// candidate most similar to the current members; non-uniform groups admit
+// the least similar candidate.
+
+// Band is a target uniformity interval.
+type Band struct {
+	Min float64
+	Max float64
+}
+
+// UniformBand is the paper's uniform-group criterion (> 0.85).
+var UniformBand = Band{Min: UniformThreshold, Max: 1}
+
+// NonUniformBand is the paper's non-uniform criterion (< 0.20).
+var NonUniformBand = Band{Min: 0, Max: NonUniformThreshold}
+
+// contains reports whether u falls inside the band (inclusive).
+func (b Band) contains(u float64) bool { return u >= b.Min && u <= b.Max }
+
+// FormGroup assembles a group of the given size from the pool with
+// uniformity in the band. Several random seeds are tried; the pool is not
+// modified, and members may be shared across calls (real study groups drew
+// from one participant pool). It fails when the pool cannot produce the
+// requested band — e.g. asking for a non-uniform group from a pool of
+// clones.
+func FormGroup(schema *poi.Schema, pool []*Profile, size int, band Band, src *rng.Source) (*Group, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("profile: group size %d", size)
+	}
+	if len(pool) < size {
+		return nil, fmt.Errorf("profile: pool of %d cannot form a group of %d", len(pool), size)
+	}
+	if band.Min > band.Max || band.Min < 0 || band.Max > 1 {
+		return nil, fmt.Errorf("profile: invalid uniformity band [%v, %v]", band.Min, band.Max)
+	}
+	// Precompute concatenated vectors once.
+	cat := make([]vec.Vector, len(pool))
+	for i, p := range pool {
+		cat[i] = p.Concat()
+	}
+	// Growing toward high uniformity admits the most-similar candidate;
+	// growing toward low uniformity admits the least-similar.
+	wantHigh := band.Min > 0.5
+
+	const attempts = 8
+	var bestGroup *Group
+	bestDist := -1.0
+	for a := 0; a < attempts; a++ {
+		idxs := growGroup(cat, size, wantHigh, src)
+		members := make([]*Profile, size)
+		for i, idx := range idxs {
+			members[i] = pool[idx]
+		}
+		g, err := NewGroup(schema, members)
+		if err != nil {
+			return nil, err
+		}
+		u := g.Uniformity()
+		if band.contains(u) {
+			return g, nil
+		}
+		// Track the nearest miss for the error message.
+		d := bandDistance(band, u)
+		if bestDist < 0 || d < bestDist {
+			bestDist, bestGroup = d, g
+		}
+	}
+	return nil, fmt.Errorf("profile: pool cannot reach uniformity in [%.2f, %.2f] (closest achieved: %.2f)",
+		band.Min, band.Max, bestGroup.Uniformity())
+}
+
+// growGroup greedily grows a member set from a random seed.
+func growGroup(cat []vec.Vector, size int, wantHigh bool, src *rng.Source) []int {
+	seed := src.Intn(len(cat))
+	chosen := []int{seed}
+	used := map[int]bool{seed: true}
+	for len(chosen) < size {
+		bestIdx, bestScore := -1, 0.0
+		for i := range cat {
+			if used[i] {
+				continue
+			}
+			// Mean similarity to the current members.
+			s := 0.0
+			for _, c := range chosen {
+				s += vec.Cosine(cat[i], cat[c])
+			}
+			s /= float64(len(chosen))
+			better := bestIdx == -1 || (wantHigh && s > bestScore) || (!wantHigh && s < bestScore)
+			if better {
+				bestIdx, bestScore = i, s
+			}
+		}
+		chosen = append(chosen, bestIdx)
+		used[bestIdx] = true
+	}
+	return chosen
+}
+
+// bandDistance measures how far u is from the band.
+func bandDistance(b Band, u float64) float64 {
+	switch {
+	case u < b.Min:
+		return b.Min - u
+	case u > b.Max:
+		return u - b.Max
+	default:
+		return 0
+	}
+}
+
+// GeneratePool draws n independent random profiles — the synthetic
+// counterpart of a recruited participant pool (§4.4.1 recruited 3000
+// workers and pruned invalid registrations before forming groups).
+func GeneratePool(schema *poi.Schema, n int, src *rng.Source) []*Profile {
+	pool := make([]*Profile, n)
+	for i := range pool {
+		pool[i] = GenerateRandomProfile(schema, src)
+	}
+	return pool
+}

@@ -1,0 +1,128 @@
+package profile
+
+import (
+	"testing"
+
+	"grouptravel/internal/rng"
+)
+
+func TestFormGroupUniformFromMixedPool(t *testing.T) {
+	s := testSchema()
+	src := rng.New(1)
+	// A pool with clusters of similar users: several base profiles, each
+	// with perturbation copies — like a real participant pool.
+	var pool []*Profile
+	for b := 0; b < 6; b++ {
+		g, err := GenerateUniformGroup(s, 8, src.Split("cluster"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, g.Members...)
+	}
+	g, err := FormGroup(s, pool, 5, UniformBand, src)
+	if err != nil {
+		t.Fatalf("FormGroup uniform: %v", err)
+	}
+	if u := g.Uniformity(); u <= UniformThreshold {
+		t.Fatalf("uniformity %v below band", u)
+	}
+	if g.Size() != 5 {
+		t.Fatalf("size %d", g.Size())
+	}
+}
+
+func TestFormGroupNonUniformFromSparsePool(t *testing.T) {
+	s := testSchema()
+	src := rng.New(2)
+	// Sparse users with near-disjoint tastes.
+	var pool []*Profile
+	for i := 0; i < 10; i++ {
+		g, err := GenerateNonUniformGroup(s, 5, src.Split("sparse"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, g.Members...)
+	}
+	g, err := FormGroup(s, pool, 7, NonUniformBand, src)
+	if err != nil {
+		t.Fatalf("FormGroup non-uniform: %v", err)
+	}
+	if u := g.Uniformity(); u >= NonUniformThreshold {
+		t.Fatalf("uniformity %v above band", u)
+	}
+}
+
+func TestFormGroupImpossibleBand(t *testing.T) {
+	s := testSchema()
+	src := rng.New(3)
+	// A pool of clones cannot produce a non-uniform group.
+	base := GenerateRandomProfile(s, src)
+	pool := []*Profile{base}
+	for i := 0; i < 9; i++ {
+		pool = append(pool, base.Clone())
+	}
+	if _, err := FormGroup(s, pool, 5, NonUniformBand, src); err == nil {
+		t.Fatal("clone pool produced a non-uniform group")
+	}
+}
+
+func TestFormGroupValidation(t *testing.T) {
+	s := testSchema()
+	src := rng.New(4)
+	pool := GeneratePool(s, 4, src)
+	if _, err := FormGroup(s, pool, 0, UniformBand, src); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := FormGroup(s, pool, 10, UniformBand, src); err == nil {
+		t.Fatal("size beyond pool accepted")
+	}
+	if _, err := FormGroup(s, pool, 2, Band{Min: 0.9, Max: 0.1}, src); err == nil {
+		t.Fatal("inverted band accepted")
+	}
+	if _, err := FormGroup(s, pool, 2, Band{Min: -1, Max: 2}, src); err == nil {
+		t.Fatal("out-of-range band accepted")
+	}
+}
+
+func TestFormGroupMembersComeFromPool(t *testing.T) {
+	s := testSchema()
+	src := rng.New(5)
+	var pool []*Profile
+	for b := 0; b < 4; b++ {
+		g, err := GenerateUniformGroup(s, 6, src.Split("c"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, g.Members...)
+	}
+	g, err := FormGroup(s, pool, 4, UniformBand, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPool := map[*Profile]bool{}
+	for _, p := range pool {
+		inPool[p] = true
+	}
+	seen := map[*Profile]bool{}
+	for _, m := range g.Members {
+		if !inPool[m] {
+			t.Fatal("member not from the pool")
+		}
+		if seen[m] {
+			t.Fatal("member selected twice")
+		}
+		seen[m] = true
+	}
+}
+
+func TestGeneratePool(t *testing.T) {
+	s := testSchema()
+	pool := GeneratePool(s, 25, rng.New(6))
+	if len(pool) != 25 {
+		t.Fatalf("pool size %d", len(pool))
+	}
+	// Profiles are independent draws, not shared pointers.
+	if pool[0] == pool[1] {
+		t.Fatal("pool shares profile pointers")
+	}
+}

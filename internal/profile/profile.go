@@ -1,0 +1,342 @@
+// Package profile implements user and group travel profiles (§2.2–2.3 of
+// the paper) and the synthetic group generators of the Table 2 experiment.
+//
+// A user profile holds one preference vector per POI category: scores in
+// [0,1] over accommodation types, transportation types, restaurant topics
+// and attraction topics. A group is a matrix of member profiles; its
+// uniformity is the average pairwise cosine similarity between member
+// profiles (§4.1), and its group profile is produced by the consensus
+// functions in package consensus.
+package profile
+
+import (
+	"fmt"
+
+	"grouptravel/internal/poi"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/vec"
+)
+
+// Profile is one user's travel profile: a preference vector per category.
+type Profile struct {
+	vectors [poi.NumCategories]vec.Vector
+}
+
+// New returns an all-zero profile shaped by the schema.
+func New(schema *poi.Schema) *Profile {
+	p := &Profile{}
+	for _, c := range poi.Categories {
+		p.vectors[c] = vec.New(schema.Dim(c))
+	}
+	return p
+}
+
+// Vector returns the preference vector for category c (shared; mutate via
+// SetVector to keep validation in one place).
+func (p *Profile) Vector(c poi.Category) vec.Vector { return p.vectors[c] }
+
+// SetVector replaces the preference vector for category c. Components must
+// lie in [0,1].
+func (p *Profile) SetVector(c poi.Category, v vec.Vector) error {
+	if !v.InUnitRange() {
+		return fmt.Errorf("profile: vector for %s outside [0,1]: %v", c, v)
+	}
+	p.vectors[c] = v.Clone()
+	return nil
+}
+
+// Clone returns a deep copy.
+func (p *Profile) Clone() *Profile {
+	out := &Profile{}
+	for c := range p.vectors {
+		out.vectors[c] = p.vectors[c].Clone()
+	}
+	return out
+}
+
+// Concat returns the concatenation of the four category vectors — the
+// single-vector view "®u" used for uniformity and median-user computations.
+func (p *Profile) Concat() vec.Vector {
+	total := 0
+	for _, v := range p.vectors {
+		total += len(v)
+	}
+	out := make(vec.Vector, 0, total)
+	for _, v := range p.vectors {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// FromRatings builds a profile from raw 0–5 ratings per category, applying
+// the paper's normalization u_j = r_j / Σ_k r_k (§2.2). Rating slices must
+// match the schema dimensions; all-zero rating slices stay all-zero.
+func FromRatings(schema *poi.Schema, ratings map[poi.Category][]float64) (*Profile, error) {
+	p := New(schema)
+	for c, rs := range ratings {
+		if !c.Valid() {
+			return nil, fmt.Errorf("profile: invalid category %d", c)
+		}
+		if len(rs) != schema.Dim(c) {
+			return nil, fmt.Errorf("profile: %d ratings for %s, schema wants %d", len(rs), c, schema.Dim(c))
+		}
+		v := make(vec.Vector, len(rs))
+		for j, r := range rs {
+			if r < 0 || r > 5 {
+				return nil, fmt.Errorf("profile: rating %v for %s[%d] outside [0,5]", r, c, j)
+			}
+			v[j] = r
+		}
+		v.NormalizeSum()
+		p.vectors[c] = v
+	}
+	return p, nil
+}
+
+// Group is a travel group: an ordered set of member profiles sharing one
+// schema.
+type Group struct {
+	Members []*Profile
+	schema  *poi.Schema
+}
+
+// NewGroup builds a group. At least one member is required.
+func NewGroup(schema *poi.Schema, members []*Profile) (*Group, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("profile: nil schema")
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("profile: empty group")
+	}
+	for i, m := range members {
+		for _, c := range poi.Categories {
+			if len(m.Vector(c)) != schema.Dim(c) {
+				return nil, fmt.Errorf("profile: member %d has dim %d for %s, schema wants %d",
+					i, len(m.Vector(c)), c, schema.Dim(c))
+			}
+		}
+	}
+	return &Group{Members: members, schema: schema}, nil
+}
+
+// Schema returns the group's schema.
+func (g *Group) Schema() *poi.Schema { return g.schema }
+
+// Size returns |G|.
+func (g *Group) Size() int { return len(g.Members) }
+
+// Uniformity returns the average pairwise cosine similarity between member
+// profile vectors (§4.1). A single-member group is perfectly uniform.
+func (g *Group) Uniformity() float64 {
+	n := len(g.Members)
+	if n < 2 {
+		return 1
+	}
+	cat := make([]vec.Vector, n)
+	for i, m := range g.Members {
+		cat[i] = m.Concat()
+	}
+	sum, pairs := 0.0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += vec.Cosine(cat[i], cat[j])
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}
+
+// MedianUser returns the index of the group's median user: the member whose
+// summed cosine similarity to all other members is highest (§4.3.3 — "The
+// sum of Cosine values between the profile of the median user u and all
+// other members of u's group is the highest"). Ties break to the lower
+// index for determinism.
+func (g *Group) MedianUser() int {
+	n := len(g.Members)
+	if n == 1 {
+		return 0
+	}
+	cat := make([]vec.Vector, n)
+	for i, m := range g.Members {
+		cat[i] = m.Concat()
+	}
+	bestIdx, bestSum := 0, -1.0
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				sum += vec.Cosine(cat[i], cat[j])
+			}
+		}
+		if sum > bestSum {
+			bestIdx, bestSum = i, sum
+		}
+	}
+	return bestIdx
+}
+
+// SizeClass is the paper's three-way group-size taxonomy (§4.1).
+type SizeClass int
+
+const (
+	Small  SizeClass = iota // 5 members
+	Medium                  // 10 members
+	Large                   // 100 members
+)
+
+// Size returns the member count of the class.
+func (s SizeClass) Size() int {
+	switch s {
+	case Small:
+		return 5
+	case Medium:
+		return 10
+	case Large:
+		return 100
+	default:
+		panic(fmt.Sprintf("profile: unknown size class %d", s))
+	}
+}
+
+// String returns the paper's label.
+func (s SizeClass) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	default:
+		return fmt.Sprintf("sizeclass(%d)", int(s))
+	}
+}
+
+// SizeClasses lists the paper's three classes in order.
+var SizeClasses = []SizeClass{Small, Medium, Large}
+
+// Uniformity thresholds of §4.1: "uniform groups having a uniformity value
+// larger than 0.85, and non-uniform groups having a uniformity value
+// smaller than 0.20".
+const (
+	UniformThreshold    = 0.85
+	NonUniformThreshold = 0.20
+)
+
+// GenerateRandomProfile fills every cell with an independent random value
+// in [0,1] — the paper's "independent roll-and-dice process" (§4.3.1).
+//
+// The draw is right-skewed (the cube of a uniform variate) rather than
+// uniform: real travelers like a few POI types strongly and are tepid
+// about the rest. Dense uniform cells would make every pair of
+// non-negative vectors nearly parallel (expected cosine ≈ 0.75), crushing
+// the dynamic range of the personalization measure; the paper's own raw
+// personalization range ([0.01, 0.16] summed over 30 items, §4.3.1) shows
+// their profile/item cosines were similarly far from saturation.
+func GenerateRandomProfile(schema *poi.Schema, src *rng.Source) *Profile {
+	p := New(schema)
+	for _, c := range poi.Categories {
+		v := p.vectors[c]
+		for j := range v {
+			u := src.Float64()
+			v[j] = u * u * u
+		}
+	}
+	return p
+}
+
+// GenerateUniformGroup builds a group of the given size whose uniformity
+// exceeds UniformThreshold. Each member blends one shared random base
+// profile with an individual random profile:
+//
+//	member = (1−λ)·base + λ·individual + small Gaussian noise
+//
+// where the individual weight λ grows with group size — assembling 100
+// "like-minded" travelers admits far looser similarity than assembling 5.
+// This reproduces the paper's §4.3.3 observations that group uniformity
+// (and with it personalization) fades as uniform groups grow, while every
+// generated group still verifiably sits in the uniform band (> 0.85). It
+// retries with fresh bases in the rare case the band is missed.
+func GenerateUniformGroup(schema *poi.Schema, size int, src *rng.Source) (*Group, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("profile: group size %d", size)
+	}
+	lambda := 0.5 * float64(size) / (float64(size) + 15)
+	const noise = 0.05
+	for attempt := 0; attempt < 16; attempt++ {
+		base := GenerateRandomProfile(schema, src)
+		members := make([]*Profile, size)
+		for i := range members {
+			indiv := GenerateRandomProfile(schema, src)
+			m := New(schema)
+			for _, c := range poi.Categories {
+				bv, iv, mv := base.Vector(c), indiv.Vector(c), m.vectors[c]
+				for j := range mv {
+					mv[j] = clamp01((1-lambda)*bv[j] + lambda*iv[j] + noise*src.NormFloat64())
+				}
+			}
+			members[i] = m
+		}
+		g, err := NewGroup(schema, members)
+		if err != nil {
+			return nil, err
+		}
+		if g.Uniformity() > UniformThreshold {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("profile: could not reach uniformity > %v", UniformThreshold)
+}
+
+// GenerateNonUniformGroup builds a group whose uniformity is below
+// NonUniformThreshold. Dense random [0,1] vectors have expected pairwise
+// cosine ≈ 0.75 (all components non-negative), so diversity requires
+// sparsity: each member prefers a small random subset of types per
+// category and is indifferent (zero) to the rest, giving near-disjoint
+// supports and near-orthogonal profiles.
+func GenerateNonUniformGroup(schema *poi.Schema, size int, src *rng.Source) (*Group, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("profile: non-uniform group needs at least 2 members")
+	}
+	for attempt := 0; attempt < 16; attempt++ {
+		members := make([]*Profile, size)
+		for i := range members {
+			m := New(schema)
+			for _, c := range poi.Categories {
+				v := m.vectors[c]
+				dim := len(v)
+				if dim == 0 {
+					continue
+				}
+				// 1 active type for tight vocabularies, up to 2 for wider.
+				active := 1
+				if dim >= 6 && src.Bool(0.4) {
+					active = 2
+				}
+				perm := src.Perm(dim)
+				for a := 0; a < active && a < dim; a++ {
+					v[perm[a]] = src.Range(0.5, 1.0)
+				}
+			}
+			members[i] = m
+		}
+		g, err := NewGroup(schema, members)
+		if err != nil {
+			return nil, err
+		}
+		if g.Uniformity() < NonUniformThreshold {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("profile: could not reach uniformity < %v", NonUniformThreshold)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,268 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grouptravel/internal/poi"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/vec"
+)
+
+func testSchema() *poi.Schema {
+	return poi.NewSchema(
+		[]string{"hotel", "hostel", "motel", "resort", "apartment", "guesthouse", "residencehall", "campsite"},
+		[]string{"tram", "train", "metro", "bus", "car", "bike", "taxi", "ferry"},
+		[]string{"t0", "t1", "t2", "t3", "t4", "t5"},
+		[]string{"t0", "t1", "t2", "t3", "t4", "t5"},
+	)
+}
+
+func TestNewProfileZero(t *testing.T) {
+	s := testSchema()
+	p := New(s)
+	for _, c := range poi.Categories {
+		v := p.Vector(c)
+		if len(v) != s.Dim(c) {
+			t.Fatalf("dim mismatch for %s", c)
+		}
+		if v.Sum() != 0 {
+			t.Fatalf("new profile not zero for %s", c)
+		}
+	}
+}
+
+func TestSetVectorValidates(t *testing.T) {
+	s := testSchema()
+	p := New(s)
+	if err := p.SetVector(poi.Rest, vec.Vector{0.1, 0.2, 0.3, 0, 0, 0.4}); err != nil {
+		t.Fatalf("valid vector rejected: %v", err)
+	}
+	if err := p.SetVector(poi.Rest, vec.Vector{1.5, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("out-of-range vector accepted")
+	}
+}
+
+func TestSetVectorCopies(t *testing.T) {
+	s := testSchema()
+	p := New(s)
+	v := vec.Vector{0.5, 0, 0, 0, 0, 0}
+	_ = p.SetVector(poi.Rest, v)
+	v[0] = 0.9
+	if p.Vector(poi.Rest)[0] != 0.5 {
+		t.Fatal("SetVector retained caller's slice")
+	}
+}
+
+func TestFromRatingsNormalization(t *testing.T) {
+	s := testSchema()
+	// The paper's §2.3 family example: ratings 4,5,3,1 normalize by sum.
+	ratings := map[poi.Category][]float64{
+		poi.Attr: {4, 5, 3, 1, 0, 0},
+	}
+	p, err := FromRatings(s, ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.Vector(poi.Attr)
+	if math.Abs(v[0]-4.0/13) > 1e-12 || math.Abs(v[1]-5.0/13) > 1e-12 {
+		t.Fatalf("normalized ratings = %v", v)
+	}
+	if math.Abs(v.Sum()-1) > 1e-12 {
+		t.Fatalf("ratings do not sum to 1: %v", v.Sum())
+	}
+}
+
+func TestFromRatingsErrors(t *testing.T) {
+	s := testSchema()
+	if _, err := FromRatings(s, map[poi.Category][]float64{poi.Attr: {6, 0, 0, 0, 0, 0}}); err == nil {
+		t.Fatal("rating > 5 accepted")
+	}
+	if _, err := FromRatings(s, map[poi.Category][]float64{poi.Attr: {1, 2}}); err == nil {
+		t.Fatal("wrong dimension accepted")
+	}
+	if _, err := FromRatings(s, map[poi.Category][]float64{poi.Category(9): {1}}); err == nil {
+		t.Fatal("invalid category accepted")
+	}
+	// All-zero ratings are legal (a user with no stated preferences).
+	p, err := FromRatings(s, map[poi.Category][]float64{poi.Rest: {0, 0, 0, 0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Vector(poi.Rest).Sum() != 0 {
+		t.Fatal("all-zero ratings produced non-zero profile")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := testSchema()
+	p := GenerateRandomProfile(s, rng.New(1))
+	q := p.Clone()
+	q.Vector(poi.Rest)[0] = 0.123456
+	if p.Vector(poi.Rest)[0] == 0.123456 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestConcatLayout(t *testing.T) {
+	s := testSchema()
+	p := New(s)
+	_ = p.SetVector(poi.Acco, vec.Vector{1, 0, 0, 0, 0, 0, 0, 0})
+	_ = p.SetVector(poi.Attr, vec.Vector{0, 0, 0, 0, 0, 1})
+	c := p.Concat()
+	wantLen := 8 + 8 + 6 + 6
+	if len(c) != wantLen {
+		t.Fatalf("concat len = %d, want %d", len(c), wantLen)
+	}
+	if c[0] != 1 || c[wantLen-1] != 1 {
+		t.Fatalf("concat order wrong: %v", c)
+	}
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	s := testSchema()
+	if _, err := NewGroup(s, nil); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := NewGroup(nil, []*Profile{New(s)}); err == nil {
+		t.Fatal("nil schema accepted")
+	}
+	// Member from a different (smaller) schema must be rejected.
+	tiny := poi.NewSchema([]string{"a"}, []string{"b"}, []string{"c"}, []string{"d"})
+	if _, err := NewGroup(s, []*Profile{New(tiny)}); err == nil {
+		t.Fatal("schema-mismatched member accepted")
+	}
+}
+
+func TestUniformitySingleMember(t *testing.T) {
+	s := testSchema()
+	g, _ := NewGroup(s, []*Profile{GenerateRandomProfile(s, rng.New(2))})
+	if g.Uniformity() != 1 {
+		t.Fatalf("single-member uniformity = %v", g.Uniformity())
+	}
+}
+
+func TestUniformityIdenticalMembers(t *testing.T) {
+	s := testSchema()
+	p := GenerateRandomProfile(s, rng.New(3))
+	g, _ := NewGroup(s, []*Profile{p, p.Clone(), p.Clone()})
+	if u := g.Uniformity(); math.Abs(u-1) > 1e-9 {
+		t.Fatalf("identical members uniformity = %v", u)
+	}
+}
+
+func TestUniformityOrthogonalMembers(t *testing.T) {
+	s := testSchema()
+	a, b := New(s), New(s)
+	_ = a.SetVector(poi.Rest, vec.Vector{1, 0, 0, 0, 0, 0})
+	_ = b.SetVector(poi.Rest, vec.Vector{0, 1, 0, 0, 0, 0})
+	g, _ := NewGroup(s, []*Profile{a, b})
+	if u := g.Uniformity(); u != 0 {
+		t.Fatalf("orthogonal members uniformity = %v", u)
+	}
+}
+
+func TestGenerateUniformGroupBand(t *testing.T) {
+	s := testSchema()
+	src := rng.New(5)
+	for _, class := range SizeClasses {
+		g, err := GenerateUniformGroup(s, class.Size(), src.Split(class.String()))
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if g.Size() != class.Size() {
+			t.Fatalf("%s: size %d", class, g.Size())
+		}
+		if u := g.Uniformity(); u <= UniformThreshold {
+			t.Fatalf("%s: uniformity %v not above %v", class, u, UniformThreshold)
+		}
+	}
+}
+
+func TestGenerateNonUniformGroupBand(t *testing.T) {
+	s := testSchema()
+	src := rng.New(6)
+	for _, class := range SizeClasses {
+		g, err := GenerateNonUniformGroup(s, class.Size(), src.Split(class.String()))
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if u := g.Uniformity(); u >= NonUniformThreshold {
+			t.Fatalf("%s: uniformity %v not below %v", class, u, NonUniformThreshold)
+		}
+	}
+}
+
+func TestGenerateNonUniformRejectsTinyGroups(t *testing.T) {
+	s := testSchema()
+	if _, err := GenerateNonUniformGroup(s, 1, rng.New(7)); err == nil {
+		t.Fatal("size-1 non-uniform group accepted")
+	}
+}
+
+func TestMedianUserIsMostCentral(t *testing.T) {
+	s := testSchema()
+	// Three like-minded members plus one outlier: the median user must be
+	// one of the like-minded ones.
+	base := GenerateRandomProfile(s, rng.New(8))
+	src := rng.New(9)
+	members := []*Profile{base, base.Clone(), base.Clone()}
+	outlier := New(s)
+	for _, c := range poi.Categories {
+		v := outlier.Vector(c)
+		v[src.Intn(len(v))] = 1
+	}
+	members = append(members, outlier)
+	g, _ := NewGroup(s, members)
+	if m := g.MedianUser(); m == 3 {
+		t.Fatal("outlier selected as median user")
+	}
+}
+
+func TestMedianUserDeterministicTies(t *testing.T) {
+	s := testSchema()
+	p := GenerateRandomProfile(s, rng.New(10))
+	g, _ := NewGroup(s, []*Profile{p, p.Clone(), p.Clone()})
+	if m := g.MedianUser(); m != 0 {
+		t.Fatalf("tie did not break to index 0: %d", m)
+	}
+}
+
+func TestSizeClasses(t *testing.T) {
+	if Small.Size() != 5 || Medium.Size() != 10 || Large.Size() != 100 {
+		t.Fatal("size classes do not match the paper (5/10/100)")
+	}
+	if Small.String() != "small" || Large.String() != "large" {
+		t.Fatal("size class labels wrong")
+	}
+}
+
+func TestRandomProfileInRangeQuick(t *testing.T) {
+	s := testSchema()
+	src := rng.New(11)
+	f := func(_ uint8) bool {
+		p := GenerateRandomProfile(s, src)
+		for _, c := range poi.Categories {
+			if !p.Vector(c).InUnitRange() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedGroupsAreIndependent(t *testing.T) {
+	// Two groups from split sources must differ — the experiment relies on
+	// 100 independent groups per cell.
+	s := testSchema()
+	root := rng.New(12)
+	g1, _ := GenerateUniformGroup(s, 5, root.Split("g1"))
+	g2, _ := GenerateUniformGroup(s, 5, root.Split("g2"))
+	if vec.Equal(g1.Members[0].Concat(), g2.Members[0].Concat(), 1e-12) {
+		t.Fatal("independent groups share a member profile")
+	}
+}

@@ -1,0 +1,28 @@
+package query_test
+
+import (
+	"fmt"
+
+	"grouptravel/internal/query"
+)
+
+// The paper's §3.1 example query: a CI with 1 accommodation,
+// 1 transportation, 2 restaurants and 1 attraction under a $120 budget.
+func ExampleNew() {
+	q, err := query.New(1, 1, 2, 1, 120)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q)
+	fmt.Println("items per CI:", q.Size())
+	// Output:
+	// <1 acco, 1 trans, 2 rest, 1 attr, $120.00>
+	// items per CI: 5
+}
+
+// Default is the query used throughout the paper's evaluation.
+func ExampleDefault() {
+	fmt.Println(query.Default())
+	// Output:
+	// <1 acco, 1 trans, 1 rest, 3 attr, unlimited budget>
+}

@@ -1,0 +1,146 @@
+// Package query implements the group query of §3.1:
+//
+//	®q = ⟨#c1, …, #cm, B⟩
+//
+// — how many POIs of each category a Composite Item must contain and the
+// total budget B it may not exceed — together with the validity predicate
+// that defines the set V of valid CIs.
+package query
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"grouptravel/internal/poi"
+)
+
+// Query is a group query. Counts is indexed by poi.Category; Budget is the
+// per-CI cost cap (math.Inf(1) means the paper's "infinite budget" used in
+// the synthetic experiment).
+type Query struct {
+	Counts [poi.NumCategories]int
+	Budget float64
+}
+
+// New builds a query with the given per-category counts and budget.
+func New(acco, trans, rest, attr int, budget float64) (Query, error) {
+	q := Query{Counts: [poi.NumCategories]int{acco, trans, rest, attr}, Budget: budget}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// MustNew is New for compile-time-constant queries; it panics on error.
+func MustNew(acco, trans, rest, attr int, budget float64) Query {
+	q, err := New(acco, trans, rest, attr, budget)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Default is the paper's default query ⟨1 acco, 1 trans, 1 rest, 3 attr⟩
+// with an infinite budget (§4.3.1, §4.4.3).
+func Default() Query {
+	return MustNew(1, 1, 1, 3, math.Inf(1))
+}
+
+// Validate checks structural sanity: non-negative counts, at least one
+// requested item, and a positive budget.
+func (q Query) Validate() error {
+	total := 0
+	for c, n := range q.Counts {
+		if n < 0 {
+			return fmt.Errorf("query: negative count %d for %s", n, poi.Category(c))
+		}
+		total += n
+	}
+	if total == 0 {
+		return fmt.Errorf("query: empty query (all counts zero)")
+	}
+	if math.IsNaN(q.Budget) || q.Budget <= 0 {
+		return fmt.Errorf("query: budget must be positive (got %v)", q.Budget)
+	}
+	return nil
+}
+
+// Size returns the total number of POIs a valid CI contains.
+func (q Query) Size() int {
+	total := 0
+	for _, n := range q.Counts {
+		total += n
+	}
+	return total
+}
+
+// Unbounded reports whether the budget is infinite.
+func (q Query) Unbounded() bool { return math.IsInf(q.Budget, 1) }
+
+// String renders the query in the paper's notation, e.g.
+// "⟨1 acco, 1 trans, 1 rest, 3 attr, $120⟩".
+func (q Query) String() string {
+	var b strings.Builder
+	b.WriteString("<")
+	for i, c := range poi.Categories {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d %s", q.Counts[c], c)
+	}
+	if q.Unbounded() {
+		b.WriteString(", unlimited budget>")
+	} else {
+		fmt.Fprintf(&b, ", $%.2f>", q.Budget)
+	}
+	return b.String()
+}
+
+// CheckCI applies the §3.1 validity predicate to a candidate item set:
+// (i) per-category counts match the query exactly, and (ii) total cost is
+// at most B. It returns nil for a valid CI and a descriptive error
+// otherwise. Duplicate POIs (same ID twice) are rejected — a CI is a set.
+func (q Query) CheckCI(items []*poi.POI) error {
+	var counts [poi.NumCategories]int
+	cost := 0.0
+	seen := make(map[int]bool, len(items))
+	for _, it := range items {
+		if it == nil {
+			return fmt.Errorf("query: nil item in CI")
+		}
+		if seen[it.ID] {
+			return fmt.Errorf("query: duplicate POI %d in CI", it.ID)
+		}
+		seen[it.ID] = true
+		if !it.Cat.Valid() {
+			return fmt.Errorf("query: item %d has invalid category", it.ID)
+		}
+		counts[it.Cat]++
+		cost += it.Cost
+	}
+	for c := range counts {
+		if counts[c] != q.Counts[c] {
+			return fmt.Errorf("query: CI has %d %s items, query wants %d",
+				counts[c], poi.Category(c), q.Counts[c])
+		}
+	}
+	if cost > q.Budget {
+		return fmt.Errorf("query: CI cost %.3f exceeds budget %.3f", cost, q.Budget)
+	}
+	return nil
+}
+
+// Feasible reports whether the collection can possibly satisfy the query:
+// every requested category has at least the requested number of POIs. It
+// does not check budgets (that depends on which POIs are picked).
+func (q Query) Feasible(c *poi.Collection) error {
+	counts := c.CategoryCounts()
+	for cat, want := range q.Counts {
+		if counts[cat] < want {
+			return fmt.Errorf("query: city has %d %s POIs, query wants %d",
+				counts[cat], poi.Category(cat), want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"grouptravel/internal/geo"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/vec"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, 0, 1, 1, 10); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := New(0, 0, 0, 0, 10); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := New(1, 1, 1, 1, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := New(1, 1, 1, 1, math.NaN()); err == nil {
+		t.Fatal("NaN budget accepted")
+	}
+	q, err := New(1, 1, 2, 1, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", q.Size())
+	}
+}
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	q := Default()
+	want := [poi.NumCategories]int{1, 1, 1, 3}
+	if q.Counts != want {
+		t.Fatalf("default counts = %v, want %v", q.Counts, want)
+	}
+	if !q.Unbounded() {
+		t.Fatal("default budget must be infinite")
+	}
+	if q.Size() != 6 {
+		t.Fatalf("default size = %d", q.Size())
+	}
+}
+
+func TestString(t *testing.T) {
+	q := MustNew(1, 1, 2, 1, 120)
+	s := q.String()
+	for _, want := range []string{"1 acco", "1 trans", "2 rest", "1 attr", "$120.00"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	if !strings.Contains(Default().String(), "unlimited") {
+		t.Fatalf("unbounded query should print unlimited: %q", Default().String())
+	}
+}
+
+func item(id int, cat poi.Category, cost float64) *poi.POI {
+	return &poi.POI{ID: id, Cat: cat, Coord: geo.Point{Lat: 48.86, Lon: 2.34}, Cost: cost, Vector: vec.Vector{1}}
+}
+
+func validSet() []*poi.POI {
+	return []*poi.POI{
+		item(1, poi.Acco, 10),
+		item(2, poi.Trans, 5),
+		item(3, poi.Rest, 20),
+		item(4, poi.Attr, 15),
+		item(5, poi.Attr, 15),
+		item(6, poi.Attr, 15),
+	}
+}
+
+func TestCheckCIValid(t *testing.T) {
+	q := MustNew(1, 1, 1, 3, 100)
+	if err := q.CheckCI(validSet()); err != nil {
+		t.Fatalf("valid CI rejected: %v", err)
+	}
+}
+
+func TestCheckCIBudget(t *testing.T) {
+	q := MustNew(1, 1, 1, 3, 79.9) // set costs 80 total
+	if err := q.CheckCI(validSet()); err == nil {
+		t.Fatal("over-budget CI accepted")
+	}
+	// Exactly at budget is valid ("at most B").
+	q = MustNew(1, 1, 1, 3, 80)
+	if err := q.CheckCI(validSet()); err != nil {
+		t.Fatalf("at-budget CI rejected: %v", err)
+	}
+}
+
+func TestCheckCICounts(t *testing.T) {
+	q := MustNew(1, 1, 1, 3, 1000)
+	missing := validSet()[:5] // one attraction short
+	if err := q.CheckCI(missing); err == nil {
+		t.Fatal("undercounted CI accepted")
+	}
+	extra := append(validSet(), item(7, poi.Rest, 1))
+	if err := q.CheckCI(extra); err == nil {
+		t.Fatal("overcounted CI accepted")
+	}
+}
+
+func TestCheckCIDuplicates(t *testing.T) {
+	q := MustNew(1, 1, 1, 3, 1000)
+	set := validSet()
+	set[5] = set[4] // same POI twice
+	if err := q.CheckCI(set); err == nil {
+		t.Fatal("duplicate POI accepted — a CI is a set")
+	}
+}
+
+func TestCheckCINil(t *testing.T) {
+	q := MustNew(1, 1, 1, 3, 1000)
+	set := validSet()
+	set[0] = nil
+	if err := q.CheckCI(set); err == nil {
+		t.Fatal("nil item accepted")
+	}
+}
+
+func TestCheckCIUnboundedBudget(t *testing.T) {
+	q := Default()
+	set := validSet()
+	for _, p := range set {
+		p.Cost = 1e12
+	}
+	if err := q.CheckCI(set); err != nil {
+		t.Fatalf("unbounded budget rejected pricey CI: %v", err)
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	schema := poi.NewSchema([]string{"x"}, []string{"x"}, []string{"x"}, []string{"x"})
+	mk := func(id int, cat poi.Category) *poi.POI {
+		return &poi.POI{ID: id, Cat: cat, Coord: geo.Point{Lat: 1, Lon: 1}, Vector: vec.Vector{1}}
+	}
+	coll, err := poi.NewCollection(schema, []*poi.POI{
+		mk(1, poi.Acco), mk(2, poi.Trans), mk(3, poi.Rest),
+		mk(4, poi.Attr), mk(5, poi.Attr),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustNew(1, 1, 1, 2, 100)
+	if err := q.Feasible(coll); err != nil {
+		t.Fatalf("feasible query rejected: %v", err)
+	}
+	q3 := MustNew(1, 1, 1, 3, 100) // needs 3 attractions, city has 2
+	if err := q3.Feasible(coll); err == nil {
+		t.Fatal("infeasible query accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	Name   string
+	Marker byte
+	Ys     []float64
+}
+
+// Chart renders aligned series against shared x labels as a terminal
+// scatter plot — used by cmd/experiments to visualize the γ tension sweep
+// (the closest thing to a "figure" the terminal offers). All series must
+// have one y per x label. Each series is min-max normalized to the chart
+// height independently, so shapes are comparable even when units differ
+// (km vs. cosine sums).
+func Chart(title string, xLabels []string, series []Series, width, height int) (string, error) {
+	if len(xLabels) < 2 {
+		return "", fmt.Errorf("render: chart needs at least 2 x points")
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("render: chart needs at least 1 series")
+	}
+	for _, s := range series {
+		if len(s.Ys) != len(xLabels) {
+			return "", fmt.Errorf("render: series %q has %d points for %d labels", s.Name, len(s.Ys), len(xLabels))
+		}
+	}
+	if width < 2*len(xLabels) {
+		width = 2 * len(xLabels)
+	}
+	if height < 5 {
+		height = 5
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, y := range s.Ys {
+			lo, hi = math.Min(lo, y), math.Max(hi, y)
+		}
+		span := hi - lo
+		for xi, y := range s.Ys {
+			col := xi * (width - 1) / (len(xLabels) - 1)
+			frac := 0.5
+			if span > 0 {
+				frac = (y - lo) / span
+			}
+			row := height - 1 - int(frac*float64(height-1))
+			grid[row][col] = s.Marker
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s|\n", row)
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", width))
+	// X labels, spread across the width.
+	labels := []byte(strings.Repeat(" ", width+2))
+	for xi, lab := range xLabels {
+		col := 1 + xi*(width-1)/(len(xLabels)-1)
+		for i := 0; i < len(lab) && col+i < len(labels); i++ {
+			labels[col+i] = lab[i]
+		}
+	}
+	b.Write(labels)
+	b.WriteString("\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %c = %s (each series scaled to its own range)\n", s.Marker, s.Name)
+	}
+	return b.String(), nil
+}

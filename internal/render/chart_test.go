@@ -1,0 +1,68 @@
+package render
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	out, err := Chart("tension",
+		[]string{"0", "1", "5"},
+		[]Series{
+			{Name: "within-CI km", Marker: 'o', Ys: []float64{44, 141, 222}},
+			{Name: "personalization", Marker: 'x', Ys: []float64{11, 19, 19.3}},
+		}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tension", "o = within-CI km", "x = personalization", "0", "5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Monotone series: the first marker must be on a lower row (later in
+	// the string) than the last.
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for ri, line := range lines {
+		if strings.Contains(line, "o") && !strings.Contains(line, "=") {
+			idx := strings.Index(line, "o")
+			if idx <= 2 && firstRow == -1 {
+				firstRow = ri
+			}
+			if idx > len(line)-4 {
+				lastRow = ri
+			}
+		}
+	}
+	if firstRow != -1 && lastRow != -1 && lastRow >= firstRow {
+		t.Fatalf("rising series not rendered rising (first at row %d, last at row %d)", firstRow, lastRow)
+	}
+}
+
+func TestChartValidation(t *testing.T) {
+	if _, err := Chart("t", []string{"0"}, []Series{{Name: "s", Marker: 'o', Ys: []float64{1}}}, 10, 5); err == nil {
+		t.Fatal("single x accepted")
+	}
+	if _, err := Chart("t", []string{"0", "1"}, nil, 10, 5); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if _, err := Chart("t", []string{"0", "1"}, []Series{{Name: "s", Marker: 'o', Ys: []float64{1}}}, 10, 5); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	out, err := Chart("flat", []string{"a", "b", "c"},
+		[]Series{{Name: "s", Marker: '*', Ys: []float64{5, 5, 5}}}, 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "*") != 3+0 { // 3 markers (legend uses the rune too; count carefully)
+		// The legend line also contains '*': count only grid lines.
+		grid := strings.Split(out, "+")[0]
+		if strings.Count(grid, "*") != 3 {
+			t.Fatalf("constant series rendered %d markers:\n%s", strings.Count(grid, "*"), out)
+		}
+	}
+}

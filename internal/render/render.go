@@ -1,0 +1,149 @@
+// Package render produces the terminal presentations of travel packages:
+// the day-by-day listing of Figure 1 and an ASCII city map in the spirit
+// of the Figure 3 customization GUI (the paper's interface is a web map;
+// coordinates and operators are identical, only pixels differ).
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"grouptravel/internal/core"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/metrics"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/route"
+)
+
+// categoryLetter maps categories to the single letters of Figure 1
+// ("Letters A, T, R, and H on POIs represent categories of accommodation,
+// transportation, restaurant, and attraction").
+func categoryLetter(c poi.Category) byte {
+	switch c {
+	case poi.Acco:
+		return 'A'
+	case poi.Trans:
+		return 'T'
+	case poi.Rest:
+		return 'R'
+	case poi.Attr:
+		return 'H'
+	default:
+		return '?'
+	}
+}
+
+// Package renders a travel package as the Figure 1 day plan: one block per
+// CI with its POIs, types, coordinates and costs, followed by the three
+// optimization dimensions.
+func Package(tp *core.TravelPackage) string {
+	return renderPackage(tp, false)
+}
+
+// PackageWithRoutes renders the package with each day's items in walking
+// order (internal/route: start at the accommodation, nearest-neighbor +
+// 2-opt) and the day's walking distance.
+func PackageWithRoutes(tp *core.TravelPackage) string {
+	return renderPackage(tp, true)
+}
+
+func renderPackage(tp *core.TravelPackage, routed bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Travel package for %s — query %s, %d composite items\n",
+		tp.City, tp.Query, len(tp.CIs))
+	for di, c := range tp.CIs {
+		fmt.Fprintf(&b, "\nDAY %d  (centroid %s, cost %.2f", di+1, c.Centroid, c.Cost())
+		items := c.Items
+		if routed {
+			if plan, err := route.PlanDay(c); err == nil {
+				ordered := make([]*poi.POI, len(plan.Order))
+				for i, idx := range plan.Order {
+					ordered[i] = c.Items[idx]
+				}
+				items = ordered
+				fmt.Fprintf(&b, ", walk %.1f km", plan.LengthKm)
+			}
+		}
+		b.WriteString(")\n")
+		for _, it := range items {
+			fmt.Fprintf(&b, "  [%c] %-28s %-12s %s  $%.2f\n",
+				categoryLetter(it.Cat), it.Name, it.Type, it.Coord, it.Cost)
+		}
+	}
+	d := tp.Measure()
+	fmt.Fprintf(&b, "\nrepresentativity %.2f km | within-CI distance %.2f km | personalization %.2f\n",
+		d.Representativity, d.RawDistance, d.Personalization)
+	if !tp.Valid() {
+		b.WriteString("WARNING: package contains invalid CIs\n")
+	}
+	return b.String()
+}
+
+// Map renders an ASCII map of the package over the city: background POIs
+// as '.', each CI's items as its 1-based digit (letters past 9), centroids
+// as '*'. width is the map width in characters; height follows the city's
+// aspect ratio.
+func Map(tp *core.TravelPackage, bounds geo.Rect, background []*poi.POI, width int) string {
+	if width < 16 {
+		width = 16
+	}
+	// Terminal cells are ~2x taller than wide; correct the aspect.
+	height := int(float64(width) * (bounds.Height / maxf(bounds.Width, 1e-9)) * 0.5)
+	if height < 8 {
+		height = 8
+	}
+	if height > 60 {
+		height = 60
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(p geo.Point, ch byte) {
+		if !bounds.Contains(p) {
+			return
+		}
+		col := int(float64(width-1) * (p.Lon - bounds.Lon) / maxf(bounds.Width, 1e-9))
+		row := int(float64(height-1) * (bounds.Lat - p.Lat) / maxf(bounds.Height, 1e-9))
+		if row >= 0 && row < height && col >= 0 && col < width {
+			grid[row][col] = ch
+		}
+	}
+	for _, p := range background {
+		plot(p.Coord, '.')
+	}
+	for i, c := range tp.CIs {
+		ch := byte('1' + i)
+		if i >= 9 {
+			ch = byte('a' + i - 9)
+		}
+		for _, it := range c.Items {
+			plot(it.Coord, ch)
+		}
+	}
+	for _, c := range tp.CIs {
+		plot(c.Centroid, '*')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", width))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s|\n", row)
+	}
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", width))
+	b.WriteString("legend: digits = CI items by day, * = centroids, . = other POIs\n")
+	return b.String()
+}
+
+// Dimensions renders the measured optimization dimensions with an
+// explicit cohesiveness given the Eq. 3 constant s.
+func Dimensions(d metrics.Dimensions, s float64) string {
+	return fmt.Sprintf("representativity=%.2f cohesiveness=%.2f personalization=%.2f",
+		d.Representativity, s-d.RawDistance, d.Personalization)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/metrics"
+	"grouptravel/internal/query"
+)
+
+func testPackage(t *testing.T) (*core.TravelPackage, *dataset.City) {
+	t.Helper()
+	city, err := dataset.Generate(dataset.TestSpec("RenderCity", 51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(city)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := e.Build(nil, query.Default(), core.DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp, city
+}
+
+func TestPackageRendering(t *testing.T) {
+	tp, _ := testPackage(t)
+	out := Package(tp)
+	for _, want := range []string{"DAY 1", "DAY 2", "DAY 3", "representativity", "[A]", "[T]", "[R]", "[H]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Fatal("valid package rendered a warning")
+	}
+}
+
+func TestPackageRenderingWarnsInvalid(t *testing.T) {
+	tp, _ := testPackage(t)
+	tp.CIs[0].Items = tp.CIs[0].Items[1:] // break validity
+	if !strings.Contains(Package(tp), "WARNING") {
+		t.Fatal("invalid package rendered without warning")
+	}
+}
+
+func TestPackageWithRoutes(t *testing.T) {
+	tp, _ := testPackage(t)
+	out := PackageWithRoutes(tp)
+	if !strings.Contains(out, "walk") {
+		t.Fatalf("routed rendering missing walking distance:\n%s", out)
+	}
+	// The first item of every day must be the accommodation.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "DAY") {
+			continue
+		}
+	}
+	days := strings.Split(out, "DAY")
+	for _, day := range days[1:] {
+		lines := strings.Split(strings.TrimSpace(day), "\n")
+		if len(lines) < 2 {
+			continue
+		}
+		if !strings.Contains(lines[1], "[A]") {
+			t.Fatalf("routed day does not start at the accommodation:\n%s", day)
+		}
+	}
+}
+
+func TestMapRendering(t *testing.T) {
+	tp, city := testPackage(t)
+	out := Map(tp, city.POIs.Bounds(), city.POIs.All(), 60)
+	if !strings.Contains(out, "*") {
+		t.Fatal("map missing centroids")
+	}
+	if !strings.Contains(out, "1") || !strings.Contains(out, "3") {
+		t.Fatal("map missing CI digits")
+	}
+	if !strings.Contains(out, "legend") {
+		t.Fatal("map missing legend")
+	}
+	// Every line between the borders has the same width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	w := len(lines[0])
+	for _, l := range lines[:len(lines)-1] {
+		if len(l) != w {
+			t.Fatalf("ragged map line: %d vs %d", len(l), w)
+		}
+	}
+}
+
+func TestMapTinyWidthClamped(t *testing.T) {
+	tp, city := testPackage(t)
+	out := Map(tp, city.POIs.Bounds(), nil, 1)
+	if len(out) == 0 {
+		t.Fatal("empty map")
+	}
+}
+
+func TestDimensionsString(t *testing.T) {
+	d := metrics.Dimensions{Representativity: 12.5, RawDistance: 30, Personalization: 4.25}
+	out := Dimensions(d, 100)
+	if !strings.Contains(out, "70.00") { // cohesiveness = 100-30
+		t.Fatalf("Dimensions = %q", out)
+	}
+}

@@ -1,0 +1,295 @@
+// Package repl drives an interactive customization session from a text
+// stream — the terminal counterpart of the paper's Figure 3 map GUI. It is
+// factored out of the CLI so the command loop is unit-testable with plain
+// readers and writers.
+//
+// Commands:
+//
+//	show                         print the package (Fig. 1 layout)
+//	map                          print the ASCII city map
+//	remove <ci> <poi>            REMOVE(poi, CI)
+//	candidates <ci> <cat> [type] list ADD candidates near the CI
+//	add <ci> <poi>               ADD(poi, CI)
+//	replace <ci> <poi>           REPLACE(poi, CI) — system recommends
+//	generate <lat> <lon> <w> <h> GENERATE(RECTANGLE(...))
+//	delete <ci>                  delete a whole CI (iterated REMOVE)
+//	refine [batch|individual]    refine the profile and rebuild
+//	help                         this list
+//	quit                         end the session
+//
+// CI indices are 1-based in the REPL (matching the DAY numbering shown by
+// `show`); the member performing operations is fixed per session.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/render"
+)
+
+// REPL is an interactive customization loop.
+type REPL struct {
+	city    *dataset.City
+	engine  *core.Engine
+	group   *profile.Group
+	method  consensus.Method
+	member  int
+	session *interact.Session
+	gp      *profile.Profile
+}
+
+// New prepares a REPL over a freshly built package.
+func New(city *dataset.City, engine *core.Engine, group *profile.Group, method consensus.Method, member int, tp *core.TravelPackage) (*REPL, error) {
+	if member < 0 || member >= group.Size() {
+		return nil, fmt.Errorf("repl: member %d outside group of %d", member, group.Size())
+	}
+	sess, err := interact.NewSession(city, tp)
+	if err != nil {
+		return nil, err
+	}
+	return &REPL{
+		city: city, engine: engine, group: group, method: method,
+		member: member, session: sess, gp: tp.Group,
+	}, nil
+}
+
+// Session exposes the underlying session (for tests and for saving the
+// result).
+func (r *REPL) Session() *interact.Session { return r.session }
+
+// Run processes commands from in, writing responses to out, until EOF or
+// "quit". Command errors are reported to out and the loop continues; only
+// I/O failures abort.
+func (r *REPL) Run(in io.Reader, out io.Writer) error {
+	scanner := bufio.NewScanner(in)
+	fmt.Fprintf(out, "customizing a %d-CI package in %s — type 'help' for commands\n",
+		len(r.session.Package().CIs), r.city.Name)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd := strings.ToLower(fields[0])
+		if cmd == "quit" || cmd == "exit" {
+			fmt.Fprintln(out, "bye")
+			return nil
+		}
+		if err := r.dispatch(cmd, fields[1:], out); err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+		}
+	}
+	return scanner.Err()
+}
+
+func (r *REPL) dispatch(cmd string, args []string, out io.Writer) error {
+	switch cmd {
+	case "help":
+		fmt.Fprintln(out, "commands: show | map | history | remove <ci> <poi> | candidates <ci> <cat> [type] | add <ci> <poi> | replace <ci> <poi> | generate <lat> <lon> <w> <h> | delete <ci> | refine [batch|individual] | quit")
+		return nil
+	case "history":
+		ops := r.session.Log()
+		if len(ops) == 0 {
+			fmt.Fprintln(out, "no interactions yet")
+			return nil
+		}
+		for i, op := range ops {
+			detail := ""
+			for _, p := range op.Removed {
+				detail += fmt.Sprintf(" -%s(%d)", p.Name, p.ID)
+			}
+			for _, p := range op.Added {
+				detail += fmt.Sprintf(" +%s(%d)", p.Name, p.ID)
+			}
+			fmt.Fprintf(out, "%3d. member %d %s day %d%s\n", i+1, op.Member, op.Kind, op.CIIndex+1, detail)
+		}
+		return nil
+	case "show":
+		fmt.Fprint(out, render.Package(r.session.Package()))
+		return nil
+	case "map":
+		fmt.Fprint(out, render.Map(r.session.Package(), r.city.POIs.Bounds(), r.city.POIs.All(), 72))
+		return nil
+	case "remove":
+		ciIdx, poiID, err := ciPoiArgs(args)
+		if err != nil {
+			return err
+		}
+		if err := r.session.Remove(r.member, ciIdx, poiID); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "removed POI %d from day %d\n", poiID, ciIdx+1)
+		return nil
+	case "candidates":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: candidates <ci> <cat> [type]")
+		}
+		ciIdx, err := dayArg(args[0])
+		if err != nil {
+			return err
+		}
+		cat, err := poi.ParseCategory(args[1])
+		if err != nil {
+			return err
+		}
+		typeFilter := ""
+		if len(args) > 2 {
+			typeFilter = args[2]
+		}
+		cands, err := r.session.AddCandidates(ciIdx, cat, typeFilter, 8)
+		if err != nil {
+			return err
+		}
+		if len(cands) == 0 {
+			fmt.Fprintln(out, "no candidates")
+			return nil
+		}
+		for _, c := range cands {
+			fmt.Fprintf(out, "  %5d  %-28s %-12s %s  $%.2f\n", c.ID, c.Name, c.Type, c.Coord, c.Cost)
+		}
+		return nil
+	case "add":
+		ciIdx, poiID, err := ciPoiArgs(args)
+		if err != nil {
+			return err
+		}
+		if err := r.session.Add(r.member, ciIdx, poiID); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "added POI %d to day %d\n", poiID, ciIdx+1)
+		return nil
+	case "replace":
+		ciIdx, poiID, err := ciPoiArgs(args)
+		if err != nil {
+			return err
+		}
+		neu, err := r.session.Replace(r.member, ciIdx, poiID)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "replaced POI %d with %q (POI %d)\n", poiID, neu.Name, neu.ID)
+		return nil
+	case "generate":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: generate <lat> <lon> <width> <height>")
+		}
+		vals := make([]float64, 4)
+		for i, a := range args {
+			v, err := strconv.ParseFloat(a, 64)
+			if err != nil {
+				return fmt.Errorf("bad number %q", a)
+			}
+			vals[i] = v
+		}
+		rect, err := geo.NewRect(geo.Point{Lat: vals[0], Lon: vals[1]}, vals[2], vals[3])
+		if err != nil {
+			return err
+		}
+		newCI, err := r.session.Generate(r.member, rect)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "generated day %d with %d POIs around %s\n",
+			len(r.session.Package().CIs), len(newCI.Items), newCI.Centroid)
+		return nil
+	case "delete":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: delete <ci>")
+		}
+		ciIdx, err := dayArg(args[0])
+		if err != nil {
+			return err
+		}
+		if err := r.session.DeleteCI(r.member, ciIdx); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "deleted day %d\n", ciIdx+1)
+		return nil
+	case "refine":
+		strategy := "batch"
+		if len(args) > 0 {
+			strategy = strings.ToLower(args[0])
+		}
+		return r.refine(strategy, out)
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+// refine applies the chosen strategy to the session log and rebuilds the
+// package in place.
+func (r *REPL) refine(strategy string, out io.Writer) error {
+	if r.gp == nil {
+		return fmt.Errorf("package was not personalized; nothing to refine")
+	}
+	ops := r.session.Log()
+	if len(ops) == 0 {
+		return fmt.Errorf("no interactions to refine from")
+	}
+	var refined *profile.Profile
+	var err error
+	switch strategy {
+	case "batch":
+		refined, err = interact.RefineBatch(r.gp, ops)
+	case "individual":
+		_, refined, err = interact.RefineIndividual(r.group, r.method, ops)
+	default:
+		return fmt.Errorf("unknown strategy %q (batch|individual)", strategy)
+	}
+	if err != nil {
+		return err
+	}
+	old := r.session.Package()
+	params := old.Params
+	if params.K == 0 {
+		params = core.DefaultParams(len(old.CIs))
+	}
+	tp, err := r.engine.Build(refined, old.Query, params)
+	if err != nil {
+		return err
+	}
+	sess, err := interact.NewSession(r.city, tp)
+	if err != nil {
+		return err
+	}
+	r.session = sess
+	r.gp = refined
+	fmt.Fprintf(out, "profile refined (%s, %d ops) and package rebuilt — 'show' to inspect\n", strategy, len(ops))
+	return nil
+}
+
+// ciPoiArgs parses "<ci> <poi>" with 1-based day numbering.
+func ciPoiArgs(args []string) (ciIdx, poiID int, err error) {
+	if len(args) != 2 {
+		return 0, 0, fmt.Errorf("usage: <command> <ci> <poi>")
+	}
+	ciIdx, err = dayArg(args[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	poiID, err = strconv.Atoi(args[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad POI id %q", args[1])
+	}
+	return ciIdx, poiID, nil
+}
+
+// dayArg parses a 1-based day number into a 0-based CI index.
+func dayArg(s string) (int, error) {
+	d, err := strconv.Atoi(s)
+	if err != nil || d < 1 {
+		return 0, fmt.Errorf("bad day %q (days are numbered from 1)", s)
+	}
+	return d - 1, nil
+}

@@ -1,0 +1,243 @@
+package repl
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/rng"
+)
+
+var (
+	replCity   *dataset.City
+	replEngine *core.Engine
+)
+
+func newREPL(t *testing.T, seed int64) *REPL {
+	t.Helper()
+	if replCity == nil {
+		c, err := dataset.Generate(dataset.TestSpec("ReplCity", 101))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.NewEngine(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replCity, replEngine = c, e
+	}
+	g, err := profile.GenerateUniformGroup(replCity.Schema, 3, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := consensus.GroupProfile(g, consensus.PairwiseDis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := replEngine.Build(gp, query.Default(), core.DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(replCity, replEngine, g, consensus.PairwiseDis, 0, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// run feeds a script and returns the output.
+func run(t *testing.T, r *REPL, script string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := r.Run(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestShowAndHelp(t *testing.T) {
+	r := newREPL(t, 1)
+	out := run(t, r, "help\nshow\nquit\n")
+	for _, want := range []string{"commands:", "DAY 1", "bye"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMapCommand(t *testing.T) {
+	r := newREPL(t, 2)
+	out := run(t, r, "map\nquit\n")
+	if !strings.Contains(out, "legend") {
+		t.Fatalf("map output missing legend:\n%s", out)
+	}
+}
+
+func TestRemoveCommand(t *testing.T) {
+	r := newREPL(t, 3)
+	target := r.Session().Package().CIs[0].Items[0].ID
+	out := run(t, r, fmt.Sprintf("remove 1 %d\nquit\n", target))
+	if !strings.Contains(out, fmt.Sprintf("removed POI %d from day 1", target)) {
+		t.Fatalf("output:\n%s", out)
+	}
+	if r.Session().Package().CIs[0].Contains(target) {
+		t.Fatal("POI still present")
+	}
+	if len(r.Session().Log()) != 1 {
+		t.Fatal("operation not logged")
+	}
+}
+
+func TestCandidatesAndAdd(t *testing.T) {
+	r := newREPL(t, 4)
+	out := run(t, r, "candidates 1 attr\nquit\n")
+	if !strings.Contains(out, "$") {
+		t.Fatalf("no candidates listed:\n%s", out)
+	}
+	// Grab the first candidate id straight from the session and add it.
+	cands, err := r.Session().AddCandidates(0, poi.Attr, "", 1)
+	if err != nil || len(cands) == 0 {
+		t.Fatal("no candidates available")
+	}
+	out = run(t, r, fmt.Sprintf("add 1 %d\nquit\n", cands[0].ID))
+	if !strings.Contains(out, "added POI") {
+		t.Fatalf("add failed:\n%s", out)
+	}
+}
+
+func TestReplaceCommand(t *testing.T) {
+	r := newREPL(t, 5)
+	target := r.Session().Package().CIs[1].Items[0].ID
+	out := run(t, r, fmt.Sprintf("replace 2 %d\nquit\n", target))
+	if !strings.Contains(out, "replaced POI") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestGenerateAndDelete(t *testing.T) {
+	r := newREPL(t, 6)
+	b := replCity.POIs.Bounds()
+	script := fmt.Sprintf("generate %f %f %f %f\ndelete 4\nquit\n",
+		b.Lat-b.Height*0.2, b.Lon+b.Width*0.2, b.Width*0.6, b.Height*0.6)
+	out := run(t, r, script)
+	if !strings.Contains(out, "generated day 4") {
+		t.Fatalf("generate failed:\n%s", out)
+	}
+	if !strings.Contains(out, "deleted day 4") {
+		t.Fatalf("delete failed:\n%s", out)
+	}
+	if len(r.Session().Package().CIs) != 3 {
+		t.Fatalf("package has %d CIs after generate+delete", len(r.Session().Package().CIs))
+	}
+}
+
+func TestRefineCommand(t *testing.T) {
+	r := newREPL(t, 7)
+	target := r.Session().Package().CIs[0].Items[0].ID
+	out := run(t, r, fmt.Sprintf("remove 1 %d\nrefine batch\nshow\nquit\n", target))
+	if !strings.Contains(out, "profile refined (batch, 1 ops)") {
+		t.Fatalf("refine failed:\n%s", out)
+	}
+	// After the rebuild the session is fresh.
+	if len(r.Session().Log()) != 0 {
+		t.Fatal("rebuilt session carries the old log")
+	}
+	// Refine with nothing to refine from errors politely.
+	out = run(t, r, "refine\nquit\n")
+	if !strings.Contains(out, "no interactions") {
+		t.Fatalf("expected polite error:\n%s", out)
+	}
+}
+
+func TestErrorHandlingKeepsLoopAlive(t *testing.T) {
+	r := newREPL(t, 8)
+	out := run(t, r, "remove 99 1\nfly me to the moon\nremove one two\nshow\nquit\n")
+	if strings.Count(out, "error:") != 3 {
+		t.Fatalf("expected 3 command errors:\n%s", out)
+	}
+	if !strings.Contains(out, "DAY 1") {
+		t.Fatal("loop died after errors")
+	}
+}
+
+func TestEOFEndsLoop(t *testing.T) {
+	r := newREPL(t, 9)
+	var outBuf bytes.Buffer
+	if err := r.Run(strings.NewReader("show\n"), &outBuf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineIndividualStrategy(t *testing.T) {
+	r := newREPL(t, 12)
+	target := r.Session().Package().CIs[0].Items[0].ID
+	out := run(t, r, fmt.Sprintf("remove 1 %d\nrefine individual\nquit\n", target))
+	if !strings.Contains(out, "profile refined (individual, 1 ops)") {
+		t.Fatalf("individual refine failed:\n%s", out)
+	}
+	// Unknown strategy errors politely.
+	target2 := r.Session().Package().CIs[0].Items[0].ID
+	out = run(t, r, fmt.Sprintf("remove 1 %d\nrefine quantum\nquit\n", target2))
+	if !strings.Contains(out, "unknown strategy") {
+		t.Fatalf("expected strategy error:\n%s", out)
+	}
+}
+
+func TestCandidatesWithTypeFilter(t *testing.T) {
+	r := newREPL(t, 13)
+	typ := replCity.POIs.ByCategory(poi.Acco)[0].Type
+	out := run(t, r, fmt.Sprintf("candidates 1 acco %s\nquit\n", typ))
+	if !strings.Contains(out, typ) {
+		t.Fatalf("filtered candidates missing type %q:\n%s", typ, out)
+	}
+	// A filter that matches nothing reports politely.
+	out = run(t, r, "candidates 1 acco igloo\nquit\n")
+	if !strings.Contains(out, "no candidates") {
+		t.Fatalf("expected 'no candidates':\n%s", out)
+	}
+}
+
+func TestGenerateBadArgs(t *testing.T) {
+	r := newREPL(t, 14)
+	out := run(t, r, "generate 1 2\ngenerate a b c d\ngenerate 48.85 2.35 -1 0.1\nquit\n")
+	if strings.Count(out, "error:") != 3 {
+		t.Fatalf("expected 3 errors:\n%s", out)
+	}
+}
+
+func TestDeleteBadArgs(t *testing.T) {
+	r := newREPL(t, 15)
+	out := run(t, r, "delete\ndelete 0\ndelete 99\nquit\n")
+	if strings.Count(out, "error:") != 3 {
+		t.Fatalf("expected 3 errors:\n%s", out)
+	}
+}
+
+func TestHistoryCommand(t *testing.T) {
+	r := newREPL(t, 16)
+	out := run(t, r, "history\nquit\n")
+	if !strings.Contains(out, "no interactions yet") {
+		t.Fatalf("empty history wrong:\n%s", out)
+	}
+	target := r.Session().Package().CIs[0].Items[0].ID
+	out = run(t, r, fmt.Sprintf("remove 1 %d\nhistory\nquit\n", target))
+	if !strings.Contains(out, "member 0 REMOVE day 1") {
+		t.Fatalf("history missing the removal:\n%s", out)
+	}
+}
+
+func TestNewValidatesMember(t *testing.T) {
+	r := newREPL(t, 10)
+	tp := r.Session().Package()
+	g, _ := profile.GenerateUniformGroup(replCity.Schema, 3, rng.New(11))
+	if _, err := New(replCity, replEngine, g, consensus.PairwiseDis, 99, tp); err == nil {
+		t.Fatal("out-of-range member accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c1 := root.Split("table2")
+	root2 := New(7)
+	_ = root2.Split("table2")
+	c3 := root2.Split("table3")
+	// Different labels from the same parent state produce different streams.
+	same := 0
+	for i := 0; i < 50; i++ {
+		if c1.Float64() == c3.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("split streams look correlated: %d/50 equal draws", same)
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	x := New(99).Split("exp").Float64()
+	y := New(99).Split("exp").Float64()
+	if x != y {
+		t.Fatalf("Split not reproducible: %v vs %v", x, y)
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(2.5, 3.5)
+		if v < 2.5 || v >= 3.5 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	s := New(3)
+	for _, alpha := range []float64{0.05, 0.5, 1, 10} {
+		for trial := 0; trial < 20; trial++ {
+			v := s.Dirichlet(alpha, 8)
+			sum := 0.0
+			for _, x := range v {
+				if x < 0 {
+					t.Fatalf("negative Dirichlet component %v (alpha=%v)", x, alpha)
+				}
+				sum += x
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("Dirichlet sums to %v, want 1 (alpha=%v)", sum, alpha)
+			}
+		}
+	}
+}
+
+func TestDirichletConcentration(t *testing.T) {
+	s := New(5)
+	// Small alpha should produce peakier draws than large alpha, on average.
+	peak := func(alpha float64) float64 {
+		tot := 0.0
+		for i := 0; i < 200; i++ {
+			v := s.Dirichlet(alpha, 10)
+			m := 0.0
+			for _, x := range v {
+				m = math.Max(m, x)
+			}
+			tot += m
+		}
+		return tot / 200
+	}
+	sparse, dense := peak(0.1), peak(10)
+	if sparse <= dense {
+		t.Fatalf("alpha=0.1 max component %v should exceed alpha=10 max %v", sparse, dense)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	s := New(11)
+	for _, shape := range []float64{0.5, 1, 2, 5} {
+		n := 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += s.Gamma(shape)
+		}
+		mean := sum / float64(n)
+		// Gamma(shape,1) has mean = shape.
+		if math.Abs(mean-shape) > 0.15*shape+0.05 {
+			t.Fatalf("Gamma(%v) sample mean %v too far from %v", shape, mean, shape)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := New(13)
+	z := s.Zipf(1.3, 1000)
+	counts := make(map[uint64]int)
+	for i := 0; i < 10000; i++ {
+		counts[z()]++
+	}
+	if counts[0] < counts[500] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	s := New(17)
+	w := []float64{0, 0, 10, 0}
+	for i := 0; i < 100; i++ {
+		if got := s.WeightedIndex(w); got != 2 {
+			t.Fatalf("WeightedIndex picked %d with all mass on 2", got)
+		}
+	}
+	// All-zero weights should still return a legal index.
+	zero := []float64{0, 0, 0}
+	if got := s.WeightedIndex(zero); got < 0 || got > 2 {
+		t.Fatalf("WeightedIndex out of range on zero weights: %d", got)
+	}
+}
+
+func TestWeightedIndexProportions(t *testing.T) {
+	s := New(19)
+	w := []float64{1, 3}
+	hits := 0
+	n := 30000
+	for i := 0; i < n; i++ {
+		if s.WeightedIndex(w) == 1 {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("weight-3 index frequency %v, want ~0.75", frac)
+	}
+}
+
+func TestDirichletPropertyQuick(t *testing.T) {
+	s := New(23)
+	f := func(dimSeed uint8) bool {
+		dim := int(dimSeed%16) + 2
+		v := s.Dirichlet(1.0, dim)
+		sum := 0.0
+		for _, x := range v {
+			if x < 0 || x > 1 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(29)
+	hits := 0
+	for i := 0; i < 20000; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / 20000
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) frequency %v", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(31)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm invalid at value %d", v)
+		}
+		seen[v] = true
+	}
+}

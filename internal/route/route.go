@@ -1,0 +1,135 @@
+// Package route orders the POIs of a Composite Item into a walkable day
+// plan. The paper deliberately leaves CIs unordered ("unlike itineraries,
+// POIs forming a CI are not ordered", §5.1) — ordering is a presentation
+// concern — but any real deployment shows the day as a route, so this
+// package provides the natural extension: an open tour that starts at the
+// CI's accommodation (travelers leave their hotel in the morning) and
+// visits every POI once, minimized with nearest-neighbor construction and
+// 2-opt improvement.
+package route
+
+import (
+	"fmt"
+
+	"grouptravel/internal/ci"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/poi"
+)
+
+// Plan is an ordered visit of a CI's items.
+type Plan struct {
+	// Order holds indices into the CI's Items slice, in visiting order.
+	Order []int
+	// LengthKm is the total walking distance along the order (open tour:
+	// no return to the start).
+	LengthKm float64
+}
+
+// TourLength returns the open-tour length in km for the given order over
+// the points.
+func TourLength(pts []geo.Point, order []int) float64 {
+	total := 0.0
+	for i := 1; i < len(order); i++ {
+		total += geo.Equirectangular(pts[order[i-1]], pts[order[i]])
+	}
+	return total
+}
+
+// NearestNeighbor builds an order greedily from the start index.
+func NearestNeighbor(pts []geo.Point, start int) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	if start < 0 || start >= n {
+		start = 0
+	}
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	cur := start
+	visited[cur] = true
+	order = append(order, cur)
+	for len(order) < n {
+		best, bestD := -1, 0.0
+		for j := 0; j < n; j++ {
+			if visited[j] {
+				continue
+			}
+			d := geo.Equirectangular(pts[cur], pts[j])
+			if best == -1 || d < bestD {
+				best, bestD = j, d
+			}
+		}
+		visited[best] = true
+		order = append(order, best)
+		cur = best
+	}
+	return order
+}
+
+// TwoOpt improves an open tour by reversing segments while improvements
+// exist (bounded by maxPasses over the order). The first point is pinned
+// (the day starts at the accommodation).
+func TwoOpt(pts []geo.Point, order []int, maxPasses int) []int {
+	n := len(order)
+	if n < 4 {
+		return order
+	}
+	out := append([]int(nil), order...)
+	dist := func(a, b int) float64 { return geo.Equirectangular(pts[out[a]], pts[out[b]]) }
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := 1; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				// Reversing out[i..j] changes edges (i−1,i) and (j,j+1).
+				delta := dist(i-1, j) - dist(i-1, i)
+				if j+1 < n {
+					delta += dist(i, j+1) - dist(j, j+1)
+				}
+				if delta < -1e-12 {
+					for a, b := i, j; a < b; a, b = a+1, b-1 {
+						out[a], out[b] = out[b], out[a]
+					}
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return out
+}
+
+// PlanDay orders a CI's items: the tour starts at the CI's accommodation
+// (the first one, if any), visits everything once, and is 2-opt improved.
+func PlanDay(c *ci.CI) (Plan, error) {
+	if c == nil || len(c.Items) == 0 {
+		return Plan{}, fmt.Errorf("route: empty composite item")
+	}
+	pts := make([]geo.Point, len(c.Items))
+	start := 0
+	for i, it := range c.Items {
+		pts[i] = it.Coord
+		if it.Cat == poi.Acco && c.Items[start].Cat != poi.Acco {
+			start = i
+		}
+	}
+	order := NearestNeighbor(pts, start)
+	order = TwoOpt(pts, order, 8)
+	return Plan{Order: order, LengthKm: TourLength(pts, order)}, nil
+}
+
+// PlanPackage orders every CI of a package, returning one plan per CI in
+// package order.
+func PlanPackage(cis []*ci.CI) ([]Plan, error) {
+	plans := make([]Plan, len(cis))
+	for i, c := range cis {
+		p, err := PlanDay(c)
+		if err != nil {
+			return nil, fmt.Errorf("route: CI %d: %w", i, err)
+		}
+		plans[i] = p
+	}
+	return plans, nil
+}

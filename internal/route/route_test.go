@@ -1,0 +1,225 @@
+package route
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grouptravel/internal/ci"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/query"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/vec"
+)
+
+func linePoints(n int) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{Lat: 48.85, Lon: 2.30 + 0.01*float64(i)}
+	}
+	return pts
+}
+
+func TestNearestNeighborOnLine(t *testing.T) {
+	pts := linePoints(6)
+	order := NearestNeighbor(pts, 0)
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("line tour out of order: %v", order)
+		}
+	}
+}
+
+func TestTourLengthLine(t *testing.T) {
+	pts := linePoints(3)
+	straight := TourLength(pts, []int{0, 1, 2})
+	zigzag := TourLength(pts, []int{1, 0, 2})
+	if straight >= zigzag {
+		t.Fatalf("straight %v not shorter than zigzag %v", straight, zigzag)
+	}
+}
+
+func TestTwoOptFixesCrossing(t *testing.T) {
+	// A deliberately crossed order on a line must be repaired.
+	pts := linePoints(6)
+	bad := []int{0, 3, 2, 5, 4, 1}
+	fixed := TwoOpt(pts, bad, 16)
+	if TourLength(pts, fixed) > TourLength(pts, bad) {
+		t.Fatal("2-opt made the tour longer")
+	}
+	optimal := TourLength(pts, []int{0, 1, 2, 3, 4, 5})
+	if got := TourLength(pts, fixed); math.Abs(got-optimal) > 1e-9 {
+		t.Fatalf("2-opt on a line: %v, optimal %v (order %v)", got, optimal, fixed)
+	}
+}
+
+func TestTwoOptPinsStart(t *testing.T) {
+	src := rng.New(1)
+	pts := make([]geo.Point, 8)
+	for i := range pts {
+		pts[i] = geo.Point{Lat: src.Range(48.8, 48.9), Lon: src.Range(2.25, 2.4)}
+	}
+	order := NearestNeighbor(pts, 3)
+	improved := TwoOpt(pts, order, 8)
+	if improved[0] != 3 {
+		t.Fatalf("2-opt moved the pinned start: %v", improved)
+	}
+}
+
+func TestTwoOptNeverWorseQuick(t *testing.T) {
+	src := rng.New(2)
+	f := func(_ uint8) bool {
+		n := 4 + src.Intn(8)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{Lat: src.Range(48.8, 48.9), Lon: src.Range(2.25, 2.4)}
+		}
+		order := NearestNeighbor(pts, 0)
+		improved := TwoOpt(pts, order, 8)
+		if len(improved) != n {
+			return false
+		}
+		// Must remain a permutation.
+		seen := make([]bool, n)
+		for _, idx := range improved {
+			if idx < 0 || idx >= n || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		return TourLength(pts, improved) <= TourLength(pts, order)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoOptMatchesBruteForceSmall(t *testing.T) {
+	// For ≤ 7 points with a pinned start, NN+2-opt should land at (or very
+	// near) the brute-force optimum on most instances.
+	src := rng.New(3)
+	worstRatio := 1.0
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + src.Intn(3)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{Lat: src.Range(48.8, 48.9), Lon: src.Range(2.25, 2.4)}
+		}
+		got := TourLength(pts, TwoOpt(pts, NearestNeighbor(pts, 0), 16))
+		best := bruteForce(pts)
+		if r := got / best; r > worstRatio {
+			worstRatio = r
+		}
+	}
+	if worstRatio > 1.05 {
+		t.Fatalf("NN+2-opt worst ratio vs optimum: %v", worstRatio)
+	}
+}
+
+// bruteForce enumerates all open tours starting at 0.
+func bruteForce(pts []geo.Point) float64 {
+	n := len(pts)
+	rest := make([]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		rest = append(rest, i)
+	}
+	best := math.Inf(1)
+	var permute func(k int)
+	permute = func(k int) {
+		if k == len(rest) {
+			order := append([]int{0}, rest...)
+			if l := TourLength(pts, order); l < best {
+				best = l
+			}
+			return
+		}
+		for i := k; i < len(rest); i++ {
+			rest[k], rest[i] = rest[i], rest[k]
+			permute(k + 1)
+			rest[k], rest[i] = rest[i], rest[k]
+		}
+	}
+	permute(0)
+	return best
+}
+
+func TestPlanDayStartsAtAccommodation(t *testing.T) {
+	mk := func(id int, cat poi.Category, lon float64) *poi.POI {
+		return &poi.POI{ID: id, Cat: cat, Coord: geo.Point{Lat: 48.85, Lon: lon}, Vector: vec.Vector{1}}
+	}
+	c := &ci.CI{Items: []*poi.POI{
+		mk(1, poi.Attr, 2.30),
+		mk(2, poi.Rest, 2.32),
+		mk(3, poi.Acco, 2.34), // the hotel, not first in the slice
+		mk(4, poi.Attr, 2.36),
+	}}
+	plan, err := PlanDay(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Items[plan.Order[0]].Cat != poi.Acco {
+		t.Fatalf("day does not start at the accommodation: %v", plan.Order)
+	}
+	if plan.LengthKm <= 0 {
+		t.Fatalf("length = %v", plan.LengthKm)
+	}
+}
+
+func TestPlanDayEmpty(t *testing.T) {
+	if _, err := PlanDay(&ci.CI{}); err == nil {
+		t.Fatal("empty CI accepted")
+	}
+	if _, err := PlanDay(nil); err == nil {
+		t.Fatal("nil CI accepted")
+	}
+}
+
+func TestPlanPackageIntegration(t *testing.T) {
+	city, err := dataset.Generate(dataset.TestSpec("RouteCity", 71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(city)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := e.Build(nil, query.Default(), core.DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := PlanPackage(tp.CIs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != len(tp.CIs) {
+		t.Fatalf("%d plans for %d CIs", len(plans), len(tp.CIs))
+	}
+	for i, p := range plans {
+		if len(p.Order) != len(tp.CIs[i].Items) {
+			t.Fatalf("plan %d covers %d of %d items", i, len(p.Order), len(tp.CIs[i].Items))
+		}
+		// Visiting order must never exceed the naive slice-order length.
+		pts := make([]geo.Point, len(tp.CIs[i].Items))
+		naive := make([]int, len(pts))
+		for j, it := range tp.CIs[i].Items {
+			pts[j] = it.Coord
+			naive[j] = j
+		}
+		if p.LengthKm > TourLength(pts, naive)+1e-9 {
+			t.Fatalf("plan %d longer than naive order: %v vs %v", i, p.LengthKm, TourLength(pts, naive))
+		}
+	}
+}
+
+func TestNearestNeighborDegenerate(t *testing.T) {
+	if got := NearestNeighbor(nil, 0); got != nil {
+		t.Fatalf("empty points: %v", got)
+	}
+	one := []geo.Point{{Lat: 48.85, Lon: 2.35}}
+	if got := NearestNeighbor(one, 5); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single point with bad start: %v", got)
+	}
+}

@@ -1,0 +1,622 @@
+// Package server exposes GroupTravel over HTTP — the backend a Figure 3
+// style map GUI would talk to. It is a thin, concurrency-safe layer over
+// the engine: groups are registered from member ratings, packages are
+// built per group with a chosen consensus method, and the §3.3
+// customization operators are applied through per-package sessions whose
+// logs drive profile refinement.
+//
+// All state is in memory (the store package provides durable formats; a
+// deployment would snapshot through it). Handlers are plain net/http on a
+// ServeMux, constructed by New for use with httptest in tests or
+// http.ListenAndServe in cmd/grouptravel-server.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"grouptravel/internal/ci"
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/route"
+)
+
+// Server hosts one city and its groups/packages.
+type Server struct {
+	city   *dataset.City
+	engine *core.Engine
+
+	mu       sync.Mutex
+	groups   map[int]*groupState
+	packages map[int]*packageState
+	nextID   int
+}
+
+type groupState struct {
+	group   *profile.Group
+	profile map[string]*profile.Profile // consensus name -> aggregated profile
+}
+
+type packageState struct {
+	groupID int
+	method  string
+	session *interact.Session
+}
+
+// New builds a server over a city. The engine is shared under the server
+// mutex (core.Engine is not concurrency-safe).
+func New(city *dataset.City) (*Server, error) {
+	engine, err := core.NewEngine(city)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		city:     city,
+		engine:   engine,
+		groups:   make(map[int]*groupState),
+		packages: make(map[int]*packageState),
+		nextID:   1,
+	}, nil
+}
+
+// Handler returns the HTTP handler with all routes registered.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/healthz", s.handleHealth)
+	mux.HandleFunc("GET /api/city", s.handleCity)
+	mux.HandleFunc("GET /api/pois", s.handlePOIs)
+	mux.HandleFunc("POST /api/groups", s.handleCreateGroup)
+	mux.HandleFunc("GET /api/groups/{id}", s.handleGetGroup)
+	mux.HandleFunc("POST /api/packages", s.handleCreatePackage)
+	mux.HandleFunc("GET /api/packages/{id}", s.handleGetPackage)
+	mux.HandleFunc("POST /api/packages/{id}/ops", s.handleOps)
+	mux.HandleFunc("POST /api/packages/{id}/refine", s.handleRefine)
+	return mux
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "city": s.city.Name})
+}
+
+// --- city & POIs ---
+
+type cityResponse struct {
+	Name   string              `json:"name"`
+	Counts map[string]int      `json:"poiCounts"`
+	Schema map[string][]string `json:"schema"`
+	Bounds map[string]float64  `json:"bounds"`
+}
+
+func (s *Server) handleCity(w http.ResponseWriter, _ *http.Request) {
+	counts := s.city.POIs.CategoryCounts()
+	resp := cityResponse{
+		Name:   s.city.Name,
+		Counts: map[string]int{},
+		Schema: map[string][]string{},
+	}
+	for _, c := range poi.Categories {
+		resp.Counts[c.String()] = counts[c]
+		resp.Schema[c.String()] = s.city.Schema.Labels(c)
+	}
+	b := s.city.POIs.Bounds()
+	resp.Bounds = map[string]float64{"lat": b.Lat, "lon": b.Lon, "width": b.Width, "height": b.Height}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type poiResponse struct {
+	ID   int     `json:"id"`
+	Name string  `json:"name"`
+	Cat  string  `json:"category"`
+	Lat  float64 `json:"lat"`
+	Lon  float64 `json:"lon"`
+	Type string  `json:"type"`
+	Cost float64 `json:"cost"`
+}
+
+func toPOIResponse(p *poi.POI) poiResponse {
+	return poiResponse{
+		ID: p.ID, Name: p.Name, Cat: p.Cat.String(),
+		Lat: p.Coord.Lat, Lon: p.Coord.Lon, Type: p.Type, Cost: p.Cost,
+	}
+}
+
+// handlePOIs lists POIs, optionally filtered by category and/or nearest to
+// a point: /api/pois?cat=rest&near=48.85,2.35&k=10
+func (s *Server) handlePOIs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var cat *poi.Category
+	if cs := q.Get("cat"); cs != "" {
+		c, err := poi.ParseCategory(cs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad cat: %v", err)
+			return
+		}
+		cat = &c
+	}
+	k := 20
+	if ks := q.Get("k"); ks != "" {
+		n, err := strconv.Atoi(ks)
+		if err != nil || n < 1 || n > 500 {
+			writeErr(w, http.StatusBadRequest, "bad k %q", ks)
+			return
+		}
+		k = n
+	}
+	var out []poiResponse
+	if near := q.Get("near"); near != "" {
+		parts := strings.Split(near, ",")
+		if len(parts) != 2 {
+			writeErr(w, http.StatusBadRequest, "near must be lat,lon")
+			return
+		}
+		lat, err1 := strconv.ParseFloat(parts[0], 64)
+		lon, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			writeErr(w, http.StatusBadRequest, "near must be lat,lon")
+			return
+		}
+		for _, p := range s.city.POIs.Nearest(geo.Point{Lat: lat, Lon: lon}, k, cat, nil) {
+			out = append(out, toPOIResponse(p))
+		}
+	} else {
+		pois := s.city.POIs.All()
+		if cat != nil {
+			pois = s.city.POIs.ByCategory(*cat)
+		}
+		for i, p := range pois {
+			if i >= k {
+				break
+			}
+			out = append(out, toPOIResponse(p))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- groups ---
+
+type createGroupRequest struct {
+	// Members' ratings per category: 0-5 per type/topic, dimensions per
+	// GET /api/city's schema.
+	Members []map[string][]float64 `json:"members"`
+}
+
+type groupResponse struct {
+	ID         int     `json:"id"`
+	Size       int     `json:"size"`
+	Uniformity float64 `json:"uniformity"`
+	MedianUser int     `json:"medianUser"`
+}
+
+func (s *Server) handleCreateGroup(w http.ResponseWriter, r *http.Request) {
+	var req createGroupRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	if len(req.Members) == 0 {
+		writeErr(w, http.StatusBadRequest, "a group needs at least one member")
+		return
+	}
+	members := make([]*profile.Profile, 0, len(req.Members))
+	for i, m := range req.Members {
+		ratings := map[poi.Category][]float64{}
+		for cs, vals := range m {
+			c, err := poi.ParseCategory(cs)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "member %d: %v", i, err)
+				return
+			}
+			ratings[c] = vals
+		}
+		p, err := profile.FromRatings(s.city.Schema, ratings)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "member %d: %v", i, err)
+			return
+		}
+		members = append(members, p)
+	}
+	g, err := profile.NewGroup(s.city.Schema, members)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.groups[id] = &groupState{group: g, profile: map[string]*profile.Profile{}}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, groupResponse{
+		ID: id, Size: g.Size(), Uniformity: g.Uniformity(), MedianUser: g.MedianUser(),
+	})
+}
+
+func (s *Server) groupByID(idStr string) (*groupState, int, error) {
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad group id %q", idStr)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gs, ok := s.groups[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("group %d not found", id)
+	}
+	return gs, id, nil
+}
+
+func (s *Server) handleGetGroup(w http.ResponseWriter, r *http.Request) {
+	gs, id, err := s.groupByID(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, groupResponse{
+		ID: id, Size: gs.group.Size(), Uniformity: gs.group.Uniformity(), MedianUser: gs.group.MedianUser(),
+	})
+}
+
+// --- packages ---
+
+type createPackageRequest struct {
+	GroupID   int       `json:"group"`
+	Consensus string    `json:"consensus"` // avg | leastmisery | pairwise | variance
+	K         int       `json:"k"`
+	Query     *queryReq `json:"query,omitempty"`
+	Weights   []float64 `json:"weights,omitempty"` // optional per-member weights
+}
+
+type queryReq struct {
+	Acco, Trans, Rest, Attr int
+	Budget                  float64 // <= 0 means unlimited
+}
+
+type packageResponse struct {
+	ID    int       `json:"id"`
+	City  string    `json:"city"`
+	Query string    `json:"query"`
+	Days  []dayJSON `json:"days"`
+	Dims  dimsJSON  `json:"dimensions"`
+	Valid bool      `json:"valid"`
+}
+
+type dayJSON struct {
+	Centroid geo.Point     `json:"centroid"`
+	Cost     float64       `json:"cost"`
+	WalkKm   float64       `json:"walkKm,omitempty"`
+	Items    []poiResponse `json:"items"`
+}
+
+type dimsJSON struct {
+	Representativity float64 `json:"representativity"`
+	WithinCIKm       float64 `json:"withinCIKm"`
+	Personalization  float64 `json:"personalization"`
+}
+
+func methodByName(name string) (consensus.Method, error) {
+	switch strings.ToLower(name) {
+	case "", "pairwise":
+		return consensus.PairwiseDis, nil
+	case "avg", "average":
+		return consensus.AveragePref, nil
+	case "leastmisery", "lm":
+		return consensus.LeastMisery, nil
+	case "variance":
+		return consensus.VarianceDis, nil
+	case "mostpleasure":
+		return consensus.MostPleasure, nil
+	case "avgnomisery":
+		return consensus.AvgNoMisery, nil
+	default:
+		return consensus.Method{}, fmt.Errorf("unknown consensus %q", name)
+	}
+}
+
+func (s *Server) handleCreatePackage(w http.ResponseWriter, r *http.Request) {
+	var req createPackageRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	gs, _, err := s.groupByID(strconv.Itoa(req.GroupID))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	method, err := methodByName(req.Consensus)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	q := query.Default()
+	if req.Query != nil {
+		budget := req.Query.Budget
+		if budget <= 0 {
+			budget = query.Default().Budget
+		}
+		q, err = query.New(req.Query.Acco, req.Query.Trans, req.Query.Rest, req.Query.Attr, budget)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	k := req.K
+	if k == 0 {
+		k = 5
+	}
+	if k < 1 || k > 30 {
+		writeErr(w, http.StatusBadRequest, "k = %d out of range [1,30]", k)
+		return
+	}
+
+	var gp *profile.Profile
+	if len(req.Weights) > 0 {
+		gp, err = consensus.GroupProfileWeighted(gs.group, method, req.Weights)
+	} else {
+		gp, err = consensus.GroupProfile(gs.group, method)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tp, err := s.engine.Build(gp, q, core.DefaultParams(k))
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	sess, err := interact.NewSession(s.city, tp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	id := s.nextID
+	s.nextID++
+	s.packages[id] = &packageState{groupID: req.GroupID, method: strings.ToLower(req.Consensus), session: sess}
+	writeJSON(w, http.StatusCreated, s.packageResponseLocked(id, false))
+}
+
+// packageResponseLocked renders a package; the caller holds s.mu.
+func (s *Server) packageResponseLocked(id int, routes bool) packageResponse {
+	ps := s.packages[id]
+	tp := ps.session.Package()
+	resp := packageResponse{ID: id, City: tp.City, Query: tp.Query.String(), Valid: tp.Valid()}
+	d := tp.Measure()
+	resp.Dims = dimsJSON{
+		Representativity: d.Representativity,
+		WithinCIKm:       d.RawDistance,
+		Personalization:  d.Personalization,
+	}
+	for _, c := range tp.CIs {
+		day := dayJSON{Centroid: c.Centroid, Cost: c.Cost()}
+		items := c.Items
+		if routes {
+			if plan, err := route.PlanDay(c); err == nil {
+				ordered := make([]*poi.POI, len(plan.Order))
+				for i, idx := range plan.Order {
+					ordered[i] = c.Items[idx]
+				}
+				items = ordered
+				day.WalkKm = plan.LengthKm
+			}
+		}
+		for _, it := range items {
+			day.Items = append(day.Items, toPOIResponse(it))
+		}
+		resp.Days = append(resp.Days, day)
+	}
+	return resp
+}
+
+func (s *Server) packageByID(idStr string) (*packageState, int, error) {
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad package id %q", idStr)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.packages[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("package %d not found", id)
+	}
+	return ps, id, nil
+}
+
+func (s *Server) handleGetPackage(w http.ResponseWriter, r *http.Request) {
+	_, id, err := s.packageByID(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	routes := r.URL.Query().Get("routes") == "1"
+	s.mu.Lock()
+	resp := s.packageResponseLocked(id, routes)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- customization operators ---
+
+type opRequest struct {
+	Member int       `json:"member"`
+	Op     string    `json:"op"` // remove | add | replace | generate
+	CI     int       `json:"ci"`
+	POI    int       `json:"poi"`
+	Rect   *geo.Rect `json:"rect,omitempty"`
+}
+
+type opResponse struct {
+	Applied     bool         `json:"applied"`
+	Replacement *poiResponse `json:"replacement,omitempty"`
+	NewCI       *dayJSON     `json:"newCI,omitempty"`
+}
+
+func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
+	ps, _, err := s.packageByID(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var req opRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gs := s.groups[ps.groupID]
+	if req.Member < 0 || (gs != nil && req.Member >= gs.group.Size()) {
+		writeErr(w, http.StatusBadRequest, "member %d outside the group", req.Member)
+		return
+	}
+	resp := opResponse{}
+	switch strings.ToLower(req.Op) {
+	case "remove":
+		err = ps.session.Remove(req.Member, req.CI, req.POI)
+	case "add":
+		err = ps.session.Add(req.Member, req.CI, req.POI)
+	case "replace":
+		var repl *poi.POI
+		repl, err = ps.session.Replace(req.Member, req.CI, req.POI)
+		if err == nil {
+			pr := toPOIResponse(repl)
+			resp.Replacement = &pr
+		}
+	case "generate":
+		if req.Rect == nil {
+			writeErr(w, http.StatusBadRequest, "generate requires rect")
+			return
+		}
+		var newCI *ci.CI
+		newCI, err = ps.session.Generate(req.Member, *req.Rect)
+		if err == nil {
+			day := dayJSON{Centroid: newCI.Centroid, Cost: newCI.Cost()}
+			for _, it := range newCI.Items {
+				day.Items = append(day.Items, toPOIResponse(it))
+			}
+			resp.NewCI = &day
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown op %q", req.Op)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp.Applied = true
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- refinement ---
+
+type refineRequest struct {
+	Strategy string `json:"strategy"` // batch | individual
+	Rebuild  bool   `json:"rebuild"`  // also build a new package from the refined profile
+	K        int    `json:"k"`
+}
+
+type refineResponse struct {
+	Strategy   string           `json:"strategy"`
+	Operations int              `json:"operations"`
+	NewPackage *packageResponse `json:"newPackage,omitempty"`
+}
+
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	ps, _, err := s.packageByID(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var req refineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gs, ok := s.groups[ps.groupID]
+	if !ok {
+		writeErr(w, http.StatusConflict, "group %d no longer exists", ps.groupID)
+		return
+	}
+	method, err := methodByName(ps.method)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	tp := ps.session.Package()
+	base := tp.Group
+	if base == nil {
+		writeErr(w, http.StatusUnprocessableEntity, "package was not personalized")
+		return
+	}
+	ops := ps.session.Log()
+
+	var refined *profile.Profile
+	switch strings.ToLower(req.Strategy) {
+	case "", "batch":
+		refined, err = interact.RefineBatch(base, ops)
+		req.Strategy = "batch"
+	case "individual":
+		_, refined, err = interact.RefineIndividual(gs.group, method, ops)
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := refineResponse{Strategy: strings.ToLower(req.Strategy), Operations: len(ops)}
+	if req.Rebuild {
+		k := req.K
+		if k == 0 {
+			k = len(tp.CIs)
+		}
+		newTP, err := s.engine.Build(refined, tp.Query, core.DefaultParams(k))
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		sess, err := interact.NewSession(s.city, newTP)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		id := s.nextID
+		s.nextID++
+		s.packages[id] = &packageState{groupID: ps.groupID, method: ps.method, session: sess}
+		pr := s.packageResponseLocked(id, false)
+		resp.NewPackage = &pr
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

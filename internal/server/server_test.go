@@ -1,0 +1,338 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/poi"
+)
+
+var (
+	srvOnce sync.Once
+	srvCity *dataset.City
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srvOnce.Do(func() {
+		c, err := dataset.Generate(dataset.TestSpec("ServerCity", 91))
+		if err != nil {
+			panic(err)
+		}
+		srvCity = c
+	})
+	s, err := New(srvCity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e apiError
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("%s %s: status %d (want %d): %s", method, url, resp.StatusCode, wantStatus, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+}
+
+// ratings builds a valid ratings map over the test city's schema.
+func ratings(t *testing.T, shift int) map[string][]float64 {
+	t.Helper()
+	out := map[string][]float64{}
+	for _, c := range poi.Categories {
+		dim := srvCity.Schema.Dim(c)
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = float64((j + shift) % 6)
+		}
+		out[c.String()] = v
+	}
+	return out
+}
+
+func createGroup(t *testing.T, ts *httptest.Server, members int) int {
+	t.Helper()
+	req := createGroupRequest{}
+	for i := 0; i < members; i++ {
+		req.Members = append(req.Members, ratings(t, i))
+	}
+	var resp groupResponse
+	doJSON(t, "POST", ts.URL+"/api/groups", req, http.StatusCreated, &resp)
+	if resp.Size != members {
+		t.Fatalf("group size = %d", resp.Size)
+	}
+	return resp.ID
+}
+
+func createPackage(t *testing.T, ts *httptest.Server, groupID int) packageResponse {
+	t.Helper()
+	var resp packageResponse
+	doJSON(t, "POST", ts.URL+"/api/packages", createPackageRequest{
+		GroupID: groupID, Consensus: "pairwise", K: 3,
+	}, http.StatusCreated, &resp)
+	return resp
+}
+
+func TestHealthAndCity(t *testing.T) {
+	ts := testServer(t)
+	var health map[string]string
+	doJSON(t, "GET", ts.URL+"/api/healthz", nil, http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Fatalf("health = %v", health)
+	}
+	var city cityResponse
+	doJSON(t, "GET", ts.URL+"/api/city", nil, http.StatusOK, &city)
+	if city.Name != "ServerCity" {
+		t.Fatalf("city = %q", city.Name)
+	}
+	if city.Counts["attr"] == 0 || len(city.Schema["rest"]) == 0 {
+		t.Fatalf("city response incomplete: %+v", city)
+	}
+}
+
+func TestPOIQueries(t *testing.T) {
+	ts := testServer(t)
+	var pois []poiResponse
+	doJSON(t, "GET", ts.URL+"/api/pois?cat=rest&k=5", nil, http.StatusOK, &pois)
+	if len(pois) != 5 {
+		t.Fatalf("got %d POIs", len(pois))
+	}
+	for _, p := range pois {
+		if p.Cat != "rest" {
+			t.Fatalf("category filter violated: %+v", p)
+		}
+	}
+	// Nearest query.
+	doJSON(t, "GET", ts.URL+"/api/pois?near=48.8566,2.3522&k=3", nil, http.StatusOK, &pois)
+	if len(pois) != 3 {
+		t.Fatalf("nearest returned %d", len(pois))
+	}
+	// Bad inputs.
+	doJSON(t, "GET", ts.URL+"/api/pois?cat=volcano", nil, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/api/pois?near=oops", nil, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/api/pois?k=-1", nil, http.StatusBadRequest, nil)
+}
+
+func TestGroupLifecycle(t *testing.T) {
+	ts := testServer(t)
+	id := createGroup(t, ts, 3)
+	var got groupResponse
+	doJSON(t, "GET", fmt.Sprintf("%s/api/groups/%d", ts.URL, id), nil, http.StatusOK, &got)
+	if got.ID != id || got.Size != 3 {
+		t.Fatalf("group = %+v", got)
+	}
+	if got.Uniformity < 0 || got.Uniformity > 1 {
+		t.Fatalf("uniformity = %v", got.Uniformity)
+	}
+	doJSON(t, "GET", ts.URL+"/api/groups/999", nil, http.StatusNotFound, nil)
+	doJSON(t, "GET", ts.URL+"/api/groups/abc", nil, http.StatusNotFound, nil)
+	// Empty group rejected.
+	doJSON(t, "POST", ts.URL+"/api/groups", createGroupRequest{}, http.StatusBadRequest, nil)
+	// Bad ratings rejected.
+	doJSON(t, "POST", ts.URL+"/api/groups", createGroupRequest{
+		Members: []map[string][]float64{{"rest": {9, 9}}},
+	}, http.StatusBadRequest, nil)
+}
+
+func TestPackageLifecycle(t *testing.T) {
+	ts := testServer(t)
+	gid := createGroup(t, ts, 3)
+	pkg := createPackage(t, ts, gid)
+	if len(pkg.Days) != 3 || !pkg.Valid {
+		t.Fatalf("package = %+v", pkg)
+	}
+	// Every day satisfies the default query: 6 items.
+	for _, d := range pkg.Days {
+		if len(d.Items) != 6 {
+			t.Fatalf("day has %d items", len(d.Items))
+		}
+	}
+	// GET with routes: walking distances appear and days reorder to start
+	// at the accommodation.
+	var routed packageResponse
+	doJSON(t, "GET", fmt.Sprintf("%s/api/packages/%d?routes=1", ts.URL, pkg.ID), nil, http.StatusOK, &routed)
+	for _, d := range routed.Days {
+		if d.WalkKm <= 0 {
+			t.Fatalf("routed day missing walk distance: %+v", d)
+		}
+		if d.Items[0].Cat != "acco" {
+			t.Fatalf("routed day does not start at accommodation: %+v", d.Items[0])
+		}
+	}
+	// Unknown group and bad consensus.
+	doJSON(t, "POST", ts.URL+"/api/packages", createPackageRequest{GroupID: 999}, http.StatusNotFound, nil)
+	doJSON(t, "POST", ts.URL+"/api/packages", createPackageRequest{GroupID: gid, Consensus: "nope"}, http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/api/packages", createPackageRequest{GroupID: gid, K: 5000}, http.StatusBadRequest, nil)
+	doJSON(t, "GET", ts.URL+"/api/packages/424242", nil, http.StatusNotFound, nil)
+}
+
+func TestCustomizationOps(t *testing.T) {
+	ts := testServer(t)
+	gid := createGroup(t, ts, 3)
+	pkg := createPackage(t, ts, gid)
+	url := fmt.Sprintf("%s/api/packages/%d/ops", ts.URL, pkg.ID)
+
+	// REMOVE the first item of day 1.
+	target := pkg.Days[0].Items[0].ID
+	var op opResponse
+	doJSON(t, "POST", url, opRequest{Member: 0, Op: "remove", CI: 0, POI: target}, http.StatusOK, &op)
+	if !op.Applied {
+		t.Fatal("remove not applied")
+	}
+	// Removing again fails cleanly.
+	doJSON(t, "POST", url, opRequest{Member: 0, Op: "remove", CI: 0, POI: target}, http.StatusUnprocessableEntity, nil)
+
+	// REPLACE returns the recommendation.
+	target2 := pkg.Days[0].Items[1].ID
+	doJSON(t, "POST", url, opRequest{Member: 1, Op: "replace", CI: 0, POI: target2}, http.StatusOK, &op)
+	if op.Replacement == nil || op.Replacement.Cat != pkg.Days[0].Items[1].Cat {
+		t.Fatalf("replace response = %+v", op)
+	}
+
+	// ADD a nearby restaurant found via the POI API.
+	var cands []poiResponse
+	doJSON(t, "GET", fmt.Sprintf("%s/api/pois?cat=rest&near=%f,%f&k=8", ts.URL,
+		pkg.Days[0].Centroid.Lat, pkg.Days[0].Centroid.Lon), nil, http.StatusOK, &cands)
+	added := false
+	for _, c := range cands {
+		var addResp opResponse
+		var buf bytes.Buffer
+		_ = json.NewEncoder(&buf).Encode(opRequest{Member: 2, Op: "add", CI: 0, POI: c.ID})
+		resp, err := http.Post(url, "application/json", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&addResp)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && addResp.Applied {
+			added = true
+			break
+		}
+	}
+	if !added {
+		t.Fatal("no candidate could be added")
+	}
+
+	// GENERATE with a rectangle over the city.
+	var city cityResponse
+	doJSON(t, "GET", ts.URL+"/api/city", nil, http.StatusOK, &city)
+	rect := map[string]float64{
+		"Lat":    city.Bounds["lat"] - city.Bounds["height"]*0.25,
+		"Lon":    city.Bounds["lon"] + city.Bounds["width"]*0.25,
+		"Width":  city.Bounds["width"] * 0.5,
+		"Height": city.Bounds["height"] * 0.5,
+	}
+	body := map[string]any{"member": 0, "op": "generate", "rect": rect}
+	doJSON(t, "POST", url, body, http.StatusOK, &op)
+	if op.NewCI == nil || len(op.NewCI.Items) == 0 {
+		t.Fatalf("generate response = %+v", op)
+	}
+
+	// Bad ops.
+	doJSON(t, "POST", url, opRequest{Member: 0, Op: "fly", CI: 0, POI: 1}, http.StatusBadRequest, nil)
+	doJSON(t, "POST", url, opRequest{Member: 99, Op: "remove", CI: 0, POI: 1}, http.StatusBadRequest, nil)
+	doJSON(t, "POST", url, opRequest{Member: 0, Op: "generate"}, http.StatusBadRequest, nil)
+}
+
+func TestRefineEndpoint(t *testing.T) {
+	ts := testServer(t)
+	gid := createGroup(t, ts, 3)
+	pkg := createPackage(t, ts, gid)
+	opsURL := fmt.Sprintf("%s/api/packages/%d/ops", ts.URL, pkg.ID)
+	doJSON(t, "POST", opsURL, opRequest{Member: 0, Op: "remove", CI: 0, POI: pkg.Days[0].Items[0].ID}, http.StatusOK, nil)
+
+	refineURL := fmt.Sprintf("%s/api/packages/%d/refine", ts.URL, pkg.ID)
+	var ref refineResponse
+	doJSON(t, "POST", refineURL, refineRequest{Strategy: "batch", Rebuild: true}, http.StatusOK, &ref)
+	if ref.Operations != 1 || ref.NewPackage == nil {
+		t.Fatalf("refine = %+v", ref)
+	}
+	if !ref.NewPackage.Valid || len(ref.NewPackage.Days) != len(pkg.Days) {
+		t.Fatalf("rebuilt package = %+v", ref.NewPackage)
+	}
+	// Individual strategy without rebuild (fresh decode target: JSON
+	// decoding does not reset absent fields).
+	var ref2 refineResponse
+	doJSON(t, "POST", refineURL, refineRequest{Strategy: "individual"}, http.StatusOK, &ref2)
+	if ref2.Strategy != "individual" || ref2.NewPackage != nil {
+		t.Fatalf("refine = %+v", ref2)
+	}
+	doJSON(t, "POST", refineURL, refineRequest{Strategy: "quantum"}, http.StatusBadRequest, nil)
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	// The server must survive concurrent package builds and reads (the
+	// engine is serialized under the server mutex).
+	ts := testServer(t)
+	gid := createGroup(t, ts, 3)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf bytes.Buffer
+			_ = json.NewEncoder(&buf).Encode(createPackageRequest{GroupID: gid, K: 2})
+			resp, err := http.Post(ts.URL+"/api/packages", "application/json", &buf)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedPackage(t *testing.T) {
+	ts := testServer(t)
+	gid := createGroup(t, ts, 3)
+	var resp packageResponse
+	doJSON(t, "POST", ts.URL+"/api/packages", createPackageRequest{
+		GroupID: gid, Consensus: "avg", K: 2, Weights: []float64{5, 1, 1},
+	}, http.StatusCreated, &resp)
+	if !resp.Valid {
+		t.Fatal("weighted package invalid")
+	}
+	// Wrong weight count.
+	doJSON(t, "POST", ts.URL+"/api/packages", createPackageRequest{
+		GroupID: gid, Consensus: "avg", K: 2, Weights: []float64{1},
+	}, http.StatusBadRequest, nil)
+}

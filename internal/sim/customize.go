@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"grouptravel/internal/interact"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/vec"
+)
+
+// CustomizeOptions controls the simulated interaction behaviour of group
+// members in the §4.4.4 customization study.
+type CustomizeOptions struct {
+	// RemoveThreshold: a member removes or replaces an item whose cosine
+	// similarity to their own profile falls below this.
+	RemoveThreshold float64
+	// AddProbability: chance that a member also adds a well-matching
+	// nearby POI to a CI they inspected.
+	AddProbability float64
+	// ReplaceProbability: when an item is disliked, replace it (instead of
+	// removing it) with this probability.
+	ReplaceProbability float64
+	// MaxOpsPerMember caps each member's interactions (real study
+	// participants performed a handful of operations each).
+	MaxOpsPerMember int
+}
+
+// DefaultCustomizeOptions returns behaviour calibrated to a few operations
+// per member, like the paper's study sessions.
+func DefaultCustomizeOptions() CustomizeOptions {
+	return CustomizeOptions{
+		RemoveThreshold:    0.35,
+		AddProbability:     0.6,
+		ReplaceProbability: 0.5,
+		MaxOpsPerMember:    4,
+	}
+}
+
+// SimulateCustomization lets every member of the group interact with the
+// session's package according to their own profile: items they dislike get
+// removed or replaced, and items matching their taste get added from the
+// neighborhood of a CI. The session log then carries the per-member
+// implicit feedback that profile refinement consumes (§3.3).
+func SimulateCustomization(sess *interact.Session, g *profile.Group, opts CustomizeOptions, src *rng.Source) error {
+	if sess == nil || g == nil || src == nil {
+		return fmt.Errorf("sim: nil session, group or source")
+	}
+	if opts.MaxOpsPerMember < 1 {
+		return fmt.Errorf("sim: MaxOpsPerMember = %d", opts.MaxOpsPerMember)
+	}
+	for member, prof := range g.Members {
+		if err := customizeAs(sess, member, prof, opts, src.Split(fmt.Sprintf("member-%d", member))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// customizeAs performs one member's interactions.
+func customizeAs(sess *interact.Session, member int, prof *profile.Profile, opts CustomizeOptions, src *rng.Source) error {
+	ops := 0
+	tp := sess.Package()
+	// Inspect CIs in a random order, as a human browsing a map would.
+	order := src.Perm(len(tp.CIs))
+	for _, ciIdx := range order {
+		if ops >= opts.MaxOpsPerMember {
+			break
+		}
+		if ciIdx >= len(sess.Package().CIs) {
+			continue // a previous member deleted this CI
+		}
+		c := sess.Package().CIs[ciIdx]
+		// Find this member's least-liked item in the CI.
+		worstID, worstCos := -1, 2.0
+		for _, it := range c.Items {
+			cos := vec.Cosine(it.Vector, prof.Vector(it.Cat))
+			if cos < worstCos {
+				worstID, worstCos = it.ID, cos
+			}
+		}
+		if worstID >= 0 && worstCos < opts.RemoveThreshold {
+			if src.Bool(opts.ReplaceProbability) {
+				if _, err := sess.Replace(member, ciIdx, worstID); err != nil {
+					return err
+				}
+			} else {
+				if err := sess.Remove(member, ciIdx, worstID); err != nil {
+					return err
+				}
+			}
+			ops++
+		}
+		if ops >= opts.MaxOpsPerMember {
+			break
+		}
+		if src.Bool(opts.AddProbability) {
+			if added, err := addBestMatch(sess, member, ciIdx, prof, src); err != nil {
+				return err
+			} else if added {
+				ops++
+			}
+		}
+	}
+	return nil
+}
+
+// addBestMatch ADDs the candidate around the CI that best matches the
+// member's profile, preferring restaurants and attractions (the tagged
+// categories carry the taste signal).
+func addBestMatch(sess *interact.Session, member, ciIdx int, prof *profile.Profile, src *rng.Source) (bool, error) {
+	cats := []poi.Category{poi.Rest, poi.Attr}
+	cat := cats[src.Intn(len(cats))]
+	cands, err := sess.AddCandidates(ciIdx, cat, "", 8)
+	if err != nil {
+		return false, err
+	}
+	if len(cands) == 0 {
+		return false, nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		ci := vec.Cosine(cands[i].Vector, prof.Vector(cat))
+		cj := vec.Cosine(cands[j].Vector, prof.Vector(cat))
+		if ci != cj {
+			return ci > cj
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	best := cands[0]
+	// Only add items the member actually likes.
+	if vec.Cosine(best.Vector, prof.Vector(cat)) < 0.4 {
+		return false, nil
+	}
+	if err := sess.Add(member, ciIdx, best.ID); err != nil {
+		return false, err
+	}
+	return true, nil
+}

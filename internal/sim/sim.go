@@ -1,0 +1,210 @@
+// Package sim simulates the paper's user study (§4.4).
+//
+// The original study recruited 3000 crowd workers on Figure-Eight and
+// Amazon Mechanical Turk, collected travel profiles, showed each group
+// member several travel packages, and gathered 1–5 interest ratings plus
+// pairwise preferences. Those workers are not available offline, so this
+// package models each participant as a *rater* whose behaviour is driven
+// by their travel profile:
+//
+//   - the rating of a package is a calibrated, noisy function of the mean
+//     cosine similarity between the rater's profile and the package's
+//     items (the same quantity Eq. 4 personalizes for);
+//   - attentive raters notice invalid CIs and mark the package down, so
+//     the paper's honeypot filter ("we injected a random TP which included
+//     invalid CIs, and discarded input from participants who preferred
+//     that TP") removes exactly the careless raters this package plants;
+//   - pairwise choices pick the package with higher personal utility,
+//     with decision noise.
+//
+// Because every table in §4.4 reports *relative* satisfaction across
+// package variants, a utility-plus-noise rater preserves the orderings the
+// paper measures while being fully reproducible.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"grouptravel/internal/core"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/vec"
+)
+
+// Utility returns the mean cosine similarity between a participant's
+// profile and the items of a package, in [0,1] — the personal analogue of
+// the Eq. 4 personalization term.
+func Utility(p *profile.Profile, tp *core.TravelPackage) float64 {
+	n := 0
+	sum := 0.0
+	for _, c := range tp.CIs {
+		for _, it := range c.Items {
+			sum += vec.Cosine(it.Vector, p.Vector(it.Cat))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Rater is one simulated study participant.
+type Rater struct {
+	Profile *profile.Profile
+	// Careless raters answer at random and do not notice invalid CIs —
+	// the population the honeypot filter is designed to remove.
+	Careless bool
+}
+
+// Panel is a set of raters drawn from a travel group, with the study's
+// noise model.
+type Panel struct {
+	Raters []Rater
+	// RatingNoise is the standard deviation of the Gaussian noise added to
+	// the utility before scaling to the 1–5 scale.
+	RatingNoise float64
+	// ChoiceNoise is the noise on each side of a pairwise comparison.
+	ChoiceNoise float64
+	// InvalidPenalty is subtracted from an attentive rater's rating when a
+	// package contains invalid CIs.
+	InvalidPenalty float64
+
+	src *rng.Source
+}
+
+// NewPanel builds a panel with one rater per group member; carelessFrac of
+// the raters (rounded down, at least 0) are careless.
+func NewPanel(g *profile.Group, carelessFrac float64, src *rng.Source) (*Panel, error) {
+	if g == nil || src == nil {
+		return nil, fmt.Errorf("sim: nil group or source")
+	}
+	if carelessFrac < 0 || carelessFrac > 1 {
+		return nil, fmt.Errorf("sim: careless fraction %v outside [0,1]", carelessFrac)
+	}
+	p := &Panel{
+		RatingNoise:    0.08,
+		ChoiceNoise:    0.05,
+		InvalidPenalty: 2.0,
+		src:            src,
+	}
+	nCareless := int(carelessFrac * float64(g.Size()))
+	for i, m := range g.Members {
+		p.Raters = append(p.Raters, Rater{Profile: m, Careless: i < nCareless})
+	}
+	// Shuffle so carelessness is not correlated with member order.
+	p.src.Shuffle(len(p.Raters), func(i, j int) {
+		p.Raters[i], p.Raters[j] = p.Raters[j], p.Raters[i]
+	})
+	return p, nil
+}
+
+// Rate returns rater r's 1–5 interest rating for the package ("indicate
+// your interest in visiting POIs in the TP ... using a score between 1 and
+// 5", §4.4.3).
+func (p *Panel) Rate(r Rater, tp *core.TravelPackage) float64 {
+	if r.Careless {
+		return 1 + 4*p.src.Float64()
+	}
+	u := Utility(r.Profile, tp) + p.RatingNoise*p.src.NormFloat64()
+	rating := 1 + 4*clamp01(u)
+	if !tp.Valid() {
+		rating -= p.InvalidPenalty
+	}
+	return clampRange(rating, 1, 5)
+}
+
+// Prefer reports whether rater r prefers package a over b in a pairwise
+// comparison.
+func (p *Panel) Prefer(r Rater, a, b *core.TravelPackage) bool {
+	if r.Careless {
+		return p.src.Bool(0.5)
+	}
+	ua := Utility(r.Profile, a) + p.ChoiceNoise*p.src.NormFloat64()
+	ub := Utility(r.Profile, b) + p.ChoiceNoise*p.src.NormFloat64()
+	if !a.Valid() {
+		ua -= 0.5
+	}
+	if !b.Valid() {
+		ub -= 0.5
+	}
+	return ua > ub
+}
+
+// FilterByHoneypot returns the indices of raters whose input survives the
+// §4.4.3 filter: a rater is discarded when they rate the honeypot (an
+// invalid random package) at least as high as every legitimate package.
+func (p *Panel) FilterByHoneypot(honeypot *core.TravelPackage, legit []*core.TravelPackage) []int {
+	var keep []int
+	for i, r := range p.Raters {
+		h := p.Rate(r, honeypot)
+		preferred := true
+		for _, tp := range legit {
+			if p.Rate(r, tp) > h {
+				preferred = false
+				break
+			}
+		}
+		if !preferred {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+// IndependentEval reports the mean 1–5 rating of each named package over
+// the given rater indices (Tables 4 and 6).
+func (p *Panel) IndependentEval(tps map[string]*core.TravelPackage, raters []int) map[string]float64 {
+	out := make(map[string]float64, len(tps))
+	names := make([]string, 0, len(tps))
+	for name := range tps {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic rating order → deterministic noise
+	for _, name := range names {
+		sum := 0.0
+		for _, ri := range raters {
+			sum += p.Rate(p.Raters[ri], tps[name])
+		}
+		if len(raters) > 0 {
+			out[name] = sum / float64(len(raters))
+		}
+	}
+	return out
+}
+
+// ComparativeEval returns the fraction of the given raters preferring a
+// over b (Tables 5 and 7 report these percentages of supremacy).
+func (p *Panel) ComparativeEval(a, b *core.TravelPackage, raters []int) float64 {
+	if len(raters) == 0 {
+		return 0
+	}
+	wins := 0
+	for _, ri := range raters {
+		if p.Prefer(p.Raters[ri], a, b) {
+			wins++
+		}
+	}
+	return float64(wins) / float64(len(raters))
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func clampRange(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

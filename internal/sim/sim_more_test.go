@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"grouptravel/internal/core"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/query"
+	"grouptravel/internal/rng"
+)
+
+func TestPreferPenalizesInvalidPackages(t *testing.T) {
+	city, _ := setup(t)
+	g := uniformGroup(t, city, 10, 31)
+	pers, _, _, honeypot := packagesFor(t, g)
+	panel, err := NewPanel(g, 0, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attentive raters must essentially never prefer the invalid honeypot
+	// over a personalized package.
+	wins := 0
+	for _, r := range panel.Raters {
+		if panel.Prefer(r, honeypot, pers) {
+			wins++
+		}
+	}
+	if wins > 1 {
+		t.Fatalf("honeypot preferred by %d/%d attentive raters", wins, len(panel.Raters))
+	}
+}
+
+func TestComparativeEvalEmptyRaters(t *testing.T) {
+	city, _ := setup(t)
+	g := uniformGroup(t, city, 5, 32)
+	pers, plain, _, _ := packagesFor(t, g)
+	panel, err := NewPanel(g, 0, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := panel.ComparativeEval(pers, plain, nil); frac != 0 {
+		t.Fatalf("empty rater set: %v", frac)
+	}
+	if scores := panel.IndependentEval(map[string]*core.TravelPackage{"a": pers}, nil); len(scores) != 0 {
+		t.Fatalf("empty rater set produced scores: %v", scores)
+	}
+}
+
+func TestCarelessRatersAreNoisy(t *testing.T) {
+	city, _ := setup(t)
+	g := uniformGroup(t, city, 100, 33)
+	pers, _, _, _ := packagesFor(t, g)
+	panel, err := NewPanel(g, 1.0, rng.New(33)) // everyone careless
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Careless ratings are uniform on [1,5]: the mean should be near 3
+	// regardless of package quality.
+	sum := 0.0
+	for _, r := range panel.Raters {
+		if !r.Careless {
+			t.Fatal("careless fraction 1.0 left an attentive rater")
+		}
+		sum += panel.Rate(r, pers)
+	}
+	mean := sum / float64(len(panel.Raters))
+	if mean < 2.5 || mean > 3.5 {
+		t.Fatalf("careless mean rating %v, want ≈3", mean)
+	}
+}
+
+func TestCustomizationSurvivesDeletedCIs(t *testing.T) {
+	// A member browsing a CI index that another member deleted must not
+	// crash the simulation (the index guard in customizeAs).
+	city, e := setup(t)
+	g := uniformGroup(t, city, 5, 34)
+	tp, err := e.Build(nil, query.Default(), core.DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := interact.NewSession(city, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete the last CI up front, then run the full simulation: member
+	// permutations will reference the now-missing index.
+	if err := sess.DeleteCI(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := SimulateCustomization(sess, g, DefaultCustomizeOptions(), rng.New(34)); err != nil {
+		t.Fatalf("simulation crashed on shrunken package: %v", err)
+	}
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"testing"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/rng"
+)
+
+var (
+	simCity   *dataset.City
+	simEngine *core.Engine
+)
+
+func setup(t *testing.T) (*dataset.City, *core.Engine) {
+	t.Helper()
+	if simCity == nil {
+		c, err := dataset.Generate(dataset.TestSpec("SimCity", 21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.NewEngine(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simCity, simEngine = c, e
+	}
+	return simCity, simEngine
+}
+
+func uniformGroup(t *testing.T, city *dataset.City, size int, seed int64) *profile.Group {
+	t.Helper()
+	g, err := profile.GenerateUniformGroup(city.Schema, size, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func packagesFor(t *testing.T, g *profile.Group) (pers, plain, random, honeypot *core.TravelPackage) {
+	t.Helper()
+	_, e := setup(t)
+	gp, err := consensus.GroupProfile(g, consensus.PairwiseDis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pers, err = e.Build(gp, query.Default(), core.DefaultParams(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err = e.Build(nil, query.Default(), core.DefaultParams(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err = e.BuildRandom(query.Default(), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	honeypot, err = e.BuildHoneypot(query.Default(), 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pers, plain, random, honeypot
+}
+
+func TestUtilityRange(t *testing.T) {
+	city, _ := setup(t)
+	g := uniformGroup(t, city, 5, 1)
+	pers, _, _, _ := packagesFor(t, g)
+	for _, m := range g.Members {
+		u := Utility(m, pers)
+		if u < 0 || u > 1 {
+			t.Fatalf("utility %v outside [0,1]", u)
+		}
+	}
+}
+
+func TestUtilityEmptyPackage(t *testing.T) {
+	city, _ := setup(t)
+	g := uniformGroup(t, city, 5, 2)
+	if u := Utility(g.Members[0], &core.TravelPackage{}); u != 0 {
+		t.Fatalf("empty package utility = %v", u)
+	}
+}
+
+func TestRatingsInScale(t *testing.T) {
+	city, _ := setup(t)
+	g := uniformGroup(t, city, 10, 3)
+	pers, plain, random, honeypot := packagesFor(t, g)
+	panel, err := NewPanel(g, 0.2, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range []*core.TravelPackage{pers, plain, random, honeypot} {
+		for _, r := range panel.Raters {
+			score := panel.Rate(r, tp)
+			if score < 1 || score > 5 {
+				t.Fatalf("rating %v outside [1,5]", score)
+			}
+		}
+	}
+}
+
+func TestHoneypotFilterCatchesCareless(t *testing.T) {
+	city, _ := setup(t)
+	g := uniformGroup(t, city, 100, 4)
+	pers, plain, random, honeypot := packagesFor(t, g)
+	panel, err := NewPanel(g, 0.3, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := panel.FilterByHoneypot(honeypot, []*core.TravelPackage{pers, plain, random})
+	if len(keep) == len(panel.Raters) {
+		t.Fatal("filter removed nobody despite 30% careless raters")
+	}
+	if len(keep) == 0 {
+		t.Fatal("filter removed everyone")
+	}
+	// Attentive raters overwhelmingly survive; count the composition.
+	careless, attentive := 0, 0
+	for _, i := range keep {
+		if panel.Raters[i].Careless {
+			careless++
+		} else {
+			attentive++
+		}
+	}
+	if attentive < careless {
+		t.Fatalf("filter kept more careless (%d) than attentive (%d) raters", careless, attentive)
+	}
+}
+
+func TestPersonalizedBeatsBaselines(t *testing.T) {
+	// The study's central finding (§4.4.2): personalized packages rate
+	// higher than non-personalized and random ones.
+	city, _ := setup(t)
+	g := uniformGroup(t, city, 10, 5)
+	pers, plain, random, honeypot := packagesFor(t, g)
+	panel, err := NewPanel(g, 0, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := panel.FilterByHoneypot(honeypot, []*core.TravelPackage{pers, plain, random})
+	scores := panel.IndependentEval(map[string]*core.TravelPackage{
+		"personalized": pers, "plain": plain, "random": random,
+	}, keep)
+	if scores["personalized"] < scores["plain"] || scores["personalized"] < scores["random"] {
+		t.Fatalf("personalized %v not best (plain %v, random %v)",
+			scores["personalized"], scores["plain"], scores["random"])
+	}
+}
+
+func TestComparativeEvalConsistency(t *testing.T) {
+	city, _ := setup(t)
+	g := uniformGroup(t, city, 10, 6)
+	pers, _, random, _ := packagesFor(t, g)
+	panel, err := NewPanel(g, 0, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, len(panel.Raters))
+	for i := range all {
+		all[i] = i
+	}
+	frac := panel.ComparativeEval(pers, random, all)
+	if frac < 0.5 {
+		t.Fatalf("personalized preferred only %v of the time vs random", frac)
+	}
+	if frac < 0 || frac > 1 {
+		t.Fatalf("preference fraction %v", frac)
+	}
+}
+
+func TestPanelErrors(t *testing.T) {
+	city, _ := setup(t)
+	g := uniformGroup(t, city, 5, 11)
+	if _, err := NewPanel(nil, 0, rng.New(1)); err == nil {
+		t.Fatal("nil group accepted")
+	}
+	if _, err := NewPanel(g, -0.1, rng.New(1)); err == nil {
+		t.Fatal("negative careless fraction accepted")
+	}
+	if _, err := NewPanel(g, 0.5, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestSimulateCustomizationLogsAlignedOps(t *testing.T) {
+	city, e := setup(t)
+	g := uniformGroup(t, city, 5, 12)
+	gp, err := consensus.GroupProfile(g, consensus.PairwiseDis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := e.Build(gp, query.Default(), core.DefaultParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := interact.NewSession(city, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SimulateCustomization(sess, g, DefaultCustomizeOptions(), rng.New(13)); err != nil {
+		t.Fatal(err)
+	}
+	ops := sess.Log()
+	if len(ops) == 0 {
+		t.Fatal("no interactions simulated")
+	}
+	// Operations are attributed to real members and respect the per-member cap.
+	perMember := map[int]int{}
+	for _, op := range ops {
+		if op.Member < 0 || op.Member >= g.Size() {
+			t.Fatalf("op by unknown member %d", op.Member)
+		}
+		perMember[op.Member]++
+	}
+	for m, n := range perMember {
+		if n > DefaultCustomizeOptions().MaxOpsPerMember {
+			t.Fatalf("member %d performed %d ops (cap %d)", m, n, DefaultCustomizeOptions().MaxOpsPerMember)
+		}
+	}
+	// Added POIs must match the acting member's taste direction: refining
+	// with the log must not lower the group profile's fit to the package.
+	refined, err := interact.RefineBatch(gp, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined == nil {
+		t.Fatal("refinement returned nil")
+	}
+}
+
+func TestSimulateCustomizationErrors(t *testing.T) {
+	city, e := setup(t)
+	g := uniformGroup(t, city, 5, 14)
+	gp, _ := consensus.GroupProfile(g, consensus.PairwiseDis)
+	tp, err := e.Build(gp, query.Default(), core.DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := interact.NewSession(city, tp)
+	if err := SimulateCustomization(nil, g, DefaultCustomizeOptions(), rng.New(1)); err == nil {
+		t.Fatal("nil session accepted")
+	}
+	bad := DefaultCustomizeOptions()
+	bad.MaxOpsPerMember = 0
+	if err := SimulateCustomization(sess, g, bad, rng.New(1)); err == nil {
+		t.Fatal("zero op cap accepted")
+	}
+}
+
+func TestCustomizationImprovesSubsequentPackages(t *testing.T) {
+	// The §4.4.4 pipeline: customize in one city, refine the profile,
+	// rebuild — the rebuilt package should fit the group at least as well.
+	city, e := setup(t)
+	g := uniformGroup(t, city, 7, 15)
+	gp, err := consensus.GroupProfile(g, consensus.PairwiseDis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := e.Build(gp, query.Default(), core.DefaultParams(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := interact.NewSession(city, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SimulateCustomization(sess, g, DefaultCustomizeOptions(), rng.New(16)); err != nil {
+		t.Fatal(err)
+	}
+	refined, err := interact.RefineBatch(gp, sess.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := e.Build(refined, query.Default(), core.DefaultParams(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group-mean utility under the members' own profiles.
+	meanUtil := func(tp *core.TravelPackage) float64 {
+		s := 0.0
+		for _, m := range g.Members {
+			s += Utility(m, tp)
+		}
+		return s / float64(g.Size())
+	}
+	before, after := meanUtil(tp), meanUtil(rebuilt)
+	if after < before-0.05 {
+		t.Fatalf("customization degraded fit: %v -> %v", before, after)
+	}
+}

@@ -1,0 +1,45 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"grouptravel/internal/stats"
+)
+
+// The §4.4.1 sample-size computation (Eq. 5): the paper's exact numbers.
+func ExampleSampleSize() {
+	n, err := stats.SampleSize(200000, 0.03, stats.Z95, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n)
+	// Output:
+	// 1062
+}
+
+// One-way ANOVA in the paper's §4.3.1 reporting style.
+func ExampleANOVA() {
+	groups := [][]float64{
+		{1, 2, 3},
+		{2, 3, 4},
+		{5, 6, 7},
+	}
+	res, err := stats.ANOVA(groups)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("F(%d,%d) = %.0f, significant at 0.05: %v\n",
+		res.DF1, res.DF2, res.F, res.Significant(0.05))
+	// Output:
+	// F(2,6) = 13, significant at 0.05: true
+}
+
+// Pearson correlation as used for the §4.3.3 size trends.
+func ExamplePearson() {
+	sizes := []float64{5, 10, 100}
+	personalization := []float64{0.95, 0.94, 0.72}
+	r, _ := stats.Pearson(sizes, personalization)
+	fmt.Printf("%.2f\n", r)
+	// Output:
+	// -1.00
+}

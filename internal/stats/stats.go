@@ -1,0 +1,246 @@
+// Package stats implements the statistical machinery the paper's
+// evaluation uses: one-way ANOVA with the F-statistic MSB/MSE and
+// significance level p = 0.05 (§4.3.1), the Pearson correlation
+// coefficient used to report size/cohesiveness trends (§4.3.3), and the
+// central-limit-theorem sample-size formula of Eq. 5.
+//
+// Everything is implemented from scratch on the standard library,
+// including the regularized incomplete beta function that backs the
+// F-distribution CDF.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean. It panics on an empty slice (callers
+// in this codebase always aggregate non-empty experiment cells).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty slice")
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance (divide by n), matching the
+// paper's disagreement-variance convention.
+func Variance(xs []float64) float64 {
+	mu := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Pearson returns the Pearson correlation coefficient between x and y —
+// +1 total positive linear correlation, 0 none, −1 total negative
+// (§4.3.1). Degenerate inputs (constant series) return 0.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: Pearson length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, errors.New("stats: Pearson needs at least 2 points")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// ANOVAResult reports a one-way analysis of variance in the paper's
+// notation: "F(n, k) = x given p < 0.05" where n and k are the first and
+// second degrees of freedom.
+type ANOVAResult struct {
+	F   float64 // MSB / MSE
+	DF1 int     // between-groups degrees of freedom (groups − 1)
+	DF2 int     // within-groups degrees of freedom (N − groups)
+	P   float64 // right-tail probability of F under H0
+}
+
+// Significant reports p < alpha (the paper uses alpha = 0.05).
+func (r ANOVAResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// String renders the paper's reporting style.
+func (r ANOVAResult) String() string {
+	return fmt.Sprintf("F(%d,%d) = %.3f, p = %.4g", r.DF1, r.DF2, r.F, r.P)
+}
+
+// ANOVA performs a one-way ANOVA across the given groups of observations.
+// At least two groups with two total degrees of freedom are required.
+func ANOVA(groups [][]float64) (ANOVAResult, error) {
+	k := len(groups)
+	if k < 2 {
+		return ANOVAResult{}, errors.New("stats: ANOVA needs at least 2 groups")
+	}
+	n := 0
+	grand := 0.0
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return ANOVAResult{}, fmt.Errorf("stats: ANOVA group %d is empty", gi)
+		}
+		n += len(g)
+		for _, x := range g {
+			grand += x
+		}
+	}
+	if n <= k {
+		return ANOVAResult{}, fmt.Errorf("stats: ANOVA needs more observations (%d) than groups (%d)", n, k)
+	}
+	grand /= float64(n)
+
+	ssb, ssw := 0.0, 0.0
+	for _, g := range groups {
+		m := Mean(g)
+		d := m - grand
+		ssb += float64(len(g)) * d * d
+		for _, x := range g {
+			ssw += (x - m) * (x - m)
+		}
+	}
+	df1, df2 := k-1, n-k
+	msb := ssb / float64(df1)
+	mse := ssw / float64(df2)
+	res := ANOVAResult{DF1: df1, DF2: df2}
+	if mse == 0 {
+		// All within-group variance zero: either the groups are identical
+		// (F undefined, report p = 1) or perfectly separated (p = 0).
+		if ssb == 0 {
+			res.F, res.P = 0, 1
+			return res, nil
+		}
+		res.F, res.P = math.Inf(1), 0
+		return res, nil
+	}
+	res.F = msb / mse
+	res.P = FSurvival(res.F, float64(df1), float64(df2))
+	return res, nil
+}
+
+// FSurvival returns P(F > f) for an F(d1, d2) distribution via the
+// regularized incomplete beta function:
+// P(F > f) = I_{d2/(d2 + d1·f)}(d2/2, d1/2).
+func FSurvival(f, d1, d2 float64) float64 {
+	if f <= 0 {
+		return 1
+	}
+	x := d2 / (d2 + d1*f)
+	return RegIncBeta(d2/2, d1/2, x)
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical-Recipes-style Lentz
+// algorithm) with the standard symmetry split for convergence.
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	case a <= 0 || b <= 0:
+		return math.NaN()
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// SampleSize evaluates Eq. 5 of the paper:
+//
+//	n = (z²·p(1−p)/e²) / (1 + z²·p(1−p)/(e²·N))
+//
+// where N is the population size, e the margin of error, zScore the
+// standard-normal quantile of the confidence level (1.96 for 95%), and p
+// the expected proportion (0.5 when unknown). The result is rounded up
+// ("Our sample size rounded up to at least 1062 participants").
+func SampleSize(population int, marginOfError, zScore, p float64) (int, error) {
+	if population < 1 {
+		return 0, fmt.Errorf("stats: population %d", population)
+	}
+	if marginOfError <= 0 || marginOfError >= 1 {
+		return 0, fmt.Errorf("stats: margin of error %v outside (0,1)", marginOfError)
+	}
+	if zScore <= 0 {
+		return 0, fmt.Errorf("stats: z score %v", zScore)
+	}
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("stats: proportion %v outside (0,1)", p)
+	}
+	n0 := zScore * zScore * p * (1 - p) / (marginOfError * marginOfError)
+	n := n0 / (1 + n0/float64(population))
+	return int(math.Ceil(n)), nil
+}
+
+// Z95 is the standard-normal quantile for the paper's 95% confidence
+// level.
+const Z95 = 1.959963984540054

@@ -1,0 +1,278 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grouptravel/internal/rng"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v", v)
+	}
+}
+
+func TestMeanPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPos := []float64{2, 4, 6, 8, 10}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	if r, _ := Pearson(x, yPos); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("positive correlation = %v", r)
+	}
+	if r, _ := Pearson(x, yNeg); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("negative correlation = %v", r)
+	}
+}
+
+func TestPearsonIndependent(t *testing.T) {
+	src := rng.New(1)
+	n := 20000
+	x, y := make([]float64, n), make([]float64, n)
+	for i := range x {
+		x[i], y[i] = src.Float64(), src.Float64()
+	}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.03 {
+		t.Fatalf("independent series correlate at %v", r)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if r, err := Pearson([]float64{1, 1, 1}, []float64{2, 3, 4}); err != nil || r != 0 {
+		t.Fatalf("constant series: r=%v err=%v", r, err)
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestPearsonBoundsQuick(t *testing.T) {
+	src := rng.New(2)
+	f := func(_ uint8) bool {
+		n := 3 + src.Intn(30)
+		x, y := make([]float64, n), make([]float64, n)
+		for i := range x {
+			x[i], y[i] = src.Range(-10, 10), src.Range(-10, 10)
+		}
+		r, err := Pearson(x, y)
+		return err == nil && r >= -1-1e-12 && r <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegIncBetaKnownValues checks I_x(a,b) against closed forms:
+// I_x(1,1) = x, I_x(1,b) = 1-(1-x)^b, I_x(a,1) = x^a, and symmetry
+// I_x(a,b) = 1 - I_{1-x}(b,a).
+func TestRegIncBetaKnownValues(t *testing.T) {
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Fatalf("I_%v(1,1) = %v", x, got)
+		}
+		if got := RegIncBeta(1, 3, x); math.Abs(got-(1-math.Pow(1-x, 3))) > 1e-10 {
+			t.Fatalf("I_%v(1,3) = %v", x, got)
+		}
+		if got := RegIncBeta(2.5, 1, x); math.Abs(got-math.Pow(x, 2.5)) > 1e-10 {
+			t.Fatalf("I_%v(2.5,1) = %v", x, got)
+		}
+		a, b := 2.3, 4.7
+		if d := RegIncBeta(a, b, x) + RegIncBeta(b, a, 1-x) - 1; math.Abs(d) > 1e-10 {
+			t.Fatalf("symmetry violated at x=%v: %v", x, d)
+		}
+	}
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+}
+
+// TestFSurvivalKnownValues checks the F survival function against standard
+// table values: F(1,10) upper 5% point ≈ 4.965, F(3,20) ≈ 3.098.
+func TestFSurvivalKnownValues(t *testing.T) {
+	cases := []struct {
+		f, d1, d2 float64
+		want      float64
+		tol       float64
+	}{
+		{4.9646, 1, 10, 0.05, 0.002},
+		{3.0984, 3, 20, 0.05, 0.002},
+		{1.0, 5, 5, 0.5, 0.01}, // F(d,d) median is 1
+	}
+	for _, c := range cases {
+		if got := FSurvival(c.f, c.d1, c.d2); math.Abs(got-c.want) > c.tol {
+			t.Fatalf("FSurvival(%v;%v,%v) = %v, want ~%v", c.f, c.d1, c.d2, got, c.want)
+		}
+	}
+	if FSurvival(0, 3, 10) != 1 || FSurvival(-1, 3, 10) != 1 {
+		t.Fatal("non-positive f must give survival 1")
+	}
+}
+
+func TestFSurvivalMonotone(t *testing.T) {
+	prev := 1.0
+	for f := 0.1; f < 20; f += 0.5 {
+		cur := FSurvival(f, 3, 40)
+		if cur > prev+1e-12 {
+			t.Fatalf("survival not monotone at f=%v", f)
+		}
+		prev = cur
+	}
+}
+
+func TestANOVASeparatedGroups(t *testing.T) {
+	// Clearly different group means: p must be tiny.
+	g1 := []float64{1.0, 1.1, 0.9, 1.05, 0.95}
+	g2 := []float64{5.0, 5.1, 4.9, 5.05, 4.95}
+	g3 := []float64{9.0, 9.1, 8.9, 9.05, 8.95}
+	res, err := ANOVA([][]float64{g1, g2, g3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF1 != 2 || res.DF2 != 12 {
+		t.Fatalf("df = (%d,%d)", res.DF1, res.DF2)
+	}
+	if !res.Significant(0.05) {
+		t.Fatalf("separated groups not significant: %v", res)
+	}
+	if res.F < 100 {
+		t.Fatalf("F suspiciously small: %v", res.F)
+	}
+}
+
+func TestANOVAIdenticalDistributions(t *testing.T) {
+	src := rng.New(3)
+	mk := func() []float64 {
+		xs := make([]float64, 40)
+		for i := range xs {
+			xs[i] = src.NormFloat64()
+		}
+		return xs
+	}
+	// Same distribution in all groups: significant results should occur at
+	// roughly the alpha rate. One draw must usually be insignificant.
+	hits := 0
+	for trial := 0; trial < 40; trial++ {
+		res, err := ANOVA([][]float64{mk(), mk(), mk()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.05) {
+			hits++
+		}
+	}
+	if hits > 8 { // 40 trials at alpha=.05 → expect ~2
+		t.Fatalf("null ANOVA significant in %d/40 trials", hits)
+	}
+}
+
+func TestANOVAAgainstHandComputed(t *testing.T) {
+	// Hand-computed example: g1={1,2,3}, g2={2,3,4}, g3={5,6,7}.
+	// grand=3.6667; SSB=3*(2-3.667)²+3*(3-3.667)²+3*(6-3.667)²=26.0
+	// SSW=2+2+2=6; df=(2,6); MSB=13, MSE=1 → F=13.
+	res, err := ANOVA([][]float64{{1, 2, 3}, {2, 3, 4}, {5, 6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.F-13) > 1e-9 {
+		t.Fatalf("F = %v, want 13", res.F)
+	}
+	if !res.Significant(0.05) {
+		t.Fatalf("F=13 with df(2,6) must be significant (p=%v)", res.P)
+	}
+}
+
+func TestANOVAErrors(t *testing.T) {
+	if _, err := ANOVA([][]float64{{1, 2}}); err == nil {
+		t.Fatal("single group accepted")
+	}
+	if _, err := ANOVA([][]float64{{1}, {}}); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := ANOVA([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("no residual degrees of freedom accepted")
+	}
+}
+
+func TestANOVADegenerateVariance(t *testing.T) {
+	// Identical constant groups: F=0, p=1.
+	res, err := ANOVA([][]float64{{2, 2}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Fatalf("identical constant groups: p = %v", res.P)
+	}
+	// Perfectly separated constant groups: p=0.
+	res, err = ANOVA([][]float64{{1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Fatalf("separated constant groups: p = %v", res.P)
+	}
+}
+
+// TestSampleSizePaperValues reproduces §4.4.1: N=200000, e=3%, 95%
+// confidence, p=50% → "at least 1062 participants".
+func TestSampleSizePaperValues(t *testing.T) {
+	n, err := SampleSize(200000, 0.03, Z95, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1062 {
+		t.Fatalf("sample size = %d, want the paper's 1062", n)
+	}
+}
+
+func TestSampleSizeSmallPopulation(t *testing.T) {
+	// Finite-population correction: the sample can never exceed the
+	// population by much, and shrinks as N shrinks.
+	big, _ := SampleSize(200000, 0.03, Z95, 0.5)
+	small, _ := SampleSize(2000, 0.03, Z95, 0.5)
+	if small >= big {
+		t.Fatalf("FPC failed: n(2000)=%d >= n(200000)=%d", small, big)
+	}
+}
+
+func TestSampleSizeErrors(t *testing.T) {
+	if _, err := SampleSize(0, 0.03, Z95, 0.5); err == nil {
+		t.Fatal("population 0 accepted")
+	}
+	if _, err := SampleSize(1000, 0, Z95, 0.5); err == nil {
+		t.Fatal("margin 0 accepted")
+	}
+	if _, err := SampleSize(1000, 0.03, -1, 0.5); err == nil {
+		t.Fatal("negative z accepted")
+	}
+	if _, err := SampleSize(1000, 0.03, Z95, 1); err == nil {
+		t.Fatal("p=1 accepted")
+	}
+}
+
+func TestANOVAResultString(t *testing.T) {
+	r := ANOVAResult{F: 12.345, DF1: 3, DF2: 96, P: 0.001}
+	if got := r.String(); got != "F(3,96) = 12.345, p = 0.001" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,41 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"grouptravel/internal/poi"
+)
+
+// FuzzLoadProfile feeds arbitrary bytes to the profile loader: persisted
+// files may be hand-edited or corrupted, and the loader must fail cleanly
+// (error, never panic) and never return an out-of-range profile.
+func FuzzLoadProfile(f *testing.F) {
+	seeds := []string{
+		`{"version":1,"acco":[0.5,0],"trans":[1,0],"rest":[0.2,0.8],"attr":[0,1]}`,
+		`{"version":999}`,
+		`{"acco":[2]}`,
+		`{]`,
+		``,
+		`null`,
+		`{"version":1,"acco":[1e308,0],"trans":[0,0],"rest":[0,0],"attr":[0,0]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := poi.NewSchema([]string{"a", "b"}, []string{"c", "d"}, []string{"e", "f"}, []string{"g", "h"})
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := LoadProfile(strings.NewReader(s), schema)
+		if err != nil {
+			return // clean failure is the contract
+		}
+		for _, c := range poi.Categories {
+			if !p.Vector(c).InUnitRange() {
+				t.Fatalf("loader accepted out-of-range profile from %q", s)
+			}
+			if len(p.Vector(c)) != schema.Dim(c) {
+				t.Fatalf("loader accepted wrong-dimension profile from %q", s)
+			}
+		}
+	})
+}

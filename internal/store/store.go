@@ -1,0 +1,234 @@
+// Package store persists GroupTravel state — profiles, groups and travel
+// packages — as versioned JSON. The paper's §3.3 motivates it directly:
+// profile refinement exists to "build long-lasting profiles for
+// non-ephemeral groups", which requires profiles that outlive a process,
+// and a group's customized package must be shareable among members.
+//
+// POIs inside a package are stored by id and re-resolved against the city
+// on load, so a package file stays small and never duplicates (or
+// diverges from) the city dataset.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"grouptravel/internal/ci"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/vec"
+)
+
+// Version is the on-disk format version; readers reject newer files.
+const Version = 1
+
+type profileJSON struct {
+	Version int       `json:"version"`
+	Acco    []float64 `json:"acco"`
+	Trans   []float64 `json:"trans"`
+	Rest    []float64 `json:"rest"`
+	Attr    []float64 `json:"attr"`
+}
+
+// SaveProfile writes a profile as JSON.
+func SaveProfile(w io.Writer, p *profile.Profile) error {
+	if p == nil {
+		return fmt.Errorf("store: nil profile")
+	}
+	out := profileJSON{
+		Version: Version,
+		Acco:    p.Vector(poi.Acco),
+		Trans:   p.Vector(poi.Trans),
+		Rest:    p.Vector(poi.Rest),
+		Attr:    p.Vector(poi.Attr),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadProfile reads a profile and validates it against the schema.
+func LoadProfile(r io.Reader, schema *poi.Schema) (*profile.Profile, error) {
+	var in profileJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("store: decode profile: %w", err)
+	}
+	if in.Version > Version {
+		return nil, fmt.Errorf("store: profile format v%d newer than supported v%d", in.Version, Version)
+	}
+	p := profile.New(schema)
+	for cat, v := range map[poi.Category][]float64{
+		poi.Acco: in.Acco, poi.Trans: in.Trans, poi.Rest: in.Rest, poi.Attr: in.Attr,
+	} {
+		if len(v) != schema.Dim(cat) {
+			return nil, fmt.Errorf("store: profile %s dim %d, schema wants %d", cat, len(v), schema.Dim(cat))
+		}
+		if err := p.SetVector(cat, vec.Vector(v)); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+type groupJSON struct {
+	Version int           `json:"version"`
+	Members []profileJSON `json:"members"`
+}
+
+// SaveGroup writes a group's member profiles.
+func SaveGroup(w io.Writer, g *profile.Group) error {
+	if g == nil {
+		return fmt.Errorf("store: nil group")
+	}
+	out := groupJSON{Version: Version}
+	for _, m := range g.Members {
+		out.Members = append(out.Members, profileJSON{
+			Version: Version,
+			Acco:    m.Vector(poi.Acco), Trans: m.Vector(poi.Trans),
+			Rest: m.Vector(poi.Rest), Attr: m.Vector(poi.Attr),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadGroup reads a group against the schema.
+func LoadGroup(r io.Reader, schema *poi.Schema) (*profile.Group, error) {
+	var in groupJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("store: decode group: %w", err)
+	}
+	if in.Version > Version {
+		return nil, fmt.Errorf("store: group format v%d newer than supported v%d", in.Version, Version)
+	}
+	members := make([]*profile.Profile, 0, len(in.Members))
+	for i, mj := range in.Members {
+		p := profile.New(schema)
+		for cat, v := range map[poi.Category][]float64{
+			poi.Acco: mj.Acco, poi.Trans: mj.Trans, poi.Rest: mj.Rest, poi.Attr: mj.Attr,
+		} {
+			if len(v) != schema.Dim(cat) {
+				return nil, fmt.Errorf("store: member %d %s dim %d, schema wants %d", i, cat, len(v), schema.Dim(cat))
+			}
+			if err := p.SetVector(cat, vec.Vector(v)); err != nil {
+				return nil, fmt.Errorf("store: member %d: %w", i, err)
+			}
+		}
+		members = append(members, p)
+	}
+	return profile.NewGroup(schema, members)
+}
+
+type packageJSON struct {
+	Version int          `json:"version"`
+	City    string       `json:"city"`
+	Query   queryJSON    `json:"query"`
+	Group   *profileJSON `json:"group,omitempty"`
+	CIs     []ciJSON     `json:"cis"`
+	ObjVal  float64      `json:"objective"`
+}
+
+type queryJSON struct {
+	Acco, Trans, Rest, Attr int
+	Budget                  float64 // <= 0 encodes "unlimited"
+}
+
+type ciJSON struct {
+	Centroid geo.Point `json:"centroid"`
+	ItemIDs  []int     `json:"items"`
+}
+
+// SavePackage writes a travel package. POIs are referenced by id.
+func SavePackage(w io.Writer, tp *core.TravelPackage) error {
+	if tp == nil {
+		return fmt.Errorf("store: nil package")
+	}
+	out := packageJSON{
+		Version: Version,
+		City:    tp.City,
+		ObjVal:  tp.ObjVal,
+		Query: queryJSON{
+			Acco: tp.Query.Counts[poi.Acco], Trans: tp.Query.Counts[poi.Trans],
+			Rest: tp.Query.Counts[poi.Rest], Attr: tp.Query.Counts[poi.Attr],
+		},
+	}
+	if !tp.Query.Unbounded() {
+		out.Query.Budget = tp.Query.Budget
+	}
+	if tp.Group != nil {
+		out.Group = &profileJSON{
+			Version: Version,
+			Acco:    tp.Group.Vector(poi.Acco), Trans: tp.Group.Vector(poi.Trans),
+			Rest: tp.Group.Vector(poi.Rest), Attr: tp.Group.Vector(poi.Attr),
+		}
+	}
+	for _, c := range tp.CIs {
+		cj := ciJSON{Centroid: c.Centroid}
+		for _, it := range c.Items {
+			cj.ItemIDs = append(cj.ItemIDs, it.ID)
+		}
+		out.CIs = append(out.CIs, cj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadPackage reads a package and resolves its POIs against the city. The
+// city must be the same dataset the package was built on (name and all
+// referenced ids must match).
+func LoadPackage(r io.Reader, city *dataset.City) (*core.TravelPackage, error) {
+	if city == nil || city.POIs == nil {
+		return nil, fmt.Errorf("store: nil city")
+	}
+	var in packageJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("store: decode package: %w", err)
+	}
+	if in.Version > Version {
+		return nil, fmt.Errorf("store: package format v%d newer than supported v%d", in.Version, Version)
+	}
+	if in.City != city.Name {
+		return nil, fmt.Errorf("store: package was built on %q, got city %q", in.City, city.Name)
+	}
+	budget := in.Query.Budget
+	if budget <= 0 {
+		budget = math.Inf(1)
+	}
+	q, err := query.New(in.Query.Acco, in.Query.Trans, in.Query.Rest, in.Query.Attr, budget)
+	if err != nil {
+		return nil, err
+	}
+	tp := &core.TravelPackage{Query: q, City: in.City, ObjVal: in.ObjVal}
+	if in.Group != nil {
+		buf, err := json.Marshal(in.Group)
+		if err != nil {
+			return nil, err
+		}
+		gp, err := LoadProfile(bytes.NewReader(buf), city.Schema)
+		if err != nil {
+			return nil, err
+		}
+		tp.Group = gp
+	}
+	for i, cj := range in.CIs {
+		c := &ci.CI{Centroid: cj.Centroid}
+		for _, id := range cj.ItemIDs {
+			p := city.POIs.ByID(id)
+			if p == nil {
+				return nil, fmt.Errorf("store: CI %d references unknown POI %d", i, id)
+			}
+			c.Items = append(c.Items, p)
+		}
+		tp.CIs = append(tp.CIs, c)
+	}
+	return tp, nil
+}

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/rng"
+	"grouptravel/internal/vec"
+)
+
+var storeCity *dataset.City
+
+func city(t *testing.T) *dataset.City {
+	t.Helper()
+	if storeCity == nil {
+		c, err := dataset.Generate(dataset.TestSpec("StoreCity", 81))
+		if err != nil {
+			t.Fatal(err)
+		}
+		storeCity = c
+	}
+	return storeCity
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	c := city(t)
+	p := profile.GenerateRandomProfile(c.Schema, rng.New(1))
+	var buf bytes.Buffer
+	if err := SaveProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadProfile(&buf, c.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range poi.Categories {
+		if !vec.Equal(p.Vector(cat), q.Vector(cat), 1e-12) {
+			t.Fatalf("%s changed in round trip", cat)
+		}
+	}
+}
+
+func TestProfileLoadRejectsWrongSchema(t *testing.T) {
+	c := city(t)
+	p := profile.GenerateRandomProfile(c.Schema, rng.New(2))
+	var buf bytes.Buffer
+	if err := SaveProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	tiny := poi.NewSchema([]string{"a"}, []string{"b"}, []string{"c"}, []string{"d"})
+	if _, err := LoadProfile(&buf, tiny); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestProfileLoadRejectsGarbageAndFutureVersion(t *testing.T) {
+	c := city(t)
+	if _, err := LoadProfile(strings.NewReader("{bad"), c.Schema); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	future := `{"version": 999, "acco": [], "trans": [], "rest": [], "attr": []}`
+	if _, err := LoadProfile(strings.NewReader(future), c.Schema); err == nil {
+		t.Fatal("future version accepted")
+	}
+	// Out-of-range values must be rejected by SetVector validation.
+	bad := `{"version":1,"acco":[2,0,0,0,0,0,0,0],"trans":[0,0,0,0,0,0,0,0],"rest":[0,0,0,0,0,0],"attr":[0,0,0,0,0,0]}`
+	if _, err := LoadProfile(strings.NewReader(bad), c.Schema); err == nil {
+		t.Fatal("out-of-range component accepted")
+	}
+}
+
+func TestGroupRoundTrip(t *testing.T) {
+	c := city(t)
+	g, err := profile.GenerateUniformGroup(c.Schema, 4, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveGroup(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGroup(&buf, c.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Size() != g.Size() {
+		t.Fatalf("size %d -> %d", g.Size(), g2.Size())
+	}
+	if math.Abs(g2.Uniformity()-g.Uniformity()) > 1e-12 {
+		t.Fatal("uniformity changed in round trip")
+	}
+	for i := range g.Members {
+		if !vec.Equal(g.Members[i].Concat(), g2.Members[i].Concat(), 1e-12) {
+			t.Fatalf("member %d changed", i)
+		}
+	}
+}
+
+func TestPackageRoundTrip(t *testing.T) {
+	c := city(t)
+	e, err := core.NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := profile.GenerateUniformGroup(c.Schema, 4, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := consensus.GroupProfile(g, consensus.PairwiseDis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := e.Build(gp, query.MustNew(1, 1, 1, 3, 9), core.DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SavePackage(&buf, tp); err != nil {
+		t.Fatal(err)
+	}
+	tp2, err := LoadPackage(&buf, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp2.City != tp.City || len(tp2.CIs) != len(tp.CIs) {
+		t.Fatal("identity lost")
+	}
+	if tp2.Query != tp.Query {
+		t.Fatalf("query changed: %v -> %v", tp.Query, tp2.Query)
+	}
+	if !tp2.Valid() {
+		t.Fatal("loaded package invalid")
+	}
+	for j := range tp.CIs {
+		if tp.CIs[j].Centroid != tp2.CIs[j].Centroid {
+			t.Fatalf("CI %d centroid changed", j)
+		}
+		for i := range tp.CIs[j].Items {
+			if tp.CIs[j].Items[i].ID != tp2.CIs[j].Items[i].ID {
+				t.Fatalf("CI %d item %d changed", j, i)
+			}
+		}
+	}
+	// The group profile survives.
+	if tp2.Group == nil {
+		t.Fatal("group profile lost")
+	}
+	for _, cat := range poi.Categories {
+		if !vec.Equal(tp.Group.Vector(cat), tp2.Group.Vector(cat), 1e-12) {
+			t.Fatalf("group profile %s changed", cat)
+		}
+	}
+}
+
+func TestPackageUnboundedBudgetRoundTrip(t *testing.T) {
+	c := city(t)
+	e, _ := core.NewEngine(c)
+	tp, err := e.Build(nil, query.Default(), core.DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SavePackage(&buf, tp); err != nil {
+		t.Fatal(err)
+	}
+	tp2, err := LoadPackage(&buf, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp2.Query.Unbounded() {
+		t.Fatal("unlimited budget not preserved")
+	}
+	if tp2.Group != nil {
+		t.Fatal("nil group became non-nil")
+	}
+}
+
+func TestPackageLoadRejectsWrongCity(t *testing.T) {
+	c := city(t)
+	e, _ := core.NewEngine(c)
+	tp, err := e.Build(nil, query.Default(), core.DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SavePackage(&buf, tp); err != nil {
+		t.Fatal(err)
+	}
+	other, err := dataset.Generate(dataset.TestSpec("OtherCity", 82))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPackage(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("wrong city accepted")
+	}
+}
+
+func TestPackageLoadRejectsUnknownPOI(t *testing.T) {
+	c := city(t)
+	doc := `{"version":1,"city":"StoreCity","query":{"Acco":1,"Trans":0,"Rest":0,"Attr":0,"Budget":0},
+	         "cis":[{"centroid":{"Lat":48.85,"Lon":2.35},"items":[999999]}]}`
+	if _, err := LoadPackage(strings.NewReader(doc), c); err == nil {
+		t.Fatal("unknown POI id accepted")
+	}
+}
+
+func TestNilArguments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveProfile(&buf, nil); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	if err := SaveGroup(&buf, nil); err == nil {
+		t.Fatal("nil group accepted")
+	}
+	if err := SavePackage(&buf, nil); err == nil {
+		t.Fatal("nil package accepted")
+	}
+	if _, err := LoadPackage(strings.NewReader("{}"), nil); err == nil {
+		t.Fatal("nil city accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package tags
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize exercises the tokenizer with arbitrary byte sequences —
+// POI tags arrive from external data (Foursquare text, TourPedia reviews)
+// and must never panic or emit malformed tokens.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"luxury suites cognac champagne bar",
+		"Beer, Wine & Bistro!",
+		"café-crème über straße",
+		"日本語 sushi ラーメン",
+		"", "   ", "a", "NUL and friends", "🎡🎢 park",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if len(tok) < 2 {
+				t.Fatalf("token %q shorter than 2 runes", tok)
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) {
+					t.Fatalf("token %q contains non-letter %q", tok, r)
+				}
+			}
+			// Lowercasing is idempotent (some letters, e.g. U+03D4, have
+			// no lowercase form at all — they pass through unchanged).
+			if strings.ToLower(tok) != tok {
+				t.Fatalf("token %q not case-normalized", tok)
+			}
+		}
+		// Tokenizing twice is stable.
+		again := Tokenize(s)
+		if len(again) != len(toks) {
+			t.Fatal("tokenizer not deterministic")
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// Package tags implements the tag substrate of GroupTravel.
+//
+// In the paper, restaurant and attraction POIs carry free-text tags scraped
+// from Foursquare ("japanese sushi", "beer wine bistro", "art gallery museum
+// library", ...). LDA over those tags yields the latent topics that become
+// the item vectors of restaurants and attractions (§2.2). This package
+// provides the vocabulary/corpus plumbing and the curated tag themes that
+// the synthetic dataset generator draws from — so the end-to-end pipeline
+// (tags → LDA → topic vectors → personalization) exercises exactly the same
+// code path as the paper's Foursquare data.
+package tags
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Vocabulary is a bidirectional word <-> id mapping. The zero value is
+// ready to use.
+type Vocabulary struct {
+	words []string
+	index map[string]int
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{index: make(map[string]int)}
+}
+
+// ID returns the id for word, adding it if unseen.
+func (v *Vocabulary) ID(word string) int {
+	if v.index == nil {
+		v.index = make(map[string]int)
+	}
+	if id, ok := v.index[word]; ok {
+		return id
+	}
+	id := len(v.words)
+	v.words = append(v.words, word)
+	v.index[word] = id
+	return id
+}
+
+// Lookup returns the id for word and whether it is known.
+func (v *Vocabulary) Lookup(word string) (int, bool) {
+	id, ok := v.index[word]
+	return id, ok
+}
+
+// Word returns the word for id. It panics on an out-of-range id.
+func (v *Vocabulary) Word(id int) string { return v.words[id] }
+
+// Len returns the vocabulary size.
+func (v *Vocabulary) Len() int { return len(v.words) }
+
+// Words returns a copy of all words in id order.
+func (v *Vocabulary) Words() []string {
+	out := make([]string, len(v.words))
+	copy(out, v.words)
+	return out
+}
+
+// Tokenize lowercases s and splits it into alphabetic tokens, dropping
+// anything shorter than two runes. Foursquare tags arrive as loose strings
+// ("luxury suites cognac champagne bar"); this mirrors the minimal cleanup
+// the paper's pipeline needs.
+func Tokenize(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() >= 2 {
+			out = append(out, b.String())
+		}
+		b.Reset()
+	}
+	for _, r := range strings.ToLower(s) {
+		if unicode.IsLetter(r) {
+			b.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Document is a bag of word ids (duplicates allowed — LDA needs counts).
+type Document []int
+
+// Corpus is a set of documents over a shared vocabulary.
+type Corpus struct {
+	Vocab *Vocabulary
+	Docs  []Document
+}
+
+// NewCorpus returns an empty corpus with a fresh vocabulary.
+func NewCorpus() *Corpus {
+	return &Corpus{Vocab: NewVocabulary()}
+}
+
+// AddText tokenizes raw tag text into a document and appends it,
+// returning the document index. Empty documents are still appended so that
+// document indices stay aligned with POI indices.
+func (c *Corpus) AddText(text string) int {
+	toks := Tokenize(text)
+	doc := make(Document, 0, len(toks))
+	for _, tok := range toks {
+		doc = append(doc, c.Vocab.ID(tok))
+	}
+	c.Docs = append(c.Docs, doc)
+	return len(c.Docs) - 1
+}
+
+// Len returns the number of documents.
+func (c *Corpus) Len() int { return len(c.Docs) }
+
+// TokenCount returns the total number of tokens across documents.
+func (c *Corpus) TokenCount() int {
+	n := 0
+	for _, d := range c.Docs {
+		n += len(d)
+	}
+	return n
+}
+
+// Theme is a named pool of related tag words — the ground-truth latent
+// topic the synthetic generator plants and LDA should recover. The paper's
+// examples: "art gallery, museum, library", "garden, park, event hall" for
+// attractions; "Japanese, sushi", "beer, wine, bistro" for restaurants.
+type Theme struct {
+	Name  string
+	Words []string
+}
+
+// RestaurantThemes are the ground-truth restaurant cuisine/ambiance themes.
+// The first words of each theme match the paper's own examples.
+var RestaurantThemes = []Theme{
+	{Name: "japanese", Words: []string{"japanese", "sushi", "ramen", "sake", "tempura", "izakaya", "bento", "wasabi", "miso", "teriyaki"}},
+	{Name: "bistro", Words: []string{"beer", "wine", "bistro", "brasserie", "terrace", "cozy", "casual", "tapas", "cheese", "charcuterie"}},
+	{Name: "french", Words: []string{"french", "gastronomic", "michelin", "foiegras", "escargot", "souffle", "confit", "sommelier", "degustation", "truffle"}},
+	{Name: "cafe", Words: []string{"cafe", "coffee", "brunch", "croissant", "pastry", "espresso", "bakery", "breakfast", "tea", "crepes"}},
+	{Name: "streetfood", Words: []string{"kebab", "falafel", "burger", "fries", "pizza", "takeaway", "cheap", "quick", "sandwich", "noodles"}},
+	{Name: "vegetarian", Words: []string{"vegetarian", "vegan", "organic", "salad", "healthy", "juice", "glutenfree", "bowl", "smoothie", "plantbased"}},
+}
+
+// AttractionThemes are the ground-truth attraction themes.
+var AttractionThemes = []Theme{
+	{Name: "museum", Words: []string{"art", "gallery", "museum", "library", "exhibition", "contemporary", "sculpture", "painting", "decorative", "heritage"}},
+	{Name: "park", Words: []string{"garden", "park", "eventhall", "green", "picnic", "fountain", "lawn", "botanical", "playground", "pond"}},
+	{Name: "monument", Words: []string{"monument", "cathedral", "church", "tower", "palace", "historic", "architecture", "landmark", "basilica", "arch"}},
+	{Name: "nightlife", Words: []string{"club", "bar", "cabaret", "concert", "music", "dance", "show", "theatre", "jazz", "nightlife"}},
+	{Name: "shopping", Words: []string{"shopping", "boutique", "market", "fashion", "souvenir", "antiques", "mall", "designer", "flea", "vintage"}},
+	{Name: "river", Words: []string{"river", "cruise", "bridge", "quay", "boat", "waterfront", "island", "seine", "embankment", "panorama"}},
+}
+
+// AccommodationTypes are the well-defined accommodation POI types (§2.2:
+// "Hotel, Hostel, Resort for accommodation"; the Foursquare augmentation
+// also yields motels and residence halls).
+var AccommodationTypes = []string{"hotel", "hostel", "motel", "resort", "apartment", "guesthouse", "residencehall", "campsite"}
+
+// TransportationTypes are the well-defined transportation POI types (§2.2:
+// tram/train stations, car rental, bike rental, ...).
+var TransportationTypes = []string{"tramstation", "trainstation", "metrostation", "busstation", "carrental", "bikerental", "taxistand", "ferrydock"}
+
+// ThemeWords flattens the given themes into a single deduplicated,
+// sorted word list (useful to bound LDA vocabularies in tests).
+func ThemeWords(themes []Theme) []string {
+	set := make(map[string]bool)
+	for _, th := range themes {
+		for _, w := range th.Words {
+			set[w] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ThemeIndex returns the index of the theme whose word set best covers the
+// tokens, with the fraction of tokens covered. Used in tests to check LDA
+// topic recovery against the planted themes.
+func ThemeIndex(themes []Theme, tokens []string) (int, float64) {
+	best, bestCover := -1, -1.0
+	for ti, th := range themes {
+		set := make(map[string]bool, len(th.Words))
+		for _, w := range th.Words {
+			set[w] = true
+		}
+		hit := 0
+		for _, tok := range tokens {
+			if set[tok] {
+				hit++
+			}
+		}
+		cover := 0.0
+		if len(tokens) > 0 {
+			cover = float64(hit) / float64(len(tokens))
+		}
+		if cover > bestCover {
+			best, bestCover = ti, cover
+		}
+	}
+	return best, bestCover
+}

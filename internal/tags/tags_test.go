@@ -1,0 +1,175 @@
+package tags
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"luxury suites cognac", []string{"luxury", "suites", "cognac"}},
+		{"Beer, Wine & Bistro!", []string{"beer", "wine", "bistro"}},
+		{"a b cd", []string{"cd"}}, // single-rune tokens dropped
+		{"", nil},
+		{"   ", nil},
+		{"café-crème", []string{"café", "crème"}}, // unicode letters kept
+		{"fixed gear 123", []string{"fixed", "gear"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVocabularyRoundTrip(t *testing.T) {
+	v := NewVocabulary()
+	id1 := v.ID("museum")
+	id2 := v.ID("garden")
+	id3 := v.ID("museum") // repeated word keeps its id
+	if id1 != id3 {
+		t.Fatalf("repeated word changed id: %d vs %d", id1, id3)
+	}
+	if id1 == id2 {
+		t.Fatal("distinct words share an id")
+	}
+	if v.Word(id1) != "museum" || v.Word(id2) != "garden" {
+		t.Fatal("Word() does not invert ID()")
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", v.Len())
+	}
+	if got, ok := v.Lookup("garden"); !ok || got != id2 {
+		t.Fatalf("Lookup(garden) = %d,%v", got, ok)
+	}
+	if _, ok := v.Lookup("unseen"); ok {
+		t.Fatal("Lookup found unseen word")
+	}
+}
+
+func TestVocabularyZeroValue(t *testing.T) {
+	var v Vocabulary
+	if id := v.ID("x"); id != 0 {
+		t.Fatalf("zero-value vocabulary first id = %d", id)
+	}
+}
+
+func TestCorpusAlignment(t *testing.T) {
+	c := NewCorpus()
+	i0 := c.AddText("sushi ramen")
+	i1 := c.AddText("") // empty docs keep indices aligned with POIs
+	i2 := c.AddText("wine bistro wine")
+	if i0 != 0 || i1 != 1 || i2 != 2 {
+		t.Fatalf("indices = %d,%d,%d", i0, i1, i2)
+	}
+	if len(c.Docs[1]) != 0 {
+		t.Fatal("empty text produced a non-empty document")
+	}
+	if len(c.Docs[2]) != 3 {
+		t.Fatalf("duplicates dropped: doc = %v", c.Docs[2])
+	}
+	if c.TokenCount() != 5 {
+		t.Fatalf("TokenCount = %d, want 5", c.TokenCount())
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCorpusSharedVocabulary(t *testing.T) {
+	c := NewCorpus()
+	c.AddText("wine cheese")
+	c.AddText("cheese bread")
+	// "cheese" appears in both docs with the same id.
+	if c.Docs[0][1] != c.Docs[1][0] {
+		t.Fatal("shared word has different ids across documents")
+	}
+	if c.Vocab.Len() != 3 {
+		t.Fatalf("vocab size = %d, want 3", c.Vocab.Len())
+	}
+}
+
+func TestThemesNonOverlappingEnough(t *testing.T) {
+	// Each theme must be distinguishable: no word may appear in more than
+	// two themes of the same category, otherwise LDA recovery is ambiguous.
+	check := func(themes []Theme, label string) {
+		count := make(map[string]int)
+		for _, th := range themes {
+			for _, w := range th.Words {
+				count[w]++
+			}
+		}
+		for w, n := range count {
+			if n > 2 {
+				t.Errorf("%s: word %q appears in %d themes", label, w, n)
+			}
+		}
+	}
+	check(RestaurantThemes, "restaurants")
+	check(AttractionThemes, "attractions")
+}
+
+func TestThemeWordsSortedUnique(t *testing.T) {
+	ws := ThemeWords(RestaurantThemes)
+	for i := 1; i < len(ws); i++ {
+		if ws[i-1] >= ws[i] {
+			t.Fatalf("ThemeWords not strictly sorted at %d: %q >= %q", i, ws[i-1], ws[i])
+		}
+	}
+}
+
+func TestThemeIndex(t *testing.T) {
+	idx, cover := ThemeIndex(RestaurantThemes, []string{"sushi", "ramen", "sake"})
+	if RestaurantThemes[idx].Name != "japanese" {
+		t.Fatalf("ThemeIndex picked %q for sushi tokens", RestaurantThemes[idx].Name)
+	}
+	if cover != 1.0 {
+		t.Fatalf("cover = %v, want 1.0", cover)
+	}
+	idx, _ = ThemeIndex(AttractionThemes, []string{"garden", "park", "fountain"})
+	if AttractionThemes[idx].Name != "park" {
+		t.Fatalf("ThemeIndex picked %q for park tokens", AttractionThemes[idx].Name)
+	}
+}
+
+func TestThemeIndexEmptyTokens(t *testing.T) {
+	idx, cover := ThemeIndex(RestaurantThemes, nil)
+	if idx < 0 || cover != 0 {
+		t.Fatalf("empty tokens: idx=%d cover=%v", idx, cover)
+	}
+}
+
+func TestTokenizePropertyQuick(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if len(tok) < 2 {
+				return false
+			}
+			for _, r := range tok {
+				if r >= 'A' && r <= 'Z' {
+					return false // must be lowercased
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeListsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, lst := range [][]string{AccommodationTypes, TransportationTypes} {
+		for _, ty := range lst {
+			if seen[ty] {
+				t.Fatalf("duplicate POI type %q", ty)
+			}
+			seen[ty] = true
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package tourpedia
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzConvert throws arbitrary JSON at the TourPedia converter — real
+// dumps come from an external service and arrive malformed regularly. The
+// converter must either error or return a fully validated city, never
+// panic.
+func FuzzConvert(f *testing.F) {
+	seeds := []string{
+		`[]`,
+		`[{"id":1,"name":"x","category":"restaurant","subCategory":"sushi","lat":48.85,"lng":2.35,"reviews":"sushi ramen sake"}]`,
+		`[{"id":1,"category":"wormhole","lat":1,"lng":1}]`,
+		`[{"id":1,"category":"poi","lat":999,"lng":-999}]`,
+		`{"not":"an array"}`,
+		`[{"id":1,"name":"blank","category":"accommodation","subCategory":"","lat":48,"lng":2}]`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		city, _, err := Convert(strings.NewReader(s), Options{CityName: "Fuzz", LDAIters: 2, Topics: 2})
+		if err != nil {
+			return
+		}
+		// An accepted dump must produce an indexed, schema-valid city.
+		if city.POIs.Len() == 0 {
+			t.Fatalf("converter returned an empty city without error for %q", s)
+		}
+		for _, p := range city.POIs.All() {
+			if err := city.Schema.Validate(p); err != nil {
+				t.Fatalf("converter emitted invalid POI: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package tourpedia
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"grouptravel/internal/core"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/query"
+	"grouptravel/internal/rng"
+)
+
+// dump fabricates a TourPedia-style JSON array around central Paris with
+// all four categories represented.
+func dump(t *testing.T, extra string) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("[")
+	id := 1000
+	add := func(cat, sub, reviews string, lat, lon float64, n int) {
+		for i := 0; i < n; i++ {
+			if b.Len() > 1 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, `{"id": %d, "name": "Place %d", "category": %q, "subCategory": %q,
+				"lat": %f, "lng": %f, "reviews": %q, "numReviews": %d}`,
+				id, id, cat, sub, lat+0.001*float64(i), lon+0.0013*float64(i), reviews, 10*(i+1))
+			id++
+		}
+	}
+	add("accommodation", "hotel", "", 48.85, 2.33, 6)
+	add("transport", "metro station", "", 48.86, 2.34, 5)
+	add("restaurant", "french", "french bistro wine cheese gastronomic sommelier", 48.855, 2.35, 8)
+	add("restaurant", "japanese", "sushi ramen sake japanese tempura bento", 48.845, 2.32, 8)
+	add("poi", "museum", "museum art gallery exhibition painting sculpture", 48.86, 2.335, 10)
+	add("poi", "park", "garden park fountain picnic botanical green", 48.87, 2.36, 10)
+	if extra != "" {
+		b.WriteString("," + extra)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+func TestConvertBasics(t *testing.T) {
+	city, rep, err := Convert(strings.NewReader(dump(t, "")), Options{CityName: "RealParis", Seed: 1, LDAIters: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Converted != 47 {
+		t.Fatalf("converted %d places", rep.Converted)
+	}
+	counts := city.POIs.CategoryCounts()
+	if counts[poi.Acco] != 6 || counts[poi.Trans] != 5 || counts[poi.Rest] != 16 || counts[poi.Attr] != 20 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Every POI valid under the schema (NewCollection validated already);
+	// spot-check vectors.
+	for _, p := range city.POIs.ByCategory(poi.Rest) {
+		sum := 0.0
+		for _, v := range p.Vector {
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("restaurant vector sums to %v", sum)
+		}
+	}
+	for _, p := range city.POIs.ByCategory(poi.Acco) {
+		if p.Vector.Sum() != 1 {
+			t.Fatalf("accommodation vector not one-hot: %v", p.Vector)
+		}
+		if p.Type != "hotel" {
+			t.Fatalf("subCategory hotel mapped to %q", p.Type)
+		}
+	}
+	// Costs follow log10(1+numReviews).
+	p := city.POIs.ByID(1000)
+	if p == nil || p.Cost <= 1 || p.Cost > 1.05 { // log10(11) ≈ 1.04
+		t.Fatalf("cost from numReviews wrong: %+v", p)
+	}
+}
+
+func TestConvertSkipsBadRecords(t *testing.T) {
+	extra := `{"id": 1, "name": "Mystery", "category": "wormhole", "lat": 48.85, "lng": 2.35},
+		{"id": 2, "name": "Null Island", "category": "poi", "lat": 0, "lng": 0},
+		{"id": 1000, "name": "Duplicate", "category": "poi", "lat": 48.85, "lng": 2.35}`
+	_, rep, err := Convert(strings.NewReader(dump(t, extra)), Options{CityName: "X", Seed: 1, LDAIters: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SkippedCategory != 1 || rep.SkippedCoordinates != 1 || rep.SkippedDuplicate != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "1 duplicates") {
+		t.Fatalf("report string = %q", rep.String())
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	if _, _, err := Convert(strings.NewReader("[]"), Options{CityName: "X"}); err == nil {
+		t.Fatal("empty dump accepted")
+	}
+	if _, _, err := Convert(strings.NewReader("{oops"), Options{CityName: "X"}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, _, err := Convert(strings.NewReader(dump(t, "")), Options{}); err == nil {
+		t.Fatal("missing city name accepted")
+	}
+	// A dump missing a whole category is unusable for GroupTravel queries.
+	onlyRest := `[{"id":1,"name":"r","category":"restaurant","subCategory":"x",
+		"lat":48.85,"lng":2.35,"reviews":"sushi ramen sake"}]`
+	if _, _, err := Convert(strings.NewReader(onlyRest), Options{CityName: "X", LDAIters: 5}); err == nil {
+		t.Fatal("single-category dump accepted")
+	}
+}
+
+func TestConvertedCityBuildsPackages(t *testing.T) {
+	city, _, err := Convert(strings.NewReader(dump(t, "")), Options{CityName: "RealParis", Seed: 2, LDAIters: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(city)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := engine.Build(nil, query.Default(), core.DefaultParams(3))
+	if err != nil {
+		t.Fatalf("converted city cannot build packages: %v", err)
+	}
+	if !tp.Valid() {
+		t.Fatal("package from converted city invalid")
+	}
+}
+
+func TestTypeOfHeuristics(t *testing.T) {
+	src := rng.New(1)
+	if got := typeOf(poi.Acco, "Hotel", src); got != "hotel" {
+		t.Fatalf("Hotel -> %q", got)
+	}
+	if got := typeOf(poi.Trans, "metro station", src); got != "metrostation" {
+		t.Fatalf("metro station -> %q", got)
+	}
+	// A subcategory containing a known type still maps to it.
+	if got := typeOf(poi.Acco, "boutique hostel", src); got != "hostel" {
+		t.Fatalf("boutique hostel -> %q", got)
+	}
+	// Unknown subcategory falls back to a common type, never empty.
+	if got := typeOf(poi.Acco, "spacepod", src); got == "" {
+		t.Fatal("empty type for unknown subcategory")
+	}
+}

@@ -1,0 +1,193 @@
+// Package vec provides the small dense-vector algebra GroupTravel needs:
+// user/group profile vectors, item vectors, and the Cosine similarity used
+// by the personalization term of Eq. 1 and the uniformity measure of §4.1.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense non-negative preference or item vector. All vectors in
+// the paper (profiles ®u, ®g and item vectors ®i) have components in [0,1].
+type Vector []float64
+
+// New returns a zero vector of the given dimension.
+func New(dim int) Vector { return make(Vector, dim) }
+
+// Clone returns a deep copy.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Dot returns the inner product. It panics on dimension mismatch — a
+// mismatch always indicates a category-mixup bug upstream, never valid data.
+func Dot(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dot dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm.
+func (v Vector) Norm() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the component sum.
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Max returns the largest component, or 0 for an empty vector.
+func (v Vector) Max() float64 {
+	m := 0.0
+	for i, x := range v {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Cosine returns the cosine similarity of a and b in [0,1] for non-negative
+// vectors. A zero vector has similarity 0 with everything: this matches the
+// paper's behaviour where a least-misery profile of a fully disagreeing
+// group (all minima zero) personalizes nothing (Table 2 shows P≈0%).
+func Cosine(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Cosine dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := Dot(a, b) / (na * nb)
+	// Guard against floating-point drift outside [−1, 1].
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// Add returns a+b as a new vector.
+func Add(a, b Vector) Vector {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Add dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a−b as a new vector (components may go negative; callers that
+// need the paper's profile-update clamping use ClampNonNegative).
+func Sub(a, b Vector) Vector {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Sub dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Scale returns s·v as a new vector.
+func (v Vector) Scale(s float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = s * v[i]
+	}
+	return out
+}
+
+// ClampNonNegative sets negative components to 0 in place and returns v.
+// §3.3: "if any of the components of the updated vector ®g falls below 0,
+// the value of this component will be set to 0."
+func (v Vector) ClampNonNegative() Vector {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+	return v
+}
+
+// NormalizeSum rescales v in place so components sum to 1, mirroring the
+// paper's profile construction u_j = r_j / Σ r_k. A zero vector is left
+// unchanged. Returns v.
+func (v Vector) NormalizeSum() Vector {
+	s := v.Sum()
+	if s == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return v
+}
+
+// Mean returns the component-wise mean of the vectors. It panics if vs is
+// empty or dimensions differ.
+func Mean(vs []Vector) Vector {
+	if len(vs) == 0 {
+		panic("vec: Mean of empty set")
+	}
+	out := make(Vector, len(vs[0]))
+	for _, v := range vs {
+		if len(v) != len(out) {
+			panic("vec: Mean dimension mismatch")
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	n := float64(len(vs))
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
+// Equal reports component-wise equality within eps.
+func Equal(a, b Vector, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// InUnitRange reports whether all components lie in [0,1].
+func (v Vector) InUnitRange() bool {
+	for _, x := range v {
+		if x < 0 || x > 1 || math.IsNaN(x) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grouptravel/internal/rng"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot(Vector{1, 2, 3}, Vector{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot mismatch did not panic")
+		}
+	}()
+	Dot(Vector{1}, Vector{1, 2})
+}
+
+func TestCosineIdentical(t *testing.T) {
+	v := Vector{0.2, 0.5, 0.3}
+	if c := Cosine(v, v); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("Cosine(v,v) = %v, want 1", c)
+	}
+}
+
+func TestCosineOrthogonal(t *testing.T) {
+	if c := Cosine(Vector{1, 0}, Vector{0, 1}); c != 0 {
+		t.Fatalf("orthogonal cosine = %v, want 0", c)
+	}
+}
+
+func TestCosineZeroVector(t *testing.T) {
+	// The least-misery profile of a fully disagreeing group is all-zero;
+	// the paper's Table 2 reports personalization ≈ 0 there.
+	if c := Cosine(Vector{0, 0, 0}, Vector{1, 2, 3}); c != 0 {
+		t.Fatalf("zero-vector cosine = %v, want 0", c)
+	}
+}
+
+func TestCosineBoundsQuick(t *testing.T) {
+	src := rng.New(1)
+	f := func(_ uint8) bool {
+		dim := 2 + src.Intn(10)
+		a, b := New(dim), New(dim)
+		for i := 0; i < dim; i++ {
+			a[i], b[i] = src.Float64(), src.Float64()
+		}
+		c := Cosine(a, b)
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineScaleInvariant(t *testing.T) {
+	a := Vector{0.3, 0.1, 0.6}
+	b := Vector{0.2, 0.7, 0.1}
+	c1 := Cosine(a, b)
+	c2 := Cosine(a.Scale(7), b.Scale(0.01))
+	if math.Abs(c1-c2) > 1e-12 {
+		t.Fatalf("cosine not scale invariant: %v vs %v", c1, c2)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, b := Vector{1, 2}, Vector{3, 5}
+	if got := Add(a, b); got[0] != 4 || got[1] != 7 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(a, b); got[0] != -2 || got[1] != -3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	// Inputs untouched.
+	if a[0] != 1 || b[0] != 3 {
+		t.Fatal("Add/Sub mutated inputs")
+	}
+}
+
+func TestClampNonNegative(t *testing.T) {
+	v := Vector{0.5, -0.2, 0, -7}
+	v.ClampNonNegative()
+	want := Vector{0.5, 0, 0, 0}
+	if !Equal(v, want, 0) {
+		t.Fatalf("clamped = %v, want %v", v, want)
+	}
+}
+
+func TestNormalizeSum(t *testing.T) {
+	v := Vector{1, 3}
+	v.NormalizeSum()
+	if math.Abs(v[0]-0.25) > 1e-12 || math.Abs(v[1]-0.75) > 1e-12 {
+		t.Fatalf("normalized = %v", v)
+	}
+	z := Vector{0, 0}
+	z.NormalizeSum() // must not NaN
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("zero vector changed: %v", z)
+	}
+}
+
+func TestNormalizeSumPropertyQuick(t *testing.T) {
+	src := rng.New(2)
+	f := func(_ uint8) bool {
+		dim := 1 + src.Intn(12)
+		v := New(dim)
+		for i := range v {
+			v[i] = src.Float64() * 5
+		}
+		if v.Sum() == 0 {
+			return true
+		}
+		v.NormalizeSum()
+		return math.Abs(v.Sum()-1) < 1e-9 && v.InUnitRange()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([]Vector{{1, 2}, {3, 4}})
+	if m[0] != 2 || m[1] != 3 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestMeanPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mean of empty set did not panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Vector{1, 2}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestMaxAndSum(t *testing.T) {
+	v := Vector{0.1, 0.9, 0.4}
+	if v.Max() != 0.9 {
+		t.Fatalf("Max = %v", v.Max())
+	}
+	if math.Abs(v.Sum()-1.4) > 1e-12 {
+		t.Fatalf("Sum = %v", v.Sum())
+	}
+	var empty Vector
+	if empty.Max() != 0 {
+		t.Fatalf("empty Max = %v", empty.Max())
+	}
+}
+
+func TestInUnitRange(t *testing.T) {
+	if !(Vector{0, 0.5, 1}).InUnitRange() {
+		t.Fatal("valid vector rejected")
+	}
+	if (Vector{-0.1}).InUnitRange() || (Vector{1.1}).InUnitRange() || (Vector{math.NaN()}).InUnitRange() {
+		t.Fatal("invalid vector accepted")
+	}
+}
