@@ -1,0 +1,27 @@
+# GroupTravel build/test entry points. `make ci` is what a CI runner (or a
+# reviewer) should run: vet + build + race-enabled tests.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The bench trajectory: package-build scaling, server throughput and the
+# paper-table harness at reduced scale.
+bench:
+	$(GO) test -bench . -benchmem -run XXX .
+
+ci: vet build race

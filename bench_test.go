@@ -11,7 +11,11 @@ package grouptravel
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"grouptravel/internal/consensus"
@@ -22,10 +26,12 @@ import (
 	"grouptravel/internal/geo"
 	"grouptravel/internal/interact"
 	"grouptravel/internal/lda"
+	"grouptravel/internal/poi"
 	"grouptravel/internal/profile"
 	"grouptravel/internal/query"
 	"grouptravel/internal/rng"
 	"grouptravel/internal/route"
+	"grouptravel/internal/server"
 	"grouptravel/internal/sim"
 	"grouptravel/internal/store"
 	"grouptravel/internal/tags"
@@ -350,10 +356,132 @@ func BenchmarkConsensusAblation(b *testing.B) {
 	}
 }
 
+// --- Parallel package construction on one shared engine ---
+//
+// The engine is concurrency-safe: N goroutines hammer one Engine over the
+// 16 distinct clusterings the experiments use. The first pass per
+// clustering misses the singleflight cache, everything after shares it —
+// the benchmark asserts each distinct clustering was computed exactly once.
+
+func BenchmarkBuildPackageParallel1(b *testing.B) { benchBuildParallel(b, 1) }
+func BenchmarkBuildPackageParallel4(b *testing.B) { benchBuildParallel(b, 4) }
+func BenchmarkBuildPackageParallel8(b *testing.B) { benchBuildParallel(b, 8) }
+
+func benchBuildParallel(b *testing.B, goroutines int) {
+	benchSetup(b)
+	engine, err := core.NewEngine(benchCity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the 16 clusterings outside the timer so every variant measures
+	// pure build throughput over a hot cache.
+	const seeds = 16
+	for s := 0; s < seeds; s++ {
+		params := core.DefaultParams(5)
+		params.Seed = int64(s)
+		if _, err := engine.Build(benchGP, query.Default(), params); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if misses := engine.CacheMisses(); misses != seeds {
+		b.Fatalf("cache misses = %d, want %d (each clustering computed exactly once)", misses, seeds)
+	}
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			params := core.DefaultParams(5)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				params.Seed = i % seeds
+				if _, err := engine.Build(benchGP, query.Default(), params); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if misses := engine.CacheMisses(); misses != seeds {
+		b.Fatalf("parallel builds re-clustered: misses = %d, want %d", misses, seeds)
+	}
+}
+
+// --- Server throughput: concurrent package builds over HTTP ---
+
+func BenchmarkServerThroughput(b *testing.B) {
+	benchSetup(b)
+	srv, err := server.New(benchCity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// One group for all requests.
+	ratings := []map[string][]float64{}
+	for m := 0; m < 3; m++ {
+		member := map[string][]float64{}
+		for _, c := range poi.Categories {
+			dim := benchCity.Schema.Dim(c)
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = float64((j + m) % 6)
+			}
+			member[c.String()] = v
+		}
+		ratings = append(ratings, member)
+	}
+	gid := postJSON(b, ts.URL+"/api/groups", map[string]any{"members": ratings}, http.StatusCreated)
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			body := map[string]any{"group": gid, "consensus": "pairwise", "k": 3}
+			postJSON(b, ts.URL+"/api/packages", body, http.StatusCreated)
+		}
+	})
+}
+
+// postJSON posts a JSON body and returns the created resource's id.
+func postJSON(b *testing.B, url string, body any, wantStatus int) int {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		b.Fatalf("%s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	return out.ID
+}
+
 // --- Parallel synthetic experiment scaling ---
+//
+// Workers share one engine (and its cluster cache) per RunTable2 call, so
+// this measures the harness end to end: sequential task generation plus
+// parallel builds over a shared, singleflight-guarded cache.
 
 func BenchmarkTable2Parallel1(b *testing.B) { benchTable2Parallel(b, 1) }
 func BenchmarkTable2Parallel4(b *testing.B) { benchTable2Parallel(b, 4) }
+func BenchmarkTable2Parallel8(b *testing.B) { benchTable2Parallel(b, 8) }
 
 func benchTable2Parallel(b *testing.B, workers int) {
 	benchSetup(b)

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"strings"
 
+	"grouptravel/internal/core"
 	"grouptravel/internal/dataset"
 	"grouptravel/internal/experiments"
 	"grouptravel/internal/poi"
@@ -65,6 +66,41 @@ func main() {
 			}
 		}
 		return false
+	}
+
+	// One concurrency-safe engine per city serves every table the run
+	// touches: clusterings memoized for Table 2 are shared with Tables 3–5
+	// and the ablations. Cities and engines are only materialized for the
+	// tables actually requested (builtin city generation is not free).
+	anyOf := func(names ...string) bool {
+		for _, n := range names {
+			if run(n) {
+				return true
+			}
+		}
+		return false
+	}
+	if anyOf("1", "2", "3", "4", "5", "6", "7", "pcc", "anova", "tension", "ext") {
+		var err error
+		if cfg.City == nil {
+			if cfg.City, err = dataset.BuiltinCity("Paris"); err != nil {
+				fail(err)
+			}
+		}
+		if cfg.Engine, err = core.NewEngine(cfg.City); err != nil {
+			fail(err)
+		}
+	}
+	if anyOf("6", "7") {
+		var err error
+		if cfg.SecondCity == nil {
+			if cfg.SecondCity, err = dataset.BuiltinCity("Barcelona"); err != nil {
+				fail(err)
+			}
+		}
+		if cfg.SecondEngine, err = core.NewEngine(cfg.SecondCity); err != nil {
+			fail(err)
+		}
 	}
 
 	if run("1") {

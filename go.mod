@@ -1,0 +1,3 @@
+module grouptravel
+
+go 1.24

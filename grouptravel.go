@@ -114,7 +114,9 @@ func GenerateCity(spec Spec) (*City, error) { return dataset.Generate(spec) }
 // LoadCity reads a city saved with (*City).SaveJSON.
 func LoadCity(r io.Reader) (*City, error) { return dataset.LoadJSON(r) }
 
-// NewEngine prepares a travel-package engine over a city.
+// NewEngine prepares a travel-package engine over a city. The engine is
+// safe for concurrent use: goroutines share its singleflight cluster
+// cache, so each distinct clustering is computed exactly once.
 func NewEngine(city *City) (*Engine, error) { return core.NewEngine(city) }
 
 // DefaultQuery returns the paper's default ⟨1 acco, 1 trans, 1 rest,

@@ -81,6 +81,14 @@ func (c *CI) Clone() *CI {
 
 // Builder constructs the best valid CI near a centroid. One Builder is
 // reusable across centroids and refinement rounds.
+//
+// A Builder is an immutable configuration: none of its fields are written
+// after construction, and every Build call keeps its working state (the
+// per-category rankings, the current selection, the budget-repair
+// bookkeeping) in a per-call buildState. One Builder therefore serves any
+// number of goroutines concurrently, provided the caller does not mutate
+// its fields or the exclude sets it passes while builds are in flight —
+// core.Engine relies on this to construct a package's CIs in parallel.
 type Builder struct {
 	Coll  *poi.Collection
 	Query query.Query
@@ -126,6 +134,17 @@ type scored struct {
 	score float64
 }
 
+// buildState is the per-call scratch of one Build: candidate rankings, the
+// current selection and the budget-repair bookkeeping. Keeping all mutable
+// state here (never on the Builder) is what makes one Builder safe to share
+// across goroutines.
+type buildState struct {
+	b        *Builder
+	perCat   [poi.NumCategories][]scored
+	selected []scored
+	selIdx   map[int]int // POI id -> index in its category ranking
+}
+
 // Build constructs the best valid CI around mu. exclude (may be nil) lists
 // POI ids that must not be used — the REMOVE customization operator and
 // "generate a new CI avoiding current items" both need it.
@@ -134,12 +153,37 @@ type scored struct {
 // #c_j; if the budget is exceeded, run a swap-repair local search that
 // replaces expensive picks with cheaper candidates at minimal score loss.
 // Returns an error if no valid CI exists (infeasible counts or budget).
+//
+// Build is safe to call from multiple goroutines on one Builder; all
+// working state lives in a per-call buildState.
 func (b *Builder) Build(mu geo.Point, exclude map[int]bool) (*CI, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	// Rank candidates per category.
-	var perCat [poi.NumCategories][]scored
+	st := &buildState{b: b}
+	if err := st.rank(mu, exclude); err != nil {
+		return nil, err
+	}
+	st.selectTop()
+	if !b.Query.Unbounded() {
+		if err := st.repairBudget(); err != nil {
+			return nil, err
+		}
+	}
+	items := make([]*poi.POI, len(st.selected))
+	for i, s := range st.selected {
+		items[i] = s.item
+	}
+	out := &CI{Items: items, Centroid: mu}
+	if err := b.Query.CheckCI(out.Items); err != nil {
+		return nil, fmt.Errorf("ci: construction produced invalid CI: %w", err)
+	}
+	return out, nil
+}
+
+// rank scores and orders the candidates of every requested category.
+func (st *buildState) rank(mu geo.Point, exclude map[int]bool) error {
+	b := st.b
 	for _, cat := range poi.Categories {
 		want := b.Query.Counts[cat]
 		if want == 0 {
@@ -154,7 +198,7 @@ func (b *Builder) Build(mu geo.Point, exclude map[int]bool) (*CI, error) {
 			list = append(list, scored{it, b.Score(it, mu)})
 		}
 		if len(list) < want {
-			return nil, fmt.Errorf("ci: only %d available %s POIs, query wants %d",
+			return fmt.Errorf("ci: only %d available %s POIs, query wants %d",
 				len(list), cat, want)
 		}
 		sort.Slice(list, func(i, j int) bool {
@@ -163,53 +207,40 @@ func (b *Builder) Build(mu geo.Point, exclude map[int]bool) (*CI, error) {
 			}
 			return list[i].item.ID < list[j].item.ID
 		})
-		perCat[cat] = list
+		st.perCat[cat] = list
 	}
+	return nil
+}
 
-	// Greedy top-k per category.
-	selected := make([]scored, 0, b.Query.Size())
-	selIdx := make(map[int]int) // POI id -> index in its category ranking
+// selectTop takes the greedy top-k of each category's ranking.
+func (st *buildState) selectTop() {
+	b := st.b
+	st.selected = make([]scored, 0, b.Query.Size())
+	st.selIdx = make(map[int]int)
 	for _, cat := range poi.Categories {
 		for i := 0; i < b.Query.Counts[cat]; i++ {
-			s := perCat[cat][i]
-			selected = append(selected, s)
-			selIdx[s.item.ID] = i
+			s := st.perCat[cat][i]
+			st.selected = append(st.selected, s)
+			st.selIdx[s.item.ID] = i
 		}
 	}
-
-	if !b.Query.Unbounded() {
-		var err error
-		selected, err = b.repairBudget(selected, perCat, selIdx)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	items := make([]*poi.POI, len(selected))
-	for i, s := range selected {
-		items[i] = s.item
-	}
-	out := &CI{Items: items, Centroid: mu}
-	if err := b.Query.CheckCI(out.Items); err != nil {
-		return nil, fmt.Errorf("ci: construction produced invalid CI: %w", err)
-	}
-	return out, nil
 }
 
 // repairBudget swaps selected items for cheaper same-category candidates
 // until the budget holds, minimizing score loss per unit of cost saved.
-func (b *Builder) repairBudget(selected []scored, perCat [poi.NumCategories][]scored, selIdx map[int]int) ([]scored, error) {
+func (st *buildState) repairBudget() error {
+	b := st.b
 	cost := 0.0
-	for _, s := range selected {
+	for _, s := range st.selected {
 		cost += s.item.Cost
 	}
 	for cost > b.Query.Budget {
 		bestSel, bestCand := -1, -1
 		bestRatio := 0.0
-		for si, s := range selected {
+		for si, s := range st.selected {
 			cat := s.item.Cat
-			for ci, cand := range perCat[cat] {
-				if _, taken := selIdx[cand.item.ID]; taken {
+			for ci, cand := range st.perCat[cat] {
+				if _, taken := st.selIdx[cand.item.ID]; taken {
 					continue
 				}
 				saving := s.item.Cost - cand.item.Cost
@@ -224,30 +255,31 @@ func (b *Builder) repairBudget(selected []scored, perCat [poi.NumCategories][]sc
 			}
 		}
 		if bestSel == -1 {
-			return nil, fmt.Errorf("ci: no valid CI within budget %.3f (cheapest selection costs %.3f)",
-				b.Query.Budget, b.cheapestCost(perCat))
+			return fmt.Errorf("ci: no valid CI within budget %.3f (cheapest selection costs %.3f)",
+				b.Query.Budget, st.cheapestCost())
 		}
-		old := selected[bestSel]
-		neu := perCat[old.item.Cat][bestCand]
-		delete(selIdx, old.item.ID)
-		selIdx[neu.item.ID] = bestCand
+		old := st.selected[bestSel]
+		neu := st.perCat[old.item.Cat][bestCand]
+		delete(st.selIdx, old.item.ID)
+		st.selIdx[neu.item.ID] = bestCand
 		cost += neu.item.Cost - old.item.Cost
-		selected[bestSel] = neu
+		st.selected[bestSel] = neu
 	}
-	return selected, nil
+	return nil
 }
 
 // cheapestCost returns the minimum achievable CI cost — used only for the
 // infeasibility error message.
-func (b *Builder) cheapestCost(perCat [poi.NumCategories][]scored) float64 {
+func (st *buildState) cheapestCost() float64 {
+	b := st.b
 	total := 0.0
 	for _, cat := range poi.Categories {
 		want := b.Query.Counts[cat]
 		if want == 0 {
 			continue
 		}
-		costs := make([]float64, len(perCat[cat]))
-		for i, s := range perCat[cat] {
+		costs := make([]float64, len(st.perCat[cat]))
+		for i, s := range st.perCat[cat] {
 			costs[i] = s.item.Cost
 		}
 		sort.Float64s(costs)

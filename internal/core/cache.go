@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"grouptravel/internal/fuzzy"
+	"grouptravel/internal/geo"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/query"
+)
+
+// maskBits is the capacity of clusterKey.catsMask: category indices must be
+// < maskBits to be encodable. The compile-time guard below breaks the build
+// if poi.NumCategories ever outgrows the mask, and catsMask bounds-checks at
+// runtime as a second line of defense, so distinct queries can never
+// silently collide on one cache key.
+const maskBits = 32
+
+var _ [maskBits - poi.NumCategories]struct{}
+
+// clusterKey identifies a memoizable clustering run: the clustering
+// parameters plus the set of POI categories the query draws points from.
+type clusterKey struct {
+	k        int
+	m        float64
+	iters    int
+	seed     int64
+	catsMask uint32 // bit c set when the query requests category c (see catsMask)
+}
+
+// shard maps the key onto a cache shard with a cheap mix hash.
+func (k clusterKey) shard() int {
+	h := uint64(k.k) * 0x9e3779b97f4a7c15
+	h ^= uint64(k.seed) * 0xbf58476d1ce4e5b9
+	h ^= uint64(k.iters) * 0x94d049bb133111eb
+	h ^= math.Float64bits(k.m)
+	h ^= uint64(k.catsMask) << 17
+	h ^= h >> 33
+	return int(h % cacheShards)
+}
+
+// catsMask encodes which categories the query requests as a bitmask: bit c
+// is set iff q.Counts[c] > 0. Category indices ≥ maskBits are rejected
+// rather than wrapped, so two different queries can never share a key.
+func catsMask(q query.Query) (uint32, error) {
+	var mask uint32
+	for c, n := range q.Counts {
+		if n == 0 {
+			continue
+		}
+		if c >= maskBits {
+			return 0, fmt.Errorf("core: category index %d does not fit the %d-bit cluster-cache key", c, maskBits)
+		}
+		mask |= 1 << uint(c)
+	}
+	return mask, nil
+}
+
+// cacheShards keeps unrelated keys on unrelated mutexes so concurrent
+// Builds with different parameters rarely contend.
+const cacheShards = 16
+
+// clusterEntry is one memoized clustering run. ready is closed once res,
+// pts and err are final; waiters block on it instead of recomputing.
+type clusterEntry struct {
+	ready chan struct{}
+	res   *fuzzy.Result
+	pts   []geo.Point
+	err   error
+}
+
+type cacheShard struct {
+	mu      sync.RWMutex
+	entries map[clusterKey]*clusterEntry
+}
+
+// clusterCache memoizes fuzzy clustering runs. It is sharded (16 ways, by
+// key hash) and singleflight-guarded: when n goroutines ask for the same
+// key at once, exactly one computes while the rest block on the entry's
+// ready channel and then share the result. Failed computations are evicted
+// so a later call with the same key can retry.
+type clusterCache struct {
+	shards [cacheShards]cacheShard
+	misses atomic.Int64
+}
+
+func newClusterCache() *clusterCache {
+	cc := &clusterCache{}
+	for i := range cc.shards {
+		cc.shards[i].entries = make(map[clusterKey]*clusterEntry)
+	}
+	return cc
+}
+
+// getOrCompute returns the memoized clustering for key, running compute at
+// most once per key no matter how many goroutines arrive concurrently.
+func (cc *clusterCache) getOrCompute(key clusterKey, compute func() (*fuzzy.Result, []geo.Point, error)) (*fuzzy.Result, []geo.Point, error) {
+	sh := &cc.shards[key.shard()]
+	sh.mu.RLock()
+	e, ok := sh.entries[key]
+	sh.mu.RUnlock()
+	if !ok {
+		sh.mu.Lock()
+		e, ok = sh.entries[key]
+		if !ok {
+			e = &clusterEntry{ready: make(chan struct{})}
+			sh.entries[key] = e
+			sh.mu.Unlock()
+			cc.misses.Add(1)
+			// The cleanup runs in a defer so that a panicking compute (like
+			// a failing one) evicts the entry and wakes waiters with an
+			// error instead of leaving them blocked on ready forever; the
+			// panic then propagates to this caller.
+			defer func() {
+				if e.res == nil && e.err == nil {
+					e.err = fmt.Errorf("core: clustering computation for %+v panicked", key)
+				}
+				if e.err != nil {
+					sh.mu.Lock()
+					delete(sh.entries, key)
+					sh.mu.Unlock()
+				}
+				close(e.ready)
+			}()
+			e.res, e.pts, e.err = compute()
+			return e.res, e.pts, e.err
+		}
+		sh.mu.Unlock()
+	}
+	<-e.ready
+	return e.res, e.pts, e.err
+}
+
+// Misses returns how many computations ran (cache misses, including failed
+// ones that were evicted).
+func (cc *clusterCache) Misses() int64 { return cc.misses.Load() }
+
+// len returns the number of memoized entries across all shards.
+func (cc *clusterCache) len() int {
+	n := 0
+	for i := range cc.shards {
+		sh := &cc.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// CacheMisses returns how many distinct clusterings the engine has computed
+// so far — concurrent Builds sharing a key count as one. Experiments use it
+// to verify the cache-sharing contract (each clustering computed exactly
+// once); production deployments can export it as a metric.
+func (e *Engine) CacheMisses() int64 { return e.cache.Misses() }
+
+// CacheSize returns the number of clusterings currently memoized.
+func (e *Engine) CacheSize() int { return e.cache.len() }

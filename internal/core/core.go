@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"grouptravel/internal/ci"
 	"grouptravel/internal/dataset"
@@ -112,26 +113,20 @@ func (tp *TravelPackage) Measure() metrics.Dimensions {
 // category mask and the clustering parameters — not on the group profile —
 // so results are memoized: experiments that build thousands of packages
 // over one city (Table 2 builds 2400) pay for each distinct clustering
-// once. The Engine is not safe for concurrent use.
+// once.
+//
+// The Engine is safe for concurrent use: any number of goroutines may call
+// Build (and the other Build* methods) on one Engine. The cluster memo is
+// sharded and singleflight-guarded — concurrent Builds needing the same
+// clustering block on a single computation and share its result, while
+// Builds needing different clusterings proceed independently. Build is a
+// deterministic function of its inputs, so a concurrent Build returns the
+// same package the sequential path would.
 type Engine struct {
 	city   *dataset.City
 	points []geo.Point // coordinates of all POIs, aligned with city.POIs.All()
 
-	clusterCache map[clusterKey]*clusterEntry
-}
-
-// clusterKey identifies a memoizable clustering run.
-type clusterKey struct {
-	k        int
-	m        float64
-	iters    int
-	seed     int64
-	catsMask uint8 // bit c set when the query requests category c
-}
-
-type clusterEntry struct {
-	res *fuzzy.Result
-	pts []geo.Point
+	cache *clusterCache
 }
 
 // NewEngine prepares an engine over a city dataset.
@@ -142,7 +137,7 @@ func NewEngine(city *dataset.City) (*Engine, error) {
 	if city.POIs.Len() == 0 {
 		return nil, fmt.Errorf("core: city %q has no POIs", city.Name)
 	}
-	e := &Engine{city: city, clusterCache: make(map[clusterKey]*clusterEntry)}
+	e := &Engine{city: city, cache: newClusterCache()}
 	for _, p := range city.POIs.All() {
 		e.points = append(e.points, p.Coord)
 	}
@@ -167,14 +162,19 @@ func (e *Engine) Build(g *profile.Profile, q query.Query, params Params) (*Trave
 	}
 
 	// Cluster the POIs of the requested categories: the centroids must
-	// cover the part of the city the query can actually use.
+	// cover the part of the city the query can actually use. The memo is
+	// singleflight-guarded, so concurrent Builds wanting the same
+	// clustering compute it exactly once and share the result.
 	norm := e.city.POIs.Normalizer()
-	key := clusterKey{k: params.K, m: params.M, iters: params.ClusterIters, seed: params.Seed, catsMask: catsMask(q)}
-	entry, ok := e.clusterCache[key]
-	if !ok {
+	mask, err := catsMask(q)
+	if err != nil {
+		return nil, err
+	}
+	key := clusterKey{k: params.K, m: params.M, iters: params.ClusterIters, seed: params.Seed, catsMask: mask}
+	res, pts, err := e.cache.getOrCompute(key, func() (*fuzzy.Result, []geo.Point, error) {
 		pts := e.relevantPoints(q)
 		if len(pts) < params.K {
-			return nil, fmt.Errorf("core: %d relevant POIs for K = %d", len(pts), params.K)
+			return nil, nil, fmt.Errorf("core: %d relevant POIs for K = %d", len(pts), params.K)
 		}
 		fc := fuzzy.Config{
 			K: params.K, M: params.M,
@@ -182,12 +182,13 @@ func (e *Engine) Build(g *profile.Profile, q query.Query, params Params) (*Trave
 		}
 		res, err := fuzzy.Cluster(pts, norm, fc)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		entry = &clusterEntry{res: res, pts: pts}
-		e.clusterCache[key] = entry
+		return res, pts, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res, pts := entry.res, entry.pts
 
 	builder := &ci.Builder{
 		Coll:  e.city.POIs,
@@ -266,38 +267,72 @@ func itemKey(c *ci.CI) string {
 	return b.String()
 }
 
-// buildAll constructs one CI per centroid. With distinct set, POIs used by
-// earlier CIs are excluded from later ones (greedy sequential allocation).
+// parallelCIThreshold is the package size at which buildAll fans out one
+// goroutine per centroid. At the paper's K = 5 a single CI build is ~20µs:
+// fanning out mostly adds scheduling overhead, and — more important for a
+// loaded server — it lets ONE request monopolize cores that concurrent
+// requests (the engine's primary scaling axis) would use productively.
+// Large packages are where per-centroid work dominates and intra-build
+// parallelism pays; they fan out.
+const parallelCIThreshold = 8
+
+// buildAll constructs one CI per centroid.
+//
+// Without DistinctItems the CIs are independent functions of (builder,
+// centroid) — embarrassingly parallel — so large packages build each
+// centroid's CI on its own goroutine (see parallelCIThreshold); results
+// land at their centroid's index, making the output identical to the
+// sequential order. With distinct set, POIs used by earlier CIs are
+// excluded from later ones: CI j's candidate pool depends on what CIs
+// 0..j−1 took, an inherently ordered greedy allocation, so that path stays
+// sequential (parallelizing it would change which POIs each CI gets).
 func (e *Engine) buildAll(builder *ci.Builder, centroids []geo.Point, distinct bool) ([]*ci.CI, error) {
 	out := make([]*ci.CI, len(centroids))
-	var used map[int]bool
 	if distinct {
-		used = make(map[int]bool)
-	}
-	for j, mu := range centroids {
-		c, err := builder.Build(mu, used)
-		if err != nil {
-			return nil, fmt.Errorf("core: CI %d: %w", j, err)
-		}
-		out[j] = c
-		if distinct {
+		used := make(map[int]bool)
+		for j, mu := range centroids {
+			c, err := builder.Build(mu, used)
+			if err != nil {
+				return nil, fmt.Errorf("core: CI %d: %w", j, err)
+			}
+			out[j] = c
 			for _, it := range c.Items {
 				used[it.ID] = true
 			}
 		}
+		return out, nil
 	}
-	return out, nil
-}
-
-// catsMask encodes which categories the query requests.
-func catsMask(q query.Query) uint8 {
-	var mask uint8
-	for c, n := range q.Counts {
-		if n > 0 {
-			mask |= 1 << uint(c)
+	if len(centroids) < parallelCIThreshold {
+		for j, mu := range centroids {
+			c, err := builder.Build(mu, nil)
+			if err != nil {
+				return nil, fmt.Errorf("core: CI %d: %w", j, err)
+			}
+			out[j] = c
+		}
+		return out, nil
+	}
+	errs := make([]error, len(centroids))
+	var wg sync.WaitGroup
+	for j, mu := range centroids {
+		wg.Add(1)
+		go func(j int, mu geo.Point) {
+			defer wg.Done()
+			c, err := builder.Build(mu, nil)
+			if err != nil {
+				errs[j] = fmt.Errorf("core: CI %d: %w", j, err)
+				return
+			}
+			out[j] = c
+		}(j, mu)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	return mask
+	return out, nil
 }
 
 // relevantPoints returns the coordinates of POIs whose category the query

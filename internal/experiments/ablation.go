@@ -46,7 +46,7 @@ func RunTensionSweep(cfg Config, gammas []float64, groups int) (*TensionReport, 
 	if groups < 1 {
 		return nil, fmt.Errorf("experiments: groups = %d", groups)
 	}
-	engine, err := core.NewEngine(cfg.City)
+	engine, err := cfg.engine()
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +140,7 @@ func RunConsensusAblation(cfg Config) (*ConsensusAblation, error) {
 	if err := cfg.ensureCities(false); err != nil {
 		return nil, err
 	}
-	engine, err := core.NewEngine(cfg.City)
+	engine, err := cfg.engine()
 	if err != nil {
 		return nil, err
 	}

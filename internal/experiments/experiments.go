@@ -45,10 +45,17 @@ type Config struct {
 	// Parallelism is the number of worker goroutines building packages in
 	// the synthetic experiment (0 or 1 = sequential). Results are
 	// bit-identical at any parallelism: all randomness is drawn in a fixed
-	// sequential pass before the builds fan out, and each worker gets its
-	// own Engine (package builds are deterministic functions of their
-	// inputs).
+	// sequential pass before the builds fan out, and package builds are
+	// deterministic functions of their inputs. All workers share one
+	// concurrency-safe Engine, so each distinct clustering is computed
+	// exactly once no matter how many workers need it.
 	Parallelism int
+	// Engine optionally supplies a prebuilt engine over City; nil lets
+	// each Run* construct its own. Passing one engine across runs shares
+	// its cluster cache between them (core.Engine is concurrency-safe).
+	Engine *core.Engine
+	// SecondEngine is the analogue for SecondCity (Tables 6 and 7).
+	SecondEngine *core.Engine
 	// PoolStudy switches the user study (Tables 4-7 group construction) to
 	// the paper's actual §4.4.1 pipeline: a simulated participant pool is
 	// recruited once, and study groups are *formed from the pool* by
@@ -100,20 +107,51 @@ func (c *Config) ensureCities(needSecond bool) error {
 		return err
 	}
 	if c.City == nil {
-		city, err := dataset.BuiltinCity("Paris")
-		if err != nil {
-			return err
+		if c.Engine != nil {
+			c.City = c.Engine.City()
+		} else {
+			city, err := dataset.BuiltinCity("Paris")
+			if err != nil {
+				return err
+			}
+			c.City = city
 		}
-		c.City = city
 	}
 	if needSecond && c.SecondCity == nil {
-		city, err := dataset.BuiltinCity("Barcelona")
-		if err != nil {
-			return err
+		if c.SecondEngine != nil {
+			c.SecondCity = c.SecondEngine.City()
+		} else {
+			city, err := dataset.BuiltinCity("Barcelona")
+			if err != nil {
+				return err
+			}
+			c.SecondCity = city
 		}
-		c.SecondCity = city
 	}
 	return nil
+}
+
+// engine returns the shared engine over City, constructing one when the
+// config does not supply it. Call after ensureCities.
+func (c *Config) engine() (*core.Engine, error) {
+	if c.Engine != nil {
+		if c.Engine.City() != c.City {
+			return nil, fmt.Errorf("experiments: cfg.Engine is over city %q, cfg.City is %q", c.Engine.City().Name, c.City.Name)
+		}
+		return c.Engine, nil
+	}
+	return core.NewEngine(c.City)
+}
+
+// secondEngine is engine for SecondCity.
+func (c *Config) secondEngine() (*core.Engine, error) {
+	if c.SecondEngine != nil {
+		if c.SecondEngine.City() != c.SecondCity {
+			return nil, fmt.Errorf("experiments: cfg.SecondEngine is over city %q, cfg.SecondCity is %q", c.SecondEngine.City().Name, c.SecondCity.Name)
+		}
+		return c.SecondEngine, nil
+	}
+	return core.NewEngine(c.SecondCity)
 }
 
 // GroupClass is one row block of Tables 2–5: a uniformity band and a size

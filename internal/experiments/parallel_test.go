@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"testing"
+
+	"grouptravel/internal/core"
 )
 
 // TestTable2ParallelMatchesSequential verifies the determinism contract:
@@ -42,5 +44,49 @@ func TestTable2ParallelismBeyondTasks(t *testing.T) {
 	cfg.Parallelism = 1000
 	if _, err := RunTable2(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTable2SharedEngineCacheSharing verifies the cache-sharing win of the
+// shared concurrent engine: 8 workers building every package of the run
+// compute each distinct clustering exactly once (Table 2 draws cluster
+// seeds as gi mod 16, so GroupsPerCell=4 means exactly 4 clusterings for
+// hundreds of builds).
+func TestTable2SharedEngineCacheSharing(t *testing.T) {
+	cfg := quickCfg(t)
+	cfg.GroupsPerCell = 4
+	cfg.Parallelism = 8
+	engine, err := core.NewEngine(cfg.City)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = engine
+	if _, err := RunTable2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.CacheMisses(); got != 4 {
+		t.Fatalf("cache misses = %d, want 4 (one per distinct cluster seed)", got)
+	}
+
+	// A second run over the same engine is fully cache-hot.
+	if _, err := RunTable2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.CacheMisses(); got != 4 {
+		t.Fatalf("second run clustered afresh: misses = %d, want 4", got)
+	}
+}
+
+// TestTable2EngineCityMismatch pins the guard against wiring a shared
+// engine to the wrong city.
+func TestTable2EngineCityMismatch(t *testing.T) {
+	cfg := quickCfg(t)
+	engine, err := core.NewEngine(cfg.SecondCity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = engine // over Barcelona, but cfg.City is Paris
+	if _, err := RunTable2(cfg); err == nil {
+		t.Fatal("expected a city/engine mismatch error")
 	}
 }

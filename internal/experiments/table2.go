@@ -102,7 +102,10 @@ func RunTable2(cfg Config) (*Table2Result, error) {
 }
 
 // executeTasks builds every task's package and measures it, preserving
-// task order in the result.
+// task order in the result. All workers share one concurrency-safe engine:
+// its cluster cache is singleflight-guarded, so each distinct clustering
+// is computed exactly once even when several workers reach it
+// simultaneously (the paper's 2400-package Table 2 needs only 16).
 func executeTasks(cfg *Config, tasks []task) ([]run, error) {
 	workers := cfg.Parallelism
 	if workers < 1 {
@@ -111,12 +114,12 @@ func executeTasks(cfg *Config, tasks []task) ([]run, error) {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	engine, err := cfg.engine()
+	if err != nil {
+		return nil, err
+	}
 	runs := make([]run, len(tasks))
 	if workers == 1 {
-		engine, err := core.NewEngine(cfg.City)
-		if err != nil {
-			return nil, err
-		}
 		for i, tk := range tasks {
 			if err := executeOne(engine, tk, &runs[i]); err != nil {
 				return nil, err
@@ -130,11 +133,6 @@ func executeTasks(cfg *Config, tasks []task) ([]run, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			engine, err := core.NewEngine(cfg.City)
-			if err != nil {
-				errs[w] = err
-				return
-			}
 			for i := w; i < len(tasks); i += workers {
 				if err := executeOne(engine, tasks[i], &runs[i]); err != nil {
 					errs[w] = err

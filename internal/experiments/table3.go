@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"grouptravel/internal/consensus"
-	"grouptravel/internal/core"
 	"grouptravel/internal/metrics"
 	"grouptravel/internal/rng"
 )
@@ -29,7 +28,7 @@ func RunTable3(cfg Config) (*Table3Result, error) {
 	if err := cfg.ensureCities(false); err != nil {
 		return nil, err
 	}
-	engine, err := core.NewEngine(cfg.City)
+	engine, err := cfg.engine()
 	if err != nil {
 		return nil, err
 	}

@@ -119,7 +119,7 @@ func RunTables4And5(cfg Config) (*Table4Result, *Table5Result, error) {
 	if err := cfg.ensureCities(false); err != nil {
 		return nil, nil, err
 	}
-	engine, err := core.NewEngine(cfg.City)
+	engine, err := cfg.engine()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -74,11 +74,11 @@ func RunTables6And7(cfg Config) (*Table6Result, *Table7Result, error) {
 	if err := cfg.ensureCities(true); err != nil {
 		return nil, nil, err
 	}
-	parisEngine, err := core.NewEngine(cfg.City)
+	parisEngine, err := cfg.engine()
 	if err != nil {
 		return nil, nil, err
 	}
-	barcaEngine, err := core.NewEngine(cfg.SecondCity)
+	barcaEngine, err := cfg.secondEngine()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -25,11 +25,21 @@
 //
 // The Eq. 1 quantity Σ w^f (1−d) is still provided (Eq1Value) for
 // reporting the objective the paper states.
+//
+// # Concurrency
+//
+// Cluster is a pure function: it never mutates its inputs and shares no
+// state between calls, so any number of clusterings may run concurrently.
+// Within one call the alternating updates are parallelized over a worker
+// pool (Config.Workers) with results bit-identical to the sequential path
+// for a fixed seed — see updateMemberships and updateCentroids for why.
 package fuzzy
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"grouptravel/internal/geo"
 	"grouptravel/internal/rng"
@@ -42,6 +52,14 @@ type Config struct {
 	MaxIters int     // cap on alternating updates
 	Tol      float64 // centroid-movement convergence threshold in km
 	Seed     int64   // seeding of the k-means++-style initialization
+
+	// Workers is the number of goroutines the alternating updates may use:
+	// 0 picks GOMAXPROCS, 1 forces the sequential path. Any value produces
+	// bit-identical results — the membership update is partitioned by
+	// Weights row and the centroid update by cluster, so every float is
+	// accumulated in exactly the order the sequential loops use. Small
+	// inputs run sequentially regardless (goroutine overhead would dominate).
+	Workers int
 }
 
 // DefaultConfig returns the configuration used throughout the
@@ -83,19 +101,46 @@ func Cluster(points []geo.Point, norm geo.Normalizer, cfg Config) (*Result, erro
 		weights[i] = make([]float64, cfg.K)
 	}
 	power := 2 / (cfg.M - 1)
+	workers := cfg.effectiveWorkers(n)
 
 	res := &Result{Centroids: centroids, Weights: weights}
 	for it := 0; it < cfg.MaxIters; it++ {
 		res.Iterations = it + 1
-		updateMemberships(points, centroids, weights, norm, power)
-		moved := updateCentroids(points, centroids, weights, cfg.M)
+		updateMemberships(points, centroids, weights, norm, power, workers)
+		moved := updateCentroids(points, centroids, weights, cfg.M, workers)
 		if moved < cfg.Tol {
 			break
 		}
 	}
 	// Final membership pass against the converged centroids.
-	updateMemberships(points, centroids, weights, norm, power)
+	updateMemberships(points, centroids, weights, norm, power, workers)
 	return res, nil
+}
+
+// minPointsPerWorker gates automatic parallelism: below this many points
+// per goroutine the fan-out overhead dominates the arithmetic it saves.
+const minPointsPerWorker = 512
+
+// effectiveWorkers resolves Config.Workers against the input size. An
+// explicit Workers > 1 is always honored (tests rely on exercising the
+// parallel path on small inputs); the automatic setting (Workers == 0)
+// backs off to sequential when the input is too small to amortize
+// goroutines.
+func (cfg Config) effectiveWorkers(n int) int {
+	w := cfg.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+		if limit := n / minPointsPerWorker; w > limit {
+			w = limit
+		}
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // seedCentroids spreads initial centroids with a k-means++-style farthest-
@@ -127,10 +172,39 @@ func seedCentroids(points []geo.Point, cfg Config) []geo.Point {
 // updateMemberships recomputes the FCM memberships
 // w_ij = 1 / Σ_l (d_ij/d_il)^(2/(m−1)). A point coinciding with one or
 // more centroids splits its membership crisply among those centroids.
-func updateMemberships(points []geo.Point, centroids []geo.Point, weights [][]float64, norm geo.Normalizer, power float64) {
+//
+// The update is row-independent, so with workers > 1 the rows of Weights
+// are partitioned into contiguous chunks, one goroutine each. Every row is
+// computed by exactly the same arithmetic in the same order as the
+// sequential path, so results are bit-identical at any worker count.
+func updateMemberships(points []geo.Point, centroids []geo.Point, weights [][]float64, norm geo.Normalizer, power float64, workers int) {
+	n := len(points)
+	if workers <= 1 {
+		membershipRows(points, centroids, weights, norm, power, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			membershipRows(points, centroids, weights, norm, power, start, end)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// membershipRows updates Weights rows [start, end).
+func membershipRows(points []geo.Point, centroids []geo.Point, weights [][]float64, norm geo.Normalizer, power float64, start, end int) {
 	k := len(centroids)
 	d := make([]float64, k)
-	for i, p := range points {
+	for i := start; i < end; i++ {
+		p := points[i]
 		row := weights[i]
 		zeros := 0
 		for j, c := range centroids {
@@ -171,35 +245,71 @@ func updateMemberships(points []geo.Point, centroids []geo.Point, weights [][]fl
 // updateCentroids moves each centroid to the w^m-weighted mean of the
 // points (the exact FCM update for squared distances), returning the
 // largest movement in km.
-func updateCentroids(points []geo.Point, centroids []geo.Point, weights [][]float64, m float64) float64 {
+//
+// With workers > 1 the clusters are striped across goroutines, each with
+// its own weight scratch. Every cluster's weighted sum still runs over the
+// points in sequential order (parallelism is across clusters, never within
+// one accumulation), so centroids are bit-identical at any worker count;
+// the move reduction is a max, which is order-independent.
+func updateCentroids(points []geo.Point, centroids []geo.Point, weights [][]float64, m float64, workers int) float64 {
 	k := len(centroids)
 	n := len(points)
-	w := make([]float64, n)
+	moves := make([]float64, k)
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		w := make([]float64, n)
+		for j := 0; j < k; j++ {
+			moves[j] = centroidStep(points, centroids, weights, m, w, j)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				w := make([]float64, n)
+				for j := wk; j < k; j += workers {
+					moves[j] = centroidStep(points, centroids, weights, m, w, j)
+				}
+			}(wk)
+		}
+		wg.Wait()
+	}
 	maxMove := 0.0
-	for j := 0; j < k; j++ {
-		total := 0.0
-		if m == 2 {
-			for i := 0; i < n; i++ {
-				x := weights[i][j]
-				w[i] = x * x
-				total += w[i]
-			}
-		} else {
-			for i := 0; i < n; i++ {
-				w[i] = math.Pow(weights[i][j], m)
-				total += w[i]
-			}
+	for _, mv := range moves {
+		if mv > maxMove {
+			maxMove = mv
 		}
-		if total == 0 {
-			continue // dead cluster: leave the centroid where it is
-		}
-		next := geo.Centroid(points, w)
-		if d := geo.Equirectangular(centroids[j], next); d > maxMove {
-			maxMove = d
-		}
-		centroids[j] = next
 	}
 	return maxMove
+}
+
+// centroidStep recomputes centroid j, returning how far it moved in km
+// (0 for a dead cluster, whose centroid stays put).
+func centroidStep(points []geo.Point, centroids []geo.Point, weights [][]float64, m float64, w []float64, j int) float64 {
+	n := len(points)
+	total := 0.0
+	if m == 2 {
+		for i := 0; i < n; i++ {
+			x := weights[i][j]
+			w[i] = x * x
+			total += w[i]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			w[i] = math.Pow(weights[i][j], m)
+			total += w[i]
+		}
+	}
+	if total == 0 {
+		return 0 // dead cluster: leave the centroid where it is
+	}
+	next := geo.Centroid(points, w)
+	d := geo.Equirectangular(centroids[j], next)
+	centroids[j] = next
+	return d
 }
 
 // Objective evaluates the FCM program being minimized:

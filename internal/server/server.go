@@ -5,6 +5,20 @@
 // customization operators are applied through per-package sessions whose
 // logs drive profile refinement.
 //
+// # Concurrency
+//
+// Locking is sharded by entity rather than globalized: a sync.RWMutex
+// guards only the group/package registries (map lookups and id
+// allocation), each group carries its own lock for the memoized consensus
+// profiles, and each package carries its own lock for its customization
+// session. Package builds run on the shared core.Engine outside every
+// lock — the engine is itself concurrency-safe with a singleflight cluster
+// cache — so builds for different groups (and reads of unrelated packages)
+// proceed fully in parallel; only operations on the same package
+// serialize. Lock ordering: the registry lock is never held while taking
+// an entity lock, and entity locks are never held while taking the
+// registry lock, so the hierarchy is flat and deadlock-free.
+//
 // All state is in memory (the store package provides durable formats; a
 // deployment would snapshot through it). Handlers are plain net/http on a
 // ServeMux, constructed by New for use with httptest in tests or
@@ -36,25 +50,55 @@ type Server struct {
 	city   *dataset.City
 	engine *core.Engine
 
-	mu       sync.Mutex
+	// mu guards only the registries and id allocation; per-entity state is
+	// guarded by the entity's own lock (see the package comment).
+	mu       sync.RWMutex
 	groups   map[int]*groupState
 	packages map[int]*packageState
 	nextID   int
 }
 
+// groupState is one registered group. group is immutable after creation;
+// mu guards the consensus-profile memo.
 type groupState struct {
-	group   *profile.Group
-	profile map[string]*profile.Profile // consensus name -> aggregated profile
+	group *profile.Group
+
+	mu       sync.Mutex
+	profiles map[string]*profile.Profile // consensus name -> aggregated profile
 }
 
+// profileFor returns the group's aggregated profile under the named
+// consensus method, memoizing unweighted aggregations (weighted requests
+// are caller-specific and computed fresh).
+func (gs *groupState) profileFor(name string, method consensus.Method, weights []float64) (*profile.Profile, error) {
+	if len(weights) > 0 {
+		return consensus.GroupProfileWeighted(gs.group, method, weights)
+	}
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gp, ok := gs.profiles[name]; ok {
+		return gp, nil
+	}
+	gp, err := consensus.GroupProfile(gs.group, method)
+	if err != nil {
+		return nil, err
+	}
+	gs.profiles[name] = gp
+	return gp, nil
+}
+
+// packageState is one built package; mu serializes access to the
+// customization session (interact.Session is not concurrency-safe).
 type packageState struct {
 	groupID int
 	method  string
+
+	mu      sync.Mutex
 	session *interact.Session
 }
 
-// New builds a server over a city. The engine is shared under the server
-// mutex (core.Engine is not concurrency-safe).
+// New builds a server over a city. The engine is shared by all requests
+// without serialization — core.Engine is safe for concurrent use.
 func New(city *dataset.City) (*Server, error) {
 	engine, err := core.NewEngine(city)
 	if err != nil {
@@ -250,7 +294,7 @@ func (s *Server) handleCreateGroup(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	id := s.nextID
 	s.nextID++
-	s.groups[id] = &groupState{group: g, profile: map[string]*profile.Profile{}}
+	s.groups[id] = &groupState{group: g, profiles: map[string]*profile.Profile{}}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, groupResponse{
 		ID: id, Size: g.Size(), Uniformity: g.Uniformity(), MedianUser: g.MedianUser(),
@@ -262,8 +306,8 @@ func (s *Server) groupByID(idStr string) (*groupState, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("bad group id %q", idStr)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	gs, ok := s.groups[id]
 	if !ok {
 		return nil, 0, fmt.Errorf("group %d not found", id)
@@ -375,19 +419,15 @@ func (s *Server) handleCreatePackage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var gp *profile.Profile
-	if len(req.Weights) > 0 {
-		gp, err = consensus.GroupProfileWeighted(gs.group, method, req.Weights)
-	} else {
-		gp, err = consensus.GroupProfile(gs.group, method)
-	}
+	gp, err := gs.profileFor(strings.ToLower(req.Consensus), method, req.Weights)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// The build runs outside every lock: the engine is concurrency-safe,
+	// so packages for different groups (or different queries) construct in
+	// parallel.
 	tp, err := s.engine.Build(gp, q, core.DefaultParams(k))
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
@@ -398,15 +438,26 @@ func (s *Server) handleCreatePackage(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	id := s.nextID
-	s.nextID++
-	s.packages[id] = &packageState{groupID: req.GroupID, method: strings.ToLower(req.Consensus), session: sess}
-	writeJSON(w, http.StatusCreated, s.packageResponseLocked(id, false))
+	ps := &packageState{groupID: req.GroupID, method: strings.ToLower(req.Consensus), session: sess}
+	id := s.register(ps)
+	ps.mu.Lock()
+	resp := s.renderPackage(id, ps, false)
+	ps.mu.Unlock()
+	writeJSON(w, http.StatusCreated, resp)
 }
 
-// packageResponseLocked renders a package; the caller holds s.mu.
-func (s *Server) packageResponseLocked(id int, routes bool) packageResponse {
-	ps := s.packages[id]
+// register allocates an id for the package under the registry lock.
+func (s *Server) register(ps *packageState) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	s.packages[id] = ps
+	return id
+}
+
+// renderPackage renders a package; the caller holds ps.mu.
+func (s *Server) renderPackage(id int, ps *packageState, routes bool) packageResponse {
 	tp := ps.session.Package()
 	resp := packageResponse{ID: id, City: tp.City, Query: tp.Query.String(), Valid: tp.Valid()}
 	d := tp.Measure()
@@ -441,8 +492,8 @@ func (s *Server) packageByID(idStr string) (*packageState, int, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("bad package id %q", idStr)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ps, ok := s.packages[id]
 	if !ok {
 		return nil, 0, fmt.Errorf("package %d not found", id)
@@ -451,15 +502,15 @@ func (s *Server) packageByID(idStr string) (*packageState, int, error) {
 }
 
 func (s *Server) handleGetPackage(w http.ResponseWriter, r *http.Request) {
-	_, id, err := s.packageByID(r.PathValue("id"))
+	ps, id, err := s.packageByID(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	routes := r.URL.Query().Get("routes") == "1"
-	s.mu.Lock()
-	resp := s.packageResponseLocked(id, routes)
-	s.mu.Unlock()
+	ps.mu.Lock()
+	resp := s.renderPackage(id, ps, routes)
+	ps.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -490,13 +541,17 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	gs := s.groups[ps.groupID]
+	s.mu.RUnlock()
 	if req.Member < 0 || (gs != nil && req.Member >= gs.group.Size()) {
 		writeErr(w, http.StatusBadRequest, "member %d outside the group", req.Member)
 		return
 	}
+	// Session mutations serialize on the package's own lock; operations on
+	// other packages proceed concurrently.
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
 	resp := opResponse{}
 	switch strings.ToLower(req.Op) {
 	case "remove":
@@ -561,9 +616,9 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	gs, ok := s.groups[ps.groupID]
+	s.mu.RUnlock()
 	if !ok {
 		writeErr(w, http.StatusConflict, "group %d no longer exists", ps.groupID)
 		return
@@ -573,9 +628,14 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	// Snapshot the session and compute the refined profile under the
+	// package lock (the log is shared mutable state); the rebuild below
+	// runs on the engine without any lock.
+	ps.mu.Lock()
 	tp := ps.session.Package()
 	base := tp.Group
 	if base == nil {
+		ps.mu.Unlock()
 		writeErr(w, http.StatusUnprocessableEntity, "package was not personalized")
 		return
 	}
@@ -589,20 +649,25 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	case "individual":
 		_, refined, err = interact.RefineIndividual(gs.group, method, ops)
 	default:
+		ps.mu.Unlock()
 		writeErr(w, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
 		return
 	}
+	nOps := len(ops)
+	kFallback := len(tp.CIs)
+	q := tp.Query
+	ps.mu.Unlock()
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	resp := refineResponse{Strategy: strings.ToLower(req.Strategy), Operations: len(ops)}
+	resp := refineResponse{Strategy: strings.ToLower(req.Strategy), Operations: nOps}
 	if req.Rebuild {
 		k := req.K
 		if k == 0 {
-			k = len(tp.CIs)
+			k = kFallback
 		}
-		newTP, err := s.engine.Build(refined, tp.Query, core.DefaultParams(k))
+		newTP, err := s.engine.Build(refined, q, core.DefaultParams(k))
 		if err != nil {
 			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 			return
@@ -612,10 +677,11 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		id := s.nextID
-		s.nextID++
-		s.packages[id] = &packageState{groupID: ps.groupID, method: ps.method, session: sess}
-		pr := s.packageResponseLocked(id, false)
+		nps := &packageState{groupID: ps.groupID, method: ps.method, session: sess}
+		id := s.register(nps)
+		nps.mu.Lock()
+		pr := s.renderPackage(id, nps, false)
+		nps.mu.Unlock()
 		resp.NewPackage = &pr
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -292,7 +292,8 @@ func TestRefineEndpoint(t *testing.T) {
 
 func TestConcurrentRequests(t *testing.T) {
 	// The server must survive concurrent package builds and reads (the
-	// engine is serialized under the server mutex).
+	// shared engine is concurrency-safe; builds run outside the registry
+	// lock and proceed in parallel).
 	ts := testServer(t)
 	gid := createGroup(t, ts, 3)
 	var wg sync.WaitGroup
