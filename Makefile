@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench benchfull ci
 
 all: ci
 
@@ -19,9 +19,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The bench trajectory: package-build scaling, server throughput and the
-# paper-table harness at reduced scale.
+# Smoke check: run every Benchmark* exactly once so the bench harness
+# (package-build scaling, server + multi-city throughput, paper tables)
+# cannot bit-rot unnoticed. `make benchfull` takes real measurements.
 bench:
+	$(GO) test -bench . -benchtime=1x -benchmem -run XXX .
+
+benchfull:
 	$(GO) test -bench . -benchmem -run XXX .
 
 ci: vet build race

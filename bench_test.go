@@ -14,6 +14,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -445,6 +448,85 @@ func BenchmarkServerThroughput(b *testing.B) {
 		for pb.Next() {
 			body := map[string]any{"group": gid, "consensus": "pairwise", "k": 3}
 			postJSON(b, ts.URL+"/api/packages", body, http.StatusCreated)
+		}
+	})
+}
+
+// --- Multi-city throughput: the registry layer under concurrent load ---
+//
+// N cities × concurrent package builds through the /cities tree. Compared
+// with BenchmarkServerThroughput (one city, legacy routes) this measures
+// the registry overhead: city resolution, pinning and per-city state
+// lookup on every request.
+
+var (
+	benchMCOnce   sync.Once
+	benchMCCities []*dataset.City
+	benchMCDir    string
+)
+
+func benchMultiCitySetup(b *testing.B) {
+	b.Helper()
+	benchMCOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "grouptravel-bench-cities-*")
+		if err != nil {
+			panic(err)
+		}
+		for i, name := range []string{"Mc0", "Mc1", "Mc2"} {
+			c, err := dataset.Generate(dataset.TestSpec(name, int64(50+i)))
+			if err != nil {
+				panic(err)
+			}
+			benchMCCities = append(benchMCCities, c)
+			f, err := os.Create(filepath.Join(dir, strings.ToLower(name)+".json"))
+			if err != nil {
+				panic(err)
+			}
+			if err := c.SaveJSON(f); err != nil {
+				panic(err)
+			}
+			f.Close()
+		}
+		benchMCDir = dir
+	})
+}
+
+func BenchmarkMultiCityThroughput(b *testing.B) {
+	benchMultiCitySetup(b)
+	srv, err := server.NewMultiCity(server.Options{DataDir: benchMCDir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// One group per city, registered up front.
+	keys := []string{"mc0", "mc1", "mc2"}
+	gids := make([]int, len(keys))
+	for i, key := range keys {
+		ratings := []map[string][]float64{}
+		for m := 0; m < 3; m++ {
+			member := map[string][]float64{}
+			for _, c := range poi.Categories {
+				dim := benchMCCities[i].Schema.Dim(c)
+				v := make([]float64, dim)
+				for j := range v {
+					v[j] = float64((j + m) % 6)
+				}
+				member[c.String()] = v
+			}
+			ratings = append(ratings, member)
+		}
+		gids[i] = postJSON(b, ts.URL+"/cities/"+key+"/groups", map[string]any{"members": ratings}, http.StatusCreated)
+	}
+
+	b.ResetTimer()
+	var rr atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(rr.Add(1)) % len(keys)
+			body := map[string]any{"group": gids[i], "consensus": "pairwise", "k": 3}
+			postJSON(b, ts.URL+"/cities/"+keys[i]+"/packages", body, http.StatusCreated)
 		}
 	})
 }

@@ -1,25 +1,34 @@
-// Command grouptravel-server serves the GroupTravel HTTP API over one
-// city — the backend a Figure 3 style map GUI would talk to.
+// Command grouptravel-server serves the GroupTravel HTTP API — the backend
+// a Figure 3 style map GUI would talk to. One process serves many cities:
+// requests route to a per-city engine through a city-keyed registry that
+// lazily loads datasets from -data-dir, keeps at most -max-cities resident
+// (LRU-evicted, never mid-request), and persists every city's groups and
+// packages under -snapshot-dir so a restart reconstructs the full state.
 //
 // Usage:
 //
 //	grouptravel-server -city builtin:Paris -addr :8080
-//	grouptravel-server -city paris.json
+//	grouptravel-server -city paris.json -snapshot-dir ./state
+//	grouptravel-server -data-dir ./cities -max-cities 4 -snapshot-dir ./state
 //
 // Endpoints (JSON):
 //
-//	GET  /api/healthz                      liveness + city name
-//	GET  /api/city                         schema, POI counts, bounds
-//	GET  /api/pois?cat=rest&near=48.85,2.35&k=10
-//	POST /api/groups                       {"members":[{"acco":[0-5...],...}]}
-//	GET  /api/groups/{id}
-//	POST /api/packages                     {"group":1,"consensus":"pairwise","k":5,
+//	GET  /healthz                          liveness + per-city engine/registry metrics
+//	GET  /cities                           known cities + residency
+//	GET  /cities/{city}                    schema, POI counts, bounds
+//	GET  /cities/{city}/pois?cat=rest&near=48.85,2.35&k=10
+//	POST /cities/{city}/groups             {"members":[{"acco":[0-5...],...}]}
+//	GET  /cities/{city}/groups/{id}
+//	POST /cities/{city}/packages           {"group":1,"consensus":"pairwise","k":5,
 //	                                        "query":{"Acco":1,...,"Budget":0},
 //	                                        "weights":[2,1,1]}
-//	GET  /api/packages/{id}?routes=1
-//	POST /api/packages/{id}/ops            {"member":0,"op":"remove|add|replace|generate",
+//	GET  /cities/{city}/packages/{id}?routes=1
+//	POST /cities/{city}/packages/{id}/ops  {"member":0,"op":"remove|add|replace|generate",
 //	                                        "ci":0,"poi":42,"rect":{...}}
-//	POST /api/packages/{id}/refine         {"strategy":"batch|individual","rebuild":true}
+//	POST /cities/{city}/packages/{id}/refine  {"strategy":"batch|individual","rebuild":true}
+//
+// The legacy single-city routes (/api/city, /api/pois, /api/groups...,
+// /api/packages...) remain as aliases for the default city.
 package main
 
 import (
@@ -35,19 +44,42 @@ import (
 )
 
 func main() {
-	citySpec := flag.String("city", "builtin:Paris", `city: "builtin:<Name>" or a JSON path`)
+	citySpec := flag.String("city", "", `extra city: "builtin:<Name>" or a JSON path (default builtin:Paris when -data-dir is unset)`)
+	dataDir := flag.String("data-dir", "", "directory of <key>.json city datasets to serve")
+	snapshotDir := flag.String("snapshot-dir", "", "persist per-city groups/packages here (empty: in-memory only)")
+	maxCities := flag.Int("max-cities", 0, "max cities resident at once, LRU-evicted beyond it (0: unlimited)")
+	defaultCity := flag.String("default-city", "", "city key served by the legacy /api routes (default: first key)")
+	cacheCap := flag.Int("cluster-cache-cap", 0, "per-engine cluster cache bound (0: default, <0: unbounded)")
 	addr := flag.String("addr", ":8080", "listen address")
 	flag.Parse()
 
-	city, err := loadCity(*citySpec)
+	opts := server.Options{
+		DataDir:        *dataDir,
+		SnapshotDir:    *snapshotDir,
+		MaxCities:      *maxCities,
+		DefaultCity:    *defaultCity,
+		EngineCacheCap: *cacheCap,
+	}
+	if *citySpec == "" && *dataDir == "" {
+		*citySpec = "builtin:Paris"
+	}
+	if *citySpec != "" {
+		city, err := loadCity(*citySpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Cities = []*dataset.City{city}
+	}
+	srv, err := server.NewMultiCity(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := server.New(city)
-	if err != nil {
-		log.Fatal(err)
+	keys := srv.Registry().Keys()
+	fmt.Printf("grouptravel-server: %d cities %v (default %s) on %s\n",
+		len(keys), keys, srv.DefaultCity(), *addr)
+	if *snapshotDir != "" {
+		fmt.Printf("grouptravel-server: snapshotting state under %s\n", *snapshotDir)
 	}
-	fmt.Printf("grouptravel-server: %s (%d POIs) on %s\n", city.Name, city.POIs.Len(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 

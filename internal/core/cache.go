@@ -63,13 +63,35 @@ func catsMask(q query.Query) (uint32, error) {
 // Builds with different parameters rarely contend.
 const cacheShards = 16
 
+// DefaultCacheCap bounds the cluster cache of a fresh engine. The paper
+// workloads use at most 16 distinct clusterings (one per seed in Table 2),
+// so the default keeps them fully memoized with headroom, while a
+// long-lived server facing adversarial parameter diversity stays bounded.
+// SetCacheCap overrides it; <= 0 means unbounded.
+const DefaultCacheCap = 64
+
 // clusterEntry is one memoized clustering run. ready is closed once res,
 // pts and err are final; waiters block on it instead of recomputing.
+// lastUse is a logical timestamp from the cache's clock, bumped on every
+// hit, that orders entries for LRU eviction.
 type clusterEntry struct {
-	ready chan struct{}
-	res   *fuzzy.Result
-	pts   []geo.Point
-	err   error
+	ready   chan struct{}
+	res     *fuzzy.Result
+	pts     []geo.Point
+	err     error
+	lastUse atomic.Int64
+}
+
+// computing reports whether the entry's computation is still in flight.
+// In-flight entries are never evicted: waiters hold a pointer to them and
+// expect ready to close with a result.
+func (e *clusterEntry) computing() bool {
+	select {
+	case <-e.ready:
+		return false
+	default:
+		return true
+	}
 }
 
 type cacheShard struct {
@@ -82,16 +104,25 @@ type cacheShard struct {
 // key at once, exactly one computes while the rest block on the entry's
 // ready channel and then share the result. Failed computations are evicted
 // so a later call with the same key can retry.
+//
+// The cache is bounded: once the number of memoized entries exceeds cap,
+// the least-recently-used completed entry is evicted (in-flight entries are
+// never victims). Eviction only changes what is memoized, never what a
+// Build returns — an evicted clustering is simply recomputed on next use.
 type clusterCache struct {
-	shards [cacheShards]cacheShard
-	misses atomic.Int64
+	shards    [cacheShards]cacheShard
+	misses    atomic.Int64
+	evictions atomic.Int64
+	clock     atomic.Int64 // logical time for LRU ordering
+	cap       atomic.Int64 // max memoized entries; <= 0 means unbounded
 }
 
-func newClusterCache() *clusterCache {
+func newClusterCache(capacity int) *clusterCache {
 	cc := &clusterCache{}
 	for i := range cc.shards {
 		cc.shards[i].entries = make(map[clusterKey]*clusterEntry)
 	}
+	cc.cap.Store(int64(capacity))
 	return cc
 }
 
@@ -107,6 +138,7 @@ func (cc *clusterCache) getOrCompute(key clusterKey, compute func() (*fuzzy.Resu
 		e, ok = sh.entries[key]
 		if !ok {
 			e = &clusterEntry{ready: make(chan struct{})}
+			e.lastUse.Store(cc.clock.Add(1))
 			sh.entries[key] = e
 			sh.mu.Unlock()
 			cc.misses.Add(1)
@@ -124,27 +156,110 @@ func (cc *clusterCache) getOrCompute(key clusterKey, compute func() (*fuzzy.Resu
 					sh.mu.Unlock()
 				}
 				close(e.ready)
+				if e.err == nil {
+					// Completion counts as a use: without this bump a
+					// long compute (during which hits advanced the clock)
+					// would make the just-finished entry the LRU victim
+					// of its own eviction pass, and a regularly-requested
+					// key could thrash forever at cap.
+					e.lastUse.Store(cc.clock.Add(1))
+					cc.evictToCap()
+				}
 			}()
 			e.res, e.pts, e.err = compute()
 			return e.res, e.pts, e.err
 		}
 		sh.mu.Unlock()
 	}
+	e.lastUse.Store(cc.clock.Add(1))
 	<-e.ready
 	return e.res, e.pts, e.err
+}
+
+// evictToCap removes least-recently-used completed entries until the cache
+// fits its cap again. It runs on the inserting goroutine after a successful
+// compute — by then the clustering itself dominated the cost, so the scan
+// over at most cap+inflight entries is noise. Only one shard lock is held
+// at a time, so eviction never deadlocks with lookups.
+func (cc *clusterCache) evictToCap() {
+	capacity := cc.cap.Load()
+	if capacity <= 0 {
+		return
+	}
+	// Only completed entries count against the cap: in-flight computes are
+	// not yet memoized results, and counting them would make concurrent
+	// distinct builds near the cap evict each other's fresh completions.
+	for cc.completedLen() > int(capacity) {
+		var (
+			victimShard *cacheShard
+			victimKey   clusterKey
+			victimUse   int64 = math.MaxInt64
+		)
+		for i := range cc.shards {
+			sh := &cc.shards[i]
+			sh.mu.RLock()
+			for k, e := range sh.entries {
+				if e.computing() {
+					continue // singleflight waiters depend on this entry
+				}
+				if u := e.lastUse.Load(); u < victimUse {
+					victimUse, victimKey, victimShard = u, k, sh
+				}
+			}
+			sh.mu.RUnlock()
+		}
+		if victimShard == nil {
+			return // everything still computing; nothing evictable yet
+		}
+		victimShard.mu.Lock()
+		// Re-check under the write lock: a hit may have touched the entry
+		// (or another evictor removed it) between scan and delete; if so,
+		// skip and re-scan rather than evicting a now-hot entry.
+		if e, ok := victimShard.entries[victimKey]; ok && e.lastUse.Load() == victimUse {
+			delete(victimShard.entries, victimKey)
+			cc.evictions.Add(1)
+		}
+		victimShard.mu.Unlock()
+	}
+}
+
+// setCap updates the capacity and immediately sheds entries beyond it.
+func (cc *clusterCache) setCap(capacity int) {
+	cc.cap.Store(int64(capacity))
+	cc.evictToCap()
 }
 
 // Misses returns how many computations ran (cache misses, including failed
 // ones that were evicted).
 func (cc *clusterCache) Misses() int64 { return cc.misses.Load() }
 
-// len returns the number of memoized entries across all shards.
+// Evictions returns how many completed entries were evicted to honor cap.
+func (cc *clusterCache) Evictions() int64 { return cc.evictions.Load() }
+
+// len returns the number of entries across all shards, in-flight included.
 func (cc *clusterCache) len() int {
 	n := 0
 	for i := range cc.shards {
 		sh := &cc.shards[i]
 		sh.mu.RLock()
 		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// completedLen counts only completed (memoized) entries — the population
+// the cap governs.
+func (cc *clusterCache) completedLen() int {
+	n := 0
+	for i := range cc.shards {
+		sh := &cc.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			if !e.computing() {
+				n++
+			}
+		}
 		sh.mu.RUnlock()
 	}
 	return n
@@ -158,3 +273,31 @@ func (e *Engine) CacheMisses() int64 { return e.cache.Misses() }
 
 // CacheSize returns the number of clusterings currently memoized.
 func (e *Engine) CacheSize() int { return e.cache.len() }
+
+// CacheEvictions returns how many memoized clusterings were dropped to keep
+// the cache under its cap.
+func (e *Engine) CacheEvictions() int64 { return e.cache.Evictions() }
+
+// SetCacheCap bounds the cluster cache at capacity entries (<= 0 removes
+// the bound). Safe to call concurrently with Builds; excess entries are
+// evicted immediately, least recently used first.
+func (e *Engine) SetCacheCap(capacity int) { e.cache.setCap(capacity) }
+
+// CacheStats is a point-in-time snapshot of the cluster cache, exported by
+// the server's health endpoint.
+type CacheStats struct {
+	Size      int   `json:"size"`
+	Cap       int   `json:"cap"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// CacheStats returns the engine's current cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	return CacheStats{
+		Size:      e.cache.len(),
+		Cap:       int(e.cache.cap.Load()),
+		Misses:    e.cache.Misses(),
+		Evictions: e.cache.Evictions(),
+	}
+}

@@ -58,6 +58,74 @@ func TestClusterCacheReuse(t *testing.T) {
 	}
 }
 
+// TestCacheEvictionLRU pins the bounded-cache contract: beyond the cap the
+// least-recently-used clustering is evicted (hits refresh recency), evicted
+// keys recompute on next use, and results are unaffected throughout.
+func TestCacheEvictionLRU(t *testing.T) {
+	e := engine(t)
+	gp := randomGroupProfile(t, e, 33)
+	e.SetCacheCap(2)
+	build := func(seed int64) {
+		t.Helper()
+		params := DefaultParams(3)
+		params.Seed = seed
+		if _, err := e.Build(gp, query.Default(), params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	build(1) // miss
+	build(2) // miss
+	build(1) // hit: seed 1 is now the most recently used
+	build(3) // miss: evicts seed 2, the LRU entry
+	if got := e.CacheSize(); got != 2 {
+		t.Fatalf("cache size = %d, want 2", got)
+	}
+	if got := e.CacheEvictions(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	misses := e.CacheMisses()
+	build(1) // still memoized: no new miss
+	if got := e.CacheMisses(); got != misses {
+		t.Fatalf("seed 1 was evicted: misses %d -> %d", misses, got)
+	}
+	build(2) // evicted above: must recompute
+	if got := e.CacheMisses(); got != misses+1 {
+		t.Fatalf("seed 2 recompute: misses %d -> %d, want +1", misses, got)
+	}
+}
+
+// TestSetCacheCapShrinks verifies that lowering the cap sheds entries
+// immediately and that cap <= 0 removes the bound.
+func TestSetCacheCapShrinks(t *testing.T) {
+	e := engine(t)
+	gp := randomGroupProfile(t, e, 34)
+	e.SetCacheCap(0) // unbounded
+	params := DefaultParams(3)
+	for s := int64(1); s <= 4; s++ {
+		params.Seed = s
+		if _, err := e.Build(gp, query.Default(), params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.CacheSize(); got != 4 {
+		t.Fatalf("unbounded cache size = %d, want 4", got)
+	}
+	if got := e.CacheEvictions(); got != 0 {
+		t.Fatalf("unbounded cache evicted %d entries", got)
+	}
+	e.SetCacheCap(1)
+	if got := e.CacheSize(); got != 1 {
+		t.Fatalf("after SetCacheCap(1): size = %d", got)
+	}
+	if got := e.CacheEvictions(); got != 3 {
+		t.Fatalf("after SetCacheCap(1): evictions = %d, want 3", got)
+	}
+	st := e.CacheStats()
+	if st.Size != 1 || st.Cap != 1 || st.Evictions != 3 || st.Misses != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
 // TestPartialCategoryQuery checks queries that skip categories entirely.
 func TestPartialCategoryQuery(t *testing.T) {
 	e := engine(t)

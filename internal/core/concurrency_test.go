@@ -132,7 +132,7 @@ func TestCatsMaskEncoding(t *testing.T) {
 // the entry is evicted so later calls retry, and the panic propagates to
 // the computing goroutine.
 func TestClusterCachePanicSafety(t *testing.T) {
-	cc := newClusterCache()
+	cc := newClusterCache(DefaultCacheCap)
 	key := clusterKey{k: 3, m: 2, iters: 10, seed: 1, catsMask: 1}
 
 	computing := make(chan struct{})

@@ -113,7 +113,9 @@ func (tp *TravelPackage) Measure() metrics.Dimensions {
 // category mask and the clustering parameters — not on the group profile —
 // so results are memoized: experiments that build thousands of packages
 // over one city (Table 2 builds 2400) pay for each distinct clustering
-// once.
+// once. The memo is bounded (DefaultCacheCap entries, LRU-evicted; see
+// SetCacheCap) so a long-lived server facing adversarial parameter
+// diversity cannot grow it without limit.
 //
 // The Engine is safe for concurrent use: any number of goroutines may call
 // Build (and the other Build* methods) on one Engine. The cluster memo is
@@ -137,7 +139,7 @@ func NewEngine(city *dataset.City) (*Engine, error) {
 	if city.POIs.Len() == 0 {
 		return nil, fmt.Errorf("core: city %q has no POIs", city.Name)
 	}
-	e := &Engine{city: city, cache: newClusterCache()}
+	e := &Engine{city: city, cache: newClusterCache(DefaultCacheCap)}
 	for _, p := range city.POIs.All() {
 		e.points = append(e.points, p.Coord)
 	}

@@ -49,6 +49,22 @@ func (k OpKind) String() string {
 	}
 }
 
+// ParseOpKind inverts String — used when deserializing persisted logs.
+func ParseOpKind(s string) (OpKind, error) {
+	switch s {
+	case "REMOVE":
+		return OpRemove, nil
+	case "ADD":
+		return OpAdd, nil
+	case "REPLACE":
+		return OpReplace, nil
+	case "GENERATE":
+		return OpGenerate, nil
+	default:
+		return 0, fmt.Errorf("interact: unknown op kind %q", s)
+	}
+}
+
 // Op is one logged interaction. Added and Removed carry the POIs the
 // operation effectively added to / removed from the package — REPLACE logs
 // one of each, GENERATE logs all items of the new CI as added.
@@ -89,6 +105,12 @@ func (s *Session) Package() *core.TravelPackage { return s.tp }
 // Log returns the logged operations in application order (shared slice;
 // do not mutate).
 func (s *Session) Log() []Op { return s.log }
+
+// SetLog replaces the session's interaction log. It exists for restoring a
+// persisted session: the ops were already applied to the package before it
+// was saved, so they are not re-applied — only the log, which drives
+// profile refinement, is reinstated.
+func (s *Session) SetLog(ops []Op) { s.log = append([]Op(nil), ops...) }
 
 // LookupPOI resolves a POI id in the session's city, or nil — useful for
 // moderation policies that inspect a request's target before it applies.

@@ -1,0 +1,377 @@
+// Package registry is the multi-city serving layer between the engine and
+// the HTTP surface: a concurrency-safe, city-keyed registry that lazily
+// loads city datasets, constructs one shared core.Engine (plus arbitrary
+// per-city serving state) per city, and evicts idle cities under a
+// configurable cap so one process can front many more cities than fit in
+// memory at once.
+//
+// # Lifecycle
+//
+// A registry is created over a fixed key set (the cities a data directory
+// can serve). Nothing is loaded up front: the first Acquire of a key runs
+// the Load → NewEngine → NewState pipeline exactly once no matter how many
+// requests arrive concurrently (singleflight — late arrivals block on the
+// first loader and share its result; a failed load is forgotten so the
+// next Acquire retries).
+//
+// Acquire pins the city for the duration of the request; the returned
+// release function unpins it. When the number of loaded cities exceeds
+// MaxCities, the least-recently-used unpinned city is evicted — a pinned
+// city (in-flight builds) is never a victim, so the cap is soft under
+// load: eviction waits rather than failing requests. An evicted city
+// reloads on its next Acquire, which is what makes persistence (snapshot
+// on mutation, reload in NewState) the other half of this subsystem.
+//
+// # Locking
+//
+// One registry mutex guards the key → entry map, pin counts and recency;
+// dataset loading, engine construction and state loading all run outside
+// it. The registry never calls user hooks (Load, NewState, OnEvict) while
+// holding its lock, so hooks may acquire their own locks freely.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+)
+
+// City is one loaded city: the dataset, its shared engine, and the
+// caller-defined serving state built by NewState. All fields are
+// immutable after load; S's own synchronization is S's business.
+type City[S any] struct {
+	Key    string
+	City   *dataset.City
+	Engine *core.Engine
+	State  S
+}
+
+// Options configures a registry over serving state S.
+type Options[S any] struct {
+	// Load returns the dataset for a key. Required. Called outside the
+	// registry lock, at most once per load (singleflight).
+	Load func(key string) (*dataset.City, error)
+
+	// NewState builds the per-city serving state once the dataset and
+	// engine exist — the place to reload persisted groups/packages.
+	// Optional; the zero S is used when nil.
+	NewState func(c *City[S]) (S, error)
+
+	// OnEvict observes a city leaving the registry (after it is already
+	// unreachable). Optional.
+	OnEvict func(c *City[S])
+
+	// Evictable, when set, can veto evicting a specific city (e.g. one
+	// whose state has not been durably persisted). Vetoed cities keep the
+	// cap soft exactly like pinned ones. Called with the registry lock
+	// held: it must be fast and must not call back into the registry.
+	Evictable func(c *City[S]) bool
+
+	// MaxCities caps how many cities stay loaded; <= 0 means unlimited.
+	// The cap is soft: pinned cities are never evicted, so a burst
+	// touching more than MaxCities distinct cities at once loads them
+	// all and sheds back down as pins release.
+	MaxCities int
+
+	// EngineCacheCap overrides the per-engine cluster-cache bound
+	// (core.DefaultCacheCap when 0, unbounded when < 0).
+	EngineCacheCap int
+}
+
+// entry is one slot in the key map. ready is closed when loading finished;
+// city/err are final after that. pins and lastUse are guarded by the
+// registry mutex.
+type entry[S any] struct {
+	ready   chan struct{}
+	city    *City[S]
+	err     error
+	pins    int
+	lastUse int64
+}
+
+// Registry routes city keys to loaded cities. Safe for concurrent use.
+type Registry[S any] struct {
+	opts Options[S]
+	keys []string
+
+	mu        sync.Mutex
+	known     map[string]bool
+	entries   map[string]*entry[S]
+	clock     int64
+	evictions int64
+	loads     int64
+}
+
+// New builds a registry over the given key set.
+func New[S any](keys []string, opts Options[S]) (*Registry[S], error) {
+	if opts.Load == nil {
+		return nil, fmt.Errorf("registry: Load is required")
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("registry: no cities")
+	}
+	r := &Registry[S]{
+		opts:    opts,
+		known:   make(map[string]bool, len(keys)),
+		entries: make(map[string]*entry[S], len(keys)),
+	}
+	for _, k := range keys {
+		if k == "" {
+			return nil, fmt.Errorf("registry: empty city key")
+		}
+		if r.known[k] {
+			return nil, fmt.Errorf("registry: duplicate city key %q", k)
+		}
+		r.known[k] = true
+		r.keys = append(r.keys, k)
+	}
+	sort.Strings(r.keys)
+	return r, nil
+}
+
+// Keys returns all known city keys, sorted.
+func (r *Registry[S]) Keys() []string {
+	out := make([]string, len(r.keys))
+	copy(out, r.keys)
+	return out
+}
+
+// Has reports whether key is servable.
+func (r *Registry[S]) Has(key string) bool { return r.known[key] }
+
+// Acquire returns the loaded city for key, loading it on first use, and
+// pins it against eviction until release is called. Every caller must
+// release exactly once (release is idempotent-unsafe by design: it is a
+// bug to call it twice, and a bug to forget it — pair it with defer).
+func (r *Registry[S]) Acquire(key string) (c *City[S], release func(), err error) {
+	if !r.known[key] {
+		return nil, nil, fmt.Errorf("registry: unknown city %q", key)
+	}
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	if ok {
+		e.pins++
+		r.clock++
+		e.lastUse = r.clock
+		r.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			r.unpin(key, e)
+			return nil, nil, e.err
+		}
+		return e.city, func() { r.unpin(key, e) }, nil
+	}
+	// First toucher loads; the pin taken here keeps the half-built city
+	// from being evicted by a concurrent overflow.
+	e = &entry[S]{ready: make(chan struct{}), pins: 1}
+	r.clock++
+	e.lastUse = r.clock
+	r.entries[key] = e
+	r.loads++
+	r.mu.Unlock()
+
+	e.city, e.err = r.load(key)
+	if e.err != nil {
+		// Forget the failed load so a later Acquire retries; waiters
+		// observe the error through the entry they already hold.
+		r.mu.Lock()
+		delete(r.entries, key)
+		r.mu.Unlock()
+		close(e.ready)
+		return nil, nil, e.err
+	}
+	close(e.ready)
+	r.evictOverCap()
+	return e.city, func() { r.unpin(key, e) }, nil
+}
+
+// load runs the Load → NewEngine → NewState pipeline outside the lock.
+func (r *Registry[S]) load(key string) (*City[S], error) {
+	ds, err := r.opts.Load(key)
+	if err != nil {
+		return nil, fmt.Errorf("registry: load %q: %w", key, err)
+	}
+	engine, err := core.NewEngine(ds)
+	if err != nil {
+		return nil, fmt.Errorf("registry: engine for %q: %w", key, err)
+	}
+	if cap := r.opts.EngineCacheCap; cap != 0 {
+		engine.SetCacheCap(cap)
+	}
+	c := &City[S]{Key: key, City: ds, Engine: engine}
+	if r.opts.NewState != nil {
+		st, err := r.opts.NewState(c)
+		if err != nil {
+			return nil, fmt.Errorf("registry: state for %q: %w", key, err)
+		}
+		c.State = st
+	}
+	return c, nil
+}
+
+// unpin releases one pin and sheds any overflow that had to wait for it.
+// Completing a request counts as a use: without the recency bump, a city
+// whose (slow) request outlived traffic to other cities would carry its
+// stale Acquire-time stamp into the eviction pass below and become the
+// LRU victim the moment it is unpinned — reload thrash for an actively
+// used city (the same completion-counts-as-a-use rule the cluster cache
+// applies when a compute finishes).
+func (r *Registry[S]) unpin(key string, e *entry[S]) {
+	r.mu.Lock()
+	e.pins--
+	if e.pins < 0 {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("registry: release called twice for %q", key))
+	}
+	r.clock++
+	e.lastUse = r.clock
+	r.mu.Unlock()
+	r.evictOverCap()
+}
+
+// evictOverCap evicts least-recently-used unpinned cities until the count
+// fits MaxCities again. Victims' OnEvict hooks run outside the lock.
+func (r *Registry[S]) evictOverCap() {
+	if r.opts.MaxCities <= 0 {
+		return
+	}
+	var victims []*City[S]
+	r.mu.Lock()
+	for len(r.entries) > r.opts.MaxCities {
+		var (
+			victimKey string
+			victim    *entry[S]
+		)
+		for k, e := range r.entries {
+			select {
+			case <-e.ready:
+			default:
+				continue // still loading: its loader holds a pin anyway
+			}
+			if e.pins > 0 || e.err != nil {
+				continue
+			}
+			if r.opts.Evictable != nil && !r.opts.Evictable(e.city) {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			break // everything pinned or vetoed: soft cap, shed later
+		}
+		delete(r.entries, victimKey)
+		r.evictions++
+		victims = append(victims, victim.city)
+	}
+	r.mu.Unlock()
+	if r.opts.OnEvict != nil {
+		for _, c := range victims {
+			r.opts.OnEvict(c)
+		}
+	}
+}
+
+// LoadedCity is one resident city as reported by Stats.
+type LoadedCity struct {
+	Key  string `json:"key"`
+	Pins int    `json:"pins"`
+}
+
+// Stats is a point-in-time view of the registry for health endpoints.
+type Stats struct {
+	Known     int          `json:"known"`
+	Loaded    int          `json:"loaded"`
+	Loads     int64        `json:"loads"`     // load pipelines started (reloads after eviction included)
+	Evictions int64        `json:"evictions"` // cities shed to honor MaxCities
+	MaxCities int          `json:"maxCities"` // 0 = unlimited
+	Cities    []LoadedCity `json:"cities"`
+}
+
+// Stats snapshots the registry counters.
+func (r *Registry[S]) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Stats{
+		Known:     len(r.known),
+		Loaded:    len(r.entries),
+		Loads:     r.loads,
+		Evictions: r.evictions,
+		MaxCities: max(r.opts.MaxCities, 0),
+	}
+	for k, e := range r.entries {
+		st.Cities = append(st.Cities, LoadedCity{Key: k, Pins: e.pins})
+	}
+	sort.Slice(st.Cities, func(i, j int) bool { return st.Cities[i].Key < st.Cities[j].Key })
+	return st
+}
+
+// Loaded reports whether key is currently resident (loaded and not
+// evicted). Mostly for tests and the /cities endpoint.
+func (r *Registry[S]) Loaded(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[key]
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.ready:
+		return e.err == nil
+	default:
+		return false
+	}
+}
+
+// Range calls fn for every resident city without pinning (fn must not
+// retain the city). Used by health reporting to enumerate loaded cities.
+func (r *Registry[S]) Range(fn func(c *City[S])) {
+	r.mu.Lock()
+	cities := make([]*City[S], 0, len(r.entries))
+	for _, e := range r.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				cities = append(cities, e.city)
+			}
+		default:
+		}
+	}
+	r.mu.Unlock()
+	for _, c := range cities {
+		fn(c)
+	}
+}
+
+// WaitIdle blocks until no city is pinned or the timeout elapses; it
+// exists for tests that need eviction to have settled. Because unpin runs
+// its eviction pass after releasing the registry lock, observing zero pins
+// does not mean the releasing goroutine's shed finished — so WaitIdle
+// runs one itself before reporting idle (evictOverCap is idempotent).
+func (r *Registry[S]) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		r.mu.Lock()
+		busy := false
+		for _, e := range r.entries {
+			if e.pins > 0 {
+				busy = true
+				break
+			}
+		}
+		r.mu.Unlock()
+		if !busy {
+			r.evictOverCap()
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,307 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"grouptravel/internal/dataset"
+)
+
+// The registry's contract is about lifecycle, not datasets, so tests share
+// one tiny generated city and hand it out under every key.
+var (
+	regOnce sync.Once
+	regCity *dataset.City
+)
+
+func sharedCity(t testing.TB) *dataset.City {
+	t.Helper()
+	regOnce.Do(func() {
+		c, err := dataset.Generate(dataset.TestSpec("RegistryCity", 61))
+		if err != nil {
+			panic(err)
+		}
+		regCity = c
+	})
+	return regCity
+}
+
+// counterState is the test serving state: it records which key it was
+// built for so tests can see reloads.
+type counterState struct {
+	key  string
+	born int64
+}
+
+func newTestRegistry(t testing.TB, keys []string, maxCities int, loadCount, stateCount *atomic.Int64) *Registry[*counterState] {
+	t.Helper()
+	city := sharedCity(t)
+	r, err := New(keys, Options[*counterState]{
+		Load: func(key string) (*dataset.City, error) {
+			if loadCount != nil {
+				loadCount.Add(1)
+			}
+			return city, nil
+		},
+		NewState: func(c *City[*counterState]) (*counterState, error) {
+			var n int64
+			if stateCount != nil {
+				n = stateCount.Add(1)
+			}
+			return &counterState{key: c.Key, born: n}, nil
+		},
+		MaxCities: maxCities,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestUnknownKeyRejected(t *testing.T) {
+	r := newTestRegistry(t, []string{"paris"}, 0, nil, nil)
+	if _, _, err := r.Acquire("atlantis"); err == nil {
+		t.Fatal("unknown city accepted")
+	}
+}
+
+func TestLazySingleflightLoad(t *testing.T) {
+	var loads, states atomic.Int64
+	r := newTestRegistry(t, []string{"paris", "rome"}, 0, &loads, &states)
+	if loads.Load() != 0 {
+		t.Fatal("registry loaded eagerly")
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, release, err := r.Acquire("paris")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer release()
+			if c.Key != "paris" || c.Engine == nil || c.State.key != "paris" {
+				errs <- fmt.Errorf("bad city: %+v", c)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := loads.Load(); got != 1 {
+		t.Fatalf("%d concurrent acquires ran %d loads, want 1", goroutines, got)
+	}
+	if got := states.Load(); got != 1 {
+		t.Fatalf("state built %d times, want 1", got)
+	}
+	// rome was never touched.
+	if r.Loaded("rome") {
+		t.Fatal("untouched city resident")
+	}
+}
+
+func TestLRUEvictionAndReload(t *testing.T) {
+	var loads atomic.Int64
+	var evicted []string
+	city := sharedCity(t)
+	r, err := New([]string{"a", "b", "c"}, Options[*counterState]{
+		Load: func(key string) (*dataset.City, error) {
+			loads.Add(1)
+			return city, nil
+		},
+		NewState:  func(c *City[*counterState]) (*counterState, error) { return &counterState{key: c.Key}, nil },
+		OnEvict:   func(c *City[*counterState]) { evicted = append(evicted, c.Key) },
+		MaxCities: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	touch := func(key string) {
+		t.Helper()
+		_, release, err := r.Acquire(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	touch("a")
+	touch("b")
+	touch("a") // refresh a's recency: b is now the LRU city
+	touch("c") // overflow: b must go
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", evicted)
+	}
+	if r.Loaded("b") || !r.Loaded("a") || !r.Loaded("c") {
+		t.Fatalf("residency wrong: a=%v b=%v c=%v", r.Loaded("a"), r.Loaded("b"), r.Loaded("c"))
+	}
+	st := r.Stats()
+	if st.Loaded != 2 || st.Evictions != 1 || st.Known != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The evicted city reloads transparently on next use.
+	before := loads.Load()
+	touch("b")
+	if loads.Load() != before+1 {
+		t.Fatal("evicted city did not reload")
+	}
+}
+
+func TestPinnedCityNeverEvicted(t *testing.T) {
+	r := newTestRegistry(t, []string{"a", "b", "c"}, 1, nil, nil)
+	_, releaseA, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a is pinned: acquiring b and c overflows the cap of 1, but a must
+	// survive, and the in-flight b/c acquisitions must not fail.
+	_, releaseB, err := r.Acquire("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Loaded("a") {
+		t.Fatal("pinned city evicted by overflow")
+	}
+	releaseB() // b unpinned and LRU against pinned a: b is shed
+	if r.Loaded("b") {
+		t.Fatal("unpinned overflow not shed")
+	}
+	if !r.Loaded("a") {
+		t.Fatal("pinned city evicted instead of unpinned one")
+	}
+	releaseA()
+	// Now a is unpinned and alone: within cap, stays resident.
+	if !r.Loaded("a") {
+		t.Fatal("city under cap evicted")
+	}
+}
+
+func TestEvictableVeto(t *testing.T) {
+	city := sharedCity(t)
+	dirty := map[string]bool{"a": true} // a's state is not durably persisted
+	var evicted []string
+	r, err := New([]string{"a", "b", "c"}, Options[*counterState]{
+		Load:      func(key string) (*dataset.City, error) { return city, nil },
+		NewState:  func(c *City[*counterState]) (*counterState, error) { return &counterState{key: c.Key}, nil },
+		OnEvict:   func(c *City[*counterState]) { evicted = append(evicted, c.Key) },
+		Evictable: func(c *City[*counterState]) bool { return !dirty[c.Key] },
+		MaxCities: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	touch := func(key string) {
+		t.Helper()
+		_, release, err := r.Acquire(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	touch("a")
+	touch("b") // overflow, but a is vetoed: b (the only evictable city) goes
+	if !r.Loaded("a") {
+		t.Fatalf("vetoed city evicted (evicted=%v)", evicted)
+	}
+	touch("c") // c loads, is evictable, and c/b shed down around the veto
+	if !r.Loaded("a") {
+		t.Fatal("vetoed city evicted on later overflow")
+	}
+	for _, k := range evicted {
+		if k == "a" {
+			t.Fatalf("OnEvict saw vetoed city: %v", evicted)
+		}
+	}
+	// Once the veto clears, a becomes a normal LRU victim.
+	dirty["a"] = false
+	touch("b")
+	if r.Loaded("a") {
+		t.Fatal("cleared veto: a should have been evicted as LRU")
+	}
+}
+
+func TestFailedLoadIsRetried(t *testing.T) {
+	city := sharedCity(t)
+	var calls atomic.Int64
+	r, err := New([]string{"flaky"}, Options[struct{}]{
+		Load: func(key string) (*dataset.City, error) {
+			if calls.Add(1) == 1 {
+				return nil, fmt.Errorf("disk on fire")
+			}
+			return city, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Acquire("flaky"); err == nil {
+		t.Fatal("failed load reported success")
+	}
+	c, release, err := r.Acquire("flaky")
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	release()
+	if c.Engine == nil {
+		t.Fatal("retried city incomplete")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("load called %d times, want 2", got)
+	}
+}
+
+func TestConcurrentAcquireUnderCap(t *testing.T) {
+	keys := []string{"a", "b", "c", "d"}
+	var loads atomic.Int64
+	r := newTestRegistry(t, keys, 2, &loads, nil)
+	const goroutines = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := keys[(g+i)%len(keys)]
+				c, release, err := r.Acquire(key)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", key, err)
+					return
+				}
+				if c.Key != key {
+					errs <- fmt.Errorf("got %q, want %q", c.Key, key)
+					release()
+					return
+				}
+				release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if !r.WaitIdle(time.Second) {
+		t.Fatal("registry never went idle")
+	}
+	st := r.Stats()
+	if st.Loaded > 2 {
+		t.Fatalf("idle registry holds %d cities, cap 2", st.Loaded)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("4 cities through a cap of 2 produced no evictions")
+	}
+	if st.Loads != loads.Load() {
+		t.Fatalf("stats.Loads = %d, counted %d", st.Loads, loads.Load())
+	}
+}

@@ -1,0 +1,281 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"grouptravel/internal/ci"
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/registry"
+	"grouptravel/internal/store"
+)
+
+// cityState is one city's serving state: the group/package registries over
+// the city's shared engine, plus the persistence plumbing.
+type cityState struct {
+	key    string
+	city   *dataset.City
+	engine *core.Engine
+
+	// mu guards only the registries and id allocation; per-entity state is
+	// guarded by the entity's own lock (see the package comment).
+	mu       sync.RWMutex
+	groups   map[int]*groupState
+	packages map[int]*packageState
+	nextID   int
+
+	// snapDir is empty when persistence is off. snapMu serializes snapshot
+	// writes (state collection runs before it, under the usual locks).
+	snapDir  string
+	snapMu   sync.Mutex
+	snapTime atomic.Int64  // unix nanos of the last successful snapshot
+	snapErr  atomic.Value  // last snapshot error string; "" once healthy
+}
+
+// groupState is one registered group. group is immutable after creation;
+// mu guards the consensus-profile memo.
+type groupState struct {
+	group *profile.Group
+
+	mu       sync.Mutex
+	profiles map[string]*profile.Profile // consensus name -> aggregated profile
+}
+
+// profileFor returns the group's aggregated profile under the named
+// consensus method, memoizing unweighted aggregations (weighted requests
+// are caller-specific and computed fresh).
+func (gs *groupState) profileFor(name string, method consensus.Method, weights []float64) (*profile.Profile, error) {
+	if len(weights) > 0 {
+		return consensus.GroupProfileWeighted(gs.group, method, weights)
+	}
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gp, ok := gs.profiles[name]; ok {
+		return gp, nil
+	}
+	gp, err := consensus.GroupProfile(gs.group, method)
+	if err != nil {
+		return nil, err
+	}
+	gs.profiles[name] = gp
+	return gp, nil
+}
+
+// packageState is one built package; mu serializes access to the
+// customization session (interact.Session is not concurrency-safe).
+type packageState struct {
+	groupID int
+	method  string
+
+	mu      sync.Mutex
+	session *interact.Session
+}
+
+// newCityState builds (or, with persistence on, restores) a city's serving
+// state. Called by the registry on first touch and again after eviction.
+func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) {
+	cs := &cityState{
+		key:      c.Key,
+		city:     c.City,
+		engine:   c.Engine,
+		groups:   make(map[int]*groupState),
+		packages: make(map[int]*packageState),
+		nextID:   1,
+		snapDir:  s.snapshotDir,
+	}
+	cs.snapErr.Store("")
+	if cs.snapDir == "" {
+		return cs, nil
+	}
+	st, err := store.ReadSnapshot(cs.snapDir, cs.key, cs.city)
+	if err != nil {
+		// Corruption must not brick the city — start empty, quarantine
+		// the bad file, surface on /healthz. A transient I/O failure is
+		// different: quarantining an intact snapshot would orphan it, so
+		// fail this load instead; the registry forgets failed loads and
+		// the next request retries.
+		var corrupt *store.CorruptSnapshotError
+		if !errors.As(err, &corrupt) {
+			return nil, fmt.Errorf("server: snapshot for %q: %w", cs.key, err)
+		}
+		cs.quarantineSnapshot(err)
+		return cs, nil
+	}
+	if st == nil {
+		return cs, nil // first boot: nothing persisted yet
+	}
+	// The store validates structure against the city; consensus names are
+	// server vocabulary, so check them here — at load, where the failure
+	// lands on /healthz — rather than letting a hand-edited method 500 on
+	// the first /refine.
+	for _, pr := range st.Packages {
+		if _, _, err := methodByName(pr.Method); err != nil {
+			cs.quarantineSnapshot(fmt.Errorf("package %d: %w", pr.ID, err))
+			return cs, nil
+		}
+	}
+	cs.nextID = st.NextID
+	for _, gr := range st.Groups {
+		profiles := gr.Profiles
+		if profiles == nil {
+			profiles = map[string]*profile.Profile{}
+		}
+		cs.groups[gr.ID] = &groupState{group: gr.Group, profiles: profiles}
+	}
+	for _, pr := range st.Packages {
+		sess, err := interact.NewSession(cs.city, pr.Package)
+		if err != nil {
+			return nil, fmt.Errorf("server: restore package %d: %w", pr.ID, err)
+		}
+		// The persisted ops are already reflected in the package items;
+		// reinstating the log keeps /refine seeing them after a restart.
+		sess.SetLog(pr.Ops)
+		cs.packages[pr.ID] = &packageState{groupID: pr.GroupID, method: pr.Method, session: sess}
+	}
+	return cs, nil
+}
+
+// quarantineSnapshot moves an unreadable snapshot aside (to
+// <file>.corrupt) so the next mutation's snapshot cannot overwrite the
+// only copy of the previously committed state, and records the failure for
+// /healthz. The moved file is the operator's recovery artifact.
+func (cs *cityState) quarantineSnapshot(cause error) {
+	src := store.SnapshotPath(cs.snapDir, cs.key)
+	dst := src + ".corrupt"
+	if err := os.Rename(src, dst); err != nil {
+		cs.snapErr.Store(fmt.Sprintf("snapshot ignored (quarantine failed: %v): %v", err, cause))
+		return
+	}
+	cs.snapErr.Store(fmt.Sprintf("snapshot ignored (moved to %s): %v", dst, cause))
+}
+
+// register allocates an id for the package under the registry lock.
+func (cs *cityState) register(ps *packageState) int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	id := cs.nextID
+	cs.nextID++
+	cs.packages[id] = ps
+	return id
+}
+
+// clonePackage deep-copies a package at the CI level so snapshot encoding
+// can run outside the package lock while the session keeps mutating the
+// original. POIs are immutable and shared.
+func clonePackage(tp *core.TravelPackage) *core.TravelPackage {
+	cp := *tp
+	cp.CIs = make([]*ci.CI, len(tp.CIs))
+	for i, c := range tp.CIs {
+		cc := *c
+		cc.Items = append([]*poi.POI(nil), c.Items...)
+		cp.CIs[i] = &cc
+	}
+	return &cp
+}
+
+// collectState assembles the city's full persistent state. It follows the
+// lock hierarchy: the registry lock is released before any entity lock is
+// taken.
+func (cs *cityState) collectState() *store.ServerState {
+	cs.mu.RLock()
+	st := &store.ServerState{City: cs.city.Name, NextID: cs.nextID}
+	groupIDs := make([]int, 0, len(cs.groups))
+	groups := make(map[int]*groupState, len(cs.groups))
+	for id, gs := range cs.groups {
+		groupIDs = append(groupIDs, id)
+		groups[id] = gs
+	}
+	pkgIDs := make([]int, 0, len(cs.packages))
+	pkgs := make(map[int]*packageState, len(cs.packages))
+	for id, ps := range cs.packages {
+		pkgIDs = append(pkgIDs, id)
+		pkgs[id] = ps
+	}
+	cs.mu.RUnlock()
+	sort.Ints(groupIDs)
+	sort.Ints(pkgIDs)
+
+	for _, id := range groupIDs {
+		gs := groups[id]
+		gs.mu.Lock()
+		profiles := make(map[string]*profile.Profile, len(gs.profiles))
+		for name, p := range gs.profiles {
+			profiles[name] = p // profiles are immutable once memoized
+		}
+		gs.mu.Unlock()
+		st.Groups = append(st.Groups, store.GroupRecord{ID: id, Group: gs.group, Profiles: profiles})
+	}
+	for _, id := range pkgIDs {
+		ps := pkgs[id]
+		ps.mu.Lock()
+		tp := clonePackage(ps.session.Package())
+		ops := append([]interact.Op(nil), ps.session.Log()...)
+		ps.mu.Unlock()
+		st.Packages = append(st.Packages, store.PackageRecord{
+			ID: id, GroupID: ps.groupID, Method: ps.method, Package: tp, Ops: ops,
+		})
+	}
+	return st
+}
+
+// snapshot persists the city's state if persistence is enabled. Failures
+// are recorded for /healthz rather than failing the mutation that
+// triggered the snapshot — the in-memory state is already committed.
+// Collection runs under snapMu so concurrent mutations cannot write their
+// snapshots out of order (a stale collection overwriting a newer file
+// would lose the newer mutation on reload); snapMu is always taken before
+// cs.mu/entity locks, never after, so the hierarchy stays acyclic.
+func (cs *cityState) snapshot() error {
+	if cs.snapDir == "" {
+		return nil
+	}
+	cs.snapMu.Lock()
+	defer cs.snapMu.Unlock()
+	st := cs.collectState()
+	at, err := store.WriteSnapshot(cs.snapDir, cs.key, st)
+	if err != nil {
+		cs.snapErr.Store(err.Error())
+		return err
+	}
+	cs.snapTime.Store(at.UnixNano())
+	cs.snapErr.Store("")
+	return nil
+}
+
+// evictionSafe reports whether the city can be unloaded without losing
+// state: with persistence on, its last snapshot interaction must have
+// succeeded — otherwise the in-memory registries are the only copy of
+// committed mutations and eviction would silently 404 them.
+func (cs *cityState) evictionSafe() bool {
+	if cs.snapDir == "" {
+		return true // no persistence configured: nothing to preserve
+	}
+	msg, _ := cs.snapErr.Load().(string)
+	return msg == ""
+}
+
+// health summarizes the city for the health endpoint.
+func (cs *cityState) health() cityHealth {
+	cs.mu.RLock()
+	groups, packages := len(cs.groups), len(cs.packages)
+	cs.mu.RUnlock()
+	h := cityHealth{
+		Cache:        cs.engine.CacheStats(),
+		Groups:       groups,
+		Packages:     packages,
+		LastSnapshot: lastSnapshotString(cs.snapTime.Load()),
+	}
+	if msg, _ := cs.snapErr.Load().(string); msg != "" {
+		h.SnapshotErr = msg
+	}
+	return h
+}

@@ -1,0 +1,350 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/poi"
+)
+
+// testTimeout bounds waits on registry idling.
+func testTimeout() time.Duration { return 5 * time.Second }
+
+// Three small cities, generated once and written as a data directory that
+// every multi-city test mounts.
+var (
+	mcOnce   sync.Once
+	mcCities []*dataset.City
+	mcDir    string
+)
+
+var mcNames = []string{"Alpha", "Beta", "Gamma"}
+var mcKeys = []string{"alpha", "beta", "gamma"}
+
+func multiCityDataDir(t *testing.T) string {
+	t.Helper()
+	mcOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "grouptravel-cities-*")
+		if err != nil {
+			panic(err)
+		}
+		for i, name := range mcNames {
+			c, err := dataset.Generate(dataset.TestSpec(name, int64(71+i)))
+			if err != nil {
+				panic(err)
+			}
+			mcCities = append(mcCities, c)
+			f, err := os.Create(filepath.Join(dir, mcKeys[i]+".json"))
+			if err != nil {
+				panic(err)
+			}
+			if err := c.SaveJSON(f); err != nil {
+				panic(err)
+			}
+			f.Close()
+		}
+		mcDir = dir
+	})
+	return mcDir
+}
+
+// mcRatings builds a ratings map over a specific city's schema.
+func mcRatings(c *dataset.City, shift int) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, cat := range poi.Categories {
+		dim := c.Schema.Dim(cat)
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = float64((j + shift) % 6)
+		}
+		out[cat.String()] = v
+	}
+	return out
+}
+
+func multiCityServer(t *testing.T, snapDir string, maxCities int) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := NewMultiCity(Options{
+		DataDir:     multiCityDataDir(t),
+		SnapshotDir: snapDir,
+		MaxCities:   maxCities,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// mcCreateGroup registers a 3-member group in a city and returns its id.
+func mcCreateGroup(ts *httptest.Server, city *dataset.City, key string) (int, error) {
+	req := createGroupRequest{}
+	for i := 0; i < 3; i++ {
+		req.Members = append(req.Members, mcRatings(city, i))
+	}
+	var resp groupResponse
+	if err := tryJSON(ts, "POST", ts.URL+"/cities/"+key+"/groups", req, 201, &resp); err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// TestMultiCityConcurrentBuilds is the acceptance scenario: a server over a
+// data directory of three cities serves package builds for all of them
+// concurrently (run under -race via `make race`), with a city cap of 2 —
+// so eviction happens mid-test without failing any in-flight request, and
+// snapshots carry each city's groups across its evictions.
+func TestMultiCityConcurrentBuilds(t *testing.T) {
+	s, ts := multiCityServer(t, t.TempDir(), 2)
+	const perCity = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, len(mcKeys)*perCity)
+	for ci, key := range mcKeys {
+		for g := 0; g < perCity; g++ {
+			wg.Add(1)
+			go func(ci int, key string) {
+				defer wg.Done()
+				gid, err := mcCreateGroup(ts, mcCities[ci], key)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", key, err)
+					return
+				}
+				var pkg packageResponse
+				if err := tryJSON(ts, "POST", ts.URL+"/cities/"+key+"/packages", createPackageRequest{
+					GroupID: gid, Consensus: "pairwise", K: 2,
+				}, 201, &pkg); err != nil {
+					errs <- fmt.Errorf("%s: %w", key, err)
+					return
+				}
+				if pkg.City != mcCities[ci].Name || !pkg.Valid {
+					errs <- fmt.Errorf("%s: package = %+v", key, pkg)
+					return
+				}
+				var read packageResponse
+				if err := tryJSON(ts, "GET", fmt.Sprintf("%s/cities/%s/packages/%d", ts.URL, key, pkg.ID), nil, 200, &read); err != nil {
+					errs <- fmt.Errorf("%s: %w", key, err)
+				}
+			}(ci, key)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Once requests drain, the registry sheds back under its cap; three
+	// cities through a cap of two must have evicted at least once.
+	if !s.Registry().WaitIdle(testTimeout()) {
+		t.Fatal("registry never went idle")
+	}
+	st := s.Registry().Stats()
+	if st.Loaded > 2 {
+		t.Fatalf("idle registry holds %d cities, cap 2 (stats %+v)", st.Loaded, st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("3 cities through cap 2 with no evictions: %+v", st)
+	}
+}
+
+// TestMultiCityRestartPersistence is the durability half of the acceptance
+// scenario: groups, memoized profiles and packages — including one mutated
+// by a customization op — survive a server restart byte-for-byte, in every
+// city, because each mutation snapshotted through the store.
+func TestMultiCityRestartPersistence(t *testing.T) {
+	snapDir := t.TempDir()
+	_, ts := multiCityServer(t, snapDir, 0)
+
+	type cityFacts struct {
+		gid, pid int
+		group    groupResponse
+		pkg      packageResponse
+	}
+	facts := map[string]*cityFacts{}
+	for ci, key := range mcKeys {
+		gid, err := mcCreateGroup(ts, mcCities[ci], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pkg packageResponse
+		if err := tryJSON(ts, "POST", ts.URL+"/cities/"+key+"/packages", createPackageRequest{
+			GroupID: gid, Consensus: "pairwise", K: 2,
+		}, 201, &pkg); err != nil {
+			t.Fatal(err)
+		}
+		facts[key] = &cityFacts{gid: gid, pid: pkg.ID}
+	}
+	// Mutate one package through an op so the snapshot is not just the
+	// freshly built state.
+	alpha := facts["alpha"]
+	var cur packageResponse
+	if err := tryJSON(ts, "GET", fmt.Sprintf("%s/cities/alpha/packages/%d", ts.URL, alpha.pid), nil, 200, &cur); err != nil {
+		t.Fatal(err)
+	}
+	if err := tryJSON(ts, "POST", fmt.Sprintf("%s/cities/alpha/packages/%d/ops", ts.URL, alpha.pid),
+		opRequest{Member: 0, Op: "remove", CI: 0, POI: cur.Days[0].Items[0].ID}, 200, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Record the pre-restart ground truth.
+	for _, key := range mcKeys {
+		f := facts[key]
+		if err := tryJSON(ts, "GET", fmt.Sprintf("%s/cities/%s/groups/%d", ts.URL, key, f.gid), nil, 200, &f.group); err != nil {
+			t.Fatal(err)
+		}
+		if err := tryJSON(ts, "GET", fmt.Sprintf("%s/cities/%s/packages/%d", ts.URL, key, f.pid), nil, 200, &f.pkg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// "Restart": a brand-new server over the same data + snapshot dirs.
+	_, ts2 := multiCityServer(t, snapDir, 0)
+	for _, key := range mcKeys {
+		f := facts[key]
+		var group groupResponse
+		if err := tryJSON(ts2, "GET", fmt.Sprintf("%s/cities/%s/groups/%d", ts2.URL, key, f.gid), nil, 200, &group); err != nil {
+			t.Fatalf("%s group lost in restart: %v", key, err)
+		}
+		if group != f.group {
+			t.Fatalf("%s group changed in restart: %+v -> %+v", key, f.group, group)
+		}
+		var pkg packageResponse
+		if err := tryJSON(ts2, "GET", fmt.Sprintf("%s/cities/%s/packages/%d", ts2.URL, key, f.pid), nil, 200, &pkg); err != nil {
+			t.Fatalf("%s package lost in restart: %v", key, err)
+		}
+		if pkgFingerprint(t, pkg) != pkgFingerprint(t, f.pkg) {
+			t.Fatalf("%s package changed in restart:\n%s\nvs\n%s", key, pkgFingerprint(t, pkg), pkgFingerprint(t, f.pkg))
+		}
+	}
+	// The customization log survived too: refining alpha's package after
+	// the restart still sees the pre-restart remove op.
+	var ref refineResponse
+	if err := tryJSON(ts2, "POST", fmt.Sprintf("%s/cities/alpha/packages/%d/refine", ts2.URL, alpha.pid),
+		refineRequest{Strategy: "batch"}, 200, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Operations != 1 {
+		t.Fatalf("restarted refine saw %d ops, want 1", ref.Operations)
+	}
+	// New mutations keep allocating past the restored id space.
+	gid, err := mcCreateGroup(ts2, mcCities[0], "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gid <= alpha.pid {
+		t.Fatalf("restarted id allocation collided: new group id %d", gid)
+	}
+}
+
+// TestEmptyDataDirWithPreloadedCity: an empty -data-dir is valid as long
+// as preloaded cities make the server servable.
+func TestEmptyDataDirWithPreloadedCity(t *testing.T) {
+	multiCityDataDir(t) // ensure mcCities exist
+	s, err := NewMultiCity(Options{DataDir: t.TempDir(), Cities: []*dataset.City{mcCities[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys := s.Registry().Keys(); len(keys) != 1 || keys[0] != "alpha" {
+		t.Fatalf("keys = %v", keys)
+	}
+	// Fully empty configuration still fails.
+	if _, err := NewMultiCity(Options{DataDir: t.TempDir()}); err == nil {
+		t.Fatal("empty data dir with no preloaded cities accepted")
+	}
+	// And a city cap still requires persistence.
+	if _, err := NewMultiCity(Options{Cities: []*dataset.City{mcCities[0]}, MaxCities: 1}); err == nil {
+		t.Fatal("MaxCities without SnapshotDir accepted")
+	}
+}
+
+// TestCorruptSnapshotSurfacesOnHealth: a tampered snapshot must not brick
+// the city — it starts empty, the error lands on /healthz, and (because
+// the state is now memory-only) the registry refuses to evict it.
+func TestCorruptSnapshotSurfacesOnHealth(t *testing.T) {
+	snapDir := t.TempDir()
+	_, ts := multiCityServer(t, snapDir, 0)
+	gid, err := mcCreateGroup(ts, mcCities[0], "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkg packageResponse
+	if err := tryJSON(ts, "POST", ts.URL+"/cities/alpha/packages", createPackageRequest{
+		GroupID: gid, Consensus: "pairwise", K: 2,
+	}, 201, &pkg); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: an unknown consensus method in the persisted package.
+	path := filepath.Join(snapDir, "alpha.state.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), `"method": "pairwise"`, `"method": "bogus"`, 1)
+	if tampered == string(raw) {
+		t.Fatal("tamper target not found in snapshot")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Restart: the city serves (empty) instead of failing, and healthz
+	// reports the ignored snapshot.
+	_, ts2 := multiCityServer(t, snapDir, 0)
+	if err := tryJSON(ts2, "GET", fmt.Sprintf("%s/cities/alpha/groups/%d", ts2.URL, gid), nil, 404, nil); err != nil {
+		t.Fatal(err)
+	}
+	var health healthResponse
+	if err := tryJSON(ts2, "GET", ts2.URL+"/healthz", nil, 200, &health); err != nil {
+		t.Fatal(err)
+	}
+	ch, ok := health.Cities["alpha"]
+	if !ok || !strings.Contains(ch.SnapshotErr, "bogus") {
+		t.Fatalf("snapshot error not surfaced: %+v", health.Cities)
+	}
+	// The bad file was quarantined, not left to be overwritten by the
+	// next mutation: the committed state stays recoverable.
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("original snapshot still in place (err=%v)", err)
+	}
+}
+
+// TestMultiCityEvictionReloadsState verifies the cap + persistence
+// interplay: a city evicted under MaxCities=1 comes back with its state
+// intact on the next request.
+func TestMultiCityEvictionReloadsState(t *testing.T) {
+	snapDir := t.TempDir()
+	s, ts := multiCityServer(t, snapDir, 1)
+	gids := map[string]int{}
+	for ci, key := range mcKeys {
+		gid, err := mcCreateGroup(ts, mcCities[ci], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gids[key] = gid
+	}
+	if !s.Registry().WaitIdle(testTimeout()) {
+		t.Fatal("registry never went idle")
+	}
+	st := s.Registry().Stats()
+	if st.Loaded != 1 || st.Evictions < 2 {
+		t.Fatalf("cap 1 registry stats = %+v", st)
+	}
+	// Every city — two of which were evicted — still serves its group.
+	for _, key := range mcKeys {
+		var group groupResponse
+		if err := tryJSON(ts, "GET", fmt.Sprintf("%s/cities/%s/groups/%d", ts.URL, key, gids[key]), nil, 200, &group); err != nil {
+			t.Fatalf("%s lost its group to eviction: %v", key, err)
+		}
+		if group.Size != 3 {
+			t.Fatalf("%s group = %+v", key, group)
+		}
+	}
+}

@@ -1,131 +1,272 @@
 // Package server exposes GroupTravel over HTTP — the backend a Figure 3
-// style map GUI would talk to. It is a thin, concurrency-safe layer over
-// the engine: groups are registered from member ratings, packages are
-// built per group with a chosen consensus method, and the §3.3
-// customization operators are applied through per-package sessions whose
-// logs drive profile refinement.
+// style map GUI would talk to. It serves many cities from one process: a
+// city-keyed registry (internal/registry) lazily loads each city's dataset,
+// builds one shared concurrency-safe core.Engine per city, and evicts idle
+// cities under a configurable cap, while per-city groups and packages
+// snapshot through internal/store so a restart reconstructs the full
+// serving state.
+//
+// # Routes
+//
+// City-scoped routes live under /cities/{city}/...; the legacy single-city
+// /api/... routes are kept as aliases for the configured default city, so
+// existing clients keep working unchanged:
+//
+//	GET  /healthz                 (alias /api/healthz)  liveness + engine/registry metrics
+//	GET  /cities                                        known cities + residency
+//	GET  /cities/{city}           (alias /api/city)     schema, POI counts, bounds
+//	GET  /cities/{city}/pois      (alias /api/pois)
+//	POST /cities/{city}/groups    (alias /api/groups)
+//	GET  /cities/{city}/groups/{id}
+//	POST /cities/{city}/packages
+//	GET  /cities/{city}/packages/{id}
+//	POST /cities/{city}/packages/{id}/ops
+//	POST /cities/{city}/packages/{id}/refine
 //
 // # Concurrency
 //
-// Locking is sharded by entity rather than globalized: a sync.RWMutex
-// guards only the group/package registries (map lookups and id
-// allocation), each group carries its own lock for the memoized consensus
-// profiles, and each package carries its own lock for its customization
-// session. Package builds run on the shared core.Engine outside every
-// lock — the engine is itself concurrency-safe with a singleflight cluster
-// cache — so builds for different groups (and reads of unrelated packages)
-// proceed fully in parallel; only operations on the same package
-// serialize. Lock ordering: the registry lock is never held while taking
-// an entity lock, and entity locks are never held while taking the
-// registry lock, so the hierarchy is flat and deadlock-free.
+// Locking is sharded by entity rather than globalized: the registry
+// serializes only city lookup/load/evict, each city's state has an RWMutex
+// for its group/package registries and id allocation, each group carries
+// its own lock for the memoized consensus profiles, and each package
+// carries its own lock for its customization session. Package builds run
+// on the city's shared core.Engine outside every lock — the engine is
+// itself concurrency-safe with a bounded, singleflight cluster cache — so
+// builds for different groups and different cities proceed fully in
+// parallel; only operations on the same package serialize. Lock ordering:
+// registry < city registries < entity locks, never taken upward, so the
+// hierarchy is acyclic and deadlock-free. A request pins its city in the
+// registry for its whole duration, so eviction can never unload a city
+// with in-flight work.
 //
-// All state is in memory (the store package provides durable formats; a
-// deployment would snapshot through it). Handlers are plain net/http on a
-// ServeMux, constructed by New for use with httptest in tests or
-// http.ListenAndServe in cmd/grouptravel-server.
+// # Persistence
+//
+// With a snapshot directory configured, every mutation (group creation,
+// package creation, customization op, refinement) rewrites the city's
+// snapshot atomically (temp file + rename). On load — first touch or
+// reload after eviction — the snapshot is read back and groups, memoized
+// consensus profiles and packages are reconstructed, with package POIs
+// re-resolved against the city dataset. Snapshot write failures never fail
+// the request that triggered them; they surface on /healthz instead.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"strconv"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
-	"sync"
+	"time"
 
-	"grouptravel/internal/ci"
-	"grouptravel/internal/consensus"
 	"grouptravel/internal/core"
 	"grouptravel/internal/dataset"
-	"grouptravel/internal/geo"
-	"grouptravel/internal/interact"
-	"grouptravel/internal/poi"
-	"grouptravel/internal/profile"
-	"grouptravel/internal/query"
-	"grouptravel/internal/route"
+	"grouptravel/internal/registry"
 )
 
-// Server hosts one city and its groups/packages.
+// Options configures a multi-city server. At least one city must be
+// reachable through DataDir or Cities.
+type Options struct {
+	// DataDir holds city datasets as <key>.json files (dataset.SaveJSON
+	// format). Keys are the file base names.
+	DataDir string
+	// Cities are preloaded datasets served in addition to DataDir, keyed
+	// by their lowercased name. They never hit the disk loader.
+	Cities []*dataset.City
+	// SnapshotDir enables persistence of groups/packages per city; empty
+	// disables it.
+	SnapshotDir string
+	// MaxCities caps how many cities stay loaded at once (<= 0: no cap).
+	// The cap is soft under load: cities with in-flight requests are
+	// never evicted.
+	MaxCities int
+	// DefaultCity is the key the legacy /api routes serve; defaults to
+	// the alphabetically first key.
+	DefaultCity string
+	// EngineCacheCap overrides each engine's cluster-cache bound
+	// (core.DefaultCacheCap when 0, unbounded when < 0).
+	EngineCacheCap int
+}
+
+// Server routes requests to per-city engines and serving state.
 type Server struct {
-	city   *dataset.City
-	engine *core.Engine
-
-	// mu guards only the registries and id allocation; per-entity state is
-	// guarded by the entity's own lock (see the package comment).
-	mu       sync.RWMutex
-	groups   map[int]*groupState
-	packages map[int]*packageState
-	nextID   int
+	reg         *registry.Registry[*cityState]
+	defaultCity string
+	snapshotDir string
 }
 
-// groupState is one registered group. group is immutable after creation;
-// mu guards the consensus-profile memo.
-type groupState struct {
-	group *profile.Group
-
-	mu       sync.Mutex
-	profiles map[string]*profile.Profile // consensus name -> aggregated profile
-}
-
-// profileFor returns the group's aggregated profile under the named
-// consensus method, memoizing unweighted aggregations (weighted requests
-// are caller-specific and computed fresh).
-func (gs *groupState) profileFor(name string, method consensus.Method, weights []float64) (*profile.Profile, error) {
-	if len(weights) > 0 {
-		return consensus.GroupProfileWeighted(gs.group, method, weights)
-	}
-	gs.mu.Lock()
-	defer gs.mu.Unlock()
-	if gp, ok := gs.profiles[name]; ok {
-		return gp, nil
-	}
-	gp, err := consensus.GroupProfile(gs.group, method)
-	if err != nil {
-		return nil, err
-	}
-	gs.profiles[name] = gp
-	return gp, nil
-}
-
-// packageState is one built package; mu serializes access to the
-// customization session (interact.Session is not concurrency-safe).
-type packageState struct {
-	groupID int
-	method  string
-
-	mu      sync.Mutex
-	session *interact.Session
-}
-
-// New builds a server over a city. The engine is shared by all requests
-// without serialization — core.Engine is safe for concurrent use.
+// New builds a single-city server with no persistence — the original
+// constructor, kept for embedders and tests; the city becomes the default
+// (and only) city.
 func New(city *dataset.City) (*Server, error) {
-	engine, err := core.NewEngine(city)
+	if city == nil {
+		return nil, fmt.Errorf("server: nil city")
+	}
+	return NewMultiCity(Options{Cities: []*dataset.City{city}})
+}
+
+// cityKey derives the registry key for a preloaded city.
+func cityKey(name string) string { return strings.ToLower(name) }
+
+// scanDataDir lists the city keys a data directory can serve. Snapshot
+// files (*.state.json) are not datasets and are skipped, so DataDir and
+// SnapshotDir may point at the same directory.
+func scanDataDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: data dir: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".state.json") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, ".json"))
+	}
+	// An empty directory is fine as long as preloaded Cities exist; the
+	// caller enforces that at least one city is configured overall.
+	return keys, nil
+}
+
+// NewMultiCity builds a server over a data directory and/or preloaded
+// cities. A city cap requires persistence: eviction discards in-memory
+// groups and packages, so without snapshots it would silently 404 every
+// id a client holds for the evicted city.
+func NewMultiCity(opts Options) (*Server, error) {
+	if opts.MaxCities > 0 && opts.SnapshotDir == "" {
+		return nil, fmt.Errorf("server: MaxCities = %d needs SnapshotDir (eviction would drop groups/packages)", opts.MaxCities)
+	}
+	preloaded := make(map[string]*dataset.City, len(opts.Cities))
+	var keys []string
+	for _, c := range opts.Cities {
+		if c == nil {
+			return nil, fmt.Errorf("server: nil city")
+		}
+		key := cityKey(c.Name)
+		if _, dup := preloaded[key]; dup {
+			return nil, fmt.Errorf("server: duplicate city %q", key)
+		}
+		preloaded[key] = c
+		keys = append(keys, key)
+	}
+	if opts.DataDir != "" {
+		scanned, err := scanDataDir(opts.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range scanned {
+			if _, dup := preloaded[k]; !dup {
+				keys = append(keys, k)
+			}
+		}
+	}
+	if len(keys) == 0 {
+		if opts.DataDir != "" {
+			return nil, fmt.Errorf("server: no city datasets (*.json) in %s and no preloaded cities", opts.DataDir)
+		}
+		return nil, fmt.Errorf("server: no cities configured")
+	}
+	sort.Strings(keys)
+
+	s := &Server{snapshotDir: opts.SnapshotDir}
+	s.defaultCity = opts.DefaultCity
+	if s.defaultCity == "" {
+		s.defaultCity = keys[0]
+	}
+	found := false
+	for _, k := range keys {
+		if k == s.defaultCity {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("server: default city %q not among %v", s.defaultCity, keys)
+	}
+
+	reg, err := registry.New(keys, registry.Options[*cityState]{
+		Load: func(key string) (*dataset.City, error) {
+			if c, ok := preloaded[key]; ok {
+				return c, nil
+			}
+			f, err := os.Open(filepath.Join(opts.DataDir, key+".json"))
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return dataset.LoadJSON(f)
+		},
+		NewState: func(c *registry.City[*cityState]) (*cityState, error) { return s.newCityState(c) },
+		// A city whose latest snapshot failed (or whose snapshot was
+		// corrupt at load) holds the only copy of its committed state:
+		// vetoing its eviction keeps the failure recoverable instead of
+		// silently dropping groups/packages.
+		Evictable:      func(c *registry.City[*cityState]) bool { return c.State.evictionSafe() },
+		MaxCities:      opts.MaxCities,
+		EngineCacheCap: opts.EngineCacheCap,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		city:     city,
-		engine:   engine,
-		groups:   make(map[int]*groupState),
-		packages: make(map[int]*packageState),
-		nextID:   1,
-	}, nil
+	s.reg = reg
+	return s, nil
 }
 
-// Handler returns the HTTP handler with all routes registered.
+// Registry exposes the underlying city registry (benchmarks and embedders).
+func (s *Server) Registry() *registry.Registry[*cityState] { return s.reg }
+
+// DefaultCity returns the key the legacy /api routes serve.
+func (s *Server) DefaultCity() string { return s.defaultCity }
+
+// Handler returns the HTTP handler with all routes registered: the
+// city-scoped /cities tree plus the legacy /api aliases for the default
+// city.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /api/healthz", s.handleHealth)
-	mux.HandleFunc("GET /api/city", s.handleCity)
-	mux.HandleFunc("GET /api/pois", s.handlePOIs)
-	mux.HandleFunc("POST /api/groups", s.handleCreateGroup)
-	mux.HandleFunc("GET /api/groups/{id}", s.handleGetGroup)
-	mux.HandleFunc("POST /api/packages", s.handleCreatePackage)
-	mux.HandleFunc("GET /api/packages/{id}", s.handleGetPackage)
-	mux.HandleFunc("POST /api/packages/{id}/ops", s.handleOps)
-	mux.HandleFunc("POST /api/packages/{id}/refine", s.handleRefine)
+	mux.HandleFunc("GET /cities", s.handleCities)
+
+	city := func(h func(cs *cityState, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+		return s.withCity(h)
+	}
+	for _, prefix := range []string{"/api", "/cities/{city}"} {
+		mux.HandleFunc("GET "+prefix+"/pois", city((*cityState).handlePOIs))
+		mux.HandleFunc("POST "+prefix+"/groups", city((*cityState).handleCreateGroup))
+		mux.HandleFunc("GET "+prefix+"/groups/{id}", city((*cityState).handleGetGroup))
+		mux.HandleFunc("POST "+prefix+"/packages", city((*cityState).handleCreatePackage))
+		mux.HandleFunc("GET "+prefix+"/packages/{id}", city((*cityState).handleGetPackage))
+		mux.HandleFunc("POST "+prefix+"/packages/{id}/ops", city((*cityState).handleOps))
+		mux.HandleFunc("POST "+prefix+"/packages/{id}/refine", city((*cityState).handleRefine))
+	}
+	mux.HandleFunc("GET /api/city", city((*cityState).handleCity))
+	mux.HandleFunc("GET /cities/{city}", city((*cityState).handleCity))
 	return mux
+}
+
+// withCity resolves the request's city — the {city} path value, or the
+// default city on the legacy routes — acquires it from the registry
+// (loading it on first touch) and pins it for the handler's duration.
+func (s *Server) withCity(h func(cs *cityState, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("city")
+		if key == "" {
+			key = s.defaultCity
+		}
+		c, release, err := s.reg.Acquire(key)
+		if err != nil {
+			if !s.reg.Has(key) {
+				writeErr(w, http.StatusNotFound, "unknown city %q", key)
+				return
+			}
+			writeErr(w, http.StatusServiceUnavailable, "city %q unavailable: %v", key, err)
+			return
+		}
+		defer release()
+		h(c.State, w, r)
+	}
 }
 
 // --- helpers ---
@@ -144,545 +285,70 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// --- health & cities ---
+
+// cityHealth is the per-loaded-city slice of the health report.
+type cityHealth struct {
+	Cache        core.CacheStats `json:"clusterCache"`
+	Groups       int             `json:"groups"`
+	Packages     int             `json:"packages"`
+	LastSnapshot string          `json:"lastSnapshot,omitempty"` // RFC3339; empty when never snapshotted
+	SnapshotErr  string          `json:"snapshotError,omitempty"`
+}
+
+type healthResponse struct {
+	Status string `json:"status"`
+	// City preserves the legacy single-city health field: the default
+	// city's dataset name when it is resident, its key otherwise (reading
+	// health must not force a dataset load).
+	City        string                `json:"city"`
+	DefaultCity string                `json:"defaultCity"`
+	Registry    registry.Stats        `json:"registry"`
+	Cities      map[string]cityHealth `json:"cities"` // loaded cities only
+	Persistence bool                  `json:"persistence"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "city": s.city.Name})
-}
-
-// --- city & POIs ---
-
-type cityResponse struct {
-	Name   string              `json:"name"`
-	Counts map[string]int      `json:"poiCounts"`
-	Schema map[string][]string `json:"schema"`
-	Bounds map[string]float64  `json:"bounds"`
-}
-
-func (s *Server) handleCity(w http.ResponseWriter, _ *http.Request) {
-	counts := s.city.POIs.CategoryCounts()
-	resp := cityResponse{
-		Name:   s.city.Name,
-		Counts: map[string]int{},
-		Schema: map[string][]string{},
+	resp := healthResponse{
+		Status:      "ok",
+		City:        s.defaultCity,
+		DefaultCity: s.defaultCity,
+		Registry:    s.reg.Stats(),
+		Cities:      map[string]cityHealth{},
+		Persistence: s.snapshotDir != "",
 	}
-	for _, c := range poi.Categories {
-		resp.Counts[c.String()] = counts[c]
-		resp.Schema[c.String()] = s.city.Schema.Labels(c)
-	}
-	b := s.city.POIs.Bounds()
-	resp.Bounds = map[string]float64{"lat": b.Lat, "lon": b.Lon, "width": b.Width, "height": b.Height}
+	s.reg.Range(func(c *registry.City[*cityState]) {
+		resp.Cities[c.Key] = c.State.health()
+		if c.Key == s.defaultCity {
+			resp.City = c.City.Name
+		}
+	})
 	writeJSON(w, http.StatusOK, resp)
 }
 
-type poiResponse struct {
-	ID   int     `json:"id"`
-	Name string  `json:"name"`
-	Cat  string  `json:"category"`
-	Lat  float64 `json:"lat"`
-	Lon  float64 `json:"lon"`
-	Type string  `json:"type"`
-	Cost float64 `json:"cost"`
+// citySummary is one row of GET /cities.
+type citySummary struct {
+	Key     string `json:"key"`
+	Loaded  bool   `json:"loaded"`
+	Default bool   `json:"default"`
 }
 
-func toPOIResponse(p *poi.POI) poiResponse {
-	return poiResponse{
-		ID: p.ID, Name: p.Name, Cat: p.Cat.String(),
-		Lat: p.Coord.Lat, Lon: p.Coord.Lon, Type: p.Type, Cost: p.Cost,
-	}
-}
-
-// handlePOIs lists POIs, optionally filtered by category and/or nearest to
-// a point: /api/pois?cat=rest&near=48.85,2.35&k=10
-func (s *Server) handlePOIs(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	var cat *poi.Category
-	if cs := q.Get("cat"); cs != "" {
-		c, err := poi.ParseCategory(cs)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad cat: %v", err)
-			return
-		}
-		cat = &c
-	}
-	k := 20
-	if ks := q.Get("k"); ks != "" {
-		n, err := strconv.Atoi(ks)
-		if err != nil || n < 1 || n > 500 {
-			writeErr(w, http.StatusBadRequest, "bad k %q", ks)
-			return
-		}
-		k = n
-	}
-	var out []poiResponse
-	if near := q.Get("near"); near != "" {
-		parts := strings.Split(near, ",")
-		if len(parts) != 2 {
-			writeErr(w, http.StatusBadRequest, "near must be lat,lon")
-			return
-		}
-		lat, err1 := strconv.ParseFloat(parts[0], 64)
-		lon, err2 := strconv.ParseFloat(parts[1], 64)
-		if err1 != nil || err2 != nil {
-			writeErr(w, http.StatusBadRequest, "near must be lat,lon")
-			return
-		}
-		for _, p := range s.city.POIs.Nearest(geo.Point{Lat: lat, Lon: lon}, k, cat, nil) {
-			out = append(out, toPOIResponse(p))
-		}
-	} else {
-		pois := s.city.POIs.All()
-		if cat != nil {
-			pois = s.city.POIs.ByCategory(*cat)
-		}
-		for i, p := range pois {
-			if i >= k {
-				break
-			}
-			out = append(out, toPOIResponse(p))
-		}
+func (s *Server) handleCities(w http.ResponseWriter, _ *http.Request) {
+	var out []citySummary
+	for _, key := range s.reg.Keys() {
+		out = append(out, citySummary{
+			Key:     key,
+			Loaded:  s.reg.Loaded(key),
+			Default: key == s.defaultCity,
+		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// --- groups ---
-
-type createGroupRequest struct {
-	// Members' ratings per category: 0-5 per type/topic, dimensions per
-	// GET /api/city's schema.
-	Members []map[string][]float64 `json:"members"`
-}
-
-type groupResponse struct {
-	ID         int     `json:"id"`
-	Size       int     `json:"size"`
-	Uniformity float64 `json:"uniformity"`
-	MedianUser int     `json:"medianUser"`
-}
-
-func (s *Server) handleCreateGroup(w http.ResponseWriter, r *http.Request) {
-	var req createGroupRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decode: %v", err)
-		return
+// lastSnapshotString formats a snapshot instant for health reports.
+func lastSnapshotString(nanos int64) string {
+	if nanos == 0 {
+		return ""
 	}
-	if len(req.Members) == 0 {
-		writeErr(w, http.StatusBadRequest, "a group needs at least one member")
-		return
-	}
-	members := make([]*profile.Profile, 0, len(req.Members))
-	for i, m := range req.Members {
-		ratings := map[poi.Category][]float64{}
-		for cs, vals := range m {
-			c, err := poi.ParseCategory(cs)
-			if err != nil {
-				writeErr(w, http.StatusBadRequest, "member %d: %v", i, err)
-				return
-			}
-			ratings[c] = vals
-		}
-		p, err := profile.FromRatings(s.city.Schema, ratings)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "member %d: %v", i, err)
-			return
-		}
-		members = append(members, p)
-	}
-	g, err := profile.NewGroup(s.city.Schema, members)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	s.mu.Lock()
-	id := s.nextID
-	s.nextID++
-	s.groups[id] = &groupState{group: g, profiles: map[string]*profile.Profile{}}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, groupResponse{
-		ID: id, Size: g.Size(), Uniformity: g.Uniformity(), MedianUser: g.MedianUser(),
-	})
-}
-
-func (s *Server) groupByID(idStr string) (*groupState, int, error) {
-	id, err := strconv.Atoi(idStr)
-	if err != nil {
-		return nil, 0, fmt.Errorf("bad group id %q", idStr)
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	gs, ok := s.groups[id]
-	if !ok {
-		return nil, 0, fmt.Errorf("group %d not found", id)
-	}
-	return gs, id, nil
-}
-
-func (s *Server) handleGetGroup(w http.ResponseWriter, r *http.Request) {
-	gs, id, err := s.groupByID(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, groupResponse{
-		ID: id, Size: gs.group.Size(), Uniformity: gs.group.Uniformity(), MedianUser: gs.group.MedianUser(),
-	})
-}
-
-// --- packages ---
-
-type createPackageRequest struct {
-	GroupID   int       `json:"group"`
-	Consensus string    `json:"consensus"` // avg | leastmisery | pairwise | variance
-	K         int       `json:"k"`
-	Query     *queryReq `json:"query,omitempty"`
-	Weights   []float64 `json:"weights,omitempty"` // optional per-member weights
-}
-
-type queryReq struct {
-	Acco, Trans, Rest, Attr int
-	Budget                  float64 // <= 0 means unlimited
-}
-
-type packageResponse struct {
-	ID    int       `json:"id"`
-	City  string    `json:"city"`
-	Query string    `json:"query"`
-	Days  []dayJSON `json:"days"`
-	Dims  dimsJSON  `json:"dimensions"`
-	Valid bool      `json:"valid"`
-}
-
-type dayJSON struct {
-	Centroid geo.Point     `json:"centroid"`
-	Cost     float64       `json:"cost"`
-	WalkKm   float64       `json:"walkKm,omitempty"`
-	Items    []poiResponse `json:"items"`
-}
-
-type dimsJSON struct {
-	Representativity float64 `json:"representativity"`
-	WithinCIKm       float64 `json:"withinCIKm"`
-	Personalization  float64 `json:"personalization"`
-}
-
-func methodByName(name string) (consensus.Method, error) {
-	switch strings.ToLower(name) {
-	case "", "pairwise":
-		return consensus.PairwiseDis, nil
-	case "avg", "average":
-		return consensus.AveragePref, nil
-	case "leastmisery", "lm":
-		return consensus.LeastMisery, nil
-	case "variance":
-		return consensus.VarianceDis, nil
-	case "mostpleasure":
-		return consensus.MostPleasure, nil
-	case "avgnomisery":
-		return consensus.AvgNoMisery, nil
-	default:
-		return consensus.Method{}, fmt.Errorf("unknown consensus %q", name)
-	}
-}
-
-func (s *Server) handleCreatePackage(w http.ResponseWriter, r *http.Request) {
-	var req createPackageRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decode: %v", err)
-		return
-	}
-	gs, _, err := s.groupByID(strconv.Itoa(req.GroupID))
-	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	method, err := methodByName(req.Consensus)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	q := query.Default()
-	if req.Query != nil {
-		budget := req.Query.Budget
-		if budget <= 0 {
-			budget = query.Default().Budget
-		}
-		q, err = query.New(req.Query.Acco, req.Query.Trans, req.Query.Rest, req.Query.Attr, budget)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-	}
-	k := req.K
-	if k == 0 {
-		k = 5
-	}
-	if k < 1 || k > 30 {
-		writeErr(w, http.StatusBadRequest, "k = %d out of range [1,30]", k)
-		return
-	}
-
-	gp, err := gs.profileFor(strings.ToLower(req.Consensus), method, req.Weights)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-
-	// The build runs outside every lock: the engine is concurrency-safe,
-	// so packages for different groups (or different queries) construct in
-	// parallel.
-	tp, err := s.engine.Build(gp, q, core.DefaultParams(k))
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	sess, err := interact.NewSession(s.city, tp)
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	ps := &packageState{groupID: req.GroupID, method: strings.ToLower(req.Consensus), session: sess}
-	id := s.register(ps)
-	ps.mu.Lock()
-	resp := s.renderPackage(id, ps, false)
-	ps.mu.Unlock()
-	writeJSON(w, http.StatusCreated, resp)
-}
-
-// register allocates an id for the package under the registry lock.
-func (s *Server) register(ps *packageState) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.nextID
-	s.nextID++
-	s.packages[id] = ps
-	return id
-}
-
-// renderPackage renders a package; the caller holds ps.mu.
-func (s *Server) renderPackage(id int, ps *packageState, routes bool) packageResponse {
-	tp := ps.session.Package()
-	resp := packageResponse{ID: id, City: tp.City, Query: tp.Query.String(), Valid: tp.Valid()}
-	d := tp.Measure()
-	resp.Dims = dimsJSON{
-		Representativity: d.Representativity,
-		WithinCIKm:       d.RawDistance,
-		Personalization:  d.Personalization,
-	}
-	for _, c := range tp.CIs {
-		day := dayJSON{Centroid: c.Centroid, Cost: c.Cost()}
-		items := c.Items
-		if routes {
-			if plan, err := route.PlanDay(c); err == nil {
-				ordered := make([]*poi.POI, len(plan.Order))
-				for i, idx := range plan.Order {
-					ordered[i] = c.Items[idx]
-				}
-				items = ordered
-				day.WalkKm = plan.LengthKm
-			}
-		}
-		for _, it := range items {
-			day.Items = append(day.Items, toPOIResponse(it))
-		}
-		resp.Days = append(resp.Days, day)
-	}
-	return resp
-}
-
-func (s *Server) packageByID(idStr string) (*packageState, int, error) {
-	id, err := strconv.Atoi(idStr)
-	if err != nil {
-		return nil, 0, fmt.Errorf("bad package id %q", idStr)
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ps, ok := s.packages[id]
-	if !ok {
-		return nil, 0, fmt.Errorf("package %d not found", id)
-	}
-	return ps, id, nil
-}
-
-func (s *Server) handleGetPackage(w http.ResponseWriter, r *http.Request) {
-	ps, id, err := s.packageByID(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	routes := r.URL.Query().Get("routes") == "1"
-	ps.mu.Lock()
-	resp := s.renderPackage(id, ps, routes)
-	ps.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// --- customization operators ---
-
-type opRequest struct {
-	Member int       `json:"member"`
-	Op     string    `json:"op"` // remove | add | replace | generate
-	CI     int       `json:"ci"`
-	POI    int       `json:"poi"`
-	Rect   *geo.Rect `json:"rect,omitempty"`
-}
-
-type opResponse struct {
-	Applied     bool         `json:"applied"`
-	Replacement *poiResponse `json:"replacement,omitempty"`
-	NewCI       *dayJSON     `json:"newCI,omitempty"`
-}
-
-func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
-	ps, _, err := s.packageByID(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	var req opRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decode: %v", err)
-		return
-	}
-	s.mu.RLock()
-	gs := s.groups[ps.groupID]
-	s.mu.RUnlock()
-	if req.Member < 0 || (gs != nil && req.Member >= gs.group.Size()) {
-		writeErr(w, http.StatusBadRequest, "member %d outside the group", req.Member)
-		return
-	}
-	// Session mutations serialize on the package's own lock; operations on
-	// other packages proceed concurrently.
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	resp := opResponse{}
-	switch strings.ToLower(req.Op) {
-	case "remove":
-		err = ps.session.Remove(req.Member, req.CI, req.POI)
-	case "add":
-		err = ps.session.Add(req.Member, req.CI, req.POI)
-	case "replace":
-		var repl *poi.POI
-		repl, err = ps.session.Replace(req.Member, req.CI, req.POI)
-		if err == nil {
-			pr := toPOIResponse(repl)
-			resp.Replacement = &pr
-		}
-	case "generate":
-		if req.Rect == nil {
-			writeErr(w, http.StatusBadRequest, "generate requires rect")
-			return
-		}
-		var newCI *ci.CI
-		newCI, err = ps.session.Generate(req.Member, *req.Rect)
-		if err == nil {
-			day := dayJSON{Centroid: newCI.Centroid, Cost: newCI.Cost()}
-			for _, it := range newCI.Items {
-				day.Items = append(day.Items, toPOIResponse(it))
-			}
-			resp.NewCI = &day
-		}
-	default:
-		writeErr(w, http.StatusBadRequest, "unknown op %q", req.Op)
-		return
-	}
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	resp.Applied = true
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// --- refinement ---
-
-type refineRequest struct {
-	Strategy string `json:"strategy"` // batch | individual
-	Rebuild  bool   `json:"rebuild"`  // also build a new package from the refined profile
-	K        int    `json:"k"`
-}
-
-type refineResponse struct {
-	Strategy   string           `json:"strategy"`
-	Operations int              `json:"operations"`
-	NewPackage *packageResponse `json:"newPackage,omitempty"`
-}
-
-func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
-	ps, _, err := s.packageByID(r.PathValue("id"))
-	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	var req refineRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decode: %v", err)
-		return
-	}
-	s.mu.RLock()
-	gs, ok := s.groups[ps.groupID]
-	s.mu.RUnlock()
-	if !ok {
-		writeErr(w, http.StatusConflict, "group %d no longer exists", ps.groupID)
-		return
-	}
-	method, err := methodByName(ps.method)
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	// Snapshot the session and compute the refined profile under the
-	// package lock (the log is shared mutable state); the rebuild below
-	// runs on the engine without any lock.
-	ps.mu.Lock()
-	tp := ps.session.Package()
-	base := tp.Group
-	if base == nil {
-		ps.mu.Unlock()
-		writeErr(w, http.StatusUnprocessableEntity, "package was not personalized")
-		return
-	}
-	ops := ps.session.Log()
-
-	var refined *profile.Profile
-	switch strings.ToLower(req.Strategy) {
-	case "", "batch":
-		refined, err = interact.RefineBatch(base, ops)
-		req.Strategy = "batch"
-	case "individual":
-		_, refined, err = interact.RefineIndividual(gs.group, method, ops)
-	default:
-		ps.mu.Unlock()
-		writeErr(w, http.StatusBadRequest, "unknown strategy %q", req.Strategy)
-		return
-	}
-	nOps := len(ops)
-	kFallback := len(tp.CIs)
-	q := tp.Query
-	ps.mu.Unlock()
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	resp := refineResponse{Strategy: strings.ToLower(req.Strategy), Operations: nOps}
-	if req.Rebuild {
-		k := req.K
-		if k == 0 {
-			k = kFallback
-		}
-		newTP, err := s.engine.Build(refined, q, core.DefaultParams(k))
-		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
-			return
-		}
-		sess, err := interact.NewSession(s.city, newTP)
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		nps := &packageState{groupID: ps.groupID, method: ps.method, session: sess}
-		id := s.register(nps)
-		nps.mu.Lock()
-		pr := s.renderPackage(id, nps, false)
-		nps.mu.Unlock()
-		resp.NewPackage = &pr
-	}
-	writeJSON(w, http.StatusOK, resp)
+	return time.Unix(0, nanos).UTC().Format(time.RFC3339Nano)
 }

@@ -105,18 +105,59 @@ func createPackage(t *testing.T, ts *httptest.Server, groupID int) packageRespon
 
 func TestHealthAndCity(t *testing.T) {
 	ts := testServer(t)
-	var health map[string]string
+	var health healthResponse
 	doJSON(t, "GET", ts.URL+"/api/healthz", nil, http.StatusOK, &health)
-	if health["status"] != "ok" {
-		t.Fatalf("health = %v", health)
+	if health.Status != "ok" || health.DefaultCity != "servercity" {
+		t.Fatalf("health = %+v", health)
+	}
+	// The legacy "city" field survives: the key before the lazy load...
+	if health.City != "servercity" {
+		t.Fatalf("health city = %q", health.City)
+	}
+	if health.Registry.Known != 1 {
+		t.Fatalf("registry stats = %+v", health.Registry)
+	}
+	// /healthz is an alias and must agree.
+	var alias healthResponse
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &alias)
+	if alias.Status != "ok" {
+		t.Fatalf("alias health = %+v", alias)
 	}
 	var city cityResponse
 	doJSON(t, "GET", ts.URL+"/api/city", nil, http.StatusOK, &city)
-	if city.Name != "ServerCity" {
-		t.Fatalf("city = %q", city.Name)
+	if city.Name != "ServerCity" || city.Key != "servercity" {
+		t.Fatalf("city = %q (key %q)", city.Name, city.Key)
 	}
 	if city.Counts["attr"] == 0 || len(city.Schema["rest"]) == 0 {
 		t.Fatalf("city response incomplete: %+v", city)
+	}
+	// The same city is served under its /cities key.
+	var scoped cityResponse
+	doJSON(t, "GET", ts.URL+"/cities/servercity", nil, http.StatusOK, &scoped)
+	if scoped.Name != city.Name {
+		t.Fatalf("scoped city = %+v", scoped)
+	}
+	doJSON(t, "GET", ts.URL+"/cities/atlantis", nil, http.StatusNotFound, nil)
+	// GET /cities lists the only city as loaded default.
+	var cities []citySummary
+	doJSON(t, "GET", ts.URL+"/cities", nil, http.StatusOK, &cities)
+	if len(cities) != 1 || cities[0].Key != "servercity" || !cities[0].Default || !cities[0].Loaded {
+		t.Fatalf("cities = %+v", cities)
+	}
+	// After a build, the health report carries engine cache metrics.
+	gid := createGroup(t, ts, 2)
+	createPackage(t, ts, gid)
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &health)
+	ch, ok := health.Cities["servercity"]
+	if !ok {
+		t.Fatalf("loaded city missing from health: %+v", health)
+	}
+	if ch.Cache.Misses < 1 || ch.Cache.Cap != 64 || ch.Groups < 1 || ch.Packages < 1 {
+		t.Fatalf("city health = %+v", ch)
+	}
+	// ...and the dataset name once the default city is resident.
+	if health.City != "ServerCity" {
+		t.Fatalf("resident health city = %q", health.City)
 	}
 }
 
@@ -288,6 +329,8 @@ func TestRefineEndpoint(t *testing.T) {
 		t.Fatalf("refine = %+v", ref2)
 	}
 	doJSON(t, "POST", refineURL, refineRequest{Strategy: "quantum"}, http.StatusBadRequest, nil)
+	// Rebuild k is bounded like package creation.
+	doJSON(t, "POST", refineURL, refineRequest{Strategy: "batch", Rebuild: true, K: 10000}, http.StatusBadRequest, nil)
 }
 
 func TestConcurrentRequests(t *testing.T) {

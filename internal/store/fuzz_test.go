@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"grouptravel/internal/dataset"
 	"grouptravel/internal/poi"
 )
 
@@ -36,6 +37,55 @@ func FuzzLoadProfile(f *testing.F) {
 			if len(p.Vector(c)) != schema.Dim(c) {
 				t.Fatalf("loader accepted wrong-dimension profile from %q", s)
 			}
+		}
+	})
+}
+
+// FuzzLoadServerState feeds arbitrary bytes to the full-state snapshot
+// loader. Snapshots live on disk across restarts, the prime target for
+// corruption — the loader must fail cleanly (error, never panic) and
+// anything it does accept must satisfy the registry invariants a restarted
+// server relies on.
+func FuzzLoadServerState(f *testing.F) {
+	city, err := dataset.Generate(dataset.TestSpec("FuzzCity", 83))
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		`{"version":1,"city":"FuzzCity","nextId":1,"groups":[],"packages":[]}`,
+		`{"version":1,"city":"FuzzCity","nextId":0,"groups":[{"id":1}]}`,
+		`{"version":1,"city":"Atlantis","nextId":1}`,
+		`{"version":99}`,
+		`{"version":1,"city":"FuzzCity","nextId":3,"groups":[{"id":1},{"id":1}]}`,
+		`{"version":1,"city":"FuzzCity","nextId":3,"packages":[{"id":1,"groupId":9,
+		  "package":{"version":1,"city":"FuzzCity","query":{"Acco":1,"Trans":0,"Rest":0,"Attr":0,"Budget":0},"cis":[]}}]}`,
+		`{"version":1,"city":"FuzzCity","nextId":2,"groups":[{"id":-1}]}`,
+		`{]`,
+		``,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		st, err := LoadServerState(strings.NewReader(s), city)
+		if err != nil {
+			return // clean failure is the contract
+		}
+		seen := map[int]bool{}
+		groups := map[int]bool{}
+		for _, gr := range st.Groups {
+			if gr.ID < 1 || gr.ID >= st.NextID || seen[gr.ID] || gr.Group == nil {
+				t.Fatalf("loader accepted invalid group record %+v from %q", gr, s)
+			}
+			seen[gr.ID] = true
+			groups[gr.ID] = true
+		}
+		for _, pr := range st.Packages {
+			if pr.ID < 1 || pr.ID >= st.NextID || seen[pr.ID] || pr.Package == nil || !groups[pr.GroupID] {
+				t.Fatalf("loader accepted invalid package record from %q", s)
+			}
+			seen[pr.ID] = true
 		}
 	})
 }

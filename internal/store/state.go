@@ -1,0 +1,333 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+)
+
+// This file persists the full serving state of one city — every registered
+// group (with its memoized consensus profiles) and every built package —
+// so a server restart reconstructs its registries instead of dropping
+// them. Packages reference POIs by id and re-resolve against the city on
+// load, exactly like LoadPackage.
+
+// GroupRecord is one registered group as the server holds it.
+type GroupRecord struct {
+	ID    int
+	Group *profile.Group
+	// Profiles are the memoized consensus aggregations (consensus name →
+	// aggregated profile). They are derivable from Group, but persisting
+	// them keeps a restarted server's memo warm and round-trips the exact
+	// state the handlers observed.
+	Profiles map[string]*profile.Profile
+}
+
+// PackageRecord is one built package with its serving metadata.
+type PackageRecord struct {
+	ID      int
+	GroupID int
+	Method  string // consensus name the package was built with
+	Package *core.TravelPackage
+	// Ops is the customization log of the package's session. The ops were
+	// already applied to Package when it was saved; persisting the log
+	// keeps profile refinement working across restarts.
+	Ops []interact.Op
+}
+
+// ServerState is everything a city's serving layer must survive a restart:
+// id allocation plus both registries.
+type ServerState struct {
+	City     string
+	NextID   int
+	Groups   []GroupRecord
+	Packages []PackageRecord
+}
+
+type groupRecordJSON struct {
+	ID       int                    `json:"id"`
+	Group    groupJSON              `json:"group"`
+	Profiles map[string]profileJSON `json:"profiles,omitempty"`
+}
+
+type packageRecordJSON struct {
+	ID      int         `json:"id"`
+	GroupID int         `json:"groupId"`
+	Method  string      `json:"method"`
+	Package packageJSON `json:"package"`
+	Ops     []opJSON    `json:"ops,omitempty"`
+}
+
+// opJSON is one logged customization op; POIs are referenced by id.
+type opJSON struct {
+	Kind    string `json:"kind"` // REMOVE | ADD | REPLACE | GENERATE
+	Member  int    `json:"member"`
+	CI      int    `json:"ci"`
+	Added   []int  `json:"added,omitempty"`
+	Removed []int  `json:"removed,omitempty"`
+}
+
+func opsToJSON(ops []interact.Op) []opJSON {
+	out := make([]opJSON, 0, len(ops))
+	for _, op := range ops {
+		oj := opJSON{Kind: op.Kind.String(), Member: op.Member, CI: op.CIIndex}
+		for _, p := range op.Added {
+			oj.Added = append(oj.Added, p.ID)
+		}
+		for _, p := range op.Removed {
+			oj.Removed = append(oj.Removed, p.ID)
+		}
+		out = append(out, oj)
+	}
+	return out
+}
+
+// opsFromJSON rebuilds a package's op log; members are validated against
+// the owning group's size so a tampered log cannot poison refinement.
+func opsFromJSON(in []opJSON, city *dataset.City, groupSize int) ([]interact.Op, error) {
+	out := make([]interact.Op, 0, len(in))
+	for i, oj := range in {
+		kind, err := interact.ParseOpKind(oj.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("store: op %d: %w", i, err)
+		}
+		if oj.Member < 0 || oj.Member >= groupSize || oj.CI < 0 {
+			return nil, fmt.Errorf("store: op %d member/ci out of range", i)
+		}
+		op := interact.Op{Kind: kind, Member: oj.Member, CIIndex: oj.CI}
+		resolve := func(ids []int) ([]*poi.POI, error) {
+			var pois []*poi.POI
+			for _, id := range ids {
+				p := city.POIs.ByID(id)
+				if p == nil {
+					return nil, fmt.Errorf("store: op %d references unknown POI %d", i, id)
+				}
+				pois = append(pois, p)
+			}
+			return pois, nil
+		}
+		if op.Added, err = resolve(oj.Added); err != nil {
+			return nil, err
+		}
+		if op.Removed, err = resolve(oj.Removed); err != nil {
+			return nil, err
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}
+
+type serverStateJSON struct {
+	Version  int                 `json:"version"`
+	City     string              `json:"city"`
+	NextID   int                 `json:"nextId"`
+	Groups   []groupRecordJSON   `json:"groups"`
+	Packages []packageRecordJSON `json:"packages"`
+}
+
+// SaveServerState writes a city's full serving state as versioned JSON.
+func SaveServerState(w io.Writer, st *ServerState) error {
+	if st == nil {
+		return fmt.Errorf("store: nil server state")
+	}
+	out := serverStateJSON{Version: Version, City: st.City, NextID: st.NextID}
+	for _, gr := range st.Groups {
+		if gr.Group == nil {
+			return fmt.Errorf("store: group %d is nil", gr.ID)
+		}
+		gj := groupRecordJSON{ID: gr.ID, Group: groupToJSON(gr.Group)}
+		if len(gr.Profiles) > 0 {
+			gj.Profiles = make(map[string]profileJSON, len(gr.Profiles))
+			for name, p := range gr.Profiles {
+				gj.Profiles[name] = profileToJSON(p)
+			}
+		}
+		out.Groups = append(out.Groups, gj)
+	}
+	for _, pr := range st.Packages {
+		if pr.Package == nil {
+			return fmt.Errorf("store: package %d is nil", pr.ID)
+		}
+		out.Packages = append(out.Packages, packageRecordJSON{
+			ID: pr.ID, GroupID: pr.GroupID, Method: pr.Method,
+			Package: packageToJSON(pr.Package),
+			Ops:     opsToJSON(pr.Ops),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadServerState reads a state snapshot and re-resolves it against the
+// city. Snapshots may be hand-edited or corrupted, so everything is
+// validated: the version and city name must match, ids must be positive
+// and unique, NextID must clear every id (or id allocation would collide
+// after restart), every package must reference a loaded group, and all
+// profiles and POI ids are checked against the city's schema and dataset.
+func LoadServerState(r io.Reader, city *dataset.City) (*ServerState, error) {
+	if city == nil || city.POIs == nil {
+		return nil, fmt.Errorf("store: nil city")
+	}
+	var in serverStateJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("store: decode server state: %w", err)
+	}
+	if in.Version > Version {
+		return nil, fmt.Errorf("store: server state format v%d newer than supported v%d", in.Version, Version)
+	}
+	if in.City != city.Name {
+		return nil, fmt.Errorf("store: snapshot is for city %q, got %q", in.City, city.Name)
+	}
+	if in.NextID < 1 {
+		// Adopting nextId < 1 would make the server allocate ids its own
+		// next snapshot rejects as out of range.
+		return nil, fmt.Errorf("store: nextId %d out of range", in.NextID)
+	}
+	st := &ServerState{City: in.City, NextID: in.NextID}
+	seen := make(map[int]bool, len(in.Groups)+len(in.Packages))
+	takeID := func(id int, what string) error {
+		if id < 1 {
+			return fmt.Errorf("store: %s id %d out of range", what, id)
+		}
+		if seen[id] {
+			return fmt.Errorf("store: duplicate id %d (%s)", id, what)
+		}
+		if id >= in.NextID {
+			return fmt.Errorf("store: %s id %d not below nextId %d", what, id, in.NextID)
+		}
+		seen[id] = true
+		return nil
+	}
+	groupSizes := make(map[int]int, len(in.Groups))
+	for _, gj := range in.Groups {
+		if err := takeID(gj.ID, "group"); err != nil {
+			return nil, err
+		}
+		g, err := groupFromJSON(gj.Group, city.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("store: group %d: %w", gj.ID, err)
+		}
+		gr := GroupRecord{ID: gj.ID, Group: g}
+		if len(gj.Profiles) > 0 {
+			gr.Profiles = make(map[string]*profile.Profile, len(gj.Profiles))
+			for name, pj := range gj.Profiles {
+				p, err := profileFromJSON(pj, city.Schema)
+				if err != nil {
+					return nil, fmt.Errorf("store: group %d profile %q: %w", gj.ID, name, err)
+				}
+				gr.Profiles[name] = p
+			}
+		}
+		groupSizes[gj.ID] = g.Size()
+		st.Groups = append(st.Groups, gr)
+	}
+	for _, pj := range in.Packages {
+		if err := takeID(pj.ID, "package"); err != nil {
+			return nil, err
+		}
+		size, ok := groupSizes[pj.GroupID]
+		if !ok {
+			return nil, fmt.Errorf("store: package %d references unknown group %d", pj.ID, pj.GroupID)
+		}
+		tp, err := packageFromJSON(pj.Package, city)
+		if err != nil {
+			return nil, fmt.Errorf("store: package %d: %w", pj.ID, err)
+		}
+		ops, err := opsFromJSON(pj.Ops, city, size)
+		if err != nil {
+			return nil, fmt.Errorf("store: package %d: %w", pj.ID, err)
+		}
+		st.Packages = append(st.Packages, PackageRecord{
+			ID: pj.ID, GroupID: pj.GroupID, Method: pj.Method, Package: tp, Ops: ops,
+		})
+	}
+	sort.Slice(st.Groups, func(i, j int) bool { return st.Groups[i].ID < st.Groups[j].ID })
+	sort.Slice(st.Packages, func(i, j int) bool { return st.Packages[i].ID < st.Packages[j].ID })
+	return st, nil
+}
+
+// SnapshotPath is the canonical snapshot location for a city key inside a
+// snapshot directory.
+func SnapshotPath(dir, key string) string {
+	return filepath.Join(dir, key+".state.json")
+}
+
+// WriteSnapshot atomically persists a city's state under dir: the file is
+// written to a temp name and renamed into place, so readers (including a
+// concurrently restarting server) never observe a torn snapshot. It
+// returns the snapshot time.
+func WriteSnapshot(dir, key string, st *ServerState) (time.Time, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return time.Time{}, fmt.Errorf("store: snapshot dir: %w", err)
+	}
+	f, err := os.CreateTemp(dir, key+".state.*.tmp")
+	if err != nil {
+		return time.Time{}, fmt.Errorf("store: snapshot temp: %w", err)
+	}
+	tmp := f.Name()
+	if err := SaveServerState(f, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return time.Time{}, err
+	}
+	// Flush data before the rename and the directory entry after it:
+	// without both, a power loss shortly after the metadata-only rename
+	// can surface the new name with empty or torn content.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return time.Time{}, fmt.Errorf("store: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return time.Time{}, fmt.Errorf("store: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, SnapshotPath(dir, key)); err != nil {
+		os.Remove(tmp)
+		return time.Time{}, fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return time.Now(), nil
+}
+
+// CorruptSnapshotError marks a snapshot whose content failed decoding or
+// validation — as opposed to a transient I/O failure reading it, which
+// callers should retry rather than treat as data corruption.
+type CorruptSnapshotError struct{ Err error }
+
+func (e *CorruptSnapshotError) Error() string { return fmt.Sprintf("store: corrupt snapshot: %v", e.Err) }
+func (e *CorruptSnapshotError) Unwrap() error { return e.Err }
+
+// ReadSnapshot loads a city's state from dir. A missing snapshot is not an
+// error: it returns (nil, nil) so first boots start empty. The file is
+// read in full before decoding so that I/O errors (retryable) are
+// distinguishable from content errors (*CorruptSnapshotError).
+func ReadSnapshot(dir, key string, city *dataset.City) (*ServerState, error) {
+	raw, err := os.ReadFile(SnapshotPath(dir, key))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	st, err := LoadServerState(bytes.NewReader(raw), city)
+	if err != nil {
+		return nil, &CorruptSnapshotError{Err: err}
+	}
+	return st, nil
+}

@@ -10,7 +10,6 @@
 package store
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -37,32 +36,19 @@ type profileJSON struct {
 	Attr    []float64 `json:"attr"`
 }
 
-// SaveProfile writes a profile as JSON.
-func SaveProfile(w io.Writer, p *profile.Profile) error {
-	if p == nil {
-		return fmt.Errorf("store: nil profile")
-	}
-	out := profileJSON{
+// profileToJSON flattens a profile into the on-disk record.
+func profileToJSON(p *profile.Profile) profileJSON {
+	return profileJSON{
 		Version: Version,
 		Acco:    p.Vector(poi.Acco),
 		Trans:   p.Vector(poi.Trans),
 		Rest:    p.Vector(poi.Rest),
 		Attr:    p.Vector(poi.Attr),
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
 }
 
-// LoadProfile reads a profile and validates it against the schema.
-func LoadProfile(r io.Reader, schema *poi.Schema) (*profile.Profile, error) {
-	var in profileJSON
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("store: decode profile: %w", err)
-	}
-	if in.Version > Version {
-		return nil, fmt.Errorf("store: profile format v%d newer than supported v%d", in.Version, Version)
-	}
+// profileFromJSON rebuilds and validates a profile against the schema.
+func profileFromJSON(in profileJSON, schema *poi.Schema) (*profile.Profile, error) {
 	p := profile.New(schema)
 	for cat, v := range map[poi.Category][]float64{
 		poi.Acco: in.Acco, poi.Trans: in.Trans, poi.Rest: in.Rest, poi.Attr: in.Attr,
@@ -77,9 +63,53 @@ func LoadProfile(r io.Reader, schema *poi.Schema) (*profile.Profile, error) {
 	return p, nil
 }
 
+// SaveProfile writes a profile as JSON.
+func SaveProfile(w io.Writer, p *profile.Profile) error {
+	if p == nil {
+		return fmt.Errorf("store: nil profile")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(profileToJSON(p))
+}
+
+// LoadProfile reads a profile and validates it against the schema.
+func LoadProfile(r io.Reader, schema *poi.Schema) (*profile.Profile, error) {
+	var in profileJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("store: decode profile: %w", err)
+	}
+	if in.Version > Version {
+		return nil, fmt.Errorf("store: profile format v%d newer than supported v%d", in.Version, Version)
+	}
+	return profileFromJSON(in, schema)
+}
+
 type groupJSON struct {
 	Version int           `json:"version"`
 	Members []profileJSON `json:"members"`
+}
+
+// groupToJSON flattens a group's member profiles.
+func groupToJSON(g *profile.Group) groupJSON {
+	out := groupJSON{Version: Version}
+	for _, m := range g.Members {
+		out.Members = append(out.Members, profileToJSON(m))
+	}
+	return out
+}
+
+// groupFromJSON rebuilds a group against the schema.
+func groupFromJSON(in groupJSON, schema *poi.Schema) (*profile.Group, error) {
+	members := make([]*profile.Profile, 0, len(in.Members))
+	for i, mj := range in.Members {
+		p, err := profileFromJSON(mj, schema)
+		if err != nil {
+			return nil, fmt.Errorf("store: member %d: %w", i, err)
+		}
+		members = append(members, p)
+	}
+	return profile.NewGroup(schema, members)
 }
 
 // SaveGroup writes a group's member profiles.
@@ -87,17 +117,9 @@ func SaveGroup(w io.Writer, g *profile.Group) error {
 	if g == nil {
 		return fmt.Errorf("store: nil group")
 	}
-	out := groupJSON{Version: Version}
-	for _, m := range g.Members {
-		out.Members = append(out.Members, profileJSON{
-			Version: Version,
-			Acco:    m.Vector(poi.Acco), Trans: m.Vector(poi.Trans),
-			Rest: m.Vector(poi.Rest), Attr: m.Vector(poi.Attr),
-		})
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(groupToJSON(g))
 }
 
 // LoadGroup reads a group against the schema.
@@ -109,31 +131,34 @@ func LoadGroup(r io.Reader, schema *poi.Schema) (*profile.Group, error) {
 	if in.Version > Version {
 		return nil, fmt.Errorf("store: group format v%d newer than supported v%d", in.Version, Version)
 	}
-	members := make([]*profile.Profile, 0, len(in.Members))
-	for i, mj := range in.Members {
-		p := profile.New(schema)
-		for cat, v := range map[poi.Category][]float64{
-			poi.Acco: mj.Acco, poi.Trans: mj.Trans, poi.Rest: mj.Rest, poi.Attr: mj.Attr,
-		} {
-			if len(v) != schema.Dim(cat) {
-				return nil, fmt.Errorf("store: member %d %s dim %d, schema wants %d", i, cat, len(v), schema.Dim(cat))
-			}
-			if err := p.SetVector(cat, vec.Vector(v)); err != nil {
-				return nil, fmt.Errorf("store: member %d: %w", i, err)
-			}
-		}
-		members = append(members, p)
-	}
-	return profile.NewGroup(schema, members)
+	return groupFromJSON(in, schema)
 }
 
 type packageJSON struct {
 	Version int          `json:"version"`
 	City    string       `json:"city"`
 	Query   queryJSON    `json:"query"`
+	Params  *paramsJSON  `json:"params,omitempty"`
 	Group   *profileJSON `json:"group,omitempty"`
 	CIs     []ciJSON     `json:"cis"`
 	ObjVal  float64      `json:"objective"`
+}
+
+// paramsJSON persists the Eq. 1 tunables a package was built with, so a
+// reloaded package customizes (notably GENERATE, which rebuilds CIs with
+// the package's Beta/Gamma) exactly like the original. Stored verbatim:
+// baseline packages (BuildRandom) legitimately carry partial params.
+type paramsJSON struct {
+	K             int     `json:"k"`
+	Alpha         float64 `json:"alpha"`
+	Beta          float64 `json:"beta"`
+	Gamma         float64 `json:"gamma"`
+	F             float64 `json:"f"`
+	M             float64 `json:"m"`
+	ClusterIters  int     `json:"clusterIters"`
+	RefineRounds  int     `json:"refineRounds"`
+	Seed          int64   `json:"seed"`
+	DistinctItems bool    `json:"distinctItems,omitempty"`
 }
 
 type queryJSON struct {
@@ -146,11 +171,8 @@ type ciJSON struct {
 	ItemIDs  []int     `json:"items"`
 }
 
-// SavePackage writes a travel package. POIs are referenced by id.
-func SavePackage(w io.Writer, tp *core.TravelPackage) error {
-	if tp == nil {
-		return fmt.Errorf("store: nil package")
-	}
+// packageToJSON flattens a package; POIs are referenced by id.
+func packageToJSON(tp *core.TravelPackage) packageJSON {
 	out := packageJSON{
 		Version: Version,
 		City:    tp.City,
@@ -163,12 +185,15 @@ func SavePackage(w io.Writer, tp *core.TravelPackage) error {
 	if !tp.Query.Unbounded() {
 		out.Query.Budget = tp.Query.Budget
 	}
+	out.Params = &paramsJSON{
+		K: tp.Params.K, Alpha: tp.Params.Alpha, Beta: tp.Params.Beta,
+		Gamma: tp.Params.Gamma, F: tp.Params.F, M: tp.Params.M,
+		ClusterIters: tp.Params.ClusterIters, RefineRounds: tp.Params.RefineRounds,
+		Seed: tp.Params.Seed, DistinctItems: tp.Params.DistinctItems,
+	}
 	if tp.Group != nil {
-		out.Group = &profileJSON{
-			Version: Version,
-			Acco:    tp.Group.Vector(poi.Acco), Trans: tp.Group.Vector(poi.Trans),
-			Rest: tp.Group.Vector(poi.Rest), Attr: tp.Group.Vector(poi.Attr),
-		}
+		gj := profileToJSON(tp.Group)
+		out.Group = &gj
 	}
 	for _, c := range tp.CIs {
 		cj := ciJSON{Centroid: c.Centroid}
@@ -177,25 +202,13 @@ func SavePackage(w io.Writer, tp *core.TravelPackage) error {
 		}
 		out.CIs = append(out.CIs, cj)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return out
 }
 
-// LoadPackage reads a package and resolves its POIs against the city. The
-// city must be the same dataset the package was built on (name and all
+// packageFromJSON rebuilds a package, resolving its POIs against the city.
+// The city must be the same dataset the package was built on (name and all
 // referenced ids must match).
-func LoadPackage(r io.Reader, city *dataset.City) (*core.TravelPackage, error) {
-	if city == nil || city.POIs == nil {
-		return nil, fmt.Errorf("store: nil city")
-	}
-	var in packageJSON
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("store: decode package: %w", err)
-	}
-	if in.Version > Version {
-		return nil, fmt.Errorf("store: package format v%d newer than supported v%d", in.Version, Version)
-	}
+func packageFromJSON(in packageJSON, city *dataset.City) (*core.TravelPackage, error) {
 	if in.City != city.Name {
 		return nil, fmt.Errorf("store: package was built on %q, got city %q", in.City, city.Name)
 	}
@@ -208,12 +221,16 @@ func LoadPackage(r io.Reader, city *dataset.City) (*core.TravelPackage, error) {
 		return nil, err
 	}
 	tp := &core.TravelPackage{Query: q, City: in.City, ObjVal: in.ObjVal}
-	if in.Group != nil {
-		buf, err := json.Marshal(in.Group)
-		if err != nil {
-			return nil, err
+	if in.Params != nil {
+		tp.Params = core.Params{
+			K: in.Params.K, Alpha: in.Params.Alpha, Beta: in.Params.Beta,
+			Gamma: in.Params.Gamma, F: in.Params.F, M: in.Params.M,
+			ClusterIters: in.Params.ClusterIters, RefineRounds: in.Params.RefineRounds,
+			Seed: in.Params.Seed, DistinctItems: in.Params.DistinctItems,
 		}
-		gp, err := LoadProfile(bytes.NewReader(buf), city.Schema)
+	}
+	if in.Group != nil {
+		gp, err := profileFromJSON(*in.Group, city.Schema)
 		if err != nil {
 			return nil, err
 		}
@@ -231,4 +248,29 @@ func LoadPackage(r io.Reader, city *dataset.City) (*core.TravelPackage, error) {
 		tp.CIs = append(tp.CIs, c)
 	}
 	return tp, nil
+}
+
+// SavePackage writes a travel package. POIs are referenced by id.
+func SavePackage(w io.Writer, tp *core.TravelPackage) error {
+	if tp == nil {
+		return fmt.Errorf("store: nil package")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(packageToJSON(tp))
+}
+
+// LoadPackage reads a package and resolves its POIs against the city.
+func LoadPackage(r io.Reader, city *dataset.City) (*core.TravelPackage, error) {
+	if city == nil || city.POIs == nil {
+		return nil, fmt.Errorf("store: nil city")
+	}
+	var in packageJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("store: decode package: %w", err)
+	}
+	if in.Version > Version {
+		return nil, fmt.Errorf("store: package format v%d newer than supported v%d", in.Version, Version)
+	}
+	return packageFromJSON(in, city)
 }

@@ -136,6 +136,9 @@ func TestPackageRoundTrip(t *testing.T) {
 	if tp2.Query != tp.Query {
 		t.Fatalf("query changed: %v -> %v", tp.Query, tp2.Query)
 	}
+	if tp2.Params != tp.Params {
+		t.Fatalf("params changed: %+v -> %+v", tp.Params, tp2.Params)
+	}
 	if !tp2.Valid() {
 		t.Fatal("loaded package invalid")
 	}
