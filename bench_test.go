@@ -12,6 +12,7 @@ package grouptravel
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -610,6 +611,67 @@ func BenchmarkPackageSaveLoad(b *testing.B) {
 		if _, err := store.LoadPackage(&buf, benchCity); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Mutation persistence: snapshot-per-mutation vs WAL append ---
+//
+// The WAL refactor's acceptance criterion. The old durability path
+// rewrote a city's whole snapshot on every mutation — O(city state) —
+// while the write-ahead log appends one record — O(1). The sub-benchmarks
+// hold cities of 10 / 1k / 100k packages: the snapshot cost grows
+// linearly with city size, the append cost stays flat (both fsync, so
+// the comparison is durable-write vs durable-write).
+
+func BenchmarkMutationPersistence(b *testing.B) {
+	benchSetup(b)
+	tp, err := benchEngine.Build(benchGP, query.Default(), core.DefaultParams(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One customization op — the archetypal mutation a busy city persists.
+	op := interact.Op{
+		Kind: interact.OpRemove, Member: 0, CIIndex: 0,
+		Removed: []*poi.POI{tp.CIs[0].Items[0]},
+	}
+	for _, n := range []int{10, 1000, 100000} {
+		// One group plus n packages sharing one built package (records
+		// reference it read-only; only encoding cost matters here).
+		st := &store.ServerState{
+			City:   benchCity.Name,
+			NextID: n + 2,
+			Groups: []store.GroupRecord{{ID: 1, Group: benchGroup}},
+		}
+		for i := 0; i < n; i++ {
+			st.Packages = append(st.Packages, store.PackageRecord{
+				ID: i + 2, GroupID: 1, Method: "pairwise", Package: tp,
+			})
+		}
+		b.Run(fmt.Sprintf("snapshot/pkgs=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.WriteSnapshot(dir, "bench", st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("walAppend/pkgs=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			w, err := store.OpenWAL(dir, "bench", store.WALSyncPolicy{Mode: store.WALSyncAlways})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec := store.CustomOpRecord(2, op, tp.CIs[0])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			w.Close()
+		})
 	}
 }
 

@@ -5,11 +5,19 @@
 // (LRU-evicted, never mid-request), and persists every city's groups and
 // packages under -snapshot-dir so a restart reconstructs the full state.
 //
+// Persistence is a per-city write-ahead log plus periodic compaction:
+// every mutation appends one record to <key>.wal (fsynced per -wal-sync),
+// and the full <key>.state.json snapshot is rewritten only when the log
+// crosses -compact-every records (or the byte threshold) or the city is
+// evicted. A restart replays snapshot + log; torn log tails are truncated
+// and reported on /healthz.
+//
 // Usage:
 //
 //	grouptravel-server -city builtin:Paris -addr :8080
 //	grouptravel-server -city paris.json -snapshot-dir ./state
-//	grouptravel-server -data-dir ./cities -max-cities 4 -snapshot-dir ./state
+//	grouptravel-server -data-dir ./cities -max-cities 4 -snapshot-dir ./state \
+//	    -wal-sync 100ms -compact-every 4096 -preload-cities paris,rome
 //
 // Endpoints (JSON):
 //
@@ -41,24 +49,43 @@ import (
 
 	"grouptravel/internal/dataset"
 	"grouptravel/internal/server"
+	"grouptravel/internal/store"
 )
 
 func main() {
 	citySpec := flag.String("city", "", `extra city: "builtin:<Name>" or a JSON path (default builtin:Paris when -data-dir is unset)`)
 	dataDir := flag.String("data-dir", "", "directory of <key>.json city datasets to serve")
 	snapshotDir := flag.String("snapshot-dir", "", "persist per-city groups/packages here (empty: in-memory only)")
+	walSync := flag.String("wal-sync", "always", `write-ahead-log fsync policy: "always", "off", "interval", or a duration like 100ms`)
+	compactEvery := flag.Int("compact-every", 0, "compact a city's log into its snapshot after this many records (0: default 1024, <0: off)")
+	compactBytes := flag.Int64("compact-bytes", 0, "byte-size compaction trigger (0: default 4MiB, <0: off)")
+	preload := flag.String("preload-cities", "", "comma-separated city keys to load at boot (warm-up)")
 	maxCities := flag.Int("max-cities", 0, "max cities resident at once, LRU-evicted beyond it (0: unlimited)")
 	defaultCity := flag.String("default-city", "", "city key served by the legacy /api routes (default: first key)")
 	cacheCap := flag.Int("cluster-cache-cap", 0, "per-engine cluster cache bound (0: default, <0: unbounded)")
 	addr := flag.String("addr", ":8080", "listen address")
 	flag.Parse()
 
+	syncPolicy, err := store.ParseWALSync(*walSync)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := server.Options{
 		DataDir:        *dataDir,
 		SnapshotDir:    *snapshotDir,
+		WALSync:        syncPolicy,
+		CompactEvery:   *compactEvery,
+		CompactBytes:   *compactBytes,
 		MaxCities:      *maxCities,
 		DefaultCity:    *defaultCity,
 		EngineCacheCap: *cacheCap,
+	}
+	if *preload != "" {
+		for _, key := range strings.Split(*preload, ",") {
+			if key = strings.TrimSpace(key); key != "" {
+				opts.PreloadCities = append(opts.PreloadCities, key)
+			}
+		}
 	}
 	if *citySpec == "" && *dataDir == "" {
 		*citySpec = "builtin:Paris"
@@ -78,7 +105,7 @@ func main() {
 	fmt.Printf("grouptravel-server: %d cities %v (default %s) on %s\n",
 		len(keys), keys, srv.DefaultCity(), *addr)
 	if *snapshotDir != "" {
-		fmt.Printf("grouptravel-server: snapshotting state under %s\n", *snapshotDir)
+		fmt.Printf("grouptravel-server: WAL + snapshots under %s (fsync %s)\n", *snapshotDir, syncPolicy)
 	}
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -82,7 +82,7 @@ func main() {
 			"members": []any{ratings(0), ratings(1), ratings(3)},
 		}, &group)
 		var pkg struct {
-			ID   int  `json:"id"`
+			ID   int   `json:"id"`
 			Days []any `json:"days"`
 		}
 		post(base+"/cities/"+k+"/packages", map[string]any{
@@ -92,25 +92,36 @@ func main() {
 		fmt.Printf("%-10s group %d, package %d with %d days\n", name+":", group.ID, pkg.ID, len(pkg.Days))
 	}
 
-	// 4. The health endpoint shows the registry honoring its cap.
+	// 4. The health endpoint shows the registry honoring its cap and the
+	// write-ahead persistence at work: each mutation appended one log
+	// record; evicted cities were compacted (log folded into their
+	// snapshot) on the way out.
 	var health struct {
 		Registry struct {
 			Loaded    int   `json:"loaded"`
 			Evictions int64 `json:"evictions"`
 		} `json:"registry"`
 		Cities map[string]struct {
-			Packages     int    `json:"packages"`
-			LastSnapshot string `json:"lastSnapshot"`
+			Packages int `json:"packages"`
+			WAL      *struct {
+				Records     int64 `json:"records"`
+				Compactions int64 `json:"compactions"`
+			} `json:"wal"`
 		} `json:"cities"`
 	}
 	get(base+"/healthz", &health)
 	fmt.Printf("registry: %d resident, %d evictions\n", health.Registry.Loaded, health.Registry.Evictions)
 	for k, ch := range health.Cities {
-		fmt.Printf("  %-10s %d package(s), snapshotted %s\n", k+":", ch.Packages, ch.LastSnapshot)
+		if ch.WAL != nil {
+			fmt.Printf("  %-10s %d package(s), %d log record(s), %d compaction(s)\n",
+				k+":", ch.Packages, ch.WAL.Records, ch.WAL.Compactions)
+		} else {
+			fmt.Printf("  %-10s %d package(s)\n", k+":", ch.Packages)
+		}
 	}
 
 	// 5. Restart: a fresh server over the same directories reconstructs
-	// everything from snapshots.
+	// everything from snapshots plus write-ahead-log suffixes.
 	stop()
 	base, stop = serve(dataDir, snapDir)
 	defer stop()

@@ -83,14 +83,15 @@ type Options[S any] struct {
 }
 
 // entry is one slot in the key map. ready is closed when loading finished;
-// city/err are final after that. pins and lastUse are guarded by the
-// registry mutex.
+// city/err are final after that. pins, lastUse and loadNanos are guarded
+// by the registry mutex.
 type entry[S any] struct {
-	ready   chan struct{}
-	city    *City[S]
-	err     error
-	pins    int
-	lastUse int64
+	ready     chan struct{}
+	city      *City[S]
+	err       error
+	pins      int
+	lastUse   int64
+	loadNanos int64 // wall time of the Load → NewEngine → NewState pipeline
 }
 
 // Registry routes city keys to loaded cities. Safe for concurrent use.
@@ -101,6 +102,7 @@ type Registry[S any] struct {
 	mu        sync.Mutex
 	known     map[string]bool
 	entries   map[string]*entry[S]
+	draining  map[string]chan struct{} // evicted keys whose OnEvict hook is still running
 	clock     int64
 	evictions int64
 	loads     int64
@@ -115,9 +117,10 @@ func New[S any](keys []string, opts Options[S]) (*Registry[S], error) {
 		return nil, fmt.Errorf("registry: no cities")
 	}
 	r := &Registry[S]{
-		opts:    opts,
-		known:   make(map[string]bool, len(keys)),
-		entries: make(map[string]*entry[S], len(keys)),
+		opts:     opts,
+		known:    make(map[string]bool, len(keys)),
+		entries:  make(map[string]*entry[S], len(keys)),
+		draining: make(map[string]chan struct{}),
 	}
 	for _, k := range keys {
 		if k == "" {
@@ -152,6 +155,20 @@ func (r *Registry[S]) Acquire(key string) (c *City[S], release func(), err error
 		return nil, nil, fmt.Errorf("registry: unknown city %q", key)
 	}
 	r.mu.Lock()
+	// An evicted city's OnEvict hook may still be tearing state down
+	// (flushing/closing its persistence files). Reloading the key while
+	// the hook runs would put two owners on the same on-disk state — the
+	// old one's teardown could clobber the new one's writes — so wait for
+	// the drain to finish before loading.
+	for {
+		drain, ok := r.draining[key]
+		if !ok {
+			break
+		}
+		r.mu.Unlock()
+		<-drain
+		r.mu.Lock()
+	}
 	e, ok := r.entries[key]
 	if ok {
 		e.pins++
@@ -174,7 +191,9 @@ func (r *Registry[S]) Acquire(key string) (c *City[S], release func(), err error
 	r.loads++
 	r.mu.Unlock()
 
+	loadStart := time.Now()
 	e.city, e.err = r.load(key)
+	loadNanos := int64(time.Since(loadStart))
 	if e.err != nil {
 		// Forget the failed load so a later Acquire retries; waiters
 		// observe the error through the entry they already hold.
@@ -184,6 +203,9 @@ func (r *Registry[S]) Acquire(key string) (c *City[S], release func(), err error
 		close(e.ready)
 		return nil, nil, e.err
 	}
+	r.mu.Lock()
+	e.loadNanos = loadNanos
+	r.mu.Unlock()
 	close(e.ready)
 	r.evictOverCap()
 	return e.city, func() { r.unpin(key, e) }, nil
@@ -234,7 +256,9 @@ func (r *Registry[S]) unpin(key string, e *entry[S]) {
 }
 
 // evictOverCap evicts least-recently-used unpinned cities until the count
-// fits MaxCities again. Victims' OnEvict hooks run outside the lock.
+// fits MaxCities again. Victims' OnEvict hooks run outside the lock;
+// while one runs, its key is marked draining so a concurrent Acquire
+// cannot reload the city mid-teardown.
 func (r *Registry[S]) evictOverCap() {
 	if r.opts.MaxCities <= 0 {
 		return
@@ -267,20 +291,32 @@ func (r *Registry[S]) evictOverCap() {
 		}
 		delete(r.entries, victimKey)
 		r.evictions++
+		if r.opts.OnEvict != nil {
+			r.draining[victimKey] = make(chan struct{})
+		}
 		victims = append(victims, victim.city)
 	}
 	r.mu.Unlock()
 	if r.opts.OnEvict != nil {
 		for _, c := range victims {
 			r.opts.OnEvict(c)
+			r.mu.Lock()
+			drain := r.draining[c.Key]
+			delete(r.draining, c.Key)
+			r.mu.Unlock()
+			close(drain)
 		}
 	}
 }
 
-// LoadedCity is one resident city as reported by Stats.
+// LoadedCity is one resident city as reported by Stats. LoadMillis is the
+// wall time its load pipeline took — dataset read, engine construction and
+// state build (with persistence: snapshot read + log replay) — so a warm-up
+// policy can see what each cold start costs; 0 while still loading.
 type LoadedCity struct {
-	Key  string `json:"key"`
-	Pins int    `json:"pins"`
+	Key        string  `json:"key"`
+	Pins       int     `json:"pins"`
+	LoadMillis float64 `json:"loadMillis"`
 }
 
 // Stats is a point-in-time view of the registry for health endpoints.
@@ -305,7 +341,10 @@ func (r *Registry[S]) Stats() Stats {
 		MaxCities: max(r.opts.MaxCities, 0),
 	}
 	for k, e := range r.entries {
-		st.Cities = append(st.Cities, LoadedCity{Key: k, Pins: e.pins})
+		st.Cities = append(st.Cities, LoadedCity{
+			Key: k, Pins: e.pins,
+			LoadMillis: float64(e.loadNanos) / float64(time.Millisecond),
+		})
 	}
 	sort.Slice(st.Cities, func(i, j int) bool { return st.Cities[i].Key < st.Cities[j].Key })
 	return st

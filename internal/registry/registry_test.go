@@ -147,6 +147,12 @@ func TestLRUEvictionAndReload(t *testing.T) {
 	if st.Loaded != 2 || st.Evictions != 1 || st.Known != 3 {
 		t.Fatalf("stats = %+v", st)
 	}
+	// Every resident city reports the wall time its load pipeline took.
+	for _, c := range st.Cities {
+		if c.LoadMillis <= 0 {
+			t.Fatalf("city %s missing load latency: %+v", c.Key, c)
+		}
+	}
 	// The evicted city reloads transparently on next use.
 	before := loads.Load()
 	touch("b")
@@ -303,5 +309,58 @@ func TestConcurrentAcquireUnderCap(t *testing.T) {
 	}
 	if st.Loads != loads.Load() {
 		t.Fatalf("stats.Loads = %d, counted %d", st.Loads, loads.Load())
+	}
+}
+
+// TestEvictionDrainBlocksReload: while an evicted city's OnEvict hook is
+// still tearing state down (e.g. compacting and closing its persistence
+// files), an Acquire of the same key must wait — reloading mid-teardown
+// would put two owners on the same on-disk state.
+func TestEvictionDrainBlocksReload(t *testing.T) {
+	city := sharedCity(t)
+	hookEntered := make(chan string, 4)
+	hookRelease := make(chan struct{})
+	r, err := New([]string{"a", "b"}, Options[*counterState]{
+		Load:     func(key string) (*dataset.City, error) { return city, nil },
+		NewState: func(c *City[*counterState]) (*counterState, error) { return &counterState{key: c.Key}, nil },
+		OnEvict: func(c *City[*counterState]) {
+			hookEntered <- c.Key
+			<-hookRelease
+		},
+		MaxCities: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	touch := func(key string) {
+		_, release, err := r.Acquire(key)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		release()
+	}
+	touch("a")
+	// Evicting a runs the (blocked) hook on this goroutine's eviction
+	// pass — do it from a helper goroutine so the test can act while the
+	// hook is in flight.
+	go touch("b")
+	evictedKey := <-hookEntered // a's hook is now running and blocked
+
+	reloaded := make(chan struct{})
+	go func() {
+		touch(evictedKey)
+		close(reloaded)
+	}()
+	select {
+	case <-reloaded:
+		t.Fatal("evicted city reloaded while its OnEvict hook was still running")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(hookRelease)
+	select {
+	case <-reloaded:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reload never proceeded after the hook finished")
 	}
 }

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"grouptravel/internal/core"
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+)
+
+// Build-request batching: concurrent Build calls with an identical
+// (profile, query, params) triple collapse into one engine run whose
+// result every caller shares. The engine's cluster cache already dedups
+// the clustering phase; this dedups the CI-construction phase the same
+// way, at the server layer, where identical requests actually collide
+// (many members of one group pressing "generate" at once).
+//
+// Only in-flight calls coalesce — nothing is cached after the last caller
+// returns, so the dedup can never serve stale results and needs no
+// eviction policy. Sharing the built *core.TravelPackage is safe because
+// every consumer wraps it in interact.NewSession, which deep-copies at
+// the CI level before any mutation.
+
+// buildCall is one in-flight build; done closes when tp/err are final.
+type buildCall struct {
+	done chan struct{}
+	tp   *core.TravelPackage
+	err  error
+}
+
+// buildGroup is a singleflight keyed on the exact build inputs.
+type buildGroup struct {
+	mu     sync.Mutex
+	calls  map[string]*buildCall
+	dedups atomic.Int64 // calls served from another call's flight
+}
+
+// do runs build once per key among concurrent callers; late arrivals
+// block on the first flight and share its result.
+func (g *buildGroup) do(key string, build func() (*core.TravelPackage, error)) (*core.TravelPackage, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*buildCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.dedups.Add(1)
+		<-c.done
+		return c.tp, c.err
+	}
+	c := &buildCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.tp, c.err = build()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.tp, c.err
+}
+
+// build runs an engine build deduplicated against identical concurrent
+// requests. Callers must treat the result as shared and immutable.
+func (cs *cityState) build(gp *profile.Profile, q query.Query, params core.Params) (*core.TravelPackage, error) {
+	return cs.builds.do(buildKey(gp, q, params), func() (*core.TravelPackage, error) {
+		return cs.engine.Build(gp, q, params)
+	})
+}
+
+// buildKey serializes the build-identifying inputs byte-exactly — float
+// bit patterns, not formatted text — so two requests dedup iff the engine
+// would see identical inputs. Profile dimensions are schema-fixed, so the
+// concatenation is unambiguous.
+func buildKey(gp *profile.Profile, q query.Query, params core.Params) string {
+	b := make([]byte, 0, 256)
+	putF := func(f float64) { b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f)) }
+	putI := func(i int) { b = binary.LittleEndian.AppendUint64(b, uint64(i)) }
+	if gp == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		for _, c := range poi.Categories {
+			for _, v := range gp.Vector(c) {
+				putF(v)
+			}
+		}
+	}
+	for _, n := range q.Counts {
+		putI(n)
+	}
+	putF(q.Budget)
+	putI(params.K)
+	putF(params.Alpha)
+	putF(params.Beta)
+	putF(params.Gamma)
+	putF(params.F)
+	putF(params.M)
+	putI(params.ClusterIters)
+	putI(params.RefineRounds)
+	putI(int(params.Seed))
+	if params.DistinctItems {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return string(b)
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/rng"
+)
+
+// TestBuildSingleflight: concurrent calls with the same key share one
+// build; different keys run independently; nothing is cached once the
+// flight lands.
+func TestBuildSingleflight(t *testing.T) {
+	var g buildGroup
+	release := make(chan struct{})
+	var calls atomic.Int32
+	slow := func() (*core.TravelPackage, error) {
+		calls.Add(1)
+		<-release
+		return &core.TravelPackage{City: "slow"}, nil
+	}
+
+	const followers = 8
+	results := make(chan *core.TravelPackage, followers+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tp, err := g.do("k", slow)
+		if err != nil {
+			t.Error(err)
+		}
+		results <- tp
+	}()
+	// Wait for the leader to be in flight so the followers provably join
+	// it rather than racing to start their own.
+	for calls.Load() == 0 {
+	}
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tp, err := g.do("k", slow)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- tp
+		}()
+	}
+	// A different key is not blocked behind the in-flight "k".
+	other, err := g.do("other", func() (*core.TravelPackage, error) {
+		return &core.TravelPackage{City: "other"}, nil
+	})
+	if err != nil || other.City != "other" {
+		t.Fatalf("independent key blocked or failed: %v %v", other, err)
+	}
+
+	// Release only after every follower has provably joined the flight —
+	// otherwise a late follower would start its own build.
+	for g.dedups.Load() < followers {
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+	var first *core.TravelPackage
+	for tp := range results {
+		if first == nil {
+			first = tp
+		} else if tp != first {
+			t.Fatal("followers did not share the leader's result")
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("build ran %d times for one key, want 1", n)
+	}
+	if d := g.dedups.Load(); d != followers {
+		t.Fatalf("dedups = %d, want %d", d, followers)
+	}
+
+	// After the flight lands, the key is forgotten: a new call builds
+	// fresh (no stale caching).
+	fresh, err := g.do("k", func() (*core.TravelPackage, error) {
+		return &core.TravelPackage{City: "fresh"}, nil
+	})
+	if err != nil || fresh.City != "fresh" {
+		t.Fatalf("post-flight call did not rebuild: %v %v", fresh, err)
+	}
+}
+
+// TestBuildKey: the key must separate everything the engine's output
+// depends on and nothing else.
+func TestBuildKey(t *testing.T) {
+	c, err := dataset.Generate(dataset.TestSpec("KeyCity", 93))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := profile.GenerateRandomProfile(c.Schema, rng.New(1))
+	p1b := profile.GenerateRandomProfile(c.Schema, rng.New(1)) // same seed: equal values, distinct pointer
+	p2 := profile.GenerateRandomProfile(c.Schema, rng.New(2))
+	q := query.Default()
+	params := core.DefaultParams(3)
+
+	base := buildKey(p1, q, params)
+	if buildKey(p1b, q, params) != base {
+		t.Fatal("value-equal profiles keyed differently")
+	}
+	distinct := map[string]string{
+		"profile": buildKey(p2, q, params),
+		"nil":     buildKey(nil, q, params),
+		"query":   buildKey(p1, query.MustNew(1, 1, 1, 1, 5), params),
+		"k":       buildKey(p1, q, core.DefaultParams(4)),
+	}
+	seed := params
+	seed.Seed = 7
+	distinct["seed"] = buildKey(p1, q, seed)
+	dist := params
+	dist.DistinctItems = true
+	distinct["distinct"] = buildKey(p1, q, dist)
+	for name, k := range distinct {
+		if k == base {
+			t.Fatalf("case %q collided with the base key", name)
+		}
+	}
+}

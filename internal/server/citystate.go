@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"grouptravel/internal/ci"
 	"grouptravel/internal/consensus"
@@ -21,6 +22,15 @@ import (
 
 // cityState is one city's serving state: the group/package registries over
 // the city's shared engine, plus the persistence plumbing.
+//
+// # Persistence model
+//
+// Durable state is snapshot + write-ahead log suffix. Every mutation
+// commits by appending exactly one WAL record — O(1 record), regardless
+// of how many groups and packages the city holds — and the full-state
+// snapshot is only rewritten at *compaction*: when the log crosses the
+// record-count or byte thresholds, or when the city is evicted cleanly.
+// Recovery (newCityState) loads the snapshot and replays the log tail.
 type cityState struct {
 	key    string
 	city   *dataset.City
@@ -33,12 +43,31 @@ type cityState struct {
 	packages map[int]*packageState
 	nextID   int
 
-	// snapDir is empty when persistence is off. snapMu serializes snapshot
-	// writes (state collection runs before it, under the usual locks).
-	snapDir  string
-	snapMu   sync.Mutex
-	snapTime atomic.Int64  // unix nanos of the last successful snapshot
-	snapErr  atomic.Value  // last snapshot error string; "" once healthy
+	// builds singleflights identical concurrent Build calls (same profile,
+	// query and params) so the CI-construction phase is deduped like the
+	// cluster cache already dedups the clustering.
+	builds buildGroup
+
+	// snapDir is empty when persistence is off (wal is nil then too).
+	// persistMu orders mutations against compaction: a mutation holds the
+	// read side across [in-memory commit + WAL append] so compaction
+	// (write side: collect + snapshot + log reset) can never collect a
+	// state whose record it then truncates — or miss a record its
+	// snapshot doesn't contain.
+	snapDir      string
+	wal          *store.WAL
+	persistMu    sync.RWMutex
+	compactEvery int64
+	compactBytes int64
+	compacting   atomic.Bool
+	compactions  atomic.Int64
+	snapTime     atomic.Int64 // unix nanos of the last successful compaction
+	persistErr   atomic.Value // last persistence error string; "" once healthy
+
+	// Replay facts from the last load, for /healthz. Immutable after
+	// newCityState.
+	replay       store.WALReplayInfo
+	replayMillis float64
 }
 
 // groupState is one registered group. group is immutable after creation;
@@ -80,49 +109,46 @@ type packageState struct {
 	session *interact.Session
 }
 
-// newCityState builds (or, with persistence on, restores) a city's serving
+// newCityState builds (or, with persistence on, recovers) a city's serving
 // state. Called by the registry on first touch and again after eviction.
+// Recovery is snapshot + WAL replay: the snapshot is the last compaction,
+// the log holds every mutation since. A torn log tail was already
+// truncated by the replayer (surfaced on /healthz); a corrupt snapshot
+// quarantines both files — the log is a suffix over the snapshot and is
+// meaningless without its base.
 func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) {
 	cs := &cityState{
-		key:      c.Key,
-		city:     c.City,
-		engine:   c.Engine,
-		groups:   make(map[int]*groupState),
-		packages: make(map[int]*packageState),
-		nextID:   1,
-		snapDir:  s.snapshotDir,
+		key:          c.Key,
+		city:         c.City,
+		engine:       c.Engine,
+		groups:       make(map[int]*groupState),
+		packages:     make(map[int]*packageState),
+		nextID:       1,
+		snapDir:      s.snapshotDir,
+		compactEvery: s.compactEvery,
+		compactBytes: s.compactBytes,
 	}
-	cs.snapErr.Store("")
+	cs.persistErr.Store("")
 	if cs.snapDir == "" {
 		return cs, nil
 	}
-	st, err := store.ReadSnapshot(cs.snapDir, cs.key, cs.city)
+
+	start := time.Now()
+	st, err := cs.recoverState()
 	if err != nil {
-		// Corruption must not brick the city — start empty, quarantine
-		// the bad file, surface on /healthz. A transient I/O failure is
-		// different: quarantining an intact snapshot would orphan it, so
-		// fail this load instead; the registry forgets failed loads and
-		// the next request retries.
-		var corrupt *store.CorruptSnapshotError
-		if !errors.As(err, &corrupt) {
-			return nil, fmt.Errorf("server: snapshot for %q: %w", cs.key, err)
-		}
-		cs.quarantineSnapshot(err)
-		return cs, nil
+		return nil, err
 	}
+	wal, err := store.OpenWAL(cs.snapDir, cs.key, s.walSync)
+	if err != nil {
+		return nil, fmt.Errorf("server: wal for %q: %w", cs.key, err)
+	}
+	wal.Seed(cs.replay.CurrentRecords, cs.replay.LastSeq)
+	cs.wal = wal
+	cs.replayMillis = float64(time.Since(start)) / float64(time.Millisecond)
 	if st == nil {
-		return cs, nil // first boot: nothing persisted yet
+		return cs, nil // first boot, or quarantined state: start empty
 	}
-	// The store validates structure against the city; consensus names are
-	// server vocabulary, so check them here — at load, where the failure
-	// lands on /healthz — rather than letting a hand-edited method 500 on
-	// the first /refine.
-	for _, pr := range st.Packages {
-		if _, _, err := methodByName(pr.Method); err != nil {
-			cs.quarantineSnapshot(fmt.Errorf("package %d: %w", pr.ID, err))
-			return cs, nil
-		}
-	}
+
 	cs.nextID = st.NextID
 	for _, gr := range st.Groups {
 		profiles := gr.Profiles
@@ -134,6 +160,9 @@ func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) 
 	for _, pr := range st.Packages {
 		sess, err := interact.NewSession(cs.city, pr.Package)
 		if err != nil {
+			// The registry forgets failed loads and retries on the next
+			// request; leaving the log open would leak one fd per retry.
+			wal.Close()
 			return nil, fmt.Errorf("server: restore package %d: %w", pr.ID, err)
 		}
 		// The persisted ops are already reflected in the package items;
@@ -144,18 +173,69 @@ func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) 
 	return cs, nil
 }
 
-// quarantineSnapshot moves an unreadable snapshot aside (to
-// <file>.corrupt) so the next mutation's snapshot cannot overwrite the
-// only copy of the previously committed state, and records the failure for
-// /healthz. The moved file is the operator's recovery artifact.
-func (cs *cityState) quarantineSnapshot(cause error) {
-	src := store.SnapshotPath(cs.snapDir, cs.key)
-	dst := src + ".corrupt"
-	if err := os.Rename(src, dst); err != nil {
-		cs.snapErr.Store(fmt.Sprintf("snapshot ignored (quarantine failed: %v): %v", err, cause))
-		return
+// recoverState reads snapshot + log. It returns nil state (not an error)
+// when the city starts empty: nothing persisted yet, or corruption that
+// was quarantined. I/O failures are returned as errors so the registry
+// forgets the load and the next request retries.
+func (cs *cityState) recoverState() (*store.ServerState, error) {
+	base, err := store.ReadSnapshot(cs.snapDir, cs.key, cs.city)
+	if err != nil {
+		// Corruption must not brick the city — quarantine, start empty,
+		// surface on /healthz. A transient I/O failure is different:
+		// quarantining an intact snapshot would orphan it, so fail this
+		// load instead.
+		var corrupt *store.CorruptSnapshotError
+		if !errors.As(err, &corrupt) {
+			return nil, fmt.Errorf("server: snapshot for %q: %w", cs.key, err)
+		}
+		cs.quarantineState(err)
+		return nil, nil
 	}
-	cs.snapErr.Store(fmt.Sprintf("snapshot ignored (moved to %s): %v", dst, cause))
+	st, info, err := store.ReplayWAL(cs.snapDir, cs.key, cs.city, base)
+	if err != nil {
+		return nil, fmt.Errorf("server: wal replay for %q: %w", cs.key, err)
+	}
+	cs.replay = *info
+	// The store validates structure against the city; consensus names are
+	// server vocabulary, so check them here — at load, where the failure
+	// lands on /healthz — rather than letting a hand-edited method 500 on
+	// the first /refine.
+	for _, pr := range st.Packages {
+		if _, _, err := methodByName(pr.Method); err != nil {
+			cs.quarantineState(fmt.Errorf("package %d: %w", pr.ID, err))
+			cs.replay = store.WALReplayInfo{}
+			return nil, nil
+		}
+	}
+	if st.NextID == 1 && len(st.Groups) == 0 && len(st.Packages) == 0 && base == nil {
+		return nil, nil // true first boot: no snapshot, no log
+	}
+	return st, nil
+}
+
+// quarantineState moves the snapshot and log aside (to <file>.corrupt) so
+// the next compaction cannot overwrite the only copy of the previously
+// committed state, and records the failure for /healthz. The moved files
+// are the operator's recovery artifacts. The log goes with the snapshot:
+// it is a suffix over that exact base and cannot replay without it.
+func (cs *cityState) quarantineState(cause error) {
+	moved := make([]string, 0, 3)
+	for _, src := range []string{
+		store.SnapshotPath(cs.snapDir, cs.key),
+		store.WALPath(cs.snapDir, cs.key),
+		store.PendingWALPath(cs.snapDir, cs.key),
+	} {
+		if _, err := os.Stat(src); err != nil {
+			continue
+		}
+		dst := src + ".corrupt"
+		if err := os.Rename(src, dst); err != nil {
+			cs.persistErr.Store(fmt.Sprintf("state ignored (quarantine failed: %v): %v", err, cause))
+			return
+		}
+		moved = append(moved, dst)
+	}
+	cs.persistErr.Store(fmt.Sprintf("state ignored (moved to %v): %v", moved, cause))
 }
 
 // register allocates an id for the package under the registry lock.
@@ -166,6 +246,162 @@ func (cs *cityState) register(ps *packageState) int {
 	cs.nextID++
 	cs.packages[id] = ps
 	return id
+}
+
+// commit runs one mutation under the read side of persistMu and gives it
+// a logRec callback to append its WAL record. The callback must be
+// invoked while the mutation still holds the entity lock it mutated
+// under: append order then matches application order per entity, which
+// replay relies on (two ops on one package must land in the log in the
+// order their post-op CI states were captured). persistMu orders the
+// whole [mutate + append] against compaction (write side), so a snapshot
+// can never miss a record that the log rotation then seals away.
+//
+// Append failures never fail the request — the in-memory state is already
+// committed — but they are recorded for /healthz and veto eviction, since
+// the in-memory registries may now be the only complete copy.
+func (cs *cityState) commit(mutate func(logRec func(store.WALRecord))) {
+	cs.persistMu.RLock()
+	logged := false
+	mutate(func(rec store.WALRecord) {
+		logged = true
+		if cs.wal != nil {
+			if err := cs.wal.Append(rec); err != nil {
+				cs.persistErr.Store(err.Error())
+			}
+		}
+	})
+	cs.persistMu.RUnlock()
+	if logged {
+		cs.maybeCompact()
+	}
+}
+
+// maybeCompact starts a compaction when the log crosses a threshold. The
+// snapshot write is O(city state), so it runs on a background goroutine —
+// the mutating request that crossed the threshold answers immediately.
+// One compaction runs at a time; contemporaries skip rather than queue
+// (the next mutation past the threshold re-triggers).
+func (cs *cityState) maybeCompact() {
+	if cs.wal == nil {
+		return
+	}
+	st := cs.wal.Stats()
+	overRecords := cs.compactEvery > 0 && st.Records >= cs.compactEvery
+	overBytes := cs.compactBytes > 0 && st.Bytes >= cs.compactBytes
+	if !overRecords && !overBytes {
+		return
+	}
+	if !cs.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer cs.compacting.Store(false)
+		_ = cs.compact()
+	}()
+}
+
+// compact folds the log into the snapshot. Under the write lock it only
+// collects the state (an in-memory clone) and rotates the log — O(1) —
+// sealing the current segment as the pending file; the O(city state)
+// snapshot encode + write + fsync then runs *outside* persistMu, so
+// mutations keep appending to the fresh segment instead of stalling for
+// seconds behind a 100k-package snapshot. The snapshot records the
+// sequence watermark it covers (WALSeq) and the sealed segment holds
+// exactly the records at or below it, so a crash at any point recovers
+// exactly: snapshot missing → old snapshot + pending + current replay;
+// snapshot landed but pending not yet removed → replay skips the
+// already-covered sequences. Failures leave the log intact (recovery
+// still works) and are recorded for /healthz rather than failing the
+// mutation that triggered the compaction.
+func (cs *cityState) compact() error {
+	if cs.snapDir == "" {
+		return nil
+	}
+	// A pending segment means an earlier compaction never finished its
+	// snapshot; rotating again would need a second pending slot, so
+	// retry inline under the lock — rare, and it clears the debt.
+	if cs.wal == nil || cs.wal.PendingExists() {
+		return cs.compactInline()
+	}
+	cs.persistMu.Lock()
+	st := cs.collectState()
+	st.WALSeq = cs.wal.LastSeq()
+	if err := cs.wal.Rotate(); err != nil {
+		cs.persistMu.Unlock()
+		cs.persistErr.Store(err.Error())
+		return err
+	}
+	cs.persistMu.Unlock()
+
+	at, err := store.WriteSnapshot(cs.snapDir, cs.key, st)
+	if err != nil {
+		cs.persistErr.Store(err.Error())
+		return err
+	}
+	// The sealed segment's records now live in the snapshot.
+	if err := store.RemovePendingWAL(cs.snapDir, cs.key); err != nil {
+		cs.persistErr.Store(err.Error())
+		return err
+	}
+	cs.noteCompaction(at)
+	return nil
+}
+
+// compactInline is the fallback: snapshot under the write lock, then
+// drop the pending segment and truncate the log.
+func (cs *cityState) compactInline() error {
+	cs.persistMu.Lock()
+	defer cs.persistMu.Unlock()
+	st := cs.collectState()
+	if cs.wal != nil {
+		st.WALSeq = cs.wal.LastSeq()
+	}
+	at, err := store.WriteSnapshot(cs.snapDir, cs.key, st)
+	if err != nil {
+		cs.persistErr.Store(err.Error())
+		return err
+	}
+	if err := store.RemovePendingWAL(cs.snapDir, cs.key); err != nil {
+		cs.persistErr.Store(err.Error())
+		return err
+	}
+	if cs.wal != nil {
+		if err := cs.wal.Reset(); err != nil {
+			cs.persistErr.Store(err.Error())
+			return err
+		}
+	}
+	cs.noteCompaction(at)
+	return nil
+}
+
+func (cs *cityState) noteCompaction(at time.Time) {
+	cs.snapTime.Store(at.UnixNano())
+	cs.compactions.Add(1)
+	cs.persistErr.Store("")
+}
+
+// handleEvict runs when the registry unloads the city (no in-flight
+// requests exist then, and the registry's drain keeps the key from
+// reloading until this returns). A background threshold compaction may
+// still be mid-flight though, so eviction first claims the compaction
+// slot — waiting it out — then compacts if the log holds records (the
+// reload path then reads one snapshot instead of replaying) and closes
+// the log's file handle. If compaction fails the log simply stays;
+// replay covers it.
+func (cs *cityState) handleEvict() {
+	if cs.wal == nil {
+		return
+	}
+	for !cs.compacting.CompareAndSwap(false, true) {
+		time.Sleep(time.Millisecond)
+	}
+	defer cs.compacting.Store(false)
+	if cs.wal.Stats().Records > 0 || cs.wal.PendingExists() {
+		_ = cs.compact()
+	}
+	_ = cs.wal.Close()
 }
 
 // clonePackage deep-copies a package at the CI level so snapshot encoding
@@ -227,39 +463,15 @@ func (cs *cityState) collectState() *store.ServerState {
 	return st
 }
 
-// snapshot persists the city's state if persistence is enabled. Failures
-// are recorded for /healthz rather than failing the mutation that
-// triggered the snapshot — the in-memory state is already committed.
-// Collection runs under snapMu so concurrent mutations cannot write their
-// snapshots out of order (a stale collection overwriting a newer file
-// would lose the newer mutation on reload); snapMu is always taken before
-// cs.mu/entity locks, never after, so the hierarchy stays acyclic.
-func (cs *cityState) snapshot() error {
-	if cs.snapDir == "" {
-		return nil
-	}
-	cs.snapMu.Lock()
-	defer cs.snapMu.Unlock()
-	st := cs.collectState()
-	at, err := store.WriteSnapshot(cs.snapDir, cs.key, st)
-	if err != nil {
-		cs.snapErr.Store(err.Error())
-		return err
-	}
-	cs.snapTime.Store(at.UnixNano())
-	cs.snapErr.Store("")
-	return nil
-}
-
 // evictionSafe reports whether the city can be unloaded without losing
-// state: with persistence on, its last snapshot interaction must have
-// succeeded — otherwise the in-memory registries are the only copy of
-// committed mutations and eviction would silently 404 them.
+// state: with persistence on, its last persistence interaction must have
+// succeeded — otherwise the in-memory registries are the only complete
+// copy of committed mutations and eviction would silently 404 them.
 func (cs *cityState) evictionSafe() bool {
 	if cs.snapDir == "" {
 		return true // no persistence configured: nothing to preserve
 	}
-	msg, _ := cs.snapErr.Load().(string)
+	msg, _ := cs.persistErr.Load().(string)
 	return msg == ""
 }
 
@@ -272,10 +484,24 @@ func (cs *cityState) health() cityHealth {
 		Cache:        cs.engine.CacheStats(),
 		Groups:       groups,
 		Packages:     packages,
+		BuildDedups:  cs.builds.dedups.Load(),
 		LastSnapshot: lastSnapshotString(cs.snapTime.Load()),
 	}
-	if msg, _ := cs.snapErr.Load().(string); msg != "" {
-		h.SnapshotErr = msg
+	if msg, _ := cs.persistErr.Load().(string); msg != "" {
+		h.PersistErr = msg
+	}
+	if cs.wal != nil {
+		ws := cs.wal.Stats()
+		h.WAL = &walHealth{
+			Records:         ws.Records,
+			Bytes:           ws.Bytes,
+			Fsyncs:          ws.Fsyncs,
+			LastFsyncMicros: ws.LastFsyncMicros,
+			Compactions:     cs.compactions.Load(),
+			Replayed:        cs.replay.Records,
+			ReplayMillis:    cs.replayMillis,
+			ReplayTruncated: cs.replay.Truncated,
+		}
 	}
 	return h
 }

@@ -16,6 +16,7 @@ import (
 	"grouptravel/internal/profile"
 	"grouptravel/internal/query"
 	"grouptravel/internal/route"
+	"grouptravel/internal/store"
 )
 
 // --- city & POIs ---
@@ -163,12 +164,15 @@ func (cs *cityState) handleCreateGroup(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	cs.mu.Lock()
-	id := cs.nextID
-	cs.nextID++
-	cs.groups[id] = &groupState{group: g, profiles: map[string]*profile.Profile{}}
-	cs.mu.Unlock()
-	_ = cs.snapshot()
+	var id int
+	cs.commit(func(logRec func(store.WALRecord)) {
+		cs.mu.Lock()
+		id = cs.nextID
+		cs.nextID++
+		cs.groups[id] = &groupState{group: g, profiles: map[string]*profile.Profile{}}
+		cs.mu.Unlock()
+		logRec(store.GroupCreateRecord(id, g))
+	})
 	writeJSON(w, http.StatusCreated, groupResponse{
 		ID: id, Size: g.Size(), Uniformity: g.Uniformity(), MedianUser: g.MedianUser(),
 	})
@@ -312,8 +316,9 @@ func (cs *cityState) handleCreatePackage(w http.ResponseWriter, r *http.Request)
 
 	// The build runs outside every lock: the engine is concurrency-safe,
 	// so packages for different groups (or different queries, or different
-	// cities) construct in parallel.
-	tp, err := cs.engine.Build(gp, q, core.DefaultParams(k))
+	// cities) construct in parallel — and identical concurrent requests
+	// collapse into one engine run (see batch.go).
+	tp, err := cs.build(gp, q, core.DefaultParams(k))
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -324,8 +329,11 @@ func (cs *cityState) handleCreatePackage(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	ps := &packageState{groupID: req.GroupID, method: canon, session: sess}
-	id := cs.register(ps)
-	_ = cs.snapshot()
+	var id int
+	cs.commit(func(logRec func(store.WALRecord)) {
+		id = cs.register(ps)
+		logRec(store.PackageBuildRecord(id, req.GroupID, canon, tp))
+	})
 	ps.mu.Lock()
 	resp := cs.renderPackage(id, ps, false)
 	ps.mu.Unlock()
@@ -407,7 +415,7 @@ type opResponse struct {
 }
 
 func (cs *cityState) handleOps(w http.ResponseWriter, r *http.Request) {
-	ps, _, err := cs.packageByID(r.PathValue("id"))
+	ps, pid, err := cs.packageByID(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
@@ -424,9 +432,8 @@ func (cs *cityState) handleOps(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "member %d outside the group", req.Member)
 		return
 	}
-	// Validate the op shape before taking the package lock: the snapshot
-	// collector below re-takes ps.mu, so this critical section must have a
-	// single exit with the lock released.
+	// Validate the op shape before taking the package lock, so the
+	// critical section below has a single exit.
 	op := strings.ToLower(req.Op)
 	switch op {
 	case "remove", "add", "replace", "generate":
@@ -439,41 +446,50 @@ func (cs *cityState) handleOps(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Session mutations serialize on the package's own lock; operations on
-	// other packages proceed concurrently.
+	// other packages proceed concurrently. The WAL record is captured AND
+	// appended in the same critical section as the op: the logged post-op
+	// CI state must be exactly what this op produced, and the log order
+	// must match the application order — a record landing behind a later
+	// op's record would replay the older CI state on top of the newer.
 	resp := opResponse{}
-	ps.mu.Lock()
-	switch op {
-	case "remove":
-		err = ps.session.Remove(req.Member, req.CI, req.POI)
-	case "add":
-		err = ps.session.Add(req.Member, req.CI, req.POI)
-	case "replace":
-		var repl *poi.POI
-		repl, err = ps.session.Replace(req.Member, req.CI, req.POI)
-		if err == nil {
-			pr := toPOIResponse(repl)
-			resp.Replacement = &pr
-		}
-	case "generate":
-		var newCI *ci.CI
-		newCI, err = ps.session.Generate(req.Member, *req.Rect)
-		if err == nil {
-			day := dayJSON{Centroid: newCI.Centroid, Cost: newCI.Cost()}
-			for _, it := range newCI.Items {
-				day.Items = append(day.Items, toPOIResponse(it))
+	cs.commit(func(logRec func(store.WALRecord)) {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		switch op {
+		case "remove":
+			err = ps.session.Remove(req.Member, req.CI, req.POI)
+		case "add":
+			err = ps.session.Add(req.Member, req.CI, req.POI)
+		case "replace":
+			var repl *poi.POI
+			repl, err = ps.session.Replace(req.Member, req.CI, req.POI)
+			if err == nil {
+				pr := toPOIResponse(repl)
+				resp.Replacement = &pr
 			}
-			resp.NewCI = &day
+		case "generate":
+			var newCI *ci.CI
+			newCI, err = ps.session.Generate(req.Member, *req.Rect)
+			if err == nil {
+				day := dayJSON{Centroid: newCI.Centroid, Cost: newCI.Cost()}
+				for _, it := range newCI.Items {
+					day.Items = append(day.Items, toPOIResponse(it))
+				}
+				resp.NewCI = &day
+			}
 		}
-	}
-	ps.mu.Unlock()
+		if err != nil {
+			return
+		}
+		log := ps.session.Log()
+		applied := log[len(log)-1]
+		logRec(store.CustomOpRecord(pid, applied, ps.session.Package().CIs[applied.CIIndex]))
+	})
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	resp.Applied = true
-	// The op mutated the package's items: persist (outside ps.mu) before
-	// replying.
-	_ = cs.snapshot()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -492,7 +508,7 @@ type refineResponse struct {
 }
 
 func (cs *cityState) handleRefine(w http.ResponseWriter, r *http.Request) {
-	ps, _, err := cs.packageByID(r.PathValue("id"))
+	ps, pid, err := cs.packageByID(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
@@ -559,7 +575,7 @@ func (cs *cityState) handleRefine(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "k = %d out of range [1,30]", k)
 			return
 		}
-		newTP, err := cs.engine.Build(refined, q, core.DefaultParams(k))
+		newTP, err := cs.build(refined, q, core.DefaultParams(k))
 		if err != nil {
 			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 			return
@@ -570,8 +586,11 @@ func (cs *cityState) handleRefine(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		nps := &packageState{groupID: ps.groupID, method: ps.method, session: sess}
-		id := cs.register(nps)
-		_ = cs.snapshot()
+		var id int
+		cs.commit(func(logRec func(store.WALRecord)) {
+			id = cs.register(nps)
+			logRec(store.RefineRecord(id, ps.groupID, ps.method, newTP, pid, resp.Strategy))
+		})
 		nps.mu.Lock()
 		pr := cs.renderPackage(id, nps, false)
 		nps.mu.Unlock()

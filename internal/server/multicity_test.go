@@ -71,17 +71,35 @@ func mcRatings(c *dataset.City, shift int) map[string][]float64 {
 
 func multiCityServer(t *testing.T, snapDir string, maxCities int) (*Server, *httptest.Server) {
 	t.Helper()
-	s, err := NewMultiCity(Options{
-		DataDir:     multiCityDataDir(t),
-		SnapshotDir: snapDir,
-		MaxCities:   maxCities,
-	})
+	return multiCityServerOpts(t, Options{SnapshotDir: snapDir, MaxCities: maxCities})
+}
+
+// multiCityServerOpts mounts the shared data directory with caller-chosen
+// persistence options.
+func multiCityServerOpts(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	opts.DataDir = multiCityDataDir(t)
+	s, err := NewMultiCity(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
+}
+
+// compactCity forces a synchronous compaction of one city — tests use it
+// where the asynchronous threshold trigger would race the assertion.
+func compactCity(t *testing.T, s *Server, key string) {
+	t.Helper()
+	c, release, err := s.Registry().Acquire(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if err := c.State.compact(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // mcCreateGroup registers a 3-member group in a city and returns its id.
@@ -263,12 +281,14 @@ func TestEmptyDataDirWithPreloadedCity(t *testing.T) {
 	}
 }
 
-// TestCorruptSnapshotSurfacesOnHealth: a tampered snapshot must not brick
-// the city — it starts empty, the error lands on /healthz, and (because
-// the state is now memory-only) the registry refuses to evict it.
+// TestCorruptSnapshotSurfacesOnHealth: a tampered compaction snapshot must
+// not brick the city — it starts empty, the error lands on /healthz, and
+// (because the state is now memory-only) the registry refuses to evict it.
+// The write-ahead log is quarantined along with the snapshot: it is a
+// suffix over that exact base and cannot replay without it.
 func TestCorruptSnapshotSurfacesOnHealth(t *testing.T) {
 	snapDir := t.TempDir()
-	_, ts := multiCityServer(t, snapDir, 0)
+	s, ts := multiCityServer(t, snapDir, 0)
 	gid, err := mcCreateGroup(ts, mcCities[0], "alpha")
 	if err != nil {
 		t.Fatal(err)
@@ -279,6 +299,9 @@ func TestCorruptSnapshotSurfacesOnHealth(t *testing.T) {
 	}, 201, &pkg); err != nil {
 		t.Fatal(err)
 	}
+	// Compact deterministically (threshold compaction is asynchronous) so
+	// the snapshot file — the tamper target — exists.
+	compactCity(t, s, "alpha")
 	// Tamper: an unknown consensus method in the persisted package.
 	path := filepath.Join(snapDir, "alpha.state.json")
 	raw, err := os.ReadFile(path)
@@ -293,7 +316,7 @@ func TestCorruptSnapshotSurfacesOnHealth(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Restart: the city serves (empty) instead of failing, and healthz
-	// reports the ignored snapshot.
+	// reports the ignored state.
 	_, ts2 := multiCityServer(t, snapDir, 0)
 	if err := tryJSON(ts2, "GET", fmt.Sprintf("%s/cities/alpha/groups/%d", ts2.URL, gid), nil, 404, nil); err != nil {
 		t.Fatal(err)
@@ -303,16 +326,82 @@ func TestCorruptSnapshotSurfacesOnHealth(t *testing.T) {
 		t.Fatal(err)
 	}
 	ch, ok := health.Cities["alpha"]
-	if !ok || !strings.Contains(ch.SnapshotErr, "bogus") {
-		t.Fatalf("snapshot error not surfaced: %+v", health.Cities)
+	if !ok || !strings.Contains(ch.PersistErr, "bogus") {
+		t.Fatalf("persistence error not surfaced: %+v", health.Cities)
 	}
-	// The bad file was quarantined, not left to be overwritten by the
-	// next mutation: the committed state stays recoverable.
-	if _, err := os.Stat(path + ".corrupt"); err != nil {
-		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	// Both files were quarantined, not left to be overwritten by the next
+	// compaction: the committed state stays recoverable. (A fresh, empty
+	// log is opened at the wal path afterwards — only the snapshot path
+	// must stay vacant until the next compaction.)
+	for _, p := range []string{path, filepath.Join(snapDir, "alpha.wal")} {
+		if _, err := os.Stat(p + ".corrupt"); err != nil {
+			t.Fatalf("%s not quarantined: %v", p, err)
+		}
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
-		t.Fatalf("original snapshot still in place (err=%v)", err)
+		t.Fatalf("tampered snapshot still in place (err=%v)", err)
+	}
+}
+
+// TestTornWALTailSurfacesOnHealth: a crash can tear the last record of a
+// city's log. Recovery must serve the surviving prefix — never fail the
+// city — truncate the tail in place, and report the cut on /healthz.
+func TestTornWALTailSurfacesOnHealth(t *testing.T) {
+	snapDir := t.TempDir()
+	_, ts := multiCityServer(t, snapDir, 0)
+	gid, err := mcCreateGroup(ts, mcCities[0], "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkg packageResponse
+	if err := tryJSON(ts, "POST", ts.URL+"/cities/alpha/packages", createPackageRequest{
+		GroupID: gid, Consensus: "pairwise", K: 2,
+	}, 201, &pkg); err != nil {
+		t.Fatal(err)
+	}
+	// No compaction ran (default thresholds): the log holds both records
+	// and no snapshot exists. Tear the tail of the last record.
+	walPath := filepath.Join(snapDir, "alpha.wal")
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, fi.Size()-9); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the group (record 1) survives; the package (torn record 2)
+	// is gone; the cut is on /healthz; nothing is fatal.
+	_, ts2 := multiCityServer(t, snapDir, 0)
+	var group groupResponse
+	if err := tryJSON(ts2, "GET", fmt.Sprintf("%s/cities/alpha/groups/%d", ts2.URL, gid), nil, 200, &group); err != nil {
+		t.Fatalf("surviving prefix not served: %v", err)
+	}
+	if err := tryJSON(ts2, "GET", fmt.Sprintf("%s/cities/alpha/packages/%d", ts2.URL, pkg.ID), nil, 404, nil); err != nil {
+		t.Fatal(err)
+	}
+	var health healthResponse
+	if err := tryJSON(ts2, "GET", ts2.URL+"/healthz", nil, 200, &health); err != nil {
+		t.Fatal(err)
+	}
+	ch := health.Cities["alpha"]
+	if ch.WAL == nil || ch.WAL.ReplayTruncated == "" || ch.WAL.Replayed != 1 {
+		t.Fatalf("torn tail not surfaced: %+v", ch.WAL)
+	}
+	if ch.PersistErr != "" {
+		t.Fatalf("torn tail must not be a persistence error (city is consistent): %q", ch.PersistErr)
+	}
+	// The repaired log accepts new mutations, and they survive another
+	// restart together with the surviving prefix.
+	gid2, err := mcCreateGroup(ts2, mcCities[0], "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts3 := multiCityServer(t, snapDir, 0)
+	for _, id := range []int{gid, gid2} {
+		if err := tryJSON(ts3, "GET", fmt.Sprintf("%s/cities/alpha/groups/%d", ts3.URL, id), nil, 200, nil); err != nil {
+			t.Fatalf("group %d lost after repair+restart: %v", id, err)
+		}
 	}
 }
 

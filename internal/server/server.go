@@ -42,12 +42,16 @@
 // # Persistence
 //
 // With a snapshot directory configured, every mutation (group creation,
-// package creation, customization op, refinement) rewrites the city's
-// snapshot atomically (temp file + rename). On load — first touch or
-// reload after eviction — the snapshot is read back and groups, memoized
-// consensus profiles and packages are reconstructed, with package POIs
-// re-resolved against the city dataset. Snapshot write failures never fail
-// the request that triggered them; they surface on /healthz instead.
+// package creation, customization op, refinement) appends one typed
+// record to the city's write-ahead log — O(1) per mutation regardless of
+// city size. The full-state snapshot is only rewritten at *compaction*:
+// when the log crosses the configured record-count or byte thresholds,
+// and on clean eviction. On load — first touch or reload after eviction —
+// the snapshot is read back and the log suffix replayed on top, with
+// package POIs re-resolved against the city dataset. Torn log tails are
+// truncated at the last valid record, corrupt snapshots quarantine the
+// snapshot+log pair; both surface on /healthz, and neither ever bricks a
+// city. Persistence failures never fail the request that triggered them.
 package server
 
 import (
@@ -63,6 +67,16 @@ import (
 	"grouptravel/internal/core"
 	"grouptravel/internal/dataset"
 	"grouptravel/internal/registry"
+	"grouptravel/internal/store"
+)
+
+// Compaction defaults: how much write-ahead log a city accumulates before
+// its snapshot is rewritten. 1k records keeps replay-on-load well under a
+// snapshot write's own cost; 4 MiB bounds replay time for op-heavy logs
+// with large packages.
+const (
+	DefaultCompactEvery = 1024
+	DefaultCompactBytes = 4 << 20
 )
 
 // Options configures a multi-city server. At least one city must be
@@ -87,13 +101,30 @@ type Options struct {
 	// EngineCacheCap overrides each engine's cluster-cache bound
 	// (core.DefaultCacheCap when 0, unbounded when < 0).
 	EngineCacheCap int
+	// WALSync selects when write-ahead-log appends reach stable storage.
+	// The zero value is store.WALSyncAlways.
+	WALSync store.WALSyncPolicy
+	// CompactEvery rewrites a city's snapshot (and truncates its log)
+	// once the log holds this many records. 0 means DefaultCompactEvery;
+	// < 0 disables the record-count trigger.
+	CompactEvery int
+	// CompactBytes is the byte-size trigger for compaction. 0 means
+	// DefaultCompactBytes; < 0 disables it.
+	CompactBytes int64
+	// PreloadCities are keys to load at boot through the registry's
+	// singleflight path, so the first request pays no cold start. Unknown
+	// keys or failing loads fail construction.
+	PreloadCities []string
 }
 
 // Server routes requests to per-city engines and serving state.
 type Server struct {
-	reg         *registry.Registry[*cityState]
-	defaultCity string
-	snapshotDir string
+	reg          *registry.Registry[*cityState]
+	defaultCity  string
+	snapshotDir  string
+	walSync      store.WALSyncPolicy
+	compactEvery int64
+	compactBytes int64
 }
 
 // New builds a single-city server with no persistence — the original
@@ -170,7 +201,18 @@ func NewMultiCity(opts Options) (*Server, error) {
 	}
 	sort.Strings(keys)
 
-	s := &Server{snapshotDir: opts.SnapshotDir}
+	s := &Server{
+		snapshotDir:  opts.SnapshotDir,
+		walSync:      opts.WALSync,
+		compactEvery: int64(opts.CompactEvery),
+		compactBytes: opts.CompactBytes,
+	}
+	if s.compactEvery == 0 {
+		s.compactEvery = DefaultCompactEvery
+	}
+	if s.compactBytes == 0 {
+		s.compactBytes = DefaultCompactBytes
+	}
 	s.defaultCity = opts.DefaultCity
 	if s.defaultCity == "" {
 		s.defaultCity = keys[0]
@@ -199,11 +241,14 @@ func NewMultiCity(opts Options) (*Server, error) {
 			return dataset.LoadJSON(f)
 		},
 		NewState: func(c *registry.City[*cityState]) (*cityState, error) { return s.newCityState(c) },
-		// A city whose latest snapshot failed (or whose snapshot was
-		// corrupt at load) holds the only copy of its committed state:
-		// vetoing its eviction keeps the failure recoverable instead of
-		// silently dropping groups/packages.
-		Evictable:      func(c *registry.City[*cityState]) bool { return c.State.evictionSafe() },
+		// A city whose latest persistence interaction failed holds the
+		// only complete copy of its committed state: vetoing its eviction
+		// keeps the failure recoverable instead of silently dropping
+		// groups/packages.
+		Evictable: func(c *registry.City[*cityState]) bool { return c.State.evictionSafe() },
+		// A clean eviction compacts the city's log into its snapshot and
+		// closes the log's file handle.
+		OnEvict:        func(c *registry.City[*cityState]) { c.State.handleEvict() },
 		MaxCities:      opts.MaxCities,
 		EngineCacheCap: opts.EngineCacheCap,
 	})
@@ -211,7 +256,43 @@ func NewMultiCity(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.reg = reg
+	if err := s.Preload(opts.PreloadCities...); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// Preload warms cities through the registry's singleflight load path, in
+// parallel, so their first request pays no dataset/engine/replay cold
+// start. It returns the first load failure.
+func (s *Server) Preload(keys ...string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	for _, key := range keys {
+		if !s.reg.Has(key) {
+			return fmt.Errorf("server: preload city %q not among %v", key, s.reg.Keys())
+		}
+	}
+	errs := make(chan error, len(keys))
+	for _, key := range keys {
+		go func(key string) {
+			_, release, err := s.reg.Acquire(key)
+			if err != nil {
+				errs <- fmt.Errorf("server: preload %q: %w", key, err)
+				return
+			}
+			release()
+			errs <- nil
+		}(key)
+	}
+	var first error
+	for range keys {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Registry exposes the underlying city registry (benchmarks and embedders).
@@ -292,8 +373,24 @@ type cityHealth struct {
 	Cache        core.CacheStats `json:"clusterCache"`
 	Groups       int             `json:"groups"`
 	Packages     int             `json:"packages"`
-	LastSnapshot string          `json:"lastSnapshot,omitempty"` // RFC3339; empty when never snapshotted
-	SnapshotErr  string          `json:"snapshotError,omitempty"`
+	BuildDedups  int64           `json:"buildDedups"`            // builds served from an identical in-flight request
+	LastSnapshot string          `json:"lastSnapshot,omitempty"` // RFC3339; empty when never compacted
+	PersistErr   string          `json:"persistenceError,omitempty"`
+	WAL          *walHealth      `json:"wal,omitempty"`
+}
+
+// walHealth is the write-ahead-log slice of a city's health: the log's
+// current length (the replay debt a restart would pay), fsync behavior,
+// and what the last recovery found.
+type walHealth struct {
+	Records         int64   `json:"records"`
+	Bytes           int64   `json:"bytes"` // bytes appended since the last compaction
+	Fsyncs          int64   `json:"fsyncs"`
+	LastFsyncMicros int64   `json:"lastFsyncMicros"`
+	Compactions     int64   `json:"compactions"`
+	Replayed        int     `json:"replayedRecords"` // records replayed at load
+	ReplayMillis    float64 `json:"replayMillis"`
+	ReplayTruncated string  `json:"replayTruncated,omitempty"` // non-empty when a torn tail was cut
 }
 
 type healthResponse struct {
@@ -306,6 +403,7 @@ type healthResponse struct {
 	Registry    registry.Stats        `json:"registry"`
 	Cities      map[string]cityHealth `json:"cities"` // loaded cities only
 	Persistence bool                  `json:"persistence"`
+	WALSync     string                `json:"walSync,omitempty"` // fsync policy when persistence is on
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -316,6 +414,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Registry:    s.reg.Stats(),
 		Cities:      map[string]cityHealth{},
 		Persistence: s.snapshotDir != "",
+	}
+	if resp.Persistence {
+		resp.WALSync = s.walSync.String()
 	}
 	s.reg.Range(func(c *registry.City[*cityState]) {
 		resp.Cities[c.Key] = c.State.health()

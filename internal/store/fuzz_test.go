@@ -1,6 +1,7 @@
 package store
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -86,6 +87,68 @@ func FuzzLoadServerState(f *testing.F) {
 				t.Fatalf("loader accepted invalid package record from %q", s)
 			}
 			seen[pr.ID] = true
+		}
+	})
+}
+
+// FuzzReplayWAL feeds arbitrary bytes to the write-ahead-log replayer.
+// Log files sit on disk across crashes — torn tails and bit rot are their
+// expected failure modes, not edge cases — so the replayer must never
+// panic, must apply exactly the surviving prefix, and its in-place repair
+// must be a fixpoint: replaying the repaired file again yields the same
+// state with nothing further truncated.
+func FuzzReplayWAL(f *testing.F) {
+	city, err := dataset.Generate(dataset.TestSpec("FuzzWALCity", 84))
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seeds: a real record stream (group + package + ops + refine), plus
+	// torn, bit-flipped, headerless and trivial variants of it.
+	seedDir := f.TempDir()
+	fx := makeWALFixture(f)
+	writeWAL(f, seedDir, "seed", fx.records)
+	good, err := os.ReadFile(WALPath(seedDir, "seed"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)-7])  // torn tail
+	f.Add(good[:len(good)/2])  // torn mid-stream
+	f.Add(good[:walHeaderLen]) // header only
+	f.Add([]byte{})            // missing/empty file
+	f.Add([]byte("GTWALv1\n")) // bare header
+	f.Add([]byte("not a log")) // bad header
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := WALPath(dir, "fuzz")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Fuzz seeds were written against the fixture's city; replay here
+		// runs against FuzzWALCity, so even "valid" streams exercise the
+		// inapplicable-record path (unknown POIs, schema mismatches).
+		st, info, err := ReplayWAL(dir, "fuzz", city, nil)
+		if err != nil {
+			t.Fatalf("replay returned I/O error on in-memory data: %v", err)
+		}
+		if st == nil || info == nil {
+			t.Fatal("replay returned nil state/info without error")
+		}
+		// Repair fixpoint: the truncated (or quarantined) file replays
+		// cleanly to the identical state.
+		st2, info2, err := ReplayWAL(dir, "fuzz", city, nil)
+		if err != nil {
+			t.Fatalf("repaired replay errored: %v", err)
+		}
+		if info2.Truncated != "" || info2.Records != info.Records {
+			t.Fatalf("repair not a fixpoint: first %+v, second %+v", info, info2)
+		}
+		if stateJSON(t, st) != stateJSON(t, st2) {
+			t.Fatal("repaired log replays to a different state")
 		}
 	})
 }

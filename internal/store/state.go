@@ -47,10 +47,14 @@ type PackageRecord struct {
 }
 
 // ServerState is everything a city's serving layer must survive a restart:
-// id allocation plus both registries.
+// id allocation plus both registries. WALSeq is the write-ahead-log
+// sequence watermark a compaction snapshot covers — replay skips log
+// records at or below it, so recovery is exact no matter where between
+// the snapshot write and the log truncation a crash landed.
 type ServerState struct {
 	City     string
 	NextID   int
+	WALSeq   int64
 	Groups   []GroupRecord
 	Packages []PackageRecord
 }
@@ -132,6 +136,7 @@ type serverStateJSON struct {
 	Version  int                 `json:"version"`
 	City     string              `json:"city"`
 	NextID   int                 `json:"nextId"`
+	WALSeq   int64               `json:"walSeq,omitempty"`
 	Groups   []groupRecordJSON   `json:"groups"`
 	Packages []packageRecordJSON `json:"packages"`
 }
@@ -141,7 +146,7 @@ func SaveServerState(w io.Writer, st *ServerState) error {
 	if st == nil {
 		return fmt.Errorf("store: nil server state")
 	}
-	out := serverStateJSON{Version: Version, City: st.City, NextID: st.NextID}
+	out := serverStateJSON{Version: Version, City: st.City, NextID: st.NextID, WALSeq: st.WALSeq}
 	for _, gr := range st.Groups {
 		if gr.Group == nil {
 			return fmt.Errorf("store: group %d is nil", gr.ID)
@@ -195,7 +200,10 @@ func LoadServerState(r io.Reader, city *dataset.City) (*ServerState, error) {
 		// next snapshot rejects as out of range.
 		return nil, fmt.Errorf("store: nextId %d out of range", in.NextID)
 	}
-	st := &ServerState{City: in.City, NextID: in.NextID}
+	if in.WALSeq < 0 {
+		return nil, fmt.Errorf("store: walSeq %d out of range", in.WALSeq)
+	}
+	st := &ServerState{City: in.City, NextID: in.NextID, WALSeq: in.WALSeq}
 	seen := make(map[int]bool, len(in.Groups)+len(in.Packages))
 	takeID := func(id int, what string) error {
 		if id < 1 {

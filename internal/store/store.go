@@ -171,6 +171,28 @@ type ciJSON struct {
 	ItemIDs  []int     `json:"items"`
 }
 
+// ciToJSON flattens one composite item; POIs are referenced by id.
+func ciToJSON(c *ci.CI) ciJSON {
+	cj := ciJSON{Centroid: c.Centroid}
+	for _, it := range c.Items {
+		cj.ItemIDs = append(cj.ItemIDs, it.ID)
+	}
+	return cj
+}
+
+// ciFromJSON rebuilds a CI, resolving its POIs against the city.
+func ciFromJSON(in ciJSON, city *dataset.City) (*ci.CI, error) {
+	c := &ci.CI{Centroid: in.Centroid}
+	for _, id := range in.ItemIDs {
+		p := city.POIs.ByID(id)
+		if p == nil {
+			return nil, fmt.Errorf("store: CI references unknown POI %d", id)
+		}
+		c.Items = append(c.Items, p)
+	}
+	return c, nil
+}
+
 // packageToJSON flattens a package; POIs are referenced by id.
 func packageToJSON(tp *core.TravelPackage) packageJSON {
 	out := packageJSON{
@@ -196,11 +218,7 @@ func packageToJSON(tp *core.TravelPackage) packageJSON {
 		out.Group = &gj
 	}
 	for _, c := range tp.CIs {
-		cj := ciJSON{Centroid: c.Centroid}
-		for _, it := range c.Items {
-			cj.ItemIDs = append(cj.ItemIDs, it.ID)
-		}
-		out.CIs = append(out.CIs, cj)
+		out.CIs = append(out.CIs, ciToJSON(c))
 	}
 	return out
 }
@@ -237,13 +255,9 @@ func packageFromJSON(in packageJSON, city *dataset.City) (*core.TravelPackage, e
 		tp.Group = gp
 	}
 	for i, cj := range in.CIs {
-		c := &ci.CI{Centroid: cj.Centroid}
-		for _, id := range cj.ItemIDs {
-			p := city.POIs.ByID(id)
-			if p == nil {
-				return nil, fmt.Errorf("store: CI %d references unknown POI %d", i, id)
-			}
-			c.Items = append(c.Items, p)
+		c, err := ciFromJSON(cj, city)
+		if err != nil {
+			return nil, fmt.Errorf("store: CI %d: %w", i, err)
 		}
 		tp.CIs = append(tp.CIs, c)
 	}

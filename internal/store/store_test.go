@@ -18,7 +18,7 @@ import (
 
 var storeCity *dataset.City
 
-func city(t *testing.T) *dataset.City {
+func city(t testing.TB) *dataset.City {
 	t.Helper()
 	if storeCity == nil {
 		c, err := dataset.Generate(dataset.TestSpec("StoreCity", 81))

@@ -1,0 +1,681 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"grouptravel/internal/consensus"
+	"grouptravel/internal/core"
+	"grouptravel/internal/dataset"
+	"grouptravel/internal/interact"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/query"
+	"grouptravel/internal/rng"
+)
+
+// walFixture is a realistic mutation history: a group, a built package, a
+// customization session applying one of every §3.3 operator, and a
+// refined rebuild — one WAL record each, exactly as the server logs them.
+type walFixture struct {
+	city    *dataset.City
+	records []WALRecord
+	// want is the state the records reconstruct, assembled independently
+	// from the same session the records were captured from.
+	want *ServerState
+}
+
+func makeWALFixture(t testing.TB) *walFixture {
+	t.Helper()
+	c := city(t)
+	e, err := core.NewEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := profile.GenerateUniformGroup(c.Schema, 3, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := consensus.GroupProfile(g, consensus.PairwiseDis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := e.Build(gp, query.Default(), core.DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := &walFixture{city: c}
+	fx.records = append(fx.records, GroupCreateRecord(1, g))
+	fx.records = append(fx.records, PackageBuildRecord(2, 1, "pairwise", tp))
+
+	// Apply one of each operator through a real session, logging each op
+	// with its post-op CI the way handleOps does.
+	sess, err := interact.NewSession(c, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logOp := func() {
+		ops := sess.Log()
+		op := ops[len(ops)-1]
+		fx.records = append(fx.records, CustomOpRecord(2, op, sess.Package().CIs[op.CIIndex]))
+	}
+	if err := sess.Remove(0, 0, sess.Package().CIs[0].Items[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	logOp()
+	if _, err := sess.Replace(1, 1, sess.Package().CIs[1].Items[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	logOp()
+	if _, err := sess.Generate(2, c.POIs.Bounds()); err != nil {
+		t.Fatal(err)
+	}
+	logOp()
+
+	tp2, err := e.Build(gp, query.Default(), core.DefaultParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.records = append(fx.records, RefineRecord(3, 1, "pairwise", tp2, 2, "batch"))
+
+	fx.want = &ServerState{
+		City:   c.Name,
+		NextID: 4,
+		Groups: []GroupRecord{{ID: 1, Group: g}},
+		Packages: []PackageRecord{
+			{ID: 2, GroupID: 1, Method: "pairwise", Package: sess.Package(), Ops: sess.Log()},
+			{ID: 3, GroupID: 1, Method: "pairwise", Package: tp2},
+		},
+	}
+	return fx
+}
+
+// writeWAL appends records to a fresh log under dir and closes it.
+func writeWAL(t testing.TB, dir, key string, recs []WALRecord) {
+	t.Helper()
+	w, err := OpenWAL(dir, key, WALSyncPolicy{Mode: WALSyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stateJSON canonicalizes a state for deep comparison: the snapshot
+// encoding is deterministic (sorted ids, sorted map keys), so equal JSON
+// means equal state.
+func stateJSON(t testing.TB, st *ServerState) string {
+	t.Helper()
+	// Memoized profiles are a derivable cache and WALSeq is compaction
+	// metadata, not logged state; drop both so snapshot-origin and
+	// log-origin states compare on substance.
+	cp := *st
+	cp.WALSeq = 0
+	cp.Groups = append([]GroupRecord(nil), st.Groups...)
+	for i := range cp.Groups {
+		cp.Groups[i].Profiles = nil
+	}
+	var buf bytes.Buffer
+	if err := SaveServerState(&buf, &cp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestWALReplayRoundTrip(t *testing.T) {
+	fx := makeWALFixture(t)
+	dir := t.TempDir()
+	writeWAL(t, dir, "wal", fx.records)
+
+	st, info, err := ReplayWAL(dir, "wal", fx.city, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != len(fx.records) || info.Truncated != "" {
+		t.Fatalf("replay info = %+v, want %d clean records", info, len(fx.records))
+	}
+	if got, want := stateJSON(t, st), stateJSON(t, fx.want); got != want {
+		t.Fatalf("replayed state differs:\n%s\nwant:\n%s", got, want)
+	}
+	// The op log survived — REMOVE, REPLACE, GENERATE in order.
+	ops := st.Packages[0].Ops
+	if len(ops) != 3 || ops[0].Kind != interact.OpRemove || ops[1].Kind != interact.OpReplace || ops[2].Kind != interact.OpGenerate {
+		t.Fatalf("replayed op log = %+v", ops)
+	}
+}
+
+// TestWALReplayOverSnapshot: replay applies the log as a suffix over the
+// compaction snapshot, continuing id allocation past the snapshot's.
+func TestWALReplayOverSnapshot(t *testing.T) {
+	fx := makeWALFixture(t)
+	dir := t.TempDir()
+
+	// Snapshot holds the first record's worth of state (the group);
+	// the log holds everything after.
+	base := &ServerState{City: fx.city.Name, NextID: 2, Groups: fx.want.Groups}
+	if _, err := WriteSnapshot(dir, "wal", base); err != nil {
+		t.Fatal(err)
+	}
+	writeWAL(t, dir, "wal", fx.records[1:])
+
+	snap, err := ReadSnapshot(dir, "wal", fx.city)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, info, err := ReplayWAL(dir, "wal", fx.city, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != len(fx.records)-1 {
+		t.Fatalf("replayed %d records, want %d", info.Records, len(fx.records)-1)
+	}
+	if got, want := stateJSON(t, st), stateJSON(t, fx.want); got != want {
+		t.Fatalf("snapshot+log state differs:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// replayPrefix replays a log holding only the first n fixture records —
+// the ground truth that torn-tail recovery must land on.
+func replayPrefix(t *testing.T, fx *walFixture, n int) *ServerState {
+	t.Helper()
+	dir := t.TempDir()
+	writeWAL(t, dir, "prefix", fx.records[:n])
+	st, info, err := ReplayWAL(dir, "prefix", fx.city, nil)
+	if err != nil || info.Records != n || info.Truncated != "" {
+		t.Fatalf("prefix replay: info %+v, err %v", info, err)
+	}
+	return st
+}
+
+// frameOffsets scans a log file and returns each record's start offset —
+// the test's own framing walk, independent of the replayer.
+func frameOffsets(t testing.TB, path string) []int64 {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	off := walHeaderLen
+	for off < int64(len(raw)) {
+		offs = append(offs, off)
+		n := int64(uint32(raw[off]) | uint32(raw[off+1])<<8 | uint32(raw[off+2])<<16 | uint32(raw[off+3])<<24)
+		off += walFrameLen + n
+	}
+	return offs
+}
+
+// TestWALTornTailTruncated: cutting the log mid-record must replay to
+// exactly the state of the surviving prefix, truncate the file at the
+// last valid record, and report the cut — and the repaired log must then
+// replay cleanly to the same state.
+func TestWALTornTailTruncated(t *testing.T) {
+	fx := makeWALFixture(t)
+	for cut := 1; cut < len(fx.records); cut++ {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			writeWAL(t, dir, "wal", fx.records)
+			path := WALPath(dir, "wal")
+			offs := frameOffsets(t, path)
+			// Tear: keep `cut` whole records plus half of the next one.
+			tearAt := offs[cut] + walFrameLen + 3
+			if err := os.Truncate(path, tearAt); err != nil {
+				t.Fatal(err)
+			}
+
+			st, info, err := ReplayWAL(dir, "wal", fx.city, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Records != cut || info.Truncated == "" || info.DroppedBytes == 0 {
+				t.Fatalf("tear at record %d: info %+v", cut, info)
+			}
+			if got, want := stateJSON(t, st), stateJSON(t, replayPrefix(t, fx, cut)); got != want {
+				t.Fatalf("torn replay != surviving prefix:\n%s\nwant:\n%s", got, want)
+			}
+			// The repair truncated the file to the last valid record.
+			if fi, err := os.Stat(path); err != nil || fi.Size() != offs[cut] {
+				t.Fatalf("file not truncated to %d: %v %v", offs[cut], fi.Size(), err)
+			}
+			st2, info2, err := ReplayWAL(dir, "wal", fx.city, nil)
+			if err != nil || info2.Truncated != "" || info2.Records != cut {
+				t.Fatalf("repaired log not clean: info %+v, err %v", info2, err)
+			}
+			if stateJSON(t, st2) != stateJSON(t, st) {
+				t.Fatal("repaired log replays to a different state")
+			}
+		})
+	}
+}
+
+// TestWALBitFlipTruncated: a flipped byte inside a record's payload fails
+// its CRC; recovery keeps the records before it.
+func TestWALBitFlipTruncated(t *testing.T) {
+	fx := makeWALFixture(t)
+	dir := t.TempDir()
+	writeWAL(t, dir, "wal", fx.records)
+	path := WALPath(dir, "wal")
+	offs := frameOffsets(t, path)
+
+	const victim = 2
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[offs[victim]+walFrameLen+5] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, info, err := ReplayWAL(dir, "wal", fx.city, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != victim || info.Truncated == "" {
+		t.Fatalf("bit flip in record %d: info %+v", victim, info)
+	}
+	if got, want := stateJSON(t, st), stateJSON(t, replayPrefix(t, fx, victim)); got != want {
+		t.Fatal("bit-flip replay != surviving prefix")
+	}
+}
+
+// TestWALInapplicableRecordTruncated: a structurally valid record the
+// state cannot apply (here: a package for an unknown group) also cuts the
+// log — the prefix stays served, nothing panics, nothing is fatal.
+func TestWALInapplicableRecordTruncated(t *testing.T) {
+	fx := makeWALFixture(t)
+	dir := t.TempDir()
+	bad := fx.records[1] // packageBuild...
+	bad.rec.GroupID = 99 // ...for a group that never existed
+	recs := []WALRecord{fx.records[0], bad, fx.records[1]}
+	writeWAL(t, dir, "wal", recs)
+
+	st, info, err := ReplayWAL(dir, "wal", fx.city, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 1 || info.Truncated == "" {
+		t.Fatalf("info %+v", info)
+	}
+	if len(st.Groups) != 1 || len(st.Packages) != 0 {
+		t.Fatalf("state after inapplicable record: %d groups, %d packages", len(st.Groups), len(st.Packages))
+	}
+}
+
+// TestWALBadHeaderQuarantined: a log without the magic header cannot be
+// trusted at all; it is moved aside, never silently treated as empty.
+func TestWALBadHeaderQuarantined(t *testing.T) {
+	fx := makeWALFixture(t)
+	dir := t.TempDir()
+	path := WALPath(dir, "wal")
+	if err := os.WriteFile(path, []byte("not a wal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, info, err := ReplayWAL(dir, "wal", fx.city, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Truncated == "" || len(st.Groups) != 0 {
+		t.Fatalf("info %+v, state %+v", info, st)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("bad log not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("bad log still in place: %v", err)
+	}
+}
+
+// TestWALResetAfterCompaction: Reset drops the log back to its header —
+// the compaction contract — and the appender keeps working after it.
+func TestWALResetAfterCompaction(t *testing.T) {
+	fx := makeWALFixture(t)
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, "wal", WALSyncPolicy{Mode: WALSyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for _, r := range fx.records[:2] {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.Stats(); st.Records != 2 || st.Bytes == 0 || st.Fsyncs == 0 {
+		t.Fatalf("pre-reset stats %+v", st)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Records != 0 || st.Bytes != 0 {
+		t.Fatalf("post-reset stats %+v", st)
+	}
+	// Appends after the reset are the new log suffix.
+	if err := w.Append(fx.records[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := ReplayWAL(dir, "wal", fx.city, nil)
+	if err != nil || info.Records != 1 || info.Truncated != "" {
+		t.Fatalf("post-reset replay info %+v, err %v", info, err)
+	}
+}
+
+// TestWALConcurrentAppends: concurrent durable appends must all commit
+// intact (writes serialize, fsyncs group-commit), and the group commit
+// must actually batch — far fewer fsyncs than appends under contention is
+// the design goal, but at minimum every record must survive replay.
+func TestWALConcurrentAppends(t *testing.T) {
+	fx := makeWALFixture(t)
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, "wal", WALSyncPolicy{Mode: WALSyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := fx.want.Groups[0].Group
+			if err := w.Append(GroupCreateRecord(10+i, g)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := w.Stats(); st.Records != n || st.Fsyncs == 0 {
+		t.Fatalf("stats after concurrent appends: %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, info, err := ReplayWAL(dir, "wal", fx.city, nil)
+	if err != nil || info.Records != n || info.Truncated != "" {
+		t.Fatalf("replay info %+v, err %v", info, err)
+	}
+	if len(st.Groups) != n || st.NextID != 10+n {
+		t.Fatalf("replayed %d groups, nextID %d", len(st.Groups), st.NextID)
+	}
+}
+
+func TestParseWALSync(t *testing.T) {
+	cases := []struct {
+		in   string
+		want WALSyncPolicy
+		ok   bool
+	}{
+		{"always", WALSyncPolicy{Mode: WALSyncAlways}, true},
+		{"", WALSyncPolicy{Mode: WALSyncAlways}, true},
+		{"off", WALSyncPolicy{Mode: WALSyncOff}, true},
+		{"interval", WALSyncPolicy{Mode: WALSyncInterval, Interval: DefaultWALSyncInterval}, true},
+		{"250ms", WALSyncPolicy{Mode: WALSyncInterval, Interval: 250 * time.Millisecond}, true},
+		{"-5s", WALSyncPolicy{}, false},
+		{"sometimes", WALSyncPolicy{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseWALSync(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Fatalf("ParseWALSync(%q) = %+v, %v", c.in, got, err)
+		}
+	}
+	// String round-trips through the parser's vocabulary.
+	for _, p := range []WALSyncPolicy{{Mode: WALSyncAlways}, {Mode: WALSyncOff}, {Mode: WALSyncInterval, Interval: time.Second}} {
+		back, err := ParseWALSync(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip %v -> %q -> %v (%v)", p, p.String(), back, err)
+		}
+	}
+}
+
+// TestWALSyncOffNoFsyncs: the off policy must not fsync per append (the
+// whole point of offering it).
+func TestWALSyncOffNoFsyncs(t *testing.T) {
+	fx := makeWALFixture(t)
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, "wal", WALSyncPolicy{Mode: WALSyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for _, r := range fx.records {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.Stats(); st.Fsyncs != 0 {
+		t.Fatalf("off policy fsynced %d times", st.Fsyncs)
+	}
+}
+
+// TestWALCompactionCrashIdempotent: a compaction can crash after its
+// snapshot lands but before the covered log records are removed. Replay
+// must skip records at or below the snapshot's sequence watermark —
+// without the skip, customOp records re-append to the package's op log
+// and /refine computes from a doubled history.
+func TestWALCompactionCrashIdempotent(t *testing.T) {
+	fx := makeWALFixture(t)
+	dir := t.TempDir()
+	writeWAL(t, dir, "wal", fx.records)
+
+	// The compaction's snapshot: everything the log holds, watermark at
+	// the last record's sequence.
+	st, info, err := ReplayWAL(dir, "wal", fx.city, nil)
+	if err != nil || info.Records != len(fx.records) {
+		t.Fatalf("info %+v err %v", info, err)
+	}
+	st.WALSeq = info.LastSeq
+	if _, err := WriteSnapshot(dir, "wal", st); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": the log was never truncated. Recovery = snapshot + full
+	// log; every record must be skipped, none double-applied.
+	snap, err := ReadSnapshot(dir, "wal", fx.city)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, info2, err := ReplayWAL(dir, "wal", fx.city, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Records != 0 || info2.Skipped != len(fx.records) || info2.Truncated != "" {
+		t.Fatalf("post-crash replay info %+v, want all %d records skipped", info2, len(fx.records))
+	}
+	if len(got.Packages[0].Ops) != 3 {
+		t.Fatalf("op log has %d ops, want 3 (double-applied?)", len(got.Packages[0].Ops))
+	}
+	if stateJSON(t, got) != stateJSON(t, st) {
+		t.Fatal("post-crash state differs from the snapshot")
+	}
+	// New appends must continue above the watermark, or they would be
+	// invisible to the next replay.
+	w, err := OpenWAL(dir, "wal", WALSyncPolicy{Mode: WALSyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Seed(info2.CurrentRecords, info2.LastSeq)
+	if got, want := w.LastSeq(), info.LastSeq; got != want {
+		t.Fatalf("seeded LastSeq = %d, want %d", got, want)
+	}
+	w.Close()
+}
+
+// TestWALRotateChain: Rotate seals the log as the pending segment and
+// recovery replays pending-then-current — the crash-mid-compaction
+// layout. Once a snapshot covers the pending records, replay skips them.
+func TestWALRotateChain(t *testing.T) {
+	fx := makeWALFixture(t)
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, "wal", WALSyncPolicy{Mode: WALSyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range fx.records[:2] { // group + package
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	watermark := w.LastSeq()
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.PendingExists() {
+		t.Fatal("rotate left no pending segment")
+	}
+	if st := w.Stats(); st.Records != 0 || st.Bytes != 0 {
+		t.Fatalf("fresh segment stats %+v", st)
+	}
+	// A second rotation with a pending segment outstanding must refuse —
+	// overwriting it would destroy records no snapshot holds.
+	if err := w.Rotate(); err == nil {
+		t.Fatal("rotate over an existing pending segment accepted")
+	}
+	if err := w.Append(fx.records[2]); err != nil { // a customOp, seq 3
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash before the snapshot landed: replay chains pending + current.
+	st, info, err := ReplayWAL(dir, "wal", fx.city, nil)
+	if err != nil || info.Records != 3 || info.Truncated != "" {
+		t.Fatalf("chain replay info %+v err %v", info, err)
+	}
+	if got, want := stateJSON(t, st), stateJSON(t, replayPrefix(t, fx, 3)); got != want {
+		t.Fatal("chained replay != first three records")
+	}
+	// Crash after the snapshot landed: pending records are skipped, the
+	// current segment still applies.
+	base := replayPrefix(t, fx, 2)
+	base.WALSeq = watermark
+	if _, err := WriteSnapshot(dir, "wal", base); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(dir, "wal", fx.city)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, info2, err := ReplayWAL(dir, "wal", fx.city, snap)
+	if err != nil || info2.Records != 1 || info2.Skipped != 2 {
+		t.Fatalf("post-snapshot chain info %+v err %v", info2, err)
+	}
+	if info2.CurrentRecords != 1 {
+		t.Fatalf("current segment records = %d, want 1", info2.CurrentRecords)
+	}
+	if stateJSON(t, st2) != stateJSON(t, st) {
+		t.Fatal("skip-based replay diverged from full replay")
+	}
+	// Compaction's final step removes the pending segment; the chain
+	// then replays identically from snapshot + current alone.
+	if err := RemovePendingWAL(dir, "wal"); err != nil {
+		t.Fatal(err)
+	}
+	snap2, _ := ReadSnapshot(dir, "wal", fx.city)
+	st3, info3, err := ReplayWAL(dir, "wal", fx.city, snap2)
+	if err != nil || info3.Records != 1 || info3.Skipped != 0 {
+		t.Fatalf("post-removal info %+v err %v", info3, err)
+	}
+	if stateJSON(t, st3) != stateJSON(t, st2) {
+		t.Fatal("state changed after pending removal")
+	}
+}
+
+// TestWALIntervalFlushTimer: under the interval policy, the records of a
+// burst that ends quietly must still reach disk within roughly one
+// interval — an armed deadline flush, not just "on the next append".
+func TestWALIntervalFlushTimer(t *testing.T) {
+	fx := makeWALFixture(t)
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, "wal", WALSyncPolicy{Mode: WALSyncInterval, Interval: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(fx.records[0]); err != nil {
+		t.Fatal(err)
+	}
+	// No further appends: without the deadline flush this would stay
+	// unsynced forever.
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("burst tail never fsynced under interval policy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWALGapDropsCurrentSegment: when the pending segment loses records,
+// the current log continues from sequences that no longer exist. Replay
+// must not apply across the gap — the surviving prefix ends at the cut,
+// and the current log is dropped rather than fabricating an op history
+// with a hole in the middle.
+func TestWALGapDropsCurrentSegment(t *testing.T) {
+	fx := makeWALFixture(t)
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, "wal", WALSyncPolicy{Mode: WALSyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range fx.records[:3] { // group, package, customOp
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(fx.records[3]); err != nil { // another customOp, seq 4
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the pending segment's last record (the seq-3 customOp).
+	pending := PendingWALPath(dir, "wal")
+	fi, err := os.Stat(pending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(pending, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	st, info, err := ReplayWAL(dir, "wal", fx.city, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 2 || info.Truncated == "" {
+		t.Fatalf("info %+v, want 2 records and a reported cut", info)
+	}
+	// Neither the torn seq-3 op nor the seq-4 op that depended on it
+	// applied: the op log is the 2-record prefix, not records 1,2,4.
+	if len(st.Packages) != 1 || len(st.Packages[0].Ops) != 0 {
+		t.Fatalf("state after gap: %d packages, ops %v", len(st.Packages), st.Packages[0].Ops)
+	}
+	if got, want := stateJSON(t, st), stateJSON(t, replayPrefix(t, fx, 2)); got != want {
+		t.Fatal("gap replay != surviving prefix")
+	}
+	// The repair is a fixpoint and the current log was emptied, not left
+	// holding unreachable records.
+	st2, info2, err := ReplayWAL(dir, "wal", fx.city, nil)
+	if err != nil || info2.Truncated != "" || info2.Records != 2 {
+		t.Fatalf("repaired replay info %+v err %v", info2, err)
+	}
+	if stateJSON(t, st2) != stateJSON(t, st) {
+		t.Fatal("repaired gap replay diverged")
+	}
+}
