@@ -16,12 +16,17 @@ vet:
 test:
 	$(GO) test ./...
 
+# -race covers every package, which pointedly includes the replication
+# suite (internal/server/replication_test.go, internal/replicate): the
+# convergence test runs a concurrent workload against a live tailer and
+# is exactly the kind of code the race detector exists for.
 race:
 	$(GO) test -race ./...
 
 # Smoke check: run every Benchmark* exactly once so the bench harness
-# (package-build scaling, server + multi-city throughput, paper tables)
-# cannot bit-rot unnoticed. `make benchfull` takes real measurements.
+# (package-build scaling, server + multi-city throughput, log-shipping
+# apply rate, paper tables) cannot bit-rot unnoticed. `make benchfull`
+# takes real measurements.
 bench:
 	$(GO) test -bench . -benchtime=1x -benchmem -run XXX .
 

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"grouptravel/internal/consensus"
 	"grouptravel/internal/core"
@@ -688,4 +689,91 @@ func BenchmarkConsensusWeighted(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Log shipping: follower apply throughput ---
+
+// BenchmarkLogShipping measures how fast a follower replica drains a
+// primary's write-ahead log: records/sec applied end-to-end — HTTP fetch,
+// frame CRC verification, applier validation, materialization into the
+// serving registries, and the follower's own durable WAL append. Each
+// iteration boots a cold follower and catches it up on the same primary
+// history.
+func BenchmarkLogShipping(b *testing.B) {
+	benchSetup(b)
+	primary, err := server.NewMultiCity(server.Options{
+		Cities: []*dataset.City{benchCity}, SnapshotDir: b.TempDir(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+
+	ratings := []map[string][]float64{}
+	for m := 0; m < 3; m++ {
+		member := map[string][]float64{}
+		for _, c := range poi.Categories {
+			dim := benchCity.Schema.Dim(c)
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = float64((j + m) % 6)
+			}
+			member[c.String()] = v
+		}
+		ratings = append(ratings, member)
+	}
+	gid := postJSON(b, ts.URL+"/api/groups", map[string]any{"members": ratings}, http.StatusCreated)
+	pid := postJSON(b, ts.URL+"/api/packages", map[string]any{"group": gid, "consensus": "pairwise", "k": 3}, http.StatusCreated)
+
+	// A long run of cheap customization records: alternately remove and
+	// re-add one POI, one WAL record each.
+	resp, err := http.Get(fmt.Sprintf("%s/api/packages/%d", ts.URL, pid))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pkg struct {
+		Days []struct {
+			Items []struct{ ID int }
+		}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pkg); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	victim := pkg.Days[0].Items[0].ID
+	const opRecords = 128
+	for i := 0; i < opRecords; i++ {
+		op := "remove"
+		if i%2 == 1 {
+			op = "add"
+		}
+		postJSON(b, fmt.Sprintf("%s/api/packages/%d/ops", ts.URL, pid),
+			map[string]any{"member": 0, "op": op, "ci": 0, "poi": victim}, http.StatusOK)
+	}
+	const total = 2 + opRecords // group + package + ops
+	key := strings.ToLower(benchCity.Name)
+
+	b.ResetTimer()
+	var applied int64
+	for i := 0; i < b.N; i++ {
+		f, err := server.NewMultiCity(server.Options{
+			Cities: []*dataset.City{benchCity}, SnapshotDir: b.TempDir(),
+			Follow: ts.URL, FollowPoll: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Follower().CatchUp(2 * time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		lag, _ := f.Follower().Lag(key)
+		if lag.AppliedSeq < total {
+			b.Fatalf("follower applied %d of %d records", lag.AppliedSeq, total)
+		}
+		applied += lag.AppliedSeq
+		f.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(applied)/b.Elapsed().Seconds(), "records/s")
 }

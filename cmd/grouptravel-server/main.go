@@ -63,12 +63,18 @@ func main() {
 	maxCities := flag.Int("max-cities", 0, "max cities resident at once, LRU-evicted beyond it (0: unlimited)")
 	defaultCity := flag.String("default-city", "", "city key served by the legacy /api routes (default: first key)")
 	cacheCap := flag.Int("cluster-cache-cap", 0, "per-engine cluster cache bound (0: default, <0: unbounded)")
+	follow := flag.String("follow", "", "run as a read-only follower replicating from the primary at this base URL")
+	followPoll := flag.Duration("follow-poll", 0, "replication poll interval (0: default)")
+	promote := flag.Bool("promote", false, "with -follow: start promoted — serve read-write from the follower's local state (failover boot)")
 	addr := flag.String("addr", ":8080", "listen address")
 	flag.Parse()
 
 	syncPolicy, err := store.ParseWALSync(*walSync)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *promote && *follow == "" {
+		log.Fatal("-promote requires -follow (it promotes a follower's local state)")
 	}
 	opts := server.Options{
 		DataDir:        *dataDir,
@@ -79,6 +85,8 @@ func main() {
 		MaxCities:      *maxCities,
 		DefaultCity:    *defaultCity,
 		EngineCacheCap: *cacheCap,
+		Follow:         *follow,
+		FollowPoll:     *followPoll,
 	}
 	if *preload != "" {
 		for _, key := range strings.Split(*preload, ",") {
@@ -101,11 +109,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *promote {
+		// Failover boot: serve read-write from the follower's local state
+		// without contacting the (presumably dead) primary.
+		if err := srv.Promote(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	keys := srv.Registry().Keys()
 	fmt.Printf("grouptravel-server: %d cities %v (default %s) on %s\n",
 		len(keys), keys, srv.DefaultCity(), *addr)
 	if *snapshotDir != "" {
 		fmt.Printf("grouptravel-server: WAL + snapshots under %s (fsync %s)\n", *snapshotDir, syncPolicy)
+	}
+	if role := srv.Role(); role != "primary" {
+		fmt.Printf("grouptravel-server: role %s (primary %s)\n", role, *follow)
 	}
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

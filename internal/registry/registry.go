@@ -211,6 +211,36 @@ func (r *Registry[S]) Acquire(key string) (c *City[S], release func(), err error
 	return e.city, func() { r.unpin(key, e) }, nil
 }
 
+// AcquireIfLoaded pins key only if the city is already resident and
+// healthy; it never triggers a load. ok is false for unknown, unloaded,
+// still-loading, failed or draining cities. This is the pin promotion and
+// follower-mode maintenance use: sweeping every key with Acquire would
+// force-load cities that are cleanly sealed on disk, exactly what a
+// sweep over *resident* state must not do.
+func (r *Registry[S]) AcquireIfLoaded(key string) (c *City[S], release func(), ok bool) {
+	r.mu.Lock()
+	e, resident := r.entries[key]
+	if !resident {
+		r.mu.Unlock()
+		return nil, nil, false
+	}
+	select {
+	case <-e.ready:
+	default:
+		r.mu.Unlock()
+		return nil, nil, false // still loading; its loader holds the pin
+	}
+	if e.err != nil {
+		r.mu.Unlock()
+		return nil, nil, false
+	}
+	e.pins++
+	r.clock++
+	e.lastUse = r.clock
+	r.mu.Unlock()
+	return e.city, func() { r.unpin(key, e) }, true
+}
+
 // load runs the Load → NewEngine → NewState pipeline outside the lock.
 func (r *Registry[S]) load(key string) (*City[S], error) {
 	ds, err := r.opts.Load(key)

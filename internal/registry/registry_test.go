@@ -364,3 +364,42 @@ func TestEvictionDrainBlocksReload(t *testing.T) {
 		t.Fatal("reload never proceeded after the hook finished")
 	}
 }
+
+// TestAcquireIfLoaded: the no-load pin — resident cities pin (and the pin
+// blocks eviction), everything else reports not-ok without triggering a
+// load pipeline.
+func TestAcquireIfLoaded(t *testing.T) {
+	var loads atomic.Int64
+	r := newTestRegistry(t, []string{"a", "b"}, 0, &loads, nil)
+
+	// Nothing resident yet: no pin, and crucially no load.
+	if _, _, ok := r.AcquireIfLoaded("a"); ok {
+		t.Fatal("pinned an unloaded city")
+	}
+	if _, _, ok := r.AcquireIfLoaded("nowhere"); ok {
+		t.Fatal("pinned an unknown city")
+	}
+	if loads.Load() != 0 {
+		t.Fatalf("AcquireIfLoaded ran %d load pipelines", loads.Load())
+	}
+
+	c, release, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	c2, release2, ok := r.AcquireIfLoaded("a")
+	if !ok || c2 != c {
+		t.Fatalf("resident city not pinned (ok=%v)", ok)
+	}
+	// The conditional pin is a real pin: it holds eviction off exactly
+	// like Acquire's.
+	st := r.Stats()
+	if len(st.Cities) != 1 || st.Cities[0].Pins != 1 {
+		t.Fatalf("stats after conditional pin: %+v", st)
+	}
+	release2()
+	if loads.Load() != 1 {
+		t.Fatalf("loads = %d, want 1", loads.Load())
+	}
+}

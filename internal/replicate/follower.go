@@ -1,0 +1,304 @@
+package replicate
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"grouptravel/internal/store"
+)
+
+// Target is what a Follower replicates into — implemented by the server
+// layer over its per-city state. All methods must be safe for concurrent
+// use; the Follower may sync different cities in parallel and a manual
+// CatchUp may overlap a background poll for the same city (sequence
+// numbers make overlapping applies idempotent).
+type Target interface {
+	// Resume returns the city's last durably applied sequence — where the
+	// next fetch resumes. 0 means nothing applied yet.
+	Resume(city string) (int64, error)
+	// ApplySnapshot validates and installs a compaction handoff, replacing
+	// the city's state wholesale, and returns the snapshot's watermark.
+	// A handoff at or below the current position is a no-op, not an error.
+	ApplySnapshot(city string, raw []byte) (int64, error)
+	// ApplyFrames applies shipped records in order and returns the new
+	// last applied sequence. Frames at or below the current position must
+	// be skipped (at-least-once delivery). An error means the stream and
+	// the local state disagree — the caller surfaces it and stops
+	// advancing rather than guessing.
+	ApplyFrames(city string, frames []store.WALFrame) (int64, error)
+}
+
+// Lag is one city's replication position, as reported on the follower's
+// /healthz.
+type Lag struct {
+	// Records and Bytes are how far behind the primary this city was at
+	// the last completed sync (records: sequence distance; bytes: wire
+	// bytes not yet applied).
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// AppliedSeq is the city's last applied sequence; PrimarySeq the
+	// primary's head at the last sync.
+	AppliedSeq int64 `json:"appliedSeq"`
+	PrimarySeq int64 `json:"primarySeq"`
+	// PrimaryWALBytes is the primary's bytes-since-compaction gauge — the
+	// load/backpressure signal a front tier can route on.
+	PrimaryWALBytes int64 `json:"primaryWalBytes"`
+	// SnapshotHandoffs counts compaction handoffs taken; WireRetries
+	// counts torn/corrupt responses that forced a re-fetch.
+	SnapshotHandoffs int64 `json:"snapshotHandoffs"`
+	WireRetries      int64 `json:"wireRetries"`
+	// Syncs counts completed sync cycles; Err is the last sync's failure
+	// (empty once healthy again).
+	Syncs int64  `json:"syncs"`
+	Err   string `json:"error,omitempty"`
+
+	// resumed: AppliedSeq is established (at least one successful sync),
+	// so the next poll can resume from it without consulting the target —
+	// which would pin, and possibly fault in, the city.
+	resumed bool
+}
+
+// Follower tails a primary's per-city logs and applies them to a Target.
+// One goroutine per city polls on Interval; Sync and CatchUp drive the
+// same cycle synchronously (tests, promotion barriers).
+type Follower struct {
+	client   *Client
+	target   Target
+	cities   []string
+	interval time.Duration
+
+	mu  sync.Mutex
+	lag map[string]*Lag
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      sync.WaitGroup
+}
+
+// DefaultPollInterval is how often a tailer polls when the caller does
+// not choose: frequent enough for sub-second staleness, cheap because a
+// caught-up poll transfers only headers.
+const DefaultPollInterval = 250 * time.Millisecond
+
+// NewFollower builds a follower over the given cities. interval <= 0
+// selects DefaultPollInterval. Nothing runs until Start.
+func NewFollower(primary string, cities []string, target Target, interval time.Duration) *Follower {
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	f := &Follower{
+		client:   &Client{Base: primary},
+		target:   target,
+		cities:   append([]string(nil), cities...),
+		interval: interval,
+		lag:      make(map[string]*Lag, len(cities)),
+		stop:     make(chan struct{}),
+	}
+	for _, c := range f.cities {
+		f.lag[c] = &Lag{}
+	}
+	return f
+}
+
+// Primary returns the primary's base URL.
+func (f *Follower) Primary() string { return f.client.Base }
+
+// Start launches one polling tailer per city. Idempotent.
+func (f *Follower) Start() {
+	f.startOnce.Do(func() {
+		for _, city := range f.cities {
+			f.done.Add(1)
+			go f.tail(city)
+		}
+	})
+}
+
+// Stop halts the tailers and waits for in-flight syncs to finish, so the
+// caller (promotion) knows no apply is mid-flight when it returns.
+// Idempotent; a never-started follower stops trivially.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.done.Wait()
+}
+
+// tail is one city's polling loop. Failures back off exponentially
+// (capped) instead of hammering a struggling primary at the poll rate.
+func (f *Follower) tail(city string) {
+	defer f.done.Done()
+	failures := 0
+	for {
+		wait := f.interval
+		if failures > 0 {
+			wait = retryBackoff(failures, f.interval)
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(wait):
+		}
+		if err := f.Sync(city); err != nil {
+			failures++
+		} else {
+			failures = 0
+		}
+	}
+}
+
+// Lag returns a city's replication position.
+func (f *Follower) Lag(city string) (Lag, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	l, ok := f.lag[city]
+	if !ok {
+		return Lag{}, false
+	}
+	return *l, true
+}
+
+// Sync runs one fetch-and-apply cycle for a city: resume from the last
+// applied sequence, fetch, take the snapshot handoff if the primary sent
+// one, apply the frames, record lag. A torn/corrupt response applies its
+// valid prefix and reports ErrWireCorrupt — the next cycle re-fetches
+// from wherever apply got to, so a bad frame costs one round trip, never
+// consistency.
+func (f *Follower) Sync(city string) error {
+	err := f.sync(city)
+	f.mu.Lock()
+	if l, ok := f.lag[city]; ok {
+		l.Syncs++
+		if err != nil {
+			l.Err = err.Error()
+			if errors.Is(err, ErrWireCorrupt) {
+				l.WireRetries++
+			}
+		} else {
+			l.Err = ""
+		}
+	}
+	f.mu.Unlock()
+	return err
+}
+
+func (f *Follower) sync(city string) error {
+	// Resume from the cached position when one is established: between
+	// polls the city may have been evicted, and its durable state resumes
+	// at exactly this sequence, so a caught-up poll must not pin — and
+	// thereby fault back in — the city just to ask where it stands.
+	applied, known := f.cachedSeq(city)
+	if !known {
+		var err error
+		applied, err = f.target.Resume(city)
+		if err != nil {
+			return fmt.Errorf("replicate: resume %s: %w", city, err)
+		}
+	}
+	batch, fetchErr := f.client.Fetch(city, applied)
+	if batch == nil {
+		return fetchErr
+	}
+	hasNew := batch.Snapshot != nil && batch.SnapshotSeq > applied
+	for _, fr := range batch.Frames {
+		if fr.Seq > applied {
+			hasNew = true
+			break
+		}
+	}
+	var appliedBytes int64
+	if hasNew {
+		if batch.Snapshot != nil {
+			seq, err := f.target.ApplySnapshot(city, batch.Snapshot)
+			if err != nil {
+				return fmt.Errorf("replicate: snapshot handoff %s: %w", city, err)
+			}
+			if seq > applied {
+				applied = seq
+			}
+			f.mu.Lock()
+			if l, ok := f.lag[city]; ok {
+				l.SnapshotHandoffs++
+			}
+			f.mu.Unlock()
+		}
+		if len(batch.Frames) > 0 {
+			seq, err := f.target.ApplyFrames(city, batch.Frames)
+			if err != nil {
+				return fmt.Errorf("replicate: apply %s: %w", city, err)
+			}
+			for _, fr := range batch.Frames {
+				if fr.Seq <= seq {
+					appliedBytes += fr.WireLen()
+				}
+			}
+			applied = seq
+		}
+	}
+	f.mu.Lock()
+	if l, ok := f.lag[city]; ok {
+		l.AppliedSeq = applied
+		l.resumed = true
+		l.PrimarySeq = batch.PrimarySeq
+		l.PrimaryWALBytes = batch.PrimaryWALBytes
+		l.Records = max(batch.PrimarySeq-applied, 0)
+		l.Bytes = max(batch.LagBytes-appliedBytes, 0)
+	}
+	f.mu.Unlock()
+	return fetchErr // nil, or the wire corruption the prefix-apply healed around
+}
+
+// cachedSeq returns the city's established resume point, if any.
+func (f *Follower) cachedSeq(city string) (int64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	l, ok := f.lag[city]
+	if !ok || !l.resumed {
+		return 0, false
+	}
+	return l.AppliedSeq, true
+}
+
+// CatchUp syncs every city until each reports zero record lag, or the
+// timeout elapses. It is the barrier tests and controlled promotion use:
+// after it returns nil, the follower has applied everything the primary
+// had committed when its final sync ran.
+func (f *Follower) CatchUp(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	failures := 0
+	for {
+		behind := ""
+		var firstErr error
+		for _, city := range f.cities {
+			if err := f.Sync(city); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				behind = city
+				continue
+			}
+			if l, ok := f.Lag(city); ok && l.Records > 0 {
+				behind = city
+			}
+		}
+		if behind == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if firstErr != nil {
+				return fmt.Errorf("replicate: catch-up timed out on %s: %w", behind, firstErr)
+			}
+			return fmt.Errorf("replicate: catch-up timed out on %s", behind)
+		}
+		// Progress without errors retries almost immediately; failures
+		// back off like the tailers do, so catching up against a dead
+		// primary does not hammer it until the deadline.
+		if firstErr != nil {
+			failures++
+			time.Sleep(retryBackoff(failures, 10*time.Millisecond))
+		} else {
+			failures = 0
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

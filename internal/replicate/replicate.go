@@ -1,0 +1,256 @@
+// Package replicate ships a city's write-ahead log from a primary server
+// to follower replicas over HTTP, turning the single-process engine into
+// a primary/standby pair: a follower tails `GET /cities/{city}/wal?from=
+// {seq}` and applies the framed records through the same store.Applier
+// the restart path replays with, so a replica is — by construction — a
+// restart that never stops happening.
+//
+// # Wire format
+//
+// A stream response reuses the WAL's CRC-framed record format verbatim
+// (little-endian payload length, CRC32-Castagnoli, JSON payload): a
+// follower could cat the body's frames onto a .wal file and recovery
+// would replay it. The body is
+//
+//	<8-byte magic "GTREPv1\n">
+//	[snapshot section, iff the X-GT-Snapshot-Seq header is present:
+//	  <uint32 LE CRC32-Castagnoli(snapshot)> <uint64 LE length> <snapshot JSON>]
+//	repeated WAL frames, exactly as they sit in the primary's log
+//
+// The snapshot section is the compaction handoff: when the follower's
+// resume sequence has fallen behind the primary's compaction horizon (the
+// records it needs now live only in the snapshot), the primary sends its
+// sealed snapshot first and the log suffix after it. Response headers
+// carry the primary's position for lag accounting:
+//
+//	X-GT-Primary-Seq:       last committed sequence at serve time
+//	X-GT-Primary-Wal-Bytes: primary log bytes since its last compaction
+//	X-GT-Lag-Bytes:         wire bytes of the frames in this response
+//	X-GT-Snapshot-Seq:      watermark of the snapshot section, if present
+//
+// Delivery is at-least-once: a frame may arrive twice (a retry after a
+// cut stream re-fetches from the last durable sequence), and sequence
+// numbers — not delivery counts — are what make apply idempotent.
+package replicate
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"grouptravel/internal/store"
+)
+
+// Stream magic: versions the body independently of the WAL file format.
+var streamMagic = [8]byte{'G', 'T', 'R', 'E', 'P', 'v', '1', '\n'}
+
+// Response headers (canonical MIME casing is applied by net/http).
+const (
+	HeaderPrimarySeq      = "X-GT-Primary-Seq"
+	HeaderPrimaryWALBytes = "X-GT-Primary-Wal-Bytes"
+	HeaderLagBytes        = "X-GT-Lag-Bytes"
+	HeaderSnapshotSeq     = "X-GT-Snapshot-Seq"
+)
+
+// snapshotHeaderLen frames the snapshot section: CRC32 + uint64 length.
+const snapshotHeaderLen = 12
+
+// maxSnapshotBytes bounds a snapshot section so a corrupt or hostile
+// length prefix cannot force an unbounded allocation on the follower.
+const maxSnapshotBytes = int64(1) << 31
+
+// snapshotCRC shares the WAL's Castagnoli polynomial.
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWireCorrupt reports a frame (or snapshot section) that failed its
+// checksum or arrived torn: the bytes before it are intact and usable,
+// everything at and after it must be re-fetched. A follower applies the
+// valid prefix and retries — a corrupt frame is never partially applied
+// because it is never surfaced at all.
+var ErrWireCorrupt = errors.New("replicate: corrupt frame on the wire")
+
+// ErrFollowerAhead reports a 409 from the primary: the follower's resume
+// sequence is beyond the primary's log head. That is divergence (a
+// primary restored from older state, or a promoted follower pointed back
+// at a demoted one), not lag; it needs an operator, not a retry.
+var ErrFollowerAhead = errors.New("replicate: follower is ahead of the primary")
+
+// Batch is one parsed stream response: an optional snapshot handoff, the
+// log frames after it, and the primary's position for lag accounting.
+type Batch struct {
+	// Snapshot is the raw snapshot JSON of a compaction handoff (nil when
+	// the resume point was still inside the primary's log). SnapshotSeq is
+	// the WAL watermark it covers: frames at or below it are already
+	// folded into the snapshot.
+	Snapshot    []byte
+	SnapshotSeq int64
+
+	// Frames in log order, each carrying its decoded sequence number.
+	Frames []store.WALFrame
+
+	// PrimarySeq is the primary's last committed sequence at serve time;
+	// PrimaryWALBytes its log bytes since compaction (the backpressure
+	// gauge); LagBytes the wire bytes of Frames — what this follower had
+	// not applied when the response was cut.
+	PrimarySeq      int64
+	PrimaryWALBytes int64
+	LagBytes        int64
+}
+
+// WriteStream serves one batch as a stream response body plus headers —
+// the primary half of the protocol (internal/server's /wal endpoint).
+func WriteStream(w http.ResponseWriter, b *Batch) error {
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(HeaderPrimarySeq, strconv.FormatInt(b.PrimarySeq, 10))
+	h.Set(HeaderPrimaryWALBytes, strconv.FormatInt(b.PrimaryWALBytes, 10))
+	var lagBytes int64
+	for _, fr := range b.Frames {
+		lagBytes += fr.WireLen()
+	}
+	h.Set(HeaderLagBytes, strconv.FormatInt(lagBytes, 10))
+	if b.Snapshot != nil {
+		h.Set(HeaderSnapshotSeq, strconv.FormatInt(b.SnapshotSeq, 10))
+	}
+	if _, err := w.Write(streamMagic[:]); err != nil {
+		return err
+	}
+	if b.Snapshot != nil {
+		var head [snapshotHeaderLen]byte
+		binary.LittleEndian.PutUint32(head[0:4], crc32.Checksum(b.Snapshot, snapshotCRC))
+		binary.LittleEndian.PutUint64(head[4:12], uint64(len(b.Snapshot)))
+		if _, err := w.Write(head[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(b.Snapshot); err != nil {
+			return err
+		}
+	}
+	for _, fr := range b.Frames {
+		if _, err := w.Write(store.EncodeFrame(fr.Payload)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseStream decodes a response body. On a torn or corrupt frame it
+// returns the valid prefix together with ErrWireCorrupt — the caller
+// applies what survived and re-fetches the rest.
+func parseStream(body []byte, snapshotSeq int64, hasSnapshot bool) (*Batch, error) {
+	if len(body) < len(streamMagic) || [8]byte(body[:len(streamMagic)]) != streamMagic {
+		return nil, fmt.Errorf("replicate: response is not a GTREPv1 stream")
+	}
+	b := &Batch{SnapshotSeq: snapshotSeq}
+	buf := body[len(streamMagic):]
+	if hasSnapshot {
+		if len(buf) < snapshotHeaderLen {
+			return nil, fmt.Errorf("%w: torn snapshot header", ErrWireCorrupt)
+		}
+		sum := binary.LittleEndian.Uint32(buf[0:4])
+		n := int64(binary.LittleEndian.Uint64(buf[4:12]))
+		if n < 0 || n > maxSnapshotBytes {
+			return nil, fmt.Errorf("%w: snapshot length %d", ErrWireCorrupt, n)
+		}
+		if int64(len(buf)) < snapshotHeaderLen+n {
+			return nil, fmt.Errorf("%w: torn snapshot", ErrWireCorrupt)
+		}
+		snap := buf[snapshotHeaderLen : snapshotHeaderLen+n]
+		if crc32.Checksum(snap, snapshotCRC) != sum {
+			return nil, fmt.Errorf("%w: snapshot CRC mismatch", ErrWireCorrupt)
+		}
+		b.Snapshot = snap
+		buf = buf[snapshotHeaderLen+n:]
+	}
+	for len(buf) > 0 {
+		payload, n, err := store.DecodeFrame(buf)
+		if err != nil {
+			return b, fmt.Errorf("%w: %v", ErrWireCorrupt, err)
+		}
+		fr := store.WALFrame{Payload: payload}
+		if fr.Seq, err = store.FrameSeq(payload); err != nil {
+			return b, fmt.Errorf("%w: %v", ErrWireCorrupt, err)
+		}
+		if fr.Seq < 1 {
+			// A shipped record always carries the primary's stamp; a
+			// seq-less frame cannot be resumed past and must not apply.
+			return b, fmt.Errorf("%w: frame without a sequence number", ErrWireCorrupt)
+		}
+		b.Frames = append(b.Frames, fr)
+		buf = buf[n:]
+	}
+	return b, nil
+}
+
+// defaultFetchClient bounds every fetch. Without a deadline, a primary
+// lost to a partition (no RST, the connection just hangs) would block a
+// tailer forever — and Promote waits out in-flight syncs, so the hang
+// would reach exactly the code path that exists for a dead primary.
+var defaultFetchClient = &http.Client{Timeout: 30 * time.Second}
+
+// Client fetches stream batches from a primary's base URL.
+type Client struct {
+	// Base is the primary's base URL, e.g. "http://primary:8080".
+	Base string
+	// HTTP overrides the transport; a 30s-timeout client when nil.
+	HTTP *http.Client
+}
+
+// Fetch pulls every committed record after `from` for one city. It may
+// return a non-nil partial Batch together with ErrWireCorrupt (apply the
+// prefix, retry), or ErrFollowerAhead on divergence.
+func (c *Client) Fetch(city string, from int64) (*Batch, error) {
+	hc := c.HTTP
+	if hc == nil {
+		hc = defaultFetchClient
+	}
+	u := fmt.Sprintf("%s/cities/%s/wal?from=%d", c.Base, url.PathEscape(city), from)
+	resp, err := hc.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("replicate: fetch %s: %w", city, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		return nil, fmt.Errorf("%w (city %s, from %d)", ErrFollowerAhead, city, from)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("replicate: fetch %s: %s: %s", city, resp.Status, msg)
+	}
+	intHeader := func(name string) int64 {
+		v, _ := strconv.ParseInt(resp.Header.Get(name), 10, 64)
+		return v
+	}
+	// A connection cut mid-body surfaces as a read error here; the bytes
+	// already received still parse as a valid prefix, so treat it like a
+	// torn frame rather than losing the whole batch.
+	body, readErr := io.ReadAll(resp.Body)
+	b, parseErr := parseStream(body, intHeader(HeaderSnapshotSeq), resp.Header.Get(HeaderSnapshotSeq) != "")
+	if b != nil {
+		b.PrimarySeq = intHeader(HeaderPrimarySeq)
+		b.PrimaryWALBytes = intHeader(HeaderPrimaryWALBytes)
+		b.LagBytes = intHeader(HeaderLagBytes)
+	}
+	if parseErr != nil {
+		return b, parseErr
+	}
+	if readErr != nil {
+		return b, fmt.Errorf("%w: %v", ErrWireCorrupt, readErr)
+	}
+	return b, nil
+}
+
+// retryBackoff bounds how fast a failing tailer hammers the primary.
+func retryBackoff(attempt int, base time.Duration) time.Duration {
+	d := base << min(attempt, 6)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}

@@ -68,6 +68,10 @@ type cityState struct {
 	// newCityState.
 	replay       store.WALReplayInfo
 	replayMillis float64
+
+	// replica is the follower-mode apply state (see follower.go); nil on
+	// primaries and set once at construction.
+	replica *replicaMirror
 }
 
 // groupState is one registered group. group is immutable after creation;
@@ -129,7 +133,17 @@ func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) 
 		compactBytes: s.compactBytes,
 	}
 	cs.persistErr.Store("")
+	// A city loaded after promotion is an ordinary read-write city; only
+	// an active follower builds the replication mirror.
+	follower := s.isReadOnly()
 	if cs.snapDir == "" {
+		if follower {
+			ap, mst, err := store.NewApplier(nil, cs.city)
+			if err != nil {
+				return nil, err
+			}
+			cs.replica = &replicaMirror{st: mst, ap: ap}
+		}
 		return cs, nil
 	}
 
@@ -145,32 +159,56 @@ func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) 
 	wal.Seed(cs.replay.CurrentRecords, cs.replay.LastSeq)
 	cs.wal = wal
 	cs.replayMillis = float64(time.Since(start)) / float64(time.Millisecond)
-	if st == nil {
-		return cs, nil // first boot, or quarantined state: start empty
+	if st != nil {
+		cs.nextID = st.NextID
+		groups, packages, err := materializeState(cs.city, st)
+		if err != nil {
+			// The registry forgets failed loads and retries on the next
+			// request; leaving the log open would leak one fd per retry.
+			wal.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		cs.groups, cs.packages = groups, packages
 	}
+	if follower {
+		// Keep the recovered state as the replication mirror: the applier
+		// resumes validation exactly where recovery stopped, so the
+		// follower's resume point survives its own restarts.
+		ap, mst, err := store.NewApplier(st, cs.city)
+		if err != nil {
+			wal.Close()
+			return nil, err
+		}
+		ap.Seed(cs.replay.LastSeq)
+		cs.replica = &replicaMirror{st: mst, ap: ap}
+	}
+	return cs, nil
+}
 
-	cs.nextID = st.NextID
+// materializeState builds the serving registries from a persisted state —
+// the one route from durable form to live form, shared by restart
+// recovery and a follower's snapshot handoff.
+func materializeState(city *dataset.City, st *store.ServerState) (map[int]*groupState, map[int]*packageState, error) {
+	groups := make(map[int]*groupState, len(st.Groups))
+	packages := make(map[int]*packageState, len(st.Packages))
 	for _, gr := range st.Groups {
 		profiles := gr.Profiles
 		if profiles == nil {
 			profiles = map[string]*profile.Profile{}
 		}
-		cs.groups[gr.ID] = &groupState{group: gr.Group, profiles: profiles}
+		groups[gr.ID] = &groupState{group: gr.Group, profiles: profiles}
 	}
 	for _, pr := range st.Packages {
-		sess, err := interact.NewSession(cs.city, pr.Package)
+		sess, err := interact.NewSession(city, pr.Package)
 		if err != nil {
-			// The registry forgets failed loads and retries on the next
-			// request; leaving the log open would leak one fd per retry.
-			wal.Close()
-			return nil, fmt.Errorf("server: restore package %d: %w", pr.ID, err)
+			return nil, nil, fmt.Errorf("restore package %d: %w", pr.ID, err)
 		}
 		// The persisted ops are already reflected in the package items;
 		// reinstating the log keeps /refine seeing them after a restart.
 		sess.SetLog(pr.Ops)
-		cs.packages[pr.ID] = &packageState{groupID: pr.GroupID, method: pr.Method, session: sess}
+		packages[pr.ID] = &packageState{groupID: pr.GroupID, method: pr.Method, session: sess}
 	}
-	return cs, nil
+	return groups, packages, nil
 }
 
 // recoverState reads snapshot + log. It returns nil state (not an error)

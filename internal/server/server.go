@@ -62,11 +62,14 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"grouptravel/internal/core"
 	"grouptravel/internal/dataset"
 	"grouptravel/internal/registry"
+	"grouptravel/internal/replicate"
 	"grouptravel/internal/store"
 )
 
@@ -115,6 +118,14 @@ type Options struct {
 	// singleflight path, so the first request pays no cold start. Unknown
 	// keys or failing loads fail construction.
 	PreloadCities []string
+	// Follow runs this server as a read-only follower replicating every
+	// city from the primary at this base URL (log shipping; see
+	// internal/replicate). Mutating routes answer 403 until Promote.
+	Follow string
+	// FollowPoll is the replication tailer's poll interval: 0 selects
+	// replicate.DefaultPollInterval; < 0 starts no background tailers —
+	// the embedder drives Follower().Sync/CatchUp itself (tests).
+	FollowPoll time.Duration
 }
 
 // Server routes requests to per-city engines and serving state.
@@ -125,6 +136,20 @@ type Server struct {
 	walSync      store.WALSyncPolicy
 	compactEvery int64
 	compactBytes int64
+
+	// Replication role (see follower.go): primaryURL is empty on a
+	// primary; follower tails the primary's logs; promoted latches once
+	// Promote flips the process read-write (promoteOnce runs the flip
+	// exactly once; promoted is the fast flag handlers read).
+	primaryURL  string
+	follower    *replicate.Follower
+	promoteOnce sync.Once
+	promoted    atomic.Bool
+
+	// coldHeads caches non-resident cities' stream heads (stream.go), so
+	// caught-up followers polling cold cities cost three stats, not a
+	// snapshot parse. Entries self-invalidate via file signatures.
+	coldHeads sync.Map // city key -> coldHead
 }
 
 // New builds a single-city server with no persistence — the original
@@ -206,6 +231,9 @@ func NewMultiCity(opts Options) (*Server, error) {
 		walSync:      opts.WALSync,
 		compactEvery: int64(opts.CompactEvery),
 		compactBytes: opts.CompactBytes,
+		// Set before the registry exists: city loads consult the role to
+		// decide whether to build the replication mirror.
+		primaryURL: strings.TrimRight(opts.Follow, "/"),
 	}
 	if s.compactEvery == 0 {
 		s.compactEvery = DefaultCompactEvery
@@ -258,6 +286,12 @@ func NewMultiCity(opts Options) (*Server, error) {
 	s.reg = reg
 	if err := s.Preload(opts.PreloadCities...); err != nil {
 		return nil, err
+	}
+	if s.primaryURL != "" {
+		s.follower = replicate.NewFollower(s.primaryURL, keys, followerTarget{s}, max(opts.FollowPoll, 0))
+		if opts.FollowPoll >= 0 {
+			s.follower.Start()
+		}
 	}
 	return s, nil
 }
@@ -313,17 +347,28 @@ func (s *Server) Handler() http.Handler {
 	city := func(h func(cs *cityState, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
 		return s.withCity(h)
 	}
+	// Mutations go through the role gate: an unpromoted follower answers
+	// 403 with a pointer at the primary instead of diverging from it.
+	mutate := func(h func(cs *cityState, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+		return s.writable(s.withCity(h))
+	}
 	for _, prefix := range []string{"/api", "/cities/{city}"} {
 		mux.HandleFunc("GET "+prefix+"/pois", city((*cityState).handlePOIs))
-		mux.HandleFunc("POST "+prefix+"/groups", city((*cityState).handleCreateGroup))
+		mux.HandleFunc("POST "+prefix+"/groups", mutate((*cityState).handleCreateGroup))
 		mux.HandleFunc("GET "+prefix+"/groups/{id}", city((*cityState).handleGetGroup))
-		mux.HandleFunc("POST "+prefix+"/packages", city((*cityState).handleCreatePackage))
+		mux.HandleFunc("POST "+prefix+"/packages", mutate((*cityState).handleCreatePackage))
 		mux.HandleFunc("GET "+prefix+"/packages/{id}", city((*cityState).handleGetPackage))
-		mux.HandleFunc("POST "+prefix+"/packages/{id}/ops", city((*cityState).handleOps))
-		mux.HandleFunc("POST "+prefix+"/packages/{id}/refine", city((*cityState).handleRefine))
+		mux.HandleFunc("POST "+prefix+"/packages/{id}/ops", mutate((*cityState).handleOps))
+		mux.HandleFunc("POST "+prefix+"/packages/{id}/refine", mutate((*cityState).handleRefine))
+		// The replication stream: followers tail it, and a follower serves
+		// it too (from its own log), so replicas can cascade. Not routed
+		// through withCity — it must never force a city load (see
+		// stream.go).
+		mux.HandleFunc("GET "+prefix+"/wal", s.handleWAL)
 	}
 	mux.HandleFunc("GET /api/city", city((*cityState).handleCity))
 	mux.HandleFunc("GET /cities/{city}", city((*cityState).handleCity))
+	mux.HandleFunc("POST /promote", s.handlePromote)
 	return mux
 }
 
@@ -377,6 +422,10 @@ type cityHealth struct {
 	LastSnapshot string          `json:"lastSnapshot,omitempty"` // RFC3339; empty when never compacted
 	PersistErr   string          `json:"persistenceError,omitempty"`
 	WAL          *walHealth      `json:"wal,omitempty"`
+	// Replication is the follower's position against the primary for this
+	// city: replicaLag in records and bytes, handoff/retry counters, and
+	// the primary's bytes-since-compaction gauge. Followers only.
+	Replication *replicate.Lag `json:"replication,omitempty"`
 }
 
 // walHealth is the write-ahead-log slice of a city's health: the log's
@@ -400,6 +449,8 @@ type healthResponse struct {
 	// health must not force a dataset load).
 	City        string                `json:"city"`
 	DefaultCity string                `json:"defaultCity"`
+	Role        string                `json:"role"`              // primary | follower | promoted
+	Primary     string                `json:"primary,omitempty"` // the primary's URL on (ex-)followers
 	Registry    registry.Stats        `json:"registry"`
 	Cities      map[string]cityHealth `json:"cities"` // loaded cities only
 	Persistence bool                  `json:"persistence"`
@@ -411,6 +462,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Status:      "ok",
 		City:        s.defaultCity,
 		DefaultCity: s.defaultCity,
+		Role:        s.Role(),
+		Primary:     s.primaryURL,
 		Registry:    s.reg.Stats(),
 		Cities:      map[string]cityHealth{},
 		Persistence: s.snapshotDir != "",
@@ -419,7 +472,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		resp.WALSync = s.walSync.String()
 	}
 	s.reg.Range(func(c *registry.City[*cityState]) {
-		resp.Cities[c.Key] = c.State.health()
+		h := c.State.health()
+		if s.follower != nil {
+			if lag, ok := s.follower.Lag(c.Key); ok {
+				h.Replication = &lag
+			}
+		}
+		resp.Cities[c.Key] = h
 		if c.Key == s.defaultCity {
 			resp.City = c.City.Name
 		}
@@ -427,20 +486,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// citySummary is one row of GET /cities.
+// citySummary is one row of GET /cities. WALBytes is the city's
+// bytes-since-compaction — the write-ahead-log backpressure gauge a front
+// tier can route on (a large value means an expensive replay-on-reload
+// and a mutation-hot city); 0 for unloaded cities or without persistence.
 type citySummary struct {
-	Key     string `json:"key"`
-	Loaded  bool   `json:"loaded"`
-	Default bool   `json:"default"`
+	Key      string `json:"key"`
+	Loaded   bool   `json:"loaded"`
+	Default  bool   `json:"default"`
+	WALBytes int64  `json:"walBytes,omitempty"`
 }
 
 func (s *Server) handleCities(w http.ResponseWriter, _ *http.Request) {
+	walBytes := map[string]int64{}
+	s.reg.Range(func(c *registry.City[*cityState]) {
+		if c.State.wal != nil {
+			walBytes[c.Key] = c.State.wal.Stats().Bytes
+		}
+	})
 	var out []citySummary
 	for _, key := range s.reg.Keys() {
 		out = append(out, citySummary{
-			Key:     key,
-			Loaded:  s.reg.Loaded(key),
-			Default: key == s.defaultCity,
+			Key:      key,
+			Loaded:   s.reg.Loaded(key),
+			Default:  key == s.defaultCity,
+			WALBytes: walBytes[key],
 		})
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"grouptravel/internal/replicate"
+	"grouptravel/internal/store"
+)
+
+// This file is the primary half of log shipping: GET /cities/{city}/wal
+// ?from={seq} serves every committed record after the follower's resume
+// point, straight from the city's log files — and, when the resume point
+// has fallen behind the compaction horizon (the records now live only in
+// the snapshot), the sealed snapshot plus the log suffix. The frames go
+// out byte-for-byte as they sit in the log. A follower's own /wal
+// endpoint serves the same way, so replicas can cascade.
+//
+// The stream deliberately never forces a city load: a resident city
+// serves live (its appender's sequence counter is the authoritative
+// head), an unloaded one serves cold from its sealed on-disk state —
+// tailing followers polling every city must not defeat the LRU cap by
+// faulting everything in.
+
+// errStreamAhead: the requested resume point is beyond this log's head —
+// the caller has records this server never wrote. Divergence, not lag.
+var errStreamAhead = errors.New("ahead of log head")
+
+// errStreamBusy: compaction kept moving the files under the reader for
+// every retry. Transient; the follower's next poll retries.
+var errStreamBusy = errors.New("log rotating; retry")
+
+// handleWAL routes one stream request: live when the city is resident,
+// cold (disk-only) when it is not. "No WAL configured" is 501, never
+// 409 — a follower must be able to tell a misconfigured primary apart
+// from real divergence.
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("city")
+	if key == "" {
+		key = s.defaultCity
+	}
+	if !s.reg.Has(key) {
+		writeErr(w, http.StatusNotFound, "unknown city %q", key)
+		return
+	}
+	if c, release, ok := s.reg.AcquireIfLoaded(key); ok {
+		defer release()
+		c.State.handleWALStream(w, r)
+		return
+	}
+	if s.snapshotDir == "" {
+		writeErr(w, http.StatusNotImplemented,
+			"city %q has no write-ahead log (replication requires -snapshot-dir)", key)
+		return
+	}
+	// Cold: the city's state is sealed on disk (eviction compacted and
+	// closed it, or it was never touched). A load racing this read only
+	// appends past what we serve; the density checks catch rotations.
+	from, ok := parseFrom(w, r)
+	if !ok {
+		return
+	}
+	// Caught-up cold polls answer from three stats: re-reading (and
+	// JSON-parsing) a large sealed snapshot 4x/sec per follower just to
+	// say "nothing new" would make cold cities more expensive than live
+	// ones.
+	sig := coldSig(s.snapshotDir, key)
+	if h, hit := s.coldHeads.Load(key); hit {
+		if ch := h.(coldHead); ch.sig == sig && from == ch.last {
+			_ = replicate.WriteStream(w, &replicate.Batch{PrimarySeq: ch.last, PrimaryWALBytes: ch.walBytes})
+			return
+		}
+	}
+	batch, err := streamFrom(s.snapshotDir, key, from, nil)
+	if !writeStreamResult(w, from, batch, err) {
+		return
+	}
+	// The signature was taken before the read: if the files changed in
+	// between, the stale signature just misses the cache next poll.
+	s.coldHeads.Store(key, coldHead{sig: sig, last: batch.PrimarySeq, walBytes: batch.PrimaryWALBytes})
+}
+
+// coldHead caches the last-served head of a non-resident city, keyed by
+// its files' stat signature.
+type coldHead struct {
+	sig            coldSignature
+	last, walBytes int64
+}
+
+// coldSignature fingerprints the three on-disk files cheaply (mtime +
+// size; -1/-1 when absent).
+type coldSignature struct {
+	snapMod, snapSize, walMod, walSize, pendMod, pendSize int64
+}
+
+func coldSig(dir, key string) coldSignature {
+	stat := func(path string) (int64, int64) {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return -1, -1
+		}
+		return fi.ModTime().UnixNano(), fi.Size()
+	}
+	var sig coldSignature
+	sig.snapMod, sig.snapSize = stat(store.SnapshotPath(dir, key))
+	sig.walMod, sig.walSize = stat(store.WALPath(dir, key))
+	sig.pendMod, sig.pendSize = stat(store.PendingWALPath(dir, key))
+	return sig
+}
+
+// handleWALStream serves the stream for a resident city.
+func (cs *cityState) handleWALStream(w http.ResponseWriter, r *http.Request) {
+	if cs.wal == nil {
+		writeErr(w, http.StatusNotImplemented,
+			"city %q has no write-ahead log (replication requires -snapshot-dir)", cs.key)
+		return
+	}
+	from, ok := parseFrom(w, r)
+	if !ok {
+		return
+	}
+	batch, err := streamFrom(cs.snapDir, cs.key, from, func() (int64, int64) {
+		return cs.wal.LastSeq(), cs.wal.Stats().Bytes
+	})
+	writeStreamResult(w, from, batch, err)
+}
+
+// parseFrom reads the resume-point query parameter; on a bad value it
+// writes the 400 and reports !ok.
+func parseFrom(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	v := r.URL.Query().Get("from")
+	if v == "" {
+		return 0, true
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		writeErr(w, http.StatusBadRequest, "bad from %q", v)
+		return 0, false
+	}
+	return n, true
+}
+
+// writeStreamResult maps a streamFrom result onto the response; true
+// means a batch was written.
+func writeStreamResult(w http.ResponseWriter, from int64, batch *replicate.Batch, err error) bool {
+	switch {
+	case errors.Is(err, errStreamAhead):
+		writeErr(w, http.StatusConflict, "follower at seq %d is ahead of this log", from)
+		return false
+	case errors.Is(err, errStreamBusy):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return false
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return false
+	}
+	_ = replicate.WriteStream(w, batch) // a cut connection is the client's retry
+	return true
+}
+
+// streamFrom assembles one stream batch: all committed records with
+// sequence > from. The log files are read without locks while the
+// appender, and possibly a compaction, keep running — a torn tail just
+// ends the committed prefix, and the races that matter (a rotation or
+// compaction landing between two file reads) all surface as a sequence
+// gap, which is detected and retried rather than ever shipped.
+func streamFrom(dir, key string, from int64, head func() (int64, int64)) (*replicate.Batch, error) {
+	for attempt := 0; ; attempt++ {
+		batch, err := tryCollect(dir, key, from, head)
+		if err != nil {
+			return nil, err
+		}
+		if batch != nil {
+			return batch, nil
+		}
+		if attempt >= 5 {
+			return nil, errStreamBusy
+		}
+		time.Sleep(time.Duration(1<<attempt) * time.Millisecond)
+	}
+}
+
+// tryCollect makes one read pass; nil batch with nil error means "raced
+// a rotation, retry".
+func tryCollect(dir, key string, from int64, head func() (int64, int64)) (*replicate.Batch, error) {
+	var (
+		frames         []store.WALFrame
+		raw            []byte
+		snapSeq        int64
+		snapRead       bool
+		last, walBytes int64
+	)
+	readSnap := func() error {
+		if snapRead {
+			return nil
+		}
+		var err error
+		raw, snapSeq, err = store.ReadSnapshotRaw(dir, key)
+		if err != nil {
+			return fmt.Errorf("snapshot handoff: %w", err)
+		}
+		snapRead = true
+		return nil
+	}
+	if head != nil {
+		last, walBytes = head()
+		if from > last {
+			return nil, errStreamAhead
+		}
+		if from == last {
+			// Caught up: the steady-state poll answers from the sequence
+			// counter alone, without reading (or parsing) a byte of log.
+			return &replicate.Batch{PrimarySeq: last, PrimaryWALBytes: walBytes}, nil
+		}
+	}
+	frames, err := store.CollectWALFrames(dir, key)
+	if err != nil {
+		return nil, err
+	}
+	if !strictlyAscending(frames) {
+		return nil, nil // two reads straddled a rotation
+	}
+	if head == nil {
+		// Cold head: the snapshot watermark and the last frame on disk.
+		if err := readSnap(); err != nil {
+			return nil, err
+		}
+		last = snapSeq
+		for _, fr := range frames {
+			walBytes += fr.WireLen()
+			if fr.Seq > last {
+				last = fr.Seq
+			}
+		}
+		if from > last {
+			return nil, errStreamAhead
+		}
+		if from == last {
+			return &replicate.Batch{PrimarySeq: last, PrimaryWALBytes: walBytes}, nil
+		}
+	}
+	batch := &replicate.Batch{PrimarySeq: last, PrimaryWALBytes: walBytes}
+	lo := last + 1 // an empty log: everything lives in the snapshot
+	if len(frames) > 0 {
+		lo = frames[0].Seq
+	}
+	if from+1 >= lo {
+		out := framesAfter(frames, from)
+		if !denseFrom(out, from+1) {
+			return nil, nil
+		}
+		batch.Frames = out
+		return batch, nil
+	}
+	// The records right after `from` are no longer in the log: they were
+	// folded into the snapshot by a compaction. Hand the snapshot off and
+	// ship the suffix beyond its watermark.
+	if err := readSnap(); err != nil {
+		return nil, err
+	}
+	if raw == nil || snapSeq < from || snapSeq+1 < lo {
+		// No snapshot (or one too old to bridge the gap): a compaction is
+		// mid-flight — its rotation already sealed the log but its
+		// snapshot has not landed. Retry.
+		return nil, nil
+	}
+	out := framesAfter(frames, snapSeq)
+	if !denseFrom(out, snapSeq+1) {
+		return nil, nil
+	}
+	batch.Snapshot, batch.SnapshotSeq = raw, snapSeq
+	batch.Frames = out
+	return batch, nil
+}
+
+// framesAfter returns the suffix with sequence > from.
+func framesAfter(frames []store.WALFrame, from int64) []store.WALFrame {
+	for i, fr := range frames {
+		if fr.Seq > from {
+			return frames[i:]
+		}
+	}
+	return nil
+}
+
+func strictlyAscending(frames []store.WALFrame) bool {
+	for i := 1; i < len(frames); i++ {
+		if frames[i].Seq <= frames[i-1].Seq {
+			return false
+		}
+	}
+	return true
+}
+
+// denseFrom: the frames are exactly start, start+1, ... — primaries issue
+// dense sequences, so a hole means the read raced a rotation and the
+// batch would skip committed records.
+func denseFrom(frames []store.WALFrame, start int64) bool {
+	for i, fr := range frames {
+		if fr.Seq != start+int64(i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,287 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"grouptravel/internal/dataset"
+)
+
+// This file is the read side of the write-ahead log for consumers other
+// than restart recovery — most importantly log shipping (internal/
+// replicate): a primary serves committed frames from its live log, and a
+// follower applies them through the exact apply path ReplayWAL uses, so
+// replication and crash recovery can never disagree about what a log
+// means. Everything here is read-only and safe on a live, concurrently
+// appended file: a torn tail is simply where the committed prefix ends,
+// never something to repair from this side.
+
+// ErrFrameCorrupt reports a frame whose checksum does not match its
+// payload — a torn write on disk, or corruption on the wire.
+var ErrFrameCorrupt = errors.New("store: frame CRC mismatch")
+
+// ErrFrameTorn reports a frame cut off mid-bytes: the buffer ends before
+// the frame's declared length.
+var ErrFrameTorn = errors.New("store: torn frame")
+
+// WALFrame is one framed record as it appears in a log or on the
+// replication wire: the payload bytes plus the sequence number decoded
+// from them. Payload aliases the buffer it was decoded from.
+type WALFrame struct {
+	Seq     int64
+	Payload []byte
+}
+
+// WireLen is the frame's size on disk and on the wire (framing included).
+func (f WALFrame) WireLen() int64 { return int64(walFrameLen + len(f.Payload)) }
+
+// EncodeFrame frames one record payload exactly as the WAL writes it:
+// little-endian payload length, CRC32-Castagnoli, payload.
+func EncodeFrame(payload []byte) []byte {
+	buf := make([]byte, walFrameLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, walCRC))
+	copy(buf[walFrameLen:], payload)
+	return buf
+}
+
+// DecodeFrame splits the first frame off buf, returning its payload and
+// the total bytes consumed. ErrFrameTorn means buf ends mid-frame (more
+// bytes may still be in flight); ErrFrameCorrupt means the checksum
+// failed — the frame, and everything after it, cannot be trusted.
+func DecodeFrame(buf []byte) (payload []byte, n int, err error) {
+	if len(buf) < walFrameLen {
+		return nil, 0, ErrFrameTorn
+	}
+	length := int64(binary.LittleEndian.Uint32(buf[0:4]))
+	if length > maxWALRecord {
+		return nil, 0, fmt.Errorf("%w: length %d exceeds cap %d", ErrFrameCorrupt, length, maxWALRecord)
+	}
+	if int64(len(buf)) < int64(walFrameLen)+length {
+		return nil, 0, ErrFrameTorn
+	}
+	payload = buf[walFrameLen : int64(walFrameLen)+length]
+	if crc32.Checksum(payload, walCRC) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return nil, 0, ErrFrameCorrupt
+	}
+	return payload, walFrameLen + int(length), nil
+}
+
+// FrameSeq decodes just the sequence number from a record payload — the
+// one field framing-level readers (the cursor here, the replication wire
+// parser) need without a full decode. 0 for records written before
+// sequence stamping existed.
+func FrameSeq(payload []byte) (int64, error) {
+	var rec struct {
+		Seq int64 `json:"seq"`
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return 0, fmt.Errorf("store: frame payload: %w", err)
+	}
+	return rec.Seq, nil
+}
+
+// ReadWALFrames reads the committed frames of a log file — the longest
+// valid prefix — without modifying it, so it is safe on a live log that an
+// appender (or this process's own WAL) is still writing: a torn or
+// corrupt tail just ends the prefix, exactly as replay would cut it. A
+// missing file yields no frames; a file without a valid header is an
+// error (the appender never produces one).
+func ReadWALFrames(path string) ([]WALFrame, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read wal: %w", err)
+	}
+	if int64(len(raw)) < walHeaderLen || [8]byte(raw[:walHeaderLen]) != walMagic {
+		return nil, fmt.Errorf("store: wal %s has no valid header", path)
+	}
+	var frames []WALFrame
+	buf := raw[walHeaderLen:]
+	for len(buf) > 0 {
+		payload, n, err := DecodeFrame(buf)
+		if err != nil {
+			break // committed prefix ends here; replay repairs, we only read
+		}
+		seq, err := FrameSeq(payload)
+		if err != nil {
+			break
+		}
+		frames = append(frames, WALFrame{Seq: seq, Payload: payload})
+		buf = buf[n:]
+	}
+	return frames, nil
+}
+
+// CollectWALFrames reads a city's committed frames in replay order — the
+// sealed pending segment of an in-flight compaction first, then the
+// current log. Sequences are contiguous across the two files by
+// construction (rotation preserves the counter); callers detect the race
+// where a rotation lands between the two reads by checking contiguity.
+func CollectWALFrames(dir, key string) ([]WALFrame, error) {
+	pending, err := ReadWALFrames(PendingWALPath(dir, key))
+	if err != nil {
+		return nil, err
+	}
+	current, err := ReadWALFrames(WALPath(dir, key))
+	if err != nil {
+		return nil, err
+	}
+	return append(pending, current...), nil
+}
+
+// ReadSnapshotRaw returns a city's snapshot bytes plus the WAL sequence
+// watermark recorded inside them — the handoff a primary ships to a
+// follower that has fallen behind the log's compaction horizon. The bytes
+// are not validated beyond extracting the watermark; the follower
+// validates in full (LoadServerState) before installing. A missing
+// snapshot returns (nil, 0, nil).
+func ReadSnapshotRaw(dir, key string) ([]byte, int64, error) {
+	raw, err := os.ReadFile(SnapshotPath(dir, key))
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	var head struct {
+		WALSeq int64 `json:"walSeq"`
+	}
+	if err := json.Unmarshal(raw, &head); err != nil {
+		return nil, 0, fmt.Errorf("store: snapshot watermark: %w", err)
+	}
+	return raw, head.WALSeq, nil
+}
+
+// WriteSnapshotRaw atomically installs snapshot bytes received from a
+// primary, with the same temp-write + fsync + rename discipline as
+// WriteSnapshot. The caller has already validated the bytes against the
+// city.
+func WriteSnapshotRaw(dir, key string, raw []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: snapshot dir: %w", err)
+	}
+	f, err := os.CreateTemp(dir, key+".state.*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: snapshot temp: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, SnapshotPath(dir, key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// --- exported apply path ---
+
+// Record kinds as they appear in Applied.Kind (and in walRecordJSON.Op).
+const (
+	RecordGroupCreate  = walOpGroupCreate
+	RecordPackageBuild = walOpPackageBuild
+	RecordCustomOp     = walOpCustomOp
+	RecordRefine       = walOpRefine
+)
+
+// Applied describes the effect of one applied record, enough for a caller
+// maintaining a materialized view (a follower's serving state) to update
+// exactly the touched entity.
+type Applied struct {
+	Kind      string
+	Seq       int64
+	ID        int  // groupCreate / packageBuild / refine: the allocated id
+	PackageID int  // customOp: the mutated package
+	Skipped   bool // sequence already covered; the state did not change
+}
+
+// Applier is the WAL apply path, exported: it applies framed record
+// payloads onto a ServerState with full validation, and it is the same
+// code restart replay runs — ReplayWAL and a replication follower cannot
+// diverge on what a record means because they share this type. Not safe
+// for concurrent use.
+type Applier struct {
+	ap *walApplier
+}
+
+// NewApplier builds an applier over st (which it mutates in place; nil is
+// an empty first-boot state) for the given city. The applier resumes from
+// st's WALSeq watermark; if records beyond the watermark were already
+// applied into st (a follower recovering snapshot + log), call Seed with
+// the true last applied sequence.
+func NewApplier(st *ServerState, city *dataset.City) (*Applier, *ServerState, error) {
+	if city == nil || city.POIs == nil {
+		return nil, nil, fmt.Errorf("store: nil city")
+	}
+	if st == nil {
+		st = &ServerState{City: city.Name, NextID: 1}
+	}
+	return &Applier{ap: newWALApplier(st, city)}, st, nil
+}
+
+// Seed moves the applier's resume point: records at or below lastSeq are
+// treated as already present in the state (skipped, not errors).
+func (a *Applier) Seed(lastSeq int64) {
+	if lastSeq > a.ap.skip {
+		a.ap.skip = lastSeq
+	}
+	if lastSeq > a.ap.lastSeq {
+		a.ap.lastSeq = lastSeq
+	}
+}
+
+// LastSeq is the highest sequence the applier has applied or been seeded
+// with — a follower's resume point.
+func (a *Applier) LastSeq() int64 { return a.ap.lastSeq }
+
+// ApplyPayload decodes one frame payload and applies it. A returned error
+// means the record was rejected and the state is untouched — for replay
+// that is the truncation point, for a follower a replication fault.
+func (a *Applier) ApplyPayload(payload []byte) (Applied, error) {
+	return a.ap.applyPayload(payload)
+}
+
+// Group returns the applied group record with the given id, or nil. The
+// record is owned by the applier's state; treat it as read-only.
+func (a *Applier) Group(id int) *GroupRecord {
+	if i, ok := a.ap.groups[id]; ok {
+		return &a.ap.st.Groups[i]
+	}
+	return nil
+}
+
+// Package returns the applied package record with the given id, or nil.
+func (a *Applier) Package(id int) *PackageRecord {
+	if i, ok := a.ap.pkgs[id]; ok {
+		return &a.ap.st.Packages[i]
+	}
+	return nil
+}
+
+// Finish restores the sorted-by-id invariant on the underlying state.
+// Idempotent; an applier keeps working after it (a follower finishes
+// every batch so compaction can snapshot a canonical state).
+func (a *Applier) Finish() { a.ap.finish() }

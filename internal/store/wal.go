@@ -369,15 +369,42 @@ func (w *WAL) Append(rec WALRecord) error {
 		w.mu.Unlock()
 		return fmt.Errorf("store: wal closed")
 	}
-	if w.broken {
-		w.mu.Unlock()
-		return fmt.Errorf("store: wal broken by earlier write failure (compaction or restart recovers)")
-	}
 	rec.rec.Seq = w.nextSeq
 	payload, err := json.Marshal(rec.rec)
 	if err != nil {
 		w.mu.Unlock()
 		return fmt.Errorf("store: wal encode: %w", err)
+	}
+	return w.appendLocked(payload, rec.rec.Seq)
+}
+
+// AppendFrame appends an already-sequenced frame — shipped from a
+// primary's log — verbatim, preserving its sequence number instead of
+// stamping a new one. The sequence must advance the log; a regressing
+// frame is refused (replaying it later would double-apply). This is how a
+// follower makes replicated records durable in the byte-identical format
+// its own recovery replays.
+func (w *WAL) AppendFrame(fr WALFrame) error {
+	w.mu.Lock()
+	if w.f == nil {
+		w.mu.Unlock()
+		return fmt.Errorf("store: wal closed")
+	}
+	if fr.Seq < w.nextSeq {
+		w.mu.Unlock()
+		return fmt.Errorf("store: frame seq %d regresses (next %d)", fr.Seq, w.nextSeq)
+	}
+	// Copy the payload: appendLocked releases w.mu before the fsync, and
+	// the caller's buffer may alias a reused read buffer.
+	return w.appendLocked(append([]byte(nil), fr.Payload...), fr.Seq)
+}
+
+// appendLocked frames and writes one payload whose stamped sequence is
+// seq, then applies the sync policy. Called with w.mu held; it unlocks.
+func (w *WAL) appendLocked(payload []byte, seq int64) error {
+	if w.broken {
+		w.mu.Unlock()
+		return fmt.Errorf("store: wal broken by earlier write failure (compaction or restart recovers)")
 	}
 	if len(payload) > maxWALRecord {
 		w.mu.Unlock()
@@ -402,7 +429,7 @@ func (w *WAL) Append(rec WALRecord) error {
 	}
 	w.size.Store(start + int64(n))
 	w.records++
-	w.nextSeq++
+	w.nextSeq = seq + 1
 	off := w.size.Load()
 	w.mu.Unlock()
 
@@ -731,40 +758,27 @@ func replayWALFile(path string, current bool, ap *walApplier, info *WALReplayInf
 	}
 	off := walHeaderLen
 	for off < int64(len(raw)) {
-		rest := raw[off:]
-		if len(rest) < walFrameLen {
-			addCut(fmt.Sprintf("torn frame header at offset %d", off))
+		payload, n, err := DecodeFrame(raw[off:])
+		if err != nil {
+			addCut(fmt.Sprintf("bad frame at offset %d: %v", off, err))
 			break
 		}
-		n := int64(binary.LittleEndian.Uint32(rest[0:4]))
-		if n > maxWALRecord || off+walFrameLen+n > int64(len(raw)) {
-			addCut(fmt.Sprintf("torn record at offset %d (len %d)", off, n))
-			break
-		}
-		payload := rest[walFrameLen : walFrameLen+n]
-		if crc32.Checksum(payload, walCRC) != binary.LittleEndian.Uint32(rest[4:8]) {
-			addCut(fmt.Sprintf("CRC mismatch at offset %d", off))
-			break
-		}
-		var rec walRecordJSON
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			addCut(fmt.Sprintf("undecodable record at offset %d: %v", off, err))
-			break
-		}
-		applied, err := ap.apply(rec)
+		// The shared apply path: exactly what a replication follower runs
+		// on shipped frames, so replay and replication cannot diverge.
+		res, err := ap.applyPayload(payload)
 		if err != nil {
 			addCut(fmt.Sprintf("inapplicable record at offset %d: %v", off, err))
 			break
 		}
-		if applied {
-			info.Records++
-		} else {
+		if res.Skipped {
 			info.Skipped++
+		} else {
+			info.Records++
 		}
 		if current {
 			info.CurrentRecords++
 		}
-		off += walFrameLen + n
+		off += int64(n)
 	}
 	if off < int64(len(raw)) {
 		info.DroppedBytes += int64(len(raw)) - off
@@ -828,25 +842,32 @@ func (ap *walApplier) takeID(id int) error {
 	return nil
 }
 
-// apply integrates one record; applied reports whether the record
-// changed the state (false: its sequence was already in the snapshot).
-// A rejected record leaves the state untouched.
-func (ap *walApplier) apply(rec walRecordJSON) (applied bool, err error) {
+// applyPayload decodes one frame payload and integrates it — the single
+// apply path shared by restart replay and replication followers. The
+// returned Applied reports what changed (Skipped: the sequence was
+// already in the snapshot). A rejected record leaves the state untouched.
+func (ap *walApplier) applyPayload(payload []byte) (Applied, error) {
+	var rec walRecordJSON
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Applied{}, fmt.Errorf("undecodable record: %v", err)
+	}
+	res := Applied{Kind: rec.Op, Seq: rec.Seq, ID: rec.ID, PackageID: rec.PackageID}
 	if rec.Seq != 0 {
 		if rec.Seq <= ap.skip {
-			return false, nil // the snapshot already folded this record in
+			res.Skipped = true
+			return res, nil // the snapshot already folded this record in
 		}
 		if rec.Seq <= ap.lastSeq {
-			return false, fmt.Errorf("sequence %d regresses (last %d)", rec.Seq, ap.lastSeq)
+			return Applied{}, fmt.Errorf("sequence %d regresses (last %d)", rec.Seq, ap.lastSeq)
 		}
 	}
 	if err := ap.applyOp(rec); err != nil {
-		return false, err
+		return Applied{}, err
 	}
 	if rec.Seq != 0 {
 		ap.lastSeq = rec.Seq
 	}
-	return true, nil
+	return res, nil
 }
 
 func (ap *walApplier) applyOp(rec walRecordJSON) error {
@@ -934,7 +955,16 @@ func (ap *walApplier) applyOp(rec walRecordJSON) error {
 
 // finish restores the sorted-by-id invariant LoadServerState guarantees
 // (concurrent mutations can commit records slightly out of id order).
+// The id → index maps are rebuilt to match: a follower's applier keeps
+// applying after every batch's finish, and a lookup through a stale
+// index would resolve an id to a different record's slot.
 func (ap *walApplier) finish() {
 	sort.Slice(ap.st.Groups, func(i, j int) bool { return ap.st.Groups[i].ID < ap.st.Groups[j].ID })
 	sort.Slice(ap.st.Packages, func(i, j int) bool { return ap.st.Packages[i].ID < ap.st.Packages[j].ID })
+	for i := range ap.st.Groups {
+		ap.groups[ap.st.Groups[i].ID] = i
+	}
+	for i := range ap.st.Packages {
+		ap.pkgs[ap.st.Packages[i].ID] = i
+	}
 }
