@@ -17,9 +17,12 @@ test:
 	$(GO) test ./...
 
 # -race covers every package, which pointedly includes the replication
-# suite (internal/server/replication_test.go, internal/replicate): the
-# convergence test runs a concurrent workload against a live tailer and
-# is exactly the kind of code the race detector exists for.
+# suite (internal/server/replication_test.go, internal/replicate) and
+# the front-tier routing suite (internal/router): the replication
+# convergence test runs a concurrent workload against a live tailer, and
+# TestRouterReadYourWritesUnderLag drives concurrent clients through the
+# router over a primary plus two lagging followers — exactly the kind of
+# code the race detector exists for.
 race:
 	$(GO) test -race ./...
 

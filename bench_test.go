@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -36,6 +37,7 @@ import (
 	"grouptravel/internal/query"
 	"grouptravel/internal/rng"
 	"grouptravel/internal/route"
+	"grouptravel/internal/router"
 	"grouptravel/internal/server"
 	"grouptravel/internal/sim"
 	"grouptravel/internal/store"
@@ -666,7 +668,7 @@ func BenchmarkMutationPersistence(b *testing.B) {
 			rec := store.CustomOpRecord(2, op, tp.CIs[0])
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := w.Append(rec); err != nil {
+				if _, err := w.Append(rec); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -776,4 +778,51 @@ func BenchmarkLogShipping(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(applied)/b.Elapsed().Seconds(), "records/s")
+}
+
+// --- Front-tier routing: proxy overhead per read ---
+
+// BenchmarkRouterProxy measures what the consistent-hash front tier
+// costs on the read path: the same GET served directly by a backend vs
+// routed through the router (ring lookup, health-view snapshot,
+// candidate selection, one extra HTTP hop, response relay). The delta is
+// the price of follower fan-out and read-your-writes pinning.
+func BenchmarkRouterProxy(b *testing.B) {
+	benchSetup(b)
+	srv, err := server.NewMultiCity(server.Options{Cities: []*dataset.City{benchCity}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	rt, err := router.New(router.Options{
+		Topology:     &router.Topology{Shards: []router.Shard{{Name: "s1", Nodes: []string{ts.URL}}}},
+		PollInterval: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	rt.Poll()
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	path := "/cities/" + strings.ToLower(benchCity.Name) + "/pois?k=5"
+	get := func(b *testing.B, url string) {
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("%s: status %d", url, resp.StatusCode)
+			}
+		}
+	}
+	b.Run("direct", func(b *testing.B) { get(b, ts.URL+path) })
+	b.Run("routed", func(b *testing.B) { get(b, rts.URL+path) })
 }

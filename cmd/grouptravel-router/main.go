@@ -1,0 +1,83 @@
+// Command grouptravel-router is the consistent-hash front tier: it
+// spreads city keys across backend shards (each one grouptravel-server
+// primary plus N followers), sends mutations to each shard's discovered
+// primary, and fans reads out to the freshest eligible follower — with
+// read-your-writes for any client that presents a session id.
+//
+// Usage:
+//
+//	grouptravel-router -topology topology.json -addr :7080
+//
+// where topology.json lists the shards:
+//
+//	{
+//	  "shards": [
+//	    {"name": "s1", "nodes": ["http://10.0.0.1:8080", "http://10.0.0.2:8080"]},
+//	    {"name": "s2", "nodes": ["http://10.0.1.1:8080", "http://10.0.1.2:8080"]}
+//	  ]
+//	}
+//
+// Node roles are discovered from each node's /healthz, not configured:
+// a failover (POST /promote on a follower) reroutes mutations without a
+// topology edit. Backends should run with -advertise set to the URL the
+// topology lists so X-GT-Primary hints resolve.
+//
+// Client protocol:
+//
+//	X-GT-Session: <any opaque id>   reads see all of this session's writes
+//	X-GT-Min-Seq: <seq>             explicit freshness floor (manual pinning)
+//
+// Every mutation response carries X-GT-City/X-GT-Seq (the commit token)
+// and every routed response X-GT-Shard/X-GT-Backend (who served it).
+// GET /healthz reports per-node views and routing counters; GET /cities
+// aggregates the key space across shards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"grouptravel/internal/router"
+)
+
+func main() {
+	topoPath := flag.String("topology", "", "JSON topology file: shards and their node URLs (required)")
+	addr := flag.String("addr", ":7080", "listen address")
+	poll := flag.Duration("poll", 0, "node health poll interval (0: default 500ms)")
+	shedLag := flag.Int64("shed-lag", 0, "shed a follower from token-less reads when it lags the primary by more than this many records (0: default 1024, <0: never)")
+	maxSessions := flag.Int("max-sessions", 0, "read-your-writes session table bound (0: default 65536)")
+	flag.Parse()
+
+	if *topoPath == "" {
+		log.Fatal("grouptravel-router: -topology is required")
+	}
+	topo, err := router.LoadTopology(*topoPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := router.New(router.Options{
+		Topology:     topo,
+		PollInterval: *poll,
+		ShedLag:      *shedLag,
+		MaxSessions:  *maxSessions,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	// Warm the health feed before accepting traffic so the first requests
+	// already know each shard's primary.
+	rt.Poll()
+
+	var names []string
+	for _, sh := range topo.Shards {
+		names = append(names, fmt.Sprintf("%s(%d nodes)", sh.Name, len(sh.Nodes)))
+	}
+	fmt.Printf("grouptravel-router: %d shards [%s] on %s\n", len(topo.Shards), strings.Join(names, " "), *addr)
+	srv := &http.Server{Addr: *addr, Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -64,6 +64,7 @@ func main() {
 	defaultCity := flag.String("default-city", "", "city key served by the legacy /api routes (default: first key)")
 	cacheCap := flag.Int("cluster-cache-cap", 0, "per-engine cluster cache bound (0: default, <0: unbounded)")
 	follow := flag.String("follow", "", "run as a read-only follower replicating from the primary at this base URL")
+	advertise := flag.String("advertise", "", "base URL peers and routers reach this node at (self-described on /healthz)")
 	followPoll := flag.Duration("follow-poll", 0, "replication poll interval (0: default)")
 	promote := flag.Bool("promote", false, "with -follow: start promoted — serve read-write from the follower's local state (failover boot)")
 	addr := flag.String("addr", ":8080", "listen address")
@@ -87,6 +88,7 @@ func main() {
 		EngineCacheCap: *cacheCap,
 		Follow:         *follow,
 		FollowPoll:     *followPoll,
+		Advertise:      *advertise,
 	}
 	if *preload != "" {
 		for _, key := range strings.Split(*preload, ",") {

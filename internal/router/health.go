@@ -1,0 +1,191 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// healthPollTimeout bounds one node's health poll regardless of the
+// transport client's own timeout. The feed's pollAll waits for every
+// node, so a black-holed node (accepts, never answers) must not be able
+// to hold the whole fleet's views stale — promotion discovery and lag
+// shedding run on this data.
+const healthPollTimeout = 3 * time.Second
+
+// NodeView is the router's cached picture of one backend node — the
+// replica-health feed routing decisions read. It is refreshed by polling
+// the node's /healthz (role, advertised URL, upstream) and /cities
+// (per-city appliedSeq + walBytes, one cheap call), never by the request
+// path: a routed read must not block on a health round trip.
+type NodeView struct {
+	URL       string `json:"url"`
+	Role      string `json:"role,omitempty"`      // primary | follower | promoted; "" never polled
+	Advertise string `json:"advertise,omitempty"` // the URL the node self-describes as
+	Primary   string `json:"primary,omitempty"`   // the upstream the node reports following
+	// AppliedSeq is the node's last committed/applied WAL sequence per
+	// city — what session tokens are compared against. WALBytes is the
+	// per-city bytes-since-compaction backpressure gauge.
+	AppliedSeq map[string]int64 `json:"appliedSeq,omitempty"`
+	WALBytes   map[string]int64 `json:"walBytes,omitempty"`
+	// Err is the last poll's failure; a node with Err set keeps its last
+	// known sequences but is ineligible for routing until a poll succeeds.
+	Err      string    `json:"error,omitempty"`
+	PolledAt time.Time `json:"polledAt,omitempty"`
+}
+
+// nodeHealthz is the slice of a backend's /healthz the router decodes.
+type nodeHealthz struct {
+	Role      string `json:"role"`
+	Advertise string `json:"advertise"`
+	Primary   string `json:"primary"`
+}
+
+// nodeCityRow is one row of a backend's GET /cities.
+type nodeCityRow struct {
+	Key        string `json:"key"`
+	Loaded     bool   `json:"loaded"`
+	WALBytes   int64  `json:"walBytes"`
+	AppliedSeq int64  `json:"appliedSeq"`
+}
+
+// healthFeed polls every backend node on an interval and serves the
+// cached views. Polls for different nodes run concurrently; reads take a
+// short RWMutex critical section and copy, so the request path never
+// holds the lock across I/O.
+type healthFeed struct {
+	client   *http.Client
+	urls     []string
+	interval time.Duration
+
+	mu    sync.RWMutex
+	views map[string]*NodeView
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      sync.WaitGroup
+}
+
+func newHealthFeed(urls []string, client *http.Client, interval time.Duration) *healthFeed {
+	hf := &healthFeed{
+		client:   client,
+		urls:     append([]string(nil), urls...),
+		interval: interval,
+		views:    make(map[string]*NodeView, len(urls)),
+		stop:     make(chan struct{}),
+	}
+	for _, u := range hf.urls {
+		hf.views[u] = &NodeView{URL: u}
+	}
+	return hf
+}
+
+// start launches the background poller (idempotent); no-op when the
+// interval is non-positive — the embedder drives pollAll itself (tests).
+func (hf *healthFeed) start() {
+	if hf.interval <= 0 {
+		return
+	}
+	hf.startOnce.Do(func() {
+		hf.done.Add(1)
+		go func() {
+			defer hf.done.Done()
+			for {
+				select {
+				case <-hf.stop:
+					return
+				case <-time.After(hf.interval):
+					hf.pollAll()
+				}
+			}
+		}()
+	})
+}
+
+func (hf *healthFeed) stopPolling() {
+	hf.stopOnce.Do(func() { close(hf.stop) })
+	hf.done.Wait()
+}
+
+// pollAll refreshes every node once, concurrently, and returns when all
+// polls finished — the synchronous pass tests and boot warm-up use.
+func (hf *healthFeed) pollAll() {
+	var wg sync.WaitGroup
+	for _, u := range hf.urls {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			hf.poll(u)
+		}(u)
+	}
+	wg.Wait()
+}
+
+// poll refreshes one node: /healthz for identity, /cities for per-city
+// positions. A failure marks the view unhealthy but keeps the last known
+// sequences — they are still the best lower bound the router has.
+func (hf *healthFeed) poll(url string) {
+	var h nodeHealthz
+	err := hf.getJSON(url+"/healthz", &h)
+	var rows []nodeCityRow
+	if err == nil {
+		err = hf.getJSON(url+"/cities", &rows)
+	}
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	v := hf.views[url]
+	if v == nil {
+		return
+	}
+	v.PolledAt = time.Now()
+	if err != nil {
+		v.Err = err.Error()
+		return
+	}
+	v.Err = ""
+	v.Role, v.Advertise, v.Primary = h.Role, h.Advertise, h.Primary
+	applied := make(map[string]int64, len(rows))
+	walBytes := make(map[string]int64, len(rows))
+	for _, row := range rows {
+		applied[row.Key] = row.AppliedSeq
+		if row.WALBytes > 0 {
+			walBytes[row.Key] = row.WALBytes
+		}
+	}
+	v.AppliedSeq, v.WALBytes = applied, walBytes
+}
+
+func (hf *healthFeed) getJSON(url string, out any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), healthPollTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hf.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// view returns a copy of one node's cached state (maps shared read-only:
+// poll replaces them wholesale, never mutates in place).
+func (hf *healthFeed) view(url string) NodeView {
+	hf.mu.RLock()
+	defer hf.mu.RUnlock()
+	if v, ok := hf.views[url]; ok {
+		return *v
+	}
+	return NodeView{URL: url}
+}

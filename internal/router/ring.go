@@ -1,0 +1,100 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is how many points each shard contributes to the
+// ring. More points smooth the key distribution (the stddev of shard
+// load shrinks roughly with 1/sqrt(vnodes)) at the cost of a larger
+// sorted array; 128 keeps a 16-shard ring under 2k points while holding
+// per-shard load within a few percent of even.
+const DefaultVirtualNodes = 128
+
+// Ring consistent-hashes city keys across shard names. It is a pure
+// function of the shard names and the vnode count — no randomness, no
+// construction order, no clock — so two routers (or one router across a
+// restart) built from the same topology route every key identically.
+// Membership change moves only the keys whose owning arc changed hands:
+// removing a shard reassigns exactly the keys it owned, and adding one
+// steals only the keys that now fall to the new shard — about K/n of
+// them — while every other key keeps its shard.
+//
+// Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	points []ringPoint
+	names  []string // sorted shard names
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// hash64 is the ring's hash — FNV-1a, stable across processes and Go
+// versions (unlike maphash, which seeds per process and would break
+// routing determinism across router restarts).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// NewRing builds a ring over the given shard names with vnodes points
+// per shard (<= 0 selects DefaultVirtualNodes). Names must be non-empty
+// and unique.
+func NewRing(shards []string, vnodes int) (*Ring, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("router: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(shards))
+	names := make([]string, 0, len(shards))
+	for _, name := range shards {
+		if name == "" {
+			return nil, fmt.Errorf("router: empty shard name")
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("router: duplicate shard %q", name)
+		}
+		seen[name] = true
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	r := &Ring{names: names, points: make([]ringPoint, 0, len(names)*vnodes)}
+	for _, name := range names {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", name, i)), shard: name})
+		}
+	}
+	// Ties (two shards hashing a vnode to the same point) are broken by
+	// name so the winner is deterministic, not construction-order luck.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Shard returns the shard owning a city key: the first ring point at or
+// clockwise-after the key's hash.
+func (r *Ring) Shard(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the key sits past the last point
+	}
+	return r.points[i].shard
+}
+
+// Shards returns the shard names, sorted.
+func (r *Ring) Shards() []string { return append([]string(nil), r.names...) }
+
+// VirtualNodes reports the points contributed per shard.
+func (r *Ring) VirtualNodes() int { return len(r.points) / len(r.names) }

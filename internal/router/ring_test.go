@@ -1,0 +1,108 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("city-%d", i)
+	}
+	return keys
+}
+
+// TestRingDeterministicAcrossRestarts: routing is a pure function of the
+// topology — two rings built from the same shard list (in any order)
+// agree on every key, which is what lets a router restart (or a second
+// router instance) without moving a single city.
+func TestRingDeterministicAcrossRestarts(t *testing.T) {
+	a, err := NewRing([]string{"s0", "s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"s3", "s1", "s0", "s2"}, 0) // shuffled input
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := map[string]int{}
+	for _, key := range ringKeys(2000) {
+		sa, sb := a.Shard(key), b.Shard(key)
+		if sa != sb {
+			t.Fatalf("key %q: %q vs %q across ring rebuilds", key, sa, sb)
+		}
+		owned[sa]++
+	}
+	// Distribution sanity: every shard owns a meaningful slice (vnodes
+	// smooth the arcs; an empty shard would mean the ring is broken).
+	for _, s := range a.Shards() {
+		if owned[s] < 2000/4/4 {
+			t.Fatalf("shard %q owns only %d of 2000 keys: %v", s, owned[s], owned)
+		}
+	}
+}
+
+// TestRingStabilityOnMembershipChange pins the consistent-hashing
+// contract: removing a shard reassigns exactly the keys it owned (every
+// other key keeps its shard), and adding a shard steals only the keys
+// that move *to* it — about K/n, bounded here at 2K/n.
+func TestRingStabilityOnMembershipChange(t *testing.T) {
+	shards := []string{"s0", "s1", "s2", "s3", "s4"}
+	keys := ringKeys(2000)
+	base, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Removal: s2 leaves.
+	smaller, err := NewRing([]string{"s0", "s1", "s3", "s4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range keys {
+		was := base.Shard(key)
+		now := smaller.Shard(key)
+		if was != "s2" && now != was {
+			t.Fatalf("key %q moved %q -> %q though its shard never left", key, was, now)
+		}
+		if was == "s2" && now == "s2" {
+			t.Fatalf("key %q still routed to the removed shard", key)
+		}
+	}
+
+	// Addition: s5 joins. Only keys that land on s5 may move, and no
+	// more than ~K/n of them (2x slack for vnode unevenness).
+	bigger, err := NewRing(append(append([]string{}, shards...), "s5"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, key := range keys {
+		was := base.Shard(key)
+		now := bigger.Shard(key)
+		if now != was {
+			if now != "s5" {
+				t.Fatalf("key %q moved %q -> %q on an unrelated shard join", key, was, now)
+			}
+			moved++
+		}
+	}
+	bound := 2 * len(keys) / (len(shards) + 1)
+	if moved == 0 || moved > bound {
+		t.Fatalf("shard join moved %d of %d keys (bound %d)", moved, len(keys), bound)
+	}
+}
+
+// TestRingRejectsBadInput: empty and duplicate shard lists fail loudly.
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate shard accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("empty shard name accepted")
+	}
+}

@@ -1,0 +1,708 @@
+// Package router is the consistent-hash front tier: a thin HTTP proxy
+// that spreads city keys across backend shards (each shard one primary
+// plus N followers, wired by log shipping — see internal/replicate) and
+// routes every request to a node that can serve it correctly:
+//
+//   - Mutations (POST) go to the shard's primary — discovered from node
+//     health, not configured, so failover changes routing without a
+//     topology edit. A 403 from a node that turned out to be a follower
+//     is retried transparently at the primary its X-GT-Primary hint
+//     names; only if that also fails is the 403 relayed, hint intact.
+//   - Reads (GET) fan out to the freshest eligible replica: followers
+//     first (freshest applied sequence wins), the primary as the last
+//     candidate, with unhealthy and lag-shedded followers skipped and
+//     failed candidates retried down the list, so a dying follower costs
+//     a failover, not an error.
+//   - Read-your-writes: every mutation response carries its committed
+//     (city, seq) token; a client that sends a session id (X-GT-Session)
+//     has its writes remembered and its subsequent reads pinned to
+//     replicas at or past its last written sequence — it can never
+//     observe pre-write state through the router, while token-less
+//     traffic keeps enjoying follower fan-out.
+//
+// The routing unit is the city key — the same unit internal/registry
+// shards within a process — so the front tier scales the same axis
+// horizontally: more shards, bounded key movement (consistent hashing),
+// deterministic placement across router restarts.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Protocol headers. The X-GT-City/X-GT-Seq commit token and the
+// X-GT-Primary hint are stamped by the backend (internal/server); the
+// router consumes them and adds its own: the session and explicit-floor
+// request headers, and response headers naming which shard/backend
+// served — the observability hook the examples and tests read.
+const (
+	HeaderSeq     = "X-GT-Seq"
+	HeaderCity    = "X-GT-City"
+	HeaderPrimary = "X-GT-Primary"
+	HeaderSession = "X-GT-Session"
+	HeaderMinSeq  = "X-GT-Min-Seq"
+	HeaderShard   = "X-GT-Shard"
+	HeaderBackend = "X-GT-Backend"
+)
+
+const (
+	// DefaultPollInterval is the health feed's refresh cadence. Freshness
+	// data half a second stale only delays follower eligibility — session
+	// pinning stays correct because a pinned read demands the replica's
+	// *reported* sequence reach the token, and reports never run ahead of
+	// applied state.
+	DefaultPollInterval = 500 * time.Millisecond
+	// DefaultShedLag is how many records a follower may trail its primary
+	// before token-less reads shed it: far enough behind, serving it is
+	// worse than the primary's extra load.
+	DefaultShedLag = 1024
+	// DefaultMaxSessions bounds the read-your-writes table.
+	DefaultMaxSessions = 65536
+	// maxBufferedBody bounds a buffered mutation body (bodies must be
+	// replayable for the 403/failover retries).
+	maxBufferedBody = 16 << 20
+)
+
+// Options configures a Router.
+type Options struct {
+	// Topology is the shard layout. Required.
+	Topology *Topology
+	// PollInterval is the health feed cadence: 0 selects
+	// DefaultPollInterval; < 0 starts no background poller — the embedder
+	// calls Poll itself (tests).
+	PollInterval time.Duration
+	// ShedLag is the max records a follower may lag before token-less
+	// reads shed it (0: DefaultShedLag; < 0: never shed).
+	ShedLag int64
+	// MaxSessions bounds the session table (0: DefaultMaxSessions).
+	MaxSessions int
+	// HTTP overrides the backend transport; a 30s-timeout client when nil.
+	HTTP *http.Client
+}
+
+// counters are the router's routing telemetry, surfaced on /healthz —
+// the observable proof of where traffic actually went.
+type counters struct {
+	readsTotal         atomic.Int64
+	readsPrimary       atomic.Int64
+	readsFollower      atomic.Int64
+	readsPinned        atomic.Int64
+	readFailovers      atomic.Int64
+	followersShed      atomic.Int64
+	mutations          atomic.Int64
+	mutationRetries403 atomic.Int64
+	mutationFailovers  atomic.Int64
+}
+
+// Router is the front-tier proxy. Construct with New, serve Handler.
+type Router struct {
+	topo     *Topology
+	ring     *Ring
+	shards   map[string]*Shard
+	health   *healthFeed
+	sessions *sessionTable
+	client   *http.Client
+	shedLag  int64
+	ctr      counters
+}
+
+var defaultProxyClient = &http.Client{Timeout: 30 * time.Second}
+
+// New builds a router over a validated topology.
+func New(opts Options) (*Router, error) {
+	if opts.Topology == nil {
+		return nil, fmt.Errorf("router: no topology")
+	}
+	if err := opts.Topology.Validate(); err != nil {
+		return nil, fmt.Errorf("router: topology: %w", err)
+	}
+	names := make([]string, 0, len(opts.Topology.Shards))
+	shards := make(map[string]*Shard, len(opts.Topology.Shards))
+	for i := range opts.Topology.Shards {
+		sh := &opts.Topology.Shards[i]
+		names = append(names, sh.Name)
+		shards[sh.Name] = sh
+	}
+	ring, err := NewRing(names, opts.Topology.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	client := opts.HTTP
+	if client == nil {
+		client = defaultProxyClient
+	}
+	interval := opts.PollInterval
+	if interval == 0 {
+		interval = DefaultPollInterval
+	}
+	shedLag := opts.ShedLag
+	if shedLag == 0 {
+		shedLag = DefaultShedLag
+	}
+	maxSessions := opts.MaxSessions
+	if maxSessions <= 0 {
+		maxSessions = DefaultMaxSessions
+	}
+	rt := &Router{
+		topo:     opts.Topology,
+		ring:     ring,
+		shards:   shards,
+		health:   newHealthFeed(opts.Topology.nodeURLs(), client, interval),
+		sessions: newSessionTable(maxSessions),
+		client:   client,
+		shedLag:  shedLag,
+	}
+	rt.health.start()
+	return rt, nil
+}
+
+// Poll runs one synchronous health pass over every node — boot warm-up
+// and deterministic tests.
+func (rt *Router) Poll() { rt.health.pollAll() }
+
+// Close stops the background health poller.
+func (rt *Router) Close() { rt.health.stopPolling() }
+
+// Ring exposes the hash ring (tests, placement inspection).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Handler returns the router's HTTP handler: the backend's /cities tree,
+// routed per city key, plus the router's own /healthz.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	mux.HandleFunc("GET /cities", rt.handleCities)
+	mux.HandleFunc("/cities/{city}", rt.handleCityRoute)
+	mux.HandleFunc("/cities/{city}/{rest...}", rt.handleCityRoute)
+	return mux
+}
+
+// handleCityRoute proxies one city-scoped request to its shard.
+func (rt *Router) handleCityRoute(w http.ResponseWriter, r *http.Request) {
+	city := strings.ToLower(r.PathValue("city"))
+	sh := rt.shards[rt.ring.Shard(city)]
+	switch r.Method {
+	case http.MethodGet:
+		rt.proxyRead(sh, city, r.PathValue("rest"), w, r)
+	case http.MethodPost:
+		rt.proxyMutation(sh, city, w, r)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not routed", r.Method)
+	}
+}
+
+// --- read path ---
+
+// proxyRead routes a GET to the freshest eligible replica, failing over
+// down the candidate list on connection errors and retryable statuses.
+// rest is the city-relative route ("" for the city-info endpoint).
+func (rt *Router) proxyRead(sh *Shard, city, rest string, w http.ResponseWriter, r *http.Request) {
+	rt.ctr.readsTotal.Add(1)
+	minSeq := rt.readFloor(city, r)
+	if minSeq > 0 {
+		rt.ctr.readsPinned.Add(1)
+	}
+	primary := rt.primaryOf(sh)
+	var cands []string
+	if rest == "wal" {
+		// The replication stream must come from one coherent log: a
+		// follower tailing through the router would otherwise hop between
+		// backends mid-log. Primary only.
+		cands = []string{primary}
+	} else {
+		cands = rt.readCandidates(sh, city, primary, minSeq)
+	}
+	if len(cands) == 0 {
+		writeErr(w, http.StatusServiceUnavailable,
+			"no replica of shard %q is known to be at or past seq %d for city %q", sh.Name, minSeq, city)
+		return
+	}
+	for i, node := range cands {
+		resp, err := rt.forward(node, r, nil)
+		if err != nil || readRetryable(resp.StatusCode) {
+			if resp != nil {
+				drain(resp)
+			}
+			if i < len(cands)-1 {
+				rt.ctr.readFailovers.Add(1)
+			}
+			continue
+		}
+		if node == primary {
+			rt.ctr.readsPrimary.Add(1)
+		} else {
+			rt.ctr.readsFollower.Add(1)
+		}
+		rt.relay(w, resp, sh.Name, node)
+		return
+	}
+	writeErr(w, http.StatusBadGateway, "no replica of shard %q reachable for city %q", sh.Name, city)
+}
+
+// readFloor resolves the minimum acceptable sequence for this read: the
+// explicit X-GT-Min-Seq floor, raised by the session's remembered writes.
+func (rt *Router) readFloor(city string, r *http.Request) int64 {
+	var minSeq int64
+	if v := r.Header.Get(HeaderMinSeq); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+			minSeq = n
+		}
+	}
+	if sid := r.Header.Get(HeaderSession); sid != "" {
+		if s := rt.sessions.minSeq(sid, city); s > minSeq {
+			minSeq = s
+		}
+	}
+	return minSeq
+}
+
+// readCandidates orders a shard's nodes for one read: eligible followers
+// freshest-first, the discovered primary as the final fallback. A real
+// primary is always eligible — it is the source of truth, so a pinned
+// read can never outrun it — but when discovery had to *guess* (nothing
+// healthy identified itself as primary), a fallback that is known to be
+// a follower below the read floor is dropped rather than trusted:
+// serving pre-write state silently is worse than the empty candidate
+// list the caller answers 503 for. A follower is eligible when its last
+// poll succeeded, its role is actually follower, its reported appliedSeq
+// reaches the read floor, and — for token-less reads — it is not shed
+// for lagging the primary by more than shedLag records.
+func (rt *Router) readCandidates(sh *Shard, city, primary string, minSeq int64) []string {
+	type cand struct {
+		url string
+		seq int64
+	}
+	primarySeq := rt.health.view(primary).AppliedSeq[city]
+	var followers []cand
+	for _, n := range sh.Nodes {
+		if n == primary {
+			continue
+		}
+		v := rt.health.view(n)
+		if v.Err != "" || v.Role != "follower" {
+			continue
+		}
+		seq := v.AppliedSeq[city]
+		if minSeq > 0 && seq < minSeq {
+			continue // behind the session's write: would serve pre-write state
+		}
+		if minSeq == 0 && rt.shedLag > 0 && primarySeq > 0 && primarySeq-seq > rt.shedLag {
+			rt.ctr.followersShed.Add(1)
+			continue
+		}
+		followers = append(followers, cand{url: n, seq: seq})
+	}
+	sort.SliceStable(followers, func(i, j int) bool { return followers[i].seq > followers[j].seq })
+	out := make([]string, 0, len(followers)+1)
+	for _, f := range followers {
+		out = append(out, f.url)
+	}
+	if minSeq > 0 {
+		v := rt.health.view(primary)
+		writable := v.Role == "primary" || v.Role == "promoted"
+		if !writable && v.AppliedSeq[city] < minSeq {
+			// The fallback is a guess that cannot *prove* the floor — a
+			// known or never-identified follower may be lagging, and an
+			// unproven 200 here would be pre-write state. Let the caller
+			// answer 503; the next successful health poll restores service.
+			return out
+		}
+	}
+	return append(out, primary)
+}
+
+// readRetryable: statuses that mean "this replica, right now" rather
+// than "this request": a 403 (read-only race or a misrouted gate), 5xx
+// unavailability. 404s are authoritative — a lagging follower legitimately
+// 404s a token-less read of a fresh entity; that is the eventual-
+// consistency contract token-less traffic opted into.
+func readRetryable(status int) bool {
+	switch status {
+	case http.StatusForbidden, http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// --- mutation path ---
+
+// proxyMutation routes a POST to the shard's primary. The body is
+// buffered so it can be replayed: a 403 from a stale primary view is
+// retried at the node the X-GT-Primary hint names, and a dead node fails
+// over through the shard's remaining nodes (one of which may have been
+// promoted). Only when the hint and every remaining node fail too is the
+// original 403 relayed, hint intact — the client learns exactly what the
+// router knew.
+//
+// Mutations are not idempotent, so the failover rules are narrower than
+// the read path's: a *dial* failure (the request never reached the
+// backend) and a 5xx *response* (the backend answered — the serving
+// layer never 5xxs after committing, see the mutation handlers) are safe
+// to retry; a timeout or mid-stream cut is ambiguous — the backend may
+// have committed — and is answered 502 rather than re-sent, because a
+// silent double-apply is worse than a client-visible unknown.
+func (rt *Router) proxyMutation(sh *Shard, city string, w http.ResponseWriter, r *http.Request) {
+	rt.ctr.mutations.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBufferedBody+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxBufferedBody {
+		writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxBufferedBody)
+		return
+	}
+	primary := rt.primaryOf(sh)
+	order := make([]string, 0, len(sh.Nodes))
+	order = append(order, primary)
+	for _, n := range sh.Nodes {
+		if n != primary {
+			order = append(order, n)
+		}
+	}
+
+	// The first follower 403 is kept aside and relayed — hint intact —
+	// only after every other avenue is exhausted: the hinted primary
+	// first, then the shard's remaining nodes (one may have been promoted
+	// since the last health poll).
+	var deniedHdr http.Header
+	var deniedBody []byte
+	var deniedBy string
+	tried := make(map[string]bool, len(order)+1)
+
+	// attempt sends the mutation to one node and fully classifies the
+	// outcome; true means a response (success or terminal failure) was
+	// written. A 403 chases its X-GT-Primary hint immediately — the hint
+	// names the node the follower actually replicates from, a better
+	// guess than list order — with the tried set bounding the recursion.
+	var attempt func(node string) bool
+	attempt = func(node string) bool {
+		if node == "" || tried[node] {
+			return false
+		}
+		tried[node] = true
+		resp, err := rt.forward(node, r, body)
+		if err != nil {
+			if !dialFailure(err) {
+				writeErr(w, http.StatusBadGateway,
+					"mutation to %s failed mid-flight (it may or may not have committed): %v", node, err)
+				return true
+			}
+			rt.ctr.mutationFailovers.Add(1)
+			return false
+		}
+		if resp.StatusCode >= http.StatusInternalServerError {
+			drain(resp)
+			rt.ctr.mutationFailovers.Add(1)
+			return false
+		}
+		if resp.StatusCode == http.StatusForbidden {
+			hint := resp.Header.Get(HeaderPrimary)
+			if deniedHdr == nil {
+				deniedBody, _ = io.ReadAll(io.LimitReader(resp.Body, maxBufferedBody))
+				deniedHdr = resp.Header.Clone()
+				deniedBy = node
+				resp.Body.Close()
+			} else {
+				drain(resp)
+			}
+			if target := rt.resolveNode(sh, hint); target != "" && !tried[target] {
+				rt.ctr.mutationRetries403.Add(1)
+				return attempt(target)
+			}
+			return false
+		}
+		rt.noteMutation(city, r, resp)
+		rt.relay(w, resp, sh.Name, node)
+		return true
+	}
+
+	for _, node := range order {
+		if attempt(node) {
+			return
+		}
+	}
+	if deniedHdr != nil {
+		// Every other avenue failed: the 403 (with its hint) is the most
+		// truthful answer the shard produced.
+		copyHeader(w.Header(), deniedHdr)
+		w.Header().Set(HeaderShard, sh.Name)
+		w.Header().Set(HeaderBackend, deniedBy)
+		w.WriteHeader(http.StatusForbidden)
+		_, _ = w.Write(deniedBody)
+		return
+	}
+	writeErr(w, http.StatusBadGateway, "no node of shard %q accepted the mutation for city %q", sh.Name, city)
+}
+
+// dialFailure reports whether a forward error happened while *dialing* —
+// before the request could have reached the backend — which is the only
+// transport failure a non-idempotent mutation may retry after.
+func dialFailure(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
+// noteMutation records a successful mutation's commit token against the
+// request's session, pinning the session's later reads.
+func (rt *Router) noteMutation(city string, r *http.Request, resp *http.Response) {
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return
+	}
+	sid := r.Header.Get(HeaderSession)
+	if sid == "" {
+		return
+	}
+	if seq, err := strconv.ParseInt(resp.Header.Get(HeaderSeq), 10, 64); err == nil {
+		tokenCity := resp.Header.Get(HeaderCity)
+		if tokenCity == "" {
+			tokenCity = city
+		}
+		rt.sessions.note(sid, tokenCity, seq)
+	}
+}
+
+// --- shared plumbing ---
+
+// primaryOf discovers a shard's primary from node health: a healthy node
+// reporting role "primary" wins, then a healthy "promoted" ex-follower,
+// then a node whose *last known* role was primary/promoted even if its
+// latest poll failed (a transient poll failure must not redirect
+// mutations at a node that is known to be a follower), then a
+// never-identified node, then the first listed one. The 403-retry path
+// heals a wrong guess on the mutation side; the read side additionally
+// guards pinned reads against a known-follower fallback (readCandidates).
+func (rt *Router) primaryOf(sh *Shard) string {
+	var promoted, staleWritable, unknown string
+	for _, n := range sh.Nodes {
+		v := rt.health.view(n)
+		writable := v.Role == "primary" || v.Role == "promoted"
+		switch {
+		case v.Err == "" && v.Role == "primary":
+			return n
+		case v.Err == "" && v.Role == "promoted" && promoted == "":
+			promoted = n
+		case v.Err != "" && writable && staleWritable == "":
+			staleWritable = n
+		case v.Role == "" && unknown == "":
+			unknown = n
+		}
+	}
+	for _, n := range []string{promoted, staleWritable, unknown} {
+		if n != "" {
+			return n
+		}
+	}
+	return sh.Nodes[0]
+}
+
+// resolveNode maps an X-GT-Primary hint onto a shard node, matching both
+// listed URLs and advertised ones (a follower knows its upstream by the
+// address *it* dials, which node lists may not repeat verbatim). An
+// unmatched non-empty hint is trusted as-is — the hinting node reaches
+// its primary there, so the router can too.
+func (rt *Router) resolveNode(sh *Shard, hint string) string {
+	hint = strings.TrimRight(hint, "/")
+	if hint == "" {
+		return ""
+	}
+	for _, n := range sh.Nodes {
+		if n == hint {
+			return n
+		}
+		if v := rt.health.view(n); v.Advertise != "" && v.Advertise == hint {
+			return n
+		}
+	}
+	return hint
+}
+
+// forward sends a copy of the inbound request to one backend. GET bodies
+// are empty; mutation bodies are the buffered bytes, replayable across
+// candidates.
+func (rt *Router) forward(base string, r *http.Request, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), rd)
+	if err != nil {
+		return nil, err
+	}
+	copyHeader(req.Header, r.Header)
+	return rt.client.Do(req)
+}
+
+// relay copies a backend response to the client, stamping which shard
+// and backend served it.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, shard, backend string) {
+	defer resp.Body.Close()
+	copyHeader(w.Header(), resp.Header)
+	w.Header().Set(HeaderShard, shard)
+	w.Header().Set(HeaderBackend, backend)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// copyHeader copies all headers except hop-by-hop ones.
+func copyHeader(dst, src http.Header) {
+	for k, vv := range src {
+		switch k {
+		case "Connection", "Keep-Alive", "Transfer-Encoding", "Upgrade":
+			continue
+		}
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// drain discards a response that will not be relayed, keeping the
+// backend connection reusable.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// --- aggregation & health ---
+
+// routedCity is one row of the router's GET /cities: the backend's
+// summary for every city its owning shard knows, annotated with the
+// shard the ring routes it to.
+type routedCity struct {
+	Key        string `json:"key"`
+	Shard      string `json:"shard"`
+	Loaded     bool   `json:"loaded"`
+	WALBytes   int64  `json:"walBytes,omitempty"`
+	AppliedSeq int64  `json:"appliedSeq,omitempty"`
+}
+
+// handleCities aggregates GET /cities across shards: each shard's
+// primary lists its cities, and the router keeps the rows the ring
+// actually routes to that shard — one merged, deduplicated view of the
+// fleet's key space. Shards are queried concurrently so a dark shard
+// costs one timeout, not one per corpse; its rows go missing and
+// /healthz names it.
+func (rt *Router) handleCities(w http.ResponseWriter, r *http.Request) {
+	// Bound each shard fetch like the health polls are bounded: a
+	// black-holed primary costs one short timeout, and a disconnected
+	// client cancels the work.
+	ctx, cancel := context.WithTimeout(r.Context(), healthPollTimeout)
+	defer cancel()
+	names := rt.ring.Shards()
+	perShard := make([][]routedCity, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			primary := rt.primaryOf(rt.shards[name])
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, primary+"/cities", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				drain(resp)
+				return
+			}
+			var rows []nodeCityRow
+			if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+				return
+			}
+			for _, row := range rows {
+				if rt.ring.Shard(row.Key) != name {
+					continue
+				}
+				perShard[i] = append(perShard[i], routedCity{
+					Key: row.Key, Shard: name, Loaded: row.Loaded,
+					WALBytes: row.WALBytes, AppliedSeq: row.AppliedSeq,
+				})
+			}
+		}(i, name)
+	}
+	wg.Wait()
+	var out []routedCity
+	for _, rows := range perShard {
+		out = append(out, rows...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// countersJSON is the routing-telemetry slice of the router's /healthz.
+type countersJSON struct {
+	ReadsTotal         int64 `json:"readsTotal"`
+	ReadsPrimary       int64 `json:"readsPrimary"`
+	ReadsFollower      int64 `json:"readsFollower"`
+	ReadsPinned        int64 `json:"readsPinned"`
+	ReadFailovers      int64 `json:"readFailovers"`
+	FollowersShed      int64 `json:"followersShed"`
+	Mutations          int64 `json:"mutations"`
+	MutationRetries403 int64 `json:"mutationRetries403"`
+	MutationFailovers  int64 `json:"mutationFailovers"`
+}
+
+type healthReport struct {
+	Status       string                `json:"status"`
+	VirtualNodes int                   `json:"virtualNodes"`
+	Shards       map[string][]NodeView `json:"shards"`
+	Sessions     int                   `json:"sessions"`
+	Counters     countersJSON          `json:"counters"`
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	rep := healthReport{
+		Status:       "ok",
+		VirtualNodes: rt.ring.VirtualNodes(),
+		Shards:       make(map[string][]NodeView, len(rt.shards)),
+		Sessions:     rt.sessions.len(),
+		Counters: countersJSON{
+			ReadsTotal:         rt.ctr.readsTotal.Load(),
+			ReadsPrimary:       rt.ctr.readsPrimary.Load(),
+			ReadsFollower:      rt.ctr.readsFollower.Load(),
+			ReadsPinned:        rt.ctr.readsPinned.Load(),
+			ReadFailovers:      rt.ctr.readFailovers.Load(),
+			FollowersShed:      rt.ctr.followersShed.Load(),
+			Mutations:          rt.ctr.mutations.Load(),
+			MutationRetries403: rt.ctr.mutationRetries403.Load(),
+			MutationFailovers:  rt.ctr.mutationFailovers.Load(),
+		},
+	}
+	for name, sh := range rt.shards {
+		views := make([]NodeView, 0, len(sh.Nodes))
+		for _, n := range sh.Nodes {
+			views = append(views, rt.health.view(n))
+		}
+		rep.Shards[name] = views
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

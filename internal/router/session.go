@@ -1,0 +1,83 @@
+package router
+
+import (
+	"container/list"
+	"sync"
+)
+
+// sessionTable is the router-side read-your-writes memory: for every
+// session id a client presents (X-GT-Session, any opaque string the
+// client chooses), the highest committed sequence its mutations reached
+// per city. A later read with the same id is only routed to replicas at
+// or past that sequence — the client never observes pre-write state —
+// without the client having to track tokens itself (clients that prefer
+// to can send X-GT-Min-Seq explicitly and skip sessions entirely).
+//
+// The table is bounded: least-recently-touched sessions fall off beyond
+// cap. Eviction is safe, not silent data loss — a forgotten session
+// degrades to token-less routing, which at worst serves slightly stale
+// reads to a client that has been idle longest.
+type sessionTable struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // front = most recently touched
+}
+
+type sessionEntry struct {
+	id   string
+	seqs map[string]int64 // city key -> min acceptable sequence
+}
+
+func newSessionTable(cap int) *sessionTable {
+	return &sessionTable{cap: cap, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+// note records a committed mutation: session id wrote city at seq.
+// Sequences only ratchet up — an out-of-order note (two racing mutations
+// finishing in reverse) keeps the higher floor.
+func (t *sessionTable) note(id, city string, seq int64) {
+	if id == "" || seq <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.m[id]
+	if !ok {
+		el = t.lru.PushFront(&sessionEntry{id: id, seqs: make(map[string]int64, 1)})
+		t.m[id] = el
+		for t.lru.Len() > t.cap {
+			oldest := t.lru.Back()
+			t.lru.Remove(oldest)
+			delete(t.m, oldest.Value.(*sessionEntry).id)
+		}
+	} else {
+		t.lru.MoveToFront(el)
+	}
+	e := el.Value.(*sessionEntry)
+	if seq > e.seqs[city] {
+		e.seqs[city] = seq
+	}
+}
+
+// minSeq returns the session's read floor for a city (0 when unknown),
+// refreshing the session's LRU position.
+func (t *sessionTable) minSeq(id, city string) int64 {
+	if id == "" {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.m[id]
+	if !ok {
+		return 0
+	}
+	t.lru.MoveToFront(el)
+	return el.Value.(*sessionEntry).seqs[city]
+}
+
+func (t *sessionTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lru.Len()
+}

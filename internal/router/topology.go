@@ -1,0 +1,98 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Shard is one backend replica set: a name (the unit the hash ring
+// places) and the base URLs of its nodes. Which node is the primary is
+// *not* configured — the router discovers roles from each node's
+// /healthz, so a failover (promotion) changes routing without a
+// topology edit, and a stale entry is healed by the 403-retry path.
+type Shard struct {
+	Name  string   `json:"name"`
+	Nodes []string `json:"nodes"`
+}
+
+// Topology is the router's static view of the fleet, normally loaded
+// from a JSON file:
+//
+//	{
+//	  "virtualNodes": 128,
+//	  "shards": [
+//	    {"name": "s1", "nodes": ["http://10.0.0.1:8080", "http://10.0.0.2:8080"]},
+//	    {"name": "s2", "nodes": ["http://10.0.1.1:8080", "http://10.0.1.2:8080"]}
+//	  ]
+//	}
+//
+// Nodes self-describe (the server's -advertise flag) so the URLs here
+// only need to be reachable from the router; role discovery matches
+// X-GT-Primary hints against both the listed URL and the advertised one.
+type Topology struct {
+	Shards       []Shard `json:"shards"`
+	VirtualNodes int     `json:"virtualNodes,omitempty"`
+}
+
+// LoadTopology reads and validates a topology file.
+func LoadTopology(path string) (*Topology, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("router: topology: %w", err)
+	}
+	var t Topology
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("router: topology %s: %w", path, err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("router: topology %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// Validate checks shard names are unique and non-empty, every shard has
+// at least one node, and normalizes node URLs (trailing slashes would
+// defeat URL matching against 403 hints).
+func (t *Topology) Validate() error {
+	if len(t.Shards) == 0 {
+		return fmt.Errorf("no shards")
+	}
+	seen := make(map[string]bool, len(t.Shards))
+	for i := range t.Shards {
+		sh := &t.Shards[i]
+		if sh.Name == "" {
+			return fmt.Errorf("shard %d has no name", i)
+		}
+		if seen[sh.Name] {
+			return fmt.Errorf("duplicate shard %q", sh.Name)
+		}
+		seen[sh.Name] = true
+		if len(sh.Nodes) == 0 {
+			return fmt.Errorf("shard %q has no nodes", sh.Name)
+		}
+		nodes := make(map[string]bool, len(sh.Nodes))
+		for j, n := range sh.Nodes {
+			n = strings.TrimRight(n, "/")
+			if n == "" {
+				return fmt.Errorf("shard %q node %d is empty", sh.Name, j)
+			}
+			if nodes[n] {
+				return fmt.Errorf("shard %q lists node %q twice", sh.Name, n)
+			}
+			nodes[n] = true
+			sh.Nodes[j] = n
+		}
+	}
+	return nil
+}
+
+// nodeURLs flattens every node across every shard.
+func (t *Topology) nodeURLs() []string {
+	var urls []string
+	for _, sh := range t.Shards {
+		urls = append(urls, sh.Nodes...)
+	}
+	return urls
+}

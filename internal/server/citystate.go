@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"sync"
@@ -295,17 +296,32 @@ func (cs *cityState) register(ps *packageState) int {
 // whole [mutate + append] against compaction (write side), so a snapshot
 // can never miss a record that the log rotation then seals away.
 //
+// The returned sequence is the mutation's commit token — what the
+// handler hands back as X-GT-Seq so a front tier can pin the session's
+// reads to replicas at or past it. 0 when persistence is off (no
+// sequence space exists, and no replicas either).
+//
 // Append failures never fail the request — the in-memory state is already
 // committed — but they are recorded for /healthz and veto eviction, since
-// the in-memory registries may now be the only complete copy.
-func (cs *cityState) commit(mutate func(logRec func(store.WALRecord))) {
+// the in-memory registries may now be the only complete copy. The commit
+// token for such a write is pinPrimarySeq: the write exists only in this
+// process and can never ship to a replica, so the token must name a
+// sequence no follower will ever report — a router then routes the
+// session's reads to the primary, the one node that can serve the write,
+// instead of silently dropping read-your-writes.
+func (cs *cityState) commit(mutate func(logRec func(store.WALRecord))) int64 {
 	cs.persistMu.RLock()
 	logged := false
+	var seq int64
 	mutate(func(rec store.WALRecord) {
 		logged = true
 		if cs.wal != nil {
-			if err := cs.wal.Append(rec); err != nil {
+			s, err := cs.wal.Append(rec)
+			if err != nil {
 				cs.persistErr.Store(err.Error())
+				seq = pinPrimarySeq
+			} else {
+				seq = s
 			}
 		}
 	})
@@ -313,7 +329,15 @@ func (cs *cityState) commit(mutate func(logRec func(store.WALRecord))) {
 	if logged {
 		cs.maybeCompact()
 	}
+	return seq
 }
+
+// pinPrimarySeq is the commit token of a mutation whose WAL append
+// failed: unreachable by any replica, it pins the session to the
+// primary. (A later, healthy append may reuse the failed record's real
+// sequence number, so the real number must NOT be handed out — a
+// follower could then report it without holding this write.)
+const pinPrimarySeq = int64(math.MaxInt64)
 
 // maybeCompact starts a compaction when the log crosses a threshold. The
 // snapshot write is O(city state), so it runs on a background goroutine —
@@ -499,6 +523,31 @@ func (cs *cityState) collectState() *store.ServerState {
 		})
 	}
 	return st
+}
+
+// appliedSeq is the city's current WAL position: the last committed
+// sequence on a primary, the last applied sequence on a follower (frames
+// are re-appended verbatim AFTER materialization, so the local log head
+// never runs ahead of the serving state — the invariant a router's
+// freshness pinning relies on). 0 when the city runs without persistence
+// and without a replication mirror — no sequence space exists then.
+//
+// The mirror branch (persistence-less follower) must go quiet on a
+// latched fault: the mirror's cursor then includes a record the serving
+// registries never received, and reporting it would route a pinned read
+// here for state this node cannot serve. Under-reporting is always safe.
+func (cs *cityState) appliedSeq() int64 {
+	if cs.wal != nil {
+		return cs.wal.LastSeq()
+	}
+	if m := cs.replica; m != nil {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.ap != nil && m.fault == nil {
+			return m.ap.LastSeq()
+		}
+	}
+	return 0
 }
 
 // evictionSafe reports whether the city can be unloaded without losing

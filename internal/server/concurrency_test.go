@@ -15,6 +15,7 @@ import (
 func pkgFingerprint(t *testing.T, p packageResponse) string {
 	t.Helper()
 	p.ID = 0
+	p.Seq = 0 // the commit token is per-mutation, not package content
 	b, err := json.Marshal(p)
 	if err != nil {
 		t.Fatal(err)

@@ -297,7 +297,7 @@ func (t followerTarget) ApplyFrames(city string, frames []store.WALFrame) (int64
 // Role reports the server's replication role.
 func (s *Server) Role() string {
 	switch {
-	case s.primaryURL == "":
+	case s.topo.Upstream() == "":
 		return "primary"
 	case s.promoted.Load():
 		return "promoted"
@@ -306,8 +306,11 @@ func (s *Server) Role() string {
 	}
 }
 
+// Topology exposes the node-metadata source (health reports, embedders).
+func (s *Server) Topology() Topology { return s.topo }
+
 // isReadOnly: a follower that has not been promoted rejects mutations.
-func (s *Server) isReadOnly() bool { return s.primaryURL != "" && !s.promoted.Load() }
+func (s *Server) isReadOnly() bool { return s.topo.Upstream() != "" && !s.promoted.Load() }
 
 // Follower exposes the replication tailer (nil on primaries) — tests and
 // embedders drive Sync/CatchUp and read lag through it.
@@ -331,7 +334,7 @@ func (s *Server) Close() {
 // and a restart recovers through the ordinary snapshot+log path.
 // Idempotent; concurrent callers all return after the flip completed.
 func (s *Server) Promote() error {
-	if s.primaryURL == "" {
+	if s.topo.Upstream() == "" {
 		return fmt.Errorf("server: not a follower")
 	}
 	s.promoteOnce.Do(func() {
@@ -364,10 +367,11 @@ type replicaDenied struct {
 func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.isReadOnly() {
-			w.Header().Set("X-GT-Primary", s.primaryURL)
+			upstream := s.topo.Upstream()
+			w.Header().Set(HeaderPrimary, upstream)
 			writeJSON(w, http.StatusForbidden, replicaDenied{
-				Error:   fmt.Sprintf("read-only replica; send mutations to the primary at %s", s.primaryURL),
-				Primary: s.primaryURL,
+				Error:   fmt.Sprintf("read-only replica; send mutations to the primary at %s", upstream),
+				Primary: upstream,
 			})
 			return
 		}
@@ -377,7 +381,7 @@ func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
 
 // handlePromote is POST /promote.
 func (s *Server) handlePromote(w http.ResponseWriter, _ *http.Request) {
-	if s.primaryURL == "" {
+	if s.topo.Upstream() == "" {
 		writeErr(w, http.StatusConflict, "already a primary")
 		return
 	}
@@ -385,5 +389,5 @@ func (s *Server) handlePromote(w http.ResponseWriter, _ *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"role": s.Role(), "formerPrimary": s.primaryURL})
+	writeJSON(w, http.StatusOK, map[string]string{"role": s.Role(), "formerPrimary": s.topo.Upstream()})
 }

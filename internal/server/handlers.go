@@ -19,6 +19,30 @@ import (
 	"grouptravel/internal/store"
 )
 
+// Commit-token and replica-routing headers. Every mutation response
+// carries its committed (city, seq) token: X-GT-City names the city the
+// record landed in, X-GT-Seq its write-ahead-log sequence. A client (or
+// a front-tier router on its behalf) that holds the token can demand
+// reads from replicas at or past that sequence — read-your-writes over
+// eventually-consistent followers. X-GT-Primary is the pointer a
+// read-only replica answers mutations with (403).
+const (
+	HeaderSeq     = "X-GT-Seq"
+	HeaderCity    = "X-GT-City"
+	HeaderPrimary = "X-GT-Primary"
+)
+
+// seqToken stamps a mutation's commit token onto the response headers;
+// it must run before the status line is written. A zero sequence (no
+// persistence configured — and therefore no replicas to outrun) stamps
+// nothing.
+func (cs *cityState) seqToken(w http.ResponseWriter, seq int64) {
+	if seq > 0 {
+		w.Header().Set(HeaderCity, cs.key)
+		w.Header().Set(HeaderSeq, strconv.FormatInt(seq, 10))
+	}
+}
+
 // --- city & POIs ---
 
 type cityResponse struct {
@@ -129,6 +153,9 @@ type groupResponse struct {
 	Size       int     `json:"size"`
 	Uniformity float64 `json:"uniformity"`
 	MedianUser int     `json:"medianUser"`
+	// Seq is the creating mutation's committed WAL sequence (the commit
+	// token, mirrored in X-GT-Seq); 0 on reads and without persistence.
+	Seq int64 `json:"seq,omitempty"`
 }
 
 func (cs *cityState) handleCreateGroup(w http.ResponseWriter, r *http.Request) {
@@ -165,7 +192,7 @@ func (cs *cityState) handleCreateGroup(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var id int
-	cs.commit(func(logRec func(store.WALRecord)) {
+	seq := cs.commit(func(logRec func(store.WALRecord)) {
 		cs.mu.Lock()
 		id = cs.nextID
 		cs.nextID++
@@ -173,8 +200,9 @@ func (cs *cityState) handleCreateGroup(w http.ResponseWriter, r *http.Request) {
 		cs.mu.Unlock()
 		logRec(store.GroupCreateRecord(id, g))
 	})
+	cs.seqToken(w, seq)
 	writeJSON(w, http.StatusCreated, groupResponse{
-		ID: id, Size: g.Size(), Uniformity: g.Uniformity(), MedianUser: g.MedianUser(),
+		ID: id, Size: g.Size(), Uniformity: g.Uniformity(), MedianUser: g.MedianUser(), Seq: seq,
 	})
 }
 
@@ -233,6 +261,9 @@ type packageResponse struct {
 	Days  []dayJSON `json:"days"`
 	Dims  dimsJSON  `json:"dimensions"`
 	Valid bool      `json:"valid"`
+	// Seq is the creating mutation's committed WAL sequence (the commit
+	// token, mirrored in X-GT-Seq); 0 on reads and without persistence.
+	Seq int64 `json:"seq,omitempty"`
 }
 
 type dayJSON struct {
@@ -330,13 +361,15 @@ func (cs *cityState) handleCreatePackage(w http.ResponseWriter, r *http.Request)
 	}
 	ps := &packageState{groupID: req.GroupID, method: canon, session: sess}
 	var id int
-	cs.commit(func(logRec func(store.WALRecord)) {
+	seq := cs.commit(func(logRec func(store.WALRecord)) {
 		id = cs.register(ps)
 		logRec(store.PackageBuildRecord(id, req.GroupID, canon, tp))
 	})
 	ps.mu.Lock()
 	resp := cs.renderPackage(id, ps, false)
 	ps.mu.Unlock()
+	resp.Seq = seq
+	cs.seqToken(w, seq)
 	writeJSON(w, http.StatusCreated, resp)
 }
 
@@ -412,6 +445,9 @@ type opResponse struct {
 	Applied     bool         `json:"applied"`
 	Replacement *poiResponse `json:"replacement,omitempty"`
 	NewCI       *dayJSON     `json:"newCI,omitempty"`
+	// Seq is the op's committed WAL sequence (the commit token, mirrored
+	// in X-GT-Seq); 0 without persistence.
+	Seq int64 `json:"seq,omitempty"`
 }
 
 func (cs *cityState) handleOps(w http.ResponseWriter, r *http.Request) {
@@ -452,7 +488,7 @@ func (cs *cityState) handleOps(w http.ResponseWriter, r *http.Request) {
 	// must match the application order — a record landing behind a later
 	// op's record would replay the older CI state on top of the newer.
 	resp := opResponse{}
-	cs.commit(func(logRec func(store.WALRecord)) {
+	seq := cs.commit(func(logRec func(store.WALRecord)) {
 		ps.mu.Lock()
 		defer ps.mu.Unlock()
 		switch op {
@@ -490,6 +526,8 @@ func (cs *cityState) handleOps(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Applied = true
+	resp.Seq = seq
+	cs.seqToken(w, seq)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -505,6 +543,10 @@ type refineResponse struct {
 	Strategy   string           `json:"strategy"`
 	Operations int              `json:"operations"`
 	NewPackage *packageResponse `json:"newPackage,omitempty"`
+	// Seq is the rebuild's committed WAL sequence (the commit token,
+	// mirrored in X-GT-Seq); 0 when nothing was rebuilt — a refine
+	// without rebuild mutates nothing.
+	Seq int64 `json:"seq,omitempty"`
 }
 
 func (cs *cityState) handleRefine(w http.ResponseWriter, r *http.Request) {
@@ -587,7 +629,7 @@ func (cs *cityState) handleRefine(w http.ResponseWriter, r *http.Request) {
 		}
 		nps := &packageState{groupID: ps.groupID, method: ps.method, session: sess}
 		var id int
-		cs.commit(func(logRec func(store.WALRecord)) {
+		resp.Seq = cs.commit(func(logRec func(store.WALRecord)) {
 			id = cs.register(nps)
 			logRec(store.RefineRecord(id, ps.groupID, ps.method, newTP, pid, resp.Strategy))
 		})
@@ -596,5 +638,6 @@ func (cs *cityState) handleRefine(w http.ResponseWriter, r *http.Request) {
 		nps.mu.Unlock()
 		resp.NewPackage = &pr
 	}
+	cs.seqToken(w, resp.Seq)
 	writeJSON(w, http.StatusOK, resp)
 }

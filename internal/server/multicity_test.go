@@ -405,6 +405,51 @@ func TestTornWALTailSurfacesOnHealth(t *testing.T) {
 	}
 }
 
+// TestCommitTokenPinsPrimaryOnWALFailure: a mutation whose WAL append
+// fails still commits in memory and still answers 2xx — but its commit
+// token must be pinPrimarySeq, a sequence no replica will ever report,
+// so a front tier keeps routing the session's reads to the primary (the
+// only node holding the write) instead of silently losing
+// read-your-writes. The failure also lands on /healthz.
+func TestCommitTokenPinsPrimaryOnWALFailure(t *testing.T) {
+	s, ts := multiCityServerOpts(t, Options{SnapshotDir: t.TempDir()})
+	// Break alpha's log under the server: every later append fails.
+	c, release, err := s.Registry().Acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.State.wal.Close()
+	release()
+
+	gid, err := mcCreateGroup(ts, mcCities[0], "alpha")
+	if err != nil {
+		t.Fatalf("append failure must not fail the request: %v", err)
+	}
+	var g groupResponse
+	if err := tryJSON(ts, "GET", fmt.Sprintf("%s/cities/alpha/groups/%d", ts.URL, gid), nil, 200, &g); err != nil {
+		t.Fatalf("in-memory commit lost: %v", err)
+	}
+	// Re-create to inspect the token (mcCreateGroup discards the body).
+	req := createGroupRequest{}
+	for i := 0; i < 3; i++ {
+		req.Members = append(req.Members, mcRatings(mcCities[0], i))
+	}
+	var resp groupResponse
+	if err := tryJSON(ts, "POST", ts.URL+"/cities/alpha/groups", req, 201, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != pinPrimarySeq {
+		t.Fatalf("commit token after append failure = %d, want pinPrimarySeq", resp.Seq)
+	}
+	var health healthResponse
+	if err := tryJSON(ts, "GET", ts.URL+"/healthz", nil, 200, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Cities["alpha"].PersistErr == "" {
+		t.Fatal("append failure not surfaced on /healthz")
+	}
+}
+
 // TestMultiCityEvictionReloadsState verifies the cap + persistence
 // interplay: a city evicted under MaxCities=1 comes back with its state
 // intact on the next request.

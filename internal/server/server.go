@@ -122,6 +122,14 @@ type Options struct {
 	// city from the primary at this base URL (log shipping; see
 	// internal/replicate). Mutating routes answer 403 until Promote.
 	Follow string
+	// Advertise is the base URL peers and front tiers reach this node at
+	// (-advertise); it self-describes with it on /healthz so a router can
+	// match topology entries against X-GT-Primary hints.
+	Advertise string
+	// Topology overrides the node-metadata source. Nil builds a
+	// StaticTopology from Advertise and Follow — the normal boot path.
+	// When set, Follow and Advertise are ignored.
+	Topology Topology
 	// FollowPoll is the replication tailer's poll interval: 0 selects
 	// replicate.DefaultPollInterval; < 0 starts no background tailers —
 	// the embedder drives Follower().Sync/CatchUp itself (tests).
@@ -137,11 +145,12 @@ type Server struct {
 	compactEvery int64
 	compactBytes int64
 
-	// Replication role (see follower.go): primaryURL is empty on a
-	// primary; follower tails the primary's logs; promoted latches once
-	// Promote flips the process read-write (promoteOnce runs the flip
-	// exactly once; promoted is the fast flag handlers read).
-	primaryURL  string
+	// Replication role (see follower.go): topo carries the node metadata —
+	// Upstream is empty on a primary; follower tails the upstream's logs;
+	// promoted latches once Promote flips the process read-write
+	// (promoteOnce runs the flip exactly once; promoted is the fast flag
+	// handlers read).
+	topo        Topology
 	follower    *replicate.Follower
 	promoteOnce sync.Once
 	promoted    atomic.Bool
@@ -226,6 +235,10 @@ func NewMultiCity(opts Options) (*Server, error) {
 	}
 	sort.Strings(keys)
 
+	topo := opts.Topology
+	if topo == nil {
+		topo = StaticTopology{AdvertiseURL: opts.Advertise, PrimaryURL: opts.Follow}
+	}
 	s := &Server{
 		snapshotDir:  opts.SnapshotDir,
 		walSync:      opts.WALSync,
@@ -233,7 +246,7 @@ func NewMultiCity(opts Options) (*Server, error) {
 		compactBytes: opts.CompactBytes,
 		// Set before the registry exists: city loads consult the role to
 		// decide whether to build the replication mirror.
-		primaryURL: strings.TrimRight(opts.Follow, "/"),
+		topo: topo,
 	}
 	if s.compactEvery == 0 {
 		s.compactEvery = DefaultCompactEvery
@@ -287,8 +300,8 @@ func NewMultiCity(opts Options) (*Server, error) {
 	if err := s.Preload(opts.PreloadCities...); err != nil {
 		return nil, err
 	}
-	if s.primaryURL != "" {
-		s.follower = replicate.NewFollower(s.primaryURL, keys, followerTarget{s}, max(opts.FollowPoll, 0))
+	if upstream := s.topo.Upstream(); upstream != "" {
+		s.follower = replicate.NewFollower(upstream, keys, followerTarget{s}, max(opts.FollowPoll, 0))
 		if opts.FollowPoll >= 0 {
 			s.follower.Start()
 		}
@@ -449,8 +462,9 @@ type healthResponse struct {
 	// health must not force a dataset load).
 	City        string                `json:"city"`
 	DefaultCity string                `json:"defaultCity"`
-	Role        string                `json:"role"`              // primary | follower | promoted
-	Primary     string                `json:"primary,omitempty"` // the primary's URL on (ex-)followers
+	Role        string                `json:"role"`                // primary | follower | promoted
+	Primary     string                `json:"primary,omitempty"`   // the primary's URL on (ex-)followers
+	Advertise   string                `json:"advertise,omitempty"` // the URL this node self-describes as
 	Registry    registry.Stats        `json:"registry"`
 	Cities      map[string]cityHealth `json:"cities"` // loaded cities only
 	Persistence bool                  `json:"persistence"`
@@ -463,7 +477,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		City:        s.defaultCity,
 		DefaultCity: s.defaultCity,
 		Role:        s.Role(),
-		Primary:     s.primaryURL,
+		Primary:     s.topo.Upstream(),
+		Advertise:   s.topo.Advertise(),
 		Registry:    s.reg.Stats(),
 		Cities:      map[string]cityHealth{},
 		Persistence: s.snapshotDir != "",
@@ -490,27 +505,45 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // bytes-since-compaction — the write-ahead-log backpressure gauge a front
 // tier can route on (a large value means an expensive replay-on-reload
 // and a mutation-hot city); 0 for unloaded cities or without persistence.
+// AppliedSeq is the city's last committed (primary) or applied (follower)
+// WAL sequence — the freshness gauge a front tier compares session tokens
+// against, in the same cheap call; 0 means unknown (no persistence, or a
+// non-resident city whose stream head was never served).
 type citySummary struct {
-	Key      string `json:"key"`
-	Loaded   bool   `json:"loaded"`
-	Default  bool   `json:"default"`
-	WALBytes int64  `json:"walBytes,omitempty"`
+	Key        string `json:"key"`
+	Loaded     bool   `json:"loaded"`
+	Default    bool   `json:"default"`
+	WALBytes   int64  `json:"walBytes,omitempty"`
+	AppliedSeq int64  `json:"appliedSeq,omitempty"`
 }
 
 func (s *Server) handleCities(w http.ResponseWriter, _ *http.Request) {
 	walBytes := map[string]int64{}
+	applied := map[string]int64{}
 	s.reg.Range(func(c *registry.City[*cityState]) {
 		if c.State.wal != nil {
 			walBytes[c.Key] = c.State.wal.Stats().Bytes
 		}
+		applied[c.Key] = c.State.appliedSeq()
 	})
 	var out []citySummary
 	for _, key := range s.reg.Keys() {
+		seq, ok := applied[key]
+		if !ok {
+			// Non-resident city: answer from the cold stream-head cache
+			// when one is established (stream.go) rather than force-loading
+			// the city — stale is conservative, a load here would let a
+			// poller defeat the LRU cap.
+			if h, hit := s.coldHeads.Load(key); hit {
+				seq = h.(coldHead).last
+			}
+		}
 		out = append(out, citySummary{
-			Key:      key,
-			Loaded:   s.reg.Loaded(key),
-			Default:  key == s.defaultCity,
-			WALBytes: walBytes[key],
+			Key:        key,
+			Loaded:     s.reg.Loaded(key),
+			Default:    key == s.defaultCity,
+			WALBytes:   walBytes[key],
+			AppliedSeq: seq,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)

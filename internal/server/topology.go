@@ -1,0 +1,34 @@
+package server
+
+import "strings"
+
+// Topology is the node-metadata surface the server consults for its own
+// place in a replication topology: where peers can reach this node, and
+// which primary (if any) it replicates from. Boot wiring (flags, config
+// files) satisfies it with StaticTopology; embedders that derive node
+// metadata elsewhere — a service registry, a lease in a shared store —
+// plug their own implementation in through Options.Topology.
+//
+// Upstream must be stable for the process lifetime: the serving layer
+// decides at construction whether to build replication state, and
+// role *transitions* go through Promote, not through a changing
+// Upstream. Both methods must be safe for concurrent use.
+type Topology interface {
+	// Advertise is the base URL this node is reachable at by peers and
+	// front tiers — what it self-describes as in health reports and what
+	// a router matches X-GT-Primary hints against. "" when unknown.
+	Advertise() string
+	// Upstream is the base URL of the primary this node replicates from.
+	// "" on a primary.
+	Upstream() string
+}
+
+// StaticTopology is the flag-configured Topology a normal process boot
+// uses: -advertise and -follow, fixed for the process lifetime.
+type StaticTopology struct {
+	AdvertiseURL string
+	PrimaryURL   string
+}
+
+func (t StaticTopology) Advertise() string { return strings.TrimRight(t.AdvertiseURL, "/") }
+func (t StaticTopology) Upstream() string  { return strings.TrimRight(t.PrimaryURL, "/") }

@@ -357,25 +357,30 @@ func (w *WAL) PendingExists() bool {
 func (w *WAL) Path() string { return w.path }
 
 // Append stamps the record's sequence number, marshals, frames and
-// writes it, then applies the sync policy. Safe for concurrent use. An
-// error means the record did not commit: a partial write is healed by
-// truncating the file back to the record's start, and if even that fails
-// the appender latches broken — a garbage frame mid-file would make
-// replay silently discard every record after it, so accepting further
-// appends would turn one I/O error into unbounded invisible loss.
-func (w *WAL) Append(rec WALRecord) error {
+// writes it, then applies the sync policy, returning the stamped
+// sequence — the commit token a mutation response hands back to its
+// client. Safe for concurrent use. An error means the record did not
+// commit: a partial write is healed by truncating the file back to the
+// record's start, and if even that fails the appender latches broken —
+// a garbage frame mid-file would make replay silently discard every
+// record after it, so accepting further appends would turn one I/O
+// error into unbounded invisible loss.
+func (w *WAL) Append(rec WALRecord) (int64, error) {
 	w.mu.Lock()
 	if w.f == nil {
 		w.mu.Unlock()
-		return fmt.Errorf("store: wal closed")
+		return 0, fmt.Errorf("store: wal closed")
 	}
 	rec.rec.Seq = w.nextSeq
 	payload, err := json.Marshal(rec.rec)
 	if err != nil {
 		w.mu.Unlock()
-		return fmt.Errorf("store: wal encode: %w", err)
+		return 0, fmt.Errorf("store: wal encode: %w", err)
 	}
-	return w.appendLocked(payload, rec.rec.Seq)
+	if err := w.appendLocked(payload, rec.rec.Seq); err != nil {
+		return 0, err
+	}
+	return rec.rec.Seq, nil
 }
 
 // AppendFrame appends an already-sequenced frame — shipped from a

@@ -101,7 +101,7 @@ func writeWAL(t testing.TB, dir, key string, recs []WALRecord) {
 		t.Fatal(err)
 	}
 	for _, r := range recs {
-		if err := w.Append(r); err != nil {
+		if _, err := w.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -346,7 +346,7 @@ func TestWALResetAfterCompaction(t *testing.T) {
 	}
 	defer w.Close()
 	for _, r := range fx.records[:2] {
-		if err := w.Append(r); err != nil {
+		if _, err := w.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -360,7 +360,7 @@ func TestWALResetAfterCompaction(t *testing.T) {
 		t.Fatalf("post-reset stats %+v", st)
 	}
 	// Appends after the reset are the new log suffix.
-	if err := w.Append(fx.records[0]); err != nil {
+	if _, err := w.Append(fx.records[0]); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
@@ -390,7 +390,7 @@ func TestWALConcurrentAppends(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			g := fx.want.Groups[0].Group
-			if err := w.Append(GroupCreateRecord(10+i, g)); err != nil {
+			if _, err := w.Append(GroupCreateRecord(10+i, g)); err != nil {
 				t.Error(err)
 			}
 		}(i)
@@ -451,7 +451,7 @@ func TestWALSyncOffNoFsyncs(t *testing.T) {
 	}
 	defer w.Close()
 	for _, r := range fx.records {
-		if err := w.Append(r); err != nil {
+		if _, err := w.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -523,7 +523,7 @@ func TestWALRotateChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range fx.records[:2] { // group + package
-		if err := w.Append(r); err != nil {
+		if _, err := w.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -542,7 +542,7 @@ func TestWALRotateChain(t *testing.T) {
 	if err := w.Rotate(); err == nil {
 		t.Fatal("rotate over an existing pending segment accepted")
 	}
-	if err := w.Append(fx.records[2]); err != nil { // a customOp, seq 3
+	if _, err := w.Append(fx.records[2]); err != nil { // a customOp, seq 3
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
@@ -604,7 +604,7 @@ func TestWALIntervalFlushTimer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w.Close()
-	if err := w.Append(fx.records[0]); err != nil {
+	if _, err := w.Append(fx.records[0]); err != nil {
 		t.Fatal(err)
 	}
 	// No further appends: without the deadline flush this would stay
@@ -631,14 +631,14 @@ func TestWALGapDropsCurrentSegment(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range fx.records[:3] { // group, package, customOp
-		if err := w.Append(r); err != nil {
+		if _, err := w.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := w.Rotate(); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Append(fx.records[3]); err != nil { // another customOp, seq 4
+	if _, err := w.Append(fx.records[3]); err != nil { // another customOp, seq 4
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
