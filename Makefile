@@ -28,12 +28,20 @@ race:
 
 # Smoke check: run every Benchmark* exactly once so the bench harness
 # (package-build scaling, server + multi-city throughput, log-shipping
-# apply rate, paper tables) cannot bit-rot unnoticed. `make benchfull`
-# takes real measurements.
+# apply rate, paper tables) cannot bit-rot unnoticed, and convert the
+# output into the machine-readable BENCH_$(BENCH_GEN).json trajectory
+# file (benchmark -> ns/op, B/op, allocs/op). `make benchfull` takes
+# real measurements and rewrites the same file.
+BENCH_GEN ?= 6
+
 bench:
-	$(GO) test -bench . -benchtime=1x -benchmem -run XXX .
+	$(GO) test -bench . -benchtime=1x -benchmem -run XXX . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) run ./cmd/benchjson -o BENCH_$(BENCH_GEN).json < bench.out
+	@rm -f bench.out
 
 benchfull:
-	$(GO) test -bench . -benchmem -run XXX .
+	$(GO) test -bench . -benchmem -run XXX . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) run ./cmd/benchjson -o BENCH_$(BENCH_GEN).json < bench.out
+	@rm -f bench.out
 
 ci: vet build race

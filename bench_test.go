@@ -826,3 +826,63 @@ func BenchmarkRouterProxy(b *testing.B) {
 	b.Run("direct", func(b *testing.B) { get(b, ts.URL+path) })
 	b.Run("routed", func(b *testing.B) { get(b, rts.URL+path) })
 }
+
+// BenchmarkHotReadCached measures the zero-copy read path: the same GET
+// served over HTTP (client + transport included, comparable to
+// BenchmarkRouterProxy/direct) and at the bare handler (recorder only —
+// the server-side cost in isolation). After the first iteration every
+// response is a byte-cache hit: a map lookup plus one Write of the
+// stored bytes, no JSON encoding.
+func BenchmarkHotReadCached(b *testing.B) {
+	benchSetup(b)
+	srv, err := server.NewMultiCity(server.Options{Cities: []*dataset.City{benchCity}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	path := "/cities/" + strings.ToLower(benchCity.Name) + "/pois?k=5"
+	b.Run("http", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+	b.Run("handler", func(b *testing.B) {
+		h := srv.Handler()
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		for i := 0; i < b.N; i++ {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+	// The same request with a query string past the cache-key bound: the
+	// server answers it identically but never caches, so this is the
+	// pre-cache render+encode cost — the baseline the cached rows above
+	// are measured against.
+	b.Run("handler-uncached", func(b *testing.B) {
+		h := srv.Handler()
+		long := path + "&pad=" + strings.Repeat("x", 256)
+		req := httptest.NewRequest(http.MethodGet, long, nil)
+		for i := 0; i < b.N; i++ {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into the machine-readable BENCH_<n>.json trajectory file: a JSON object
+// mapping each benchmark name (GOMAXPROCS suffix stripped) to its ns/op,
+// B/op and allocs/op. Input lines pass through to stdout unchanged, so
+// the converter can sit at the end of a pipe without hiding the run.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run XXX . | go run ./cmd/benchjson -o BENCH_6.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics is one benchmark's measured triple. Unmeasured fields stay 0
+// (a benchmark without -benchmem reports no B/op or allocs/op).
+type metrics struct {
+	NsPerOp     float64 `json:"ns/op"`
+	BytesPerOp  float64 `json:"B/op"`
+	AllocsPerOp float64 `json:"allocs/op"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON trajectory here (default stdout only)")
+	flag.Parse()
+
+	results := map[string]metrics{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		name, m, ok := parseLine(line)
+		if ok {
+			results[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: read stdin: %v", err)
+	}
+	if len(results) == 0 {
+		log.Fatal("benchjson: no benchmark result lines on stdin")
+	}
+	body, err := marshalSorted(results)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if *out == "" {
+		fmt.Println(string(body))
+		return
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
+}
+
+// parseLine extracts one `BenchmarkX-8  N  12.3 ns/op  4 B/op  5 allocs/op`
+// result row; anything else (headers, PASS, ok lines) is skipped.
+func parseLine(line string) (string, metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", metrics{}, false
+	}
+	var m metrics
+	seen := false
+	for i := 1; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp, seen = v, true
+		case "B/op":
+			m.BytesPerOp, seen = v, true
+		case "allocs/op":
+			m.AllocsPerOp, seen = v, true
+		}
+	}
+	if !seen {
+		return "", metrics{}, false
+	}
+	name := fields[0]
+	// Strip the -<GOMAXPROCS> suffix so the key is stable across machines.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name, m, true
+}
+
+// marshalSorted renders the map with sorted keys and a trailing newline —
+// a stable diff when the trajectory file is committed.
+func marshalSorted(results map[string]metrics) ([]byte, error) {
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, k := range keys {
+		row, err := json.Marshal(results[k])
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "  %q: %s", k, row)
+		if i < len(keys)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	return []byte(b.String()), nil
+}

@@ -41,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"grouptravel/internal/pprofserve"
 	"grouptravel/internal/router"
 )
 
@@ -50,6 +51,7 @@ func main() {
 	poll := flag.Duration("poll", 0, "node health poll interval (0: default 500ms)")
 	shedLag := flag.Int64("shed-lag", 0, "shed a follower from token-less reads when it lags the primary by more than this many records (0: default 1024, <0: never)")
 	maxSessions := flag.Int("max-sessions", 0, "read-your-writes session table bound (0: default 65536)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6061; empty: off)")
 	flag.Parse()
 
 	if *topoPath == "" {
@@ -78,6 +80,10 @@ func main() {
 		names = append(names, fmt.Sprintf("%s(%d nodes)", sh.Name, len(sh.Nodes)))
 	}
 	fmt.Printf("grouptravel-router: %d shards [%s] on %s\n", len(topo.Shards), strings.Join(names, " "), *addr)
+	if *pprofAddr != "" {
+		fmt.Printf("grouptravel-router: pprof on %s\n", *pprofAddr)
+		pprofserve.Start(*pprofAddr, func(err error) { log.Print(err) })
+	}
 	srv := &http.Server{Addr: *addr, Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	log.Fatal(srv.ListenAndServe())
 }

@@ -48,6 +48,7 @@ import (
 	"strings"
 
 	"grouptravel/internal/dataset"
+	"grouptravel/internal/pprofserve"
 	"grouptravel/internal/server"
 	"grouptravel/internal/store"
 )
@@ -68,6 +69,7 @@ func main() {
 	followPoll := flag.Duration("follow-poll", 0, "replication poll interval (0: default)")
 	promote := flag.Bool("promote", false, "with -follow: start promoted — serve read-write from the follower's local state (failover boot)")
 	addr := flag.String("addr", ":8080", "listen address")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty: off)")
 	flag.Parse()
 
 	syncPolicy, err := store.ParseWALSync(*walSync)
@@ -126,6 +128,10 @@ func main() {
 	}
 	if role := srv.Role(); role != "primary" {
 		fmt.Printf("grouptravel-server: role %s (primary %s)\n", role, *follow)
+	}
+	if *pprofAddr != "" {
+		fmt.Printf("grouptravel-server: pprof on %s\n", *pprofAddr)
+		pprofserve.Start(*pprofAddr, func(err error) { log.Print(err) })
 	}
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

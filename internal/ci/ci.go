@@ -9,7 +9,9 @@ package ci
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 
 	"grouptravel/internal/geo"
 	"grouptravel/internal/poi"
@@ -145,6 +147,44 @@ type buildState struct {
 	selIdx   map[int]int // POI id -> index in its category ranking
 }
 
+// statePool recycles buildStates across Build calls. The per-category
+// rankings dominated the build path's allocations (a fresh slice per
+// category per centroid per refinement round); reusing the backing arrays
+// makes steady-state builds allocation-free outside the returned CI.
+var statePool = sync.Pool{New: func() any { return new(buildState) }}
+
+func getBuildState(b *Builder) *buildState {
+	st := statePool.Get().(*buildState)
+	st.b = b
+	for i := range st.perCat {
+		st.perCat[i] = st.perCat[i][:0]
+	}
+	st.selected = st.selected[:0]
+	if st.selIdx == nil {
+		st.selIdx = make(map[int]int)
+	} else {
+		clear(st.selIdx)
+	}
+	return st
+}
+
+func putBuildState(st *buildState) {
+	st.b = nil
+	for i := range st.perCat {
+		// Drop POI pointers so a pooled state does not pin a collection.
+		s := st.perCat[i]
+		for j := range s {
+			s[j] = scored{}
+		}
+		st.perCat[i] = s[:0]
+	}
+	for j := range st.selected {
+		st.selected[j] = scored{}
+	}
+	st.selected = st.selected[:0]
+	statePool.Put(st)
+}
+
 // Build constructs the best valid CI around mu. exclude (may be nil) lists
 // POI ids that must not be used — the REMOVE customization operator and
 // "generate a new CI avoiding current items" both need it.
@@ -160,7 +200,8 @@ func (b *Builder) Build(mu geo.Point, exclude map[int]bool) (*CI, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	st := &buildState{b: b}
+	st := getBuildState(b)
+	defer putBuildState(st)
 	if err := st.rank(mu, exclude); err != nil {
 		return nil, err
 	}
@@ -182,30 +223,62 @@ func (b *Builder) Build(mu geo.Point, exclude map[int]bool) (*CI, error) {
 }
 
 // rank scores and orders the candidates of every requested category.
+//
+// The scoring loop is the hottest code in a build: it hoists the group
+// vector and its norm out of the per-candidate loop (vec.CosineNormB) and
+// sorts with slices.SortFunc on the concrete slice — the reflection-based
+// sort.Slice swapper alone used to account for a quarter of the build
+// path's allocations. The comparator is a strict total order (score
+// descending, POI id ascending), so the unstable pdqsort yields the same
+// deterministic ranking the previous stable-by-accident ordering did.
 func (st *buildState) rank(mu geo.Point, exclude map[int]bool) error {
 	b := st.b
+	personalize := b.Group != nil && b.Gamma > 0
 	for _, cat := range poi.Categories {
 		want := b.Query.Counts[cat]
 		if want == 0 {
 			continue
 		}
 		cands := b.Coll.ByCategory(cat)
-		list := make([]scored, 0, len(cands))
+		list := st.perCat[cat][:0]
+		if cap(list) < len(cands) {
+			list = make([]scored, 0, len(cands))
+		}
+		var gv vec.Vector
+		var gn float64
+		if personalize {
+			gv = b.Group.Vector(cat)
+			gn = gv.Norm()
+		}
 		for _, it := range cands {
 			if exclude != nil && exclude[it.ID] {
 				continue
 			}
-			list = append(list, scored{it, b.Score(it, mu)})
+			// Same arithmetic as Builder.Score, with the group-vector
+			// norm computed once per category instead of once per item.
+			s := b.Beta * (1 - b.Norm.Distance(it.Coord, mu))
+			if personalize {
+				s += b.Gamma * vec.CosineNormB(it.Vector, gv, gn)
+			}
+			list = append(list, scored{it, s})
 		}
 		if len(list) < want {
+			st.perCat[cat] = list
 			return fmt.Errorf("ci: only %d available %s POIs, query wants %d",
 				len(list), cat, want)
 		}
-		sort.Slice(list, func(i, j int) bool {
-			if list[i].score != list[j].score {
-				return list[i].score > list[j].score
+		slices.SortFunc(list, func(a, b scored) int {
+			switch {
+			case a.score > b.score:
+				return -1
+			case a.score < b.score:
+				return 1
+			case a.item.ID < b.item.ID:
+				return -1
+			case a.item.ID > b.item.ID:
+				return 1
 			}
-			return list[i].item.ID < list[j].item.ID
+			return 0
 		})
 		st.perCat[cat] = list
 	}
@@ -215,8 +288,9 @@ func (st *buildState) rank(mu geo.Point, exclude map[int]bool) error {
 // selectTop takes the greedy top-k of each category's ranking.
 func (st *buildState) selectTop() {
 	b := st.b
-	st.selected = make([]scored, 0, b.Query.Size())
-	st.selIdx = make(map[int]int)
+	if need := b.Query.Size(); cap(st.selected) < need {
+		st.selected = make([]scored, 0, need)
+	}
 	for _, cat := range poi.Categories {
 		for i := 0; i < b.Query.Counts[cat]; i++ {
 			s := st.perCat[cat][i]

@@ -50,6 +50,13 @@ func LeastMiseryPreference(values []float64) float64 {
 
 // PairwiseDisagreement is d_j = 2/(|G|(|G|−1)) Σ_{u<v} |u_j − v_j|.
 // Groups of one member have zero disagreement by definition.
+//
+// The sum is folded as per-member subtotals t_i = Σ_{j>i} |u_i − u_j|,
+// then Σ_i t_i. This is the exact fold Incremental maintains online (a
+// join appends terms to each existing subtotal), which is what makes the
+// incremental profile bit-identical to this full recompute: floating-point
+// addition is not associative, so the reference and the incremental path
+// must share one summation tree.
 func PairwiseDisagreement(values []float64) float64 {
 	n := len(values)
 	if n < 2 {
@@ -57,9 +64,11 @@ func PairwiseDisagreement(values []float64) float64 {
 	}
 	sum := 0.0
 	for i := 0; i < n; i++ {
+		ti := 0.0
 		for j := i + 1; j < n; j++ {
-			sum += math.Abs(values[i] - values[j])
+			ti += math.Abs(values[i] - values[j])
 		}
+		sum += ti
 	}
 	return 2 * sum / (float64(n) * float64(n-1))
 }
@@ -101,6 +110,18 @@ type Method struct {
 	W1    float64
 	WPref WeightedPreferenceFunc
 	WDis  WeightedDisagreementFunc
+
+	// inc marks which aggregators Incremental can maintain online.
+	// Custom methods leave it zero and still work — Incremental falls
+	// back to running the method's own functions over its cached member
+	// columns, which is bit-identical by construction.
+	inc incHints
+}
+
+// incHints flags the built-in aggregators with cheap online forms.
+type incHints struct {
+	prefixSum bool // Pref is AveragePreference: running prefix sums, O(1) reads
+	pairwise  bool // Dis is PairwiseDisagreement: per-member subtotals, O(n) reads
 }
 
 // The four methods evaluated in the paper (§4.1). The short display names
@@ -108,16 +129,18 @@ type Method struct {
 var (
 	// AveragePref: average preference only (w1 = 1).
 	AveragePref = Method{Name: "average preference", Pref: AveragePreference, W1: 1,
-		WPref: WeightedAveragePreference}
+		WPref: WeightedAveragePreference, inc: incHints{prefixSum: true}}
 	// LeastMisery: least-misery preference only (w1 = 1).
 	LeastMisery = Method{Name: "least misery", Pref: LeastMiseryPreference, W1: 1,
 		WPref: weightedMin}
 	// PairwiseDis: average preference + average pairwise disagreement, w1 = 0.5.
 	PairwiseDis = Method{Name: "pair-wise disagreement", Pref: AveragePreference, Dis: PairwiseDisagreement, W1: 0.5,
-		WPref: WeightedAveragePreference, WDis: WeightedPairwiseDisagreement}
+		WPref: WeightedAveragePreference, WDis: WeightedPairwiseDisagreement,
+		inc: incHints{prefixSum: true, pairwise: true}}
 	// VarianceDis: average preference + disagreement variance, w1 = 0.5.
 	VarianceDis = Method{Name: "disagreement variance", Pref: AveragePreference, Dis: VarianceDisagreement, W1: 0.5,
-		WPref: WeightedAveragePreference, WDis: WeightedVarianceDisagreement}
+		WPref: WeightedAveragePreference, WDis: WeightedVarianceDisagreement,
+		inc: incHints{prefixSum: true}}
 )
 
 // Methods lists the paper's four consensus methods in Table 2 column order.

@@ -1,0 +1,285 @@
+package consensus
+
+import (
+	"fmt"
+	"math"
+
+	"grouptravel/internal/poi"
+	"grouptravel/internal/profile"
+	"grouptravel/internal/vec"
+)
+
+// Incremental maintains a group's consensus profile under member joins,
+// leaves and per-request weight changes without recomputing from the
+// member profiles each time. It stores the member values column-wise
+// (one slice per POI type per category) plus, for the built-in
+// aggregators, online summaries:
+//
+//   - prefix sums for AveragePreference — a join extends the running
+//     fold, so the group average reads in O(1) per component;
+//   - per-member pairwise subtotals t_i = Σ_{j>i} |u_i − u_j| for
+//     PairwiseDisagreement — a join appends one term to each existing
+//     subtotal (O(n) instead of the O(n²) full recompute), a leave only
+//     recomputes the subtotals of members ordered before the leaver.
+//
+// Bit-identity with GroupProfile is a hard guarantee, not an
+// approximation: floating-point addition is non-associative, so the
+// reference PairwiseDisagreement is itself folded as Σ_i t_i — the exact
+// summation tree the online subtotals maintain — and the prefix sums
+// replay AveragePreference's left-to-right fold. Methods without hints
+// (custom aggregators, least-misery, most-pleasure) run their own
+// functions over the cached columns, which holds the same values in the
+// same member order as GroupProfile's gathered slices. The equivalence
+// test pins Profile() reflect.DeepEqual-identical to GroupProfile under
+// randomized join/leave/weight sequences.
+//
+// An Incremental is not safe for concurrent use; callers serialize
+// access (the server holds its per-group mutex).
+type Incremental struct {
+	method Method
+	schema *poi.Schema
+	n      int
+
+	// cols[c][j][i] is member i's value for component j of category c.
+	cols [poi.NumCategories][][]float64
+	// pre[c][j][i] is the running sum of cols[c][j][:i+1] (prefixSum hint).
+	pre [poi.NumCategories][][]float64
+	// sub[c][j][i] is t_i = Σ_{k>i} |cols[c][j][i] − cols[c][j][k]|
+	// (pairwise hint).
+	sub [poi.NumCategories][][]float64
+
+	// Scratch for the weighted path, reused across calls.
+	activeIdx []int
+	wts       []float64
+	gather    []float64
+}
+
+// NewIncremental creates an empty incremental aggregator for the method.
+func NewIncremental(schema *poi.Schema, m Method) (*Incremental, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("consensus: nil schema")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	inc := &Incremental{method: m, schema: schema}
+	for _, c := range poi.Categories {
+		dim := schema.Dim(c)
+		inc.cols[c] = make([][]float64, dim)
+		if m.inc.prefixSum {
+			inc.pre[c] = make([][]float64, dim)
+		}
+		if m.inc.pairwise {
+			inc.sub[c] = make([][]float64, dim)
+		}
+	}
+	return inc, nil
+}
+
+// Size returns the current member count.
+func (inc *Incremental) Size() int { return inc.n }
+
+// Join adds a member. O(n·dim) for pairwise methods, O(dim) otherwise.
+func (inc *Incremental) Join(p *profile.Profile) error {
+	if p == nil {
+		return fmt.Errorf("consensus: nil member profile")
+	}
+	for _, c := range poi.Categories {
+		if len(p.Vector(c)) != inc.schema.Dim(c) {
+			return fmt.Errorf("consensus: member has dim %d for %s, schema wants %d",
+				len(p.Vector(c)), c, inc.schema.Dim(c))
+		}
+	}
+	for _, c := range poi.Categories {
+		v := p.Vector(c)
+		cols, pre, sub := inc.cols[c], inc.pre[c], inc.sub[c]
+		for j, x := range v {
+			col := cols[j]
+			if sub != nil {
+				// New terms |u_i − x| land at the end of each t_i fold,
+				// exactly where the reference's inner loop adds them.
+				s := sub[j]
+				for i, u := range col {
+					s[i] += math.Abs(u - x)
+				}
+				sub[j] = append(s, 0)
+			}
+			if pre != nil {
+				run := 0.0
+				if inc.n > 0 {
+					run = pre[j][inc.n-1]
+				}
+				run += x
+				pre[j] = append(pre[j], run)
+			}
+			cols[j] = append(col, x)
+		}
+	}
+	inc.n++
+	return nil
+}
+
+// Leave removes member i (by join order). Subtotals of members ordered
+// after i are untouched — their pairwise terms never involved member i.
+func (inc *Incremental) Leave(i int) error {
+	if i < 0 || i >= inc.n {
+		return fmt.Errorf("consensus: leave index %d outside group of %d", i, inc.n)
+	}
+	for _, c := range poi.Categories {
+		cols, pre, sub := inc.cols[c], inc.pre[c], inc.sub[c]
+		for j := range cols {
+			col := cols[j]
+			copy(col[i:], col[i+1:])
+			col = col[:len(col)-1]
+			cols[j] = col
+			if pre != nil {
+				p := pre[j][:len(col)]
+				run := 0.0
+				if i > 0 {
+					run = p[i-1]
+				}
+				for k := i; k < len(col); k++ {
+					run += col[k]
+					p[k] = run
+				}
+				pre[j] = p
+			}
+			if sub != nil {
+				s := sub[j]
+				copy(s[i:], s[i+1:])
+				s = s[:len(col)]
+				for t := 0; t < i; t++ {
+					ti := 0.0
+					for k := t + 1; k < len(col); k++ {
+						ti += math.Abs(col[t] - col[k])
+					}
+					s[t] = ti
+				}
+				sub[j] = s
+			}
+		}
+	}
+	inc.n--
+	return nil
+}
+
+// Profile materializes the unweighted consensus profile, bit-identical to
+// GroupProfile over the current members.
+func (inc *Incremental) Profile() (*profile.Profile, error) {
+	if inc.n == 0 {
+		return nil, fmt.Errorf("consensus: empty group")
+	}
+	out := profile.New(inc.schema)
+	for _, c := range poi.Categories {
+		dim := inc.schema.Dim(c)
+		gv := make(vec.Vector, dim)
+		for j := 0; j < dim; j++ {
+			gv[j] = inc.score(c, j)
+		}
+		if err := out.SetVector(c, gv); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// score mirrors Method.Score over the cached column, taking the online
+// fast paths where the hints allow.
+func (inc *Incremental) score(c poi.Category, j int) float64 {
+	m := &inc.method
+	col := inc.cols[c][j]
+	var p float64
+	if m.inc.prefixSum {
+		p = inc.pre[c][j][inc.n-1] / float64(inc.n)
+	} else {
+		p = m.Pref(col)
+	}
+	if m.W1 >= 1 {
+		return p
+	}
+	d := 0.0
+	switch {
+	case m.inc.pairwise:
+		if inc.n >= 2 {
+			sum := 0.0
+			for _, t := range inc.sub[c][j] {
+				sum += t
+			}
+			d = 2 * sum / (float64(inc.n) * float64(inc.n-1))
+		}
+	case m.Dis != nil:
+		d = m.Dis(col)
+	}
+	g := m.W1*p + (1-m.W1)*(1-d)
+	if g < 0 {
+		return 0
+	}
+	if g > 1 {
+		return 1
+	}
+	return g
+}
+
+// ProfileWeighted materializes the weighted consensus profile,
+// bit-identical to GroupProfileWeighted over the current members: same
+// validation, same weight normalization, same aggregator calls over the
+// same value order. Repeated calls reuse internal scratch — the member
+// profiles are never re-walked and nothing but the output allocates.
+func (inc *Incremental) ProfileWeighted(weights []float64) (*profile.Profile, error) {
+	m := inc.method
+	if m.WPref == nil {
+		return nil, fmt.Errorf("consensus %q: no weighted preference aggregator", m.Name)
+	}
+	if m.W1 < 1 && m.WDis == nil {
+		return nil, fmt.Errorf("consensus %q: w1 < 1 requires a weighted disagreement aggregator", m.Name)
+	}
+	if len(weights) != inc.n {
+		return nil, fmt.Errorf("consensus: %d weights for %d members", len(weights), inc.n)
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("consensus: invalid weight %v for member %d", w, i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("consensus: all member weights are zero")
+	}
+
+	inc.activeIdx = inc.activeIdx[:0]
+	inc.wts = inc.wts[:0]
+	for i, w := range weights {
+		if w > 0 {
+			inc.activeIdx = append(inc.activeIdx, i)
+			inc.wts = append(inc.wts, w/total)
+		}
+	}
+	if cap(inc.gather) < len(inc.activeIdx) {
+		inc.gather = make([]float64, len(inc.activeIdx))
+	}
+	values := inc.gather[:len(inc.activeIdx)]
+
+	out := profile.New(inc.schema)
+	for _, c := range poi.Categories {
+		dim := inc.schema.Dim(c)
+		gv := make(vec.Vector, dim)
+		for j := 0; j < dim; j++ {
+			col := inc.cols[c][j]
+			for vi, mi := range inc.activeIdx {
+				values[vi] = col[mi]
+			}
+			p := m.WPref(values, inc.wts)
+			gj := p
+			if m.W1 < 1 {
+				d := m.WDis(values, inc.wts)
+				gj = m.W1*p + (1-m.W1)*(1-d)
+			}
+			gv[j] = clamp01(gj)
+		}
+		if err := out.SetVector(c, gv); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package consensus
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"grouptravel/internal/profile"
+	"grouptravel/internal/rng"
+)
+
+// TestIncrementalEquivalence drives a randomized join/leave/weight-change
+// sequence and demands the incremental profile be reflect.DeepEqual — i.e.
+// bit-identical, not merely within epsilon — to a full GroupProfile /
+// GroupProfileWeighted recompute over the same members at every step, for
+// every built-in method.
+func TestIncrementalEquivalence(t *testing.T) {
+	schema := testSchema()
+	src := rng.New(42)
+	rnd := rand.New(rand.NewSource(1))
+
+	for _, m := range ExtendedMethods {
+		t.Run(m.Name, func(t *testing.T) {
+			inc, err := NewIncremental(schema, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var members []*profile.Profile
+			pool := make([]*profile.Profile, 40)
+			for i := range pool {
+				pool[i] = profile.GenerateRandomProfile(schema, src)
+			}
+
+			check := func(step int) {
+				if len(members) == 0 {
+					if _, err := inc.Profile(); err == nil {
+						t.Fatalf("step %d: Profile() on empty group should fail", step)
+					}
+					return
+				}
+				g, err := profile.NewGroup(schema, members)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := GroupProfile(g, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := inc.Profile()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("step %d (n=%d): incremental profile diverged from full recompute", step, len(members))
+				}
+
+				// Weighted path, when the method supports it: random
+				// weights including occasional zeros (dropped members).
+				if m.WPref != nil && (m.W1 >= 1 || m.WDis != nil) {
+					weights := make([]float64, len(members))
+					nonzero := false
+					for i := range weights {
+						if rnd.Intn(4) == 0 {
+							weights[i] = 0
+						} else {
+							weights[i] = rnd.Float64()*2 + 0.1
+							nonzero = true
+						}
+					}
+					if !nonzero {
+						weights[0] = 1
+					}
+					wantW, err := GroupProfileWeighted(g, m, weights)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotW, err := inc.ProfileWeighted(weights)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(gotW, wantW) {
+						t.Fatalf("step %d (n=%d): weighted incremental profile diverged", step, len(members))
+					}
+				}
+			}
+
+			for step := 0; step < 200; step++ {
+				join := len(members) == 0 || (rnd.Intn(3) != 0 && len(members) < len(pool))
+				if join {
+					p := pool[rnd.Intn(len(pool))]
+					members = append(members, p)
+					if err := inc.Join(p); err != nil {
+						t.Fatalf("step %d: join: %v", step, err)
+					}
+				} else {
+					i := rnd.Intn(len(members))
+					members = append(members[:i], members[i+1:]...)
+					if err := inc.Leave(i); err != nil {
+						t.Fatalf("step %d: leave(%d): %v", step, i, err)
+					}
+				}
+				check(step)
+			}
+		})
+	}
+}
+
+// TestIncrementalErrors pins the aggregator's guard rails.
+func TestIncrementalErrors(t *testing.T) {
+	schema := testSchema()
+	if _, err := NewIncremental(nil, AveragePref); err == nil {
+		t.Fatal("nil schema accepted")
+	}
+	if _, err := NewIncremental(schema, Method{Name: "broken"}); err == nil {
+		t.Fatal("invalid method accepted")
+	}
+	inc, err := NewIncremental(schema, PairwiseDis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Join(nil); err == nil {
+		t.Fatal("nil member accepted")
+	}
+	if err := inc.Leave(0); err == nil {
+		t.Fatal("leave on empty group accepted")
+	}
+	src := rng.New(7)
+	p := profile.GenerateRandomProfile(schema, src)
+	if err := inc.Join(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.ProfileWeighted([]float64{1, 1}); err == nil {
+		t.Fatal("weight-count mismatch accepted")
+	}
+	if _, err := inc.ProfileWeighted([]float64{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := inc.ProfileWeighted([]float64{0}); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+}

@@ -96,9 +96,12 @@ func Cluster(points []geo.Point, norm geo.Normalizer, cfg Config) (*Result, erro
 	}
 
 	centroids := seedCentroids(points, cfg)
+	// One flat backing array for the whole membership matrix: n+1 small
+	// allocations become 2, and the rows sit contiguously in cache order.
 	weights := make([][]float64, n)
+	back := make([]float64, n*cfg.K)
 	for i := range weights {
-		weights[i] = make([]float64, cfg.K)
+		weights[i] = back[i*cfg.K : (i+1)*cfg.K : (i+1)*cfg.K]
 	}
 	power := 2 / (cfg.M - 1)
 	workers := cfg.effectiveWorkers(n)
@@ -206,10 +209,12 @@ func membershipRows(points []geo.Point, centroids []geo.Point, weights [][]float
 	for i := start; i < end; i++ {
 		p := points[i]
 		row := weights[i]
+		// Batched distance kernel: one deg2rad of p per row instead of one
+		// per (row, centroid) pair; bit-identical to the scalar calls.
+		norm.DistancesTo(d, p, centroids)
 		zeros := 0
-		for j, c := range centroids {
-			d[j] = norm.Distance(p, c)
-			if d[j] == 0 {
+		for _, v := range d {
+			if v == 0 {
 				zeros++
 			}
 		}

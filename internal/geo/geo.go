@@ -254,3 +254,33 @@ func (n Normalizer) Distance(a, b Point) float64 {
 
 // Max returns the normalization constant in km.
 func (n Normalizer) Max() float64 { return n.max }
+
+// DistancesTo fills dst[j] with Distance(p, centroids[j]) for every
+// centroid. It is the batched form of Distance for the FCM membership
+// loop: p's degree→radian conversion is hoisted out of the loop and the
+// slices are pre-clipped so the inner loop runs without bounds checks or
+// function-call overhead. Each dst[j] is bit-identical to the scalar
+// Distance call — the arithmetic is the same, merely hoisted.
+func (n Normalizer) DistancesTo(dst []float64, p Point, centroids []Point) {
+	if len(dst) != len(centroids) {
+		panic(fmt.Sprintf("geo: DistancesTo length mismatch %d vs %d", len(dst), len(centroids)))
+	}
+	if n.max <= 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	dst = dst[:len(centroids)]
+	la1, lo1 := deg2rad(p.Lat), deg2rad(p.Lon)
+	for j, c := range centroids {
+		la2, lo2 := deg2rad(c.Lat), deg2rad(c.Lon)
+		x := (lo2 - lo1) * math.Cos((la1+la2)/2)
+		y := la2 - la1
+		d := EarthRadiusKm * math.Sqrt(x*x+y*y) / n.max
+		if d > 1 {
+			d = 1
+		}
+		dst[j] = d
+	}
+}

@@ -1,0 +1,34 @@
+// Package pprofserve starts the net/http/pprof endpoints on a side
+// listener, so profiling never shares a port (or a handler namespace)
+// with the serving API. Both daemons wire it behind a -pprof flag; the
+// README's Performance section shows the capture commands.
+package pprofserve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Start serves the pprof index and profile endpoints on addr in a
+// background goroutine. An empty addr is a no-op. Errors from the
+// listener are reported through onErr (e.g. log.Fatal or log.Printf);
+// the caller decides whether a dead profiler kills the process.
+func Start(addr string, onErr func(error)) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			onErr(fmt.Errorf("pprof listener on %s: %w", addr, err))
+		}
+	}()
+}

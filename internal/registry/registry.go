@@ -61,6 +61,11 @@ type Options[S any] struct {
 	// Optional; the zero S is used when nil.
 	NewState func(c *City[S]) (S, error)
 
+	// OnLoad observes a city becoming resident, after it is visible to
+	// Loaded/Range; the registry does not hold its lock across the call.
+	// Listings that cache on a residency-sensitive version key rely on
+	// this ordering: the invalidation must follow the visibility flip.
+	OnLoad func(c *City[S])
 	// OnEvict observes a city leaving the registry (after it is already
 	// unreachable). Optional.
 	OnEvict func(c *City[S])
@@ -207,6 +212,9 @@ func (r *Registry[S]) Acquire(key string) (c *City[S], release func(), err error
 	e.loadNanos = loadNanos
 	r.mu.Unlock()
 	close(e.ready)
+	if r.opts.OnLoad != nil {
+		r.opts.OnLoad(e.city)
+	}
 	r.evictOverCap()
 	return e.city, func() { r.unpin(key, e) }, nil
 }

@@ -173,8 +173,12 @@ func (hf *healthFeed) getJSON(url string, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+		// Error bodies read into a stack scratch array: a down node is
+		// polled every interval, and the io.ReadAll garbage per failed
+		// poll adds up across a long outage.
+		var scratch [256]byte
+		n, _ := io.ReadFull(resp.Body, scratch[:])
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, scratch[:n])
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

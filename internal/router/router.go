@@ -357,11 +357,17 @@ func readRetryable(status int) bool {
 // silent double-apply is worse than a client-visible unknown.
 func (rt *Router) proxyMutation(sh *Shard, city string, w http.ResponseWriter, r *http.Request) {
 	rt.ctr.mutations.Add(1)
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBufferedBody+1))
-	if err != nil {
+	// The body buffers into pooled storage — it only needs to live until
+	// the last forward attempt below, so the buffer recycles per request
+	// instead of a fresh io.ReadAll allocation per mutation.
+	bodyBuf := bodyBufPool.Get().(*bytes.Buffer)
+	bodyBuf.Reset()
+	defer bodyBufPool.Put(bodyBuf)
+	if _, err := bodyBuf.ReadFrom(io.LimitReader(r.Body, maxBufferedBody+1)); err != nil {
 		writeErr(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
+	body := bodyBuf.Bytes()
 	if len(body) > maxBufferedBody {
 		writeErr(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxBufferedBody)
 		return
@@ -547,15 +553,35 @@ func (rt *Router) forward(base string, r *http.Request, body []byte) (*http.Resp
 	return rt.client.Do(req)
 }
 
-// relay copies a backend response to the client, stamping which shard
-// and backend served it.
+// copyBufPool feeds relay's io.CopyBuffer: one 32 KiB scratch buffer per
+// in-flight relay instead of the fresh buffer a bare io.Copy allocates
+// for every proxied response.
+var copyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 32*1024)
+	return &b
+}}
+
+// bodyBufPool recycles the buffers proxyMutation reads request bodies
+// into, replacing a per-mutation io.ReadAll allocation.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// relay streams a backend response to the client, stamping which shard
+// and backend served it. The copy runs over a pooled buffer and the
+// backend's Content-Length (when known) passes through, so a cached
+// byte-for-byte backend response relays without any allocation or
+// chunked re-framing on this hop.
 func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, shard, backend string) {
 	defer resp.Body.Close()
 	copyHeader(w.Header(), resp.Header)
 	w.Header().Set(HeaderShard, shard)
 	w.Header().Set(HeaderBackend, backend)
+	if resp.ContentLength >= 0 {
+		w.Header().Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
+	}
 	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	buf := copyBufPool.Get().(*[]byte)
+	_, _ = io.CopyBuffer(w, resp.Body, *buf)
+	copyBufPool.Put(buf)
 }
 
 // copyHeader copies all headers except hop-by-hop ones.

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// The byte-cache correctness suite. The cache's one invariant — a reader
+// can never observe bytes older than the last acknowledged mutation —
+// is exercised three ways: repeated identical reads must come back
+// byte-identical and counted as hits, a hammering concurrent reader pool
+// must never let a just-acknowledged op read back stale (run under
+// `make race`), and a follower applying shipped frames must invalidate
+// its own cache exactly like a primary commit does.
+
+// getBody fetches url and returns the raw bytes, demanding status 200
+// and a Content-Length header that matches the body (the zero-copy path
+// always knows its length up front).
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	if resp.ContentLength != int64(len(body)) {
+		t.Fatalf("GET %s: Content-Length %d, body %d bytes", url, resp.ContentLength, len(body))
+	}
+	return body
+}
+
+// TestByteCacheHitsAndInvalidation: repeated reads serve identical bytes
+// and count as hits; a mutation makes the next read re-render.
+func TestByteCacheHitsAndInvalidation(t *testing.T) {
+	ts := testServer(t)
+
+	first := getBody(t, ts.URL+"/api/city")
+	second := getBody(t, ts.URL+"/api/city")
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached /api/city bytes differ from the first render")
+	}
+
+	var health healthResponse
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &health)
+	var hits int64
+	for _, ch := range health.Cities {
+		hits += ch.ByteCache.Hits
+	}
+	if hits == 0 {
+		t.Fatal("second /api/city read did not count as a byte-cache hit")
+	}
+
+	gid := createGroup(t, ts, 3)
+	groupURL := fmt.Sprintf("%s/api/groups/%d", ts.URL, gid)
+	before := getBody(t, groupURL)
+	if !bytes.Equal(before, getBody(t, groupURL)) {
+		t.Fatal("cached group bytes differ from the first render")
+	}
+	// A mutation anywhere in the city bumps the version: the group read
+	// still re-renders to the same JSON (the group itself is unchanged),
+	// which is exactly the point — staleness is impossible, equal bytes
+	// are merely re-derived.
+	createPackage(t, ts, gid)
+	if !bytes.Equal(before, getBody(t, groupURL)) {
+		t.Fatal("group response changed across an unrelated mutation")
+	}
+}
+
+// itemCount totals the POIs across a package's days.
+func itemCount(p packageResponse) int {
+	n := 0
+	for _, d := range p.Days {
+		n += len(d.Items)
+	}
+	return n
+}
+
+// TestByteCacheReadAfterWriteNeverStale alternates remove/add ops on one
+// package while a pool of concurrent readers hammers the same read URL,
+// and after every acknowledged op demands the next read reflect it. The
+// readers keep racing cache fills against the mutations; under -race
+// (`make race`) this is also the cache's data-race proof.
+func TestByteCacheReadAfterWriteNeverStale(t *testing.T) {
+	ts := testServer(t)
+	gid := createGroup(t, ts, 3)
+	pkg := createPackage(t, ts, gid)
+	pkgURL := fmt.Sprintf("%s/api/packages/%d", ts.URL, pkg.ID)
+	opsURL := pkgURL + "/ops"
+	victim := pkg.Days[0].Items[0].ID
+	base := itemCount(pkg)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(pkgURL)
+				if err != nil {
+					return // server shutting down
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	for i := 0; i < 24; i++ {
+		op, want := "remove", base-1
+		if i%2 == 1 {
+			op, want = "add", base
+		}
+		doJSON(t, "POST", opsURL, opRequest{Member: 0, Op: op, CI: 0, POI: victim}, http.StatusOK, nil)
+		var cur packageResponse
+		doJSON(t, "GET", pkgURL, nil, http.StatusOK, &cur)
+		if got := itemCount(cur); got != want {
+			t.Fatalf("op %d (%s): read %d items immediately after the ack, want %d — stale cached bytes", i, op, got, want)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestByteCacheFollowerInvalidation: a follower fills its byte cache
+// serving a replicated package, then applies further shipped frames —
+// the next read on the follower must reflect them, exactly as a local
+// commit would have invalidated.
+func TestByteCacheFollowerInvalidation(t *testing.T) {
+	_, pts, f, fts := replicationPair(t,
+		Options{SnapshotDir: t.TempDir()},
+		Options{SnapshotDir: t.TempDir()})
+
+	city, key := mcCities[0], mcKeys[0]
+	gid, err := mcCreateGroup(pts, city, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkg packageResponse
+	if err := tryJSON(pts, "POST", pts.URL+"/cities/"+key+"/packages", createPackageRequest{
+		GroupID: gid, Consensus: "pairwise", K: 2,
+	}, http.StatusCreated, &pkg); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Follower().CatchUp(testTimeout()); err != nil {
+		t.Fatal(err)
+	}
+
+	pkgPath := fmt.Sprintf("/cities/%s/packages/%d", key, pkg.ID)
+	before := getBody(t, fts.URL+pkgPath)
+	if !bytes.Equal(before, getBody(t, fts.URL+pkgPath)) {
+		t.Fatal("follower cache served different bytes for identical reads")
+	}
+
+	victim := pkg.Days[0].Items[0].ID
+	if err := tryJSON(pts, "POST", pts.URL+pkgPath+"/ops", opRequest{
+		Member: 0, Op: "remove", CI: 0, POI: victim,
+	}, http.StatusOK, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Follower().CatchUp(testTimeout()); err != nil {
+		t.Fatal(err)
+	}
+
+	var got packageResponse
+	if err := tryJSON(fts, "GET", fts.URL+pkgPath, nil, http.StatusOK, &got); err != nil {
+		t.Fatal(err)
+	}
+	if want := itemCount(pkg) - 1; itemCount(got) != want {
+		t.Fatalf("follower read %d items after applying the remove, want %d — its byte cache kept stale bytes", itemCount(got), want)
+	}
+}

@@ -73,30 +73,77 @@ type cityState struct {
 	// replica is the follower-mode apply state (see follower.go); nil on
 	// primaries and set once at construction.
 	replica *replicaMirror
+
+	// cacheVersion numbers the city's mutation history for the rendered-
+	// byte cache (cache.go): seeded from appliedSeq at load and bumped
+	// after every applied mutation (primary commits, follower frame
+	// applies, snapshot handoffs). rcache holds the rendered bytes;
+	// fleetVersion points at the server-level /cities version so a city
+	// mutation also invalidates the fleet listing.
+	cacheVersion atomic.Int64
+	rcache       respCache
+	fleetVersion *atomic.Int64
 }
 
 // groupState is one registered group. group is immutable after creation;
-// mu guards the consensus-profile memo.
+// mu guards the consensus memos.
 type groupState struct {
 	group *profile.Group
 
 	mu       sync.Mutex
-	profiles map[string]*profile.Profile // consensus name -> aggregated profile
+	profiles map[string]*profile.Profile      // consensus name -> aggregated profile
+	aggs     map[string]*consensus.Incremental // consensus name -> incremental aggregator
+}
+
+// agg returns the group's incremental aggregator for the method, building
+// it on first use by joining every member. The aggregator caches the
+// member values column-wise, so subsequent profiles — weighted requests
+// in particular, which arrive with caller-specific weights and were
+// previously full recomputes walking every member profile — reuse the
+// cached columns and online sums. Callers hold gs.mu.
+func (gs *groupState) agg(name string, method consensus.Method) (*consensus.Incremental, error) {
+	if a, ok := gs.aggs[name]; ok {
+		return a, nil
+	}
+	a, err := consensus.NewIncremental(gs.group.Schema(), method)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range gs.group.Members {
+		if err := a.Join(m); err != nil {
+			return nil, err
+		}
+	}
+	if gs.aggs == nil {
+		gs.aggs = make(map[string]*consensus.Incremental)
+	}
+	gs.aggs[name] = a
+	return a, nil
 }
 
 // profileFor returns the group's aggregated profile under the named
-// consensus method, memoizing unweighted aggregations (weighted requests
-// are caller-specific and computed fresh).
+// consensus method, memoizing unweighted aggregations. Both paths run on
+// the incremental aggregator, which is pinned bit-identical to the
+// GroupProfile / GroupProfileWeighted full recomputes by the equivalence
+// test in internal/consensus.
 func (gs *groupState) profileFor(name string, method consensus.Method, weights []float64) (*profile.Profile, error) {
-	if len(weights) > 0 {
-		return consensus.GroupProfileWeighted(gs.group, method, weights)
-	}
 	gs.mu.Lock()
 	defer gs.mu.Unlock()
+	if len(weights) > 0 {
+		a, err := gs.agg(name, method)
+		if err != nil {
+			return nil, err
+		}
+		return a.ProfileWeighted(weights)
+	}
 	if gp, ok := gs.profiles[name]; ok {
 		return gp, nil
 	}
-	gp, err := consensus.GroupProfile(gs.group, method)
+	a, err := gs.agg(name, method)
+	if err != nil {
+		return nil, err
+	}
+	gp, err := a.Profile()
 	if err != nil {
 		return nil, err
 	}
@@ -132,6 +179,7 @@ func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) 
 		snapDir:      s.snapshotDir,
 		compactEvery: s.compactEvery,
 		compactBytes: s.compactBytes,
+		fleetVersion: &s.fleetVersion,
 	}
 	cs.persistErr.Store("")
 	// A city loaded after promotion is an ordinary read-write city; only
@@ -159,6 +207,10 @@ func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) 
 	}
 	wal.Seed(cs.replay.CurrentRecords, cs.replay.LastSeq)
 	cs.wal = wal
+	// Seed the byte-cache version from the recovered sequence so a
+	// reload after restart never resumes at a version an old cache entry
+	// could collide with.
+	cs.cacheVersion.Store(cs.replay.LastSeq)
 	cs.replayMillis = float64(time.Since(start)) / float64(time.Millisecond)
 	if st != nil {
 		cs.nextID = st.NextID
@@ -327,6 +379,11 @@ func (cs *cityState) commit(mutate func(logRec func(store.WALRecord))) int64 {
 	})
 	cs.persistMu.RUnlock()
 	if logged {
+		// Invalidate the byte caches strictly after the in-memory state
+		// change and strictly before the mutation is acknowledged: a
+		// reader arriving after this mutation's response can never hit
+		// bytes rendered before it (cache.go).
+		cs.bumpCacheVersion()
 		cs.maybeCompact()
 	}
 	return seq
@@ -442,6 +499,11 @@ func (cs *cityState) noteCompaction(at time.Time) {
 	cs.snapTime.Store(at.UnixNano())
 	cs.compactions.Add(1)
 	cs.persistErr.Store("")
+	// The /cities listing reports walBytes and snapshot age; a
+	// compaction changes both, so refresh the fleet-level cache.
+	if cs.fleetVersion != nil {
+		cs.fleetVersion.Add(1)
+	}
 }
 
 // handleEvict runs when the registry unloads the city (no in-flight
@@ -573,6 +635,11 @@ func (cs *cityState) health() cityHealth {
 		Packages:     packages,
 		BuildDedups:  cs.builds.dedups.Load(),
 		LastSnapshot: lastSnapshotString(cs.snapTime.Load()),
+		ByteCache: byteCacheHealth{
+			Hits:    cs.rcache.hits.Load(),
+			Misses:  cs.rcache.misses.Load(),
+			Entries: cs.rcache.size(),
+		},
 	}
 	if msg, _ := cs.persistErr.Load().(string); msg != "" {
 		h.PersistErr = msg

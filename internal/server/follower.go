@@ -90,14 +90,21 @@ func (cs *cityState) applyFrames(frames []store.WALFrame) (int64, error) {
 				// would skip it and silently lose the record. Latch.
 				err = merr
 				m.fault = fmt.Errorf("server: %q replication fault at seq %d: %w", cs.key, fr.Seq, merr)
-			} else if cs.wal != nil {
-				// Persistence failures never stall replication — the
-				// in-memory copy is committed; they surface on /healthz
-				// and veto eviction like any primary append failure.
-				if werr := cs.wal.AppendFrame(fr); werr != nil {
-					cs.persistErr.Store(werr.Error())
-				} else {
-					logged = true
+			} else {
+				// The serving registries changed: invalidate rendered
+				// bytes before the next frame (or reader) arrives, per
+				// frame — a reader racing the batch must never fill a
+				// pre-frame render under a post-frame version.
+				cs.bumpCacheVersion()
+				if cs.wal != nil {
+					// Persistence failures never stall replication — the
+					// in-memory copy is committed; they surface on /healthz
+					// and veto eviction like any primary append failure.
+					if werr := cs.wal.AppendFrame(fr); werr != nil {
+						cs.persistErr.Store(werr.Error())
+					} else {
+						logged = true
+					}
 				}
 			}
 		}
@@ -245,6 +252,8 @@ func (cs *cityState) applySnapshot(raw []byte) (int64, error) {
 	cs.mu.Lock()
 	cs.groups, cs.packages, cs.nextID = groups, packages, st.NextID
 	cs.mu.Unlock()
+	// The whole serving state just swapped — every rendered byte is void.
+	cs.bumpCacheVersion()
 	cs.persistMu.Unlock()
 	m.st, m.ap = mst, ap
 	m.fault = nil // the installed snapshot supersedes whatever was lost

@@ -54,20 +54,22 @@ type cityResponse struct {
 }
 
 func (cs *cityState) handleCity(w http.ResponseWriter, _ *http.Request) {
-	counts := cs.city.POIs.CategoryCounts()
-	resp := cityResponse{
-		Key:    cs.key,
-		Name:   cs.city.Name,
-		Counts: map[string]int{},
-		Schema: map[string][]string{},
-	}
-	for _, c := range poi.Categories {
-		resp.Counts[c.String()] = counts[c]
-		resp.Schema[c.String()] = cs.city.Schema.Labels(c)
-	}
-	b := cs.city.POIs.Bounds()
-	resp.Bounds = map[string]float64{"lat": b.Lat, "lon": b.Lon, "width": b.Width, "height": b.Height}
-	writeJSON(w, http.StatusOK, resp)
+	cs.serveCached(w, "city", http.StatusOK, func() any {
+		counts := cs.city.POIs.CategoryCounts()
+		resp := cityResponse{
+			Key:    cs.key,
+			Name:   cs.city.Name,
+			Counts: map[string]int{},
+			Schema: map[string][]string{},
+		}
+		for _, c := range poi.Categories {
+			resp.Counts[c.String()] = counts[c]
+			resp.Schema[c.String()] = cs.city.Schema.Labels(c)
+		}
+		b := cs.city.POIs.Bounds()
+		resp.Bounds = map[string]float64{"lat": b.Lat, "lon": b.Lon, "width": b.Width, "height": b.Height}
+		return resp
+	})
 }
 
 type poiResponse struct {
@@ -90,6 +92,20 @@ func toPOIResponse(p *poi.POI) poiResponse {
 // handlePOIs lists POIs, optionally filtered by category and/or nearest to
 // a point: .../pois?cat=rest&near=48.85,2.35&k=10
 func (cs *cityState) handlePOIs(w http.ResponseWriter, r *http.Request) {
+	// Cache check before any parsing: a current cached 200 for this exact
+	// query string proves an identical request already validated, so the
+	// hot path is a map hit plus one Write — no url.Values, no strconv.
+	// An unbounded query string would let clients mint cache keys at
+	// will; long queries are answered but never cached.
+	cacheable := len(r.URL.RawQuery) <= maxCacheKeyQuery
+	var key string
+	v := cs.cacheVersion.Load()
+	if cacheable {
+		key = "pois?" + r.URL.RawQuery
+		if cs.serveHit(w, key, v) {
+			return
+		}
+	}
 	q := r.URL.Query()
 	var cat *poi.Category
 	if cString := q.Get("cat"); cString != "" {
@@ -109,35 +125,48 @@ func (cs *cityState) handlePOIs(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	var out []poiResponse
+	var lat, lon float64
+	hasNear := false
 	if near := q.Get("near"); near != "" {
 		parts := strings.Split(near, ",")
 		if len(parts) != 2 {
 			writeErr(w, http.StatusBadRequest, "near must be lat,lon")
 			return
 		}
-		lat, err1 := strconv.ParseFloat(parts[0], 64)
-		lon, err2 := strconv.ParseFloat(parts[1], 64)
+		var err1, err2 error
+		lat, err1 = strconv.ParseFloat(parts[0], 64)
+		lon, err2 = strconv.ParseFloat(parts[1], 64)
 		if err1 != nil || err2 != nil {
 			writeErr(w, http.StatusBadRequest, "near must be lat,lon")
 			return
 		}
-		for _, p := range cs.city.POIs.Nearest(geo.Point{Lat: lat, Lon: lon}, k, cat, nil) {
-			out = append(out, toPOIResponse(p))
-		}
-	} else {
-		pois := cs.city.POIs.All()
-		if cat != nil {
-			pois = cs.city.POIs.ByCategory(*cat)
-		}
-		for i, p := range pois {
-			if i >= k {
-				break
-			}
-			out = append(out, toPOIResponse(p))
-		}
+		hasNear = true
 	}
-	writeJSON(w, http.StatusOK, out)
+	render := func() any {
+		var out []poiResponse
+		if hasNear {
+			for _, p := range cs.city.POIs.Nearest(geo.Point{Lat: lat, Lon: lon}, k, cat, nil) {
+				out = append(out, toPOIResponse(p))
+			}
+		} else {
+			pois := cs.city.POIs.All()
+			if cat != nil {
+				pois = cs.city.POIs.ByCategory(*cat)
+			}
+			for i, p := range pois {
+				if i >= k {
+					break
+				}
+				out = append(out, toPOIResponse(p))
+			}
+		}
+		return out
+	}
+	if !cacheable {
+		writeJSON(w, http.StatusOK, render())
+		return
+	}
+	cs.fillAndServe(w, key, v, http.StatusOK, render)
 }
 
 // --- groups ---
@@ -234,8 +263,10 @@ func (cs *cityState) handleGetGroup(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, groupResponse{
-		ID: id, Size: gs.group.Size(), Uniformity: gs.group.Uniformity(), MedianUser: gs.group.MedianUser(),
+	cs.serveCached(w, "grp/"+r.PathValue("id"), http.StatusOK, func() any {
+		return groupResponse{
+			ID: id, Size: gs.group.Size(), Uniformity: gs.group.Uniformity(), MedianUser: gs.group.MedianUser(),
+		}
 	})
 }
 
@@ -425,10 +456,15 @@ func (cs *cityState) handleGetPackage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	routes := r.URL.Query().Get("routes") == "1"
-	ps.mu.Lock()
-	resp := cs.renderPackage(id, ps, routes)
-	ps.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+	key := "pkg/" + r.PathValue("id")
+	if routes {
+		key += "/r"
+	}
+	cs.serveCached(w, key, http.StatusOK, func() any {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		return cs.renderPackage(id, ps, routes)
+	})
 }
 
 // --- customization operators ---

@@ -55,6 +55,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -159,6 +160,14 @@ type Server struct {
 	// caught-up followers polling cold cities cost three stats, not a
 	// snapshot parse. Entries self-invalidate via file signatures.
 	coldHeads sync.Map // city key -> coldHead
+
+	// fleetVersion numbers every event that can change the GET /cities
+	// listing — commits, frame applies, compactions, loads, evictions,
+	// cold-head refreshes — and citiesCache serves the rendered listing
+	// while the version holds (see cache.go). Routers poll /cities on
+	// their health loop, making it the hottest read on the server.
+	fleetVersion atomic.Int64
+	citiesCache  fleetCache
 }
 
 // New builds a single-city server with no persistence — the original
@@ -287,9 +296,16 @@ func NewMultiCity(opts Options) (*Server, error) {
 		// keeps the failure recoverable instead of silently dropping
 		// groups/packages.
 		Evictable: func(c *registry.City[*cityState]) bool { return c.State.evictionSafe() },
+		// Residency flips invalidate the cached /cities listing; both
+		// hooks run after the flip is visible, so a fresh render always
+		// observes the new residency.
+		OnLoad: func(*registry.City[*cityState]) { s.fleetVersion.Add(1) },
 		// A clean eviction compacts the city's log into its snapshot and
 		// closes the log's file handle.
-		OnEvict:        func(c *registry.City[*cityState]) { c.State.handleEvict() },
+		OnEvict: func(c *registry.City[*cityState]) {
+			c.State.handleEvict()
+			s.fleetVersion.Add(1)
+		},
 		MaxCities:      opts.MaxCities,
 		EngineCacheCap: opts.EngineCacheCap,
 	})
@@ -410,10 +426,18 @@ func (s *Server) withCity(h func(cs *cityState, w http.ResponseWriter, r *http.R
 
 // --- helpers ---
 
+// writeJSON renders v through a pooled buffer (no per-request encoder
+// allocation) and writes it with Content-Length set. The rendered bytes
+// are identical to json.Encoder output (trailing newline included), so
+// cached and uncached responses are indistinguishable on the wire.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	_ = json.NewEncoder(buf).Encode(v)
+	writeRawJSON(w, status, buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		jsonBufPool.Put(buf)
+	}
 }
 
 type apiError struct {
@@ -434,6 +458,7 @@ type cityHealth struct {
 	BuildDedups  int64           `json:"buildDedups"`            // builds served from an identical in-flight request
 	LastSnapshot string          `json:"lastSnapshot,omitempty"` // RFC3339; empty when never compacted
 	PersistErr   string          `json:"persistenceError,omitempty"`
+	ByteCache    byteCacheHealth `json:"byteCache"` // rendered-response cache (cache.go)
 	WAL          *walHealth      `json:"wal,omitempty"`
 	// Replication is the follower's position against the primary for this
 	// city: replicaLag in records and bytes, handoff/retry counters, and
@@ -518,6 +543,14 @@ type citySummary struct {
 }
 
 func (s *Server) handleCities(w http.ResponseWriter, _ *http.Request) {
+	// Version captured before the listing is assembled: an event landing
+	// mid-render bumps the version and keeps the stale render out of the
+	// cache (it is still a correct response for its moment in time).
+	v := s.fleetVersion.Load()
+	if body, ok := s.citiesCache.get(v); ok {
+		writeRawJSON(w, http.StatusOK, body)
+		return
+	}
 	walBytes := map[string]int64{}
 	applied := map[string]int64{}
 	s.reg.Range(func(c *registry.City[*cityState]) {
@@ -546,7 +579,9 @@ func (s *Server) handleCities(w http.ResponseWriter, _ *http.Request) {
 			AppliedSeq: seq,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	body := renderJSON(out)
+	s.citiesCache.put(v, body)
+	writeRawJSON(w, http.StatusOK, body)
 }
 
 // lastSnapshotString formats a snapshot instant for health reports.

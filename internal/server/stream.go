@@ -82,6 +82,8 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 	// The signature was taken before the read: if the files changed in
 	// between, the stale signature just misses the cache next poll.
 	s.coldHeads.Store(key, coldHead{sig: sig, last: batch.PrimarySeq, walBytes: batch.PrimaryWALBytes})
+	// The /cities listing reports cold heads; refresh its cache.
+	s.fleetVersion.Add(1)
 }
 
 // coldHead caches the last-served head of a non-resident city, keyed by

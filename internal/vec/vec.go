@@ -28,6 +28,7 @@ func Dot(a, b Vector) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: Dot dimension mismatch %d vs %d", len(a), len(b)))
 	}
+	b = b[:len(a)] // bounds-check elimination for b[i] below
 	s := 0.0
 	for i := range a {
 		s += a[i] * b[i]
@@ -72,12 +73,50 @@ func Cosine(a, b Vector) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: Cosine dimension mismatch %d vs %d", len(a), len(b)))
 	}
-	na, nb := a.Norm(), b.Norm()
+	b = b[:len(a)] // bounds-check elimination for b[i] below
+	var dot, na2, nb2 float64
+	for i, x := range a {
+		y := b[i]
+		dot += x * y
+		na2 += x * x
+		nb2 += y * y
+	}
+	na, nb := math.Sqrt(na2), math.Sqrt(nb2)
 	if na == 0 || nb == 0 {
 		return 0
 	}
-	c := Dot(a, b) / (na * nb)
+	c := dot / (na * nb)
 	// Guard against floating-point drift outside [−1, 1].
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// CosineNormB is Cosine(a, b) for callers that already know nb = b.Norm():
+// the norm of a and the dot product come out of one fused pass over a, and
+// the repeated O(dim) walk of b is skipped entirely. Scoring loops that pit
+// many items against one group vector hoist the group norm and call this.
+// Bit-identical to Cosine(a, b) whenever nb == b.Norm(): the accumulators
+// fold in the same order, they are merely interleaved in one loop.
+func CosineNormB(a, b Vector, nb float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Cosine dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	b = b[:len(a)]
+	var dot, na2 float64
+	for i, x := range a {
+		dot += x * b[i]
+		na2 += x * x
+	}
+	na := math.Sqrt(na2)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := dot / (na * nb)
 	if c > 1 {
 		c = 1
 	}
@@ -92,6 +131,7 @@ func Add(a, b Vector) Vector {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: Add dimension mismatch %d vs %d", len(a), len(b)))
 	}
+	b = b[:len(a)]
 	out := make(Vector, len(a))
 	for i := range a {
 		out[i] = a[i] + b[i]
@@ -105,6 +145,7 @@ func Sub(a, b Vector) Vector {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: Sub dimension mismatch %d vs %d", len(a), len(b)))
 	}
+	b = b[:len(a)]
 	out := make(Vector, len(a))
 	for i := range a {
 		out[i] = a[i] - b[i]
