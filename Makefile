@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench benchfull ci
+.PHONY: all build vet test race bench benchfull benchcompare ci
 
 all: ci
 
@@ -26,16 +26,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Smoke check: run every Benchmark* exactly once so the bench harness
-# (package-build scaling, server + multi-city throughput, log-shipping
-# apply rate, paper tables) cannot bit-rot unnoticed, and convert the
-# output into the machine-readable BENCH_$(BENCH_GEN).json trajectory
-# file (benchmark -> ns/op, B/op, allocs/op). `make benchfull` takes
-# real measurements and rewrites the same file.
-BENCH_GEN ?= 6
+# Smoke check: run every Benchmark* a handful of times so the bench
+# harness (package-build scaling, server + multi-city throughput,
+# log-shipping apply rate, paper tables) cannot bit-rot unnoticed, and
+# convert the output into the machine-readable BENCH_$(BENCH_GEN).json
+# trajectory file (benchmark -> ns/op, B/op, allocs/op, stamped with
+# commit/date/go version). 3 iterations, not 1: a single iteration
+# records cold caches and makes the recorded number useless as a
+# baseline. `make benchfull` takes real measurements and rewrites the
+# same file. `make benchcompare` gates the fresh file against the
+# previous generation's committed baseline: drift beyond 15% is printed
+# as a warning (smoke runs are noisy), growth beyond 2x fails.
+BENCH_GEN ?= 7
+BENCH_BASE ?= BENCH_6.json
 
 bench:
-	$(GO) test -bench . -benchtime=1x -benchmem -run XXX . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) test -bench . -benchtime=3x -benchmem -run XXX . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	$(GO) run ./cmd/benchjson -o BENCH_$(BENCH_GEN).json < bench.out
 	@rm -f bench.out
 
@@ -43,5 +49,9 @@ benchfull:
 	$(GO) test -bench . -benchmem -run XXX . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	$(GO) run ./cmd/benchjson -o BENCH_$(BENCH_GEN).json < bench.out
 	@rm -f bench.out
+
+benchcompare:
+	-$(GO) run ./cmd/benchjson -compare -tolerance 15 $(BENCH_BASE) BENCH_$(BENCH_GEN).json
+	$(GO) run ./cmd/benchjson -compare -tolerance 100 $(BENCH_BASE) BENCH_$(BENCH_GEN).json
 
 ci: vet build race

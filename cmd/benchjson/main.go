@@ -1,12 +1,19 @@
 // Command benchjson converts `go test -bench -benchmem` output on stdin
 // into the machine-readable BENCH_<n>.json trajectory file: a JSON object
 // mapping each benchmark name (GOMAXPROCS suffix stripped) to its ns/op,
-// B/op and allocs/op. Input lines pass through to stdout unchanged, so
-// the converter can sit at the end of a pipe without hiding the run.
+// B/op and allocs/op, stamped with the commit, date, and Go version the
+// numbers were measured at (the "_meta" key). Input lines pass through to
+// stdout unchanged, so the converter can sit at the end of a pipe without
+// hiding the run.
 //
 // Usage:
 //
-//	go test -bench . -benchmem -run XXX . | go run ./cmd/benchjson -o BENCH_6.json
+//	go test -bench . -benchmem -run XXX . | go run ./cmd/benchjson -o BENCH_7.json
+//
+// Compare mode diffs two trajectory files and exits non-zero when any
+// benchmark's ns/op grew beyond the tolerance — the CI regression gate:
+//
+//	go run ./cmd/benchjson -compare -tolerance 15 BENCH_6.json BENCH_7.json
 package main
 
 import (
@@ -16,9 +23,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // metrics is one benchmark's measured triple. Unmeasured fields stay 0
@@ -29,9 +39,34 @@ type metrics struct {
 	AllocsPerOp float64 `json:"allocs/op"`
 }
 
+// meta stamps a trajectory file with its provenance, so a committed
+// BENCH_*.json answers "measured where, when, with what toolchain"
+// without archaeology through git blame.
+type meta struct {
+	Commit string `json:"commit,omitempty"`
+	Date   string `json:"date"`
+	Go     string `json:"go"`
+}
+
+// metaKey sorts before every Benchmark* name, keeping the stamp at the
+// top of the committed file.
+const metaKey = "_meta"
+
 func main() {
 	out := flag.String("o", "", "write the JSON trajectory here (default stdout only)")
+	compare := flag.Bool("compare", false, "diff two trajectory files (old new); exit 1 on ns/op regressions beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 15, "with -compare: percent ns/op growth allowed before a regression is reported")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("benchjson: -compare wants exactly two files: old.json new.json (flags go first)")
+		}
+		if !runCompare(flag.Arg(0), flag.Arg(1), *tolerance) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	results := map[string]metrics{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -50,7 +85,7 @@ func main() {
 	if len(results) == 0 {
 		log.Fatal("benchjson: no benchmark result lines on stdin")
 	}
-	body, err := marshalSorted(results)
+	body, err := marshalSorted(results, stamp())
 	if err != nil {
 		log.Fatalf("benchjson: %v", err)
 	}
@@ -62,6 +97,19 @@ func main() {
 		log.Fatalf("benchjson: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(results), *out)
+}
+
+// stamp collects the provenance triple. The commit is best-effort — a
+// tarball build without git still gets date + toolchain.
+func stamp() meta {
+	m := meta{
+		Date: time.Now().UTC().Format(time.RFC3339),
+		Go:   runtime.Version(),
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		m.Commit = strings.TrimSpace(string(out))
+	}
+	return m
 }
 
 // parseLine extracts one `BenchmarkX-8  N  12.3 ns/op  4 B/op  5 allocs/op`
@@ -100,9 +148,9 @@ func parseLine(line string) (string, metrics, bool) {
 	return name, m, true
 }
 
-// marshalSorted renders the map with sorted keys and a trailing newline —
-// a stable diff when the trajectory file is committed.
-func marshalSorted(results map[string]metrics) ([]byte, error) {
+// marshalSorted renders the map with the meta stamp first and sorted
+// benchmark keys after — a stable diff when the file is committed.
+func marshalSorted(results map[string]metrics, st meta) ([]byte, error) {
 	keys := make([]string, 0, len(results))
 	for k := range results {
 		keys = append(keys, k)
@@ -110,6 +158,11 @@ func marshalSorted(results map[string]metrics) ([]byte, error) {
 	sort.Strings(keys)
 	var b strings.Builder
 	b.WriteString("{\n")
+	metaRow, err := json.Marshal(st)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "  %q: %s,\n", metaKey, metaRow)
 	for i, k := range keys {
 		row, err := json.Marshal(results[k])
 		if err != nil {
@@ -123,4 +176,78 @@ func marshalSorted(results map[string]metrics) ([]byte, error) {
 	}
 	b.WriteString("}\n")
 	return []byte(b.String()), nil
+}
+
+// loadTrajectory reads a BENCH_*.json, skipping the meta stamp (and any
+// future non-benchmark key, which never starts with "Benchmark").
+func loadTrajectory(path string) (map[string]metrics, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]metrics, len(rows))
+	for name, row := range rows {
+		if !strings.HasPrefix(name, "Benchmark") {
+			continue
+		}
+		var m metrics
+		if err := json.Unmarshal(row, &m); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", path, name, err)
+		}
+		out[name] = m
+	}
+	return out, nil
+}
+
+// runCompare diffs old -> new ns/op per benchmark and reports true when
+// no regression exceeds tolerance percent. Benchmarks present on only one
+// side are noted but never fail the gate — suites legitimately grow and
+// retire — and a zero old measurement cannot be regressed against.
+func runCompare(oldPath, newPath string, tolerance float64) bool {
+	oldRes, err := loadTrajectory(oldPath)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	newRes, err := loadTrajectory(newPath)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ok := true
+	compared := 0
+	for _, name := range names {
+		o, present := oldRes[name]
+		if !present {
+			fmt.Printf("new       %-48s %12.1f ns/op (no baseline)\n", name, newRes[name].NsPerOp)
+			continue
+		}
+		n := newRes[name]
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		if pct > tolerance {
+			fmt.Printf("REGRESSED %-48s %12.1f -> %12.1f ns/op (%+.1f%% > %.0f%%)\n",
+				name, o.NsPerOp, n.NsPerOp, pct, tolerance)
+			ok = false
+		}
+	}
+	for name := range oldRes {
+		if _, present := newRes[name]; !present {
+			fmt.Printf("gone      %-48s (in %s only)\n", name, oldPath)
+		}
+	}
+	if ok {
+		fmt.Printf("benchjson: %d benchmarks within %.0f%% of %s\n", compared, tolerance, oldPath)
+	}
+	return ok
 }

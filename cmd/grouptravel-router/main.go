@@ -38,11 +38,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
 	"grouptravel/internal/pprofserve"
 	"grouptravel/internal/router"
+	"grouptravel/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +54,8 @@ func main() {
 	shedLag := flag.Int64("shed-lag", 0, "shed a follower from token-less reads when it lags the primary by more than this many records (0: default 1024, <0: never)")
 	maxSessions := flag.Int("max-sessions", 0, "read-your-writes session table bound (0: default 65536)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6061; empty: off)")
+	logFormat := flag.String("log-format", "off", `structured request log: "json", "text", or "off"`)
+	logLevel := flag.String("log-level", "info", "minimum request-log level (debug, info, warn, error)")
 	flag.Parse()
 
 	if *topoPath == "" {
@@ -61,11 +65,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	accessLog, err := telemetry.NewAccessLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rt, err := router.New(router.Options{
 		Topology:     topo,
 		PollInterval: *poll,
 		ShedLag:      *shedLag,
 		MaxSessions:  *maxSessions,
+		AccessLog:    accessLog,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -51,6 +51,7 @@ import (
 	"grouptravel/internal/pprofserve"
 	"grouptravel/internal/server"
 	"grouptravel/internal/store"
+	"grouptravel/internal/telemetry"
 )
 
 func main() {
@@ -70,9 +71,15 @@ func main() {
 	promote := flag.Bool("promote", false, "with -follow: start promoted — serve read-write from the follower's local state (failover boot)")
 	addr := flag.String("addr", ":8080", "listen address")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty: off)")
+	logFormat := flag.String("log-format", "off", `structured request log: "json", "text", or "off"`)
+	logLevel := flag.String("log-level", "info", "minimum request-log level (debug, info, warn, error)")
 	flag.Parse()
 
 	syncPolicy, err := store.ParseWALSync(*walSync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accessLog, err := telemetry.NewAccessLogger(os.Stderr, *logFormat, *logLevel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,6 +98,7 @@ func main() {
 		Follow:         *follow,
 		FollowPoll:     *followPoll,
 		Advertise:      *advertise,
+		AccessLog:      accessLog,
 	}
 	if *preload != "" {
 		for _, key := range strings.Split(*preload, ",") {

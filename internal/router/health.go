@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"grouptravel/internal/telemetry"
 )
 
 // healthPollTimeout bounds one node's health poll regardless of the
@@ -61,6 +63,12 @@ type healthFeed struct {
 	client   *http.Client
 	urls     []string
 	interval time.Duration
+
+	// Scrape instruments, attached once by instrument (telemetry.go) and
+	// read-only afterwards; nil maps (uninstrumented feeds in tests) index
+	// to nil metrics, whose methods are no-ops.
+	pollLat map[string]*telemetry.Histogram
+	nodeUp  map[string]*telemetry.Gauge
 
 	mu    sync.RWMutex
 	views map[string]*NodeView
@@ -130,11 +138,18 @@ func (hf *healthFeed) pollAll() {
 // positions. A failure marks the view unhealthy but keeps the last known
 // sequences — they are still the best lower bound the router has.
 func (hf *healthFeed) poll(url string) {
+	start := time.Now()
 	var h nodeHealthz
 	err := hf.getJSON(url+"/healthz", &h)
 	var rows []nodeCityRow
 	if err == nil {
 		err = hf.getJSON(url+"/cities", &rows)
+	}
+	hf.pollLat[url].ObserveSince(start)
+	if err != nil {
+		hf.nodeUp[url].Set(0)
+	} else {
+		hf.nodeUp[url].Set(1)
 	}
 	hf.mu.Lock()
 	defer hf.mu.Unlock()

@@ -33,14 +33,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"grouptravel/internal/telemetry"
 )
 
 // Protocol headers. The X-GT-City/X-GT-Seq commit token and the
@@ -91,32 +93,40 @@ type Options struct {
 	MaxSessions int
 	// HTTP overrides the backend transport; a 30s-timeout client when nil.
 	HTTP *http.Client
+	// AccessLog, when set, receives one structured record per routed
+	// request (request id, endpoint class, city, shard, backend, status,
+	// duration). Nil disables access logging.
+	AccessLog *slog.Logger
 }
 
-// counters are the router's routing telemetry, surfaced on /healthz —
-// the observable proof of where traffic actually went.
+// counters are the router's routing telemetry, surfaced on /healthz and
+// /metrics (same registry-backed series, see telemetry.go) — the
+// observable proof of where traffic actually went.
 type counters struct {
-	readsTotal         atomic.Int64
-	readsPrimary       atomic.Int64
-	readsFollower      atomic.Int64
-	readsPinned        atomic.Int64
-	readFailovers      atomic.Int64
-	followersShed      atomic.Int64
-	mutations          atomic.Int64
-	mutationRetries403 atomic.Int64
-	mutationFailovers  atomic.Int64
+	readsTotal         *telemetry.Counter
+	readsPrimary       *telemetry.Counter
+	readsFollower      *telemetry.Counter
+	readsPinned        *telemetry.Counter
+	readFailovers      *telemetry.Counter
+	followersShed      *telemetry.Counter
+	mutations          *telemetry.Counter
+	mutationRetries403 *telemetry.Counter
+	mutationFailovers  *telemetry.Counter
 }
 
 // Router is the front-tier proxy. Construct with New, serve Handler.
 type Router struct {
-	topo     *Topology
-	ring     *Ring
-	shards   map[string]*Shard
-	health   *healthFeed
-	sessions *sessionTable
-	client   *http.Client
-	shedLag  int64
-	ctr      counters
+	topo      *Topology
+	ring      *Ring
+	shards    map[string]*Shard
+	health    *healthFeed
+	sessions  *sessionTable
+	client    *http.Client
+	shedLag   int64
+	ctr       counters
+	metrics   *telemetry.Registry
+	httpM     *telemetry.HTTPMetrics
+	accessLog *slog.Logger
 }
 
 var defaultProxyClient = &http.Client{Timeout: 30 * time.Second}
@@ -156,15 +166,23 @@ func New(opts Options) (*Router, error) {
 	if maxSessions <= 0 {
 		maxSessions = DefaultMaxSessions
 	}
+	reg := telemetry.NewRegistry()
 	rt := &Router{
-		topo:     opts.Topology,
-		ring:     ring,
-		shards:   shards,
-		health:   newHealthFeed(opts.Topology.nodeURLs(), client, interval),
-		sessions: newSessionTable(maxSessions),
-		client:   client,
-		shedLag:  shedLag,
+		topo:      opts.Topology,
+		ring:      ring,
+		shards:    shards,
+		health:    newHealthFeed(opts.Topology.nodeURLs(), client, interval),
+		sessions:  newSessionTable(maxSessions),
+		client:    client,
+		shedLag:   shedLag,
+		ctr:       newCounters(reg),
+		metrics:   reg,
+		httpM:     telemetry.NewHTTPMetrics(reg),
+		accessLog: opts.AccessLog,
 	}
+	rt.health.instrument(reg)
+	reg.GaugeFunc("gt_router_sessions", "Read-your-writes sessions tracked.",
+		func() float64 { return float64(rt.sessions.len()) })
 	rt.health.start()
 	return rt, nil
 }
@@ -180,14 +198,20 @@ func (rt *Router) Close() { rt.health.stopPolling() }
 func (rt *Router) Ring() *Ring { return rt.ring }
 
 // Handler returns the router's HTTP handler: the backend's /cities tree,
-// routed per city key, plus the router's own /healthz.
+// routed per city key, plus the router's own /healthz and /metrics. The
+// whole mux runs under the telemetry middleware with Mint on: the router
+// is where a request enters the fleet, so it mints X-GT-Request-Id
+// (honoring a caller-supplied one) and forward's copyHeader relays it
+// across every proxy, 403-retry, and failover hop to the shard.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	mux.Handle("GET /metrics", rt.metrics.Handler())
 	mux.HandleFunc("GET /cities", rt.handleCities)
 	mux.HandleFunc("/cities/{city}", rt.handleCityRoute)
 	mux.HandleFunc("/cities/{city}/{rest...}", rt.handleCityRoute)
-	return mux
+	mw := &telemetry.Middleware{Metrics: rt.httpM, Log: rt.accessLog, Mint: true}
+	return mw.Wrap(mux)
 }
 
 // handleCityRoute proxies one city-scoped request to its shard.
@@ -210,10 +234,10 @@ func (rt *Router) handleCityRoute(w http.ResponseWriter, r *http.Request) {
 // down the candidate list on connection errors and retryable statuses.
 // rest is the city-relative route ("" for the city-info endpoint).
 func (rt *Router) proxyRead(sh *Shard, city, rest string, w http.ResponseWriter, r *http.Request) {
-	rt.ctr.readsTotal.Add(1)
+	rt.ctr.readsTotal.Inc()
 	minSeq := rt.readFloor(city, r)
 	if minSeq > 0 {
-		rt.ctr.readsPinned.Add(1)
+		rt.ctr.readsPinned.Inc()
 	}
 	primary := rt.primaryOf(sh)
 	var cands []string
@@ -237,14 +261,14 @@ func (rt *Router) proxyRead(sh *Shard, city, rest string, w http.ResponseWriter,
 				drain(resp)
 			}
 			if i < len(cands)-1 {
-				rt.ctr.readFailovers.Add(1)
+				rt.ctr.readFailovers.Inc()
 			}
 			continue
 		}
 		if node == primary {
-			rt.ctr.readsPrimary.Add(1)
+			rt.ctr.readsPrimary.Inc()
 		} else {
-			rt.ctr.readsFollower.Add(1)
+			rt.ctr.readsFollower.Inc()
 		}
 		rt.relay(w, resp, sh.Name, node)
 		return
@@ -300,7 +324,7 @@ func (rt *Router) readCandidates(sh *Shard, city, primary string, minSeq int64) 
 			continue // behind the session's write: would serve pre-write state
 		}
 		if minSeq == 0 && rt.shedLag > 0 && primarySeq > 0 && primarySeq-seq > rt.shedLag {
-			rt.ctr.followersShed.Add(1)
+			rt.ctr.followersShed.Inc()
 			continue
 		}
 		followers = append(followers, cand{url: n, seq: seq})
@@ -356,7 +380,7 @@ func readRetryable(status int) bool {
 // have committed — and is answered 502 rather than re-sent, because a
 // silent double-apply is worse than a client-visible unknown.
 func (rt *Router) proxyMutation(sh *Shard, city string, w http.ResponseWriter, r *http.Request) {
-	rt.ctr.mutations.Add(1)
+	rt.ctr.mutations.Inc()
 	// The body buffers into pooled storage — it only needs to live until
 	// the last forward attempt below, so the buffer recycles per request
 	// instead of a fresh io.ReadAll allocation per mutation.
@@ -408,12 +432,12 @@ func (rt *Router) proxyMutation(sh *Shard, city string, w http.ResponseWriter, r
 					"mutation to %s failed mid-flight (it may or may not have committed): %v", node, err)
 				return true
 			}
-			rt.ctr.mutationFailovers.Add(1)
+			rt.ctr.mutationFailovers.Inc()
 			return false
 		}
 		if resp.StatusCode >= http.StatusInternalServerError {
 			drain(resp)
-			rt.ctr.mutationFailovers.Add(1)
+			rt.ctr.mutationFailovers.Inc()
 			return false
 		}
 		if resp.StatusCode == http.StatusForbidden {
@@ -427,7 +451,7 @@ func (rt *Router) proxyMutation(sh *Shard, city string, w http.ResponseWriter, r
 				drain(resp)
 			}
 			if target := rt.resolveNode(sh, hint); target != "" && !tried[target] {
-				rt.ctr.mutationRetries403.Add(1)
+				rt.ctr.mutationRetries403.Inc()
 				return attempt(target)
 			}
 			return false
@@ -712,15 +736,15 @@ func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Shards:       make(map[string][]NodeView, len(rt.shards)),
 		Sessions:     rt.sessions.len(),
 		Counters: countersJSON{
-			ReadsTotal:         rt.ctr.readsTotal.Load(),
-			ReadsPrimary:       rt.ctr.readsPrimary.Load(),
-			ReadsFollower:      rt.ctr.readsFollower.Load(),
-			ReadsPinned:        rt.ctr.readsPinned.Load(),
-			ReadFailovers:      rt.ctr.readFailovers.Load(),
-			FollowersShed:      rt.ctr.followersShed.Load(),
-			Mutations:          rt.ctr.mutations.Load(),
-			MutationRetries403: rt.ctr.mutationRetries403.Load(),
-			MutationFailovers:  rt.ctr.mutationFailovers.Load(),
+			ReadsTotal:         rt.ctr.readsTotal.Value(),
+			ReadsPrimary:       rt.ctr.readsPrimary.Value(),
+			ReadsFollower:      rt.ctr.readsFollower.Value(),
+			ReadsPinned:        rt.ctr.readsPinned.Value(),
+			ReadFailovers:      rt.ctr.readFailovers.Value(),
+			FollowersShed:      rt.ctr.followersShed.Value(),
+			Mutations:          rt.ctr.mutations.Value(),
+			MutationRetries403: rt.ctr.mutationRetries403.Value(),
+			MutationFailovers:  rt.ctr.mutationFailovers.Value(),
 		},
 	}
 	for name, sh := range rt.shards {

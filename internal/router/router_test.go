@@ -191,7 +191,7 @@ func TestMutationRetriedAtPrimaryOn403(t *testing.T) {
 	if got := hdr.Get(HeaderBackend); got != pts.URL {
 		t.Fatalf("mutation served by %q, want primary %q", got, pts.URL)
 	}
-	if n := rt.ctr.mutationRetries403.Load(); n != 1 {
+	if n := rt.ctr.mutationRetries403.Value(); n != 1 {
 		t.Fatalf("mutationRetries403 = %d, want 1", n)
 	}
 }
@@ -266,12 +266,12 @@ func TestSessionPinningRoutesAroundLag(t *testing.T) {
 	if backend := hdr.Get(HeaderBackend); backend != fts.URL {
 		t.Fatalf("caught-up pinned read served by %q, want follower %q", backend, fts.URL)
 	}
-	if n := rt.ctr.readsPinned.Load(); n < 2 {
+	if n := rt.ctr.readsPinned.Value(); n < 2 {
 		t.Fatalf("readsPinned = %d, want >= 2", n)
 	}
-	if rt.ctr.readsPrimary.Load() == 0 || rt.ctr.readsFollower.Load() == 0 {
+	if rt.ctr.readsPrimary.Value() == 0 || rt.ctr.readsFollower.Value() == 0 {
 		t.Fatalf("counters did not see both roles: primary=%d follower=%d",
-			rt.ctr.readsPrimary.Load(), rt.ctr.readsFollower.Load())
+			rt.ctr.readsPrimary.Value(), rt.ctr.readsFollower.Value())
 	}
 }
 
@@ -297,7 +297,7 @@ func TestLagShedding(t *testing.T) {
 	if backend := hdr.Get(HeaderBackend); backend != pts.URL {
 		t.Fatalf("token-less read served by shed follower %q", backend)
 	}
-	if rt.ctr.followersShed.Load() == 0 {
+	if rt.ctr.followersShed.Value() == 0 {
 		t.Fatal("followersShed counter never moved")
 	}
 }
@@ -323,7 +323,7 @@ func TestReadFailoverOnDeadFollower(t *testing.T) {
 	if backend := hdr.Get(HeaderBackend); backend != pts.URL {
 		t.Fatalf("read after follower death served by %q, want primary fallback", backend)
 	}
-	if rt.ctr.readFailovers.Load() == 0 {
+	if rt.ctr.readFailovers.Value() == 0 {
 		t.Fatal("readFailovers counter never moved")
 	}
 }
@@ -384,7 +384,7 @@ func TestMutationFailsOverToPromotedNode(t *testing.T) {
 	if backend := hdr.Get(HeaderBackend); backend != f2ts.URL {
 		t.Fatalf("mutation served by %q, want promoted node %q", backend, f2ts.URL)
 	}
-	if rt.ctr.mutationFailovers.Load() == 0 {
+	if rt.ctr.mutationFailovers.Value() == 0 {
 		t.Fatal("mutationFailovers never moved despite the dead primary")
 	}
 }

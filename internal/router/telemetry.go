@@ -1,0 +1,48 @@
+package router
+
+// Telemetry wiring for the front tier. The routing counters that /healthz
+// has always reported are registry-backed now — /metrics renders the same
+// values — plus per-node health-poll latency histograms, node-up gauges,
+// and the per-class HTTP metrics the shared middleware records.
+
+import (
+	"grouptravel/internal/telemetry"
+)
+
+// newCounters registers the routing counters. The names mirror the
+// countersJSON fields /healthz reports; both read the same values.
+func newCounters(reg *telemetry.Registry) counters {
+	c := func(name, help string) *telemetry.Counter { return reg.Counter(name, help) }
+	return counters{
+		readsTotal:         c("gt_router_reads_total", "GETs routed."),
+		readsPrimary:       c("gt_router_reads_primary_total", "Reads served by a shard's primary."),
+		readsFollower:      c("gt_router_reads_follower_total", "Reads served by a follower replica."),
+		readsPinned:        c("gt_router_reads_pinned_total", "Reads carrying a read-your-writes floor."),
+		readFailovers:      c("gt_router_read_failovers_total", "Read candidates skipped after a failure."),
+		followersShed:      c("gt_router_followers_shed_total", "Followers shed from token-less reads for lag."),
+		mutations:          c("gt_router_mutations_total", "POSTs routed."),
+		mutationRetries403: c("gt_router_mutation_retries_403_total", "Mutations healed by chasing a 403's primary hint."),
+		mutationFailovers:  c("gt_router_mutation_failovers_total", "Mutation attempts failed over to another node."),
+	}
+}
+
+// instrument attaches per-node scrape instruments to the health feed:
+// poll latency histograms and an up/down gauge per backend node. Node
+// URLs are fixed at construction, so the maps are read-only afterwards
+// and the poll path does one lookup plus nil-safe atomic ops.
+func (hf *healthFeed) instrument(reg *telemetry.Registry) {
+	hf.pollLat = make(map[string]*telemetry.Histogram, len(hf.urls))
+	hf.nodeUp = make(map[string]*telemetry.Gauge, len(hf.urls))
+	for _, u := range hf.urls {
+		hf.pollLat[u] = reg.Histogram("gt_router_health_poll_seconds",
+			"Health-poll round trip per backend node.", nil, "node", u)
+		hf.nodeUp[u] = reg.Gauge("gt_router_node_up",
+			"1 when the node's last health poll succeeded.", "node", u)
+	}
+}
+
+// Metrics exposes the router's telemetry registry (the /metrics source).
+func (rt *Router) Metrics() *telemetry.Registry { return rt.metrics }
+
+// HTTPMetrics exposes the per-class HTTP instruments (SLO assertions).
+func (rt *Router) HTTPMetrics() *telemetry.HTTPMetrics { return rt.httpM }

@@ -4,12 +4,12 @@ import (
 	"encoding/binary"
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"grouptravel/internal/core"
 	"grouptravel/internal/poi"
 	"grouptravel/internal/profile"
 	"grouptravel/internal/query"
+	"grouptravel/internal/telemetry"
 )
 
 // Build-request batching: concurrent Build calls with an identical
@@ -32,11 +32,12 @@ type buildCall struct {
 	err  error
 }
 
-// buildGroup is a singleflight keyed on the exact build inputs.
+// buildGroup is a singleflight keyed on the exact build inputs. dedups is
+// registry-backed (telemetry.go) and nil-safe for standalone groups.
 type buildGroup struct {
 	mu     sync.Mutex
 	calls  map[string]*buildCall
-	dedups atomic.Int64 // calls served from another call's flight
+	dedups *telemetry.Counter // calls served from another call's flight
 }
 
 // do runs build once per key among concurrent callers; late arrivals
@@ -48,7 +49,7 @@ func (g *buildGroup) do(key string, build func() (*core.TravelPackage, error)) (
 	}
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
-		g.dedups.Add(1)
+		g.dedups.Inc()
 		<-c.done
 		return c.tp, c.err
 	}

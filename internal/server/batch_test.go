@@ -10,13 +10,14 @@ import (
 	"grouptravel/internal/profile"
 	"grouptravel/internal/query"
 	"grouptravel/internal/rng"
+	"grouptravel/internal/telemetry"
 )
 
 // TestBuildSingleflight: concurrent calls with the same key share one
 // build; different keys run independently; nothing is cached once the
 // flight lands.
 func TestBuildSingleflight(t *testing.T) {
-	var g buildGroup
+	g := buildGroup{dedups: &telemetry.Counter{}}
 	release := make(chan struct{})
 	var calls atomic.Int32
 	slow := func() (*core.TravelPackage, error) {
@@ -62,7 +63,7 @@ func TestBuildSingleflight(t *testing.T) {
 
 	// Release only after every follower has provably joined the flight —
 	// otherwise a late follower would start its own build.
-	for g.dedups.Load() < followers {
+	for g.dedups.Value() < followers {
 	}
 	close(release)
 	wg.Wait()
@@ -78,7 +79,7 @@ func TestBuildSingleflight(t *testing.T) {
 	if n := calls.Load(); n != 1 {
 		t.Fatalf("build ran %d times for one key, want 1", n)
 	}
-	if d := g.dedups.Load(); d != followers {
+	if d := g.dedups.Value(); d != followers {
 		t.Fatalf("dedups = %d, want %d", d, followers)
 	}
 

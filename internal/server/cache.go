@@ -32,7 +32,8 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
-	"sync/atomic"
+
+	"grouptravel/internal/telemetry"
 )
 
 const (
@@ -60,12 +61,15 @@ type respEntry struct {
 }
 
 // respCache is a per-city byte cache. Entries are only served at their
-// exact version; put sweeps stale versions on overflow.
+// exact version; put sweeps stale versions on overflow. The counters are
+// registry-backed (telemetry.go) so /healthz and /metrics report the same
+// values; they are nil-safe for caches constructed outside a Server.
 type respCache struct {
-	mu      sync.Mutex
-	entries map[string]respEntry
-	hits    atomic.Int64
-	misses  atomic.Int64
+	mu        sync.Mutex
+	entries   map[string]respEntry
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	fillRaces *telemetry.Counter
 }
 
 // get returns the cached body for key at exactly this version.
@@ -74,10 +78,10 @@ func (rc *respCache) get(key string, version int64) ([]byte, int, bool) {
 	e, ok := rc.entries[key]
 	rc.mu.Unlock()
 	if ok && e.version == version {
-		rc.hits.Add(1)
+		rc.hits.Inc()
 		return e.body, e.status, true
 	}
-	rc.misses.Add(1)
+	rc.misses.Inc()
 	return nil, 0, false
 }
 
@@ -114,9 +118,10 @@ func (rc *respCache) size() int {
 
 // byteCacheHealth is the byte cache's slice of a city's health report.
 type byteCacheHealth struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	FillRaces int64 `json:"fillRaces"` // fills a concurrent mutation made unservable
+	Entries   int   `json:"entries"`
 }
 
 // jsonBufPool recycles the scratch buffers every JSON response renders
@@ -178,6 +183,11 @@ func (cs *cityState) fillAndServe(w http.ResponseWriter, key string, v int64, st
 	body := renderJSON(render())
 	if status < 300 && len(body) <= maxCachedBody {
 		cs.rcache.put(key, v, status, body)
+		if cs.cacheVersion.Load() != v {
+			// A mutation landed mid-render: the entry just stored can never
+			// be served. Counted, not corrected — the next reader refills.
+			cs.rcache.fillRaces.Inc()
+		}
 	}
 	writeRawJSON(w, status, body)
 }

@@ -19,6 +19,7 @@ import (
 	"grouptravel/internal/profile"
 	"grouptravel/internal/registry"
 	"grouptravel/internal/store"
+	"grouptravel/internal/telemetry"
 )
 
 // cityState is one city's serving state: the group/package registries over
@@ -61,9 +62,14 @@ type cityState struct {
 	compactEvery int64
 	compactBytes int64
 	compacting   atomic.Bool
-	compactions  atomic.Int64
 	snapTime     atomic.Int64 // unix nanos of the last successful compaction
 	persistErr   atomic.Value // last persistence error string; "" once healthy
+
+	// met holds the city's registry-backed counters (telemetry.go) —
+	// the values both /healthz and /metrics report; compactDur is the
+	// process-wide compaction-duration histogram.
+	met        cityMetrics
+	compactDur *telemetry.Histogram
 
 	// Replay facts from the last load, for /healthz. Immutable after
 	// newCityState.
@@ -180,8 +186,16 @@ func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) 
 		compactEvery: s.compactEvery,
 		compactBytes: s.compactBytes,
 		fleetVersion: &s.fleetVersion,
+		met:          s.metrics.city(c.Key),
+		compactDur:   s.metrics.compaction,
 	}
 	cs.persistErr.Store("")
+	// Hot-path counters live on the structs that bump them; registration
+	// idempotence means a reloaded city resumes the same counters.
+	cs.rcache.hits = cs.met.byteHits
+	cs.rcache.misses = cs.met.byteMisses
+	cs.rcache.fillRaces = cs.met.byteFillRaces
+	cs.builds.dedups = cs.met.buildDedups
 	// A city loaded after promotion is an ordinary read-write city; only
 	// an active follower builds the replication mirror.
 	follower := s.isReadOnly()
@@ -205,6 +219,7 @@ func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) 
 	if err != nil {
 		return nil, fmt.Errorf("server: wal for %q: %w", cs.key, err)
 	}
+	wal.Instrument(s.metrics.walAppend, s.metrics.walFsync)
 	wal.Seed(cs.replay.CurrentRecords, cs.replay.LastSeq)
 	cs.wal = wal
 	// Seed the byte-cache version from the recovered sequence so a
@@ -443,6 +458,7 @@ func (cs *cityState) compact() error {
 	if cs.wal == nil || cs.wal.PendingExists() {
 		return cs.compactInline()
 	}
+	start := time.Now()
 	cs.persistMu.Lock()
 	st := cs.collectState()
 	st.WALSeq = cs.wal.LastSeq()
@@ -463,6 +479,7 @@ func (cs *cityState) compact() error {
 		cs.persistErr.Store(err.Error())
 		return err
 	}
+	cs.compactDur.ObserveSince(start)
 	cs.noteCompaction(at)
 	return nil
 }
@@ -470,6 +487,7 @@ func (cs *cityState) compact() error {
 // compactInline is the fallback: snapshot under the write lock, then
 // drop the pending segment and truncate the log.
 func (cs *cityState) compactInline() error {
+	start := time.Now()
 	cs.persistMu.Lock()
 	defer cs.persistMu.Unlock()
 	st := cs.collectState()
@@ -491,13 +509,14 @@ func (cs *cityState) compactInline() error {
 			return err
 		}
 	}
+	cs.compactDur.ObserveSince(start)
 	cs.noteCompaction(at)
 	return nil
 }
 
 func (cs *cityState) noteCompaction(at time.Time) {
 	cs.snapTime.Store(at.UnixNano())
-	cs.compactions.Add(1)
+	cs.met.compactions.Inc()
 	cs.persistErr.Store("")
 	// The /cities listing reports walBytes and snapshot age; a
 	// compaction changes both, so refresh the fleet-level cache.
@@ -629,16 +648,19 @@ func (cs *cityState) health() cityHealth {
 	cs.mu.RLock()
 	groups, packages := len(cs.groups), len(cs.packages)
 	cs.mu.RUnlock()
+	// Counters read .Value() off the same registry series /metrics
+	// renders — one value set, two surfaces, no drift.
 	h := cityHealth{
 		Cache:        cs.engine.CacheStats(),
 		Groups:       groups,
 		Packages:     packages,
-		BuildDedups:  cs.builds.dedups.Load(),
+		BuildDedups:  cs.builds.dedups.Value(),
 		LastSnapshot: lastSnapshotString(cs.snapTime.Load()),
 		ByteCache: byteCacheHealth{
-			Hits:    cs.rcache.hits.Load(),
-			Misses:  cs.rcache.misses.Load(),
-			Entries: cs.rcache.size(),
+			Hits:      cs.rcache.hits.Value(),
+			Misses:    cs.rcache.misses.Value(),
+			FillRaces: cs.rcache.fillRaces.Value(),
+			Entries:   cs.rcache.size(),
 		},
 	}
 	if msg, _ := cs.persistErr.Load().(string); msg != "" {
@@ -651,7 +673,7 @@ func (cs *cityState) health() cityHealth {
 			Bytes:           ws.Bytes,
 			Fsyncs:          ws.Fsyncs,
 			LastFsyncMicros: ws.LastFsyncMicros,
-			Compactions:     cs.compactions.Load(),
+			Compactions:     cs.met.compactions.Value(),
 			Replayed:        cs.replay.Records,
 			ReplayMillis:    cs.replayMillis,
 			ReplayTruncated: cs.replay.Truncated,

@@ -96,6 +96,7 @@ func (cs *cityState) applyFrames(frames []store.WALFrame) (int64, error) {
 				// frame — a reader racing the batch must never fill a
 				// pre-frame render under a post-frame version.
 				cs.bumpCacheVersion()
+				cs.met.framesApplied.Inc()
 				if cs.wal != nil {
 					// Persistence failures never stall replication — the
 					// in-memory copy is committed; they surface on /healthz

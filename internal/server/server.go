@@ -58,6 +58,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -72,6 +73,7 @@ import (
 	"grouptravel/internal/registry"
 	"grouptravel/internal/replicate"
 	"grouptravel/internal/store"
+	"grouptravel/internal/telemetry"
 )
 
 // Compaction defaults: how much write-ahead log a city accumulates before
@@ -135,6 +137,10 @@ type Options struct {
 	// replicate.DefaultPollInterval; < 0 starts no background tailers —
 	// the embedder drives Follower().Sync/CatchUp itself (tests).
 	FollowPoll time.Duration
+	// AccessLog emits one structured line per request (request id,
+	// endpoint class, city, status, duration) when non-nil. Nil keeps the
+	// request path silent — the benchmark/embedder default.
+	AccessLog *slog.Logger
 }
 
 // Server routes requests to per-city engines and serving state.
@@ -168,6 +174,12 @@ type Server struct {
 	// their health loop, making it the hottest read on the server.
 	fleetVersion atomic.Int64
 	citiesCache  fleetCache
+
+	// metrics backs GET /metrics and every counter /healthz reports (one
+	// value set, two surfaces — see telemetry.go); accessLog, when set,
+	// gives the HTTP middleware its structured request log.
+	metrics   *serverMetrics
+	accessLog *slog.Logger
 }
 
 // New builds a single-city server with no persistence — the original
@@ -254,8 +266,11 @@ func NewMultiCity(opts Options) (*Server, error) {
 		compactEvery: int64(opts.CompactEvery),
 		compactBytes: opts.CompactBytes,
 		// Set before the registry exists: city loads consult the role to
-		// decide whether to build the replication mirror.
-		topo: topo,
+		// decide whether to build the replication mirror, and pull their
+		// per-city counters off the metrics registry.
+		topo:      topo,
+		metrics:   newServerMetrics(),
+		accessLog: opts.AccessLog,
 	}
 	if s.compactEvery == 0 {
 		s.compactEvery = DefaultCompactEvery
@@ -322,6 +337,9 @@ func NewMultiCity(opts Options) (*Server, error) {
 			s.follower.Start()
 		}
 	}
+	// After the registry and follower exist: the scrape-time rows close
+	// over both.
+	s.registerScrapeFuncs(keys)
 	return s, nil
 }
 
@@ -366,11 +384,15 @@ func (s *Server) DefaultCity() string { return s.defaultCity }
 
 // Handler returns the HTTP handler with all routes registered: the
 // city-scoped /cities tree plus the legacy /api aliases for the default
-// city.
+// city. The whole mux is wrapped in the telemetry middleware — per-class
+// latency histograms, in-flight gauges, status counters, request-id echo
+// (the shard echoes the id the router minted; it never mints its own, so
+// the hot path stays allocation-free), and the opt-in access log.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /api/healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	mux.HandleFunc("GET /cities", s.handleCities)
 
 	city := func(h func(cs *cityState, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
@@ -398,7 +420,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/city", city((*cityState).handleCity))
 	mux.HandleFunc("GET /cities/{city}", city((*cityState).handleCity))
 	mux.HandleFunc("POST /promote", s.handlePromote)
-	return mux
+	mw := &telemetry.Middleware{Metrics: s.metrics.http, Log: s.accessLog}
+	return mw.Wrap(mux)
 }
 
 // withCity resolves the request's city — the {city} path value, or the

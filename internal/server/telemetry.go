@@ -1,0 +1,160 @@
+package server
+
+// Telemetry wiring for the shard daemon. One Registry per Server (so
+// embedded servers and tests stay isolated), per-class HTTP metrics via
+// the shared middleware, real counters on the mutation/caching hot paths,
+// and scrape-time GaugeFunc/CounterFunc rows for values the system
+// already tracks (WAL stats, replication lag, registry residency) — the
+// same values /healthz reports, so the two surfaces can never disagree.
+
+import (
+	"grouptravel/internal/replicate"
+	"grouptravel/internal/telemetry"
+)
+
+// serverMetrics is the Server's instrument set: the registry behind
+// GET /metrics plus the process-wide instruments handed to each city.
+type serverMetrics struct {
+	reg  *telemetry.Registry
+	http *telemetry.HTTPMetrics
+
+	// WAL latencies are process-wide histograms (per-city histograms
+	// would multiply the exposition by the city count for little signal;
+	// per-city WAL *stats* are exposed as scrape-time gauges instead).
+	walAppend  *telemetry.Histogram
+	walFsync   *telemetry.Histogram
+	compaction *telemetry.Histogram
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := telemetry.NewRegistry()
+	return &serverMetrics{
+		reg:  reg,
+		http: telemetry.NewHTTPMetrics(reg),
+		walAppend: reg.Histogram("gt_wal_append_seconds",
+			"WAL append latency: marshal, frame, write, and the sync policy's share.", nil),
+		walFsync: reg.Histogram("gt_wal_fsync_seconds",
+			"WAL fsync latency (group commits and background flushes).", nil),
+		compaction: reg.Histogram("gt_wal_compaction_seconds",
+			"Snapshot compaction duration, log rotation to pending-segment removal.", nil),
+	}
+}
+
+// cityMetrics are one city's hot-path counters. Registration is
+// idempotent on (name, city), so a city's counters survive its
+// eviction/reload cycle.
+type cityMetrics struct {
+	byteHits      *telemetry.Counter
+	byteMisses    *telemetry.Counter
+	byteFillRaces *telemetry.Counter
+	buildDedups   *telemetry.Counter
+	compactions   *telemetry.Counter
+	framesApplied *telemetry.Counter
+}
+
+func (m *serverMetrics) city(key string) cityMetrics {
+	return cityMetrics{
+		byteHits: m.reg.Counter("gt_bytecache_hits_total",
+			"Rendered-byte cache hits.", "city", key),
+		byteMisses: m.reg.Counter("gt_bytecache_misses_total",
+			"Rendered-byte cache misses.", "city", key),
+		byteFillRaces: m.reg.Counter("gt_bytecache_fill_races_total",
+			"Cache fills whose version went stale mid-render (wasted, never wrong).", "city", key),
+		buildDedups: m.reg.Counter("gt_build_dedups_total",
+			"Builds served from an identical in-flight request.", "city", key),
+		compactions: m.reg.Counter("gt_wal_compactions_total",
+			"Snapshot compactions completed.", "city", key),
+		framesApplied: m.reg.Counter("gt_replication_frames_applied_total",
+			"Replicated WAL frames applied to the serving state.", "city", key),
+	}
+}
+
+// registerScrapeFuncs wires the scrape-time rows: registry residency,
+// per-city WAL stats and applied sequence, and — on followers — the
+// replication lag this node's tailer reports. Closures sample loaded
+// cities only (AcquireIfLoaded never forces a load, so scraping cannot
+// defeat the LRU cap); non-resident cities read 0.
+func (s *Server) registerScrapeFuncs(keys []string) {
+	reg := s.metrics.reg
+	reg.GaugeFunc("gt_cities_known", "Cities this server can serve.",
+		func() float64 { return float64(len(keys)) })
+	reg.GaugeFunc("gt_cities_resident", "Cities currently loaded.",
+		func() float64 { return float64(s.reg.Stats().Loaded) })
+
+	for _, key := range keys {
+		key := key
+		reg.GaugeFunc("gt_wal_records", "WAL records since the last compaction (replay debt).",
+			func() float64 {
+				return s.sampleCity(key, func(cs *cityState) float64 {
+					if cs.wal == nil {
+						return 0
+					}
+					return float64(cs.wal.Stats().Records)
+				})
+			}, "city", key)
+		reg.GaugeFunc("gt_wal_bytes", "WAL bytes since the last compaction (backpressure gauge).",
+			func() float64 {
+				return s.sampleCity(key, func(cs *cityState) float64 {
+					if cs.wal == nil {
+						return 0
+					}
+					return float64(cs.wal.Stats().Bytes)
+				})
+			}, "city", key)
+		reg.CounterFunc("gt_wal_fsyncs_total", "WAL fsyncs performed.",
+			func() float64 {
+				return s.sampleCity(key, func(cs *cityState) float64 {
+					if cs.wal == nil {
+						return 0
+					}
+					return float64(cs.wal.Stats().Fsyncs)
+				})
+			}, "city", key)
+		reg.GaugeFunc("gt_applied_seq", "Last committed (primary) or applied (follower) WAL sequence.",
+			func() float64 {
+				return s.sampleCity(key, func(cs *cityState) float64 { return float64(cs.appliedSeq()) })
+			}, "city", key)
+	}
+
+	if s.follower == nil {
+		return
+	}
+	for _, key := range keys {
+		key := key
+		lagField := func(f func(l replicate.Lag) float64) func() float64 {
+			return func() float64 {
+				if l, ok := s.follower.Lag(key); ok {
+					return f(l)
+				}
+				return 0
+			}
+		}
+		reg.GaugeFunc("gt_replication_lag_records", "Records behind the primary at the last sync.",
+			lagField(func(l replicate.Lag) float64 { return float64(l.Records) }), "city", key)
+		reg.GaugeFunc("gt_replication_lag_bytes", "Wire bytes behind the primary at the last sync.",
+			lagField(func(l replicate.Lag) float64 { return float64(l.Bytes) }), "city", key)
+		reg.CounterFunc("gt_replication_snapshot_handoffs_total", "Compaction handoffs installed.",
+			lagField(func(l replicate.Lag) float64 { return float64(l.SnapshotHandoffs) }), "city", key)
+		reg.CounterFunc("gt_replication_wire_retries_total", "Torn/corrupt wire responses that forced a re-fetch.",
+			lagField(func(l replicate.Lag) float64 { return float64(l.WireRetries) }), "city", key)
+		reg.CounterFunc("gt_replication_syncs_total", "Completed replication sync cycles.",
+			lagField(func(l replicate.Lag) float64 { return float64(l.Syncs) }), "city", key)
+	}
+}
+
+// sampleCity reads one gauge off a loaded city, 0 when not resident.
+func (s *Server) sampleCity(key string, f func(cs *cityState) float64) float64 {
+	c, release, ok := s.reg.AcquireIfLoaded(key)
+	if !ok {
+		return 0
+	}
+	defer release()
+	return f(c.State)
+}
+
+// Metrics exposes the server's telemetry registry (the /metrics source)
+// for embedders, daemons and tests.
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
+
+// HTTPMetrics exposes the per-class HTTP instruments (SLO assertions).
+func (s *Server) HTTPMetrics() *telemetry.HTTPMetrics { return s.metrics.http }

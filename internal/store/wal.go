@@ -17,6 +17,7 @@ import (
 	"grouptravel/internal/dataset"
 	"grouptravel/internal/interact"
 	"grouptravel/internal/profile"
+	"grouptravel/internal/telemetry"
 )
 
 // This file is the write-ahead half of city persistence. A city's durable
@@ -275,6 +276,21 @@ type WAL struct {
 
 	fsyncs         atomic.Int64
 	lastFsyncNanos atomic.Int64
+
+	// appendHist/fsyncHist are optional latency histograms (Instrument);
+	// nil-safe no-ops when the embedder wires no telemetry.
+	appendHist *telemetry.Histogram
+	fsyncHist  *telemetry.Histogram
+}
+
+// Instrument attaches latency histograms: appendH observes every
+// successful Append/AppendFrame end to end (marshal, frame, write, and
+// whatever the sync policy charges the appender), fsyncH every fsync the
+// log performs (group commits and background flushes). Call before the
+// first Append; either may be nil.
+func (w *WAL) Instrument(appendH, fsyncH *telemetry.Histogram) {
+	w.appendHist = appendH
+	w.fsyncHist = fsyncH
 }
 
 // OpenWAL opens (creating if absent) a city's log for appending. A new or
@@ -366,6 +382,7 @@ func (w *WAL) Path() string { return w.path }
 // record after it, so accepting further appends would turn one I/O
 // error into unbounded invisible loss.
 func (w *WAL) Append(rec WALRecord) (int64, error) {
+	start := time.Now()
 	w.mu.Lock()
 	if w.f == nil {
 		w.mu.Unlock()
@@ -380,6 +397,7 @@ func (w *WAL) Append(rec WALRecord) (int64, error) {
 	if err := w.appendLocked(payload, rec.rec.Seq); err != nil {
 		return 0, err
 	}
+	w.appendHist.ObserveSince(start)
 	return rec.rec.Seq, nil
 }
 
@@ -390,6 +408,7 @@ func (w *WAL) Append(rec WALRecord) (int64, error) {
 // follower makes replicated records durable in the byte-identical format
 // its own recovery replays.
 func (w *WAL) AppendFrame(fr WALFrame) error {
+	start := time.Now()
 	w.mu.Lock()
 	if w.f == nil {
 		w.mu.Unlock()
@@ -401,7 +420,11 @@ func (w *WAL) AppendFrame(fr WALFrame) error {
 	}
 	// Copy the payload: appendLocked releases w.mu before the fsync, and
 	// the caller's buffer may alias a reused read buffer.
-	return w.appendLocked(append([]byte(nil), fr.Payload...), fr.Seq)
+	if err := w.appendLocked(append([]byte(nil), fr.Payload...), fr.Seq); err != nil {
+		return err
+	}
+	w.appendHist.ObserveSince(start)
+	return nil
 }
 
 // appendLocked frames and writes one payload whose stamped sequence is
@@ -473,7 +496,9 @@ func (w *WAL) syncTo(off int64, intervalOnly bool) error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("store: wal fsync: %w", err)
 	}
-	w.lastFsyncNanos.Store(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	w.lastFsyncNanos.Store(int64(elapsed))
+	w.fsyncHist.Observe(elapsed.Seconds())
 	w.fsyncs.Add(1)
 	w.synced = target
 	w.lastSync = time.Now()
@@ -495,7 +520,9 @@ func (w *WAL) backgroundFlush() {
 	if err := w.f.Sync(); err != nil {
 		return // the next append's fsync (or Close) retries
 	}
-	w.lastFsyncNanos.Store(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	w.lastFsyncNanos.Store(int64(elapsed))
+	w.fsyncHist.Observe(elapsed.Seconds())
 	w.fsyncs.Add(1)
 	w.synced = target
 	w.lastSync = time.Now()

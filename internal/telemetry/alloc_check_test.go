@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"net/http"
+	"testing"
+)
+
+// nopRW is the cheapest possible ResponseWriter, so the middleware's own
+// cost is measured bare — no recorder, no header churn.
+type nopRW struct{ h http.Header }
+
+func (n *nopRW) Header() http.Header         { return n.h }
+func (n *nopRW) Write(p []byte) (int, error) { return len(p), nil }
+func (n *nopRW) WriteHeader(int)             {}
+
+var okBody = []byte("ok")
+
+// TestMiddlewareAllocFree: the instrumented request path allocates
+// nothing — the budget the cached-read hot path holds the middleware to.
+func TestMiddlewareAllocFree(t *testing.T) {
+	reg := NewRegistry()
+	m := &Middleware{Metrics: NewHTTPMetrics(reg)}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write(okBody) })
+	h := m.Wrap(inner)
+	req, err := http.NewRequest(http.MethodGet, "/cities/paris/pois?k=5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &nopRW{h: make(http.Header)}
+	if n := testing.AllocsPerRun(2000, func() { h.ServeHTTP(w, req) }); n > 0 {
+		t.Fatalf("middleware allocates %.1f per request, want 0", n)
+	}
+}
+
+// BenchmarkMiddlewarePure isolates the wrapper's per-request overhead.
+func BenchmarkMiddlewarePure(b *testing.B) {
+	reg := NewRegistry()
+	m := &Middleware{Metrics: NewHTTPMetrics(reg)}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write(okBody) })
+	h := m.Wrap(inner)
+	req, err := http.NewRequest(http.MethodGet, "/cities/paris/pois?k=5", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &nopRW{h: make(http.Header)}
+	b.Run("wrapped", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.ServeHTTP(w, req)
+		}
+	})
+	b.Run("bare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inner.ServeHTTP(w, req)
+		}
+	})
+}

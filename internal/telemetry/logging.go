@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewAccessLogger builds the structured request logger both daemons hand
+// to the HTTP middleware, from their -log-format/-log-level flags.
+// Format "off" (or "") disables access logging — the nil logger the
+// middleware treats as silent — so the hot path pays nothing unless
+// logging was asked for. Format is "json" (one JSON object per request,
+// machine-shippable) or "text" (slog's key=value form, human-tailable).
+func NewAccessLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	switch strings.ToLower(format) {
+	case "", "off", "none":
+		return nil, nil
+	}
+	var lv slog.Level
+	if level != "" {
+		if err := lv.UnmarshalText([]byte(level)); err != nil {
+			return nil, fmt.Errorf("log level %q: %w", level, err)
+		}
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("log format %q: want json, text, or off", format)
+}
