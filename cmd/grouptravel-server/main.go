@@ -67,7 +67,8 @@ func main() {
 	cacheCap := flag.Int("cluster-cache-cap", 0, "per-engine cluster cache bound (0: default, <0: unbounded)")
 	follow := flag.String("follow", "", "run as a read-only follower replicating from the primary at this base URL")
 	advertise := flag.String("advertise", "", "base URL peers and routers reach this node at (self-described on /healthz)")
-	followPoll := flag.Duration("follow-poll", 0, "replication poll interval (0: default)")
+	followPoll := flag.Duration("follow-poll", 0, "replication poll interval (0: default; also the reconnect backoff base when streaming)")
+	followMode := flag.String("follow-mode", "stream", `replication transport: "stream" (push: hold ?stream=1 open, apply on commit wakeup) or "poll" (fetch per interval)`)
 	promote := flag.Bool("promote", false, "with -follow: start promoted — serve read-write from the follower's local state (failover boot)")
 	addr := flag.String("addr", ":8080", "listen address")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty: off)")
@@ -97,6 +98,7 @@ func main() {
 		EngineCacheCap: *cacheCap,
 		Follow:         *follow,
 		FollowPoll:     *followPoll,
+		FollowMode:     *followMode,
 		Advertise:      *advertise,
 		AccessLog:      accessLog,
 	}

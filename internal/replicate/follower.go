@@ -1,6 +1,7 @@
 package replicate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -68,6 +69,7 @@ type Follower struct {
 	target   Target
 	cities   []string
 	interval time.Duration
+	stream   bool
 
 	mu  sync.Mutex
 	lag map[string]*Lag
@@ -94,6 +96,7 @@ func NewFollower(primary string, cities []string, target Target, interval time.D
 		target:   target,
 		cities:   append([]string(nil), cities...),
 		interval: interval,
+		stream:   true,
 		lag:      make(map[string]*Lag, len(cities)),
 		stop:     make(chan struct{}),
 	}
@@ -105,6 +108,12 @@ func NewFollower(primary string, cities []string, target Target, interval time.D
 
 // Primary returns the primary's base URL.
 func (f *Follower) Primary() string { return f.client.Base }
+
+// SetStreaming selects between push streams (the default: a tailer holds
+// GET ?stream=1 open and applies frames as commits push them) and the
+// classic poll loop (one Fetch per interval). Call before Start; the
+// synchronous Sync/CatchUp paths always poll regardless.
+func (f *Follower) SetStreaming(on bool) { f.stream = on }
 
 // Start launches one polling tailer per city. Idempotent.
 func (f *Follower) Start() {
@@ -124,26 +133,143 @@ func (f *Follower) Stop() {
 	f.done.Wait()
 }
 
-// tail is one city's polling loop. Failures back off exponentially
-// (capped) instead of hammering a struggling primary at the poll rate.
+// tail is one city's loop. In streaming mode it holds a push stream open
+// and reconnects immediately when the server ends one cleanly (stream
+// life cap, compaction handoff); only failures back off. In polling mode
+// it runs the classic Sync-per-interval cycle. Either way, failures back
+// off exponentially (capped) instead of hammering a struggling primary.
 func (f *Follower) tail(city string) {
 	defer f.done.Done()
 	failures := 0
+	immediate := f.stream
 	for {
-		wait := f.interval
-		if failures > 0 {
-			wait = retryBackoff(failures, f.interval)
+		if immediate && failures == 0 {
+			// A healthy stream reconnects without sleeping: the server just
+			// rotated the stream, and waiting would only add lag.
+			select {
+			case <-f.stop:
+				return
+			default:
+			}
+		} else {
+			wait := f.interval
+			if failures > 0 {
+				wait = retryBackoff(failures, f.interval)
+			}
+			select {
+			case <-f.stop:
+				return
+			case <-time.After(wait):
+			}
 		}
-		select {
-		case <-f.stop:
-			return
-		case <-time.After(wait):
+		start := time.Now()
+		var err error
+		if f.stream {
+			err = f.streamCity(city)
+		} else {
+			err = f.Sync(city)
 		}
-		if err := f.Sync(city); err != nil {
+		// Only a stream that actually lived a while earns the instant
+		// reconnect. A clean end within a second means the other side is
+		// answering ?stream=1 as a one-shot (an old primary, a proxy that
+		// cannot flush) — reconnecting instantly against that is a hot
+		// loop at thousands of requests a second, so pace on the interval.
+		immediate = f.stream && time.Since(start) >= time.Second
+		if err != nil {
 			failures++
 		} else {
 			failures = 0
 		}
+	}
+}
+
+// streamCity holds one push stream open for a city, applying batches as
+// commits arrive, until the server ends it or something fails. A clean
+// end returns nil and the tailer reconnects from the new resume point —
+// including the compaction-handoff case, where the fresh response opens
+// with a snapshot section.
+func (f *Follower) streamCity(city string) error {
+	applied, known := f.cachedSeq(city)
+	if !known {
+		var err error
+		applied, err = f.target.Resume(city)
+		if err != nil {
+			f.note(city, err)
+			return fmt.Errorf("replicate: resume %s: %w", city, err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-f.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	err := f.client.Stream(ctx, city, applied, func(b *Batch) error {
+		if b.Snapshot != nil && b.SnapshotSeq > applied {
+			seq, err := f.target.ApplySnapshot(city, b.Snapshot)
+			if err != nil {
+				return fmt.Errorf("replicate: snapshot handoff %s: %w", city, err)
+			}
+			if seq > applied {
+				applied = seq
+			}
+			f.mu.Lock()
+			if l, ok := f.lag[city]; ok {
+				l.SnapshotHandoffs++
+			}
+			f.mu.Unlock()
+		}
+		if len(b.Frames) > 0 {
+			seq, err := f.target.ApplyFrames(city, b.Frames)
+			if err != nil {
+				return fmt.Errorf("replicate: apply %s: %w", city, err)
+			}
+			if seq > applied {
+				applied = seq
+			}
+		}
+		f.mu.Lock()
+		if l, ok := f.lag[city]; ok {
+			l.AppliedSeq = applied
+			l.resumed = true
+			l.PrimarySeq = max(b.PrimarySeq, applied)
+			l.PrimaryWALBytes = b.PrimaryWALBytes
+			l.Records = max(l.PrimarySeq-applied, 0)
+			l.Syncs++
+			l.Err = ""
+		}
+		f.mu.Unlock()
+		return nil
+	})
+	// A stop-triggered cancel is a shutdown, not a failure: report clean
+	// so the loop exits via the stop check instead of backing off first.
+	select {
+	case <-f.stop:
+		return nil
+	default:
+	}
+	f.note(city, err)
+	return err
+}
+
+// note records a stream cycle's outcome in the city's lag entry.
+func (f *Follower) note(city string, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	l, ok := f.lag[city]
+	if !ok {
+		return
+	}
+	if err != nil {
+		l.Err = err.Error()
+		if errors.Is(err, ErrWireCorrupt) {
+			l.WireRetries++
+		}
+	} else {
+		l.Err = ""
 	}
 }
 

@@ -34,6 +34,8 @@
 package replicate
 
 import (
+	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -140,71 +142,136 @@ func WriteStream(w http.ResponseWriter, b *Batch) error {
 	return nil
 }
 
-// parseStream decodes a response body. On a torn or corrupt frame it
-// returns the valid prefix together with ErrWireCorrupt — the caller
-// applies what survived and re-fetches the rest.
-func parseStream(body []byte, snapshotSeq int64, hasSnapshot bool) (*Batch, error) {
-	if len(body) < len(streamMagic) || [8]byte(body[:len(streamMagic)]) != streamMagic {
-		return nil, fmt.Errorf("replicate: response is not a GTREPv1 stream")
-	}
-	b := &Batch{SnapshotSeq: snapshotSeq}
-	buf := body[len(streamMagic):]
-	if hasSnapshot {
-		if len(buf) < snapshotHeaderLen {
-			return nil, fmt.Errorf("%w: torn snapshot header", ErrWireCorrupt)
-		}
-		sum := binary.LittleEndian.Uint32(buf[0:4])
-		n := int64(binary.LittleEndian.Uint64(buf[4:12]))
-		if n < 0 || n > maxSnapshotBytes {
-			return nil, fmt.Errorf("%w: snapshot length %d", ErrWireCorrupt, n)
-		}
-		if int64(len(buf)) < snapshotHeaderLen+n {
-			return nil, fmt.Errorf("%w: torn snapshot", ErrWireCorrupt)
-		}
-		snap := buf[snapshotHeaderLen : snapshotHeaderLen+n]
-		if crc32.Checksum(snap, snapshotCRC) != sum {
-			return nil, fmt.Errorf("%w: snapshot CRC mismatch", ErrWireCorrupt)
-		}
-		b.Snapshot = snap
-		buf = buf[snapshotHeaderLen+n:]
-	}
-	for len(buf) > 0 {
-		payload, n, err := store.DecodeFrame(buf)
-		if err != nil {
-			return b, fmt.Errorf("%w: %v", ErrWireCorrupt, err)
-		}
-		fr := store.WALFrame{Payload: payload}
-		if fr.Seq, err = store.FrameSeq(payload); err != nil {
-			return b, fmt.Errorf("%w: %v", ErrWireCorrupt, err)
-		}
-		if fr.Seq < 1 {
-			// A shipped record always carries the primary's stamp; a
-			// seq-less frame cannot be resumed past and must not apply.
-			return b, fmt.Errorf("%w: frame without a sequence number", ErrWireCorrupt)
-		}
-		b.Frames = append(b.Frames, fr)
-		buf = buf[n:]
-	}
-	return b, nil
+// HeartbeatFrame is the zero-length keepalive frame a push stream writes
+// while idle: a frame header with length 0 and CRC 0 (CRC32 of the empty
+// payload) and no body. Decoders skip it — it carries no record and no
+// sequence, it only proves the wire is alive.
+var HeartbeatFrame = [8]byte{}
+
+// maxFrameBytes mirrors the store's per-record cap: a length prefix
+// beyond it is corruption, not a large record.
+const maxFrameBytes = 16 << 20
+
+// streamReader decodes a stream response body incrementally: magic, the
+// optional snapshot section, then one frame at a time — no whole-body
+// slurp, so a push stream's frames decode (and apply) while the
+// connection keeps delivering. Heartbeat frames are consumed silently.
+type streamReader struct {
+	br *bufio.Reader
 }
 
-// defaultFetchClient bounds every fetch. Without a deadline, a primary
-// lost to a partition (no RST, the connection just hangs) would block a
-// tailer forever — and Promote waits out in-flight syncs, so the hang
-// would reach exactly the code path that exists for a dead primary.
+func newStreamReader(r io.Reader) *streamReader {
+	return &streamReader{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// readMagic consumes and verifies the stream magic. Any failure — wrong
+// bytes, a body shorter than the magic — means this is not a stream
+// response at all.
+func (sr *streamReader) readMagic() error {
+	var m [8]byte
+	if _, err := io.ReadFull(sr.br, m[:]); err != nil || m != streamMagic {
+		return fmt.Errorf("replicate: response is not a GTREPv1 stream")
+	}
+	return nil
+}
+
+// readSnapshot consumes the snapshot section (header, payload, CRC
+// check). Corruption here voids the whole response: nothing before the
+// snapshot is applicable, so there is no prefix to salvage.
+func (sr *streamReader) readSnapshot() ([]byte, error) {
+	var head [snapshotHeaderLen]byte
+	if _, err := io.ReadFull(sr.br, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: torn snapshot header", ErrWireCorrupt)
+	}
+	sum := binary.LittleEndian.Uint32(head[0:4])
+	n := int64(binary.LittleEndian.Uint64(head[4:12]))
+	if n < 0 || n > maxSnapshotBytes {
+		return nil, fmt.Errorf("%w: snapshot length %d", ErrWireCorrupt, n)
+	}
+	snap := make([]byte, n)
+	if _, err := io.ReadFull(sr.br, snap); err != nil {
+		return nil, fmt.Errorf("%w: torn snapshot", ErrWireCorrupt)
+	}
+	if crc32.Checksum(snap, snapshotCRC) != sum {
+		return nil, fmt.Errorf("%w: snapshot CRC mismatch", ErrWireCorrupt)
+	}
+	return snap, nil
+}
+
+// next decodes the next frame, skipping heartbeats. io.EOF means the
+// stream ended cleanly at a frame boundary; every other failure — torn
+// frame, bad CRC, a mid-frame connection cut — is ErrWireCorrupt: the
+// frames already returned are intact, everything after must re-fetch.
+func (sr *streamReader) next() (store.WALFrame, error) {
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(sr.br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return store.WALFrame{}, io.EOF
+			}
+			return store.WALFrame{}, fmt.Errorf("%w: %v", ErrWireCorrupt, err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 && sum == 0 {
+			continue // heartbeat
+		}
+		if int64(n) > maxFrameBytes {
+			return store.WALFrame{}, fmt.Errorf("%w: frame length %d exceeds cap %d", ErrWireCorrupt, n, maxFrameBytes)
+		}
+		buf := make([]byte, 8+int(n))
+		copy(buf, hdr[:])
+		if _, err := io.ReadFull(sr.br, buf[8:]); err != nil {
+			return store.WALFrame{}, fmt.Errorf("%w: torn frame", ErrWireCorrupt)
+		}
+		payload, _, err := store.DecodeFrame(buf)
+		if err != nil {
+			return store.WALFrame{}, fmt.Errorf("%w: %v", ErrWireCorrupt, err)
+		}
+		seq, err := store.FrameSeq(payload)
+		if err != nil {
+			return store.WALFrame{}, fmt.Errorf("%w: %v", ErrWireCorrupt, err)
+		}
+		if seq < 1 {
+			// A shipped record always carries the primary's stamp; a
+			// seq-less frame cannot be resumed past and must not apply.
+			return store.WALFrame{}, fmt.Errorf("%w: frame without a sequence number", ErrWireCorrupt)
+		}
+		return store.WALFrame{Seq: seq, Payload: payload}, nil
+	}
+}
+
+// defaultFetchClient bounds every one-shot fetch. Without a deadline, a
+// primary lost to a partition (no RST, the connection just hangs) would
+// block a tailer forever — and Promote waits out in-flight syncs, so the
+// hang would reach exactly the code path that exists for a dead primary.
 var defaultFetchClient = &http.Client{Timeout: 30 * time.Second}
+
+// defaultStreamClient carries the push streams: keep-alives and idle
+// pooling for the reconnect cycle, a header deadline for a dead primary —
+// but no overall timeout, which would cut every healthy stream at the
+// timeout mark. Liveness is the stall watchdog's job (heartbeats arrive
+// on a known cadence; see Stream).
+var defaultStreamClient = &http.Client{Transport: &http.Transport{
+	MaxIdleConnsPerHost:   4,
+	IdleConnTimeout:       90 * time.Second,
+	ResponseHeaderTimeout: 30 * time.Second,
+}}
 
 // Client fetches stream batches from a primary's base URL.
 type Client struct {
 	// Base is the primary's base URL, e.g. "http://primary:8080".
 	Base string
-	// HTTP overrides the transport; a 30s-timeout client when nil.
+	// HTTP overrides the transport; a 30s-timeout client when nil (and a
+	// timeout-less keep-alive client for Stream).
 	HTTP *http.Client
 }
 
 // Fetch pulls every committed record after `from` for one city. It may
 // return a non-nil partial Batch together with ErrWireCorrupt (apply the
-// prefix, retry), or ErrFollowerAhead on divergence.
+// prefix, retry), or ErrFollowerAhead on divergence. The body decodes
+// incrementally off the connection — frames append to the batch as they
+// arrive, and a connection cut mid-body yields the intact prefix.
 func (c *Client) Fetch(city string, from int64) (*Batch, error) {
 	hc := c.HTTP
 	if hc == nil {
@@ -223,27 +290,203 @@ func (c *Client) Fetch(city string, from int64) (*Batch, error) {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nil, fmt.Errorf("replicate: fetch %s: %s: %s", city, resp.Status, msg)
 	}
+	sr := newStreamReader(resp.Body)
+	if err := sr.readMagic(); err != nil {
+		return nil, err
+	}
 	intHeader := func(name string) int64 {
 		v, _ := strconv.ParseInt(resp.Header.Get(name), 10, 64)
 		return v
 	}
-	// A connection cut mid-body surfaces as a read error here; the bytes
-	// already received still parse as a valid prefix, so treat it like a
-	// torn frame rather than losing the whole batch.
-	body, readErr := io.ReadAll(resp.Body)
-	b, parseErr := parseStream(body, intHeader(HeaderSnapshotSeq), resp.Header.Get(HeaderSnapshotSeq) != "")
-	if b != nil {
-		b.PrimarySeq = intHeader(HeaderPrimarySeq)
-		b.PrimaryWALBytes = intHeader(HeaderPrimaryWALBytes)
-		b.LagBytes = intHeader(HeaderLagBytes)
+	b := &Batch{
+		SnapshotSeq:     intHeader(HeaderSnapshotSeq),
+		PrimarySeq:      intHeader(HeaderPrimarySeq),
+		PrimaryWALBytes: intHeader(HeaderPrimaryWALBytes),
+		LagBytes:        intHeader(HeaderLagBytes),
 	}
-	if parseErr != nil {
-		return b, parseErr
+	if resp.Header.Get(HeaderSnapshotSeq) != "" {
+		snap, err := sr.readSnapshot()
+		if err != nil {
+			// A corrupt snapshot voids the response: the frames after it
+			// only make sense on top of the snapshot's state.
+			return nil, err
+		}
+		b.Snapshot = snap
 	}
-	if readErr != nil {
-		return b, fmt.Errorf("%w: %v", ErrWireCorrupt, readErr)
+	for {
+		fr, err := sr.next()
+		if err == io.EOF {
+			return b, nil
+		}
+		if err != nil {
+			return b, err
+		}
+		b.Frames = append(b.Frames, fr)
 	}
-	return b, nil
+}
+
+// DefaultStreamHeartbeat is the keepalive cadence Stream requests when
+// the caller does not choose.
+const DefaultStreamHeartbeat = 2 * time.Second
+
+// Stream opens a push stream for one city and invokes apply as batches
+// arrive, until the server ends the stream (nil — reconnect and resume),
+// the context is canceled, apply fails, or the wire corrupts. Decode and
+// apply are pipelined: a goroutine decodes frames off the connection
+// while the caller's apply runs, and consecutive frames that arrived
+// during an apply coalesce into the next batch — so a follower persists
+// them under one group-commit fsync instead of one each.
+//
+// The first apply may carry a snapshot handoff (resume point behind the
+// primary's compaction horizon), exactly like Fetch. A stall watchdog
+// cancels the connection when nothing — frames or heartbeats — arrives
+// for several heartbeat intervals: a primary lost to a partition looks
+// like silence, and silence is the one thing a healthy stream never
+// produces.
+func (c *Client) Stream(ctx context.Context, city string, from int64, apply func(*Batch) error) error {
+	hb := DefaultStreamHeartbeat
+	hc := c.HTTP
+	if hc == nil {
+		hc = defaultStreamClient
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	u := fmt.Sprintf("%s/cities/%s/wal?from=%d&stream=1&hb=%s",
+		c.Base, url.PathEscape(city), from, hb)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("replicate: stream %s: %w", city, err)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("replicate: stream %s: %w", city, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		return fmt.Errorf("%w (city %s, from %d)", ErrFollowerAhead, city, from)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replicate: stream %s: %s: %s", city, resp.Status, msg)
+	}
+	stall := 3*hb + 2*time.Second
+	watchdog := time.AfterFunc(stall, cancel)
+	defer watchdog.Stop()
+	sr := newStreamReader(&touchReader{
+		r:     resp.Body,
+		touch: func() { watchdog.Reset(stall) },
+	})
+	if err := sr.readMagic(); err != nil {
+		return err
+	}
+	intHeader := func(name string) int64 {
+		v, _ := strconv.ParseInt(resp.Header.Get(name), 10, 64)
+		return v
+	}
+	primarySeq := intHeader(HeaderPrimarySeq)
+	primaryWALBytes := intHeader(HeaderPrimaryWALBytes)
+	if resp.Header.Get(HeaderSnapshotSeq) != "" {
+		snap, err := sr.readSnapshot()
+		if err != nil {
+			return err
+		}
+		if err := apply(&Batch{
+			Snapshot:        snap,
+			SnapshotSeq:     intHeader(HeaderSnapshotSeq),
+			PrimarySeq:      primarySeq,
+			PrimaryWALBytes: primaryWALBytes,
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Decode goroutine: frames flow through the channel while apply runs.
+	frames := make(chan store.WALFrame, 256)
+	decErr := make(chan error, 1)
+	go func() {
+		defer close(frames)
+		for {
+			fr, err := sr.next()
+			if err != nil {
+				decErr <- err
+				return
+			}
+			select {
+			case frames <- fr:
+			case <-ctx.Done():
+				decErr <- ctx.Err()
+				return
+			}
+		}
+	}()
+
+	const maxApplyBatch = 512
+	batch := make([]store.WALFrame, 0, 64)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		b := &Batch{
+			Frames:          batch,
+			PrimarySeq:      max(primarySeq, batch[len(batch)-1].Seq),
+			PrimaryWALBytes: primaryWALBytes,
+		}
+		err := apply(b)
+		batch = batch[:0]
+		return err
+	}
+	for fr := range frames {
+		batch = append(batch, fr)
+		// Greedy drain: everything the decoder got ahead on joins this
+		// batch, up to a cap that bounds apply (and fsync) granularity.
+	drain:
+		for len(batch) < maxApplyBatch {
+			select {
+			case more, ok := <-frames:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		if err := flush(); err != nil {
+			cancel()
+			for range frames { // unblock the decoder
+			}
+			return err
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	err = <-decErr
+	switch {
+	case err == io.EOF:
+		return nil // clean end: the server closed the stream; reconnect
+	case ctx.Err() != nil && errors.Is(err, ErrWireCorrupt):
+		// The watchdog (or caller) canceled mid-read; report the cancel,
+		// not the cut it caused.
+		return fmt.Errorf("replicate: stream %s: %w", city, ctx.Err())
+	default:
+		return err
+	}
+}
+
+// touchReader resets the stall watchdog on every successful read — the
+// liveness signal heartbeats exist to generate.
+type touchReader struct {
+	r     io.Reader
+	touch func()
+}
+
+func (t *touchReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n > 0 {
+		t.touch()
+	}
+	return n, err
 }
 
 // retryBackoff bounds how fast a failing tailer hammers the primary.

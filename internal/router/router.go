@@ -36,6 +36,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -91,7 +92,10 @@ type Options struct {
 	ShedLag int64
 	// MaxSessions bounds the session table (0: DefaultMaxSessions).
 	MaxSessions int
-	// HTTP overrides the backend transport; a 30s-timeout client when nil.
+	// HTTP overrides the backend transport; when nil, a keep-alive client
+	// with per-phase transport deadlines (dial, response headers, idle) and
+	// no overall timeout — the /wal streams proxied for push replication
+	// are healthy precisely when they stay open.
 	HTTP *http.Client
 	// AccessLog, when set, receives one structured record per routed
 	// request (request id, endpoint class, city, shard, backend, status,
@@ -127,9 +131,33 @@ type Router struct {
 	metrics   *telemetry.Registry
 	httpM     *telemetry.HTTPMetrics
 	accessLog *slog.Logger
+
+	// baseURLs caches each backend base URL parsed once — forward copies
+	// the cached struct per request instead of re-parsing "scheme://host"
+	// from scratch on every proxied hop. Keys are the handful of node URLs
+	// the topology lists (plus any X-GT-Primary hints), so the map never
+	// grows past the fleet size.
+	baseURLs sync.Map // string -> *url.URL
 }
 
-var defaultProxyClient = &http.Client{Timeout: 30 * time.Second}
+// defaultProxyClient carries all backend traffic: proxied requests,
+// health polls, and — with push replication — /wal streams a follower
+// holds open through the router. That last case rules out Client.Timeout
+// (it would cut every healthy stream at the mark); instead each phase is
+// bounded on the Transport: dial, time-to-headers, idle reuse. The pool
+// sizes fit the fan-out shape — a router talks to a handful of backends,
+// each carrying many concurrent proxied requests, so per-host idle
+// capacity matters more than total.
+var defaultProxyClient = &http.Client{Transport: &http.Transport{
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:          256,
+	MaxIdleConnsPerHost:   32,
+	IdleConnTimeout:       90 * time.Second,
+	ResponseHeaderTimeout: 30 * time.Second,
+}}
 
 // New builds a router over a validated topology.
 func New(opts Options) (*Router, error) {
@@ -270,7 +298,7 @@ func (rt *Router) proxyRead(sh *Shard, city, rest string, w http.ResponseWriter,
 		} else {
 			rt.ctr.readsFollower.Inc()
 		}
-		rt.relay(w, resp, sh.Name, node)
+		rt.relay(w, resp, sh.Name, node, rest == "wal")
 		return
 	}
 	writeErr(w, http.StatusBadGateway, "no replica of shard %q reachable for city %q", sh.Name, city)
@@ -457,7 +485,7 @@ func (rt *Router) proxyMutation(sh *Shard, city string, w http.ResponseWriter, r
 			return false
 		}
 		rt.noteMutation(city, r, resp)
-		rt.relay(w, resp, sh.Name, node)
+		rt.relay(w, resp, sh.Name, node, false)
 		return true
 	}
 
@@ -563,18 +591,55 @@ func (rt *Router) resolveNode(sh *Shard, hint string) string {
 
 // forward sends a copy of the inbound request to one backend. GET bodies
 // are empty; mutation bodies are the buffered bytes, replayable across
-// candidates.
+// candidates (GetBody lets the transport itself replay over a dead
+// keep-alive connection). The outbound request is assembled directly —
+// cached base URL copied by value, path/query taken from the inbound
+// parse — rather than formatting a URL string for http.NewRequest to
+// parse straight back apart; that round-trip was the proxy hot path's
+// single largest allocation source.
 func (rt *Router) forward(base string, r *http.Request, body []byte) (*http.Response, error) {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), rd)
+	bu, err := rt.baseURL(base)
 	if err != nil {
 		return nil, err
 	}
+	u := *bu
+	u.Path = bu.Path + r.URL.Path
+	if bu.RawPath != "" || r.URL.RawPath != "" {
+		u.RawPath = bu.EscapedPath() + r.URL.EscapedPath()
+	}
+	u.RawQuery = r.URL.RawQuery
+	req := (&http.Request{
+		Method:     r.Method,
+		URL:        &u,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     make(http.Header, len(r.Header)+2),
+		Host:       u.Host,
+	}).WithContext(r.Context())
+	if body != nil {
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		req.ContentLength = int64(len(body))
+		req.GetBody = func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(body)), nil
+		}
+	}
 	copyHeader(req.Header, r.Header)
 	return rt.client.Do(req)
+}
+
+// baseURL returns the parsed form of a backend base URL, parsing each
+// distinct base exactly once.
+func (rt *Router) baseURL(base string) (*url.URL, error) {
+	if v, ok := rt.baseURLs.Load(base); ok {
+		return v.(*url.URL), nil
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, err
+	}
+	rt.baseURLs.Store(base, u)
+	return u, nil
 }
 
 // copyBufPool feeds relay's io.CopyBuffer: one 32 KiB scratch buffer per
@@ -593,8 +658,11 @@ var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // and backend served it. The copy runs over a pooled buffer and the
 // backend's Content-Length (when known) passes through, so a cached
 // byte-for-byte backend response relays without any allocation or
-// chunked re-framing on this hop.
-func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, shard, backend string) {
+// chunked re-framing on this hop. With flush set (the /wal route) every
+// chunk flushes as it arrives, so a push stream's commit-wakeup frames
+// and heartbeats pass through the router instead of sitting in its
+// response buffer until it fills.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, shard, backend string, flush bool) {
 	defer resp.Body.Close()
 	copyHeader(w.Header(), resp.Header)
 	w.Header().Set(HeaderShard, shard)
@@ -603,9 +671,31 @@ func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, shard, backe
 		w.Header().Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
 	}
 	w.WriteHeader(resp.StatusCode)
+	var dst io.Writer = w
+	if flush {
+		if fl := telemetry.FlusherFor(w); fl != nil {
+			fl.Flush() // headers out now: the follower reads them before the first frame
+			dst = flushWriter{w: w, fl: fl}
+		}
+	}
 	buf := copyBufPool.Get().(*[]byte)
-	_, _ = io.CopyBuffer(w, resp.Body, *buf)
+	_, _ = io.CopyBuffer(dst, resp.Body, *buf)
 	copyBufPool.Put(buf)
+}
+
+// flushWriter flushes after every write — the pass-through a long-lived
+// stream needs from a proxy hop.
+type flushWriter struct {
+	w  io.Writer
+	fl http.Flusher
+}
+
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if n > 0 {
+		f.fl.Flush()
+	}
+	return n, err
 }
 
 // copyHeader copies all headers except hop-by-hop ones.

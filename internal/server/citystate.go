@@ -71,6 +71,16 @@ type cityState struct {
 	met        cityMetrics
 	compactDur *telemetry.Histogram
 
+	// notify is the city's commit broadcast (notify.go): woken after every
+	// applied mutation — primary commits, follower frame applies, snapshot
+	// handoffs, promotion — so /wal long-polls and push streams wake on
+	// commit instead of sleeping a poll interval. The notifier is owned by
+	// the Server (it outlives eviction/reload cycles; cold-city long-polls
+	// wait on it too) and shared with the cityState at construction.
+	// streams carries the process-wide push-stream instruments.
+	notify  *commitNotify
+	streams *streamMetrics
+
 	// Replay facts from the last load, for /healthz. Immutable after
 	// newCityState.
 	replay       store.WALReplayInfo
@@ -188,6 +198,8 @@ func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) 
 		fleetVersion: &s.fleetVersion,
 		met:          s.metrics.city(c.Key),
 		compactDur:   s.metrics.compaction,
+		notify:       s.notifier(c.Key),
+		streams:      &s.metrics.streams,
 	}
 	cs.persistErr.Store("")
 	// Hot-path counters live on the structs that bump them; registration
@@ -220,6 +232,12 @@ func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) 
 		return nil, fmt.Errorf("server: wal for %q: %w", cs.key, err)
 	}
 	wal.Instrument(s.metrics.walAppend, s.metrics.walFsync)
+	// Fsync latency grows with the *file* being synced, not the record
+	// appended (ext4 journals metadata proportional to file size), so the
+	// fsync histogram is partitioned by log size at sync time — the label
+	// that explains why appends on a 100k-record log read slower than on a
+	// fresh one while B/op stays flat.
+	wal.InstrumentSizedFsync(s.metrics.fsyncBySize)
 	wal.Seed(cs.replay.CurrentRecords, cs.replay.LastSeq)
 	cs.wal = wal
 	// Seed the byte-cache version from the recovered sequence so a
@@ -399,6 +417,12 @@ func (cs *cityState) commit(mutate func(logRec func(store.WALRecord))) int64 {
 		// reader arriving after this mutation's response can never hit
 		// bytes rendered before it (cache.go).
 		cs.bumpCacheVersion()
+		// Wake /wal long-polls and push streams with the durable head —
+		// never the pinPrimarySeq sentinel: a failed append's record can
+		// never ship, so the notifier must not claim its sequence.
+		if cs.notify != nil {
+			cs.notify.wake(cs.appliedSeq())
+		}
 		cs.maybeCompact()
 	}
 	return seq

@@ -63,6 +63,15 @@ func (cs *cityState) replicaResume() (int64, error) {
 // position are skipped (at-least-once delivery). An error means the
 // stream and the local state disagree; the city stops advancing rather
 // than guessing.
+//
+// Persistence is batched: each applied frame materializes immediately,
+// but the verbatim re-append to the follower's own log happens once for
+// the whole batch through WAL.AppendFrames — one write, one group-commit
+// fsync — instead of the per-frame AppendFrame (and per-frame fsync under
+// WALSyncAlways) this loop used to pay. The read lock spans the batch so
+// the [materialize + append] pair stays atomic against compaction, and
+// the append still runs strictly after materialization, preserving the
+// invariant that the local log head never leads the serving state.
 func (cs *cityState) applyFrames(frames []store.WALFrame) (int64, error) {
 	m := cs.replica
 	if m == nil {
@@ -78,11 +87,12 @@ func (cs *cityState) applyFrames(frames []store.WALFrame) (int64, error) {
 	}
 	logged := false
 	var applyErr error
+	var toAppend []store.WALFrame
+	cs.persistMu.RLock()
 	for _, fr := range frames {
 		if fr.Seq <= m.ap.LastSeq() {
 			continue
 		}
-		cs.persistMu.RLock()
 		res, err := m.ap.ApplyPayload(fr.Payload)
 		if err == nil && !res.Skipped {
 			if merr := cs.materializeRecord(res); merr != nil {
@@ -97,29 +107,36 @@ func (cs *cityState) applyFrames(frames []store.WALFrame) (int64, error) {
 				// pre-frame render under a post-frame version.
 				cs.bumpCacheVersion()
 				cs.met.framesApplied.Inc()
-				if cs.wal != nil {
-					// Persistence failures never stall replication — the
-					// in-memory copy is committed; they surface on /healthz
-					// and veto eviction like any primary append failure.
-					if werr := cs.wal.AppendFrame(fr); werr != nil {
-						cs.persistErr.Store(werr.Error())
-					} else {
-						logged = true
-					}
-				}
+				toAppend = append(toAppend, fr)
 			}
 		}
-		cs.persistMu.RUnlock()
 		if err != nil {
 			applyErr = fmt.Errorf("seq %d: %w", fr.Seq, err)
 			break
 		}
 	}
+	if cs.wal != nil && len(toAppend) > 0 {
+		// Persistence failures never stall replication — the in-memory
+		// copy is committed; they surface on /healthz and veto eviction
+		// like any primary append failure. A fault mid-batch still
+		// persists the frames applied before it.
+		if werr := cs.wal.AppendFrames(toAppend); werr != nil {
+			cs.persistErr.Store(werr.Error())
+		} else {
+			logged = true
+		}
+	}
+	cs.persistMu.RUnlock()
 	m.ap.Finish()
 	cs.mu.Lock()
 	cs.nextID = m.st.NextID
 	cs.mu.Unlock()
 	last := m.ap.LastSeq()
+	if len(toAppend) > 0 && cs.notify != nil {
+		// One wake per batch: cascading replicas tailing this follower
+		// resume with the whole batch in one read.
+		cs.notify.wake(cs.appliedSeq())
+	}
 	if logged {
 		cs.maybeCompact()
 	}
@@ -258,6 +275,9 @@ func (cs *cityState) applySnapshot(raw []byte) (int64, error) {
 	cs.persistMu.Unlock()
 	m.st, m.ap = mst, ap
 	m.fault = nil // the installed snapshot supersedes whatever was lost
+	if cs.notify != nil {
+		cs.notify.wake(st.WALSeq)
+	}
 	return st.WALSeq, nil
 }
 
@@ -272,6 +292,11 @@ func (cs *cityState) sealPromoted() {
 	}
 	if cs.wal != nil {
 		_ = cs.wal.Sync()
+	}
+	// A generation tick, not a position change: push streams re-check and
+	// notice the role flip on their next read.
+	if cs.notify != nil {
+		cs.notify.wake(cs.appliedSeq())
 	}
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"math/rand"
@@ -603,4 +604,368 @@ func TestWALStreamServesColdCities(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertConverged(t, p2, f, []string{"alpha"})
+}
+
+// --- push streaming ---
+
+// waitApplied polls a follower's lag until the city's applied sequence
+// reaches want, returning how long it took.
+func waitApplied(t *testing.T, f *Server, key string, want int64, within time.Duration) time.Duration {
+	t.Helper()
+	start := time.Now()
+	deadline := start.Add(within)
+	for {
+		if l, ok := f.Follower().Lag(key); ok && l.AppliedSeq >= want {
+			return time.Since(start)
+		}
+		if time.Now().After(deadline) {
+			l, _ := f.Follower().Lag(key)
+			t.Fatalf("%s: applied seq never reached %d within %v (lag %+v)", key, want, within, l)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// primaryHead reads a city's committed head off the primary.
+func primaryHead(t *testing.T, p *Server, key string) int64 {
+	t.Helper()
+	c, release, err := p.Registry().Acquire(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	return c.State.appliedSeq()
+}
+
+// TestPushStreamingAppliesOnCommitWakeup pins the push-replication
+// guarantee: steady-state replica apply is driven by commit wakeups, not
+// the poll interval. The follower's interval is an hour — if any
+// poll-paced sleep sat on the caught-up hot path, nothing would
+// replicate before the deadlines below.
+func TestPushStreamingAppliesOnCommitWakeup(t *testing.T) {
+	p, pts, f, _ := replicationPair(t,
+		Options{SnapshotDir: t.TempDir()},
+		Options{SnapshotDir: t.TempDir(), FollowPoll: time.Hour})
+
+	m := &mutator{ts: pts, city: mcCities[0], key: "alpha", rng: rand.New(rand.NewSource(21))}
+	for i := 0; i < 5; i++ {
+		m.step(t)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	waitApplied(t, f, "alpha", primaryHead(t, p, "alpha"), 10*time.Second)
+
+	// Steady state: each commit must land on the follower promptly — five
+	// orders of magnitude inside the poll interval.
+	for i := 0; i < 3; i++ {
+		m.step(t)
+		if t.Failed() {
+			t.FailNow()
+		}
+		took := waitApplied(t, f, "alpha", primaryHead(t, p, "alpha"), 10*time.Second)
+		if took > 5*time.Second {
+			t.Fatalf("commit %d took %v to replicate — the wakeup path is not engaged", i, took)
+		}
+	}
+	assertConverged(t, p, f, []string{"alpha"})
+}
+
+// TestPushStreamHeldOpenThroughMiddleware pins the transport contract
+// the push design rests on: a ?stream=1 response through the REAL
+// handler stack (telemetry middleware included) stays open and flushes —
+// heartbeats arrive while the connection lives, and a commit's frame is
+// pushed down the same response without a reconnect. This is exactly
+// what silently broke when a middleware wrapper hid http.Flusher: every
+// "stream" became a buffered one-shot, the convergence tests still
+// passed, and the follower degenerated into a hot reconnect loop.
+func TestPushStreamHeldOpenThroughMiddleware(t *testing.T) {
+	multiCityDataDir(t)
+	p, err := NewMultiCity(Options{Cities: mcCities, SnapshotDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	pts := httptest.NewServer(p.Handler())
+	t.Cleanup(pts.Close)
+
+	m := &mutator{ts: pts, city: mcCities[0], key: "alpha", rng: rand.New(rand.NewSource(29))}
+	m.step(t)
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	resp, err := http.Get(pts.URL + "/cities/alpha/wal?from=0&stream=1&hb=150ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.ContentLength >= 0 {
+		t.Fatalf("push stream answered with Content-Length %d — a buffered one-shot, not a held stream", resp.ContentLength)
+	}
+	watchdog := time.AfterFunc(10*time.Second, func() { resp.Body.Close() })
+	defer watchdog.Stop()
+
+	var magic [8]byte
+	if _, err := io.ReadFull(resp.Body, magic[:]); err != nil {
+		t.Fatal(err)
+	}
+	readFrame := func() (n, sum uint32) {
+		t.Helper()
+		var hdr [8]byte
+		if _, err := io.ReadFull(resp.Body, hdr[:]); err != nil {
+			t.Fatalf("stream ended instead of staying open: %v", err)
+		}
+		n = binary.LittleEndian.Uint32(hdr[0:4])
+		sum = binary.LittleEndian.Uint32(hdr[4:8])
+		if n > 0 {
+			if _, err := io.ReadFull(resp.Body, make([]byte, n)); err != nil {
+				t.Fatalf("torn frame payload: %v", err)
+			}
+		}
+		return n, sum
+	}
+	// Drain the initial batch until a heartbeat (zero length, zero CRC)
+	// proves the response is being flushed while held open.
+	for {
+		if n, sum := readFrame(); n == 0 && sum == 0 {
+			break
+		}
+	}
+	// A commit now must be pushed down this same response.
+	m.step(t)
+	if t.Failed() {
+		t.FailNow()
+	}
+	for {
+		if n, sum := readFrame(); n != 0 || sum != 0 {
+			return // the commit's frame arrived mid-stream
+		}
+	}
+}
+
+// TestPushStreamKillMidStreamResumes: the kill chaos test on the
+// streaming path. A streaming follower dies mid-replication; a fresh
+// process over the same state directory must reconnect its streams from
+// the last durable sequence and converge without a snapshot handoff.
+func TestPushStreamKillMidStreamResumes(t *testing.T) {
+	followerDir := t.TempDir()
+	p, pts, f1, _ := replicationPair(t,
+		Options{SnapshotDir: t.TempDir()},
+		Options{SnapshotDir: followerDir, FollowPoll: 20 * time.Millisecond})
+
+	m := &mutator{ts: pts, city: mcCities[0], key: "alpha", rng: rand.New(rand.NewSource(23))}
+	for i := 0; i < 8; i++ {
+		m.step(t)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	waitApplied(t, f1, "alpha", primaryHead(t, p, "alpha"), 10*time.Second)
+	lag1, _ := f1.Follower().Lag("alpha")
+	// "Kill": the streams cut mid-flight; state survives only on disk.
+	f1.Close()
+
+	for i := 0; i < 6; i++ {
+		m.step(t)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	f2, _ := followerFor(t, pts.URL, Options{SnapshotDir: followerDir, FollowPoll: 20 * time.Millisecond})
+	waitApplied(t, f2, "alpha", primaryHead(t, p, "alpha"), 10*time.Second)
+	assertConverged(t, p, f2, []string{"alpha"})
+	lag2, _ := f2.Follower().Lag("alpha")
+	if lag2.SnapshotHandoffs != 0 {
+		t.Fatalf("streaming resume took a snapshot handoff: %+v", lag2)
+	}
+	if lag2.AppliedSeq <= lag1.AppliedSeq {
+		t.Fatalf("no progress after restart: %d -> %d", lag1.AppliedSeq, lag2.AppliedSeq)
+	}
+}
+
+// TestPushStreamCompactionHandoff: the compaction chaos test on the
+// streaming path. A follower resuming behind the compaction horizon gets
+// the snapshot handoff in its first stream response; a compaction landing
+// mid-stream ends the stream cleanly and the reconnect keeps delivering.
+func TestPushStreamCompactionHandoff(t *testing.T) {
+	multiCityDataDir(t)
+	p, err := NewMultiCity(Options{Cities: mcCities, SnapshotDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(p.Handler())
+	t.Cleanup(pts.Close)
+
+	m := &mutator{ts: pts, city: mcCities[1], key: "beta", rng: rand.New(rand.NewSource(25))}
+	for i := 0; i < 8; i++ {
+		m.step(t)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	compactCity(t, p, "beta")
+
+	// A fresh streaming follower resumes from 0 — behind the horizon.
+	f, _ := followerFor(t, pts.URL, Options{SnapshotDir: t.TempDir(), FollowPoll: 20 * time.Millisecond})
+	waitApplied(t, f, "beta", primaryHead(t, p, "beta"), 10*time.Second)
+	assertConverged(t, p, f, []string{"beta"})
+	lag, _ := f.Follower().Lag("beta")
+	if lag.SnapshotHandoffs == 0 {
+		t.Fatalf("handoff not taken on the streaming path: %+v", lag)
+	}
+
+	// Mid-stream compaction: the log rotates under the open stream.
+	for i := 0; i < 4; i++ {
+		m.step(t)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	compactCity(t, p, "beta")
+	for i := 0; i < 3; i++ {
+		m.step(t)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	waitApplied(t, f, "beta", primaryHead(t, p, "beta"), 10*time.Second)
+	assertConverged(t, p, f, []string{"beta"})
+}
+
+// TestPushStreamWireCorruption: the torn-wire chaos test on the streaming
+// path. A chunk-relaying proxy flips one byte inside the city's stream;
+// the CRC catches it, the intact prefix applies, and the reconnect
+// re-fetches the poisoned frame — converging with a recorded retry.
+func TestPushStreamWireCorruption(t *testing.T) {
+	multiCityDataDir(t)
+	p, err := NewMultiCity(Options{Cities: mcCities, SnapshotDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(p.Handler())
+	t.Cleanup(pts.Close)
+
+	m := &mutator{ts: pts, city: mcCities[2], key: "gamma", rng: rand.New(rand.NewSource(27))}
+	for i := 0; i < 8; i++ {
+		m.step(t)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The proxy relays chunk-by-chunk with flushes (streams pass through
+	// live) and corrupts one byte of gamma's stream once past the magic.
+	var corrupted atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(pts.URL + r.URL.String())
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		fl, _ := w.(http.Flusher)
+		target := strings.Contains(r.URL.Path, "/gamma/") && strings.Contains(r.URL.Path, "/wal")
+		buf := make([]byte, 4096)
+		total := 0
+		for {
+			n, rerr := resp.Body.Read(buf)
+			if n > 0 {
+				chunk := buf[:n]
+				total += n
+				if target && total > 64 && corrupted.CompareAndSwap(false, true) {
+					chunk[n-1] ^= 0x20
+				}
+				if _, werr := w.Write(chunk); werr != nil {
+					return
+				}
+				if fl != nil {
+					fl.Flush()
+				}
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(proxy.Close)
+
+	f, _ := followerFor(t, proxy.URL, Options{SnapshotDir: t.TempDir(), FollowPoll: 20 * time.Millisecond})
+	waitApplied(t, f, "gamma", primaryHead(t, p, "gamma"), 15*time.Second)
+	assertConverged(t, p, f, []string{"gamma"})
+	if !corrupted.Load() {
+		t.Fatal("proxy never corrupted the stream")
+	}
+	lag, _ := f.Follower().Lag("gamma")
+	if lag.WireRetries == 0 {
+		t.Fatalf("wire retry not recorded: %+v", lag)
+	}
+}
+
+// TestWALLongPoll: ?wait= blocks a caught-up request until a commit
+// wakes it — answering promptly, not at the wait mark — and returns an
+// empty batch when the wait elapses with nothing new.
+func TestWALLongPoll(t *testing.T) {
+	multiCityDataDir(t)
+	p, err := NewMultiCity(Options{Cities: mcCities, SnapshotDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(p.Handler())
+	t.Cleanup(pts.Close)
+	if _, err := mcCreateGroup(pts, mcCities[0], "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	head := primaryHead(t, p, "alpha")
+
+	// A commit lands mid-wait: the poll must answer with it promptly.
+	done := make(chan error, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		_, err := mcCreateGroup(pts, mcCities[0], "alpha")
+		done <- err
+	}()
+	start := time.Now()
+	resp, err := http.Get(fmt.Sprintf("%s/cities/alpha/wal?from=%d&wait=10s", pts.URL, head))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	took := time.Since(start)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || len(body) <= 8 {
+		t.Fatalf("long-poll answer: %d (%d bytes)", resp.StatusCode, len(body))
+	}
+	if took > 5*time.Second {
+		t.Fatalf("long-poll took %v despite the commit at 150ms — no wakeup", took)
+	}
+
+	// Nothing commits: the wait elapses and the answer is headers + magic.
+	head = primaryHead(t, p, "alpha")
+	start = time.Now()
+	resp, err = http.Get(fmt.Sprintf("%s/cities/alpha/wal?from=%d&wait=200ms", pts.URL, head))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(body) != 8 {
+		t.Fatalf("timed-out long-poll: %d (%d bytes)", resp.StatusCode, len(body))
+	}
+	if e := time.Since(start); e < 180*time.Millisecond {
+		t.Fatalf("timed-out long-poll returned in %v — it never waited", e)
+	}
 }

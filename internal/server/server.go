@@ -137,6 +137,13 @@ type Options struct {
 	// replicate.DefaultPollInterval; < 0 starts no background tailers —
 	// the embedder drives Follower().Sync/CatchUp itself (tests).
 	FollowPoll time.Duration
+	// FollowMode selects how background tailers track the primary:
+	// "stream" (the default, also "") holds a push stream open per city —
+	// the primary flushes frames as commits land, so steady-state lag is
+	// bounded by the network, not a poll interval; FollowPoll then only
+	// paces reconnect attempts. "poll" restores the pre-streaming backoff
+	// polling. Manual-sync embedders (FollowPoll < 0) are unaffected.
+	FollowMode string
 	// AccessLog emits one structured line per request (request id,
 	// endpoint class, city, status, duration) when non-nil. Nil keeps the
 	// request path silent — the benchmark/embedder default.
@@ -166,6 +173,12 @@ type Server struct {
 	// caught-up followers polling cold cities cost three stats, not a
 	// snapshot parse. Entries self-invalidate via file signatures.
 	coldHeads sync.Map // city key -> coldHead
+
+	// notifiers holds one commit broadcast per city key (notify.go). They
+	// live on the Server, not the cityState, so they survive eviction/
+	// reload cycles and cold-city long-polls can wait on a city that is
+	// not resident yet.
+	notifiers sync.Map // city key -> *commitNotify
 
 	// fleetVersion numbers every event that can change the GET /cities
 	// listing — commits, frame applies, compactions, loads, evictions,
@@ -331,8 +344,16 @@ func NewMultiCity(opts Options) (*Server, error) {
 	if err := s.Preload(opts.PreloadCities...); err != nil {
 		return nil, err
 	}
+	switch opts.FollowMode {
+	case "", "stream", "poll":
+	default:
+		return nil, fmt.Errorf("server: unknown follow mode %q (want stream or poll)", opts.FollowMode)
+	}
 	if upstream := s.topo.Upstream(); upstream != "" {
 		s.follower = replicate.NewFollower(upstream, keys, followerTarget{s}, max(opts.FollowPoll, 0))
+		if opts.FollowMode == "poll" {
+			s.follower.SetStreaming(false)
+		}
 		if opts.FollowPoll >= 0 {
 			s.follower.Start()
 		}
@@ -605,6 +626,15 @@ func (s *Server) handleCities(w http.ResponseWriter, _ *http.Request) {
 	body := renderJSON(out)
 	s.citiesCache.put(v, body)
 	writeRawJSON(w, http.StatusOK, body)
+}
+
+// notifier returns the city's commit broadcast, creating it on first use.
+func (s *Server) notifier(key string) *commitNotify {
+	if n, ok := s.notifiers.Load(key); ok {
+		return n.(*commitNotify)
+	}
+	n, _ := s.notifiers.LoadOrStore(key, newCommitNotify())
+	return n.(*commitNotify)
 }
 
 // lastSnapshotString formats a snapshot instant for health reports.

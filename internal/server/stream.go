@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 
 	"grouptravel/internal/replicate"
 	"grouptravel/internal/store"
+	"grouptravel/internal/telemetry"
 )
 
 // This file is the primary half of log shipping: GET /cities/{city}/wal
@@ -20,11 +22,29 @@ import (
 // out byte-for-byte as they sit in the log. A follower's own /wal
 // endpoint serves the same way, so replicas can cascade.
 //
+// Beyond the classic one-shot response the endpoint is commit-driven:
+//
+//   - ?wait={dur} long-polls: a caught-up request blocks until a commit
+//     lands (the city's commitNotify wakes it) or the wait elapses, then
+//     answers one ordinary batch. Steady-state lag stops being bounded by
+//     the follower's poll interval.
+//   - ?stream=1 holds the connection open: the handler writes the initial
+//     batch (snapshot handoff included when needed), then flushes frames
+//     via http.Flusher as commits land, with zero-length heartbeat frames
+//     every ?hb={dur} so proxies and stall detectors see a live wire. The
+//     server may end the stream at any time — compaction moving the log
+//     out from under the reader, the stream-life cap protecting the LRU,
+//     a promotion — and the client simply reconnects; at-least-once
+//     delivery and sequence-idempotent apply make the cut invisible.
+//
 // The stream deliberately never forces a city load: a resident city
 // serves live (its appender's sequence counter is the authoritative
 // head), an unloaded one serves cold from its sealed on-disk state —
 // tailing followers polling every city must not defeat the LRU cap by
-// faulting everything in.
+// faulting everything in. Cold cities answer long-polls too (the
+// notifier outlives residency), but never hold a push stream: the
+// one-shot answer ends the response and the client's reconnect loop
+// paces itself on the wait.
 
 // errStreamAhead: the requested resume point is beyond this log's head —
 // the caller has records this server never wrote. Divergence, not lag.
@@ -33,6 +53,61 @@ var errStreamAhead = errors.New("ahead of log head")
 // errStreamBusy: compaction kept moving the files under the reader for
 // every retry. Transient; the follower's next poll retries.
 var errStreamBusy = errors.New("log rotating; retry")
+
+const (
+	// maxWALWait caps ?wait= so a stuck client cannot pin a handler (and
+	// its city acquisition) forever on a silent city.
+	maxWALWait = 5 * time.Minute
+	// maxStreamLife caps one push stream's lifetime. The handler holds the
+	// city acquired for the stream's whole duration, which blocks LRU
+	// eviction; bounding the stream bounds the pin, and the client's
+	// reconnect gets a fresh handoff decision (snapshot vs frames) too.
+	maxStreamLife = 2 * time.Minute
+	// Heartbeat cadence bounds: defaultHeartbeat when the client does not
+	// choose, clamped into [minHeartbeat, maxHeartbeat] when it does.
+	defaultHeartbeat = 2 * time.Second
+	minHeartbeat     = 100 * time.Millisecond
+	maxHeartbeat     = 30 * time.Second
+)
+
+// walStreamParams are the commit-driven knobs of one /wal request.
+type walStreamParams struct {
+	wait   time.Duration // long-poll budget; 0 = answer immediately
+	stream bool          // hold the connection open, push frames
+	hb     time.Duration // heartbeat cadence on an idle stream
+}
+
+// parseStreamParams reads wait/stream/hb; on a bad value it writes the
+// 400 and reports !ok.
+func parseStreamParams(w http.ResponseWriter, r *http.Request) (walStreamParams, bool) {
+	p := walStreamParams{hb: defaultHeartbeat}
+	q := r.URL.Query()
+	if v := q.Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeErr(w, http.StatusBadRequest, "bad wait %q", v)
+			return p, false
+		}
+		p.wait = min(d, maxWALWait)
+	}
+	switch v := q.Get("stream"); v {
+	case "", "0", "false":
+	case "1", "true":
+		p.stream = true
+	default:
+		writeErr(w, http.StatusBadRequest, "bad stream %q", v)
+		return p, false
+	}
+	if v := q.Get("hb"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad hb %q", v)
+			return p, false
+		}
+		p.hb = min(max(d, minHeartbeat), maxHeartbeat)
+	}
+	return p, true
+}
 
 // handleWAL routes one stream request: live when the city is resident,
 // cold (disk-only) when it is not. "No WAL configured" is 501, never
@@ -47,43 +122,84 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown city %q", key)
 		return
 	}
-	if c, release, ok := s.reg.AcquireIfLoaded(key); ok {
-		defer release()
-		c.State.handleWALStream(w, r)
-		return
-	}
-	if s.snapshotDir == "" {
-		writeErr(w, http.StatusNotImplemented,
-			"city %q has no write-ahead log (replication requires -snapshot-dir)", key)
-		return
-	}
-	// Cold: the city's state is sealed on disk (eviction compacted and
-	// closed it, or it was never touched). A load racing this read only
-	// appends past what we serve; the density checks catch rotations.
 	from, ok := parseFrom(w, r)
 	if !ok {
 		return
 	}
-	// Caught-up cold polls answer from three stats: re-reading (and
-	// JSON-parsing) a large sealed snapshot 4x/sec per follower just to
-	// say "nothing new" would make cold cities more expensive than live
-	// ones.
-	sig := coldSig(s.snapshotDir, key)
-	if h, hit := s.coldHeads.Load(key); hit {
-		if ch := h.(coldHead); ch.sig == sig && from == ch.last {
-			_ = replicate.WriteStream(w, &replicate.Batch{PrimarySeq: ch.last, PrimaryWALBytes: ch.walBytes})
+	p, ok := parseStreamParams(w, r)
+	if !ok {
+		return
+	}
+	// A cold city cannot hold a push stream (nothing resident fires its
+	// appender), so stream requests degrade to a bounded long-poll: the
+	// one-shot answer ends the response and the client reconnects — which
+	// self-paces its effective poll to the wait below.
+	coldWait := p.wait
+	if p.stream && coldWait == 0 {
+		coldWait = 2 * p.hb
+	}
+	deadline := time.Now().Add(coldWait)
+	for {
+		if c, release, ok := s.reg.AcquireIfLoaded(key); ok {
+			defer release()
+			c.State.handleWALStream(w, r, from, p)
+			return
+		}
+		if s.snapshotDir == "" {
+			writeErr(w, http.StatusNotImplemented,
+				"city %q has no write-ahead log (replication requires -snapshot-dir)", key)
+			return
+		}
+		// Cold: the city's state is sealed on disk (eviction compacted and
+		// closed it, or it was never touched). A load racing this read only
+		// appends past what we serve; the density checks catch rotations.
+		batch, cached, err := s.coldBatch(key, from)
+		if err != nil {
+			writeStreamResult(w, from, nil, err)
+			return
+		}
+		caughtUp := batch.Snapshot == nil && len(batch.Frames) == 0
+		remaining := time.Until(deadline)
+		if !caughtUp || coldWait <= 0 || remaining <= 0 {
+			_ = replicate.WriteStream(w, batch)
+			if !cached {
+				s.fleetVersion.Add(1) // the /cities listing reports cold heads
+			}
+			return
+		}
+		// Caught up with wait budget left: block on the city's notifier —
+		// a load-and-commit on this key wakes us — then re-run the whole
+		// resolution (the city may be resident now).
+		_, ch := s.notifier(key).await()
+		select {
+		case <-ch:
+			s.metrics.streams.wakeups.Inc()
+		case <-time.After(remaining):
+		case <-r.Context().Done():
 			return
 		}
 	}
-	batch, err := streamFrom(s.snapshotDir, key, from, nil)
-	if !writeStreamResult(w, from, batch, err) {
-		return
+}
+
+// coldBatch assembles a non-resident city's one-shot batch, answering
+// caught-up polls from the stat-signature cache (cached=true) so a
+// follower fleet tailing cold cities costs three stats per poll, not a
+// snapshot parse.
+func (s *Server) coldBatch(key string, from int64) (batch *replicate.Batch, cached bool, err error) {
+	sig := coldSig(s.snapshotDir, key)
+	if h, hit := s.coldHeads.Load(key); hit {
+		if ch := h.(coldHead); ch.sig == sig && from == ch.last {
+			return &replicate.Batch{PrimarySeq: ch.last, PrimaryWALBytes: ch.walBytes}, true, nil
+		}
+	}
+	batch, err = streamFrom(s.snapshotDir, key, from, nil)
+	if err != nil {
+		return nil, false, err
 	}
 	// The signature was taken before the read: if the files changed in
 	// between, the stale signature just misses the cache next poll.
 	s.coldHeads.Store(key, coldHead{sig: sig, last: batch.PrimarySeq, walBytes: batch.PrimaryWALBytes})
-	// The /cities listing reports cold heads; refresh its cache.
-	s.fleetVersion.Add(1)
+	return batch, false, nil
 }
 
 // coldHead caches the last-served head of a non-resident city, keyed by
@@ -114,21 +230,226 @@ func coldSig(dir, key string) coldSignature {
 	return sig
 }
 
-// handleWALStream serves the stream for a resident city.
-func (cs *cityState) handleWALStream(w http.ResponseWriter, r *http.Request) {
+// handleWALStream serves the stream for a resident city: push stream,
+// long-poll, or the classic one-shot.
+func (cs *cityState) handleWALStream(w http.ResponseWriter, r *http.Request, from int64, p walStreamParams) {
 	if cs.wal == nil {
 		writeErr(w, http.StatusNotImplemented,
 			"city %q has no write-ahead log (replication requires -snapshot-dir)", cs.key)
 		return
 	}
-	from, ok := parseFrom(w, r)
-	if !ok {
+	if p.stream {
+		cs.serveWALPush(w, r, from, p.hb)
 		return
+	}
+	if p.wait > 0 && from == cs.wal.LastSeq() {
+		// Caught up: block until a commit wakes us or the wait elapses,
+		// then fall through to the ordinary one-shot answer. (from > head
+		// skips the wait — that is divergence and 409s immediately.)
+		cs.awaitCommit(r.Context(), from, p.wait)
 	}
 	batch, err := streamFrom(cs.snapDir, cs.key, from, func() (int64, int64) {
 		return cs.wal.LastSeq(), cs.wal.Stats().Bytes
 	})
 	writeStreamResult(w, from, batch, err)
+}
+
+// awaitCommit blocks until the city's applied sequence passes from, the
+// wait elapses, or the request dies. The head/channel pair from await()
+// makes the check race-free: a commit landing between the sequence read
+// and the select either advanced the head already or will close ch.
+func (cs *cityState) awaitCommit(ctx context.Context, from int64, wait time.Duration) {
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		head, ch := cs.notify.await()
+		if head > from || cs.wal.LastSeq() > from {
+			return
+		}
+		select {
+		case <-ch:
+			cs.streams.wakeups.Inc()
+		case <-timer.C:
+			return
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// serveWALPush is the push mode: one initial batch (snapshot handoff
+// included when the resume point is behind the compaction horizon), then
+// frames flushed as commits land. Mid-stream the response can only carry
+// raw frames — headers and the snapshot section are spent — so any
+// condition that needs them again (compaction moved the log past the
+// cursor, a snapshot handoff installed, the life cap) simply ends the
+// stream; the client reconnects into a fresh decision.
+func (cs *cityState) serveWALPush(w http.ResponseWriter, r *http.Request, from int64, hb time.Duration) {
+	headFn := func() (int64, int64) { return cs.wal.LastSeq(), cs.wal.Stats().Bytes }
+	batch, err := streamFrom(cs.snapDir, cs.key, from, headFn)
+	if err != nil {
+		writeStreamResult(w, from, nil, err)
+		return
+	}
+	fl := telemetry.FlusherFor(w)
+	if fl == nil {
+		// Nothing in the writer stack can flush, so no push. Degrade the
+		// way a cold city does: when caught up, hold a bounded long-poll
+		// first so the client's clean-end reconnect self-paces on ~2×hb
+		// instead of hot-looping one-shots, then answer the batch.
+		if batch.Snapshot == nil && len(batch.Frames) == 0 {
+			cs.awaitCommit(r.Context(), from, 2*hb)
+			if batch, err = streamFrom(cs.snapDir, cs.key, from, headFn); err != nil {
+				writeStreamResult(w, from, nil, err)
+				return
+			}
+		}
+		writeStreamResult(w, from, batch, nil)
+		return
+	}
+	cs.streams.open.Add(1)
+	defer cs.streams.open.Add(-1)
+	if err := replicate.WriteStream(w, batch); err != nil {
+		return
+	}
+	fl.Flush()
+	cursor := from
+	if batch.Snapshot != nil && batch.SnapshotSeq > cursor {
+		cursor = batch.SnapshotSeq
+	}
+	if n := len(batch.Frames); n > 0 {
+		cursor = batch.Frames[n-1].Seq
+	}
+	cs.streams.frames.Add(int64(len(batch.Frames)))
+
+	tail := newWALTail(cs.snapDir, cs.key)
+	hbTimer := time.NewTimer(hb)
+	defer hbTimer.Stop()
+	life := time.NewTimer(maxStreamLife)
+	defer life.Stop()
+	ctx := r.Context()
+	for {
+		head, ch := cs.notify.await()
+		if head > cursor || cs.wal.LastSeq() > cursor {
+			frames, ok := tail.next(cursor)
+			if !ok {
+				// The records past cursor left the live segment (compaction
+				// or a snapshot install). End cleanly; the reconnect gets
+				// the snapshot-vs-frames decision in a fresh response.
+				return
+			}
+			if len(frames) > 0 {
+				for _, fr := range frames {
+					if _, err := w.Write(store.EncodeFrame(fr.Payload)); err != nil {
+						return
+					}
+				}
+				fl.Flush()
+				cursor = frames[len(frames)-1].Seq
+				cs.streams.frames.Add(int64(len(frames)))
+				resetTimer(hbTimer, hb)
+				continue
+			}
+			// Head advanced but the segment shows nothing new past cursor
+			// (a rotation is mid-flight): wait for the next wake instead of
+			// spinning on the file.
+		}
+		select {
+		case <-ch:
+			cs.streams.wakeups.Inc()
+		case <-hbTimer.C:
+			if _, err := w.Write(replicate.HeartbeatFrame[:]); err != nil {
+				return
+			}
+			fl.Flush()
+			cs.streams.heartbeats.Inc()
+			hbTimer.Reset(hb)
+		case <-life.C:
+			return
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// resetTimer is the stop-drain-reset dance for a timer that may have
+// fired while we were writing.
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
+// walTail is a push stream's incremental reader over the city's live log
+// segment: it remembers the byte offset its last read ended at, so each
+// commit wakeup reads only the new suffix instead of re-scanning the
+// whole log (which would make a busy stream O(log²) over its lifetime).
+// A rotation invalidates the offset; next() detects that as a sequence
+// mismatch and falls back to one full scan of the (fresh, small)
+// segment — and reports !ok when the records the cursor needs are no
+// longer in the segment at all.
+type walTail struct {
+	path string
+	off  int64 // -1: offset unknown, full scan first
+}
+
+func newWALTail(dir, key string) *walTail {
+	return &walTail{path: store.WALPath(dir, key), off: -1}
+}
+
+// next returns the dense run of frames directly after cursor that the
+// live segment holds, or ok=false when the segment cannot serve them
+// (the stream must end and the client re-resolve). An empty result with
+// ok=true means nothing new is visible yet — wait for the next wake. A
+// torn last frame (the appender mid-write) just ends this read early;
+// the offset parks before it and the next read retries.
+func (t *walTail) next(cursor int64) ([]store.WALFrame, bool) {
+	if t.off >= 0 {
+		frames, off, err := store.ReadWALFramesAt(t.path, t.off)
+		if err == nil && len(frames) > 0 && frames[0].Seq == cursor+1 && denseFrom(frames, cursor+1) {
+			t.off = off
+			return frames, true
+		}
+		if err == nil && len(frames) == 0 {
+			// Nothing new at the remembered offset. Either the appender
+			// has not reached the file yet (mid-frame) or the file rotated
+			// under us; the full scan below settles it.
+			sameEnd := off == t.off
+			frames, off, err = store.ReadWALFramesAt(t.path, 0)
+			if err != nil {
+				return nil, false
+			}
+			out := framesAfter(frames, cursor)
+			if len(out) == 0 && sameEnd {
+				return nil, true // genuinely nothing new yet
+			}
+			return t.settle(out, off, cursor)
+		}
+		// Error or sequence mismatch: rescan from the top.
+	}
+	frames, off, err := store.ReadWALFramesAt(t.path, 0)
+	if err != nil {
+		return nil, false
+	}
+	return t.settle(framesAfter(frames, cursor), off, cursor)
+}
+
+// settle validates a full-scan result against the cursor: dense directly
+// after it (serve), empty (wait), or gapped (the stream must end).
+func (t *walTail) settle(out []store.WALFrame, off, cursor int64) ([]store.WALFrame, bool) {
+	if len(out) == 0 {
+		t.off = off
+		return nil, true
+	}
+	if out[0].Seq != cursor+1 || !denseFrom(out, cursor+1) {
+		return nil, false
+	}
+	t.off = off
+	return out, true
 }
 
 // parseFrom reads the resume-point query parameter; on a bad value it

@@ -119,6 +119,67 @@ func ReadWALFrames(path string) ([]WALFrame, error) {
 	return frames, nil
 }
 
+// ReadWALFramesAt reads the committed frames of a log file starting at
+// byte offset off (walHeaderLen for the first record), returning the
+// frames plus the offset just past the last one — the incremental read a
+// live push stream uses so a wakeup costs O(new bytes), not O(log). The
+// header is validated only when reading from the top; at an interior
+// offset the caller's cursor may have been invalidated by a rotation, in
+// which case decoding fails (CRC over arbitrary bytes) or the sequence
+// run breaks — both of which the caller detects and answers with a full
+// rescan. A missing file or an offset at/past EOF yields no frames and
+// next == off.
+func ReadWALFramesAt(path string, off int64) ([]WALFrame, int64, error) {
+	if off < walHeaderLen {
+		off = walHeaderLen
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, off, nil
+	}
+	if err != nil {
+		return nil, off, fmt.Errorf("store: read wal: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, off, fmt.Errorf("store: stat wal: %w", err)
+	}
+	if off == walHeaderLen {
+		var magic [8]byte
+		if _, err := f.ReadAt(magic[:], 0); err != nil || magic != walMagic {
+			return nil, off, fmt.Errorf("store: wal %s has no valid header", path)
+		}
+	}
+	if st.Size() <= off {
+		return nil, off, nil
+	}
+	raw := make([]byte, st.Size()-off)
+	n, err := f.ReadAt(raw, off)
+	// A short read races a concurrent truncation/rotation; decode whatever
+	// arrived — the committed prefix ends wherever decoding stops.
+	raw = raw[:n]
+	if err != nil && n == 0 {
+		return nil, off, nil
+	}
+	var frames []WALFrame
+	buf := raw
+	for len(buf) > 0 {
+		payload, n, err := DecodeFrame(buf)
+		if err != nil {
+			break
+		}
+		seq, err := FrameSeq(payload)
+		if err != nil {
+			break
+		}
+		frames = append(frames, WALFrame{Seq: seq, Payload: payload})
+		buf = buf[n:]
+		off += int64(n)
+	}
+	return frames, off, nil
+}
+
 // CollectWALFrames reads a city's committed frames in replay order — the
 // sealed pending segment of an in-flight compaction first, then the
 // current log. Sequences are contiguous across the two files by

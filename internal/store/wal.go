@@ -278,9 +278,15 @@ type WAL struct {
 	lastFsyncNanos atomic.Int64
 
 	// appendHist/fsyncHist are optional latency histograms (Instrument);
-	// nil-safe no-ops when the embedder wires no telemetry.
+	// nil-safe no-ops when the embedder wires no telemetry. fsyncSel, when
+	// set, picks the histogram by the log's byte size at fsync time —
+	// fsync latency grows with file size (see BenchmarkMutationPersistence:
+	// ~120µs at a near-empty log vs ~735µs past tens of MiB, with encode
+	// cost flat), so a single unlabeled series hides whether a slow fsync
+	// is the disk or an overgrown log that compaction should have reset.
 	appendHist *telemetry.Histogram
 	fsyncHist  *telemetry.Histogram
+	fsyncSel   func(sizeBytes int64) *telemetry.Histogram
 }
 
 // Instrument attaches latency histograms: appendH observes every
@@ -291,6 +297,27 @@ type WAL struct {
 func (w *WAL) Instrument(appendH, fsyncH *telemetry.Histogram) {
 	w.appendHist = appendH
 	w.fsyncHist = fsyncH
+}
+
+// InstrumentSizedFsync attaches a selector that maps the log's byte size
+// at fsync time to the histogram that should observe it — the file-size
+// label on gt_wal_fsync_seconds. Overrides the flat fsyncH for fsyncs
+// (the selector returning nil falls back to it). Call before the first
+// Append.
+func (w *WAL) InstrumentSizedFsync(sel func(sizeBytes int64) *telemetry.Histogram) {
+	w.fsyncSel = sel
+}
+
+// observeFsync routes one fsync duration to the size-bucketed histogram
+// when a selector is attached, else to the flat one.
+func (w *WAL) observeFsync(sizeBytes int64, elapsed time.Duration) {
+	h := w.fsyncHist
+	if w.fsyncSel != nil {
+		if sh := w.fsyncSel(sizeBytes); sh != nil {
+			h = sh
+		}
+	}
+	h.Observe(elapsed.Seconds())
 }
 
 // OpenWAL opens (creating if absent) a city's log for appending. A new or
@@ -427,6 +454,92 @@ func (w *WAL) AppendFrame(fr WALFrame) error {
 	return nil
 }
 
+// AppendFrames appends a run of already-sequenced frames in one pass:
+// every frame is encoded into a single buffer, written with one write
+// call, and covered by a single group-commit fsync — where a loop over
+// AppendFrame would pay up to one fsync per frame. Frames whose sequence
+// the log already holds are skipped (at-least-once delivery re-sends
+// them); within the run sequences must be strictly ascending. An error
+// means none of the run's frames committed: a partial write is healed by
+// truncating back to the run's start, like Append.
+func (w *WAL) AppendFrames(frames []WALFrame) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	start := time.Now()
+	w.mu.Lock()
+	if w.f == nil {
+		w.mu.Unlock()
+		return fmt.Errorf("store: wal closed")
+	}
+	if w.broken {
+		w.mu.Unlock()
+		return fmt.Errorf("store: wal broken by earlier write failure (compaction or restart recovers)")
+	}
+	var total int
+	n := 0
+	seq := w.nextSeq
+	for _, fr := range frames {
+		if fr.Seq < seq {
+			continue // already durable here; idempotent re-send
+		}
+		if len(fr.Payload) > maxWALRecord {
+			w.mu.Unlock()
+			return fmt.Errorf("store: wal record %d bytes exceeds cap %d", len(fr.Payload), maxWALRecord)
+		}
+		total += walFrameLen + len(fr.Payload)
+		seq = fr.Seq + 1
+		n++
+	}
+	if n == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	buf := make([]byte, 0, total)
+	next := w.nextSeq
+	for _, fr := range frames {
+		if fr.Seq < next {
+			continue
+		}
+		var hdr [walFrameLen]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(fr.Payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(fr.Payload, walCRC))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, fr.Payload...)
+		next = fr.Seq + 1
+	}
+	startOff := w.size.Load()
+	wrote, err := w.f.Write(buf)
+	if err != nil {
+		if wrote > 0 {
+			if terr := w.f.Truncate(startOff); terr != nil {
+				w.broken = true
+				w.size.Add(int64(wrote))
+			}
+		}
+		w.mu.Unlock()
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	w.size.Store(startOff + int64(wrote))
+	w.records += int64(n)
+	w.nextSeq = next
+	off := w.size.Load()
+	w.mu.Unlock()
+
+	var serr error
+	switch w.policy.Mode {
+	case WALSyncAlways:
+		serr = w.syncTo(off, false)
+	case WALSyncInterval:
+		serr = w.syncTo(off, true)
+	}
+	if serr != nil {
+		return serr
+	}
+	w.appendHist.ObserveSince(start)
+	return nil
+}
+
 // appendLocked frames and writes one payload whose stamped sequence is
 // seq, then applies the sync policy. Called with w.mu held; it unlocks.
 func (w *WAL) appendLocked(payload []byte, seq int64) error {
@@ -498,7 +611,7 @@ func (w *WAL) syncTo(off int64, intervalOnly bool) error {
 	}
 	elapsed := time.Since(start)
 	w.lastFsyncNanos.Store(int64(elapsed))
-	w.fsyncHist.Observe(elapsed.Seconds())
+	w.observeFsync(target, elapsed)
 	w.fsyncs.Add(1)
 	w.synced = target
 	w.lastSync = time.Now()
@@ -522,7 +635,7 @@ func (w *WAL) backgroundFlush() {
 	}
 	elapsed := time.Since(start)
 	w.lastFsyncNanos.Store(int64(elapsed))
-	w.fsyncHist.Observe(elapsed.Seconds())
+	w.observeFsync(target, elapsed)
 	w.fsyncs.Add(1)
 	w.synced = target
 	w.lastSync = time.Now()

@@ -618,6 +618,56 @@ func TestWALIntervalFlushTimer(t *testing.T) {
 	}
 }
 
+// TestWALAppendFramesBatch: a replicated batch lands with one write and
+// one group-commit fsync — not one per frame — skips frames the log
+// already holds, and replays identically to the source records.
+func TestWALAppendFramesBatch(t *testing.T) {
+	fx := makeWALFixture(t)
+	srcDir := t.TempDir()
+	writeWAL(t, srcDir, "wal", fx.records)
+	frames, err := CollectWALFrames(srcDir, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != len(fx.records) {
+		t.Fatalf("collected %d frames, want %d", len(frames), len(fx.records))
+	}
+
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, "wal", WALSyncPolicy{Mode: WALSyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Records != int64(len(frames)) {
+		t.Fatalf("records = %d, want %d", st.Records, len(frames))
+	}
+	if st.Fsyncs != 1 {
+		t.Fatalf("batch append fsynced %d times, want 1", st.Fsyncs)
+	}
+	// Re-sending the whole batch is a no-op (at-least-once delivery): the
+	// durable prefix is skipped, nothing appends, nothing fsyncs.
+	if err := w.AppendFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats(); got.Records != int64(len(frames)) || got.Fsyncs != 1 {
+		t.Fatalf("idempotent re-send changed the log: %+v", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, info, err := ReplayWAL(dir, "wal", fx.city, nil)
+	if err != nil || info.Records != len(fx.records) || info.Truncated != "" {
+		t.Fatalf("replay info %+v err %v", info, err)
+	}
+	if got, want := stateJSON(t, st2), stateJSON(t, replayPrefix(t, fx, len(fx.records))); got != want {
+		t.Fatal("batch-appended log replays differently from the source records")
+	}
+}
+
 // TestWALGapDropsCurrentSegment: when the pending segment loses records,
 // the current log continues from sequences that no longer exist. Replay
 // must not apply across the gap — the surviving prefix ends at the cut,

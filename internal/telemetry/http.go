@@ -215,6 +215,26 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 // Unwrap supports http.ResponseController passthrough.
 func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
+// FlusherFor walks w's Unwrap chain (wrappers like statusWriter expose
+// the writer they decorate through Unwrap, the http.ResponseController
+// convention) to a writer that can actually flush. Streaming handlers
+// must use this instead of asserting w.(http.Flusher) directly: a
+// middleware wrapper in between would hide the real Flusher and silently
+// turn a held-open stream into a buffered one-shot. nil means nothing in
+// the stack can flush.
+func FlusherFor(w http.ResponseWriter) http.Flusher {
+	for {
+		if f, ok := w.(http.Flusher); ok {
+			return f
+		}
+		u, ok := w.(interface{ Unwrap() http.ResponseWriter })
+		if !ok {
+			return nil
+		}
+		w = u.Unwrap()
+	}
+}
+
 var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 // Middleware instruments an http.Handler: per-class metrics always,
