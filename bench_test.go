@@ -792,15 +792,39 @@ func BenchmarkLogShipping(b *testing.B) {
 // cold-follower-per-iteration structure over the same kind of history;
 // the delta is batched persistence plus streamed decode.
 func BenchmarkPushReplication(b *testing.B) {
+	pushReplicationBench(b, false)
+}
+
+// BenchmarkPushReplicationEpochFenced is the same drain with the
+// replication epoch active on the wire: the primary owns term 1 (seeded
+// on disk before boot, owner == its advertised URL so it stays
+// writable), so every batch header carries X-GT-Epoch, every follower
+// request stamps it back, and both ends run the staleness check per
+// exchange. The delta against BenchmarkPushReplication is the fencing
+// machinery's whole wire cost — it should be noise.
+func BenchmarkPushReplicationEpochFenced(b *testing.B) {
+	pushReplicationBench(b, true)
+}
+
+func pushReplicationBench(b *testing.B, withEpoch bool) {
 	benchSetup(b)
 	intervalSync, err := store.ParseWALSync("interval")
 	if err != nil {
 		b.Fatal(err)
 	}
-	primary, err := server.NewMultiCity(server.Options{
-		Cities: []*dataset.City{benchCity}, SnapshotDir: b.TempDir(),
+	primaryDir := b.TempDir()
+	opts := server.Options{
+		Cities: []*dataset.City{benchCity}, SnapshotDir: primaryDir,
 		WALSync: intervalSync,
-	})
+	}
+	if withEpoch {
+		opts.Advertise = "http://bench-primary:8080"
+		if err := store.WriteEpoch(primaryDir, strings.ToLower(benchCity.Name),
+			store.Epoch{Epoch: 1, Primary: opts.Advertise}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	primary, err := server.NewMultiCity(opts)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -39,7 +39,9 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"grouptravel/internal/pprofserve"
@@ -53,6 +55,8 @@ func main() {
 	poll := flag.Duration("poll", 0, "node health poll interval (0: default 500ms)")
 	shedLag := flag.Int64("shed-lag", 0, "shed a follower from token-less reads when it lags the primary by more than this many records (0: default 1024, <0: never)")
 	maxSessions := flag.Int("max-sessions", 0, "read-your-writes session table bound (0: default 65536)")
+	failover := flag.Duration("failover", 0, "auto-promote a shard's freshest follower after its primary has been unreachable this long (0: manual failover only)")
+	topoReload := flag.Duration("topology-reload", 0, "also re-stat -topology on this interval and reload it when its mtime changes (0: SIGHUP only)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6061; empty: off)")
 	logFormat := flag.String("log-format", "off", `structured request log: "json", "text", or "off"`)
 	logLevel := flag.String("log-level", "info", "minimum request-log level (debug, info, warn, error)")
@@ -75,6 +79,7 @@ func main() {
 		ShedLag:      *shedLag,
 		MaxSessions:  *maxSessions,
 		AccessLog:    accessLog,
+		Failover:     *failover,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -83,6 +88,47 @@ func main() {
 	// Warm the health feed before accepting traffic so the first requests
 	// already know each shard's primary.
 	rt.Poll()
+
+	// Online topology reload: SIGHUP always, plus an optional mtime watch
+	// on the file — a promoted node's new role or a shard membership edit
+	// propagates without a router restart (a failed load keeps serving
+	// the old topology).
+	reload := func(why string) {
+		t, err := router.LoadTopology(*topoPath)
+		if err != nil {
+			log.Printf("grouptravel-router: reload (%s) skipped: %v", why, err)
+			return
+		}
+		if err := rt.Reload(t); err != nil {
+			log.Printf("grouptravel-router: reload (%s) rejected: %v", why, err)
+			return
+		}
+		rt.Poll()
+		log.Printf("grouptravel-router: topology reloaded (%s): %d shards", why, len(t.Shards))
+	}
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			reload("SIGHUP")
+		}
+	}()
+	if *topoReload > 0 {
+		go func() {
+			var lastMod time.Time
+			if fi, err := os.Stat(*topoPath); err == nil {
+				lastMod = fi.ModTime()
+			}
+			for range time.Tick(*topoReload) {
+				fi, err := os.Stat(*topoPath)
+				if err != nil || !fi.ModTime().After(lastMod) {
+					continue
+				}
+				lastMod = fi.ModTime()
+				reload("mtime")
+			}
+		}()
+	}
 
 	var names []string
 	for _, sh := range topo.Shards {

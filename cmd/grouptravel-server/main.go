@@ -69,6 +69,7 @@ func main() {
 	advertise := flag.String("advertise", "", "base URL peers and routers reach this node at (self-described on /healthz)")
 	followPoll := flag.Duration("follow-poll", 0, "replication poll interval (0: default; also the reconnect backoff base when streaming)")
 	followMode := flag.String("follow-mode", "stream", `replication transport: "stream" (push: hold ?stream=1 open, apply on commit wakeup) or "poll" (fetch per interval)`)
+	followerID := flag.String("follower-id", "", "stable id this follower identifies itself as on the primary's replication slots (default: -advertise)")
 	promote := flag.Bool("promote", false, "with -follow: start promoted — serve read-write from the follower's local state (failover boot)")
 	addr := flag.String("addr", ":8080", "listen address")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty: off)")
@@ -99,6 +100,7 @@ func main() {
 		Follow:         *follow,
 		FollowPoll:     *followPoll,
 		FollowMode:     *followMode,
+		FollowerID:     *followerID,
 		Advertise:      *advertise,
 		AccessLog:      accessLog,
 	}

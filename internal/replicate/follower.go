@@ -71,6 +71,11 @@ type Follower struct {
 	interval time.Duration
 	stream   bool
 
+	// onEpoch, when set, is invoked with every nonzero replication term
+	// the primary reports (on stream open, every applied batch, and every
+	// poll), letting the server layer persist and adopt it.
+	onEpoch func(term int64, owner string)
+
 	mu  sync.Mutex
 	lag map[string]*Lag
 
@@ -108,6 +113,25 @@ func NewFollower(primary string, cities []string, target Target, interval time.D
 
 // Primary returns the primary's base URL.
 func (f *Follower) Primary() string { return f.client.Base }
+
+// SetID names this follower on the primary's replication-slot table (the
+// ?fid= stream handshake). Call before Start.
+func (f *Follower) SetID(id string) { f.client.ID = id }
+
+// SetEpochInfo supplies the follower's highest known replication term for
+// stamping onto outgoing wal requests. Call before Start.
+func (f *Follower) SetEpochInfo(fn func() (int64, string)) { f.client.EpochInfo = fn }
+
+// SetOnEpoch registers the callback invoked with every nonzero term the
+// primary reports. Call before Start.
+func (f *Follower) SetOnEpoch(fn func(term int64, owner string)) { f.onEpoch = fn }
+
+// observeEpoch forwards a batch's term to the registered callback.
+func (f *Follower) observeEpoch(b *Batch) {
+	if f.onEpoch != nil && b.Epoch > 0 {
+		f.onEpoch(b.Epoch, b.EpochPrimary)
+	}
+}
 
 // SetStreaming selects between push streams (the default: a tailer holds
 // GET ?stream=1 open and applies frames as commits push them) and the
@@ -208,6 +232,7 @@ func (f *Follower) streamCity(city string) error {
 		}
 	}()
 	err := f.client.Stream(ctx, city, applied, func(b *Batch) error {
+		f.observeEpoch(b)
 		if b.Snapshot != nil && b.SnapshotSeq > applied {
 			seq, err := f.target.ApplySnapshot(city, b.Snapshot)
 			if err != nil {
@@ -325,6 +350,7 @@ func (f *Follower) sync(city string) error {
 	if batch == nil {
 		return fetchErr
 	}
+	f.observeEpoch(batch)
 	hasNew := batch.Snapshot != nil && batch.SnapshotSeq > applied
 	for _, fr := range batch.Frames {
 		if fr.Seq > applied {

@@ -58,6 +58,15 @@ const (
 	HeaderPrimaryWALBytes = "X-GT-Primary-Wal-Bytes"
 	HeaderLagBytes        = "X-GT-Lag-Bytes"
 	HeaderSnapshotSeq     = "X-GT-Snapshot-Seq"
+	// HeaderEpoch carries the replication term on both request and
+	// response: each side stamps its highest known term, and whichever
+	// side sees a higher one than its own adopts it (a writable node that
+	// is not the term's owner fences itself read-only). Absent or "0"
+	// means the sender predates any promotion. HeaderEpochPrimary names
+	// the advertised URL of the node that owns the term — the fencing 403
+	// hint and the supervisor's source of truth.
+	HeaderEpoch        = "X-GT-Epoch"
+	HeaderEpochPrimary = "X-GT-Epoch-Primary"
 )
 
 // snapshotHeaderLen frames the snapshot section: CRC32 + uint64 length.
@@ -83,6 +92,12 @@ var ErrWireCorrupt = errors.New("replicate: corrupt frame on the wire")
 // at a demoted one), not lag; it needs an operator, not a retry.
 var ErrFollowerAhead = errors.New("replicate: follower is ahead of the primary")
 
+// ErrStaleEpoch reports a peer serving an older replication term than the
+// follower already knows: the node it is talking to has been deposed (or
+// lost its durable epoch state). Tailing it would replay pre-fencing
+// writes the fleet has moved past — stop and re-resolve the primary.
+var ErrStaleEpoch = errors.New("replicate: peer is serving a stale replication epoch")
+
 // Batch is one parsed stream response: an optional snapshot handoff, the
 // log frames after it, and the primary's position for lag accounting.
 type Batch struct {
@@ -103,6 +118,13 @@ type Batch struct {
 	PrimarySeq      int64
 	PrimaryWALBytes int64
 	LagBytes        int64
+
+	// Epoch is the replication term the serving node reported (0 for a
+	// pre-epoch fleet), EpochPrimary the advertised URL of the term's
+	// owner. Followers persist a term the first time they see it so a
+	// restart cannot be talked back to a deposed primary.
+	Epoch        int64
+	EpochPrimary string
 }
 
 // WriteStream serves one batch as a stream response body plus headers —
@@ -117,6 +139,12 @@ func WriteStream(w http.ResponseWriter, b *Batch) error {
 		lagBytes += fr.WireLen()
 	}
 	h.Set(HeaderLagBytes, strconv.FormatInt(lagBytes, 10))
+	if b.Epoch > 0 {
+		h.Set(HeaderEpoch, strconv.FormatInt(b.Epoch, 10))
+		if b.EpochPrimary != "" {
+			h.Set(HeaderEpochPrimary, b.EpochPrimary)
+		}
+	}
 	if b.Snapshot != nil {
 		h.Set(HeaderSnapshotSeq, strconv.FormatInt(b.SnapshotSeq, 10))
 	}
@@ -265,6 +293,45 @@ type Client struct {
 	// HTTP overrides the transport; a 30s-timeout client when nil (and a
 	// timeout-less keep-alive client for Stream).
 	HTTP *http.Client
+	// ID identifies this follower to the primary: Stream passes it as the
+	// ?fid= handshake parameter so the primary can keep a per-follower
+	// replication slot (position tracking + compaction holds). Optional —
+	// an anonymous stream still replicates, it just isn't slot-tracked.
+	ID string
+	// EpochInfo, when set, supplies the follower's highest known
+	// replication term and its owner; both requests stamp them as
+	// X-GT-Epoch / X-GT-Epoch-Primary so the serving node can discover it
+	// has been deposed even from a follower's pull.
+	EpochInfo func() (int64, string)
+}
+
+// stampEpoch adds the follower's known term to an outgoing request.
+func (c *Client) stampEpoch(req *http.Request) {
+	if c.EpochInfo == nil {
+		return
+	}
+	if term, owner := c.EpochInfo(); term > 0 {
+		req.Header.Set(HeaderEpoch, strconv.FormatInt(term, 10))
+		if owner != "" {
+			req.Header.Set(HeaderEpochPrimary, owner)
+		}
+	}
+}
+
+// checkEpoch compares a response's term against the follower's own. A
+// serving node reporting a *lower* term than the follower already knows
+// (including no term at all) is deposed or divergent — its log must not
+// be applied.
+func (c *Client) checkEpoch(resp *http.Response, city string) (int64, string, error) {
+	respTerm, _ := strconv.ParseInt(resp.Header.Get(HeaderEpoch), 10, 64)
+	respOwner := resp.Header.Get(HeaderEpochPrimary)
+	if c.EpochInfo != nil {
+		if known, _ := c.EpochInfo(); known > 0 && respTerm < known {
+			return 0, "", fmt.Errorf("%w (city %s: peer term %d, known term %d)",
+				ErrStaleEpoch, city, respTerm, known)
+		}
+	}
+	return respTerm, respOwner, nil
 }
 
 // Fetch pulls every committed record after `from` for one city. It may
@@ -278,7 +345,12 @@ func (c *Client) Fetch(city string, from int64) (*Batch, error) {
 		hc = defaultFetchClient
 	}
 	u := fmt.Sprintf("%s/cities/%s/wal?from=%d", c.Base, url.PathEscape(city), from)
-	resp, err := hc.Get(u)
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("replicate: fetch %s: %w", city, err)
+	}
+	c.stampEpoch(req)
+	resp, err := hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("replicate: fetch %s: %w", city, err)
 	}
@@ -289,6 +361,10 @@ func (c *Client) Fetch(city string, from int64) (*Batch, error) {
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nil, fmt.Errorf("replicate: fetch %s: %s: %s", city, resp.Status, msg)
+	}
+	respTerm, respOwner, err := c.checkEpoch(resp, city)
+	if err != nil {
+		return nil, err
 	}
 	sr := newStreamReader(resp.Body)
 	if err := sr.readMagic(); err != nil {
@@ -303,6 +379,8 @@ func (c *Client) Fetch(city string, from int64) (*Batch, error) {
 		PrimarySeq:      intHeader(HeaderPrimarySeq),
 		PrimaryWALBytes: intHeader(HeaderPrimaryWALBytes),
 		LagBytes:        intHeader(HeaderLagBytes),
+		Epoch:           respTerm,
+		EpochPrimary:    respOwner,
 	}
 	if resp.Header.Get(HeaderSnapshotSeq) != "" {
 		snap, err := sr.readSnapshot()
@@ -353,10 +431,14 @@ func (c *Client) Stream(ctx context.Context, city string, from int64, apply func
 	defer cancel()
 	u := fmt.Sprintf("%s/cities/%s/wal?from=%d&stream=1&hb=%s",
 		c.Base, url.PathEscape(city), from, hb)
+	if c.ID != "" {
+		u += "&fid=" + url.QueryEscape(c.ID)
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return fmt.Errorf("replicate: stream %s: %w", city, err)
 	}
+	c.stampEpoch(req)
 	resp, err := hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("replicate: stream %s: %w", city, err)
@@ -368,6 +450,10 @@ func (c *Client) Stream(ctx context.Context, city string, from int64, apply func
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("replicate: stream %s: %s: %s", city, resp.Status, msg)
+	}
+	respTerm, respOwner, err := c.checkEpoch(resp, city)
+	if err != nil {
+		return err
 	}
 	stall := 3*hb + 2*time.Second
 	watchdog := time.AfterFunc(stall, cancel)
@@ -395,6 +481,8 @@ func (c *Client) Stream(ctx context.Context, city string, from int64, apply func
 			SnapshotSeq:     intHeader(HeaderSnapshotSeq),
 			PrimarySeq:      primarySeq,
 			PrimaryWALBytes: primaryWALBytes,
+			Epoch:           respTerm,
+			EpochPrimary:    respOwner,
 		}); err != nil {
 			return err
 		}
@@ -430,6 +518,8 @@ func (c *Client) Stream(ctx context.Context, city string, from int64, apply func
 			Frames:          batch,
 			PrimarySeq:      max(primarySeq, batch[len(batch)-1].Seq),
 			PrimaryWALBytes: primaryWALBytes,
+			Epoch:           respTerm,
+			EpochPrimary:    respOwner,
 		}
 		err := apply(b)
 		batch = batch[:0]

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"grouptravel/internal/replicate"
 	"grouptravel/internal/telemetry"
 )
 
@@ -26,9 +28,16 @@ const healthPollTimeout = 3 * time.Second
 // path: a routed read must not block on a health round trip.
 type NodeView struct {
 	URL       string `json:"url"`
-	Role      string `json:"role,omitempty"`      // primary | follower | promoted; "" never polled
+	Role      string `json:"role,omitempty"`      // primary | follower | promoted | fenced; "" never polled
 	Advertise string `json:"advertise,omitempty"` // the URL the node self-describes as
 	Primary   string `json:"primary,omitempty"`   // the upstream the node reports following
+	// Epoch/EpochPrimary are the replication term the node last reported
+	// (X-GT-Epoch response headers, stamped on every backend response).
+	// The router's per-shard maximum is the fencing epoch it relays on
+	// every proxied request and health poll — how a deposed primary
+	// learns it lost, even if it never hears from the new one directly.
+	Epoch        int64  `json:"epoch,omitempty"`
+	EpochPrimary string `json:"epochPrimary,omitempty"`
 	// AppliedSeq is the node's last committed/applied WAL sequence per
 	// city — what session tokens are compared against. WALBytes is the
 	// per-city bytes-since-compaction backpressure gauge.
@@ -58,20 +67,31 @@ type nodeCityRow struct {
 // healthFeed polls every backend node on an interval and serves the
 // cached views. Polls for different nodes run concurrently; reads take a
 // short RWMutex critical section and copy, so the request path never
-// holds the lock across I/O.
+// holds the lock across I/O. The node set is mutable (setNodes) so an
+// online topology reload swaps backends without restarting the feed.
 type healthFeed struct {
 	client   *http.Client
-	urls     []string
 	interval time.Duration
 
-	// Scrape instruments, attached once by instrument (telemetry.go) and
-	// read-only afterwards; nil maps (uninstrumented feeds in tests) index
-	// to nil metrics, whose methods are no-ops.
-	pollLat map[string]*telemetry.Histogram
-	nodeUp  map[string]*telemetry.Gauge
+	// epochFor resolves the fencing epoch the feed should stamp on a
+	// poll of the given node (the router wires it to the node's shard
+	// epoch). Called outside the feed's lock. Nil: no stamping.
+	epochFor func(url string) (int64, string)
+	// afterPoll runs after every completed pollAll pass — the router
+	// hangs its failover supervisor here so lease checks see data
+	// exactly one poll old, never staler.
+	afterPoll func()
 
 	mu    sync.RWMutex
+	urls  []string
 	views map[string]*NodeView
+	// Scrape instruments, attached by instrument (telemetry.go) and
+	// extended under mu when setNodes adds backends; nil maps
+	// (uninstrumented feeds in tests) index to nil metrics, whose
+	// methods are no-ops.
+	reg     *telemetry.Registry
+	pollLat map[string]*telemetry.Histogram
+	nodeUp  map[string]*telemetry.Gauge
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -82,15 +102,41 @@ type healthFeed struct {
 func newHealthFeed(urls []string, client *http.Client, interval time.Duration) *healthFeed {
 	hf := &healthFeed{
 		client:   client,
-		urls:     append([]string(nil), urls...),
 		interval: interval,
 		views:    make(map[string]*NodeView, len(urls)),
 		stop:     make(chan struct{}),
 	}
-	for _, u := range hf.urls {
-		hf.views[u] = &NodeView{URL: u}
-	}
+	hf.setNodes(urls)
 	return hf
+}
+
+// setNodes replaces the polled node set: views of surviving nodes are
+// kept (their sequences stay the router's best lower bound across a
+// reload), new nodes start unpolled, and removed nodes drop from the
+// feed — their up-gauge zeroed so dashboards don't show a ghost as up.
+func (hf *healthFeed) setNodes(urls []string) {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	next := make(map[string]*NodeView, len(urls))
+	dedup := make([]string, 0, len(urls))
+	for _, u := range urls {
+		if _, ok := next[u]; ok {
+			continue
+		}
+		dedup = append(dedup, u)
+		if v, ok := hf.views[u]; ok {
+			next[u] = v
+		} else {
+			next[u] = &NodeView{URL: u}
+		}
+		hf.instrumentLocked(u)
+	}
+	for u := range hf.views {
+		if _, ok := next[u]; !ok && hf.nodeUp[u] != nil {
+			hf.nodeUp[u].Set(0)
+		}
+	}
+	hf.urls, hf.views = dedup, next
 }
 
 // start launches the background poller (idempotent); no-op when the
@@ -122,9 +168,14 @@ func (hf *healthFeed) stopPolling() {
 
 // pollAll refreshes every node once, concurrently, and returns when all
 // polls finished — the synchronous pass tests and boot warm-up use.
+// The afterPoll hook (failover supervision) runs once per pass, after
+// every view is fresh.
 func (hf *healthFeed) pollAll() {
+	hf.mu.RLock()
+	urls := append([]string(nil), hf.urls...)
+	hf.mu.RUnlock()
 	var wg sync.WaitGroup
-	for _, u := range hf.urls {
+	for _, u := range urls {
 		wg.Add(1)
 		go func(u string) {
 			defer wg.Done()
@@ -132,24 +183,37 @@ func (hf *healthFeed) pollAll() {
 		}(u)
 	}
 	wg.Wait()
+	if hf.afterPoll != nil {
+		hf.afterPoll()
+	}
 }
 
 // poll refreshes one node: /healthz for identity, /cities for per-city
-// positions. A failure marks the view unhealthy but keeps the last known
-// sequences — they are still the best lower bound the router has.
+// positions. The poll carries the shard's fencing epoch out (request
+// headers) and brings the node's own term back (response headers) — a
+// deposed primary is fenced by its very next health poll, even with no
+// client traffic relayed at it. A failure marks the view unhealthy but
+// keeps the last known sequences — they are still the best lower bound
+// the router has.
 func (hf *healthFeed) poll(url string) {
 	start := time.Now()
+	var term int64
+	var owner string
+	if hf.epochFor != nil {
+		term, owner = hf.epochFor(url)
+	}
 	var h nodeHealthz
-	err := hf.getJSON(url+"/healthz", &h)
+	respTerm, respOwner, err := hf.getJSON(url+"/healthz", &h, term, owner)
 	var rows []nodeCityRow
 	if err == nil {
-		err = hf.getJSON(url+"/cities", &rows)
+		_, _, err = hf.getJSON(url+"/cities", &rows, term, owner)
 	}
-	hf.pollLat[url].ObserveSince(start)
+	lat, up := hf.instruments(url)
+	lat.ObserveSince(start)
 	if err != nil {
-		hf.nodeUp[url].Set(0)
+		up.Set(0)
 	} else {
-		hf.nodeUp[url].Set(1)
+		up.Set(1)
 	}
 	hf.mu.Lock()
 	defer hf.mu.Unlock()
@@ -164,6 +228,9 @@ func (hf *healthFeed) poll(url string) {
 	}
 	v.Err = ""
 	v.Role, v.Advertise, v.Primary = h.Role, h.Advertise, h.Primary
+	if respTerm > v.Epoch {
+		v.Epoch, v.EpochPrimary = respTerm, respOwner
+	}
 	applied := make(map[string]int64, len(rows))
 	walBytes := make(map[string]int64, len(rows))
 	for _, row := range rows {
@@ -175,27 +242,48 @@ func (hf *healthFeed) poll(url string) {
 	v.AppliedSeq, v.WALBytes = applied, walBytes
 }
 
-func (hf *healthFeed) getJSON(url string, out any) error {
+// instruments returns the node's scrape metrics (nil-safe no-ops when
+// the feed is uninstrumented or the node was just removed).
+func (hf *healthFeed) instruments(url string) (*telemetry.Histogram, *telemetry.Gauge) {
+	hf.mu.RLock()
+	defer hf.mu.RUnlock()
+	return hf.pollLat[url], hf.nodeUp[url]
+}
+
+// getJSON fetches one backend endpoint, stamping the known fencing
+// epoch on the request and returning the term the response advertised.
+func (hf *healthFeed) getJSON(url string, out any, term int64, owner string) (int64, string, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), healthPollTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return err
+		return 0, "", err
+	}
+	if term > 0 {
+		req.Header.Set(replicate.HeaderEpoch, strconv.FormatInt(term, 10))
+		if owner != "" {
+			req.Header.Set(replicate.HeaderEpochPrimary, owner)
+		}
 	}
 	resp, err := hf.client.Do(req)
 	if err != nil {
-		return err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
+	respTerm, _ := strconv.ParseInt(resp.Header.Get(replicate.HeaderEpoch), 10, 64)
+	respOwner := resp.Header.Get(replicate.HeaderEpochPrimary)
 	if resp.StatusCode != http.StatusOK {
 		// Error bodies read into a stack scratch array: a down node is
 		// polled every interval, and the io.ReadAll garbage per failed
 		// poll adds up across a long outage.
 		var scratch [256]byte
 		n, _ := io.ReadFull(resp.Body, scratch[:])
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, scratch[:n])
+		return respTerm, respOwner, fmt.Errorf("%s: %s: %s", url, resp.Status, scratch[:n])
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return respTerm, respOwner, err
+	}
+	return respTerm, respOwner, nil
 }
 
 // view returns a copy of one node's cached state (maps shared read-only:

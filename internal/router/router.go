@@ -41,8 +41,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"grouptravel/internal/replicate"
 	"grouptravel/internal/telemetry"
 )
 
@@ -101,6 +103,13 @@ type Options struct {
 	// request (request id, endpoint class, city, shard, backend, status,
 	// duration). Nil disables access logging.
 	AccessLog *slog.Logger
+	// Failover is the primary lease: when a shard's writable node stays
+	// unreachable this long across health polls while no other writable
+	// node appears, the router auto-promotes the shard's freshest healthy
+	// follower (POST /promote), bumping the replication epoch that fences
+	// the deposed primary. 0 disables automatic failover — promotion
+	// stays a manual operation.
+	Failover time.Duration
 }
 
 // counters are the router's routing telemetry, surfaced on /healthz and
@@ -116,21 +125,59 @@ type counters struct {
 	mutations          *telemetry.Counter
 	mutationRetries403 *telemetry.Counter
 	mutationFailovers  *telemetry.Counter
+	autoPromotions     *telemetry.Counter
+}
+
+// routeTable is one immutable routing generation: the validated
+// topology, its hash ring, and the shard index. The router swaps whole
+// tables atomically (Reload), so every request routes against exactly
+// one consistent generation — never a ring from one topology and a
+// shard list from another.
+type routeTable struct {
+	topo      *Topology
+	ring      *Ring
+	shards    map[string]*Shard
+	nodeShard map[string]string // node URL -> owning shard name
+}
+
+func newRouteTable(topo *Topology) (*routeTable, error) {
+	names := make([]string, 0, len(topo.Shards))
+	shards := make(map[string]*Shard, len(topo.Shards))
+	nodeShard := make(map[string]string)
+	for i := range topo.Shards {
+		sh := &topo.Shards[i]
+		names = append(names, sh.Name)
+		shards[sh.Name] = sh
+		for _, n := range sh.Nodes {
+			nodeShard[n] = sh.Name
+		}
+	}
+	ring, err := NewRing(names, topo.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	return &routeTable{topo: topo, ring: ring, shards: shards, nodeShard: nodeShard}, nil
 }
 
 // Router is the front-tier proxy. Construct with New, serve Handler.
 type Router struct {
-	topo      *Topology
-	ring      *Ring
-	shards    map[string]*Shard
+	table     atomic.Pointer[routeTable]
 	health    *healthFeed
 	sessions  *sessionTable
 	client    *http.Client
 	shedLag   int64
+	failover  time.Duration
 	ctr       counters
 	metrics   *telemetry.Registry
 	httpM     *telemetry.HTTPMetrics
 	accessLog *slog.Logger
+
+	// downSince tracks, per shard, when the supervisor first saw the
+	// shard's writable node dark with no replacement — the start of the
+	// failover lease countdown. Guarded by superMu; only the supervisor
+	// (one pass per poll) touches it.
+	superMu   sync.Mutex
+	downSince map[string]time.Time
 
 	// baseURLs caches each backend base URL parsed once — forward copies
 	// the cached struct per request instead of re-parsing "scheme://host"
@@ -167,14 +214,7 @@ func New(opts Options) (*Router, error) {
 	if err := opts.Topology.Validate(); err != nil {
 		return nil, fmt.Errorf("router: topology: %w", err)
 	}
-	names := make([]string, 0, len(opts.Topology.Shards))
-	shards := make(map[string]*Shard, len(opts.Topology.Shards))
-	for i := range opts.Topology.Shards {
-		sh := &opts.Topology.Shards[i]
-		names = append(names, sh.Name)
-		shards[sh.Name] = sh
-	}
-	ring, err := NewRing(names, opts.Topology.VirtualNodes)
+	table, err := newRouteTable(opts.Topology)
 	if err != nil {
 		return nil, err
 	}
@@ -196,34 +236,85 @@ func New(opts Options) (*Router, error) {
 	}
 	reg := telemetry.NewRegistry()
 	rt := &Router{
-		topo:      opts.Topology,
-		ring:      ring,
-		shards:    shards,
 		health:    newHealthFeed(opts.Topology.nodeURLs(), client, interval),
 		sessions:  newSessionTable(maxSessions),
 		client:    client,
 		shedLag:   shedLag,
+		failover:  opts.Failover,
 		ctr:       newCounters(reg),
 		metrics:   reg,
 		httpM:     telemetry.NewHTTPMetrics(reg),
 		accessLog: opts.AccessLog,
+		downSince: make(map[string]time.Time),
 	}
+	rt.table.Store(table)
 	rt.health.instrument(reg)
+	rt.health.epochFor = rt.epochForNode
+	rt.health.afterPoll = rt.supervise
 	reg.GaugeFunc("gt_router_sessions", "Read-your-writes sessions tracked.",
 		func() float64 { return float64(rt.sessions.len()) })
 	rt.health.start()
 	return rt, nil
 }
 
-// Poll runs one synchronous health pass over every node — boot warm-up
-// and deterministic tests.
+// Reload swaps the routing topology in place: the ring, shard index,
+// and health-feed node set all move to the new layout atomically while
+// requests keep flowing. Views (and so epochs) of surviving nodes are
+// kept; in-flight requests finish against the generation they started
+// on. Invalid topologies are rejected with the old one untouched.
+func (rt *Router) Reload(topo *Topology) error {
+	if topo == nil {
+		return fmt.Errorf("router: reload: no topology")
+	}
+	if err := topo.Validate(); err != nil {
+		return fmt.Errorf("router: reload: topology: %w", err)
+	}
+	table, err := newRouteTable(topo)
+	if err != nil {
+		return fmt.Errorf("router: reload: %w", err)
+	}
+	rt.table.Store(table)
+	rt.health.setNodes(topo.nodeURLs())
+	return nil
+}
+
+// Poll runs one synchronous health pass over every node (plus the
+// failover supervision that rides every pass) — boot warm-up and
+// deterministic tests.
 func (rt *Router) Poll() { rt.health.pollAll() }
 
 // Close stops the background health poller.
 func (rt *Router) Close() { rt.health.stopPolling() }
 
 // Ring exposes the hash ring (tests, placement inspection).
-func (rt *Router) Ring() *Ring { return rt.ring }
+func (rt *Router) Ring() *Ring { return rt.table.Load().ring }
+
+// epochForNode resolves the fencing epoch a health poll of the given
+// node should carry: the highest term any node of the same shard has
+// reported. Per-shard, never global — shard epochs advance
+// independently, and a global maximum would fence other shards'
+// legitimate primaries.
+func (rt *Router) epochForNode(url string) (int64, string) {
+	tab := rt.table.Load()
+	name, ok := tab.nodeShard[url]
+	if !ok {
+		return 0, ""
+	}
+	return rt.shardEpoch(tab.shards[name])
+}
+
+// shardEpoch is the highest replication term any of the shard's nodes
+// has reported, and the primary that owns it.
+func (rt *Router) shardEpoch(sh *Shard) (int64, string) {
+	var term int64
+	var owner string
+	for _, n := range sh.Nodes {
+		if v := rt.health.view(n); v.Epoch > term {
+			term, owner = v.Epoch, v.EpochPrimary
+		}
+	}
+	return term, owner
+}
 
 // Handler returns the router's HTTP handler: the backend's /cities tree,
 // routed per city key, plus the router's own /healthz and /metrics. The
@@ -245,7 +336,8 @@ func (rt *Router) Handler() http.Handler {
 // handleCityRoute proxies one city-scoped request to its shard.
 func (rt *Router) handleCityRoute(w http.ResponseWriter, r *http.Request) {
 	city := strings.ToLower(r.PathValue("city"))
-	sh := rt.shards[rt.ring.Shard(city)]
+	tab := rt.table.Load()
+	sh := tab.shards[tab.ring.Shard(city)]
 	switch r.Method {
 	case http.MethodGet:
 		rt.proxyRead(sh, city, r.PathValue("rest"), w, r)
@@ -282,8 +374,9 @@ func (rt *Router) proxyRead(sh *Shard, city, rest string, w http.ResponseWriter,
 			"no replica of shard %q is known to be at or past seq %d for city %q", sh.Name, minSeq, city)
 		return
 	}
+	term, owner := rt.shardEpoch(sh)
 	for i, node := range cands {
-		resp, err := rt.forward(node, r, nil)
+		resp, err := rt.forward(node, r, nil, term, owner)
 		if err != nil || readRetryable(resp.StatusCode) {
 			if resp != nil {
 				drain(resp)
@@ -441,6 +534,7 @@ func (rt *Router) proxyMutation(sh *Shard, city string, w http.ResponseWriter, r
 	var deniedBody []byte
 	var deniedBy string
 	tried := make(map[string]bool, len(order)+1)
+	term, epochOwner := rt.shardEpoch(sh)
 
 	// attempt sends the mutation to one node and fully classifies the
 	// outcome; true means a response (success or terminal failure) was
@@ -453,7 +547,7 @@ func (rt *Router) proxyMutation(sh *Shard, city string, w http.ResponseWriter, r
 			return false
 		}
 		tried[node] = true
-		resp, err := rt.forward(node, r, body)
+		resp, err := rt.forward(node, r, body, term, epochOwner)
 		if err != nil {
 			if !dialFailure(err) {
 				writeErr(w, http.StatusBadGateway,
@@ -536,15 +630,25 @@ func (rt *Router) noteMutation(city string, r *http.Request, resp *http.Response
 
 // --- shared plumbing ---
 
-// primaryOf discovers a shard's primary from node health: a healthy node
-// reporting role "primary" wins, then a healthy "promoted" ex-follower,
-// then a node whose *last known* role was primary/promoted even if its
-// latest poll failed (a transient poll failure must not redirect
-// mutations at a node that is known to be a follower), then a
-// never-identified node, then the first listed one. The 403-retry path
-// heals a wrong guess on the mutation side; the read side additionally
-// guards pinned reads against a known-follower fallback (readCandidates).
+// primaryOf discovers a shard's primary from node health. The shard's
+// replication epoch rules first: whoever owns the highest term *is* the
+// primary, whatever stale roles other views still claim — after a
+// failover, a healed deposed node may report role "primary" for one
+// more poll, and believing it would be split-brain routing. Below the
+// epoch: a healthy node reporting role "primary" wins, then a healthy
+// "promoted" ex-follower, then a node whose *last known* role was
+// primary/promoted even if its latest poll failed (a transient poll
+// failure must not redirect mutations at a node that is known to be a
+// follower), then a never-identified node, then the first listed one.
+// The 403-retry path heals a wrong guess on the mutation side; the read
+// side additionally guards pinned reads against a known-follower
+// fallback (readCandidates).
 func (rt *Router) primaryOf(sh *Shard) string {
+	if _, epochOwner := rt.shardEpoch(sh); epochOwner != "" {
+		if n := rt.resolveNode(sh, epochOwner); n != "" {
+			return n
+		}
+	}
 	var promoted, staleWritable, unknown string
 	for _, n := range sh.Nodes {
 		v := rt.health.view(n)
@@ -597,7 +701,13 @@ func (rt *Router) resolveNode(sh *Shard, hint string) string {
 // parse — rather than formatting a URL string for http.NewRequest to
 // parse straight back apart; that round-trip was the proxy hot path's
 // single largest allocation source.
-func (rt *Router) forward(base string, r *http.Request, body []byte) (*http.Response, error) {
+//
+// term/owner are the shard's fencing epoch, stamped after the header
+// copy so the router's authoritative value always replaces anything the
+// client sent — epoch headers from outside the fleet are stripped
+// either way (a forged X-GT-Epoch must not be able to fence a primary
+// through the proxy).
+func (rt *Router) forward(base string, r *http.Request, body []byte, term int64, owner string) (*http.Response, error) {
 	bu, err := rt.baseURL(base)
 	if err != nil {
 		return nil, err
@@ -625,6 +735,14 @@ func (rt *Router) forward(base string, r *http.Request, body []byte) (*http.Resp
 		}
 	}
 	copyHeader(req.Header, r.Header)
+	req.Header.Del(replicate.HeaderEpoch)
+	req.Header.Del(replicate.HeaderEpochPrimary)
+	if term > 0 {
+		req.Header.Set(replicate.HeaderEpoch, strconv.FormatInt(term, 10))
+		if owner != "" {
+			req.Header.Set(replicate.HeaderEpochPrimary, owner)
+		}
+	}
 	return rt.client.Do(req)
 }
 
@@ -753,14 +871,15 @@ func (rt *Router) handleCities(w http.ResponseWriter, r *http.Request) {
 	// client cancels the work.
 	ctx, cancel := context.WithTimeout(r.Context(), healthPollTimeout)
 	defer cancel()
-	names := rt.ring.Shards()
+	tab := rt.table.Load()
+	names := tab.ring.Shards()
 	perShard := make([][]routedCity, len(names))
 	var wg sync.WaitGroup
 	for i, name := range names {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			primary := rt.primaryOf(rt.shards[name])
+			primary := rt.primaryOf(tab.shards[name])
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, primary+"/cities", nil)
 			if err != nil {
 				return
@@ -779,7 +898,7 @@ func (rt *Router) handleCities(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			for _, row := range rows {
-				if rt.ring.Shard(row.Key) != name {
+				if tab.ring.Shard(row.Key) != name {
 					continue
 				}
 				perShard[i] = append(perShard[i], routedCity{
@@ -809,21 +928,32 @@ type countersJSON struct {
 	Mutations          int64 `json:"mutations"`
 	MutationRetries403 int64 `json:"mutationRetries403"`
 	MutationFailovers  int64 `json:"mutationFailovers"`
+	AutoPromotions     int64 `json:"autoPromotions"`
+}
+
+// shardHealth is one shard's row in the router's /healthz: the node
+// views plus the shard's fencing epoch — the term the router relays to
+// fence stale primaries, and who it believes owns it.
+type shardHealth struct {
+	Epoch        int64      `json:"epoch,omitempty"`
+	EpochPrimary string     `json:"epochPrimary,omitempty"`
+	Nodes        []NodeView `json:"nodes"`
 }
 
 type healthReport struct {
-	Status       string                `json:"status"`
-	VirtualNodes int                   `json:"virtualNodes"`
-	Shards       map[string][]NodeView `json:"shards"`
-	Sessions     int                   `json:"sessions"`
-	Counters     countersJSON          `json:"counters"`
+	Status       string                 `json:"status"`
+	VirtualNodes int                    `json:"virtualNodes"`
+	Shards       map[string]shardHealth `json:"shards"`
+	Sessions     int                    `json:"sessions"`
+	Counters     countersJSON           `json:"counters"`
 }
 
 func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	tab := rt.table.Load()
 	rep := healthReport{
 		Status:       "ok",
-		VirtualNodes: rt.ring.VirtualNodes(),
-		Shards:       make(map[string][]NodeView, len(rt.shards)),
+		VirtualNodes: tab.ring.VirtualNodes(),
+		Shards:       make(map[string]shardHealth, len(tab.shards)),
 		Sessions:     rt.sessions.len(),
 		Counters: countersJSON{
 			ReadsTotal:         rt.ctr.readsTotal.Value(),
@@ -835,14 +965,16 @@ func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			Mutations:          rt.ctr.mutations.Value(),
 			MutationRetries403: rt.ctr.mutationRetries403.Value(),
 			MutationFailovers:  rt.ctr.mutationFailovers.Value(),
+			AutoPromotions:     rt.ctr.autoPromotions.Value(),
 		},
 	}
-	for name, sh := range rt.shards {
+	for name, sh := range tab.shards {
 		views := make([]NodeView, 0, len(sh.Nodes))
 		for _, n := range sh.Nodes {
 			views = append(views, rt.health.view(n))
 		}
-		rep.Shards[name] = views
+		term, owner := rt.shardEpoch(sh)
+		rep.Shards[name] = shardHealth{Epoch: term, EpochPrimary: owner, Nodes: views}
 	}
 	writeJSON(w, http.StatusOK, rep)
 }

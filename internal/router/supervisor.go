@@ -1,0 +1,148 @@
+package router
+
+// Failover supervision: the router is the fleet's designated poller, so
+// it is also the natural place to notice a dead primary and repair the
+// shard. After every health pass (the afterPoll hook) the supervisor
+// checks each shard for a writable node; a shard whose last known
+// primary stays dark past the Options.Failover lease — with no other
+// writable node appearing — has its freshest healthy follower promoted
+// (POST /promote). The promotion bumps the shard's replication epoch on
+// the new primary, and the router's next poll carries that term to
+// every other node, fencing the deposed primary read-only the moment it
+// resurfaces: it can never again accept a write the new primary would
+// not have.
+//
+// One lease, one promoter: supervision runs at most once per poll pass
+// under superMu, and the lease clock only starts from evidence — a node
+// whose *last known* role was writable now failing polls. A shard that
+// never identified a primary (cold boot, total partition of the router
+// itself) is left alone; promoting on no evidence could mint a second
+// primary, which is the exact disease this machinery exists to cure.
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"grouptravel/internal/replicate"
+)
+
+// supervise runs one failover pass over every shard. Called from the
+// health feed's afterPoll hook (and so from Poll in tests).
+func (rt *Router) supervise() {
+	if rt.failover <= 0 {
+		return
+	}
+	rt.superMu.Lock()
+	defer rt.superMu.Unlock()
+	tab := rt.table.Load()
+	now := time.Now()
+	for name, sh := range tab.shards {
+		rt.superviseShard(name, sh, now)
+	}
+	// A reload can drop a shard mid-countdown; forget its clock.
+	for name := range rt.downSince {
+		if _, ok := tab.shards[name]; !ok {
+			delete(rt.downSince, name)
+		}
+	}
+}
+
+// superviseShard applies the lease to one shard. Caller holds superMu.
+func (rt *Router) superviseShard(name string, sh *Shard, now time.Time) {
+	var deadWritable bool
+	for _, n := range sh.Nodes {
+		v := rt.health.view(n)
+		writable := v.Role == "primary" || v.Role == "promoted"
+		if writable && v.Err == "" {
+			// The shard has a live primary; stop any countdown.
+			delete(rt.downSince, name)
+			return
+		}
+		if writable && v.Err != "" {
+			deadWritable = true
+		}
+	}
+	if !deadWritable {
+		// No node was ever known writable (or the old primary already
+		// re-polled as fenced/follower with nothing promoted yet — the
+		// next pass sees the promoted node). No evidence, no countdown.
+		delete(rt.downSince, name)
+		return
+	}
+	since, ok := rt.downSince[name]
+	if !ok {
+		rt.downSince[name] = now
+		return
+	}
+	if now.Sub(since) < rt.failover {
+		return
+	}
+	// Lease expired: promote the freshest healthy follower — the one
+	// whose applied positions sum highest, i.e. the least data loss the
+	// shard can buy without the dead primary's unreplicated tail.
+	best := ""
+	bestSum := int64(-1)
+	for _, n := range sh.Nodes {
+		v := rt.health.view(n)
+		if v.Err != "" || v.Role != "follower" {
+			continue
+		}
+		var sum int64
+		for _, seq := range v.AppliedSeq {
+			sum += seq
+		}
+		if sum > bestSum {
+			best, bestSum = n, sum
+		}
+	}
+	if best == "" {
+		return // nothing promotable; keep the clock, retry next pass
+	}
+	term, owner := rt.shardEpoch(sh)
+	if err := rt.promote(best, term, owner); err != nil {
+		return // node refused or died between polls; retry next pass
+	}
+	rt.ctr.autoPromotions.Inc()
+	delete(rt.downSince, name)
+	// Re-poll the new primary immediately so the very next routing
+	// decision (and the next full pass's fencing headers) already see
+	// its bumped epoch and writable role.
+	rt.health.poll(best)
+}
+
+// promote asks one node to take over its shard, relaying the epoch the
+// router knows so the node's bump is guaranteed to supersede it.
+func (rt *Router) promote(node string, term int64, owner string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), healthPollTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/promote", nil)
+	if err != nil {
+		return err
+	}
+	if term > 0 {
+		req.Header.Set(replicate.HeaderEpoch, strconv.FormatInt(term, 10))
+		if owner != "" {
+			req.Header.Set(replicate.HeaderEpochPrimary, owner)
+		}
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return &promoteError{node: node, status: resp.Status}
+	}
+	return nil
+}
+
+type promoteError struct {
+	node   string
+	status string
+}
+
+func (e *promoteError) Error() string {
+	return "router: promote " + e.node + ": " + e.status
+}

@@ -23,22 +23,36 @@ func newCounters(reg *telemetry.Registry) counters {
 		mutations:          c("gt_router_mutations_total", "POSTs routed."),
 		mutationRetries403: c("gt_router_mutation_retries_403_total", "Mutations healed by chasing a 403's primary hint."),
 		mutationFailovers:  c("gt_router_mutation_failovers_total", "Mutation attempts failed over to another node."),
+		autoPromotions:     c("gt_router_auto_promotions_total", "Followers auto-promoted after a primary lease expired."),
 	}
 }
 
 // instrument attaches per-node scrape instruments to the health feed:
-// poll latency histograms and an up/down gauge per backend node. Node
-// URLs are fixed at construction, so the maps are read-only afterwards
-// and the poll path does one lookup plus nil-safe atomic ops.
+// poll latency histograms and an up/down gauge per backend node. The
+// registry is kept so setNodes (topology reload) can instrument
+// backends added later; registration is idempotent per (name, labels),
+// so a node that leaves and returns reuses its series.
 func (hf *healthFeed) instrument(reg *telemetry.Registry) {
+	hf.mu.Lock()
+	defer hf.mu.Unlock()
+	hf.reg = reg
 	hf.pollLat = make(map[string]*telemetry.Histogram, len(hf.urls))
 	hf.nodeUp = make(map[string]*telemetry.Gauge, len(hf.urls))
 	for _, u := range hf.urls {
-		hf.pollLat[u] = reg.Histogram("gt_router_health_poll_seconds",
-			"Health-poll round trip per backend node.", nil, "node", u)
-		hf.nodeUp[u] = reg.Gauge("gt_router_node_up",
-			"1 when the node's last health poll succeeded.", "node", u)
+		hf.instrumentLocked(u)
 	}
+}
+
+// instrumentLocked registers (or re-attaches) one node's instruments;
+// no-op before instrument has supplied the registry. Caller holds hf.mu.
+func (hf *healthFeed) instrumentLocked(u string) {
+	if hf.reg == nil || hf.pollLat[u] != nil {
+		return
+	}
+	hf.pollLat[u] = hf.reg.Histogram("gt_router_health_poll_seconds",
+		"Health-poll round trip per backend node.", nil, "node", u)
+	hf.nodeUp[u] = hf.reg.Gauge("gt_router_node_up",
+		"1 when the node's last health poll succeeded.", "node", u)
 }
 
 // Metrics exposes the router's telemetry registry (the /metrics source).

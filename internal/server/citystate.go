@@ -90,6 +90,13 @@ type cityState struct {
 	// primaries and set once at construction.
 	replica *replicaMirror
 
+	// slots is the server's follower-position ledger (slots.go): push
+	// streams feed it, compaction consults it. epochInfo reads the
+	// server's replication term for stamping outgoing stream batches and
+	// ending push streams across a term change.
+	slots     *slotTable
+	epochInfo func() (int64, string)
+
 	// cacheVersion numbers the city's mutation history for the rendered-
 	// byte cache (cache.go): seeded from appliedSeq at load and bumped
 	// after every applied mutation (primary commits, follower frame
@@ -200,6 +207,8 @@ func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) 
 		compactDur:   s.metrics.compaction,
 		notify:       s.notifier(c.Key),
 		streams:      &s.metrics.streams,
+		slots:        s.slots,
+		epochInfo:    s.Epoch,
 	}
 	cs.persistErr.Store("")
 	// Hot-path counters live on the structs that bump them; registration
@@ -209,8 +218,9 @@ func (s *Server) newCityState(c *registry.City[*cityState]) (*cityState, error) 
 	cs.rcache.fillRaces = cs.met.byteFillRaces
 	cs.builds.dedups = cs.met.buildDedups
 	// A city loaded after promotion is an ordinary read-write city; only
-	// an active follower builds the replication mirror.
-	follower := s.isReadOnly()
+	// an active follower builds the replication mirror. (A fenced node is
+	// read-only too, but nothing feeds it frames — no mirror.)
+	follower := s.topo.Upstream() != "" && !s.promoted.Load()
 	if cs.snapDir == "" {
 		if follower {
 			ap, mst, err := store.NewApplier(nil, cs.city)
@@ -448,6 +458,15 @@ func (cs *cityState) maybeCompact() {
 	overRecords := cs.compactEvery > 0 && st.Records >= cs.compactEvery
 	overBytes := cs.compactBytes > 0 && st.Bytes >= cs.compactBytes
 	if !overRecords && !overBytes {
+		return
+	}
+	// Fan-out awareness: while a live follower's stream position still
+	// needs records this compaction would fold into the snapshot, wait —
+	// it keeps streaming cheap frames instead of taking a full handoff.
+	// The slot table's own deadlines bound the wait (a dead follower is
+	// collected, a stuck one is dropped), and the next mutation past the
+	// threshold re-triggers; eviction compaction ignores slots entirely.
+	if cs.slots != nil && cs.slots.hold(cs.key, cs.wal.LastSeq()) {
 		return
 	}
 	if !cs.compacting.CompareAndSwap(false, true) {

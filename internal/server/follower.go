@@ -329,9 +329,13 @@ func (t followerTarget) ApplyFrames(city string, frames []store.WALFrame) (int64
 
 // --- server surface ---
 
-// Role reports the server's replication role.
+// Role reports the server's replication role. Fenced wins over every
+// other state: whatever this node used to be, it observed a term owned
+// by someone else and is read-only until an operator re-points it.
 func (s *Server) Role() string {
 	switch {
+	case s.fenced.Load():
+		return "fenced"
 	case s.topo.Upstream() == "":
 		return "primary"
 	case s.promoted.Load():
@@ -344,8 +348,11 @@ func (s *Server) Role() string {
 // Topology exposes the node-metadata source (health reports, embedders).
 func (s *Server) Topology() Topology { return s.topo }
 
-// isReadOnly: a follower that has not been promoted rejects mutations.
-func (s *Server) isReadOnly() bool { return s.topo.Upstream() != "" && !s.promoted.Load() }
+// isReadOnly: a follower that has not been promoted rejects mutations,
+// and so does any node fenced by a higher replication epoch.
+func (s *Server) isReadOnly() bool {
+	return s.fenced.Load() || (s.topo.Upstream() != "" && !s.promoted.Load())
+}
 
 // Follower exposes the replication tailer (nil on primaries) — tests and
 // embedders drive Sync/CatchUp and read lag through it.
@@ -376,6 +383,13 @@ func (s *Server) Promote() error {
 		if s.follower != nil {
 			s.follower.Stop()
 		}
+		// Mint the new term after the tailers stopped (no apply is
+		// mid-flight) and before the seal: each city's seal wakes its
+		// notifier, and any push stream this node is serving observes the
+		// term change on that wake and ends — so no inbound consumer
+		// outlives the promotion, and the bumped term rides the very next
+		// exchange to fence the deposed primary.
+		s.bumpEpoch()
 		for _, key := range s.reg.Keys() {
 			// Never force-load: an unloaded city is already cleanly
 			// sealed on its own disk (eviction compacted and closed its
@@ -398,15 +412,21 @@ type replicaDenied struct {
 	Primary string `json:"primary"`
 }
 
-// writable gates a mutating route on the server's role.
+// writable gates a mutating route on the server's role. The 403 names
+// the best-known primary: the epoch owner when a term has been observed
+// (a fenced node's upstream is stale by definition — the owner is who
+// deposed it), the configured upstream otherwise.
 func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.isReadOnly() {
-			upstream := s.topo.Upstream()
-			w.Header().Set(HeaderPrimary, upstream)
+			primary := s.topo.Upstream()
+			if _, owner := s.Epoch(); owner != "" {
+				primary = owner
+			}
+			w.Header().Set(HeaderPrimary, primary)
 			writeJSON(w, http.StatusForbidden, replicaDenied{
-				Error:   fmt.Sprintf("read-only replica; send mutations to the primary at %s", upstream),
-				Primary: upstream,
+				Error:   fmt.Sprintf("read-only replica; send mutations to the primary at %s", primary),
+				Primary: primary,
 			})
 			return
 		}

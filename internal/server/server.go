@@ -133,6 +133,13 @@ type Options struct {
 	// StaticTopology from Advertise and Follow — the normal boot path.
 	// When set, Follow and Advertise are ignored.
 	Topology Topology
+	// FollowerID names this node on its primary's replication-slot table
+	// (the ?fid= stream handshake): per-follower positions on the
+	// primary's /healthz and /metrics, and compaction holds while this
+	// follower lags. Defaults to Advertise; with both empty the node
+	// streams anonymously (replication still works, it just isn't
+	// slot-tracked).
+	FollowerID string
 	// FollowPoll is the replication tailer's poll interval: 0 selects
 	// replicate.DefaultPollInterval; < 0 starts no background tailers —
 	// the embedder drives Follower().Sync/CatchUp itself (tests).
@@ -168,6 +175,20 @@ type Server struct {
 	follower    *replicate.Follower
 	promoteOnce sync.Once
 	promoted    atomic.Bool
+
+	// Replication epoch (epoch.go): the monotonic term that fences
+	// deposed primaries. epochMu serializes adopt/bump + persist;
+	// epochVal/epochOwner are the fast reads every request stamps;
+	// fenced latches a writable node read-only once it observes a term
+	// owned by someone else.
+	epochMu    sync.Mutex
+	epochVal   atomic.Int64
+	epochOwner atomic.Value // string
+	fenced     atomic.Bool
+
+	// slots is the fan-out ledger (slots.go): per-follower stream
+	// positions keyed by the ?fid= handshake, consulted by compaction.
+	slots *slotTable
 
 	// coldHeads caches non-resident cities' stream heads (stream.go), so
 	// caught-up followers polling cold cities cost three stats, not a
@@ -285,6 +306,8 @@ func NewMultiCity(opts Options) (*Server, error) {
 		metrics:   newServerMetrics(),
 		accessLog: opts.AccessLog,
 	}
+	s.epochOwner.Store("")
+	s.slots = newSlotTable(s.metrics.reg)
 	if s.compactEvery == 0 {
 		s.compactEvery = DefaultCompactEvery
 	}
@@ -341,6 +364,12 @@ func NewMultiCity(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.reg = reg
+	// Recover the replication term before anything touches role state:
+	// a node that was promoted (or fenced) before a restart must come
+	// back that way, and city loads consult the role.
+	if err := s.loadEpochs(keys); err != nil {
+		return nil, err
+	}
 	if err := s.Preload(opts.PreloadCities...); err != nil {
 		return nil, err
 	}
@@ -349,8 +378,15 @@ func NewMultiCity(opts Options) (*Server, error) {
 	default:
 		return nil, fmt.Errorf("server: unknown follow mode %q (want stream or poll)", opts.FollowMode)
 	}
-	if upstream := s.topo.Upstream(); upstream != "" {
+	if upstream := s.topo.Upstream(); upstream != "" && !s.promoted.Load() {
 		s.follower = replicate.NewFollower(upstream, keys, followerTarget{s}, max(opts.FollowPoll, 0))
+		fid := opts.FollowerID
+		if fid == "" {
+			fid = s.topo.Advertise()
+		}
+		s.follower.SetID(fid)
+		s.follower.SetEpochInfo(s.Epoch)
+		s.follower.SetOnEpoch(s.observeEpoch)
 		if opts.FollowMode == "poll" {
 			s.follower.SetStreaming(false)
 		}
@@ -442,7 +478,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /cities/{city}", city((*cityState).handleCity))
 	mux.HandleFunc("POST /promote", s.handlePromote)
 	mw := &telemetry.Middleware{Metrics: s.metrics.http, Log: s.accessLog}
-	return mw.Wrap(mux)
+	// The epoch sniffer wraps everything: any request can carry proof of
+	// a newer term, and every response advertises this node's own.
+	return s.noteEpochHeader(mw.Wrap(mux))
 }
 
 // withCity resolves the request's city — the {city} path value, or the
@@ -531,13 +569,19 @@ type healthResponse struct {
 	// health must not force a dataset load).
 	City        string                `json:"city"`
 	DefaultCity string                `json:"defaultCity"`
-	Role        string                `json:"role"`                // primary | follower | promoted
+	Role        string                `json:"role"`                // primary | follower | promoted | fenced
 	Primary     string                `json:"primary,omitempty"`   // the primary's URL on (ex-)followers
 	Advertise   string                `json:"advertise,omitempty"` // the URL this node self-describes as
 	Registry    registry.Stats        `json:"registry"`
 	Cities      map[string]cityHealth `json:"cities"` // loaded cities only
 	Persistence bool                  `json:"persistence"`
 	WALSync     string                `json:"walSync,omitempty"` // fsync policy when persistence is on
+	// Epoch is the node's replication term and EpochPrimary the term
+	// owner's URL (absent before any promotion); ReplicationSlots are the
+	// per-follower stream positions this node tracks as a primary.
+	Epoch            int64        `json:"epoch,omitempty"`
+	EpochPrimary     string       `json:"epochPrimary,omitempty"`
+	ReplicationSlots []slotHealth `json:"replicationSlots,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -555,6 +599,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if resp.Persistence {
 		resp.WALSync = s.walSync.String()
 	}
+	resp.Epoch, resp.EpochPrimary = s.Epoch()
+	resp.ReplicationSlots = s.slots.snapshot()
 	s.reg.Range(func(c *registry.City[*cityState]) {
 		h := c.State.health()
 		if s.follower != nil {

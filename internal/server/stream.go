@@ -75,16 +75,26 @@ type walStreamParams struct {
 	wait   time.Duration // long-poll budget; 0 = answer immediately
 	stream bool          // hold the connection open, push frames
 	hb     time.Duration // heartbeat cadence on an idle stream
+	fid    string        // follower id for the replication-slot table
 }
 
-// parseStreamParams reads wait/stream/hb; on a bad value it writes the
-// 400 and reports !ok.
+// maxFollowerIDLen bounds ?fid= so a hostile handshake cannot grow the
+// slot table's keys (and its metric labels) without bound.
+const maxFollowerIDLen = 200
+
+// parseStreamParams reads wait/stream/hb/fid; on a bad value it writes
+// the 400 and reports !ok. Durations must be strictly positive: a
+// zero or negative ?wait= is a contradiction ("long-poll for no time"),
+// not a degenerate one-shot — omitting the parameter is how a caller
+// asks for the immediate answer — and letting it through would make
+// `wait=0s` and `wait=` behave identically by accident rather than
+// contract.
 func parseStreamParams(w http.ResponseWriter, r *http.Request) (walStreamParams, bool) {
 	p := walStreamParams{hb: defaultHeartbeat}
 	q := r.URL.Query()
 	if v := q.Get("wait"); v != "" {
 		d, err := time.ParseDuration(v)
-		if err != nil || d < 0 {
+		if err != nil || d <= 0 {
 			writeErr(w, http.StatusBadRequest, "bad wait %q", v)
 			return p, false
 		}
@@ -105,6 +115,13 @@ func parseStreamParams(w http.ResponseWriter, r *http.Request) (walStreamParams,
 			return p, false
 		}
 		p.hb = min(max(d, minHeartbeat), maxHeartbeat)
+	}
+	if v := q.Get("fid"); v != "" {
+		if len(v) > maxFollowerIDLen {
+			writeErr(w, http.StatusBadRequest, "fid longer than %d bytes", maxFollowerIDLen)
+			return p, false
+		}
+		p.fid = v
 	}
 	return p, true
 }
@@ -161,6 +178,7 @@ func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
 		caughtUp := batch.Snapshot == nil && len(batch.Frames) == 0
 		remaining := time.Until(deadline)
 		if !caughtUp || coldWait <= 0 || remaining <= 0 {
+			s.stampBatch(batch)
 			_ = replicate.WriteStream(w, batch)
 			if !cached {
 				s.fleetVersion.Add(1) // the /cities listing reports cold heads
@@ -239,7 +257,7 @@ func (cs *cityState) handleWALStream(w http.ResponseWriter, r *http.Request, fro
 		return
 	}
 	if p.stream {
-		cs.serveWALPush(w, r, from, p.hb)
+		cs.serveWALPush(w, r, from, p)
 		return
 	}
 	if p.wait > 0 && from == cs.wal.LastSeq() {
@@ -251,7 +269,15 @@ func (cs *cityState) handleWALStream(w http.ResponseWriter, r *http.Request, fro
 	batch, err := streamFrom(cs.snapDir, cs.key, from, func() (int64, int64) {
 		return cs.wal.LastSeq(), cs.wal.Stats().Bytes
 	})
+	cs.stampBatch(batch)
 	writeStreamResult(w, from, batch, err)
+}
+
+// stampBatch adds the node's replication term to an outgoing batch.
+func (cs *cityState) stampBatch(b *replicate.Batch) {
+	if b != nil && cs.epochInfo != nil {
+		b.Epoch, b.EpochPrimary = cs.epochInfo()
+	}
 }
 
 // awaitCommit blocks until the city's applied sequence passes from, the
@@ -283,14 +309,29 @@ func (cs *cityState) awaitCommit(ctx context.Context, from int64, wait time.Dura
 // raw frames — headers and the snapshot section are spent — so any
 // condition that needs them again (compaction moved the log past the
 // cursor, a snapshot handoff installed, the life cap) simply ends the
-// stream; the client reconnects into a fresh decision.
-func (cs *cityState) serveWALPush(w http.ResponseWriter, r *http.Request, from int64, hb time.Duration) {
+// stream; the client reconnects into a fresh decision. A replication
+// term change ends the stream too: the term was stamped into this
+// response's headers at the top and cannot be restated, and after a
+// promotion or fence the consumer must re-handshake against the node's
+// new role rather than keep draining a response that claims the old one.
+//
+// A ?fid= handshake feeds the server's slot table: the initial batch and
+// every flushed run advance the follower's recorded position, heartbeats
+// refresh its liveness — which is what lets compaction hold for exactly
+// the followers that are alive and behind.
+func (cs *cityState) serveWALPush(w http.ResponseWriter, r *http.Request, from int64, p walStreamParams) {
+	hb := p.hb
 	headFn := func() (int64, int64) { return cs.wal.LastSeq(), cs.wal.Stats().Bytes }
+	startTerm := int64(0)
+	if cs.epochInfo != nil {
+		startTerm, _ = cs.epochInfo()
+	}
 	batch, err := streamFrom(cs.snapDir, cs.key, from, headFn)
 	if err != nil {
 		writeStreamResult(w, from, nil, err)
 		return
 	}
+	cs.stampBatch(batch)
 	fl := telemetry.FlusherFor(w)
 	if fl == nil {
 		// Nothing in the writer stack can flush, so no push. Degrade the
@@ -303,6 +344,7 @@ func (cs *cityState) serveWALPush(w http.ResponseWriter, r *http.Request, from i
 				writeStreamResult(w, from, nil, err)
 				return
 			}
+			cs.stampBatch(batch)
 		}
 		writeStreamResult(w, from, batch, nil)
 		return
@@ -321,6 +363,9 @@ func (cs *cityState) serveWALPush(w http.ResponseWriter, r *http.Request, from i
 		cursor = batch.Frames[n-1].Seq
 	}
 	cs.streams.frames.Add(int64(len(batch.Frames)))
+	if cs.slots != nil {
+		cs.slots.update(p.fid, cs.key, cursor, cs.wal.LastSeq())
+	}
 
 	tail := newWALTail(cs.snapDir, cs.key)
 	hbTimer := time.NewTimer(hb)
@@ -330,6 +375,15 @@ func (cs *cityState) serveWALPush(w http.ResponseWriter, r *http.Request, from i
 	ctx := r.Context()
 	for {
 		head, ch := cs.notify.await()
+		if cs.epochInfo != nil {
+			if term, _ := cs.epochInfo(); term != startTerm {
+				// Promotion or fence mid-stream: end it. Promote bumps the
+				// term before sealing (each seal wakes this notifier), so a
+				// consumer can never be handed a frame committed after the
+				// seal under the old term's headers.
+				return
+			}
+		}
 		if head > cursor || cs.wal.LastSeq() > cursor {
 			frames, ok := tail.next(cursor)
 			if !ok {
@@ -347,6 +401,9 @@ func (cs *cityState) serveWALPush(w http.ResponseWriter, r *http.Request, from i
 				fl.Flush()
 				cursor = frames[len(frames)-1].Seq
 				cs.streams.frames.Add(int64(len(frames)))
+				if cs.slots != nil {
+					cs.slots.update(p.fid, cs.key, cursor, cs.wal.LastSeq())
+				}
 				resetTimer(hbTimer, hb)
 				continue
 			}
@@ -363,6 +420,9 @@ func (cs *cityState) serveWALPush(w http.ResponseWriter, r *http.Request, from i
 			}
 			fl.Flush()
 			cs.streams.heartbeats.Inc()
+			if cs.slots != nil {
+				cs.slots.touch(p.fid, cs.key, cs.wal.LastSeq())
+			}
 			hbTimer.Reset(hb)
 		case <-life.C:
 			return

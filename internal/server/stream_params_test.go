@@ -1,0 +1,71 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseStreamParams pins the /wal query contract, in particular that
+// non-positive durations are rejected outright: ?wait=0s used to slip
+// through the old `d < 0` check and behave like an accidental one-shot.
+func TestParseStreamParams(t *testing.T) {
+	cases := []struct {
+		name  string
+		query string
+		ok    bool
+		want  walStreamParams
+	}{
+		{name: "defaults", query: "", ok: true,
+			want: walStreamParams{hb: defaultHeartbeat}},
+		{name: "wait", query: "wait=50ms", ok: true,
+			want: walStreamParams{wait: 50 * time.Millisecond, hb: defaultHeartbeat}},
+		{name: "wait clamped to cap", query: "wait=10m", ok: true,
+			want: walStreamParams{wait: maxWALWait, hb: defaultHeartbeat}},
+		{name: "wait zero rejected", query: "wait=0s", ok: false},
+		{name: "wait negative rejected", query: "wait=-5s", ok: false},
+		{name: "wait garbage rejected", query: "wait=soon", ok: false},
+		{name: "stream on", query: "stream=1", ok: true,
+			want: walStreamParams{stream: true, hb: defaultHeartbeat}},
+		{name: "stream true", query: "stream=true", ok: true,
+			want: walStreamParams{stream: true, hb: defaultHeartbeat}},
+		{name: "stream off", query: "stream=0", ok: true,
+			want: walStreamParams{hb: defaultHeartbeat}},
+		{name: "stream garbage rejected", query: "stream=yes", ok: false},
+		{name: "hb", query: "hb=1s", ok: true,
+			want: walStreamParams{hb: time.Second}},
+		{name: "hb clamped up", query: "hb=1ms", ok: true,
+			want: walStreamParams{hb: minHeartbeat}},
+		{name: "hb clamped down", query: "hb=5m", ok: true,
+			want: walStreamParams{hb: maxHeartbeat}},
+		{name: "hb zero rejected", query: "hb=0s", ok: false},
+		{name: "hb negative rejected", query: "hb=-100ms", ok: false},
+		{name: "hb garbage rejected", query: "hb=fast", ok: false},
+		{name: "fid", query: "stream=1&fid=follower-b", ok: true,
+			want: walStreamParams{stream: true, hb: defaultHeartbeat, fid: "follower-b"}},
+		{name: "fid too long rejected",
+			query: "fid=" + strings.Repeat("x", maxFollowerIDLen+1), ok: false},
+		{name: "fid at cap", query: "fid=" + strings.Repeat("x", maxFollowerIDLen), ok: true,
+			want: walStreamParams{hb: defaultHeartbeat, fid: strings.Repeat("x", maxFollowerIDLen)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := httptest.NewRecorder()
+			r := httptest.NewRequest("GET", "/cities/x/wal?"+tc.query, nil)
+			p, ok := parseStreamParams(w, r)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v (status %d, body %s)", ok, tc.ok, w.Code, w.Body)
+			}
+			if !tc.ok {
+				if w.Code != 400 {
+					t.Fatalf("status = %d, want 400", w.Code)
+				}
+				return
+			}
+			if p != tc.want {
+				t.Fatalf("params = %+v, want %+v", p, tc.want)
+			}
+		})
+	}
+}

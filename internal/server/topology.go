@@ -11,8 +11,10 @@ import "strings"
 //
 // Upstream must be stable for the process lifetime: the serving layer
 // decides at construction whether to build replication state, and
-// role *transitions* go through Promote, not through a changing
-// Upstream. Both methods must be safe for concurrent use.
+// role *transitions* go through Promote — or through the replication
+// epoch (epoch.go), which can fence a writable node read-only when a
+// peer proves a newer term — not through a changing Upstream. Both
+// methods must be safe for concurrent use.
 type Topology interface {
 	// Advertise is the base URL this node is reachable at by peers and
 	// front tiers — what it self-describes as in health reports and what

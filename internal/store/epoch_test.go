@@ -1,0 +1,71 @@
+package store
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestEpochRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing file reads as the zero epoch — pre-epoch fleets boot clean.
+	e, err := ReadEpoch(dir, "paris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Epoch != 0 || e.Primary != "" {
+		t.Fatalf("missing epoch file: got %+v, want zero", e)
+	}
+
+	want := Epoch{Epoch: 3, Primary: "http://b:8080"}
+	if err := WriteEpoch(dir, "paris", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEpoch(dir, "paris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+
+	// Overwrite bumps in place; other keys are untouched.
+	want.Epoch, want.Primary = 4, "http://c:8080"
+	if err := WriteEpoch(dir, "paris", want); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = ReadEpoch(dir, "paris"); got != want {
+		t.Fatalf("overwrite: got %+v, want %+v", got, want)
+	}
+	if other, _ := ReadEpoch(dir, "rome"); other.Epoch != 0 {
+		t.Fatalf("unrelated key picked up an epoch: %+v", other)
+	}
+
+	// No temp droppings left behind by the atomic-write path.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.Contains(ent.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", ent.Name())
+		}
+	}
+}
+
+func TestEpochRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(EpochPath(dir, "paris"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEpoch(dir, "paris"); err == nil {
+		t.Fatal("corrupt epoch file decoded without error")
+	}
+	if err := os.WriteFile(EpochPath(dir, "paris"), []byte(`{"epoch":-2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEpoch(dir, "paris"); err == nil {
+		t.Fatal("negative term accepted")
+	}
+}
