@@ -1019,3 +1019,115 @@ func BenchmarkHotReadCached(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkRouterEdgeCache prices the router's edge cache: the same
+// routed GET served as a seq-validated cache hit (zero proxy hops — a
+// mutex-guarded map lookup and one Write of the stored bytes) vs paying
+// the upstream fill. Rows:
+//
+//   - hit: recorder-driven cache hit at the router handler — the
+//     router-side cost of a cached routed read. Against
+//     BenchmarkRouterProxy/routed (the uncached routed path, ns/op) the
+//     gap is the proxy hop the cache removes — well past 3×.
+//   - miss: the same recorder harness with the route guard forcing the
+//     cache aside, so every iteration pays the real upstream HTTP hop —
+//     the same-harness uncached baseline (the shard still serves from
+//     its own byte cache, exactly like BenchmarkRouterProxy/routed).
+//   - hit-http: the cached read through a real client socket, end-to-end
+//     comparable with the BenchmarkRouterProxy rows.
+func BenchmarkRouterEdgeCache(b *testing.B) {
+	benchSetup(b)
+	// Persistence on: mutations allocate WAL sequences, so city-scoped
+	// GETs carry the X-GT-Applied-Seq stamp the cache validates against.
+	srv, err := server.NewMultiCity(server.Options{Cities: []*dataset.City{benchCity}, SnapshotDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	rt, err := router.New(router.Options{
+		Topology:     &router.Topology{Shards: []router.Shard{{Name: "s1", Nodes: []string{ts.URL}}}},
+		PollInterval: -1,
+		EdgeCache:    true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	rt.Poll()
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	key := strings.ToLower(benchCity.Name)
+	// One committed mutation opens the city's sequence space.
+	ratings := []map[string][]float64{}
+	for m := 0; m < 3; m++ {
+		member := map[string][]float64{}
+		for _, c := range poi.Categories {
+			v := make([]float64, benchCity.Schema.Dim(c))
+			for j := range v {
+				v[j] = float64((j + m) % 6)
+			}
+			member[c.String()] = v
+		}
+		ratings = append(ratings, member)
+	}
+	postJSON(b, rts.URL+"/cities/"+key+"/groups", map[string]any{"members": ratings}, http.StatusCreated)
+	rt.Poll() // the health feed's appliedSeq bound a hit must prove
+
+	path := "/cities/" + key + "/pois?k=5"
+	// Warm the entry, then pin that hits actually happen before timing.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(rts.URL + path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if i == 1 && resp.Header.Get("X-GT-Edge") != "hit" {
+			b.Fatal("warm read was not an edge-cache hit")
+		}
+	}
+
+	h := rt.Handler()
+	b.Run("hit", func(b *testing.B) {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		for i := 0; i < b.N; i++ {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+	// The wait param trips the streamed-response guard, so the router
+	// proxies every iteration; the shard ignores it and serves its own
+	// byte-cached render — the routed-uncached baseline.
+	b.Run("miss", func(b *testing.B) {
+		req := httptest.NewRequest(http.MethodGet, path+"&wait=0", nil)
+		for i := 0; i < b.N; i++ {
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+	b.Run("hit-http", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Get(rts.URL + path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+}

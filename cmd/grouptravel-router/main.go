@@ -57,6 +57,8 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "read-your-writes session table bound (0: default 65536)")
 	failover := flag.Duration("failover", 0, "auto-promote a shard's freshest follower after its primary has been unreachable this long (0: manual failover only)")
 	topoReload := flag.Duration("topology-reload", 0, "also re-stat -topology on this interval and reload it when its mtime changes (0: SIGHUP only)")
+	edgeCache := flag.Bool("edge-cache", false, "serve hot city-scoped GETs from a seq-validated edge cache (zero proxy hops on a hit)")
+	edgeCacheMax := flag.Int("edge-cache-max", 0, "edge-cache entry bound (0: default 4096)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6061; empty: off)")
 	logFormat := flag.String("log-format", "off", `structured request log: "json", "text", or "off"`)
 	logLevel := flag.String("log-level", "info", "minimum request-log level (debug, info, warn, error)")
@@ -80,6 +82,8 @@ func main() {
 		MaxSessions:  *maxSessions,
 		AccessLog:    accessLog,
 		Failover:     *failover,
+		EdgeCache:    *edgeCache,
+		EdgeCacheMax: *edgeCacheMax,
 	})
 	if err != nil {
 		log.Fatal(err)

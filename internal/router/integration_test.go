@@ -8,8 +8,8 @@ import (
 	"time"
 )
 
-// TestRouterReadYourWritesUnderLag is the acceptance test for the front
-// tier: a router over one primary and two *artificially lagging*
+// runRouterReadYourWritesUnderLag is the acceptance harness for the
+// front tier: a router over one primary and two *artificially lagging*
 // followers (their replication syncs run on a slow manual cadence, so at
 // the moment a client reads back its write the followers are genuinely
 // behind), with concurrent clients mutating and immediately reading
@@ -17,9 +17,11 @@ import (
 // NEVER observes pre-write state — not a 404, not a stale copy — while
 // token-less readers keep being served by followers. Runs under -race
 // via `make race`, which is half the point: the whole request path —
-// session table, health feed, candidate selection, counters — is
-// exercised from many goroutines at once.
-func TestRouterReadYourWritesUnderLag(t *testing.T) {
+// session table, health feed, candidate selection, edge cache, counters
+// — is exercised from many goroutines at once. With edge true the
+// router's edge cache is on, so every hit, coalesced fill, and
+// floor-raise races the same traffic.
+func runRouterReadYourWritesUnderLag(t *testing.T, edge bool) {
 	_, pts := newPrimary(t)
 	f1, f1ts := newFollower(t, pts.URL)
 	f2, f2ts := newFollower(t, pts.URL)
@@ -29,8 +31,9 @@ func TestRouterReadYourWritesUnderLag(t *testing.T) {
 	// find it. ShedLag < 0 keeps even lagging followers in the token-less
 	// pool — the adversarial setting for read-your-writes.
 	rt, rts := newRouter(t, Options{
-		Topology: singleShard(f1ts.URL, f2ts.URL, pts.URL),
-		ShedLag:  -1,
+		Topology:  singleShard(f1ts.URL, f2ts.URL, pts.URL),
+		ShedLag:   -1,
+		EdgeCache: edge,
 	})
 	rt.Poll()
 
@@ -115,7 +118,8 @@ func TestRouterReadYourWritesUnderLag(t *testing.T) {
 		}(wi)
 	}
 
-	// Token-less readers hammer the warm entities for the whole run.
+	// Token-less readers hammer the warm entities for the whole run — the
+	// edge cache's hottest keys when it is on.
 	stopReaders := make(chan struct{})
 	var readers sync.WaitGroup
 	for ri := 0; ri < 2; ri++ {
@@ -167,7 +171,37 @@ func TestRouterReadYourWritesUnderLag(t *testing.T) {
 	if ctr.ReadsPrimary == 0 {
 		t.Fatalf("no pinned read ever needed the primary — the followers were not lagging: %+v", ctr)
 	}
-	if ctr.ReadsTotal != ctr.ReadsPrimary+ctr.ReadsFollower {
-		t.Fatalf("reads don't add up: %+v", ctr)
+	if !edge {
+		if ctr.ReadsTotal != ctr.ReadsPrimary+ctr.ReadsFollower {
+			t.Fatalf("reads don't add up: %+v", ctr)
+		}
+		return
 	}
+	// With the edge cache on the ledger gains two lines: hits served zero
+	// backends, and a coalesced rider may have been served from its fill
+	// (counted under coalesced alone) or fallen through to its own fetch
+	// (counted under coalesced AND a role counter).
+	backed := ctr.ReadsPrimary + ctr.ReadsFollower + ctr.EdgeHits
+	if ctr.ReadsTotal < backed || ctr.ReadsTotal > backed+ctr.EdgeCoalesced {
+		t.Fatalf("edge-cache reads don't add up: %+v", ctr)
+	}
+	// Every proxied mutation carries a commit token, so each must have
+	// raised (or tied) the city's commit floor — never purged.
+	if ctr.EdgeInvalidations == 0 {
+		t.Fatalf("no mutation ever invalidated the edge cache: %+v", ctr)
+	}
+}
+
+// TestRouterReadYourWritesUnderLag is the baseline acceptance test for
+// the front tier (edge cache off).
+func TestRouterReadYourWritesUnderLag(t *testing.T) {
+	runRouterReadYourWritesUnderLag(t, false)
+}
+
+// TestRouterReadYourWritesUnderLagEdgeCache re-runs the acceptance
+// harness with the edge cache on: hits, coalesced fills, and commit-floor
+// invalidations race the same concurrent traffic, and read-your-writes
+// must hold bit for bit.
+func TestRouterReadYourWritesUnderLagEdgeCache(t *testing.T) {
+	runRouterReadYourWritesUnderLag(t, true)
 }

@@ -54,14 +54,26 @@ import (
 // request headers, and response headers naming which shard/backend
 // served — the observability hook the examples and tests read.
 const (
-	HeaderSeq     = "X-GT-Seq"
-	HeaderCity    = "X-GT-City"
-	HeaderPrimary = "X-GT-Primary"
-	HeaderSession = "X-GT-Session"
-	HeaderMinSeq  = "X-GT-Min-Seq"
-	HeaderShard   = "X-GT-Shard"
-	HeaderBackend = "X-GT-Backend"
+	HeaderSeq        = "X-GT-Seq"
+	HeaderCity       = "X-GT-City"
+	HeaderPrimary    = "X-GT-Primary"
+	HeaderSession    = "X-GT-Session"
+	HeaderMinSeq     = "X-GT-Min-Seq"
+	HeaderShard      = "X-GT-Shard"
+	HeaderBackend    = "X-GT-Backend"
+	HeaderAppliedSeq = "X-GT-Applied-Seq"
 )
+
+// SessionCookie is the client-carried slice of the read-your-writes
+// contract: every mutation response echoes its commit token (merged with
+// the floors the request's cookie already carried) as a gt-session
+// cookie, and any later read presenting the cookie has its floor raised
+// to the cookie's sequence for the request's city. A cookie-only client
+// — a browser behind any of N routers — therefore keeps read-your-writes
+// with zero router-side state, the first slice of the stateless-router
+// fleet. The value encodes per-city floors as "city:seq|city:seq" using
+// only cookie-safe bytes.
+const SessionCookie = "gt-session"
 
 const (
 	// DefaultPollInterval is the health feed's refresh cadence. Freshness
@@ -110,6 +122,15 @@ type Options struct {
 	// the deposed primary. 0 disables automatic failover — promotion
 	// stays a manual operation.
 	Failover time.Duration
+	// EdgeCache enables the router's seq-validated response cache for hot
+	// city-scoped GETs (see edgecache.go): zero-hop reads with coalesced
+	// fills, read-your-writes floors honored, staleness bounded by the
+	// health feed's poll window. Off by default — the cache only works
+	// against backends that stamp X-GT-Applied-Seq (persistence on).
+	EdgeCache bool
+	// EdgeCacheMax bounds the edge cache's entry count
+	// (0: DefaultEdgeCacheMax).
+	EdgeCacheMax int
 }
 
 // counters are the router's routing telemetry, surfaced on /healthz and
@@ -126,6 +147,10 @@ type counters struct {
 	mutationRetries403 *telemetry.Counter
 	mutationFailovers  *telemetry.Counter
 	autoPromotions     *telemetry.Counter
+	edgeHits           *telemetry.Counter
+	edgeMisses         *telemetry.Counter
+	edgeCoalesced      *telemetry.Counter
+	edgeInvalidations  *telemetry.Counter
 }
 
 // routeTable is one immutable routing generation: the validated
@@ -164,6 +189,7 @@ type Router struct {
 	table     atomic.Pointer[routeTable]
 	health    *healthFeed
 	sessions  *sessionTable
+	edge      *edgeCache // nil when the edge cache is disabled
 	client    *http.Client
 	shedLag   int64
 	failover  time.Duration
@@ -253,6 +279,11 @@ func New(opts Options) (*Router, error) {
 	rt.health.afterPoll = rt.supervise
 	reg.GaugeFunc("gt_router_sessions", "Read-your-writes sessions tracked.",
 		func() float64 { return float64(rt.sessions.len()) })
+	if opts.EdgeCache {
+		rt.edge = newEdgeCache(opts.EdgeCacheMax, rt.ctr)
+		reg.GaugeFunc("gt_router_edgecache_entries", "Edge-cache entries resident.",
+			func() float64 { return float64(rt.edge.len()) })
+	}
 	rt.health.start()
 	return rt, nil
 }
@@ -350,15 +381,33 @@ func (rt *Router) handleCityRoute(w http.ResponseWriter, r *http.Request) {
 
 // --- read path ---
 
-// proxyRead routes a GET to the freshest eligible replica, failing over
-// down the candidate list on connection errors and retryable statuses.
-// rest is the city-relative route ("" for the city-info endpoint).
+// proxyRead routes a GET: through the edge cache when it is on and the
+// route may touch it (zero-hop hits, coalesced fills), and directly to
+// the freshest eligible replica otherwise. rest is the city-relative
+// route ("" for the city-info endpoint).
 func (rt *Router) proxyRead(sh *Shard, city, rest string, w http.ResponseWriter, r *http.Request) {
 	rt.ctr.readsTotal.Inc()
 	minSeq := rt.readFloor(city, r)
 	if minSeq > 0 {
 		rt.ctr.readsPinned.Inc()
 	}
+	if rt.edge != nil && edgeCacheable(rest, r.URL.RawQuery) {
+		rt.edgeRead(sh, city, rest, w, r, minSeq)
+		return
+	}
+	resp, node, ok := rt.fetchRead(sh, city, rest, w, r, minSeq)
+	if !ok {
+		return
+	}
+	rt.relay(w, resp, sh.Name, node, rest == "wal")
+}
+
+// fetchRead walks the read candidates — eligible followers freshest
+// first, the discovered primary last — failing over on connection errors
+// and retryable statuses, and returns the first usable backend response
+// with the node that produced it. On total failure the error response is
+// already written and ok is false.
+func (rt *Router) fetchRead(sh *Shard, city, rest string, w http.ResponseWriter, r *http.Request, minSeq int64) (resp *http.Response, node string, ok bool) {
 	primary := rt.primaryOf(sh)
 	var cands []string
 	if rest == "wal" {
@@ -372,11 +421,11 @@ func (rt *Router) proxyRead(sh *Shard, city, rest string, w http.ResponseWriter,
 	if len(cands) == 0 {
 		writeErr(w, http.StatusServiceUnavailable,
 			"no replica of shard %q is known to be at or past seq %d for city %q", sh.Name, minSeq, city)
-		return
+		return nil, "", false
 	}
 	term, owner := rt.shardEpoch(sh)
-	for i, node := range cands {
-		resp, err := rt.forward(node, r, nil, term, owner)
+	for i, cand := range cands {
+		resp, err := rt.forward(cand, r, nil, term, owner)
 		if err != nil || readRetryable(resp.StatusCode) {
 			if resp != nil {
 				drain(resp)
@@ -386,19 +435,134 @@ func (rt *Router) proxyRead(sh *Shard, city, rest string, w http.ResponseWriter,
 			}
 			continue
 		}
-		if node == primary {
+		if cand == primary {
 			rt.ctr.readsPrimary.Inc()
 		} else {
 			rt.ctr.readsFollower.Inc()
 		}
-		rt.relay(w, resp, sh.Name, node, rest == "wal")
-		return
+		return resp, cand, true
 	}
 	writeErr(w, http.StatusBadGateway, "no replica of shard %q reachable for city %q", sh.Name, city)
+	return nil, "", false
+}
+
+// healthMaxApplied is the freshest applied sequence any node of the
+// shard has reported for the city — the edge cache's staleness bound: an
+// entry older than what the health feed already knows exists must not
+// serve, so cache staleness never exceeds the poll-interval window
+// token-less reads already accept.
+func (rt *Router) healthMaxApplied(sh *Shard, city string) int64 {
+	var m int64
+	for _, n := range sh.Nodes {
+		if v := rt.health.view(n); v.AppliedSeq[city] > m {
+			m = v.AppliedSeq[city]
+		}
+	}
+	return m
+}
+
+// edgeRead serves one cacheable routed GET through the edge cache: a
+// validated hit costs zero proxy hops; a miss joins the key's
+// singleflight fill — one upstream hop no matter how many requests
+// collide on the key. The combined floor is computed once per request:
+// session floor (read-your-writes), the city's commit floor (immediate
+// invalidation by proxied mutations), and the health feed's max applied
+// sequence (bounded staleness for writes this router never saw).
+func (rt *Router) edgeRead(sh *Shard, city, rest string, w http.ResponseWriter, r *http.Request, minSeq int64) {
+	key := edgeKey(city, r.URL.Path, r.URL.RawQuery)
+	floor := minSeq
+	if f := rt.edge.floor(city); f > floor {
+		floor = f
+	}
+	if h := rt.healthMaxApplied(sh, city); h > floor {
+		floor = h
+	}
+	if e := rt.edge.get(key, floor); e != nil {
+		writeEdge(w, e, sh.Name)
+		return
+	}
+	fill, leader := rt.edge.join(key)
+	if !leader {
+		rt.ctr.edgeCoalesced.Inc()
+		select {
+		case <-fill.done:
+			if e := fill.entry; e != nil && e.seq >= floor {
+				writeEdge(w, e, sh.Name)
+				return
+			}
+		case <-r.Context().Done():
+			writeErr(w, http.StatusServiceUnavailable, "canceled while awaiting a coalesced fill for city %q", city)
+			return
+		}
+		// The fill failed or could not prove this reader's floor: pay the
+		// proxy hop directly. Never re-coalesce — a second wait could
+		// chain fills forever behind a floor no fill reaches.
+		resp, node, ok := rt.fetchRead(sh, city, rest, w, r, minSeq)
+		if !ok {
+			return
+		}
+		rt.relay(w, resp, sh.Name, node, false)
+		return
+	}
+	// Leader: one upstream hop, captured into the cache for every rider
+	// and future hit. finish always runs — a leader that errors out must
+	// release the waiters, not strand them until their contexts expire.
+	var entry *edgeEntry
+	defer func() { rt.edge.finish(key, fill, entry) }()
+	resp, node, ok := rt.fetchRead(sh, city, rest, w, r, minSeq)
+	if !ok {
+		return
+	}
+	entry = rt.captureAndRelay(w, resp, sh, city, key, node)
+}
+
+// captureAndRelay relays one backend response while capturing it into an
+// edge-cache entry when it is cacheable: status 200, stamped with a
+// positive X-GT-Applied-Seq (the shard's proof of what state the bytes
+// reflect — unstamped responses have no sequence space and are never
+// cached), and bounded in size. Oversized bodies stream through after
+// the buffered prefix. Returns the stored entry, nil when uncacheable.
+func (rt *Router) captureAndRelay(w http.ResponseWriter, resp *http.Response, sh *Shard, city, key, node string) *edgeEntry {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxEdgeBody+1))
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "read %s response: %v", node, err)
+		return nil
+	}
+	copyHeader(w.Header(), resp.Header)
+	w.Header().Set(HeaderShard, sh.Name)
+	w.Header().Set(HeaderBackend, node)
+	overflow := len(body) > maxEdgeBody
+	if !overflow {
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	} else if resp.ContentLength >= 0 {
+		w.Header().Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+	if overflow {
+		buf := copyBufPool.Get().(*[]byte)
+		_, _ = io.CopyBuffer(w, resp.Body, *buf)
+		copyBufPool.Put(buf)
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	seq, err := strconv.ParseInt(resp.Header.Get(HeaderAppliedSeq), 10, 64)
+	if err != nil || seq <= 0 {
+		return nil
+	}
+	e := &edgeEntry{key: key, city: city, seq: seq, ctype: resp.Header.Get("Content-Type"), body: body}
+	rt.edge.put(e)
+	return e
 }
 
 // readFloor resolves the minimum acceptable sequence for this read: the
-// explicit X-GT-Min-Seq floor, raised by the session's remembered writes.
+// explicit X-GT-Min-Seq floor, raised by the session's remembered writes
+// and by the gt-session cookie's floor for this city. The cookie is the
+// header-less fallback — a browser that merely replays Set-Cookie gets
+// read-your-writes with no client code at all.
 func (rt *Router) readFloor(city string, r *http.Request) int64 {
 	var minSeq int64
 	if v := r.Header.Get(HeaderMinSeq); v != "" {
@@ -411,7 +575,68 @@ func (rt *Router) readFloor(city string, r *http.Request) int64 {
 			minSeq = s
 		}
 	}
+	if ck, err := r.Cookie(SessionCookie); err == nil {
+		if s := cookieFloor(ck.Value, city); s > minSeq {
+			minSeq = s
+		}
+	}
 	return minSeq
+}
+
+// cookieFloor extracts the named city's floor from a gt-session cookie
+// value ("city:seq|city:seq"). Malformed slices are ignored — a client
+// that mangles its cookie degrades to token-less reads, never to an
+// error.
+func cookieFloor(value, city string) int64 {
+	for v := value; v != ""; {
+		var pair string
+		if i := strings.IndexByte(v, '|'); i >= 0 {
+			pair, v = v[:i], v[i+1:]
+		} else {
+			pair, v = v, ""
+		}
+		i := strings.LastIndexByte(pair, ':')
+		if i < 0 || pair[:i] != city {
+			continue
+		}
+		if n, err := strconv.ParseInt(pair[i+1:], 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// cookieToken renders the merged gt-session cookie value after a write:
+// the request's existing cookie floors with the written city raised to
+// seq. Cities are bounded by the topology, so the value stays small; the
+// separator set (':' and '|') is cookie-value-safe so net/http never
+// sanitizes bytes away.
+func cookieToken(prev, city string, seq int64) string {
+	if s := cookieFloor(prev, city); s > seq {
+		seq = s // racing responses must never lower an established floor
+	}
+	var b strings.Builder
+	b.WriteString(city)
+	b.WriteByte(':')
+	b.WriteString(strconv.FormatInt(seq, 10))
+	for v := prev; v != ""; {
+		var pair string
+		if i := strings.IndexByte(v, '|'); i >= 0 {
+			pair, v = v[:i], v[i+1:]
+		} else {
+			pair, v = v, ""
+		}
+		i := strings.LastIndexByte(pair, ':')
+		if i < 0 || pair[:i] == city {
+			continue
+		}
+		if n, err := strconv.ParseInt(pair[i+1:], 10, 64); err != nil || n <= 0 {
+			continue
+		}
+		b.WriteByte('|')
+		b.WriteString(pair)
+	}
+	return b.String()
 }
 
 // readCandidates orders a shard's nodes for one read: eligible followers
@@ -578,7 +803,7 @@ func (rt *Router) proxyMutation(sh *Shard, city string, w http.ResponseWriter, r
 			}
 			return false
 		}
-		rt.noteMutation(city, r, resp)
+		rt.noteMutation(city, r, w, resp)
 		rt.relay(w, resp, sh.Name, node, false)
 		return true
 	}
@@ -609,23 +834,40 @@ func dialFailure(err error) bool {
 	return errors.As(err, &op) && op.Op == "dial"
 }
 
-// noteMutation records a successful mutation's commit token against the
-// request's session, pinning the session's later reads.
-func (rt *Router) noteMutation(city string, r *http.Request, resp *http.Response) {
+// noteMutation records a successful mutation's commit token three ways,
+// all strictly before the ack relays to the client: against the
+// request's session (pinning the session's later reads), against the
+// edge cache (the city's commit floor rises, so entries rendered
+// pre-write stop serving before the writer can act on the ack), and as a
+// gt-session cookie echo (header-less read-your-writes for clients that
+// just replay their cookie jar). A commit without a parseable token has
+// no sequence space to floor on — the city's edge entries purge outright.
+func (rt *Router) noteMutation(city string, r *http.Request, w http.ResponseWriter, resp *http.Response) {
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		return
 	}
-	sid := r.Header.Get(HeaderSession)
-	if sid == "" {
+	seq, err := strconv.ParseInt(resp.Header.Get(HeaderSeq), 10, 64)
+	if err != nil || seq <= 0 {
+		if rt.edge != nil {
+			rt.edge.purgeCity(city)
+		}
 		return
 	}
-	if seq, err := strconv.ParseInt(resp.Header.Get(HeaderSeq), 10, 64); err == nil {
-		tokenCity := resp.Header.Get(HeaderCity)
-		if tokenCity == "" {
-			tokenCity = city
-		}
+	tokenCity := resp.Header.Get(HeaderCity)
+	if tokenCity == "" {
+		tokenCity = city
+	}
+	if rt.edge != nil {
+		rt.edge.invalidate(tokenCity, seq)
+	}
+	if sid := r.Header.Get(HeaderSession); sid != "" {
 		rt.sessions.note(sid, tokenCity, seq)
 	}
+	var prev string
+	if ck, err := r.Cookie(SessionCookie); err == nil {
+		prev = ck.Value
+	}
+	http.SetCookie(w, &http.Cookie{Name: SessionCookie, Value: cookieToken(prev, tokenCity, seq), Path: "/"})
 }
 
 // --- shared plumbing ---
@@ -929,6 +1171,10 @@ type countersJSON struct {
 	MutationRetries403 int64 `json:"mutationRetries403"`
 	MutationFailovers  int64 `json:"mutationFailovers"`
 	AutoPromotions     int64 `json:"autoPromotions"`
+	EdgeHits           int64 `json:"edgeHits"`
+	EdgeMisses         int64 `json:"edgeMisses"`
+	EdgeCoalesced      int64 `json:"edgeCoalesced"`
+	EdgeInvalidations  int64 `json:"edgeInvalidations"`
 }
 
 // shardHealth is one shard's row in the router's /healthz: the node
@@ -945,6 +1191,7 @@ type healthReport struct {
 	VirtualNodes int                    `json:"virtualNodes"`
 	Shards       map[string]shardHealth `json:"shards"`
 	Sessions     int                    `json:"sessions"`
+	EdgeEntries  int                    `json:"edgeEntries"`
 	Counters     countersJSON           `json:"counters"`
 }
 
@@ -966,7 +1213,14 @@ func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			MutationRetries403: rt.ctr.mutationRetries403.Value(),
 			MutationFailovers:  rt.ctr.mutationFailovers.Value(),
 			AutoPromotions:     rt.ctr.autoPromotions.Value(),
+			EdgeHits:           rt.ctr.edgeHits.Value(),
+			EdgeMisses:         rt.ctr.edgeMisses.Value(),
+			EdgeCoalesced:      rt.ctr.edgeCoalesced.Value(),
+			EdgeInvalidations:  rt.ctr.edgeInvalidations.Value(),
 		},
+	}
+	if rt.edge != nil {
+		rep.EdgeEntries = rt.edge.len()
 	}
 	for name, sh := range tab.shards {
 		views := make([]NodeView, 0, len(sh.Nodes))

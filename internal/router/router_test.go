@@ -430,6 +430,9 @@ func TestWireHeadersMatchServer(t *testing.T) {
 		t.Fatalf("router wire headers drifted from internal/server: %q/%q/%q vs %q/%q/%q",
 			HeaderSeq, HeaderCity, HeaderPrimary, server.HeaderSeq, server.HeaderCity, server.HeaderPrimary)
 	}
+	if HeaderAppliedSeq != server.HeaderAppliedSeq {
+		t.Fatalf("applied-seq header drifted: router %q vs server %q", HeaderAppliedSeq, server.HeaderAppliedSeq)
+	}
 }
 
 // TestPinnedReadNeverServedStale: when the primary becomes unreachable,

@@ -24,6 +24,10 @@ func newCounters(reg *telemetry.Registry) counters {
 		mutationRetries403: c("gt_router_mutation_retries_403_total", "Mutations healed by chasing a 403's primary hint."),
 		mutationFailovers:  c("gt_router_mutation_failovers_total", "Mutation attempts failed over to another node."),
 		autoPromotions:     c("gt_router_auto_promotions_total", "Followers auto-promoted after a primary lease expired."),
+		edgeHits:           c("gt_router_edgecache_hits_total", "Routed reads served from the edge cache, zero proxy hops."),
+		edgeMisses:         c("gt_router_edgecache_misses_total", "Edge-cache lookups that missed or failed freshness validation."),
+		edgeCoalesced:      c("gt_router_edgecache_coalesced_total", "Concurrent misses collapsed into another request's fill."),
+		edgeInvalidations:  c("gt_router_edgecache_invalidations_total", "City commit floors raised (or cities purged) by proxied mutations."),
 	}
 }
 

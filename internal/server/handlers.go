@@ -30,6 +30,14 @@ const (
 	HeaderSeq     = "X-GT-Seq"
 	HeaderCity    = "X-GT-City"
 	HeaderPrimary = "X-GT-Primary"
+	// HeaderAppliedSeq is stamped on every city-scoped GET response: the
+	// city's applied WAL sequence at the moment the response was prepared
+	// — a lower bound on the state the body reflects (state only moves
+	// forward between the stamp and the render, never back). Any client —
+	// a router's edge cache, a CDN, a test — can validate read freshness
+	// against a commit token without a second round trip. Absent when the
+	// city runs without persistence: no sequence space exists then.
+	HeaderAppliedSeq = "X-GT-Applied-Seq"
 )
 
 // seqToken stamps a mutation's commit token onto the response headers;

@@ -63,6 +63,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -502,6 +503,19 @@ func (s *Server) withCity(h func(cs *cityState, w http.ResponseWriter, r *http.R
 			return
 		}
 		defer release()
+		if r.Method == http.MethodGet {
+			// Stamp the applied sequence before the handler writes its
+			// status line. Reading it here — before the handler renders —
+			// makes the stamp a *lower* bound: a mutation landing between
+			// stamp and render can only make the body fresher than the
+			// header claims, never staler, which is the direction freshness
+			// validation is safe in. appliedSeq reports the durable head,
+			// never the pinPrimarySeq sentinel, so a failed append can
+			// never inflate the stamp.
+			if seq := c.State.appliedSeq(); seq > 0 {
+				w.Header().Set(HeaderAppliedSeq, strconv.FormatInt(seq, 10))
+			}
+		}
 		h(c.State, w, r)
 	}
 }
